@@ -1,0 +1,619 @@
+(* The oasis command-line tool.
+
+     oasis generate   synthesize a FASTA database (SWISS-PROT-like)
+     oasis index      build the on-disk suffix tree for a FASTA file
+     oasis search     run an OASIS local-alignment search
+     oasis stats      database / index statistics
+
+   See `oasis COMMAND --help`. *)
+
+open Cmdliner
+
+let alphabet_of_string = function
+  | "protein" -> Ok Bioseq.Alphabet.protein
+  | "dna" -> Ok Bioseq.Alphabet.dna
+  | other -> Error (Printf.sprintf "unknown alphabet %S (protein|dna)" other)
+
+let alphabet_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (alphabet_of_string s) in
+  let print ppf a = Format.pp_print_string ppf (Bioseq.Alphabet.name a) in
+  Arg.conv (parse, print)
+
+let matrix_conv =
+  let parse s =
+    match Scoring.Matrices.by_name s with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown matrix %S (available: %s)" s
+              (String.concat ", "
+                 (List.map Scoring.Submat.name Scoring.Matrices.all))))
+  in
+  let print ppf m = Format.pp_print_string ppf (Scoring.Submat.name m) in
+  Arg.conv (parse, print)
+
+let fasta_arg ~doc name =
+  Arg.(required & opt (some file) None & info [ name ] ~docv:"FASTA" ~doc)
+
+let alphabet_arg =
+  Arg.(
+    value
+    & opt alphabet_conv Bioseq.Alphabet.protein
+    & info [ "alphabet" ] ~docv:"ALPHABET" ~doc:"Sequence alphabet (protein|dna).")
+
+(* --- generate --- *)
+
+let generate_cmd =
+  let run kind symbols seed out =
+    let rng = Workload.Rng.create ~seed in
+    let db =
+      match kind with
+      | "protein" -> Workload.Generate.protein_database rng ~target_symbols:symbols ()
+      | "dna" -> Workload.Generate.dna_database rng ~target_symbols:symbols ()
+      | other -> failwith (Printf.sprintf "unknown kind %S (protein|dna)" other)
+    in
+    let seqs =
+      List.init (Bioseq.Database.num_sequences db) (Bioseq.Database.seq db)
+    in
+    Bioseq.Fasta.write_file out seqs;
+    Printf.printf "wrote %d sequences (%d symbols) to %s\n"
+      (Bioseq.Database.num_sequences db)
+      (Bioseq.Database.total_symbols db)
+      out
+  in
+  let kind =
+    Arg.(value & opt string "protein" & info [ "kind" ] ~docv:"KIND"
+           ~doc:"Database kind: protein (SWISS-PROT-like) or dna.")
+  in
+  let symbols =
+    Arg.(value & opt int 100_000 & info [ "symbols" ] ~docv:"N"
+           ~doc:"Total number of residues/nucleotides.")
+  in
+  let seed =
+    Arg.(value & opt int 2003 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+  in
+  let out =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output FASTA path.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Synthesize a random sequence database as FASTA.")
+    Term.(const run $ kind $ symbols $ seed $ out)
+
+(* --- index --- *)
+
+let index_files dir =
+  ( Filename.concat dir "symbols.dat",
+    Filename.concat dir "internal.dat",
+    Filename.concat dir "leaves.dat" )
+
+let index_cmd =
+  let run fasta alphabet dir clustered external_build =
+    let seqs = Bioseq.Fasta.read_file ~alphabet fasta in
+    let db = Bioseq.Database.make seqs in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let sym_p, int_p, leaf_p = index_files dir in
+    let symbols = Storage.Device.file sym_p
+    and internal = Storage.Device.file int_p
+    and leaves = Storage.Device.file leaf_p in
+    let layout =
+      if clustered then Storage.Disk_tree.Clustered
+      else Storage.Disk_tree.Position_indexed
+    in
+    if external_build then begin
+      Printf.printf
+        "building index externally (one first-symbol partition at a time, \
+         largest holds %d suffixes) over %d sequences (%d symbols)...\n%!"
+        (Storage.External_build.max_partition_occurrences db)
+        (Bioseq.Database.num_sequences db)
+        (Bioseq.Database.total_symbols db);
+      Storage.External_build.write ~layout db ~symbols ~internal ~leaves
+    end
+    else begin
+      Printf.printf "building suffix tree over %d sequences (%d symbols)...\n%!"
+        (Bioseq.Database.num_sequences db)
+        (Bioseq.Database.total_symbols db);
+      let tree = Suffix_tree.Ukkonen.build db in
+      Storage.Disk_tree.write ~layout tree ~symbols ~internal ~leaves
+    end;
+    let total =
+      Storage.Device.length symbols + Storage.Device.length internal
+      + Storage.Device.length leaves
+    in
+    Printf.printf "index written to %s: %d bytes (%.2f bytes/symbol)\n" dir total
+      (float_of_int total /. float_of_int (Bioseq.Database.data_length db));
+    List.iter Storage.Device.close [ symbols; internal; leaves ]
+  in
+  let dir =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"DIR"
+           ~doc:"Output index directory.")
+  in
+  let clustered =
+    Arg.(value & flag & info [ "clustered" ]
+           ~doc:"Use the clustered leaf layout (better buffer-pool locality; \
+                 see the paper's section 4.5).")
+  in
+  let external_build =
+    Arg.(value & flag & info [ "external" ]
+           ~doc:"Hunt-style partitioned construction (section 3.4.1): builds \
+                 one first-symbol partition at a time, bounding peak tree \
+                 memory by the largest partition.")
+  in
+  Cmd.v
+    (Cmd.info "index"
+       ~doc:"Build the paper's three-component on-disk suffix tree for a FASTA \
+             database.")
+    Term.(
+      const run $ fasta_arg ~doc:"Input FASTA database." "db" $ alphabet_arg
+      $ dir $ clustered $ external_build)
+
+(* --- search --- *)
+
+let format_conv =
+  let parse = function
+    | "plain" -> Ok `Plain
+    | "tabular" | "tab" | "m8" -> Ok `Tabular
+    | "pairwise" -> Ok `Pairwise
+    | other -> Error (`Msg (Printf.sprintf "unknown format %S (plain|tabular|pairwise)" other))
+  in
+  let print ppf f =
+    Format.pp_print_string ppf
+      (match f with `Plain -> "plain" | `Tabular -> "tabular" | `Pairwise -> "pairwise")
+  in
+  Arg.conv (parse, print)
+
+let gap_of gap_penalty gap_open =
+  match gap_open with
+  | None -> Scoring.Gap.linear gap_penalty
+  | Some open_cost -> Scoring.Gap.affine ~open_cost ~extend_cost:gap_penalty
+
+let search_cmd =
+  let run fasta alphabet index_dir query_text matrix gap_penalty gap_open
+      min_score evalue top with_alignments evalue_order format buffer_blocks =
+    let seqs = Bioseq.Fasta.read_file ~alphabet fasta in
+    let db = Bioseq.Database.make seqs in
+    let query = Bioseq.Sequence.make ~alphabet ~id:"query" query_text in
+    let gap = gap_of gap_penalty gap_open in
+    let min_score =
+      match (min_score, evalue) with
+      | Some s, None -> s
+      | None, Some e ->
+        let freqs = Scoring.Background.of_database db in
+        let params = Scoring.Karlin.estimate ~matrix ~freqs () in
+        let s =
+          Scoring.Karlin.score_for_evalue params
+            ~m:(Bioseq.Sequence.length query)
+            ~n:(Bioseq.Database.total_symbols db)
+            ~evalue:e
+        in
+        Printf.printf "E=%g -> minScore %d (%s)\n%!" e s
+          (Format.asprintf "%a" Scoring.Karlin.pp_params params);
+        s
+      | None, None -> 1
+      | Some _, Some _ ->
+        failwith "give at most one of --min-score and --evalue"
+    in
+    let config = Oasis.Engine.config ~matrix ~gap ~min_score () in
+    let report i hit evalue =
+      match format with
+      | `Tabular | `Pairwise ->
+        let r =
+          Report.Render.row ~matrix ~gap ~db ~query
+            ~seq_index:hit.Oasis.Hit.seq_index ()
+        in
+        let r =
+          { r with Report.Render.evalue; bit_score = None }
+        in
+        let fmt =
+          match format with
+          | `Tabular -> Report.Render.Tabular
+          | _ -> Report.Render.Pairwise
+        in
+        print_string (Report.Render.to_string fmt [ r ])
+      | `Plain ->
+        let target = Bioseq.Database.seq db hit.Oasis.Hit.seq_index in
+        Printf.printf "%4d. %-24s score %-5d%s (ends: query %d, target %d)\n" i
+          (Bioseq.Sequence.id target) hit.Oasis.Hit.score
+          (match evalue with
+          | None -> ""
+          | Some e -> Printf.sprintf " E=%-10.3g" e)
+          hit.Oasis.Hit.query_stop hit.Oasis.Hit.target_stop;
+        if with_alignments then
+          let a = Align.Smith_waterman.align ~matrix ~gap ~query ~target in
+          Format.printf "@[<v 6>      %a@]@." (Align.Alignment.pp ~query ~target) a
+    in
+    let stream next =
+      let rec go i =
+        if i > top then ()
+        else
+          match next () with
+          | None -> ()
+          | Some (hit, evalue) ->
+            report i hit evalue;
+            go (i + 1)
+      in
+      go 1
+    in
+    (* With --evalue-order, wrap the engine in the length-adjusted
+       E-value stream (§4.3). *)
+    let with_order (type e) (module D : Oasis.Engine.DRIVER with type t = e)
+        (engine : e) =
+      if not evalue_order then fun () ->
+        Option.map (fun h -> (h, None)) (D.next engine)
+      else begin
+        let freqs = Scoring.Background.of_database db in
+        let params = Scoring.Karlin.estimate ~matrix ~freqs () in
+        let module Stream = Oasis.Evalue_stream.Make (D) in
+        let stream =
+          Stream.create ~driver:engine ~db ~params
+            ~query_length:(Bioseq.Sequence.length query)
+        in
+        fun () -> Option.map (fun (h, e) -> (h, Some e)) (Stream.next stream)
+      end
+    in
+    (match index_dir with
+    | None ->
+      (* In-memory index. *)
+      let tree = Suffix_tree.Ukkonen.build db in
+      let engine = Oasis.Engine.Mem.create ~source:tree ~db ~query config in
+      stream (with_order (module Oasis.Engine.Mem) engine)
+    | Some dir ->
+      let sym_p, int_p, leaf_p = index_files dir in
+      let symbols = Storage.Device.open_file sym_p
+      and internal = Storage.Device.open_file int_p
+      and leaves = Storage.Device.open_file leaf_p in
+      let pool = Storage.Buffer_pool.create ~block_size:2048 ~capacity:buffer_blocks in
+      let dt = Storage.Disk_tree.open_ ~alphabet ~pool ~symbols ~internal ~leaves in
+      let engine = Oasis.Engine.Disk.create ~source:dt ~db ~query config in
+      stream (with_order (module Oasis.Engine.Disk) engine);
+      List.iter
+        (fun (name, comp) ->
+          let s = Storage.Disk_tree.component_stats dt comp in
+          Printf.printf "# %s: %d hits / %d misses (ratio %.3f)\n" name
+            s.Storage.Buffer_pool.hits s.Storage.Buffer_pool.misses
+            (Storage.Buffer_pool.hit_ratio s))
+        [
+          ("symbols", Storage.Disk_tree.Symbols);
+          ("internal", Storage.Disk_tree.Internal_nodes);
+          ("leaves", Storage.Disk_tree.Leaves);
+        ];
+      List.iter Storage.Device.close [ symbols; internal; leaves ])
+  in
+  let index_dir =
+    Arg.(value & opt (some dir) None & info [ "index" ] ~docv:"DIR"
+           ~doc:"On-disk index directory built with $(b,oasis index); \
+                 searches in memory when omitted.")
+  in
+  let query =
+    Arg.(required & opt (some string) None & info [ "q"; "query" ] ~docv:"SEQ"
+           ~doc:"Query sequence text.")
+  in
+  let matrix =
+    Arg.(value & opt matrix_conv Scoring.Matrices.pam30 & info [ "matrix" ]
+           ~docv:"NAME" ~doc:"Substitution matrix.")
+  in
+  let gap =
+    Arg.(value & opt int 10 & info [ "gap" ] ~docv:"G"
+           ~doc:"Gap penalty per symbol (the extension cost when \
+                 --gap-open is given).")
+  in
+  let gap_open =
+    Arg.(value & opt (some int) None & info [ "gap-open" ] ~docv:"GO"
+           ~doc:"Affine gap opening cost; switches to the affine (Gotoh) \
+                 model.")
+  in
+  let min_score =
+    Arg.(value & opt (some int) None & info [ "min-score" ] ~docv:"S"
+           ~doc:"Minimum alignment score to report.")
+  in
+  let evalue =
+    Arg.(value & opt (some float) None & info [ "evalue" ] ~docv:"E"
+           ~doc:"E-value cutoff (converted to a score via Karlin-Altschul \
+                 statistics, Equation 3 of the paper).")
+  in
+  let top =
+    Arg.(value & opt int 25 & info [ "top" ] ~docv:"K"
+           ~doc:"Stop after K results (they stream out best-first).")
+  in
+  let with_alignments =
+    Arg.(value & flag & info [ "align" ] ~doc:"Print full alignments.")
+  in
+  let evalue_order =
+    Arg.(value & flag & info [ "evalue-order" ]
+           ~doc:"Order results by length-adjusted E-value instead of raw \
+                 score (stays online).")
+  in
+  let format =
+    Arg.(value & opt format_conv `Plain & info [ "format" ] ~docv:"FMT"
+           ~doc:"Output format: plain, tabular (BLAST outfmt 6) or pairwise.")
+  in
+  let buffer_blocks =
+    Arg.(value & opt int 4096 & info [ "buffer-blocks" ] ~docv:"N"
+           ~doc:"Buffer pool capacity in 2K blocks (disk index only).")
+  in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:"Accurate online local-alignment search (the OASIS algorithm).")
+    Term.(
+      const run $ fasta_arg ~doc:"FASTA database." "db" $ alphabet_arg
+      $ index_dir $ query $ matrix $ gap $ gap_open $ min_score $ evalue $ top
+      $ with_alignments $ evalue_order $ format $ buffer_blocks)
+
+(* --- batch --- *)
+
+let batch_cmd =
+  let run fasta alphabet queries_path matrix gap_penalty min_score domains
+      format =
+    let seqs = Bioseq.Fasta.read_file ~alphabet fasta in
+    let db = Bioseq.Database.make seqs in
+    let queries = Bioseq.Fasta.read_file ~alphabet queries_path in
+    if queries = [] then failwith "no queries in the query FASTA";
+    Printf.printf "# %d queries, %d database sequences, %d domain(s)\n%!"
+      (List.length queries)
+      (Bioseq.Database.num_sequences db)
+      domains;
+    let tree = Suffix_tree.Ukkonen.build db in
+    let gap = Scoring.Gap.linear gap_penalty in
+    let cfg = Oasis.Engine.config ~matrix ~gap ~min_score () in
+    let t0 = Unix.gettimeofday () in
+    let results = Oasis.Batch.run ~domains ~tree ~db ~queries cfg in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    List.iter
+      (fun r ->
+        let query = List.nth queries r.Oasis.Batch.query_index in
+        match format with
+        | `Tabular ->
+          let rows =
+            List.map
+              (fun h ->
+                Report.Render.row ~matrix ~gap ~db ~query
+                  ~seq_index:h.Oasis.Hit.seq_index ())
+              r.Oasis.Batch.hits
+          in
+          print_string (Report.Render.to_string Report.Render.Tabular rows)
+        | _ ->
+          Printf.printf "%s: %d hits\n" (Bioseq.Sequence.id query)
+            (List.length r.Oasis.Batch.hits))
+      results;
+    Printf.printf "# batch completed in %.2fs\n" elapsed
+  in
+  let queries_path =
+    Arg.(required & opt (some file) None & info [ "queries" ] ~docv:"FASTA"
+           ~doc:"FASTA file of query sequences.")
+  in
+  let matrix =
+    Arg.(value & opt matrix_conv Scoring.Matrices.pam30 & info [ "matrix" ]
+           ~docv:"NAME" ~doc:"Substitution matrix.")
+  in
+  let gap =
+    Arg.(value & opt int 10 & info [ "gap" ] ~docv:"G"
+           ~doc:"Fixed (linear) gap penalty per symbol.")
+  in
+  let min_score =
+    Arg.(value & opt int 20 & info [ "min-score" ] ~docv:"S"
+           ~doc:"Minimum alignment score to report.")
+  in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"D"
+           ~doc:"Worker domains (parallel when > 1).")
+  in
+  let format =
+    Arg.(value & opt format_conv `Plain & info [ "format" ] ~docv:"FMT"
+           ~doc:"Output format: plain or tabular.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Search a whole FASTA file of queries, optionally across several \
+             domains.")
+    Term.(
+      const run $ fasta_arg ~doc:"FASTA database." "db" $ alphabet_arg
+      $ queries_path $ matrix $ gap $ min_score $ domains $ format)
+
+(* --- compare --- *)
+
+let compare_cmd =
+  let run fasta alphabet query_text matrix gap_penalty min_score =
+    let seqs = Bioseq.Fasta.read_file ~alphabet fasta in
+    let db = Bioseq.Database.make seqs in
+    let query = Bioseq.Sequence.make ~alphabet ~id:"query" query_text in
+    let gap = Scoring.Gap.linear gap_penalty in
+    let time f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let freqs = Scoring.Background.of_database db in
+    let params = Scoring.Karlin.estimate ~matrix ~freqs () in
+    let tree, t_tree = time (fun () -> Suffix_tree.Ukkonen.build db) in
+    let sa, t_sa = time (fun () -> Suffix_tree.Suffix_array.build db) in
+    Printf.printf "index build: suffix tree %.2fs, suffix array %.2fs\n\n"
+      t_tree t_sa;
+    let cfg = Oasis.Engine.config ~matrix ~gap ~min_score () in
+    let oasis_hits, t_oasis =
+      time (fun () ->
+          Oasis.Engine.Mem.run
+            (Oasis.Engine.Mem.create ~source:tree ~db ~query cfg))
+    in
+    let oasis_set =
+      List.sort compare
+        (List.map (fun h -> (h.Oasis.Hit.seq_index, h.Oasis.Hit.score)) oasis_hits)
+    in
+    let (sw_hits, _), t_sw =
+      time (fun () ->
+          Align.Smith_waterman.search ~matrix ~gap ~query ~db ~min_score)
+    in
+    let sw_set =
+      List.sort compare
+        (List.map (fun h -> Align.Smith_waterman.(h.seq_index, h.score)) sw_hits)
+    in
+    let (blast_hits, _), t_blast =
+      time (fun () ->
+          let bcfg = Blast.Search.default_protein ~matrix ~gap ~params () in
+          Blast.Search.search bcfg ~query ~db)
+    in
+    let (quasar_hits, qstats), t_quasar =
+      time (fun () ->
+          let qcfg =
+            Quasar.Filter.config ~matrix ~gap ~min_score
+              ~query_length:(Bioseq.Sequence.length query) ()
+          in
+          Quasar.Filter.search qcfg ~sa ~query)
+    in
+    Printf.printf "%-16s %10s %8s %s\n" "method" "time(ms)" "hits" "notes";
+    Printf.printf "%-16s %10.1f %8d exact, online\n" "oasis"
+      (1000. *. t_oasis) (List.length oasis_hits);
+    Printf.printf "%-16s %10.1f %8d exact, exhaustive%s\n" "smith-waterman"
+      (1000. *. t_sw) (List.length sw_hits)
+      (if sw_set = oasis_set then " (= oasis)" else " (DISAGREES with oasis!)");
+    Printf.printf "%-16s %10.1f %8d heuristic (may miss)\n" "blast"
+      (1000. *. t_blast) (List.length blast_hits);
+    Printf.printf "%-16s %10.1f %8d heuristic filter (verified %.1f%% of db)\n"
+      "quasar" (1000. *. t_quasar) (List.length quasar_hits)
+      (100.
+      *. float_of_int qstats.Quasar.Filter.verified_symbols
+      /. float_of_int (Bioseq.Database.total_symbols db))
+  in
+  let query =
+    Arg.(required & opt (some string) None & info [ "q"; "query" ] ~docv:"SEQ"
+           ~doc:"Query sequence text.")
+  in
+  let matrix =
+    Arg.(value & opt matrix_conv Scoring.Matrices.pam30 & info [ "matrix" ]
+           ~docv:"NAME" ~doc:"Substitution matrix.")
+  in
+  let gap =
+    Arg.(value & opt int 10 & info [ "gap" ] ~docv:"G"
+           ~doc:"Fixed (linear) gap penalty per symbol.")
+  in
+  let min_score =
+    Arg.(value & opt int 20 & info [ "min-score" ] ~docv:"S"
+           ~doc:"Minimum alignment score to report.")
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Run OASIS, Smith-Waterman, BLAST and the QUASAR filter on one \
+             query and compare answers and cost.")
+    Term.(
+      const run $ fasta_arg ~doc:"FASTA database." "db" $ alphabet_arg $ query
+      $ matrix $ gap $ min_score)
+
+(* --- verify-index --- *)
+
+let verify_index_cmd =
+  let run fasta alphabet dir =
+    let seqs = Bioseq.Fasta.read_file ~alphabet fasta in
+    let db = Bioseq.Database.make seqs in
+    let sym_p, int_p, leaf_p = index_files dir in
+    let symbols = Storage.Device.open_file sym_p
+    and internal = Storage.Device.open_file int_p
+    and leaves = Storage.Device.open_file leaf_p in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter Storage.Device.close [ symbols; internal; leaves ])
+      (fun () ->
+        (* The symbols component must be exactly the database
+           concatenation. *)
+        let expected = Bioseq.Database.data db in
+        let buf = Bytes.create (Bytes.length expected) in
+        Storage.Device.pread symbols ~off:0 ~buf;
+        if Storage.Device.length symbols <> Bytes.length expected then begin
+          Printf.eprintf
+            "FAIL: symbols component is %d bytes, database has %d\n"
+            (Storage.Device.length symbols)
+            (Bytes.length expected);
+          exit 1
+        end;
+        if not (Bytes.equal buf expected) then begin
+          Printf.eprintf "FAIL: symbols component differs from the FASTA\n";
+          exit 1
+        end;
+        let pool = Storage.Buffer_pool.create ~block_size:2048 ~capacity:4096 in
+        let dt =
+          Storage.Disk_tree.open_ ~alphabet ~pool ~symbols ~internal ~leaves
+        in
+        match Storage.Disk_tree.validate dt with
+        | Ok () ->
+          let r = Storage.Disk_tree.size_report dt in
+          Printf.printf
+            "OK: %s layout, %d internal entries, %d suffix positions, %.2f \
+             bytes/symbol\n"
+            (match Storage.Disk_tree.layout dt with
+            | Storage.Disk_tree.Position_indexed -> "position-indexed"
+            | Storage.Disk_tree.Clustered -> "clustered")
+            (Storage.Disk_tree.internal_count dt)
+            (Bioseq.Database.data_length db)
+            r.Storage.Disk_tree.bytes_per_symbol
+        | Error msg ->
+          Printf.eprintf "FAIL: %s\n" msg;
+          exit 1)
+  in
+  let dir =
+    Arg.(required & opt (some dir) None & info [ "index" ] ~docv:"DIR"
+           ~doc:"Index directory to verify.")
+  in
+  Cmd.v
+    (Cmd.info "verify-index"
+       ~doc:"Check an on-disk index's structural integrity against its FASTA \
+             database.")
+    Term.(const run $ fasta_arg ~doc:"FASTA database." "db" $ alphabet_arg $ dir)
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let run fasta alphabet =
+    let seqs = Bioseq.Fasta.read_file ~alphabet fasta in
+    let db = Bioseq.Database.make seqs in
+    Printf.printf "sequences:       %d\n" (Bioseq.Database.num_sequences db);
+    Printf.printf "symbols:         %d\n" (Bioseq.Database.total_symbols db);
+    let lens =
+      List.init (Bioseq.Database.num_sequences db) (fun i ->
+          Bioseq.Sequence.length (Bioseq.Database.seq db i))
+    in
+    let sorted = List.sort compare lens in
+    let n = List.length sorted in
+    Printf.printf "lengths:         min %d / median %d / max %d\n"
+      (List.nth sorted 0)
+      (List.nth sorted (n / 2))
+      (List.nth sorted (n - 1));
+    let tree = Suffix_tree.Ukkonen.build db in
+    let s = Suffix_tree.Tree.stats tree in
+    Printf.printf "suffix tree:     %d internal nodes, %d leaves, depth %d\n"
+      s.Suffix_tree.Tree.internal_nodes s.Suffix_tree.Tree.leaves
+      s.Suffix_tree.Tree.max_depth;
+    let dt, _ = Storage.Disk_tree.of_tree tree in
+    let r = Storage.Disk_tree.size_report dt in
+    Printf.printf "disk image:      %.2f bytes/symbol\n"
+      r.Storage.Disk_tree.bytes_per_symbol;
+    let freqs = Scoring.Background.of_database db in
+    List.iter
+      (fun matrix ->
+        if
+          Bioseq.Alphabet.name (Scoring.Submat.alphabet matrix)
+          = Bioseq.Alphabet.name alphabet
+        then
+          match Scoring.Karlin.estimate ~matrix ~freqs () with
+          | params ->
+            Format.printf "karlin (%s): %a@." (Scoring.Submat.name matrix)
+              Scoring.Karlin.pp_params params
+          | exception Scoring.Karlin.Unsupported_matrix _ -> ())
+      Scoring.Matrices.all
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Database, index and statistical parameters summary.")
+    Term.(const run $ fasta_arg ~doc:"FASTA database." "db" $ alphabet_arg)
+
+let () =
+  let doc = "accurate online local-alignment search (OASIS, VLDB 2003)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "oasis" ~version:"1.0.0" ~doc)
+          [
+            generate_cmd;
+            index_cmd;
+            search_cmd;
+            batch_cmd;
+            compare_cmd;
+            verify_index_cmd;
+            stats_cmd;
+          ]))

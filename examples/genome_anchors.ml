@@ -1,0 +1,78 @@
+(* Whole-genome comparison anchors and repeat analysis — the two other
+   suffix-tree applications the paper's related-work section points at
+   (§5: genome alignment à la MUMmer, repeat exploration à la REPuter),
+   running on the very same tree substrate OASIS searches.
+
+     dune exec examples/genome_anchors.exe
+*)
+
+let alphabet = Bioseq.Alphabet.dna
+
+let () =
+  let rng = Workload.Rng.create ~seed:13 in
+  (* An "ancestral" genome and a diverged copy: a few rearranged blocks
+     with point mutations, the classic MUM-anchor setting. *)
+  let block len = Bioseq.Sequence.to_string (Workload.Generate.dna_sequence rng ~id:"b" ~len) in
+  let b1 = block 60 and b2 = block 50 and b3 = block 40 and spacer = block 12 in
+  let genome_a =
+    Bioseq.Sequence.make ~alphabet ~id:"genomeA" (b1 ^ spacer ^ b2 ^ b3)
+  in
+  let mutate s =
+    Bioseq.Sequence.to_string
+      (Workload.Motif.mutate rng ~rate:0.03
+         (Bioseq.Sequence.make ~alphabet ~id:"tmp" s))
+  in
+  (* The copy swaps blocks 2 and 3 and mutates lightly. *)
+  let genome_b =
+    Bioseq.Sequence.make ~alphabet ~id:"genomeB"
+      (mutate b1 ^ block 10 ^ mutate b3 ^ mutate b2)
+  in
+  Format.printf "genome A: %d nt, genome B: %d nt@.@."
+    (Bioseq.Sequence.length genome_a)
+    (Bioseq.Sequence.length genome_b);
+
+  (* 1. MUM anchors: unique maximal matches, the seeds genome aligners
+     chain into a global alignment. *)
+  let mums = Suffix_tree.Mums.find ~min_length:8 genome_a genome_b in
+  Format.printf "MUM anchors (min length 8):@.";
+  List.iter
+    (fun m ->
+      Format.printf "  A[%4d..%4d) = B[%4d..%4d)  %dnt  %s@."
+        m.Suffix_tree.Mums.pos_a
+        (m.Suffix_tree.Mums.pos_a + m.Suffix_tree.Mums.length)
+        m.Suffix_tree.Mums.pos_b
+        (m.Suffix_tree.Mums.pos_b + m.Suffix_tree.Mums.length)
+        m.Suffix_tree.Mums.length
+        (if String.length m.Suffix_tree.Mums.text > 24 then
+           String.sub m.Suffix_tree.Mums.text 0 21 ^ "..."
+         else m.Suffix_tree.Mums.text))
+    mums;
+  (* The block swap shows up as anchors out of order in B. *)
+  let b_positions = List.map (fun m -> m.Suffix_tree.Mums.pos_b) mums in
+  Format.printf "  anchor order in B: %s -> %s@.@."
+    (String.concat "," (List.map string_of_int b_positions))
+    (if List.sort compare b_positions = b_positions then
+       "collinear (no rearrangement)"
+     else "NOT collinear: rearrangement detected");
+
+  (* 2. Repeats inside one genome (REPuter-style). *)
+  let tandem = block 15 in
+  let repeat_genome =
+    Bioseq.Sequence.make ~alphabet ~id:"rep"
+      (block 30 ^ tandem ^ block 20 ^ tandem ^ block 25 ^ tandem)
+  in
+  let tree = Suffix_tree.Ukkonen.build (Bioseq.Database.make [ repeat_genome ]) in
+  let repeats = Suffix_tree.Repeats.maximal ~min_length:12 tree in
+  Format.printf "maximal repeats (>= 12 nt) in a %d nt genome:@."
+    (Bioseq.Sequence.length repeat_genome);
+  List.iteri
+    (fun i r ->
+      if i < 5 then
+        Format.printf "  %2dnt x%d at %s: %s@." r.Suffix_tree.Repeats.length
+          (List.length r.Suffix_tree.Repeats.positions)
+          (String.concat ","
+             (List.map string_of_int r.Suffix_tree.Repeats.positions))
+          (if String.length r.Suffix_tree.Repeats.text > 20 then
+             String.sub r.Suffix_tree.Repeats.text 0 17 ^ "..."
+           else r.Suffix_tree.Repeats.text))
+    repeats

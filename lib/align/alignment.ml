@@ -1,0 +1,129 @@
+type op = Replace | Insert | Delete
+
+type t = {
+  score : int;
+  query_start : int;
+  query_stop : int;
+  target_start : int;
+  target_stop : int;
+  ops : op list;
+}
+
+let empty =
+  {
+    score = 0;
+    query_start = 0;
+    query_stop = 0;
+    target_start = 0;
+    target_stop = 0;
+    ops = [];
+  }
+
+let query_span a = a.query_stop - a.query_start
+let target_span a = a.target_stop - a.target_start
+
+(* Walk the operations, threading (query position, target position,
+   previous op) through [f]. *)
+let fold_ops a ~init ~f =
+  let acc, qpos, tpos, _ =
+    List.fold_left
+      (fun (acc, q, t, prev) op ->
+        let acc = f acc ~q ~t ~prev op in
+        match op with
+        | Replace -> (acc, q + 1, t + 1, Some op)
+        | Insert -> (acc, q + 1, t, Some op)
+        | Delete -> (acc, q, t + 1, Some op))
+      (init, a.query_start, a.target_start, None)
+      a.ops
+  in
+  (acc, qpos, tpos)
+
+let rescore ~matrix ~gap ~query ~target a =
+  let score, qstop, tstop =
+    fold_ops a ~init:0 ~f:(fun acc ~q ~t ~prev op ->
+        match op with
+        | Replace ->
+          acc
+          + Scoring.Submat.score matrix (Bioseq.Sequence.get query q)
+              (Bioseq.Sequence.get target t)
+        | Insert | Delete ->
+          let opening = prev <> Some op in
+          acc
+          + (if opening then Scoring.Gap.open_score gap
+             else Scoring.Gap.extend_score gap))
+  in
+  if qstop <> a.query_stop || tstop <> a.target_stop then
+    invalid_arg
+      (Printf.sprintf
+         "Alignment.rescore: ops consume [%d,%d)x[%d,%d), record says \
+          [%d,%d)x[%d,%d)"
+         a.query_start qstop a.target_start tstop a.query_start a.query_stop
+         a.target_start a.target_stop);
+  score
+
+let identity ~query ~target a =
+  let total = List.length a.ops in
+  if total = 0 then 0.
+  else begin
+    let matches, _, _ =
+      fold_ops a ~init:0 ~f:(fun acc ~q ~t ~prev:_ op ->
+          match op with
+          | Replace ->
+            if Bioseq.Sequence.get query q = Bioseq.Sequence.get target t then
+              acc + 1
+            else acc
+          | Insert | Delete -> acc)
+    in
+    float_of_int matches /. float_of_int total
+  end
+
+let op_char = function Replace -> 'R' | Insert -> 'I' | Delete -> 'D'
+
+let cigar a =
+  let buf = Buffer.create 16 in
+  let flush count op =
+    if count > 0 then begin
+      Buffer.add_string buf (string_of_int count);
+      Buffer.add_char buf (op_char op)
+    end
+  in
+  let count, last =
+    List.fold_left
+      (fun (count, last) op ->
+        match last with
+        | Some prev when prev = op -> (count + 1, last)
+        | Some prev ->
+          flush count prev;
+          (1, Some op)
+        | None -> (1, Some op))
+      (0, None) a.ops
+  in
+  (match last with Some op -> flush count op | None -> ());
+  Buffer.contents buf
+
+let pp ~query ~target ppf a =
+  let qrow = Buffer.create 64
+  and mid = Buffer.create 64
+  and trow = Buffer.create 64 in
+  let (), _, _ =
+    fold_ops a ~init:() ~f:(fun () ~q ~t ~prev:_ op ->
+        match op with
+        | Replace ->
+          let qc = Bioseq.Sequence.char_at query q
+          and tc = Bioseq.Sequence.char_at target t in
+          Buffer.add_char qrow qc;
+          Buffer.add_char mid (if qc = tc then '|' else '.');
+          Buffer.add_char trow tc
+        | Insert ->
+          Buffer.add_char qrow (Bioseq.Sequence.char_at query q);
+          Buffer.add_char mid ' ';
+          Buffer.add_char trow '-'
+        | Delete ->
+          Buffer.add_char qrow '-';
+          Buffer.add_char mid ' ';
+          Buffer.add_char trow (Bioseq.Sequence.char_at target t))
+  in
+  Format.fprintf ppf "score %d  query [%d,%d)  target [%d,%d)@," a.score
+    a.query_start a.query_stop a.target_start a.target_stop;
+  Format.fprintf ppf "Q: %s@,   %s@,T: %s" (Buffer.contents qrow)
+    (Buffer.contents mid) (Buffer.contents trow)

@@ -1,0 +1,53 @@
+(** Local/global alignment results.
+
+    Following the paper's terminology (§2.1): a {e replacement} aligns a
+    query symbol with a target symbol; an {e insertion} skips a query
+    symbol (query symbol against gap); a {e deletion} skips a target
+    symbol (gap against target symbol). *)
+
+type op =
+  | Replace  (** query symbol vs target symbol (match or mismatch) *)
+  | Insert  (** query symbol vs gap *)
+  | Delete  (** gap vs target symbol *)
+
+type t = {
+  score : int;
+  query_start : int;  (** offset of the first aligned query symbol *)
+  query_stop : int;  (** one past the last aligned query symbol *)
+  target_start : int;
+  target_stop : int;
+  ops : op list;  (** leftmost operation first *)
+}
+
+val empty : t
+(** The empty alignment (score 0, no operations). *)
+
+val query_span : t -> int
+val target_span : t -> int
+
+val rescore :
+  matrix:Scoring.Submat.t ->
+  gap:Scoring.Gap.t ->
+  query:Bioseq.Sequence.t ->
+  target:Bioseq.Sequence.t ->
+  t ->
+  int
+(** Recompute the score implied by [ops] against the sequences; raises
+    [Invalid_argument] if the operations do not consume exactly the
+    spans recorded in [t]. Used to validate DP tracebacks. *)
+
+val identity : query:Bioseq.Sequence.t -> target:Bioseq.Sequence.t -> t -> float
+(** Fraction of [Replace] ops that are exact matches, over all ops. *)
+
+val cigar : t -> string
+(** Compact CIGAR-like string, e.g. ["5R1I3R"] ([R]eplace, [I]nsert,
+    [D]elete). *)
+
+val pp :
+  query:Bioseq.Sequence.t ->
+  target:Bioseq.Sequence.t ->
+  Format.formatter ->
+  t ->
+  unit
+(** Three-row rendering: query row, midline ([|] match, [.] mismatch,
+    space on gaps), target row. *)

@@ -1,0 +1,43 @@
+let neg_inf = Scoring.Submat.neg_inf
+
+let score_only ~matrix ~gap ~band ~diagonal ~query ~target =
+  if band < 0 then invalid_arg "Banded.score_only: band < 0";
+  let m = Bioseq.Sequence.length query
+  and n = Bioseq.Sequence.length target in
+  let flat = Scoring.Submat.scores_flat matrix in
+  let dim = Scoring.Submat.dim matrix in
+  let go = Scoring.Gap.open_score gap and ge = Scoring.Gap.extend_score gap in
+  let h = Array.make (m + 1) 0 in
+  let f = Array.make (m + 1) neg_inf in
+  let best = ref 0 in
+  for j = 1 to n do
+    let c = Bioseq.Sequence.get target (j - 1) in
+    (* Rows within the band for this column. *)
+    let i_lo = max 1 (j - diagonal - band) in
+    let i_hi = min m (j - diagonal + band) in
+    if i_lo <= i_hi then begin
+      let diag = ref h.(i_lo - 1) in
+      let egap = ref neg_inf in
+      for i = i_lo to i_hi do
+        let qi = Bioseq.Sequence.get query (i - 1) in
+        f.(i) <- max (h.(i) + go) (f.(i) + ge);
+        egap := max (h.(i - 1) + go) (!egap + ge);
+        let repl = !diag + Array.unsafe_get flat ((qi * dim) + c) in
+        diag := h.(i);
+        let cell = max 0 (max repl (max !egap f.(i))) in
+        h.(i) <- cell;
+        if cell > !best then best := cell
+      done;
+      (* Reset the cells at the band edges so values cannot leak back in
+         when the band slides. *)
+      if i_lo - 1 >= 1 then h.(i_lo - 1) <- 0;
+      if i_hi + 1 <= m then begin
+        h.(i_hi + 1) <- 0;
+        f.(i_hi + 1) <- neg_inf
+      end
+    end
+  done;
+  !best
+
+let covering_band ~query ~target =
+  Bioseq.Sequence.length query + Bioseq.Sequence.length target

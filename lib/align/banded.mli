@@ -1,0 +1,25 @@
+(** Banded local alignment: Smith-Waterman restricted to a diagonal
+    band, the O(band * n) workhorse of seeded aligners (BLAST's gapped
+    extension stage uses it through {!Blast}).
+
+    Cells outside the band behave as local restarts (value 0), so the
+    result is always a valid local-alignment score and never exceeds the
+    unrestricted Smith-Waterman optimum; with a band covering the whole
+    matrix the two are equal (property-tested). *)
+
+val score_only :
+  matrix:Scoring.Submat.t ->
+  gap:Scoring.Gap.t ->
+  band:int ->
+  diagonal:int ->
+  query:Bioseq.Sequence.t ->
+  target:Bioseq.Sequence.t ->
+  int
+(** Best local score over paths whose cells [(i, j)] (1-based query row,
+    target column) satisfy [|j - i - diagonal| <= band]. [diagonal = 0]
+    is the main diagonal; [band >= 0]. *)
+
+val covering_band : query:Bioseq.Sequence.t -> target:Bioseq.Sequence.t -> int
+(** A band half-width that makes {!score_only} equal the full
+    Smith-Waterman for any [diagonal] in
+    [ [-|query|, |target|] ): [m + n]. *)

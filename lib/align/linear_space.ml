@@ -1,0 +1,152 @@
+let neg_inf = Scoring.Submat.neg_inf
+
+(* All helpers work on plain code arrays. *)
+
+let codes_of s =
+  Array.init (Bioseq.Sequence.length s) (Bioseq.Sequence.get s)
+
+let rev_array a =
+  let n = Array.length a in
+  Array.init n (fun i -> a.(n - 1 - i))
+
+(* Local (reset) scan returning (best score, query_end, target_end),
+   ends exclusive, ties toward the smallest target end then the
+   smallest query end (matching Smith_waterman.align). *)
+let local_best ~score ~g q t =
+  let m = Array.length q and n = Array.length t in
+  let h = Array.make (m + 1) 0 in
+  let best = ref 0 and bq = ref 0 and bt = ref 0 in
+  for j = 1 to n do
+    let diag = ref h.(0) in
+    for i = 1 to m do
+      let repl = !diag + score q.(i - 1) t.(j - 1) in
+      diag := h.(i);
+      let cell = max 0 (max repl (max (h.(i) - g) (h.(i - 1) - g))) in
+      h.(i) <- cell;
+      if cell > !best then begin
+        best := cell;
+        bq := i;
+        bt := j
+      end
+    done
+  done;
+  (!best, !bq, !bt)
+
+(* Global (Needleman-Wunsch) score row: nw_row q t .(j) = best global
+   score of q against t's prefix of length j. *)
+let nw_row ~score ~g q t =
+  let m = Array.length q and n = Array.length t in
+  let row = Array.make (n + 1) 0 in
+  for j = 0 to n do
+    row.(j) <- -g * j
+  done;
+  for i = 1 to m do
+    let diag = ref row.(0) in
+    row.(0) <- -g * i;
+    for j = 1 to n do
+      let repl = !diag + score q.(i - 1) t.(j - 1) in
+      diag := row.(j);
+      row.(j) <- max repl (max (row.(j) - g) (row.(j - 1) - g))
+    done
+  done;
+  row
+
+(* Small-case global alignment by full matrix (used at recursion
+   leaves). *)
+let nw_small ~score ~g q t =
+  let m = Array.length q and n = Array.length t in
+  let h = Array.make_matrix (m + 1) (n + 1) 0 in
+  for i = 1 to m do
+    h.(i).(0) <- -g * i
+  done;
+  for j = 1 to n do
+    h.(0).(j) <- -g * j
+  done;
+  for i = 1 to m do
+    for j = 1 to n do
+      h.(i).(j) <-
+        max
+          (h.(i - 1).(j - 1) + score q.(i - 1) t.(j - 1))
+          (max (h.(i - 1).(j) - g) (h.(i).(j - 1) - g))
+    done
+  done;
+  let rec back i j acc =
+    if i = 0 && j = 0 then acc
+    else if i > 0 && j > 0 && h.(i).(j) = h.(i - 1).(j - 1) + score q.(i - 1) t.(j - 1)
+    then back (i - 1) (j - 1) (Alignment.Replace :: acc)
+    else if i > 0 && h.(i).(j) = h.(i - 1).(j) - g then
+      back (i - 1) j (Alignment.Insert :: acc)
+    else back i (j - 1) (Alignment.Delete :: acc)
+  in
+  back m n []
+
+(* Hirschberg: global alignment operations of q vs t in O(n) space. *)
+let rec hirschberg ~score ~g q t =
+  let m = Array.length q and n = Array.length t in
+  if m = 0 then List.init n (fun _ -> Alignment.Delete)
+  else if n = 0 then List.init m (fun _ -> Alignment.Insert)
+  else if m <= 2 || n <= 2 then nw_small ~score ~g q t
+  else begin
+    let mid = m / 2 in
+    let upper = Array.sub q 0 mid and lower = Array.sub q mid (m - mid) in
+    let forward = nw_row ~score ~g upper t in
+    let backward = nw_row ~score ~g (rev_array lower) (rev_array t) in
+    let split = ref 0 and best = ref neg_inf in
+    for j = 0 to n do
+      let v = forward.(j) + backward.(n - j) in
+      if v > !best then begin
+        best := v;
+        split := j
+      end
+    done;
+    hirschberg ~score ~g upper (Array.sub t 0 !split)
+    @ hirschberg ~score ~g lower (Array.sub t !split (n - !split))
+  end
+
+let align ~matrix ~gap ~query ~target =
+  if not (Scoring.Gap.is_linear gap) then
+    invalid_arg "Linear_space.align: fixed (linear) gap model only";
+  let g = -Scoring.Gap.extend_score gap in
+  let score a b = Scoring.Submat.score matrix a b in
+  let q = codes_of query and t = codes_of target in
+  let best, qe, te = local_best ~score ~g q t in
+  if best = 0 then Alignment.empty
+  else begin
+    (* Reverse scan over the prefixes ending at (qe, te): the best local
+       alignment of the reversed prefixes that reaches [best] ends at
+       the (reversed) start point. *)
+    let qr = rev_array (Array.sub q 0 qe) and tr = rev_array (Array.sub t 0 te) in
+    let m = Array.length qr and n = Array.length tr in
+    let h = Array.make (m + 1) 0 in
+    let qs = ref 0 and ts = ref 0 in
+    (try
+       for j = 1 to n do
+         let diag = ref h.(0) in
+         for i = 1 to m do
+           let repl = !diag + score qr.(i - 1) tr.(j - 1) in
+           diag := h.(i);
+           let cell = max 0 (max repl (max (h.(i) - g) (h.(i - 1) - g))) in
+           h.(i) <- cell;
+           if cell = best then begin
+             qs := qe - i;
+             ts := te - j;
+             raise Exit
+           end
+         done
+       done;
+       assert false
+     with Exit -> ());
+    let ops =
+      hirschberg ~score ~g
+        (Array.sub q !qs (qe - !qs))
+        (Array.sub t !ts (te - !ts))
+    in
+    {
+      Alignment.score = best;
+      query_start = !qs;
+      query_stop = qe;
+      target_start = !ts;
+      target_stop = te;
+      ops;
+    }
+  end

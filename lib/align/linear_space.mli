@@ -1,0 +1,23 @@
+(** Local alignment with traceback in linear space (Hirschberg 1975).
+
+    {!Smith_waterman.align} materializes the full O(m*n) matrices; for
+    long pairs that is prohibitive. This module recovers an optimal
+    local alignment in O(min-side) memory: a forward scan finds the best
+    end point, a reverse scan finds a matching start point, and a
+    Hirschberg divide-and-conquer reconstructs the global alignment of
+    the bounded segment (whose optimum necessarily equals the local
+    score).
+
+    Fixed (linear) gap model only — the recursive score-splitting
+    argument needs per-symbol additive gap costs. The resulting
+    alignment's score always equals {!Smith_waterman.align}'s; the
+    operation list may differ when several optimal alignments exist
+    (both rescore to the optimum, property-tested). *)
+
+val align :
+  matrix:Scoring.Submat.t ->
+  gap:Scoring.Gap.t ->
+  query:Bioseq.Sequence.t ->
+  target:Bioseq.Sequence.t ->
+  Alignment.t
+(** Raises [Invalid_argument] on an affine gap model. *)

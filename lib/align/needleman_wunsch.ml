@@ -1,0 +1,81 @@
+let neg_inf = Scoring.Submat.neg_inf
+
+let gotoh ~matrix ~gap ~query ~target =
+  let m = Bioseq.Sequence.length query
+  and n = Bioseq.Sequence.length target in
+  let go = Scoring.Gap.open_score gap
+  and ge = Scoring.Gap.extend_score gap in
+  let score a b = Scoring.Submat.score matrix a b in
+  let qget i = Bioseq.Sequence.get query (i - 1)
+  and tget j = Bioseq.Sequence.get target (j - 1) in
+  let h = Array.make_matrix (m + 1) (n + 1) neg_inf in
+  let e = Array.make_matrix (m + 1) (n + 1) neg_inf in
+  let f = Array.make_matrix (m + 1) (n + 1) neg_inf in
+  h.(0).(0) <- 0;
+  for i = 1 to m do
+    e.(i).(0) <- go + ((i - 1) * ge);
+    h.(i).(0) <- e.(i).(0)
+  done;
+  for j = 1 to n do
+    f.(0).(j) <- go + ((j - 1) * ge);
+    h.(0).(j) <- f.(0).(j)
+  done;
+  for i = 1 to m do
+    for j = 1 to n do
+      e.(i).(j) <- max (h.(i - 1).(j) + go) (e.(i - 1).(j) + ge);
+      f.(i).(j) <- max (h.(i).(j - 1) + go) (f.(i).(j - 1) + ge);
+      let repl = h.(i - 1).(j - 1) + score (qget i) (tget j) in
+      h.(i).(j) <- max repl (max e.(i).(j) f.(i).(j))
+    done
+  done;
+  (h, e, f)
+
+let score_only ~matrix ~gap ~query ~target =
+  let h, _, _ = gotoh ~matrix ~gap ~query ~target in
+  h.(Bioseq.Sequence.length query).(Bioseq.Sequence.length target)
+
+let align ~matrix ~gap ~query ~target =
+  let m = Bioseq.Sequence.length query
+  and n = Bioseq.Sequence.length target in
+  let h, e, f = gotoh ~matrix ~gap ~query ~target in
+  let go = Scoring.Gap.open_score gap
+  and ge = Scoring.Gap.extend_score gap in
+  let score a b = Scoring.Submat.score matrix a b in
+  let qget i = Bioseq.Sequence.get query (i - 1)
+  and tget j = Bioseq.Sequence.get target (j - 1) in
+  let rec back state i j ops =
+    if i = 0 && j = 0 then ops
+    else
+      match state with
+      | `H ->
+        if i > 0 && j > 0 && h.(i).(j) = h.(i - 1).(j - 1) + score (qget i) (tget j)
+        then back `H (i - 1) (j - 1) (Alignment.Replace :: ops)
+        else if i > 0 && h.(i).(j) = e.(i).(j) then back `E i j ops
+        else begin
+          assert (j > 0 && h.(i).(j) = f.(i).(j));
+          back `F i j ops
+        end
+      | `E ->
+        if h.(i - 1).(j) + go = e.(i).(j) then
+          back `H (i - 1) j (Alignment.Insert :: ops)
+        else begin
+          assert (i > 1 && e.(i - 1).(j) + ge = e.(i).(j));
+          back `E (i - 1) j (Alignment.Insert :: ops)
+        end
+      | `F ->
+        if h.(i).(j - 1) + go = f.(i).(j) then
+          back `H i (j - 1) (Alignment.Delete :: ops)
+        else begin
+          assert (j > 1 && f.(i).(j - 1) + ge = f.(i).(j));
+          back `F i (j - 1) (Alignment.Delete :: ops)
+        end
+  in
+  let ops = back `H m n [] in
+  {
+    Alignment.score = h.(m).(n);
+    query_start = 0;
+    query_stop = m;
+    target_start = 0;
+    target_stop = n;
+    ops;
+  }

@@ -1,0 +1,21 @@
+(** Needleman-Wunsch global alignment.
+
+    Not used by the OASIS search itself, but part of the alignment
+    substrate: the examples use it to compare the full extent of two
+    sequences, and the test suite uses it as an independent oracle for
+    score bookkeeping. Linear and affine gaps are both supported. *)
+
+val align :
+  matrix:Scoring.Submat.t ->
+  gap:Scoring.Gap.t ->
+  query:Bioseq.Sequence.t ->
+  target:Bioseq.Sequence.t ->
+  Alignment.t
+(** Best end-to-end alignment (spans are always the full sequences). *)
+
+val score_only :
+  matrix:Scoring.Submat.t ->
+  gap:Scoring.Gap.t ->
+  query:Bioseq.Sequence.t ->
+  target:Bioseq.Sequence.t ->
+  int

@@ -1,0 +1,246 @@
+type stats = { columns : int; cells : int }
+
+type hit = {
+  seq_index : int;
+  score : int;
+  query_stop : int;
+  target_stop : int;
+}
+
+let neg_inf = Scoring.Submat.neg_inf
+
+(* Gotoh matrices: h = best ending anywhere, e = best ending with an
+   Insert run (query symbol vs gap), f = best ending with a Delete run
+   (gap vs target symbol). *)
+let gotoh ~matrix ~gap ~query ~target =
+  let m = Bioseq.Sequence.length query
+  and n = Bioseq.Sequence.length target in
+  let q = Bioseq.Sequence.codes query
+  and t = Bioseq.Sequence.codes target in
+  let flat = Scoring.Submat.scores_flat matrix in
+  let dim = Scoring.Submat.dim matrix in
+  let go = Scoring.Gap.open_score gap
+  and ge = Scoring.Gap.extend_score gap in
+  let h = Array.make_matrix (m + 1) (n + 1) 0 in
+  let e = Array.make_matrix (m + 1) (n + 1) neg_inf in
+  let f = Array.make_matrix (m + 1) (n + 1) neg_inf in
+  for i = 1 to m do
+    let qi = Char.code (Bytes.unsafe_get q (i - 1)) in
+    let row = qi * dim in
+    for j = 1 to n do
+      let tj = Char.code (Bytes.unsafe_get t (j - 1)) in
+      e.(i).(j) <- max (h.(i - 1).(j) + go) (e.(i - 1).(j) + ge);
+      f.(i).(j) <- max (h.(i).(j - 1) + go) (f.(i).(j - 1) + ge);
+      let repl = h.(i - 1).(j - 1) + Array.unsafe_get flat (row + tj) in
+      h.(i).(j) <- max 0 (max repl (max e.(i).(j) f.(i).(j)))
+    done
+  done;
+  (h, e, f)
+
+let dp_matrix ~matrix ~gap ~query ~target =
+  let h, _, _ = gotoh ~matrix ~gap ~query ~target in
+  h
+
+let find_max h m n =
+  let best = ref 0 and bi = ref 0 and bj = ref 0 in
+  (* Scan targets first so ties break toward the smallest target end. *)
+  for j = 1 to n do
+    for i = 1 to m do
+      if h.(i).(j) > !best then begin
+        best := h.(i).(j);
+        bi := i;
+        bj := j
+      end
+    done
+  done;
+  (!best, !bi, !bj)
+
+let align ~matrix ~gap ~query ~target =
+  let m = Bioseq.Sequence.length query
+  and n = Bioseq.Sequence.length target in
+  let h, e, f = gotoh ~matrix ~gap ~query ~target in
+  let best, bi, bj = find_max h m n in
+  if best = 0 then Alignment.empty
+  else begin
+    let go = Scoring.Gap.open_score gap
+    and ge = Scoring.Gap.extend_score gap in
+    let score a b = Scoring.Submat.score matrix a b in
+    let qget i = Bioseq.Sequence.get query (i - 1)
+    and tget j = Bioseq.Sequence.get target (j - 1) in
+    (* Traceback as a three-state machine over (H, E, F). *)
+    let rec back state i j ops =
+      match state with
+      | `H ->
+        if h.(i).(j) = 0 then (i, j, ops)
+        else if h.(i).(j) = h.(i - 1).(j - 1) + score (qget i) (tget j) then
+          back `H (i - 1) (j - 1) (Alignment.Replace :: ops)
+        else if h.(i).(j) = e.(i).(j) then back `E i j ops
+        else begin
+          assert (h.(i).(j) = f.(i).(j));
+          back `F i j ops
+        end
+      | `E ->
+        (* Insert consumes a query symbol. *)
+        if e.(i).(j) = h.(i - 1).(j) + go then
+          back `H (i - 1) j (Alignment.Insert :: ops)
+        else begin
+          assert (e.(i).(j) = e.(i - 1).(j) + ge);
+          back `E (i - 1) j (Alignment.Insert :: ops)
+        end
+      | `F ->
+        (* Delete consumes a target symbol. *)
+        if f.(i).(j) = h.(i).(j - 1) + go then
+          back `H i (j - 1) (Alignment.Delete :: ops)
+        else begin
+          assert (f.(i).(j) = f.(i).(j - 1) + ge);
+          back `F i (j - 1) (Alignment.Delete :: ops)
+        end
+    in
+    let qstart, tstart, ops = back `H bi bj [] in
+    {
+      Alignment.score = best;
+      query_start = qstart;
+      query_stop = bi;
+      target_start = tstart;
+      target_stop = bj;
+      ops;
+    }
+  end
+
+(* Column-vector Gotoh over an encoded target fragment; calls [report]
+   with (score, query_stop, target_index) for every cell. [reset] is
+   called to restart at sequence boundaries. [rows] is the per-query-row
+   scoring table ([m * dim], row-major). *)
+let make_rows_scanner ~rows ~dim ~m ~gap =
+  let go = Scoring.Gap.open_score gap
+  and ge = Scoring.Gap.extend_score gap in
+  let h = Array.make (m + 1) 0 in
+  (* Delete-run scores (gap vs target), kept per query row across
+     columns: F[i][j] = max (H[i][j-1] + go, F[i][j-1] + ge). *)
+  let fdel = Array.make (m + 1) neg_inf in
+  let reset () =
+    Array.fill h 0 (m + 1) 0;
+    Array.fill fdel 0 (m + 1) neg_inf
+  in
+  let step tj report =
+    (* One target symbol: update the column in place. [egap] is the
+       Insert-run score within this column:
+       E[i][j] = max (H[i-1][j] + go, E[i-1][j] + ge). *)
+    let diag = ref h.(0) in
+    let egap = ref neg_inf in
+    for i = 1 to m do
+      fdel.(i) <- max (h.(i) + go) (fdel.(i) + ge);
+      egap := max (h.(i - 1) + go) (!egap + ge);
+      let repl = !diag + Array.unsafe_get rows (((i - 1) * dim) + tj) in
+      diag := h.(i);
+      let cell = max 0 (max repl (max !egap fdel.(i))) in
+      h.(i) <- cell;
+      if cell > 0 then report cell i
+    done
+  in
+  (reset, step)
+
+let make_scanner ~matrix ~gap ~query =
+  let profile = Scoring.Pssm.of_query ~matrix query in
+  make_rows_scanner
+    ~rows:(Scoring.Pssm.rows_flat profile)
+    ~dim:(Scoring.Pssm.dim profile)
+    ~m:(Scoring.Pssm.length profile) ~gap
+
+let score_only ~matrix ~gap ~query ~target =
+  let reset, step = make_scanner ~matrix ~gap ~query in
+  reset ();
+  let best = ref 0 in
+  let t = Bioseq.Sequence.codes target in
+  for j = 0 to Bytes.length t - 1 do
+    step (Char.code (Bytes.unsafe_get t j)) (fun cell _ ->
+        if cell > !best then best := cell)
+  done;
+  !best
+
+let search_rows ~rows ~dim ~m ~gap ~db ~min_score =
+  let reset, step = make_rows_scanner ~rows ~dim ~m ~gap in
+  reset ();
+  let term = Bioseq.Alphabet.terminator (Bioseq.Database.alphabet db) in
+  let data = Bioseq.Database.data db in
+  let n = Bytes.length data in
+  let columns = ref 0 in
+  let hits = ref [] in
+  let seq_index = ref 0 in
+  let seq_begin = ref 0 in
+  (* Best cell within the current sequence. *)
+  let best = ref 0 and best_q = ref 0 and best_t = ref 0 in
+  for pos = 0 to n - 1 do
+    let c = Char.code (Bytes.unsafe_get data pos) in
+    if c = term then begin
+      if !best >= min_score then
+        hits :=
+          {
+            seq_index = !seq_index;
+            score = !best;
+            query_stop = !best_q;
+            target_stop = !best_t - !seq_begin;
+          }
+          :: !hits;
+      reset ();
+      best := 0;
+      incr seq_index;
+      seq_begin := pos + 1
+    end
+    else begin
+      incr columns;
+      step c (fun cell i ->
+          if cell > !best then begin
+            best := cell;
+            best_q := i;
+            best_t := pos + 1
+          end)
+    end
+  done;
+  let hits =
+    List.sort
+      (fun a b ->
+        if a.score <> b.score then compare b.score a.score
+        else compare a.seq_index b.seq_index)
+      !hits
+  in
+  (hits, { columns = !columns; cells = !columns * m })
+
+let search ~matrix ~gap ~query ~db ~min_score =
+  let profile = Scoring.Pssm.of_query ~matrix query in
+  search_rows
+    ~rows:(Scoring.Pssm.rows_flat profile)
+    ~dim:(Scoring.Pssm.dim profile)
+    ~m:(Scoring.Pssm.length profile) ~gap ~db ~min_score
+
+let search_profile ~profile ~gap ~db ~min_score =
+  if
+    Bioseq.Alphabet.name (Scoring.Pssm.alphabet profile)
+    <> Bioseq.Alphabet.name (Bioseq.Database.alphabet db)
+  then invalid_arg "Smith_waterman.search_profile: alphabet mismatch";
+  search_rows
+    ~rows:(Scoring.Pssm.rows_flat profile)
+    ~dim:(Scoring.Pssm.dim profile)
+    ~m:(Scoring.Pssm.length profile) ~gap ~db ~min_score
+
+let best_in_region ~matrix ~gap ~query ~data ~lo ~hi =
+  let reset, step = make_scanner ~matrix ~gap ~query in
+  reset ();
+  let term = Bioseq.Alphabet.terminator (Scoring.Submat.alphabet matrix) in
+  let best = ref 0 and best_q = ref 0 and best_t = ref lo in
+  for pos = lo to hi - 1 do
+    let c = Char.code (Bytes.unsafe_get data pos) in
+    if c = term then reset ()
+    else
+      step c (fun cell i ->
+          if cell > !best then begin
+            best := cell;
+            best_q := i;
+            best_t := pos + 1
+          end)
+  done;
+  (!best, !best_q, !best_t)
+
+let hit_alignment ~matrix ~gap ~query ~db hit =
+  let target = Bioseq.Database.seq db hit.seq_index in
+  align ~matrix ~gap ~query ~target

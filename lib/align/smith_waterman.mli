@@ -1,0 +1,95 @@
+(** The Smith-Waterman local-alignment algorithm (§2.2) — the accurate
+    baseline OASIS is compared against.
+
+    All variants share the recurrence of Equation 1; gap handling is
+    Gotoh-style, which degenerates to the paper's fixed model for
+    {!Scoring.Gap.Linear}. Alignments never cross sequence boundaries:
+    terminator columns reset the dynamic program. *)
+
+type stats = {
+  columns : int;  (** target positions processed (the Figure 4 metric) *)
+  cells : int;  (** matrix cells computed *)
+}
+
+type hit = {
+  seq_index : int;
+  score : int;
+  query_stop : int;  (** one past the last aligned query symbol *)
+  target_stop : int;  (** one past the last aligned symbol, sequence-local *)
+}
+
+val align :
+  matrix:Scoring.Submat.t ->
+  gap:Scoring.Gap.t ->
+  query:Bioseq.Sequence.t ->
+  target:Bioseq.Sequence.t ->
+  Alignment.t
+(** Best local alignment with full traceback; O(m*n) space. Ties are
+    broken toward the smallest target end, then smallest query end. *)
+
+val score_only :
+  matrix:Scoring.Submat.t ->
+  gap:Scoring.Gap.t ->
+  query:Bioseq.Sequence.t ->
+  target:Bioseq.Sequence.t ->
+  int
+(** Best local score; O(m) space. *)
+
+val dp_matrix :
+  matrix:Scoring.Submat.t ->
+  gap:Scoring.Gap.t ->
+  query:Bioseq.Sequence.t ->
+  target:Bioseq.Sequence.t ->
+  int array array
+(** The full [ (m+1) x (n+1) ] score matrix [H] (row 0 / column 0 are
+    the zero borders), as in the paper's Table 2. Intended for tests and
+    pedagogy. *)
+
+val search :
+  matrix:Scoring.Submat.t ->
+  gap:Scoring.Gap.t ->
+  query:Bioseq.Sequence.t ->
+  db:Bioseq.Database.t ->
+  min_score:int ->
+  hit list * stats
+(** Scan the whole database; return the single strongest alignment per
+    sequence (the paper's reporting convention, §3), keeping those with
+    [score >= min_score], ordered by decreasing score (ties by sequence
+    index). *)
+
+val search_profile :
+  profile:Scoring.Pssm.t ->
+  gap:Scoring.Gap.t ->
+  db:Bioseq.Database.t ->
+  min_score:int ->
+  hit list * stats
+(** {!search} with position-specific scores: column [i] of the DP uses
+    [Scoring.Pssm.score profile (i-1)] instead of a matrix row. With
+    [Scoring.Pssm.of_query] this equals {!search} exactly
+    (property-tested). *)
+
+val best_in_region :
+  matrix:Scoring.Submat.t ->
+  gap:Scoring.Gap.t ->
+  query:Bioseq.Sequence.t ->
+  data:bytes ->
+  lo:int ->
+  hi:int ->
+  int * int * int
+(** [best_in_region ~data ~lo ~hi] scans the concatenation slice
+    [ [lo, hi) ) and returns [(score, query_stop, target_stop)] of the
+    best local alignment ending inside it ([target_stop] is global,
+    exclusive); [(0, 0, lo)] when nothing positive exists. Terminator
+    codes inside the slice reset the DP, so alignments never cross
+    sequence boundaries. Used by filter-and-refine searches (QUASAR) to
+    verify candidate regions. *)
+
+val hit_alignment :
+  matrix:Scoring.Submat.t ->
+  gap:Scoring.Gap.t ->
+  query:Bioseq.Sequence.t ->
+  db:Bioseq.Database.t ->
+  hit ->
+  Alignment.t
+(** Recover the full alignment for a database hit (re-runs the DP on the
+    hit's sequence). Target coordinates are sequence-local. *)

@@ -1,0 +1,54 @@
+type t = {
+  name : string;
+  symbols : string;
+  (* code for every byte value, -1 when the character is not in the
+     alphabet; indexed by [Char.code]. *)
+  codes : int array;
+}
+
+let make ~name ~symbols =
+  if String.length symbols = 0 then invalid_arg "Alphabet.make: empty symbols";
+  let codes = Array.make 256 (-1) in
+  String.iteri
+    (fun i c ->
+      let lo = Char.lowercase_ascii c and up = Char.uppercase_ascii c in
+      if codes.(Char.code lo) >= 0 || codes.(Char.code up) >= 0 then
+        invalid_arg (Printf.sprintf "Alphabet.make: duplicate symbol %C" c);
+      codes.(Char.code lo) <- i;
+      codes.(Char.code up) <- i)
+    symbols;
+  { name; symbols; codes }
+
+let dna = make ~name:"dna" ~symbols:"ACGTN"
+let protein = make ~name:"protein" ~symbols:"ARNDCQEGHILKMFPSTWYVBZX*"
+let name a = a.name
+let size a = String.length a.symbols
+let terminator a = size a
+
+let to_char a code =
+  if code >= 0 && code < size a then a.symbols.[code]
+  else if code = terminator a then '$'
+  else invalid_arg (Printf.sprintf "Alphabet.to_char: code %d" code)
+
+let of_char a c =
+  let code = a.codes.(Char.code c) in
+  if code < 0 then None else Some code
+
+let of_char_exn a c =
+  match of_char a c with
+  | Some code -> code
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Alphabet.of_char_exn: %C not in alphabet %s" c a.name)
+
+let mem a c = a.codes.(Char.code c) >= 0
+
+let encode a s =
+  let b = Bytes.create (String.length s) in
+  String.iteri (fun i c -> Bytes.set b i (Char.chr (of_char_exn a c))) s;
+  b
+
+let decode a b =
+  String.init (Bytes.length b) (fun i -> to_char a (Char.code (Bytes.get b i)))
+
+let pp ppf a = Format.fprintf ppf "%s(%s)" a.name a.symbols

@@ -1,0 +1,60 @@
+(** Symbol alphabets for biological (and other) sequences.
+
+    An alphabet maps a set of characters to small integer codes
+    [0 .. size-1]. Code [size] is reserved for the sequence terminator
+    used by generalized suffix trees and concatenated databases; it is
+    never produced by {!encode_char} and scores [-infinity] against
+    everything in a substitution matrix. *)
+
+type t
+
+(** {1 Construction} *)
+
+val make : name:string -> symbols:string -> t
+(** [make ~name ~symbols] builds an alphabet whose [i]-th character in
+    [symbols] has code [i]. Decoding is case-insensitive. Raises
+    [Invalid_argument] if [symbols] contains a duplicate (up to case) or
+    is empty. *)
+
+val dna : t
+(** [ACGT] plus the ambiguity code [N]. *)
+
+val protein : t
+(** The 20 standard amino acids in NCBI order ([ARNDCQEGHILKMFPSTWYV])
+    plus the ambiguity codes [B], [Z], [X] and the stop symbol [*]. *)
+
+(** {1 Accessors} *)
+
+val name : t -> string
+
+val size : t -> int
+(** Number of real symbols (terminator excluded). *)
+
+val terminator : t -> int
+(** The reserved terminator code, equal to [size t]. *)
+
+val to_char : t -> int -> char
+(** [to_char a code] is the canonical character for [code]. The
+    terminator prints as ['$']. Raises [Invalid_argument] on other
+    out-of-range codes. *)
+
+val of_char : t -> char -> int option
+(** [of_char a c] is the code for [c], case-insensitively, or [None] if
+    [c] is not in the alphabet. *)
+
+val of_char_exn : t -> char -> int
+(** Like {!of_char} but raises [Invalid_argument] with a descriptive
+    message for unknown characters. *)
+
+val mem : t -> char -> bool
+
+(** {1 String conversions} *)
+
+val encode : t -> string -> bytes
+(** [encode a s] encodes every character of [s]; raises
+    [Invalid_argument] on the first unknown character. *)
+
+val decode : t -> bytes -> string
+(** Inverse of {!encode}; terminator codes decode to ['$']. *)
+
+val pp : Format.formatter -> t -> unit

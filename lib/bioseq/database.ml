@@ -1,0 +1,68 @@
+type t = {
+  alphabet : Alphabet.t;
+  sequences : Sequence.t array;
+  starts : int array; (* global position of each sequence's first symbol *)
+  data : bytes; (* concatenation with a terminator after each sequence *)
+  total_symbols : int;
+}
+
+let make sequences =
+  match sequences with
+  | [] -> invalid_arg "Database.make: empty sequence list"
+  | first :: _ ->
+    let alphabet = Sequence.alphabet first in
+    List.iter
+      (fun s ->
+        if Alphabet.name (Sequence.alphabet s) <> Alphabet.name alphabet then
+          invalid_arg "Database.make: sequences use different alphabets")
+      sequences;
+    let sequences = Array.of_list sequences in
+    let n = Array.length sequences in
+    let total_symbols =
+      Array.fold_left (fun acc s -> acc + Sequence.length s) 0 sequences
+    in
+    let data = Bytes.create (total_symbols + n) in
+    let starts = Array.make n 0 in
+    let term = Char.chr (Alphabet.terminator alphabet) in
+    let pos = ref 0 in
+    Array.iteri
+      (fun i s ->
+        starts.(i) <- !pos;
+        let len = Sequence.length s in
+        Bytes.blit (Sequence.codes s) 0 data !pos len;
+        Bytes.set data (!pos + len) term;
+        pos := !pos + len + 1)
+      sequences;
+    { alphabet; sequences; starts; data; total_symbols }
+
+let append db extra =
+  make (Array.to_list db.sequences @ extra)
+
+let alphabet db = db.alphabet
+let num_sequences db = Array.length db.sequences
+let total_symbols db = db.total_symbols
+let data_length db = Bytes.length db.data
+let code db pos = Char.code (Bytes.get db.data pos)
+let data db = db.data
+let seq db i = db.sequences.(i)
+let seq_start db i = db.starts.(i)
+
+let seq_of_pos db pos =
+  if pos < 0 || pos >= data_length db then
+    invalid_arg (Printf.sprintf "Database.seq_of_pos: position %d" pos);
+  (* Largest i with starts.(i) <= pos. *)
+  let rec search lo hi =
+    if lo = hi then lo
+    else
+      let mid = (lo + hi + 1) / 2 in
+      if db.starts.(mid) <= pos then search mid hi else search lo (mid - 1)
+  in
+  search 0 (Array.length db.starts - 1)
+
+let to_local db pos =
+  let i = seq_of_pos db pos in
+  (i, pos - db.starts.(i))
+
+let pp ppf db =
+  Format.fprintf ppf "database(%s, %d sequences, %d symbols)"
+    (Alphabet.name db.alphabet) (num_sequences db) db.total_symbols

@@ -1,0 +1,53 @@
+(** A sequence database: the concatenation of many sequences over one
+    alphabet, each followed by a terminator code.
+
+    Layout: [seq_0 $ seq_1 $ ... seq_{n-1} $] where [$] is
+    [Alphabet.terminator]. Global positions index this concatenation;
+    suffix trees and the OASIS search operate on global positions, and
+    this module maps them back to (sequence, offset) pairs. *)
+
+type t
+
+val make : Sequence.t list -> t
+(** Raises [Invalid_argument] if the list is empty or the sequences do
+    not share one alphabet. *)
+
+val append : t -> Sequence.t list -> t
+(** [append db extra] is the database holding [db]'s sequences followed
+    by [extra]. The concatenation layout is deterministic, so every
+    global position of [db] denotes the same symbol in the result — the
+    property incremental index updates ({!Suffix_tree}'s
+    [Ukkonen.extend]) rely on. *)
+
+val alphabet : t -> Alphabet.t
+
+val num_sequences : t -> int
+
+val total_symbols : t -> int
+(** Sum of sequence lengths, terminators excluded. *)
+
+val data_length : t -> int
+(** Length of the concatenation, terminators included
+    ([total_symbols + num_sequences]). *)
+
+val code : t -> int -> int
+(** [code db pos] is the symbol code at global position [pos]
+    (possibly the terminator). *)
+
+val data : t -> bytes
+(** The raw concatenation (read-only). *)
+
+val seq : t -> int -> Sequence.t
+(** [seq db i] is the [i]-th sequence. *)
+
+val seq_start : t -> int -> int
+(** Global position of the first symbol of sequence [i]. *)
+
+val seq_of_pos : t -> int -> int
+(** [seq_of_pos db pos] is the index of the sequence whose region
+    (including its terminator) contains global position [pos]. *)
+
+val to_local : t -> int -> int * int
+(** [to_local db pos] is [(i, off)] such that [pos = seq_start db i + off]. *)
+
+val pp : Format.formatter -> t -> unit

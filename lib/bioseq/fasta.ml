@@ -1,0 +1,96 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let split_header line_no line =
+  (* [line] starts with '>'; split identifier from description. *)
+  let body = String.sub line 1 (String.length line - 1) in
+  let body = String.trim body in
+  if body = "" then fail line_no "empty FASTA header"
+  else
+    match String.index_opt body ' ' with
+    | None -> (body, "")
+    | Some i ->
+      ( String.sub body 0 i,
+        String.trim (String.sub body (i + 1) (String.length body - i - 1)) )
+
+let parse_lines ~alphabet lines =
+  let finish id description buf acc line_no =
+    match id with
+    | None -> acc
+    | Some id ->
+      if Buffer.length buf = 0 then fail line_no "sequence %S has no residues" id
+      else
+        Sequence.make ~alphabet ~id ~description (Buffer.contents buf) :: acc
+  in
+  let rec go lines line_no id description buf acc =
+    match lines with
+    | [] -> List.rev (finish id description buf acc line_no)
+    | line :: rest ->
+      let line = String.trim line in
+      if line = "" || (String.length line > 0 && line.[0] = ';') then
+        go rest (line_no + 1) id description buf acc
+      else if line.[0] = '>' then begin
+        let acc = finish id description buf acc line_no in
+        let new_id, new_description = split_header line_no line in
+        Buffer.clear buf;
+        go rest (line_no + 1) (Some new_id) new_description buf acc
+      end
+      else begin
+        if id = None then fail line_no "sequence data before any '>' header";
+        String.iter
+          (fun c ->
+            if not (Alphabet.mem alphabet c) then
+              fail line_no "character %C not in alphabet %s" c
+                (Alphabet.name alphabet))
+          line;
+        Buffer.add_string buf line;
+        go rest (line_no + 1) id description buf acc
+      end
+  in
+  go lines 1 None "" (Buffer.create 256) []
+
+let parse_string ~alphabet text =
+  parse_lines ~alphabet (String.split_on_char '\n' text)
+
+let read_file ~alphabet path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_string ~alphabet text
+
+let to_string ?(width = 70) seqs =
+  if width <= 0 then invalid_arg "Fasta.to_string: width must be positive";
+  let buf = Buffer.create 4096 in
+  let emit s =
+    Buffer.add_char buf '>';
+    Buffer.add_string buf (Sequence.id s);
+    if Sequence.description s <> "" then begin
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (Sequence.description s)
+    end;
+    Buffer.add_char buf '\n';
+    let text = Sequence.to_string s in
+    let n = String.length text in
+    let rec wrap pos =
+      if pos < n then begin
+        let len = min width (n - pos) in
+        Buffer.add_substring buf text pos len;
+        Buffer.add_char buf '\n';
+        wrap (pos + len)
+      end
+    in
+    wrap 0
+  in
+  List.iter emit seqs;
+  Buffer.contents buf
+
+let write_file ?width path seqs =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ?width seqs))

@@ -1,0 +1,21 @@
+(** FASTA reading and writing.
+
+    The parser accepts the common dialect: header lines start with ['>']
+    followed by an identifier and an optional description separated by
+    whitespace; sequence lines may be wrapped at any width; blank lines
+    and [';'] comment lines are ignored; characters outside the alphabet
+    are an error reported with a line number. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : alphabet:Alphabet.t -> string -> Sequence.t list
+(** Parse a whole FASTA document held in memory. Raises
+    {!Parse_error}. *)
+
+val read_file : alphabet:Alphabet.t -> string -> Sequence.t list
+(** Parse a FASTA file from disk. Raises {!Parse_error} or [Sys_error]. *)
+
+val to_string : ?width:int -> Sequence.t list -> string
+(** Render sequences as FASTA; lines wrapped at [width] (default 70). *)
+
+val write_file : ?width:int -> string -> Sequence.t list -> unit

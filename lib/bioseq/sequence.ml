@@ -1,0 +1,44 @@
+type t = {
+  alphabet : Alphabet.t;
+  id : string;
+  description : string;
+  data : bytes;
+}
+
+let make ~alphabet ~id ?(description = "") text =
+  { alphabet; id; description; data = Alphabet.encode alphabet text }
+
+let of_codes ~alphabet ~id ?(description = "") data =
+  let n = Alphabet.size alphabet in
+  Bytes.iter
+    (fun c ->
+      if Char.code c >= n then
+        invalid_arg
+          (Printf.sprintf "Sequence.of_codes: invalid code %d" (Char.code c)))
+    data;
+  { alphabet; id; description; data = Bytes.copy data }
+
+let id s = s.id
+let description s = s.description
+let alphabet s = s.alphabet
+let length s = Bytes.length s.data
+let get s i = Char.code (Bytes.get s.data i)
+let char_at s i = Alphabet.to_char s.alphabet (get s i)
+let codes s = s.data
+let to_string s = Alphabet.decode s.alphabet s.data
+
+let sub s ~pos ~len =
+  {
+    s with
+    id = Printf.sprintf "%s[%d,%d)" s.id pos (pos + len);
+    data = Bytes.sub s.data pos len;
+  }
+
+let equal a b = String.equal a.id b.id && Bytes.equal a.data b.data
+
+let pp ppf s =
+  let preview =
+    if length s <= 40 then to_string s
+    else String.sub (to_string s) 0 37 ^ "..."
+  in
+  Format.fprintf ppf ">%s (%d) %s" s.id (length s) preview

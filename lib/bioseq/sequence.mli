@@ -1,0 +1,39 @@
+(** A named biological sequence, stored in encoded form.
+
+    The payload is a byte string of alphabet codes (see {!Alphabet});
+    the terminator code never appears inside a sequence. *)
+
+type t
+
+val make : alphabet:Alphabet.t -> id:string -> ?description:string -> string -> t
+(** [make ~alphabet ~id ?description text] encodes [text]. Raises
+    [Invalid_argument] if [text] contains a character outside
+    [alphabet]. *)
+
+val of_codes : alphabet:Alphabet.t -> id:string -> ?description:string -> bytes -> t
+(** Wraps an already-encoded payload. Raises [Invalid_argument] if any
+    byte is not a valid (non-terminator) code. The bytes are copied. *)
+
+val id : t -> string
+val description : t -> string
+val alphabet : t -> Alphabet.t
+val length : t -> int
+
+val get : t -> int -> int
+(** [get s i] is the code of the [i]-th symbol (0-based). *)
+
+val char_at : t -> int -> char
+
+val codes : t -> bytes
+(** The raw encoded payload (not a copy; treat as read-only). *)
+
+val to_string : t -> string
+(** Decoded text. *)
+
+val sub : t -> pos:int -> len:int -> t
+(** [sub s ~pos ~len] is the subsequence, with id ["<id>[pos,pos+len)"]. *)
+
+val equal : t -> t -> bool
+(** Payload and id equality. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,106 @@
+type ungapped = {
+  score : int;
+  query_start : int;
+  query_stop : int;
+  target_start : int;
+  target_stop : int;
+}
+
+let ungapped ~matrix ~x_drop ~query ~data ~seq_lo ~seq_hi ~qpos ~tpos ~word =
+  let m = Bioseq.Sequence.length query in
+  let score_at qi ti =
+    Scoring.Submat.score matrix (Bioseq.Sequence.get query qi)
+      (Char.code (Bytes.get data ti))
+  in
+  (* Seed score: the word itself. *)
+  let seed_score = ref 0 in
+  for i = 0 to word - 1 do
+    seed_score := !seed_score + score_at (qpos + i) (tpos + i)
+  done;
+  (* Extend right from the end of the word. *)
+  let best_right = ref 0 and right = ref 0 in
+  let rec go_right i running =
+    let qi = qpos + word + i and ti = tpos + word + i in
+    if qi >= m || ti >= seq_hi then ()
+    else
+      let running = running + score_at qi ti in
+      if running > !best_right then begin
+        best_right := running;
+        right := i + 1
+      end;
+      if !best_right - running <= x_drop then go_right (i + 1) running
+  in
+  go_right 0 0;
+  (* Extend left from the start of the word. *)
+  let best_left = ref 0 and left = ref 0 in
+  let rec go_left i running =
+    let qi = qpos - 1 - i and ti = tpos - 1 - i in
+    if qi < 0 || ti < seq_lo then ()
+    else
+      let running = running + score_at qi ti in
+      if running > !best_left then begin
+        best_left := running;
+        left := i + 1
+      end;
+      if !best_left - running <= x_drop then go_left (i + 1) running
+  in
+  go_left 0 0;
+  {
+    score = !seed_score + !best_right + !best_left;
+    query_start = qpos - !left;
+    query_stop = qpos + word + !right;
+    target_start = tpos - !left;
+    target_stop = tpos + word + !right;
+  }
+
+type gapped = { score : int; columns : int }
+
+let gapped ~matrix ~gap ~band ~query ~data ~seq_lo ~seq_hi ~seed =
+  let m = Bioseq.Sequence.length query in
+  let flat = Scoring.Submat.scores_flat matrix in
+  let dim = Scoring.Submat.dim matrix in
+  let neg_inf = Scoring.Submat.neg_inf in
+  let go = Scoring.Gap.open_score gap and ge = Scoring.Gap.extend_score gap in
+  (* Target window around the seed. *)
+  let slack = m + band in
+  let lo = max seq_lo (seed.target_start - slack) in
+  let hi = min seq_hi (seed.target_stop + slack) in
+  (* Seed diagonal (target - query). *)
+  let diag0 = seed.target_start - seed.query_start in
+  let h = Array.make (m + 1) 0 in
+  let f = Array.make (m + 1) neg_inf in
+  let best = ref 0 in
+  let columns = ref 0 in
+  for t = lo to hi - 1 do
+    incr columns;
+    let c = Char.code (Bytes.get data t) in
+    (* Rows allowed in this column: |(t - (i-1)) - diag0| <= band, i.e.
+       query offsets near the seed diagonal. *)
+    let i_lo = max 1 (t - diag0 - band + 1) in
+    let i_hi = min m (t - diag0 + band + 1) in
+    if i_lo <= i_hi then begin
+      let diag = ref (if i_lo = 1 then h.(0) else h.(i_lo - 1)) in
+      (* Cells outside the band behave as 0 (local restart) at the band
+         edge; keep it simple and correct-as-a-heuristic. *)
+      if i_lo > 1 then diag := h.(i_lo - 1);
+      let egap = ref neg_inf in
+      for i = i_lo to i_hi do
+        let qi = Bioseq.Sequence.get query (i - 1) in
+        f.(i) <- max (h.(i) + go) (f.(i) + ge);
+        egap := max (h.(i - 1) + go) (!egap + ge);
+        let repl = !diag + Array.unsafe_get flat ((qi * dim) + c) in
+        diag := h.(i);
+        let cell = max 0 (max repl (max !egap f.(i))) in
+        h.(i) <- cell;
+        if cell > !best then best := cell
+      done;
+      (* Clear cells just outside the band so stale values from earlier
+         columns cannot leak back in. *)
+      if i_lo - 1 >= 1 then h.(i_lo - 1) <- 0;
+      if i_hi + 1 <= m then begin
+        h.(i_hi + 1) <- 0;
+        f.(i_hi + 1) <- neg_inf
+      end
+    end
+  done;
+  { score = !best; columns = !columns }

@@ -1,0 +1,44 @@
+(** Seed extension: X-drop ungapped extension and banded gapped
+    extension, the BLAST refinement pipeline. *)
+
+type ungapped = {
+  score : int;
+  query_start : int;
+  query_stop : int;  (** exclusive *)
+  target_start : int;  (** global database position *)
+  target_stop : int;
+}
+
+val ungapped :
+  matrix:Scoring.Submat.t ->
+  x_drop:int ->
+  query:Bioseq.Sequence.t ->
+  data:bytes ->
+  seq_lo:int ->
+  seq_hi:int ->
+  qpos:int ->
+  tpos:int ->
+  word:int ->
+  ungapped
+(** Extend the word hit [(qpos, tpos)] of length [word] left and right
+    along the diagonal, within the sequence region [ [seq_lo, seq_hi) ),
+    stopping a direction once the running score falls more than [x_drop]
+    below the best seen. Terminator codes end extension (their matrix
+    row is -inf). *)
+
+type gapped = { score : int; columns : int }
+
+val gapped :
+  matrix:Scoring.Submat.t ->
+  gap:Scoring.Gap.t ->
+  band:int ->
+  query:Bioseq.Sequence.t ->
+  data:bytes ->
+  seq_lo:int ->
+  seq_hi:int ->
+  seed:ungapped ->
+  gapped
+(** Banded local DP around the seed's diagonal: the best local alignment
+    score whose path stays within [band] diagonals of the seed, inside a
+    target window of [2 * (query length + band)] symbols around the
+    seed. [columns] counts DP columns filled (work accounting). *)

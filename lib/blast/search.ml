@@ -1,0 +1,175 @@
+type config = {
+  word_size : int;
+  threshold : int;
+  x_drop : int;
+  gap_trigger : int;
+  band : int;
+  two_hit_window : int option;
+  evalue : float;
+  matrix : Scoring.Submat.t;
+  gap : Scoring.Gap.t;
+  params : Scoring.Karlin.params;
+}
+
+let default_protein ?(evalue = 10.) ?(two_hit = false) ~matrix ~gap ~params () =
+  {
+    word_size = 3;
+    threshold = 13;
+    x_drop = 7;
+    gap_trigger = 18;
+    band = 24;
+    two_hit_window = (if two_hit then Some 40 else None);
+    evalue;
+    matrix;
+    gap;
+    params;
+  }
+
+let default_dna ?(evalue = 10.) ?(word_size = 8) ~matrix ~gap ~params () =
+  {
+    word_size;
+    threshold = max_int;
+    x_drop = 10;
+    gap_trigger = 12;
+    band = 16;
+    two_hit_window = None;
+    evalue;
+    matrix;
+    gap;
+    params;
+  }
+
+type hit = {
+  seq_index : int;
+  score : int;
+  evalue : float;
+  query_stop : int;
+  target_stop : int;
+}
+
+type stats = {
+  word_hits : int;
+  ungapped_extensions : int;
+  gapped_extensions : int;
+  columns : int;
+}
+
+let search cfg ~query ~db =
+  let m = Bioseq.Sequence.length query in
+  let n = Bioseq.Database.total_symbols db in
+  let index =
+    Word_index.build ~matrix:cfg.matrix ~word_size:cfg.word_size
+      ~threshold:cfg.threshold ~query
+  in
+  let data = Bioseq.Database.data db in
+  let word_hits = ref 0 in
+  let ungapped_extensions = ref 0 in
+  let gapped_extensions = ref 0 in
+  let columns = ref 0 in
+  let best_hits = ref [] in
+  let process_sequence seq_index =
+    let seq_lo = Bioseq.Database.seq_start db seq_index in
+    let len = Bioseq.Sequence.length (Bioseq.Database.seq db seq_index) in
+    let seq_hi = seq_lo + len in
+    if len >= cfg.word_size && m >= cfg.word_size then begin
+      let best_score = ref 0 and best_q = ref 0 and best_t = ref 0 in
+      (* Per-diagonal bookkeeping: diagonal id = (t - seq_lo) - q + m,
+         in [0, m + len). *)
+      let num_diags = m + len in
+      let last_hit = Array.make num_diags min_int in
+      (* Rightmost target position already covered by an extension on
+         each diagonal; seeds inside are skipped. *)
+      let extended_to = Array.make num_diags min_int in
+      for tpos = seq_lo to seq_hi - cfg.word_size do
+        let word = Word_index.encode_at index data tpos in
+        let qpositions = Word_index.lookup index word in
+        if qpositions <> [] then incr word_hits;
+        List.iter
+          (fun qpos ->
+            let diag = tpos - seq_lo - qpos + m in
+            if tpos >= extended_to.(diag) then begin
+              let fire =
+                match cfg.two_hit_window with
+                | None -> true
+                | Some window ->
+                  (* Gapped-BLAST two-hit rule: fire on a second,
+                     non-overlapping hit within [window] on the same
+                     diagonal. Overlapping hits keep the older one so a
+                     later hit can still pair with it. *)
+                  let prev = last_hit.(diag) in
+                  if prev = min_int then begin
+                    last_hit.(diag) <- tpos;
+                    false
+                  end
+                  else if tpos - prev < cfg.word_size then false
+                  else if tpos - prev <= window then true
+                  else begin
+                    last_hit.(diag) <- tpos;
+                    false
+                  end
+              in
+              if fire then begin
+                incr ungapped_extensions;
+                let seed =
+                  Extend.ungapped ~matrix:cfg.matrix ~x_drop:cfg.x_drop ~query
+                    ~data ~seq_lo ~seq_hi ~qpos ~tpos ~word:cfg.word_size
+                in
+                extended_to.(diag) <- seed.Extend.target_stop;
+                let score, q_stop, t_stop =
+                  if seed.Extend.score >= cfg.gap_trigger then begin
+                    incr gapped_extensions;
+                    let g =
+                      Extend.gapped ~matrix:cfg.matrix ~gap:cfg.gap
+                        ~band:cfg.band ~query ~data ~seq_lo ~seq_hi ~seed
+                    in
+                    columns := !columns + g.Extend.columns;
+                    (g.Extend.score, seed.Extend.query_stop,
+                     seed.Extend.target_stop)
+                  end
+                  else
+                    (seed.Extend.score, seed.Extend.query_stop,
+                     seed.Extend.target_stop)
+                in
+                if score > !best_score then begin
+                  best_score := score;
+                  best_q := q_stop;
+                  best_t := t_stop - seq_lo
+                end
+              end
+            end)
+          qpositions
+      done;
+      if !best_score > 0 then begin
+        let evalue =
+          Scoring.Karlin.evalue cfg.params ~m ~n ~score:!best_score
+        in
+        if evalue <= cfg.evalue then
+          best_hits :=
+            {
+              seq_index;
+              score = !best_score;
+              evalue;
+              query_stop = !best_q;
+              target_stop = !best_t;
+            }
+            :: !best_hits
+      end
+    end
+  in
+  for i = 0 to Bioseq.Database.num_sequences db - 1 do
+    process_sequence i
+  done;
+  let hits =
+    List.sort
+      (fun a b ->
+        if a.score <> b.score then compare b.score a.score
+        else compare a.seq_index b.seq_index)
+      !best_hits
+  in
+  ( hits,
+    {
+      word_hits = !word_hits;
+      ungapped_extensions = !ungapped_extensions;
+      gapped_extensions = !gapped_extensions;
+      columns = !columns;
+    } )

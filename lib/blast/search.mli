@@ -1,0 +1,66 @@
+(** The BLAST-style heuristic search pipeline: word seeding → (optional
+    two-hit filter) → ungapped X-drop extension → gapped banded
+    extension → E-value filter.
+
+    This is the paper's §4 baseline. Like the original it is a
+    heuristic: alignments whose neighborhoods generate no word hit are
+    missed — Figure 5 measures exactly how many, relative to OASIS. *)
+
+type config = {
+  word_size : int;
+  threshold : int;
+      (** neighborhood score threshold; [max_int] = exact words (DNA mode) *)
+  x_drop : int;  (** ungapped extension X-drop *)
+  gap_trigger : int;  (** ungapped score needed to attempt gapped extension *)
+  band : int;  (** gapped extension band half-width *)
+  two_hit_window : int option;
+      (** [Some a]: require two non-overlapping hits within [a] diagonal
+          positions before extending (Gapped BLAST); [None]: extend
+          every hit *)
+  evalue : float;  (** report cutoff *)
+  matrix : Scoring.Submat.t;
+  gap : Scoring.Gap.t;
+  params : Scoring.Karlin.params;
+}
+
+val default_protein :
+  ?evalue:float ->
+  ?two_hit:bool ->
+  matrix:Scoring.Submat.t ->
+  gap:Scoring.Gap.t ->
+  params:Scoring.Karlin.params ->
+  unit ->
+  config
+(** blastp-flavoured defaults: word size 3, neighborhood threshold 13,
+    X-drop 7, gap trigger 18, band 24, E-value 10. *)
+
+val default_dna :
+  ?evalue:float ->
+  ?word_size:int ->
+  matrix:Scoring.Submat.t ->
+  gap:Scoring.Gap.t ->
+  params:Scoring.Karlin.params ->
+  unit ->
+  config
+(** blastn-flavoured defaults: exact words (default size 8), X-drop 10,
+    band 16. *)
+
+type hit = {
+  seq_index : int;
+  score : int;
+  evalue : float;
+  query_stop : int;  (** ungapped-seed end; indicative, like BLAST's HSP *)
+  target_stop : int;  (** sequence-local *)
+}
+
+type stats = {
+  word_hits : int;  (** seeds looked up successfully *)
+  ungapped_extensions : int;
+  gapped_extensions : int;
+  columns : int;  (** gapped DP columns (comparable to Figure 4's metric) *)
+}
+
+val search :
+  config -> query:Bioseq.Sequence.t -> db:Bioseq.Database.t -> hit list * stats
+(** One hit per database sequence (its best alignment found), sorted by
+    decreasing score, filtered to [evalue]. *)

@@ -1,0 +1,69 @@
+type t = {
+  word_size : int;
+  radix : int; (* alphabet size + 1 so terminators perturb encodings *)
+  table : (int, int list) Hashtbl.t;
+  mutable entries : int;
+}
+
+let word_size t = t.word_size
+
+let add t word pos =
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.table word) in
+  Hashtbl.replace t.table word (pos :: existing);
+  t.entries <- t.entries + 1
+
+(* Enumerate all words scoring >= threshold against the query word at
+   [qpos], by DFS over word symbols with an exact bound on the best
+   completion. *)
+let add_neighborhood t ~matrix ~threshold ~query qpos =
+  let w = t.word_size in
+  let size = Bioseq.Alphabet.size (Scoring.Submat.alphabet matrix) in
+  (* best.(i) = max score attainable from word offsets i.. *)
+  let best = Array.make (w + 1) 0 in
+  for i = w - 1 downto 0 do
+    best.(i) <-
+      best.(i + 1)
+      + Scoring.Submat.best_against matrix (Bioseq.Sequence.get query (qpos + i))
+  done;
+  let rec fill i acc score =
+    if i = w then add t acc qpos
+    else
+      let qc = Bioseq.Sequence.get query (qpos + i) in
+      for b = 0 to size - 1 do
+        let score = score + Scoring.Submat.score matrix qc b in
+        if score + best.(i + 1) >= threshold then
+          fill (i + 1) ((acc * t.radix) + b) score
+      done
+  in
+  fill 0 0 0
+
+let add_exact t ~query qpos =
+  let w = t.word_size in
+  let acc = ref 0 in
+  for i = 0 to w - 1 do
+    acc := (!acc * t.radix) + Bioseq.Sequence.get query (qpos + i)
+  done;
+  add t !acc qpos
+
+let build ~matrix ~word_size ~threshold ~query =
+  if word_size < 1 then invalid_arg "Word_index.build: word_size < 1";
+  let radix = Bioseq.Alphabet.size (Scoring.Submat.alphabet matrix) + 1 in
+  let t = { word_size; radix; table = Hashtbl.create 4096; entries = 0 } in
+  let m = Bioseq.Sequence.length query in
+  for qpos = 0 to m - word_size do
+    if threshold = max_int then add_exact t ~query qpos
+    else add_neighborhood t ~matrix ~threshold ~query qpos
+  done;
+  t
+
+let lookup t word = Option.value ~default:[] (Hashtbl.find_opt t.table word)
+
+let encode_at t data pos =
+  let acc = ref 0 in
+  for i = 0 to t.word_size - 1 do
+    acc := (!acc * t.radix) + Char.code (Bytes.get data (pos + i))
+  done;
+  !acc
+
+let entries t = t.entries
+let neighborhood_size t = Hashtbl.length t.table

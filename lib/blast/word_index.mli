@@ -1,0 +1,37 @@
+(** Query word index for BLAST-style seeding.
+
+    The query is cut into overlapping words of [word_size] symbols. For
+    protein searches each word is expanded into its {e neighborhood}:
+    every word of the same length whose substitution score against the
+    query word is at least [threshold] (Altschul et al. 1990). The index
+    maps database words to the query positions they seed. *)
+
+type t
+
+val build :
+  matrix:Scoring.Submat.t ->
+  word_size:int ->
+  threshold:int ->
+  query:Bioseq.Sequence.t ->
+  t
+(** [threshold = max_int] degenerates to exact-word seeding (the
+    blastn-style DNA mode). Raises [Invalid_argument] if
+    [word_size < 1]. Queries shorter than [word_size] yield an index
+    with no entries. *)
+
+val word_size : t -> int
+
+val lookup : t -> int -> int list
+(** [lookup t w] is the list of query positions (0-based offsets of the
+    word start) seeded by the encoded database word [w]. *)
+
+val encode_at : t -> bytes -> int -> int
+(** [encode_at t data pos] is the radix encoding of the word starting at
+    [pos] in [data] (caller guarantees the word lies inside one
+    sequence). *)
+
+val entries : t -> int
+(** Number of (word, position) pairs in the index. *)
+
+val neighborhood_size : t -> int
+(** Number of distinct words present. *)

@@ -1,0 +1,33 @@
+type result = {
+  query_index : int;
+  hits : Hit.t list;
+  counters : Engine.counters;
+}
+
+let search_one ~tree ~db cfg (query_index, query) =
+  let engine = Engine.Mem.create ~source:tree ~db ~query cfg in
+  let hits = Engine.Mem.run engine in
+  { query_index; hits; counters = Engine.Mem.counters engine }
+
+let run ?(domains = 1) ~tree ~db ~queries cfg =
+  if domains < 1 then invalid_arg "Batch.run: domains < 1";
+  let indexed = List.mapi (fun i q -> (i, q)) queries in
+  let results =
+    if domains = 1 then List.map (search_one ~tree ~db cfg) indexed
+    else begin
+      (* Round-robin split; the tree and database are only read. *)
+      let chunks = Array.make domains [] in
+      List.iter
+        (fun ((i, _) as entry) ->
+          chunks.(i mod domains) <- entry :: chunks.(i mod domains))
+        indexed;
+      let workers =
+        Array.map
+          (fun chunk ->
+            Domain.spawn (fun () -> List.map (search_one ~tree ~db cfg) chunk))
+          chunks
+      in
+      Array.fold_left (fun acc w -> Domain.join w @ acc) [] workers
+    end
+  in
+  List.sort (fun a b -> compare a.query_index b.query_index) results

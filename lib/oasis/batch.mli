@@ -1,0 +1,27 @@
+(** Multi-query batch search, optionally parallel across OCaml 5
+    domains.
+
+    Once built, the suffix tree is immutable, so any number of engines
+    can traverse it concurrently; a query workload (the paper evaluates
+    100 ProClass motifs, §4.1) parallelizes trivially. Only the
+    in-memory source is offered here — the disk engine shares one
+    buffer pool, which is deliberately not thread-safe (a single clock
+    hand, like the paper's). *)
+
+type result = {
+  query_index : int;
+  hits : Hit.t list;
+  counters : Engine.counters;
+}
+
+val run :
+  ?domains:int ->
+  tree:Suffix_tree.Tree.t ->
+  db:Bioseq.Database.t ->
+  queries:Bioseq.Sequence.t list ->
+  Engine.config ->
+  result list
+(** Search every query, returning results in query order. [domains]
+    defaults to 1 (sequential); with [d > 1], queries are distributed
+    round-robin over [d] domains. Results are identical regardless of
+    [domains] (checked by tests). *)

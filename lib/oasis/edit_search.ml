@@ -1,0 +1,92 @@
+type hit = { seq_index : int; edits : int; target_stop : int }
+type stats = { nodes_visited : int; rows_computed : int }
+
+module Make (S : Source.S) = struct
+  let search ~source ~db ~query ~max_diffs =
+    if max_diffs < 0 then invalid_arg "Edit_search.search: max_diffs < 0";
+    let m = Bioseq.Sequence.length query in
+    if m = 0 then invalid_arg "Edit_search.search: empty query";
+    let q = Bioseq.Sequence.codes query in
+    let term = S.terminator source in
+    let max_depth = m + max_diffs in
+    let best = Array.make (Bioseq.Database.num_sequences db) max_int in
+    let best_stop = Array.make (Bioseq.Database.num_sequences db) 0 in
+    let nodes_visited = ref 0 in
+    let rows_computed = ref 0 in
+    (* The DP row for the current path: row.(j) = unit edit distance
+       between the full path and query prefix of length j. *)
+    let report node depth edits =
+      List.iter
+        (fun p ->
+          let seq_index = Bioseq.Database.seq_of_pos db p in
+          if edits < best.(seq_index) then begin
+            best.(seq_index) <- edits;
+            best_stop.(seq_index) <-
+              p + depth - Bioseq.Database.seq_start db seq_index
+          end)
+        (S.subtree_positions source node)
+    in
+    let rec visit node row depth =
+      incr nodes_visited;
+      let start = S.label_start source node in
+      let stop = S.label_stop source node in
+      (* Walk the arc symbol by symbol, updating the row. Returns the
+         final row, or None when the branch was pruned or ended. *)
+      let rec arc idx row depth =
+        let arc_done = match stop with Some s -> idx >= s | None -> false in
+        if arc_done then Some (row, depth)
+        else
+          let c = S.symbol source idx in
+          if c = term then None
+          else if depth >= max_depth then None
+          else begin
+            incr rows_computed;
+            let nrow = Array.make (m + 1) 0 in
+            nrow.(0) <- depth + 1;
+            let minv = ref nrow.(0) in
+            for j = 1 to m do
+              let cost =
+                if Char.code (Bytes.unsafe_get q (j - 1)) = c then 0 else 1
+              in
+              let v =
+                min (row.(j - 1) + cost) (min (nrow.(j - 1) + 1) (row.(j) + 1))
+              in
+              nrow.(j) <- v;
+              if v < !minv then minv := v
+            done;
+            if nrow.(m) <= max_diffs then report node (depth + 1) nrow.(m);
+            if !minv > max_diffs then None else arc (idx + 1) nrow (depth + 1)
+          end
+      in
+      match arc start row depth with
+      | None -> ()
+      | Some (row, depth) ->
+        List.iter (fun child -> visit child row depth) (S.children source node)
+    in
+    let row0 = Array.init (m + 1) Fun.id in
+    (* Row 0 must itself be within budget for an empty path; matches of
+       the whole query with depth 0 are only possible when m <= k. *)
+    if row0.(m) <= max_diffs then
+      report (S.root source) 0 row0.(m);
+    List.iter
+      (fun child -> visit child row0 0)
+      (S.children source (S.root source));
+    let hits = ref [] in
+    Array.iteri
+      (fun seq_index edits ->
+        if edits < max_int then
+          hits :=
+            { seq_index; edits; target_stop = best_stop.(seq_index) } :: !hits)
+      best;
+    let hits =
+      List.sort
+        (fun a b ->
+          if a.edits <> b.edits then compare a.edits b.edits
+          else compare a.seq_index b.seq_index)
+        !hits
+    in
+    (hits, { nodes_visited = !nodes_visited; rows_computed = !rows_computed })
+end
+
+module Mem = Make (Source.Mem)
+module Disk = Make (Source.Disk)

@@ -1,0 +1,41 @@
+(** Approximate (k-difference) search on the suffix tree — the §5
+    alternative of Chavez and Navarro: "an algorithm operating on a
+    suffix tree that finds all matches within a certain edit distance".
+
+    A depth-first walk of the tree carries one unit-cost edit-distance
+    DP row per path symbol and prunes a branch as soon as every row
+    entry exceeds [max_diffs]; a path whose full-query entry is within
+    the budget reports every leaf below it.
+
+    The paper's point (§5) is that for PAM/BLOSUM scoring "edit distance
+    provides a very loose lower-bound on the actual alignment score,
+    since certain residues are substituted with high likelihood" — the
+    [edit] benchmark quantifies how differently this search and the
+    score-driven OASIS select sequences. *)
+
+type hit = {
+  seq_index : int;
+  edits : int;  (** smallest edit distance found for this sequence *)
+  target_stop : int;  (** sequence-local end of one best occurrence *)
+}
+
+type stats = {
+  nodes_visited : int;
+  rows_computed : int;  (** DP rows, comparable to column counts *)
+}
+
+module Make (S : Source.S) : sig
+  val search :
+    source:S.t ->
+    db:Bioseq.Database.t ->
+    query:Bioseq.Sequence.t ->
+    max_diffs:int ->
+    hit list * stats
+  (** All sequences containing a substring within [max_diffs] unit-cost
+      edits (substitution / insertion / deletion) of the whole query,
+      with each sequence's best distance, sorted by increasing [edits]
+      then sequence index. [max_diffs >= 0]. *)
+end
+
+module Mem : module type of Make (Source.Mem)
+module Disk : module type of Make (Source.Disk)

@@ -1,0 +1,544 @@
+type options = {
+  prune_nonpositive : bool;
+  prune_dominated : bool;
+  heuristic : Heuristic.style;
+}
+
+let default_options =
+  { prune_nonpositive = true; prune_dominated = true; heuristic = Heuristic.Safe }
+
+type config = {
+  matrix : Scoring.Submat.t;
+  gap : Scoring.Gap.t;
+  min_score : int;
+  options : options;
+}
+
+let config ?(options = default_options) ~matrix ~gap ~min_score () =
+  { matrix; gap; min_score; options }
+
+let config_for_evalue ?(options = default_options) ~matrix ~gap ~params
+    ~query_length ~db_symbols ~evalue () =
+  let min_score =
+    Scoring.Karlin.score_for_evalue params ~m:query_length ~n:db_symbols ~evalue
+  in
+  { matrix; gap; min_score; options }
+
+type trace_event =
+  | Popped of {
+      priority : int;
+      accepted : bool;
+      depth : int;
+      max_score : int;
+      queue_length : int;
+    }
+  | Reported of { seq_index : int; score : int }
+
+type counters = {
+  columns : int;
+  nodes_expanded : int;
+  nodes_enqueued : int;
+  nodes_pruned : int;
+  max_queue : int;
+}
+
+let neg_inf = Scoring.Submat.neg_inf
+
+module Make (S : Source.S) = struct
+  type snode = {
+    tree_node : S.node;
+    b : int array;  (** empty for accepted nodes (never expanded) *)
+    bd : int array;
+        (** affine gaps only: scores of alignments ending in a
+            gap-vs-target run (Gotoh's D matrix column); empty under the
+            linear model and for accepted nodes *)
+    depth : int;  (** path length in symbols *)
+    max_score : int;
+    max_q : int;  (** query end (exclusive) of the max_score alignment *)
+    max_off : int;  (** path offset (depth) where it ends *)
+    accepted : bool;
+  }
+
+  type t = {
+    source : S.t;
+    db : Bioseq.Database.t;
+    m : int;
+    hvec : int array;
+    cfg : config;
+    rows : int array;
+        (** per-query-position scoring table, row-major [m * dim]:
+            [rows.((i-1) * dim + c)] scores symbol [c] against query
+            position [i] — a matrix row for plain searches, a PSSM
+            column for profile searches *)
+    dim : int;
+    gap_open : int;  (** score of a gap run's first symbol (negative) *)
+    gap_extend : int;  (** score of each further gap symbol (negative) *)
+    affine : bool;
+    term : int;
+    pq : snode Pqueue.t;
+    reported_seq : bool array;
+    mutable reported_count : int;
+    pending : Hit.t Queue.t;
+    mutable c_columns : int;
+    mutable c_expanded : int;
+    mutable c_enqueued : int;
+    mutable c_pruned : int;
+    mutable c_max_queue : int;
+    mutable tracer : (trace_event -> unit) option;
+  }
+
+  (* Shared constructor: [rows]/[hvec] come either from a matrix and a
+     query or from a position-specific profile. *)
+  let create_internal ~source ~db ~profile cfg =
+    if cfg.min_score < 1 then
+      invalid_arg "Oasis.Engine.create: min_score must be >= 1";
+    if
+      Bioseq.Alphabet.name (Scoring.Pssm.alphabet profile)
+      <> Bioseq.Alphabet.name (Bioseq.Database.alphabet db)
+    then invalid_arg "Oasis.Engine.create: alphabet mismatch";
+    let m = Scoring.Pssm.length profile in
+    let hvec =
+      Heuristic.vector_of_profile ~style:cfg.options.heuristic ~gap:cfg.gap
+        profile
+    in
+    let t =
+      {
+        source;
+        db;
+        m;
+        hvec;
+        cfg;
+        rows = Scoring.Pssm.rows_flat profile;
+        dim = Scoring.Pssm.dim profile;
+        gap_open = Scoring.Gap.open_score cfg.gap;
+        gap_extend = Scoring.Gap.extend_score cfg.gap;
+        affine = not (Scoring.Gap.is_linear cfg.gap);
+        term = S.terminator source;
+        pq = Pqueue.create ();
+        reported_seq = Array.make (Bioseq.Database.num_sequences db) false;
+        reported_count = 0;
+        pending = Queue.create ();
+        c_columns = 0;
+        c_expanded = 0;
+        c_enqueued = 0;
+        c_pruned = 0;
+        c_max_queue = 0;
+        tracer = None;
+      }
+    in
+    (* Algorithm 2: seed the queue with the root. Root B entries are 0
+       (the empty partial alignment may start at any query position);
+       entries that cannot reach min_score are pruned. *)
+    let b = Array.make (m + 1) neg_inf in
+    let priority = ref neg_inf in
+    for i = 0 to m do
+      if hvec.(i) >= cfg.min_score then begin
+        b.(i) <- 0;
+        if hvec.(i) > !priority then priority := hvec.(i)
+      end
+    done;
+    if !priority > neg_inf then begin
+      Pqueue.push t.pq ~priority:!priority ~tie:1
+        {
+          tree_node = S.root source;
+          b;
+          bd = (if t.affine then Array.make (m + 1) neg_inf else [||]);
+          depth = 0;
+          max_score = 0;
+          max_q = 0;
+          max_off = 0;
+          accepted = false;
+        };
+      t.c_enqueued <- 1;
+      t.c_max_queue <- 1
+    end;
+    t
+
+  let create ~source ~db ~query cfg =
+    if Bioseq.Sequence.length query = 0 then
+      invalid_arg "Oasis.Engine.create: empty query";
+    if
+      Bioseq.Alphabet.name (Scoring.Submat.alphabet cfg.matrix)
+      <> Bioseq.Alphabet.name (Bioseq.Sequence.alphabet query)
+    then invalid_arg "Oasis.Engine.create: alphabet mismatch";
+    create_internal ~source ~db
+      ~profile:(Scoring.Pssm.of_query ~matrix:cfg.matrix query)
+      cfg
+
+  let create_profile ~source ~db ~profile ?(options = default_options) ~gap
+      ~min_score () =
+    (* The config's matrix slot is irrelevant for profile searches (the
+       profile carries all scores); store the unit matrix of the
+       profile's alphabet so the record stays self-consistent. *)
+    create_internal ~source ~db ~profile
+      {
+        matrix = Scoring.Submat.unit_edit (Scoring.Pssm.alphabet profile);
+        gap;
+        min_score;
+        options;
+      }
+
+  (* Expand one child arc (Algorithm 3) under the fixed gap model.
+     Returns the tagged search node to enqueue, or [None] when the child
+     is unviable. *)
+  let expand_linear t parent child =
+    let start = S.label_start t.source child in
+    let stop = S.label_stop t.source child in
+    let opts = t.cfg.options in
+    let min_score = t.cfg.min_score in
+    let m = t.m in
+    let hvec = t.hvec in
+    let w = Array.copy parent.b in
+    let max_score = ref parent.max_score in
+    let max_q = ref parent.max_q in
+    let max_off = ref parent.max_off in
+    let accepted () =
+      if !max_score >= min_score then
+        Some
+          {
+            tree_node = child;
+            b = [||];
+            bd = [||];
+            depth = 0;
+            max_score = !max_score;
+            max_q = !max_q;
+            max_off = !max_off;
+            accepted = true;
+          }
+      else None
+    in
+    let rec columns idx depth =
+      let arc_done = match stop with Some s -> idx >= s | None -> false in
+      if arc_done then
+        (* Arc consumed: the node stays on the frontier as viable. Its
+           bound was checked after the last column, so ub > max_score
+           and ub >= min_score here. *)
+        let ub = ref neg_inf in
+        let () =
+          for i = 0 to m do
+            if w.(i) > neg_inf && w.(i) + hvec.(i) > !ub then
+              ub := w.(i) + hvec.(i)
+          done
+        in
+        Some
+          ( {
+              tree_node = child;
+              b = w;
+              bd = [||];
+              depth;
+              max_score = !max_score;
+              max_q = !max_q;
+              max_off = !max_off;
+              accepted = false;
+            },
+            !ub )
+      else
+        let c = S.symbol t.source idx in
+        if c = t.term then
+          (* Sequence terminator: nothing below can extend any
+             alignment; only what was already found matters. *)
+          match accepted () with
+          | Some node -> Some (node, node.max_score)
+          | None -> None
+        else begin
+          t.c_columns <- t.c_columns + 1;
+          let depth = depth + 1 in
+          (* One DP column, in place. [diag] carries the previous
+             column's value one row up. *)
+          let diag = ref w.(0) in
+          (* Row 0: the empty query prefix. Off the root it can only be
+             reached by deleting target symbols, which other tree paths
+             cover; it is pruned by rule 1 (or kept, negative, when the
+             rule is off — harmless either way). *)
+          w.(0) <-
+            (if w.(0) = neg_inf then neg_inf
+             else
+               let v = w.(0) + t.gap_extend in
+               if opts.prune_nonpositive && v <= 0 then neg_inf else v);
+          let ub = ref (if w.(0) = neg_inf then neg_inf else w.(0) + hvec.(0)) in
+          for i = 1 to m do
+            let repl =
+              if !diag = neg_inf then neg_inf
+              else !diag + Array.unsafe_get t.rows (((i - 1) * t.dim) + c)
+            in
+            let del = if w.(i) = neg_inf then neg_inf else w.(i) + t.gap_extend in
+            let ins =
+              if w.(i - 1) = neg_inf then neg_inf else w.(i - 1) + t.gap_extend
+            in
+            diag := w.(i);
+            let v = max repl (max del ins) in
+            let v =
+              if v = neg_inf then neg_inf
+              else if opts.prune_nonpositive && v <= 0 then neg_inf
+              else if opts.prune_dominated && v + hvec.(i) <= !max_score then
+                neg_inf
+              else if v + hvec.(i) < min_score then neg_inf
+              else v
+            in
+            w.(i) <- v;
+            if v > neg_inf then begin
+              if v + hvec.(i) > !ub then ub := v + hvec.(i);
+              if v > !max_score then begin
+                max_score := v;
+                max_q := i;
+                max_off := depth
+              end
+            end
+          done;
+          if !ub <= !max_score then
+            (* No extension can beat what this path already found. *)
+            match accepted () with
+            | Some node -> Some (node, node.max_score)
+            | None -> None
+          else if !ub < min_score then None
+          else columns (idx + 1) depth
+        end
+    in
+    match columns start parent.depth with
+    | None ->
+      t.c_pruned <- t.c_pruned + 1;
+      None
+    | Some (node, priority) -> Some (node, priority)
+
+  (* Affine-gap expansion (the paper's §6 future work): Gotoh's
+     three-state recurrence folded into the search-node columns. Each
+     node carries two vectors — [b] (best alignment ending at (i, path
+     end), any final operation) and [bd] (alignments ending in a
+     gap-vs-target run, which can be extended cheaply across the next
+     column). Insert runs (query symbol vs gap) live within a column and
+     need no persistent state. The pruning rules apply to both vectors;
+     since [b >= bd] cell-wise, the priority bound from [b] alone is
+     exact. *)
+  let expand_affine t parent child =
+    let start = S.label_start t.source child in
+    let stop = S.label_stop t.source child in
+    let opts = t.cfg.options in
+    let min_score = t.cfg.min_score in
+    let m = t.m in
+    let hvec = t.hvec in
+    let wh = Array.copy parent.b in
+    let wd = Array.copy parent.bd in
+    let go = t.gap_open and ge = t.gap_extend in
+    let max_score = ref parent.max_score in
+    let max_q = ref parent.max_q in
+    let max_off = ref parent.max_off in
+    let accepted () =
+      if !max_score >= min_score then
+        Some
+          {
+            tree_node = child;
+            b = [||];
+            bd = [||];
+            depth = 0;
+            max_score = !max_score;
+            max_q = !max_q;
+            max_off = !max_off;
+            accepted = true;
+          }
+      else None
+    in
+    let prune i v =
+      if v = neg_inf then neg_inf
+      else if opts.prune_nonpositive && v <= 0 then neg_inf
+      else if opts.prune_dominated && v + hvec.(i) <= !max_score then neg_inf
+      else if v + hvec.(i) < min_score then neg_inf
+      else v
+    in
+    let rec columns idx depth =
+      let arc_done = match stop with Some s -> idx >= s | None -> false in
+      if arc_done then begin
+        let ub = ref neg_inf in
+        for i = 0 to m do
+          if wh.(i) > neg_inf && wh.(i) + hvec.(i) > !ub then
+            ub := wh.(i) + hvec.(i)
+        done;
+        Some
+          ( {
+              tree_node = child;
+              b = wh;
+              bd = wd;
+              depth;
+              max_score = !max_score;
+              max_q = !max_q;
+              max_off = !max_off;
+              accepted = false;
+            },
+            !ub )
+      end
+      else
+        let c = S.symbol t.source idx in
+        if c = t.term then
+          match accepted () with
+          | Some node -> Some (node, node.max_score)
+          | None -> None
+        else begin
+          t.c_columns <- t.c_columns + 1;
+          let depth = depth + 1 in
+          let diag = ref wh.(0) in
+          (* Row 0: reachable only through a delete run. *)
+          let d0 =
+            max
+              (if wh.(0) = neg_inf then neg_inf else wh.(0) + go)
+              (if wd.(0) = neg_inf then neg_inf else wd.(0) + ge)
+          in
+          wd.(0) <- prune 0 d0;
+          wh.(0) <- wd.(0);
+          let ub = ref (if wh.(0) = neg_inf then neg_inf else wh.(0) + hvec.(0)) in
+          let ins = ref neg_inf in
+          for i = 1 to m do
+            (* Delete run: uses the previous column's wh/wd at row i
+               (not yet overwritten). *)
+            let d =
+              max
+                (if wh.(i) = neg_inf then neg_inf else wh.(i) + go)
+                (if wd.(i) = neg_inf then neg_inf else wd.(i) + ge)
+            in
+            (* Insert run: current column, one row up. *)
+            ins :=
+              max
+                (if wh.(i - 1) = neg_inf then neg_inf else wh.(i - 1) + go)
+                (if !ins = neg_inf then neg_inf else !ins + ge);
+            let repl =
+              if !diag = neg_inf then neg_inf
+              else !diag + Array.unsafe_get t.rows (((i - 1) * t.dim) + c)
+            in
+            diag := wh.(i);
+            let d = prune i d in
+            let h = prune i (max repl (max d !ins)) in
+            wd.(i) <- d;
+            wh.(i) <- h;
+            if h > neg_inf then begin
+              if h + hvec.(i) > !ub then ub := h + hvec.(i);
+              if h > !max_score then begin
+                max_score := h;
+                max_q := i;
+                max_off := depth
+              end
+            end
+          done;
+          if !ub <= !max_score then
+            match accepted () with
+            | Some node -> Some (node, node.max_score)
+            | None -> None
+          else if !ub < min_score then None
+          else columns (idx + 1) depth
+        end
+    in
+    match columns start parent.depth with
+    | None ->
+      t.c_pruned <- t.c_pruned + 1;
+      None
+    | Some (node, priority) -> Some (node, priority)
+
+  let expand t parent child =
+    if t.affine then expand_affine t parent child
+    else expand_linear t parent child
+
+  let set_tracer t f = t.tracer <- Some f
+
+  let trace t event =
+    match t.tracer with None -> () | Some f -> f event
+
+  let emit t node =
+    let positions = S.subtree_positions t.source node.tree_node in
+    let hits =
+      List.filter_map
+        (fun p ->
+          let seq_index = Bioseq.Database.seq_of_pos t.db p in
+          if t.reported_seq.(seq_index) then None
+          else begin
+            t.reported_seq.(seq_index) <- true;
+            t.reported_count <- t.reported_count + 1;
+            let global_stop = p + node.max_off in
+            trace t (Reported { seq_index; score = node.max_score });
+            Some
+              {
+                Hit.seq_index;
+                score = node.max_score;
+                query_stop = node.max_q;
+                target_stop =
+                  global_stop - Bioseq.Database.seq_start t.db seq_index;
+              }
+          end)
+        (List.sort compare positions)
+    in
+    List.iter (fun h -> Queue.add h t.pending) hits
+
+  let rec next t =
+    match Queue.take_opt t.pending with
+    | Some hit -> Some hit
+    | None ->
+      if t.reported_count >= Array.length t.reported_seq then None
+      else begin
+        match Pqueue.pop t.pq with
+        | None -> None
+        | Some (priority, node) ->
+          trace t
+            (Popped
+               {
+                 priority;
+                 accepted = node.accepted;
+                 depth = node.depth;
+                 max_score = node.max_score;
+                 queue_length = Pqueue.length t.pq;
+               });
+          if node.accepted then emit t node
+          else begin
+            t.c_expanded <- t.c_expanded + 1;
+            List.iter
+              (fun child ->
+                match expand t node child with
+                | None -> ()
+                | Some (snode, priority) ->
+                  t.c_enqueued <- t.c_enqueued + 1;
+                  Pqueue.push t.pq ~priority
+                    ~tie:(if snode.accepted then 0 else 1)
+                    snode)
+              (S.children t.source node.tree_node);
+            t.c_max_queue <- max t.c_max_queue (Pqueue.length t.pq)
+          end;
+          next t
+      end
+
+  let run ?limit t =
+    let rec go acc n =
+      match limit with
+      | Some l when n >= l -> List.rev acc
+      | _ -> (
+        match next t with
+        | None -> List.rev acc
+        | Some hit -> go (hit :: acc) (n + 1))
+    in
+    go [] 0
+
+  let peek_bound t =
+    let from_queue = Pqueue.peek_priority t.pq in
+    match Queue.peek_opt t.pending with
+    | None -> from_queue
+    | Some hit -> (
+      match from_queue with
+      | None -> Some hit.Hit.score
+      | Some p -> Some (max p hit.Hit.score))
+
+  let counters t =
+    {
+      columns = t.c_columns;
+      nodes_expanded = t.c_expanded;
+      nodes_enqueued = t.c_enqueued;
+      nodes_pruned = t.c_pruned;
+      max_queue = t.c_max_queue;
+    }
+
+  let queue_length t = Pqueue.length t.pq
+  let reported t = t.reported_count
+end
+
+module type DRIVER = sig
+  type t
+
+  val next : t -> Hit.t option
+  val peek_bound : t -> int option
+end
+
+module Mem = Make (Source.Mem)
+module Disk = Make (Source.Disk)

@@ -1,0 +1,144 @@
+(** The OASIS search engine (§3, Algorithms 1-3).
+
+    A best-first A* search over a suffix tree: each search node
+    corresponds to a tree node and stores one Smith-Waterman-style
+    column [B] for the alignments that end exactly at its path end,
+    together with the best score [max_score] already found along the
+    path and an admissible upper bound (the priority) on anything its
+    subtree can still produce. Expanding a node fills the DP columns for
+    the symbols of a child arc, applying the three §3.2 pruning rules.
+
+    When a node whose bound is exact (an {e accepted} node) reaches the
+    head of the queue, no remaining path can beat it, so its sequences
+    are reported immediately — results stream out in non-increasing
+    score order, which is the paper's online property.
+
+    Scores agree exactly with {!Align.Smith_waterman.search}: one hit
+    per sequence, its maximum local-alignment score, for every sequence
+    whose score reaches [min_score]. *)
+
+type options = {
+  prune_nonpositive : bool;  (** §3.2 rule 1 *)
+  prune_dominated : bool;  (** §3.2 rule 2 *)
+  heuristic : Heuristic.style;
+}
+(** Switching a rule off keeps results identical and is only slower —
+    the ablation benchmarks measure by how much. *)
+
+val default_options : options
+
+type config = {
+  matrix : Scoring.Submat.t;
+  gap : Scoring.Gap.t;
+      (** [Linear] is the paper's fixed gap model (§4.2); [Affine]
+          (Gotoh) is this implementation's extension of the paper's §6
+          future work — the engine then carries two DP vectors per
+          search node. Results agree with the correspondingly-configured
+          Smith-Waterman under either model. *)
+  min_score : int;  (** >= 1 *)
+  options : options;
+}
+
+val config :
+  ?options:options ->
+  matrix:Scoring.Submat.t ->
+  gap:Scoring.Gap.t ->
+  min_score:int ->
+  unit ->
+  config
+
+val config_for_evalue :
+  ?options:options ->
+  matrix:Scoring.Submat.t ->
+  gap:Scoring.Gap.t ->
+  params:Scoring.Karlin.params ->
+  query_length:int ->
+  db_symbols:int ->
+  evalue:float ->
+  unit ->
+  config
+(** Equation 3: translate a BLAST-style E-value cutoff into
+    [min_score]. *)
+
+(** Search-trace events, mirroring the §3.3 worked example's narration:
+    one event per queue pop and per reported hit. Attach an observer
+    with [Make.set_tracer] (pedagogy and debugging; zero cost when
+    unset). *)
+type trace_event =
+  | Popped of {
+      priority : int;
+      accepted : bool;
+      depth : int;  (** path length of the popped node *)
+      max_score : int;
+      queue_length : int;
+    }
+  | Reported of { seq_index : int; score : int }
+
+type counters = {
+  columns : int;  (** DP columns filled — the Figure 4 metric *)
+  nodes_expanded : int;
+  nodes_enqueued : int;
+  nodes_pruned : int;  (** children discarded as unviable *)
+  max_queue : int;
+}
+
+module Make (S : Source.S) : sig
+  type t
+
+  val create : source:S.t -> db:Bioseq.Database.t -> query:Bioseq.Sequence.t -> config -> t
+  (** Raises [Invalid_argument] on an empty query, [min_score < 1], or
+      an alphabet mismatch. [db] must be the database the tree was built
+      on. *)
+
+  val create_profile :
+    source:S.t ->
+    db:Bioseq.Database.t ->
+    profile:Scoring.Pssm.t ->
+    ?options:options ->
+    gap:Scoring.Gap.t ->
+    min_score:int ->
+    unit ->
+    t
+  (** Profile (PSSM) search: exactly like {!create} but scoring each
+      query position with its own column of scores. With
+      [Scoring.Pssm.of_query] this degenerates to the plain-matrix
+      search (property-tested); with a family-derived profile it is the
+      exact equivalent of a PSI-BLAST-style profile scan. *)
+
+  val next : t -> Hit.t option
+  (** The next result, online: strictly non-increasing scores across
+      calls; each sequence appears at most once. [None] when the queue
+      is exhausted or every sequence has been reported. *)
+
+  val run : ?limit:int -> t -> Hit.t list
+  (** Drain [next] (up to [limit] results). *)
+
+  val set_tracer : t -> (trace_event -> unit) -> unit
+  (** Observe the search as it runs (see {!trace_event}). *)
+
+  val peek_bound : t -> int option
+  (** An upper bound on the score of every hit {!next} can still return
+      ([None] once nothing remains). Non-increasing across calls; used by
+      {!Evalue_stream} to re-order hits by length-adjusted E-value
+      without losing the online property. *)
+
+  val counters : t -> counters
+  val queue_length : t -> int
+  val reported : t -> int
+end
+
+(** Minimal pull interface shared by every engine instantiation (what
+    {!Evalue_stream} needs). *)
+module type DRIVER = sig
+  type t
+
+  val next : t -> Hit.t option
+  val peek_bound : t -> int option
+end
+
+module Mem : module type of Make (Source.Mem)
+(** Engine over the in-memory {!Suffix_tree.Tree}. *)
+
+module Disk : module type of Make (Source.Disk)
+(** Engine over the paged {!Storage.Disk_tree}; every tree and symbol
+    access goes through the buffer pool. *)

@@ -1,0 +1,80 @@
+module Make (D : Engine.DRIVER) = struct
+  module Buffer_set = Set.Make (struct
+    type t = float * int * Hit.t (* adjusted E, sequence index, hit *)
+
+    let compare (e1, s1, _) (e2, s2, _) =
+      if e1 <> e2 then compare e1 e2 else compare s1 s2
+  end)
+
+  type t = {
+    driver : D.t;
+    db : Bioseq.Database.t;
+    params : Scoring.Karlin.params;
+    query_length : int;
+    num_sequences : int;
+    min_seq_len : int;
+    mutable buffer : Buffer_set.t;
+    mutable exhausted : bool;
+  }
+
+  let create ~driver ~db ~params ~query_length =
+    let min_seq_len =
+      let best = ref max_int in
+      for i = 0 to Bioseq.Database.num_sequences db - 1 do
+        best := min !best (Bioseq.Sequence.length (Bioseq.Database.seq db i))
+      done;
+      !best
+    in
+    {
+      driver;
+      db;
+      params;
+      query_length;
+      num_sequences = Bioseq.Database.num_sequences db;
+      min_seq_len = max 1 min_seq_len;
+      buffer = Buffer_set.empty;
+      exhausted = false;
+    }
+
+  let adjusted t (hit : Hit.t) =
+    let len = Bioseq.Sequence.length (Bioseq.Database.seq t.db hit.seq_index) in
+    float_of_int t.num_sequences
+    *. Scoring.Karlin.evalue t.params ~m:t.query_length ~n:len ~score:hit.score
+
+  (* Best (smallest) adjusted E-value any hit still inside the engine
+     could achieve: the frontier's score bound against the shortest
+     sequence. *)
+  let optimistic_future t =
+    match D.peek_bound t.driver with
+    | None -> infinity
+    | Some bound ->
+      float_of_int t.num_sequences
+      *. Scoring.Karlin.evalue t.params ~m:t.query_length ~n:t.min_seq_len
+           ~score:bound
+
+  let rec next t =
+    let releasable =
+      match Buffer_set.min_elt_opt t.buffer with
+      | None -> None
+      | Some ((e, _, _) as entry) ->
+        if t.exhausted || e <= optimistic_future t then Some entry else None
+    in
+    match releasable with
+    | Some ((e, _, hit) as entry) ->
+      t.buffer <- Buffer_set.remove entry t.buffer;
+      Some (hit, e)
+    | None ->
+      if t.exhausted then None
+      else begin
+        (match D.next t.driver with
+        | None -> t.exhausted <- true
+        | Some hit ->
+          t.buffer <- Buffer_set.add (adjusted t hit, hit.seq_index, hit) t.buffer);
+        next t
+      end
+
+  let buffered t = Buffer_set.cardinal t.buffer
+end
+
+module Mem = Make (Engine.Mem)
+module Disk = Make (Engine.Disk)

@@ -1,0 +1,41 @@
+(** Online results ordered by length-adjusted E-value (§4.3).
+
+    BLAST adjusts each alignment's E-value for the length of the
+    database sequence it occurs in; the engine's native order (by score,
+    equivalently by the database-level E-value of Equation 2) is not the
+    same order. The paper sketches how OASIS keeps its online property
+    anyway: order the frontier by an optimistic E-value and push
+    accepted sequences back "with a non-optimistic E value" adjusted for
+    the actual sequence length. This module implements that: it buffers
+    engine hits and releases one only when its adjusted E-value is at
+    most the best adjusted E-value any still-unseen hit could reach
+    (computed from the engine's frontier bound and the shortest database
+    sequence).
+
+    The length-adjusted model is
+    [E = K * m * len(sequence) * num_sequences * exp (-lambda * s)]:
+    Equation 2 with the sequence's own length replacing the average
+    length implied by the database total. *)
+
+module Make (D : Engine.DRIVER) : sig
+  type t
+
+  val create :
+    driver:D.t ->
+    db:Bioseq.Database.t ->
+    params:Scoring.Karlin.params ->
+    query_length:int ->
+    t
+
+  val next : t -> (Hit.t * float) option
+  (** Hits in non-decreasing adjusted E-value order, each with its
+      adjusted E-value. Exactly the same hit set as draining the
+      underlying engine. *)
+
+  val buffered : t -> int
+  (** Hits held back waiting for the frontier bound to drop (exposed for
+      tests and instrumentation). *)
+end
+
+module Mem : module type of Make (Engine.Mem)
+module Disk : module type of Make (Engine.Disk)

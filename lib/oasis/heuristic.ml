@@ -1,0 +1,59 @@
+type style = Safe | Paper
+
+let is_admissible_paper ~matrix ~query =
+  let ok = ref true in
+  for i = 0 to Bioseq.Sequence.length query - 1 do
+    if Scoring.Submat.best_against matrix (Bioseq.Sequence.get query i) < 0 then
+      ok := false
+  done;
+  !ok
+
+let vector_of_bests ~style ~gap bests =
+  let m = Array.length bests in
+  let h = Array.make (m + 1) 0 in
+  (match style with
+  | Safe ->
+    let ge = Scoring.Gap.extend_score gap in
+    for i = m - 1 downto 0 do
+      h.(i) <- max 0 (h.(i + 1) + max bests.(i) ge)
+    done
+  | Paper ->
+    Array.iter
+      (fun b ->
+        if b < 0 then
+          invalid_arg
+            "Heuristic: the paper-style vector is inadmissible here (a \
+             column's best score is negative); use Safe")
+      bests;
+    for i = m - 1 downto 0 do
+      h.(i) <- h.(i + 1) + bests.(i)
+    done);
+  h
+
+let vector_of_profile ~style ~gap profile =
+  vector_of_bests ~style ~gap
+    (Array.init (Scoring.Pssm.length profile) (Scoring.Pssm.best_at profile))
+
+let vector ~style ~matrix ~gap ~query =
+  let m = Bioseq.Sequence.length query in
+  let h = Array.make (m + 1) 0 in
+  (match style with
+  | Safe ->
+    let ge = Scoring.Gap.extend_score gap in
+    for i = m - 1 downto 0 do
+      let c =
+        max (Scoring.Submat.best_against matrix (Bioseq.Sequence.get query i)) ge
+      in
+      h.(i) <- max 0 (h.(i + 1) + c)
+    done
+  | Paper ->
+    if not (is_admissible_paper ~matrix ~query) then
+      invalid_arg
+        "Heuristic.vector: the paper-style vector is inadmissible here (a \
+         query symbol has an all-negative matrix row); use Safe";
+    for i = m - 1 downto 0 do
+      h.(i) <-
+        h.(i + 1)
+        + Scoring.Submat.best_against matrix (Bioseq.Sequence.get query i)
+    done);
+  h

@@ -1,0 +1,41 @@
+(** The OASIS heuristic vector (Algorithm 2).
+
+    [H.(i)] is an upper bound on the score any alignment can gain by
+    consuming more of the query after position [i] (1-based; [H.(m)] is
+    0 by definition since nothing remains). The A* priority of a search
+    node is [max_i (B.(i) + H.(i))]. *)
+
+type style =
+  | Safe
+      (** Per-symbol optimistic gain
+          [c_j = max (best replacement for q_j) (gap extension)], summed
+          with a clamp at zero:
+          [H.(i) = max 0 (H.(i+1) + c.(i+1))]. Admissible for every
+          substitution matrix, including ones with all-negative rows. *)
+  | Paper
+      (** The paper's §3.1 vector: the plain running sum of best
+          replacement scores, no gap term, no clamp. Admissible only
+          when every query symbol has a non-negative best replacement
+          (true for PAM/BLOSUM diagonals); kept for the ablation
+          benchmarks. *)
+
+val vector :
+  style:style ->
+  matrix:Scoring.Submat.t ->
+  gap:Scoring.Gap.t ->
+  query:Bioseq.Sequence.t ->
+  int array
+(** Length [m+1]. Raises [Invalid_argument] if [style = Paper] would be
+    inadmissible for this query/matrix pair. *)
+
+val vector_of_profile :
+  style:style -> gap:Scoring.Gap.t -> Scoring.Pssm.t -> int array
+(** The same vector for a position-specific profile: [c_j] is the best
+    score of profile column [j] (or the gap extension under [Safe]).
+    [Paper] style raises [Invalid_argument] when some column's best
+    score is negative. *)
+
+val is_admissible_paper :
+  matrix:Scoring.Submat.t -> query:Bioseq.Sequence.t -> bool
+(** Whether every query symbol's best replacement score is
+    non-negative. *)

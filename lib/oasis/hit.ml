@@ -1,0 +1,14 @@
+type t = {
+  seq_index : int;
+  score : int;
+  query_stop : int;
+  target_stop : int;
+}
+
+let compare_for_report a b =
+  if a.score <> b.score then compare b.score a.score
+  else compare a.seq_index b.seq_index
+
+let pp ppf h =
+  Format.fprintf ppf "seq %d score %d (query ..%d, target ..%d)" h.seq_index
+    h.score h.query_stop h.target_stop

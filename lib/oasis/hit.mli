@@ -1,0 +1,17 @@
+(** Search results.
+
+    OASIS duplicates the reporting convention of the S-W baseline (§3):
+    one hit per database sequence — its strongest local alignment —
+    emitted online in non-increasing score order. *)
+
+type t = {
+  seq_index : int;
+  score : int;
+  query_stop : int;  (** one past the last aligned query symbol *)
+  target_stop : int;  (** one past the last aligned symbol, sequence-local *)
+}
+
+val compare_for_report : t -> t -> int
+(** Decreasing score, then increasing sequence index. *)
+
+val pp : Format.formatter -> t -> unit

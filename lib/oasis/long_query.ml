@@ -1,0 +1,93 @@
+type stats = {
+  segment_columns : int;
+  verify_columns : int;
+  candidates : int;
+}
+
+module Make (S : Source.S) = struct
+  module E = Engine.Make (S)
+
+  let segment_bounds ~len ~segments =
+    (* [segments] consecutive pieces covering [0, len), sizes differing
+       by at most one. *)
+    let base = len / segments and extra = len mod segments in
+    let rec go i start acc =
+      if i = segments then List.rev acc
+      else
+        let size = base + if i < extra then 1 else 0 in
+        go (i + 1) (start + size) ((start, size) :: acc)
+    in
+    go 0 0 [] |> List.filter (fun (_, size) -> size > 0)
+
+  let search ~source ~db ~query ~segments (cfg : Engine.config) =
+    if segments < 1 then invalid_arg "Long_query.search: segments < 1";
+    let len = Bioseq.Sequence.length query in
+    let segments = min segments len in
+    let pieces = segment_bounds ~len ~segments in
+    let k = List.length pieces in
+    (* Affine splitting slack: each boundary may cut one gap run, which
+       then pays the opening difference once more. *)
+    let slack =
+      (k - 1)
+      * (Scoring.Gap.extend_score cfg.gap - Scoring.Gap.open_score cfg.gap)
+    in
+    let piece_min_score =
+      max 1
+        (int_of_float
+           (ceil (float_of_int (cfg.min_score - slack) /. float_of_int k)))
+    in
+    (* Filter: union of sequences reported by any segment search. *)
+    let candidate = Array.make (Bioseq.Database.num_sequences db) false in
+    let segment_columns = ref 0 in
+    List.iter
+      (fun (pos, size) ->
+        let piece = Bioseq.Sequence.sub query ~pos ~len:size in
+        let engine =
+          E.create ~source ~db ~query:piece
+            { cfg with min_score = piece_min_score }
+        in
+        List.iter
+          (fun h -> candidate.(h.Hit.seq_index) <- true)
+          (E.run engine);
+        segment_columns :=
+          !segment_columns + (E.counters engine).Engine.columns)
+      pieces;
+    (* Refine: full-query Smith-Waterman on the candidates only. *)
+    let verify_columns = ref 0 in
+    let hits = ref [] in
+    let num_candidates = ref 0 in
+    Array.iteri
+      (fun seq_index is_candidate ->
+        if is_candidate then begin
+          incr num_candidates;
+          let target = Bioseq.Database.seq db seq_index in
+          let single = Bioseq.Database.make [ target ] in
+          let found, stats =
+            Align.Smith_waterman.search ~matrix:cfg.matrix ~gap:cfg.gap ~query
+              ~db:single ~min_score:cfg.min_score
+          in
+          verify_columns := !verify_columns + stats.Align.Smith_waterman.columns;
+          List.iter
+            (fun (h : Align.Smith_waterman.hit) ->
+              hits :=
+                {
+                  Hit.seq_index;
+                  score = h.score;
+                  query_stop = h.query_stop;
+                  target_stop = h.target_stop;
+                }
+                :: !hits)
+            found
+        end)
+      candidate;
+    let hits = List.sort Hit.compare_for_report !hits in
+    ( hits,
+      {
+        segment_columns = !segment_columns;
+        verify_columns = !verify_columns;
+        candidates = !num_candidates;
+      } )
+end
+
+module Mem = Make (Source.Mem)
+module Disk = Make (Source.Disk)

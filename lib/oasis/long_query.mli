@@ -1,0 +1,43 @@
+(** Long-query acceleration (the paper's §6 "improve the performance of
+    OASIS for answering long queries" future work).
+
+    OASIS's advantage shrinks as queries grow (Figures 3/4): the A*
+    frontier widens until most of the database is expanded. This module
+    implements an {e exact} filter-and-refine strategy: split the query
+    into [segments] consecutive pieces, run an OASIS search per piece
+    with a proportionally lowered threshold, union the candidate
+    sequences, and verify only those with a full Smith-Waterman pass.
+
+    Correctness: split any alignment of score [s] at the segment
+    boundaries of the query. Under a linear gap model the piece scores
+    sum to [s] (a split gap run costs the same in two parts), so some
+    piece scores at least [s / k]; under an affine model splitting a run
+    re-pays the opening difference, costing at most
+    [(k - 1) * (open - extend)] in total. Hence searching every segment
+    at threshold [(min_score - slack) / k] (rounded up, floored at 1)
+    finds a candidate for every sequence OASIS would report, and the
+    verification pass restores exact scores — the hit set equals
+    {!Engine}'s. The result is batch rather than online. *)
+
+type stats = {
+  segment_columns : int;  (** DP columns spent by the segment searches *)
+  verify_columns : int;  (** columns spent verifying candidates *)
+  candidates : int;  (** sequences that survived the filter *)
+}
+
+module Make (S : Source.S) : sig
+  val search :
+    source:S.t ->
+    db:Bioseq.Database.t ->
+    query:Bioseq.Sequence.t ->
+    segments:int ->
+    Engine.config ->
+    Hit.t list * stats
+  (** The same hit set as [Engine.run] with the same config, sorted by
+      decreasing score (ties by sequence index). [segments >= 1];
+      [segments = 1] degenerates to a plain engine run followed by
+      per-candidate verification. *)
+end
+
+module Mem : module type of Make (Source.Mem)
+module Disk : module type of Make (Source.Disk)

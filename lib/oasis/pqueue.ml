@@ -1,0 +1,73 @@
+type 'a entry = { priority : int; tie : int; seqno : int; value : 'a }
+
+type 'a t = {
+  mutable entries : 'a entry array; (* heap in entries.(0 .. size-1) *)
+  mutable size : int;
+  mutable next_seqno : int;
+}
+
+let create () = { entries = [||]; size = 0; next_seqno = 0 }
+let is_empty t = t.size = 0
+let length t = t.size
+
+(* [a] sorts strictly before [b]. *)
+let before a b =
+  if a.priority <> b.priority then a.priority > b.priority
+  else if a.tie <> b.tie then a.tie < b.tie
+  else a.seqno < b.seqno
+
+let grow t entry =
+  let cap = Array.length t.entries in
+  if t.size = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let entries = Array.make ncap entry in
+    Array.blit t.entries 0 entries 0 t.size;
+    t.entries <- entries
+  end
+
+let push t ~priority ?(tie = 1) value =
+  let entry = { priority; tie; seqno = t.next_seqno; value } in
+  t.next_seqno <- t.next_seqno + 1;
+  grow t entry;
+  let entries = t.entries in
+  let rec up i =
+    if i = 0 then entries.(0) <- entry
+    else
+      let parent = (i - 1) / 2 in
+      if before entry entries.(parent) then begin
+        entries.(i) <- entries.(parent);
+        up parent
+      end
+      else entries.(i) <- entry
+  in
+  up t.size;
+  t.size <- t.size + 1
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.entries.(0) in
+    t.size <- t.size - 1;
+    let last = t.entries.(t.size) in
+    let entries = t.entries in
+    let rec down i =
+      let left = (2 * i) + 1 in
+      if left >= t.size then entries.(i) <- last
+      else begin
+        let right = left + 1 in
+        let best =
+          if right < t.size && before entries.(right) entries.(left) then right
+          else left
+        in
+        if before entries.(best) last then begin
+          entries.(i) <- entries.(best);
+          down best
+        end
+        else entries.(i) <- last
+      end
+    in
+    if t.size > 0 then down 0;
+    Some (top.priority, top.value)
+  end
+
+let peek_priority t = if t.size = 0 then None else Some t.entries.(0).priority

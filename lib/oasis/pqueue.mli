@@ -1,0 +1,19 @@
+(** Maximum priority queue (binary heap) for search nodes.
+
+    Ordered by decreasing [priority]; equal priorities break by
+    increasing [tie] (the engine uses [tie = 0] for accepted nodes and
+    [1] for viable nodes, so exact scores surface before equal upper
+    bounds); remaining ties break by insertion order (FIFO), keeping the
+    search deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push : 'a t -> priority:int -> ?tie:int -> 'a -> unit
+
+val pop : 'a t -> (int * 'a) option
+(** Highest priority first; returns [(priority, value)]. *)
+
+val peek_priority : 'a t -> int option

@@ -1,0 +1,47 @@
+module type S = sig
+  type t
+  type node
+
+  val root : t -> node
+  val children : t -> node -> node list
+  val is_leaf : t -> node -> bool
+  val label_start : t -> node -> int
+  val label_stop : t -> node -> int option
+  val symbol : t -> int -> int
+  val terminator : t -> int
+  val subtree_positions : t -> node -> int list
+end
+
+module Mem = struct
+  type t = Suffix_tree.Tree.t
+  type node = Suffix_tree.Tree.node
+
+  let root = Suffix_tree.Tree.root
+  let children _ node = Suffix_tree.Tree.children node
+  let is_leaf _ node = Suffix_tree.Tree.is_leaf node
+  let label_start _ node = fst (Suffix_tree.Tree.label node)
+  let label_stop _ node = Some (snd (Suffix_tree.Tree.label node))
+
+  let symbol t pos =
+    Bioseq.Database.code (Suffix_tree.Tree.database t) pos
+
+  let terminator t =
+    Bioseq.Alphabet.terminator
+      (Bioseq.Database.alphabet (Suffix_tree.Tree.database t))
+
+  let subtree_positions _ node = Suffix_tree.Tree.subtree_positions node
+end
+
+module Disk = struct
+  type t = Storage.Disk_tree.t
+  type node = Storage.Disk_tree.node
+
+  let root = Storage.Disk_tree.root
+  let children = Storage.Disk_tree.children
+  let is_leaf _ node = Storage.Disk_tree.is_leaf node
+  let label_start = Storage.Disk_tree.label_start
+  let label_stop = Storage.Disk_tree.label_stop
+  let symbol = Storage.Disk_tree.symbol
+  let terminator = Storage.Disk_tree.terminator
+  let subtree_positions = Storage.Disk_tree.subtree_positions
+end

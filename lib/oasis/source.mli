@@ -1,0 +1,34 @@
+(** Tree sources: the engine's view of a suffix tree.
+
+    The OASIS search only needs to walk children, read arc labels symbol
+    by symbol, and enumerate the suffix positions below a node. Two
+    implementations are provided: the in-memory {!Suffix_tree.Tree} and
+    the paged {!Storage.Disk_tree} (whose every access is counted by the
+    buffer pool). *)
+
+module type S = sig
+  type t
+  type node
+
+  val root : t -> node
+  val children : t -> node -> node list
+  val is_leaf : t -> node -> bool
+
+  val label_start : t -> node -> int
+  (** Global symbols position where the incoming arc's label begins. *)
+
+  val label_stop : t -> node -> int option
+  (** One past the label's last symbol; [None] when the arc runs to its
+      sequence terminator (leaf arcs on disk). *)
+
+  val symbol : t -> int -> int
+  (** Symbol code at a global position (terminator included). *)
+
+  val terminator : t -> int
+
+  val subtree_positions : t -> node -> int list
+  (** Suffix start positions of all leaf occurrences below the node. *)
+end
+
+module Mem : S with type t = Suffix_tree.Tree.t
+module Disk : S with type t = Storage.Disk_tree.t

@@ -1,0 +1,132 @@
+type config = {
+  q : int;
+  block_size : int;
+  threshold : int;
+  min_score : int;
+  matrix : Scoring.Submat.t;
+  gap : Scoring.Gap.t;
+}
+
+let config ?(q = 3) ?block_size ?(diffs = 2) ~matrix ~gap ~min_score
+    ~query_length () =
+  if query_length < 1 then invalid_arg "Quasar.config: empty query";
+  let q = max 1 (min q query_length) in
+  let block_size =
+    match block_size with Some b -> b | None -> max 64 (2 * query_length)
+  in
+  let threshold = max 1 (query_length - q + 1 - (q * diffs)) in
+  { q; block_size; threshold; min_score; matrix; gap }
+
+type hit = {
+  seq_index : int;
+  score : int;
+  query_stop : int;
+  target_stop : int;
+}
+
+type stats = {
+  qgram_occurrences : int;
+  total_blocks : int;
+  candidate_blocks : int;
+  verified_symbols : int;
+}
+
+let search cfg ~sa ~query =
+  let db = Suffix_tree.Suffix_array.database sa in
+  let data = Bioseq.Database.data db in
+  let n = Bytes.length data in
+  let m = Bioseq.Sequence.length query in
+  let qcodes = Bioseq.Sequence.codes query in
+  (* Half-overlapping blocks: stride = block_size / 2; position p lands
+     in blocks p/stride and p/stride - 1, so any window of length
+     <= stride lies entirely inside at least one block. *)
+  let stride = max 1 (cfg.block_size / 2) in
+  let num_blocks = (n / stride) + 1 in
+  let counts = Array.make num_blocks 0 in
+  let qgram_occurrences = ref 0 in
+  if m >= cfg.q then
+    for i = 0 to m - cfg.q do
+      let gram = Bytes.sub qcodes i cfg.q in
+      match Suffix_tree.Suffix_array.interval sa gram with
+      | None -> ()
+      | Some (lo, hi) ->
+        for r = lo to hi - 1 do
+          let pos = Suffix_tree.Suffix_array.suffix_at sa r in
+          incr qgram_occurrences;
+          let b = pos / stride in
+          counts.(b) <- counts.(b) + 1;
+          if b > 0 then counts.(b - 1) <- counts.(b - 1) + 1
+        done
+    done;
+  (* Candidate regions: blocks over threshold, grown by the query length
+     so alignments poking out of a block stay verifiable, then merged. *)
+  let regions = ref [] in
+  let candidate_blocks = ref 0 in
+  for b = num_blocks - 1 downto 0 do
+    if counts.(b) >= cfg.threshold then begin
+      incr candidate_blocks;
+      let lo = max 0 ((b * stride) - m) in
+      let hi = min n ((b * stride) + cfg.block_size + m) in
+      match !regions with
+      | (next_lo, next_hi) :: rest when hi >= next_lo ->
+        regions := (lo, max hi next_hi) :: rest
+      | _ -> regions := (lo, hi) :: !regions
+    end
+  done;
+  (* Verify each region; keep the best alignment per sequence. A region
+     may span several sequences — split it at their boundaries so hits
+     map cleanly. *)
+  let best : (int, hit) Hashtbl.t = Hashtbl.create 64 in
+  let verified_symbols = ref 0 in
+  let verify_seq_slice seq_index lo hi =
+    if hi > lo then begin
+      verified_symbols := !verified_symbols + (hi - lo);
+      let score, query_stop, stop_global =
+        Align.Smith_waterman.best_in_region ~matrix:cfg.matrix ~gap:cfg.gap
+          ~query ~data ~lo ~hi
+      in
+      if score >= cfg.min_score then begin
+        let hit =
+          {
+            seq_index;
+            score;
+            query_stop;
+            target_stop = stop_global - Bioseq.Database.seq_start db seq_index;
+          }
+        in
+        match Hashtbl.find_opt best seq_index with
+        | Some old when old.score >= score -> ()
+        | _ -> Hashtbl.replace best seq_index hit
+      end
+    end
+  in
+  List.iter
+    (fun (lo, hi) ->
+      let rec split pos =
+        if pos < hi then begin
+          let seq_index = Bioseq.Database.seq_of_pos db pos in
+          let seq_end =
+            Bioseq.Database.seq_start db seq_index
+            + Bioseq.Sequence.length (Bioseq.Database.seq db seq_index)
+          in
+          let slice_hi = min hi seq_end in
+          verify_seq_slice seq_index pos slice_hi;
+          (* Skip the terminator and continue in the next sequence. *)
+          split (seq_end + 1)
+        end
+      in
+      split lo)
+    !regions;
+  let hits =
+    Hashtbl.fold (fun _ hit acc -> hit :: acc) best []
+    |> List.sort (fun a b ->
+           if a.score <> b.score then compare b.score a.score
+           else compare a.seq_index b.seq_index)
+  in
+  ( hits,
+    {
+      qgram_occurrences = !qgram_occurrences;
+      total_blocks = num_blocks;
+      candidate_blocks = !candidate_blocks;
+      verified_symbols = !verified_symbols;
+    } )

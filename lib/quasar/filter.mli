@@ -1,0 +1,57 @@
+(** A QUASAR-style q-gram filter (Burkhardt et al., RECOMB 1999) — the
+    related-work baseline the paper singles out in §5: "an efficient,
+    but inaccurate, system for local alignment matching ... based on
+    suffix arrays, it achieves a performance gain over BLAST ... by
+    filtering out sections of the database not likely to generate any
+    useful matches".
+
+    The database is covered by half-overlapping blocks. Each query
+    q-gram is located through the suffix array; a block collecting at
+    least [threshold] q-gram hits becomes a candidate and is verified
+    with a Smith-Waterman pass; everything else is skipped. The q-gram
+    lemma makes the filter lossless for alignments with at most [k]
+    differences inside one block ([threshold <= m - q + 1 - q*k]), but
+    as a filter for weighted local alignment it is heuristic — like
+    BLAST, it can miss matches OASIS finds. *)
+
+type config = {
+  q : int;  (** q-gram length *)
+  block_size : int;  (** blocks overlap by half of this *)
+  threshold : int;  (** q-gram hits needed to keep a block *)
+  min_score : int;
+  matrix : Scoring.Submat.t;
+  gap : Scoring.Gap.t;
+}
+
+val config :
+  ?q:int ->
+  ?block_size:int ->
+  ?diffs:int ->
+  matrix:Scoring.Submat.t ->
+  gap:Scoring.Gap.t ->
+  min_score:int ->
+  query_length:int ->
+  unit ->
+  config
+(** Defaults: [q = 3] (capped at the query length), [block_size] twice
+    the query length (at least 64), and the lemma threshold for
+    [diffs = 2] differences: [max 1 (m - q + 1 - q * diffs)]. *)
+
+type hit = {
+  seq_index : int;
+  score : int;
+  query_stop : int;
+  target_stop : int;  (** sequence-local, exclusive *)
+}
+
+type stats = {
+  qgram_occurrences : int;  (** database positions hit by query q-grams *)
+  total_blocks : int;
+  candidate_blocks : int;
+  verified_symbols : int;  (** database symbols the verifier scanned *)
+}
+
+val search :
+  config -> sa:Suffix_tree.Suffix_array.t -> query:Bioseq.Sequence.t -> hit list * stats
+(** One hit per sequence (its best alignment found inside candidate
+    regions), sorted by decreasing score. *)

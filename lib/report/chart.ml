@@ -1,0 +1,105 @@
+type scale = Linear | Log10
+
+type series = {
+  label : string;
+  mark : char;
+  points : (float * float) list;
+}
+
+let transform = function
+  | Linear -> fun v -> v
+  | Log10 -> fun v -> log10 v
+
+let usable scale (x, y) =
+  (match scale with Linear, _ -> true | Log10, _ -> x > 0.)
+  |> fun ok_x ->
+  ok_x && (match scale with _, Linear -> true | _, Log10 -> y > 0.)
+
+let tick_label scale v =
+  match scale with
+  | Linear ->
+    if Float.abs v >= 1000. then Printf.sprintf "%.3g" v
+    else Printf.sprintf "%.4g" v
+  | Log10 -> Printf.sprintf "1e%.0f" v
+
+let render ?(width = 64) ?(height = 16) ?(x_scale = Linear) ?(y_scale = Linear)
+    ?(x_label = "") ?(y_label = "") ~title series =
+  let fx = transform x_scale and fy = transform y_scale in
+  let points =
+    List.concat_map
+      (fun s ->
+        List.filter_map
+          (fun p ->
+            if usable (x_scale, y_scale) p then
+              Some (s.mark, fx (fst p), fy (snd p))
+            else None)
+          s.points)
+      series
+  in
+  if points = [] then ""
+  else begin
+    let xs = List.map (fun (_, x, _) -> x) points in
+    let ys = List.map (fun (_, _, y) -> y) points in
+    let fmin = List.fold_left min infinity and fmax = List.fold_left max neg_infinity in
+    let x_lo = fmin xs and x_hi = fmax xs in
+    let y_lo = fmin ys and y_hi = fmax ys in
+    let pad v_lo v_hi =
+      if v_hi > v_lo then (v_lo, v_hi) else (v_lo -. 0.5, v_hi +. 0.5)
+    in
+    let x_lo, x_hi = pad x_lo x_hi and y_lo, y_hi = pad y_lo y_hi in
+    let canvas = Array.make_matrix height width ' ' in
+    let col x =
+      let c =
+        int_of_float
+          (Float.round ((x -. x_lo) /. (x_hi -. x_lo) *. float_of_int (width - 1)))
+      in
+      max 0 (min (width - 1) c)
+    in
+    let row y =
+      let r =
+        int_of_float
+          (Float.round
+             ((y -. y_lo) /. (y_hi -. y_lo) *. float_of_int (height - 1)))
+      in
+      (* Row 0 is the top of the canvas. *)
+      height - 1 - max 0 (min (height - 1) r)
+    in
+    List.iter (fun (mark, x, y) -> canvas.(row y).(col x) <- mark) points;
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n';
+    if y_label <> "" then begin
+      Buffer.add_string buf ("  [y: " ^ y_label ^ "]");
+      Buffer.add_char buf '\n'
+    end;
+    let y_tick r =
+      (* Value at canvas row [r]. *)
+      y_lo
+      +. ((y_hi -. y_lo) *. float_of_int (height - 1 - r) /. float_of_int (height - 1))
+    in
+    Array.iteri
+      (fun r line ->
+        let label =
+          if r = 0 || r = height - 1 || r = height / 2 then
+            Printf.sprintf "%8s |" (tick_label y_scale (y_tick r))
+          else Printf.sprintf "%8s |" ""
+        in
+        Buffer.add_string buf label;
+        Buffer.add_string buf (String.init width (fun c -> line.(c)));
+        Buffer.add_char buf '\n')
+      canvas;
+    Buffer.add_string buf (Printf.sprintf "%8s +%s\n" "" (String.make width '-'));
+    Buffer.add_string buf
+      (Printf.sprintf "%8s  %-*s%s\n" ""
+         (width - String.length (tick_label x_scale x_hi))
+         (tick_label x_scale x_lo)
+         (tick_label x_scale x_hi));
+    if x_label <> "" then
+      Buffer.add_string buf (Printf.sprintf "%8s  [x: %s]\n" "" x_label);
+    Buffer.add_string buf "  legend:";
+    List.iter
+      (fun s -> Buffer.add_string buf (Printf.sprintf "  %c %s" s.mark s.label))
+      series;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+  end

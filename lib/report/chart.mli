@@ -1,0 +1,31 @@
+(** Terminal (ASCII) charts for the benchmark harness — so the
+    regenerated experiments read as figures, like the paper's, not just
+    tables.
+
+    Multiple series share one plot; marks use one character per series.
+    Axes can be linear or base-10 logarithmic (the paper plots most
+    times on a log scale). *)
+
+type scale = Linear | Log10
+
+type series = {
+  label : string;
+  mark : char;
+  points : (float * float) list;
+}
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_scale:scale ->
+  ?y_scale:scale ->
+  ?x_label:string ->
+  ?y_label:string ->
+  title:string ->
+  series list ->
+  string
+(** [render ~title series] draws all series on one canvas
+    (default 64x16 plot area) with axis ticks and a legend. Points with
+    non-positive coordinates on a log axis are dropped. Returns [""] if
+    no point remains. Overlapping marks show the later series'
+    character. *)

@@ -1,0 +1,204 @@
+type format = Tabular | Pairwise | Summary
+
+type row = {
+  query : Bioseq.Sequence.t;
+  target : Bioseq.Sequence.t;
+  alignment : Align.Alignment.t;
+  evalue : float option;
+  bit_score : float option;
+}
+
+let row ~matrix ~gap ?params ?db_symbols ~db ~query ~seq_index () =
+  let target = Bioseq.Database.seq db seq_index in
+  let alignment = Align.Smith_waterman.align ~matrix ~gap ~query ~target in
+  let evalue, bit_score =
+    match params with
+    | None -> (None, None)
+    | Some p ->
+      let n =
+        match db_symbols with
+        | Some n -> n
+        | None -> Bioseq.Database.total_symbols db
+      in
+      ( Some
+          (Scoring.Karlin.evalue p
+             ~m:(Bioseq.Sequence.length query)
+             ~n ~score:alignment.Align.Alignment.score),
+        Some (Scoring.Karlin.bit_score p alignment.Align.Alignment.score) )
+  in
+  { query; target; alignment; evalue; bit_score }
+
+(* Walk operations with query/target cursors. *)
+let fold_ops r ~init ~f =
+  let a = r.alignment in
+  let acc = ref init in
+  let q = ref a.Align.Alignment.query_start in
+  let t = ref a.Align.Alignment.target_start in
+  List.iter
+    (fun op ->
+      acc := f !acc ~q:!q ~t:!t op;
+      match op with
+      | Align.Alignment.Replace ->
+        incr q;
+        incr t
+      | Align.Alignment.Insert -> incr q
+      | Align.Alignment.Delete -> incr t)
+    a.Align.Alignment.ops;
+  !acc
+
+let identities r =
+  fold_ops r ~init:0 ~f:(fun acc ~q ~t op ->
+      match op with
+      | Align.Alignment.Replace
+        when Bioseq.Sequence.get r.query q = Bioseq.Sequence.get r.target t ->
+        acc + 1
+      | _ -> acc)
+
+let mismatches r =
+  fold_ops r ~init:0 ~f:(fun acc ~q ~t op ->
+      match op with
+      | Align.Alignment.Replace
+        when Bioseq.Sequence.get r.query q <> Bioseq.Sequence.get r.target t ->
+        acc + 1
+      | _ -> acc)
+
+let gap_opens r =
+  let count, _ =
+    List.fold_left
+      (fun (count, prev) op ->
+        match op with
+        | Align.Alignment.Insert | Align.Alignment.Delete ->
+          if prev = Some op then (count, prev) else (count + 1, Some op)
+        | Align.Alignment.Replace -> (count, Some op))
+      (0, None) r.alignment.Align.Alignment.ops
+  in
+  count
+
+let alignment_length r = List.length r.alignment.Align.Alignment.ops
+
+let percent_identity r =
+  let len = alignment_length r in
+  if len = 0 then 0.
+  else 100. *. float_of_int (identities r) /. float_of_int len
+
+let float_or_star = function
+  | None -> "*"
+  | Some v -> Printf.sprintf "%.3g" v
+
+let tabular_line r =
+  let a = r.alignment in
+  (* 1-based inclusive coordinates, BLAST convention. *)
+  Printf.sprintf "%s\t%s\t%.2f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s"
+    (Bioseq.Sequence.id r.query)
+    (Bioseq.Sequence.id r.target)
+    (percent_identity r) (alignment_length r) (mismatches r) (gap_opens r)
+    (a.Align.Alignment.query_start + 1)
+    a.Align.Alignment.query_stop
+    (a.Align.Alignment.target_start + 1)
+    a.Align.Alignment.target_stop (float_or_star r.evalue)
+    (float_or_star r.bit_score)
+
+let summary_line rank r =
+  Printf.sprintf "%4d. %-24s score %-5d%s%s" rank
+    (Bioseq.Sequence.id r.target)
+    r.alignment.Align.Alignment.score
+    (match r.evalue with
+    | None -> ""
+    | Some e -> Printf.sprintf "  E=%-10.3g" e)
+    (Printf.sprintf "  (%d/%d identities, %.0f%%)" (identities r)
+       (alignment_length r) (percent_identity r))
+
+let pairwise_block buf r =
+  let a = r.alignment in
+  Buffer.add_string buf
+    (Printf.sprintf ">%s%s\n"
+       (Bioseq.Sequence.id r.target)
+       (match Bioseq.Sequence.description r.target with
+       | "" -> ""
+       | d -> " " ^ d));
+  Buffer.add_string buf
+    (Printf.sprintf " Score = %d%s%s\n" a.Align.Alignment.score
+       (match r.bit_score with
+       | None -> ""
+       | Some b -> Printf.sprintf " (%.1f bits)" b)
+       (match r.evalue with
+       | None -> ""
+       | Some e -> Printf.sprintf ", Expect = %.3g" e));
+  Buffer.add_string buf
+    (Printf.sprintf " Identities = %d/%d (%.0f%%), Gaps = %d\n\n" (identities r)
+       (alignment_length r) (percent_identity r)
+       (alignment_length r - identities r - mismatches r));
+  (* Aligned blocks of 60 columns. *)
+  let qrow = Buffer.create 64
+  and mid = Buffer.create 64
+  and trow = Buffer.create 64 in
+  let _ =
+    fold_ops r ~init:() ~f:(fun () ~q ~t op ->
+        match op with
+        | Align.Alignment.Replace ->
+          let qc = Bioseq.Sequence.char_at r.query q
+          and tc = Bioseq.Sequence.char_at r.target t in
+          Buffer.add_char qrow qc;
+          Buffer.add_char mid (if qc = tc then '|' else ' ');
+          Buffer.add_char trow tc
+        | Align.Alignment.Insert ->
+          Buffer.add_char qrow (Bioseq.Sequence.char_at r.query q);
+          Buffer.add_char mid ' ';
+          Buffer.add_char trow '-'
+        | Align.Alignment.Delete ->
+          Buffer.add_char qrow '-';
+          Buffer.add_char mid ' ';
+          Buffer.add_char trow (Bioseq.Sequence.char_at r.target t))
+  in
+  let qtext = Buffer.contents qrow
+  and mtext = Buffer.contents mid
+  and ttext = Buffer.contents trow in
+  let len = String.length qtext in
+  let rec blocks pos qpos tpos =
+    if pos < len then begin
+      let w = min 60 (len - pos) in
+      let qconsumed =
+        String.fold_left
+          (fun acc c -> if c = '-' then acc else acc + 1)
+          0
+          (String.sub qtext pos w)
+      in
+      let tconsumed =
+        String.fold_left
+          (fun acc c -> if c = '-' then acc else acc + 1)
+          0
+          (String.sub ttext pos w)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "Query %5d %s %d\n" (qpos + 1) (String.sub qtext pos w)
+           (qpos + qconsumed));
+      Buffer.add_string buf
+        (Printf.sprintf "            %s\n" (String.sub mtext pos w));
+      Buffer.add_string buf
+        (Printf.sprintf "Sbjct %5d %s %d\n\n" (tpos + 1) (String.sub ttext pos w)
+           (tpos + tconsumed));
+      blocks (pos + w) (qpos + qconsumed) (tpos + tconsumed)
+    end
+  in
+  blocks 0 r.alignment.Align.Alignment.query_start
+    r.alignment.Align.Alignment.target_start
+
+let to_string format rows =
+  let buf = Buffer.create 1024 in
+  (match format with
+  | Tabular ->
+    List.iter
+      (fun r ->
+        Buffer.add_string buf (tabular_line r);
+        Buffer.add_char buf '\n')
+      rows
+  | Summary ->
+    List.iteri
+      (fun i r ->
+        Buffer.add_string buf (summary_line (i + 1) r);
+        Buffer.add_char buf '\n')
+      rows
+  | Pairwise -> List.iter (pairwise_block buf) rows);
+  Buffer.contents buf
+
+let pp format ppf rows = Format.pp_print_string ppf (to_string format rows)

@@ -1,0 +1,55 @@
+(** Search-result rendering in the formats bioinformaticians expect.
+
+    Any search method's hits reduce to (query, target sequence, best
+    local alignment); this module recomputes the alignment and renders:
+
+    - {!Tabular}: BLAST "outfmt 6" — 12 tab-separated columns
+      (qseqid, sseqid, pident, length, mismatch, gapopen, qstart, qend,
+      sstart, send, evalue, bitscore), 1-based inclusive coordinates,
+      ["*"] for missing statistics;
+    - {!Pairwise}: a classic text report with aligned sequence blocks;
+    - {!Summary}: one line per hit. *)
+
+type format = Tabular | Pairwise | Summary
+
+type row = {
+  query : Bioseq.Sequence.t;
+  target : Bioseq.Sequence.t;
+  alignment : Align.Alignment.t;
+  evalue : float option;
+  bit_score : float option;
+}
+
+val row :
+  matrix:Scoring.Submat.t ->
+  gap:Scoring.Gap.t ->
+  ?params:Scoring.Karlin.params ->
+  ?db_symbols:int ->
+  db:Bioseq.Database.t ->
+  query:Bioseq.Sequence.t ->
+  seq_index:int ->
+  unit ->
+  row
+(** Recompute the best local alignment of [query] against sequence
+    [seq_index] and derive statistics when [params] (and [db_symbols],
+    defaulting to the database total) are available. *)
+
+(** {1 Alignment statistics} *)
+
+val identities : row -> int
+val mismatches : row -> int
+
+val gap_opens : row -> int
+(** Number of gap runs (not gap symbols), as in BLAST's gapopen
+    column. *)
+
+val alignment_length : row -> int
+(** Total operations (aligned columns including gaps). *)
+
+val percent_identity : row -> float
+
+(** {1 Rendering} *)
+
+val to_string : format -> row list -> string
+
+val pp : format -> Format.formatter -> row list -> unit

@@ -1,0 +1,43 @@
+let robinson_robinson =
+  (* Robinson & Robinson (1991), order ARNDCQEGHILKMFPSTWYV; the four
+     trailing protein-alphabet codes (B, Z, X, stop) get frequency 0. *)
+  let twenty =
+    [|
+      0.07805; 0.05129; 0.04487; 0.05364; 0.01925; 0.04264; 0.06295; 0.07377;
+      0.02199; 0.05142; 0.09019; 0.05744; 0.02243; 0.03856; 0.05203; 0.07120;
+      0.05841; 0.01330; 0.03216; 0.06441;
+    |]
+  in
+  let total = Array.fold_left ( +. ) 0. twenty in
+  let size = Bioseq.Alphabet.size Bioseq.Alphabet.protein in
+  Array.init size (fun i -> if i < 20 then twenty.(i) /. total else 0.)
+
+let dna_uniform =
+  let size = Bioseq.Alphabet.size Bioseq.Alphabet.dna in
+  Array.init size (fun i -> if i < 4 then 0.25 else 0.)
+
+let dna_gc ~gc =
+  if gc <= 0. || gc >= 1. then invalid_arg "Background.dna_gc: gc out of (0,1)";
+  let size = Bioseq.Alphabet.size Bioseq.Alphabet.dna in
+  (* DNA alphabet order is ACGTN. *)
+  Array.init size (function
+    | 0 | 3 -> (1. -. gc) /. 2.
+    | 1 | 2 -> gc /. 2.
+    | _ -> 0.)
+
+let uniform alphabet =
+  let size = Bioseq.Alphabet.size alphabet in
+  Array.make size (1. /. float_of_int size)
+
+let of_database db =
+  let alphabet = Bioseq.Database.alphabet db in
+  let size = Bioseq.Alphabet.size alphabet in
+  let counts = Array.make size 0 in
+  let data = Bioseq.Database.data db in
+  Bytes.iter
+    (fun c ->
+      let code = Char.code c in
+      if code < size then counts.(code) <- counts.(code) + 1)
+    data;
+  let total = float_of_int (Bioseq.Database.total_symbols db) in
+  Array.map (fun c -> float_of_int c /. total) counts

@@ -1,0 +1,21 @@
+(** Background residue frequencies, used by Karlin–Altschul statistics
+    and by the synthetic workload generators. *)
+
+val robinson_robinson : float array
+(** Robinson & Robinson (1991) amino-acid frequencies, indexed by the
+    codes of {!Bioseq.Alphabet.protein}; ambiguity codes and [*] have
+    frequency 0. Sums to 1. *)
+
+val dna_uniform : float array
+(** Uniform [ACGT] (0.25 each), [N] = 0, over {!Bioseq.Alphabet.dna}. *)
+
+val dna_gc : gc:float -> float array
+(** GC-biased nucleotide frequencies: [C] and [G] get [gc/2] each,
+    [A]/[T] get [(1-gc)/2]. Raises [Invalid_argument] unless
+    [0 < gc < 1]. *)
+
+val uniform : Bioseq.Alphabet.t -> float array
+(** Uniform over all real symbols of an alphabet. *)
+
+val of_database : Bioseq.Database.t -> float array
+(** Empirical symbol frequencies of a database (terminators excluded). *)

@@ -1,0 +1,31 @@
+type t =
+  | Linear of { penalty : int }
+  | Affine of { open_cost : int; extend_cost : int }
+
+let linear penalty =
+  if penalty <= 0 then invalid_arg "Gap.linear: penalty must be positive";
+  Linear { penalty }
+
+let affine ~open_cost ~extend_cost =
+  if open_cost <= 0 || extend_cost <= 0 then
+    invalid_arg "Gap.affine: costs must be positive";
+  Affine { open_cost; extend_cost }
+
+let is_linear = function Linear _ -> true | Affine _ -> false
+
+let open_score = function
+  | Linear { penalty } -> -penalty
+  | Affine { open_cost; extend_cost } -> -(open_cost + extend_cost)
+
+let extend_score = function
+  | Linear { penalty } -> -penalty
+  | Affine { extend_cost; _ } -> -extend_cost
+
+let run_score g k =
+  if k < 1 then invalid_arg "Gap.run_score: run length must be >= 1";
+  open_score g + ((k - 1) * extend_score g)
+
+let pp ppf = function
+  | Linear { penalty } -> Format.fprintf ppf "linear(%d)" penalty
+  | Affine { open_cost; extend_cost } ->
+    Format.fprintf ppf "affine(open=%d, extend=%d)" open_cost extend_cost

@@ -1,0 +1,31 @@
+(** Gap penalty models.
+
+    The paper's evaluation uses the fixed (linear) model: a run of [k]
+    insertions or deletions contributes [-k * penalty] to the alignment
+    score. The affine model ([-(open_cost + k * extend_cost)] per run)
+    is supported by the Smith-Waterman implementation (Gotoh) but not by
+    the OASIS engine, matching the paper's implementation (§4.2). *)
+
+type t =
+  | Linear of { penalty : int }
+  | Affine of { open_cost : int; extend_cost : int }
+
+val linear : int -> t
+(** [linear penalty]; [penalty] must be positive. *)
+
+val affine : open_cost:int -> extend_cost:int -> t
+(** Both costs must be positive. *)
+
+val is_linear : t -> bool
+
+val open_score : t -> int
+(** Score contribution of the first symbol of a gap run (negative). *)
+
+val extend_score : t -> int
+(** Score contribution of each subsequent gap symbol (negative). *)
+
+val run_score : t -> int -> int
+(** [run_score g k] is the (negative) total contribution of a run of
+    [k >= 1] gap symbols. *)
+
+val pp : Format.formatter -> t -> unit

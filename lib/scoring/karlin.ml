@@ -1,0 +1,197 @@
+type params = { lambda : float; k : float; h : float }
+
+exception Unsupported_matrix of string
+
+let unsupported fmt =
+  Printf.ksprintf (fun msg -> raise (Unsupported_matrix msg)) fmt
+
+(* Distribution of the score of one aligned pair drawn from the
+   background: probabilities indexed by [score - low]. *)
+type score_dist = { low : int; probs : float array }
+
+let score_distribution ~matrix ~freqs =
+  let size = Bioseq.Alphabet.size (Submat.alphabet matrix) in
+  if Array.length freqs < size then
+    invalid_arg "Karlin.estimate: frequency array too short";
+  let total =
+    let acc = ref 0. in
+    for a = 0 to size - 1 do
+      if freqs.(a) > 0. then acc := !acc +. freqs.(a)
+    done;
+    !acc
+  in
+  if total <= 0. then invalid_arg "Karlin.estimate: all frequencies are zero";
+  let low = ref max_int and high = ref min_int in
+  for a = 0 to size - 1 do
+    for b = 0 to size - 1 do
+      if freqs.(a) > 0. && freqs.(b) > 0. then begin
+        let s = Submat.score matrix a b in
+        if s < !low then low := s;
+        if s > !high then high := s
+      end
+    done
+  done;
+  let probs = Array.make (!high - !low + 1) 0. in
+  for a = 0 to size - 1 do
+    for b = 0 to size - 1 do
+      if freqs.(a) > 0. && freqs.(b) > 0. then begin
+        let s = Submat.score matrix a b in
+        let p = freqs.(a) /. total *. (freqs.(b) /. total) in
+        probs.(s - !low) <- probs.(s - !low) +. p
+      end
+    done
+  done;
+  { low = !low; probs }
+
+let expected_score d =
+  let acc = ref 0. in
+  Array.iteri (fun i p -> acc := !acc +. (p *. float_of_int (d.low + i))) d.probs;
+  !acc
+
+(* sum_s q_s * exp (lambda * s) *)
+let moment d lambda =
+  let acc = ref 0. in
+  Array.iteri
+    (fun i p ->
+      if p > 0. then acc := !acc +. (p *. exp (lambda *. float_of_int (d.low + i))))
+    d.probs;
+  !acc
+
+let solve_lambda d =
+  (* f lambda = moment - 1 with f 0 = 0, f' 0 = E[s] < 0, f (+inf) = +inf:
+     bracket the positive root then bisect. *)
+  let f lambda = moment d lambda -. 1. in
+  let rec find_hi hi =
+    if hi > 1e4 then unsupported "no positive lambda below 1e4"
+    else if f hi > 0. then hi
+    else find_hi (hi *. 2.)
+  in
+  let hi = find_hi 0.5 in
+  let rec bisect lo hi iters =
+    if iters = 0 then (lo +. hi) /. 2.
+    else
+      let mid = (lo +. hi) /. 2. in
+      if f mid > 0. then bisect lo mid (iters - 1) else bisect mid hi (iters - 1)
+  in
+  bisect 0. hi 200
+
+let relative_entropy d lambda =
+  let acc = ref 0. in
+  Array.iteri
+    (fun i p ->
+      if p > 0. then begin
+        let s = float_of_int (d.low + i) in
+        acc := !acc +. (p *. s *. exp (lambda *. s))
+      end)
+    d.probs;
+  lambda *. !acc
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let score_gcd d =
+  let g = ref 0 in
+  Array.iteri
+    (fun i p ->
+      let s = d.low + i in
+      if p > 0. && s <> 0 then g := gcd !g (abs s))
+    d.probs;
+  if !g = 0 then 1 else !g
+
+(* Convolve [p] (offset [p_low]) with the base distribution. *)
+let convolve (p_low, p) d =
+  let n = Array.length p and m = Array.length d.probs in
+  let out = Array.make (n + m - 1) 0. in
+  for i = 0 to n - 1 do
+    if p.(i) > 0. then
+      for j = 0 to m - 1 do
+        out.(i + j) <- out.(i + j) +. (p.(i) *. d.probs.(j))
+      done
+  done;
+  (p_low + d.low, out)
+
+(* Karlin & Altschul (1990): K = d * lambda * exp (-2 sigma)
+   / (h * (1 - exp (-lambda * d))) with
+   sigma = sum_j (1/j) * (sum_{s<0} P_j(s) e^{lambda s} + P(S_j >= 0)). *)
+let solve_k d lambda h max_convolutions =
+  let delta = score_gcd d in
+  let sigma = ref 0. in
+  let current = ref (d.low, Array.copy d.probs) in
+  (try
+     for j = 1 to max_convolutions do
+       let low, probs = !current in
+       let term = ref 0. in
+       Array.iteri
+         (fun i p ->
+           if p > 0. then begin
+             let s = low + i in
+             if s < 0 then term := !term +. (p *. exp (lambda *. float_of_int s))
+             else term := !term +. p
+           end)
+         probs;
+       sigma := !sigma +. (!term /. float_of_int j);
+       if !term < 1e-12 then raise Exit;
+       if j < max_convolutions then current := convolve !current d
+     done
+   with Exit -> ());
+  let delta_f = float_of_int delta in
+  delta_f *. lambda *. exp (-2. *. !sigma)
+  /. (h *. (1. -. exp (-.lambda *. delta_f)))
+
+let estimate ?(max_convolutions = 60) ~matrix ~freqs () =
+  let d = score_distribution ~matrix ~freqs in
+  if expected_score d >= 0. then
+    unsupported "expected pair score %.4f is non-negative" (expected_score d);
+  if d.low + Array.length d.probs - 1 <= 0 then
+    unsupported "no positive score is reachable";
+  let lambda = solve_lambda d in
+  let h = relative_entropy d lambda in
+  let k = solve_k d lambda h max_convolutions in
+  { lambda; k; h }
+
+let euler_gamma = 0.5772156649015329
+
+let fit_gumbel ~m ~n scores =
+  let k = List.length scores in
+  if k < 10 then invalid_arg "Karlin.fit_gumbel: need at least 10 scores";
+  let fk = float_of_int k in
+  let mean =
+    List.fold_left (fun acc s -> acc +. float_of_int s) 0. scores /. fk
+  in
+  let var =
+    List.fold_left
+      (fun acc s ->
+        let d = float_of_int s -. mean in
+        acc +. (d *. d))
+      0. scores
+    /. (fk -. 1.)
+  in
+  if var <= 0. then invalid_arg "Karlin.fit_gumbel: zero score variance";
+  let lambda = Float.pi /. sqrt (6. *. var) in
+  let mu = mean -. (euler_gamma /. lambda) in
+  let kparam = exp (lambda *. mu) /. (float_of_int m *. float_of_int n) in
+  { lambda; k = kparam; h = 0. }
+
+let evalue p ~m ~n ~score =
+  p.k *. float_of_int m *. float_of_int n *. exp (-.p.lambda *. float_of_int score)
+
+let score_for_evalue p ~m ~n ~evalue =
+  if evalue <= 0. then invalid_arg "Karlin.score_for_evalue: evalue <= 0";
+  let s =
+    log (p.k *. float_of_int m *. float_of_int n /. evalue) /. p.lambda
+  in
+  max 1 (int_of_float (ceil s))
+
+let bit_score p s = ((p.lambda *. float_of_int s) -. log p.k) /. log 2.
+
+let effective_lengths p ~m ~n ~num_sequences =
+  if p.h <= 0. then invalid_arg "Karlin.effective_lengths: h must be positive";
+  let l =
+    log (p.k *. float_of_int m *. float_of_int n) /. p.h
+  in
+  let l = max 0. l in
+  let m' = max 1 (m - int_of_float l) in
+  let n' = max num_sequences (n - int_of_float (float_of_int num_sequences *. l)) in
+  (m', n')
+
+let pp_params ppf p =
+  Format.fprintf ppf "lambda=%.4f K=%.4f H=%.4f" p.lambda p.k p.h

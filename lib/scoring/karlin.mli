@@ -1,0 +1,65 @@
+(** Karlin–Altschul statistics for ungapped local alignment scores.
+
+    For a substitution matrix [S] and background frequencies [p], the
+    number of chance local alignments scoring at least [s] between a
+    query of length [m] and a database of total length [n] is
+    approximately [E = K * m * n * exp (-lambda * s)] (the paper's
+    Equation 2, with [K = gamma] and [lambda = xi]). [lambda] is the
+    unique positive root of [sum_ij p_i p_j exp (lambda * S_ij) = 1];
+    [K] is computed with the convolution method of Karlin & Altschul
+    (1990), as in NCBI's [BlastKarlinLHtoK].
+
+    The paper's evaluation uses a fixed gap model; like classic BLAST
+    with non-default gap costs, we reuse the ungapped parameters as an
+    approximation when converting E-values to score thresholds
+    (Equation 3), which only shifts thresholds by a constant factor and
+    preserves the experiment shapes. *)
+
+type params = { lambda : float; k : float; h : float }
+(** [lambda] and [k] as above; [h] is the relative entropy of the
+    aligned-pair distribution in nats. *)
+
+exception Unsupported_matrix of string
+(** Raised by {!estimate} when no positive [lambda] exists: the expected
+    pair score is non-negative, or no positive score is reachable. *)
+
+val estimate :
+  ?max_convolutions:int -> matrix:Submat.t -> freqs:float array -> unit -> params
+(** [estimate ~matrix ~freqs ()] computes the parameters.
+    [freqs] is indexed by symbol code and must cover the real symbols of
+    the matrix alphabet; it is renormalized over its positive entries.
+    [max_convolutions] (default 60) bounds the K summation. *)
+
+val fit_gumbel : m:int -> n:int -> int list -> params
+(** [fit_gumbel ~m ~n scores] estimates [lambda] and [K] from observed
+    maximum local-alignment scores of independent random (query, target)
+    pairs of lengths [m] and [n], by the method of moments on the Gumbel
+    law [P(S < x) = exp (-K m n e^(-lambda x))]: with Euler's constant
+    [g], [mean = mu + g / lambda], [variance = pi^2 / (6 lambda^2)] and
+    [mu = ln (K m n) / lambda]. This is how {e gapped} parameters — for
+    which no analytic theory exists — are calibrated in practice
+    (Altschul & Gish 1996); the simulation driver lives in
+    [Workload.Calibrate]. The returned [h] is 0 (not estimable from
+    score maxima). Raises [Invalid_argument] on fewer than 10 scores or
+    zero variance. *)
+
+val evalue : params -> m:int -> n:int -> score:int -> float
+(** Equation 2. *)
+
+val score_for_evalue : params -> m:int -> n:int -> evalue:float -> int
+(** Equation 3: the smallest integer score whose E-value is at most
+    [evalue]; at least 1. *)
+
+val bit_score : params -> int -> float
+(** [(lambda * s - ln k) / ln 2]. *)
+
+val effective_lengths :
+  params -> m:int -> n:int -> num_sequences:int -> int * int
+(** BLAST's edge-effect correction (Altschul & Gish 1996): an alignment
+    cannot start within the expected HSP length
+    [l = ln (K m n) / h] of a sequence end, so the search space is
+    really [(m - l) * (n - num_sequences * l)]. Returns the corrected
+    [(m', n')], floored at [1] and [num_sequences] respectively.
+    Requires [h > 0] (analytic parameters). *)
+
+val pp_params : Format.formatter -> params -> unit

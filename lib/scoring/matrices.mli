@@ -1,0 +1,32 @@
+(** Standard substitution matrices.
+
+    Protein matrices are over {!Bioseq.Alphabet.protein} (24 symbols in
+    NCBI order [ARNDCQEGHILKMFPSTWYVBZX*]); DNA matrices over
+    {!Bioseq.Alphabet.dna} ([ACGTN]).
+
+    The tables are transcriptions of the standard NCBI score files;
+    tests validate symmetry, diagonals and Karlin–Altschul statistics
+    rather than byte-exactness. *)
+
+val blosum62 : Submat.t
+(** BLOSUM62, the general-purpose protein matrix. *)
+
+val pam30 : Submat.t
+(** PAM30, the recommended matrix for short protein queries and the one
+    used throughout the paper's evaluation (§4.2). *)
+
+val dna_unit : Submat.t
+(** The paper's Table 1 over DNA: +1 match / -1 mismatch ([N] scores -1
+    against everything including itself). *)
+
+val dna_blast : Submat.t
+(** blastn-style rewards: +2 match / -3 mismatch, [N] always -3. *)
+
+val protein_unit : Submat.t
+(** +1/-1 over the protein alphabet. *)
+
+val by_name : string -> Submat.t option
+(** Lookup by lowercase name ("blosum62", "pam30", "dna-unit",
+    "dna-blast", "protein-unit") for CLI use. *)
+
+val all : Submat.t list

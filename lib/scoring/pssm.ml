@@ -1,0 +1,89 @@
+type t = {
+  alphabet : Bioseq.Alphabet.t;
+  length : int;
+  dim : int; (* size + 1; the extra column is the terminator *)
+  flat : int array; (* length * dim, row-major *)
+}
+
+let length p = p.length
+let alphabet p = p.alphabet
+let dim p = p.dim
+let rows_flat p = p.flat
+
+let make ~alphabet rows =
+  let size = Bioseq.Alphabet.size alphabet in
+  let m = Array.length rows in
+  if m = 0 then invalid_arg "Pssm.make: empty profile";
+  let dim = size + 1 in
+  let flat = Array.make (m * dim) Submat.neg_inf in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> size then
+        invalid_arg (Printf.sprintf "Pssm.make: row %d has wrong length" i);
+      Array.iteri (fun b s -> flat.((i * dim) + b) <- s) row)
+    rows;
+  { alphabet; length = m; dim; flat }
+
+let of_query ~matrix query =
+  let alphabet = Submat.alphabet matrix in
+  if
+    Bioseq.Alphabet.name (Bioseq.Sequence.alphabet query)
+    <> Bioseq.Alphabet.name alphabet
+  then invalid_arg "Pssm.of_query: alphabet mismatch";
+  let size = Bioseq.Alphabet.size alphabet in
+  make ~alphabet
+    (Array.init (Bioseq.Sequence.length query) (fun i ->
+         let qi = Bioseq.Sequence.get query i in
+         Array.init size (fun b -> Submat.score matrix qi b)))
+
+let of_sequences ?(pseudocount = 1.0) ~freqs ~scale seqs =
+  (match seqs with [] -> invalid_arg "Pssm.of_sequences: no sequences" | _ -> ());
+  let first = List.hd seqs in
+  let alphabet = Bioseq.Sequence.alphabet first in
+  let m = Bioseq.Sequence.length first in
+  List.iter
+    (fun s ->
+      if Bioseq.Sequence.length s <> m then
+        invalid_arg "Pssm.of_sequences: sequences have different lengths")
+    seqs;
+  let size = Bioseq.Alphabet.size alphabet in
+  let n = float_of_int (List.length seqs) in
+  make ~alphabet
+    (Array.init m (fun i ->
+         let counts = Array.make size 0 in
+         List.iter
+           (fun s ->
+             let c = Bioseq.Sequence.get s i in
+             counts.(c) <- counts.(c) + 1)
+           seqs;
+         Array.init size (fun b ->
+             let fb = freqs.(b) in
+             if fb <= 0. then begin
+               if counts.(b) > 0 then
+                 invalid_arg
+                   (Printf.sprintf
+                      "Pssm.of_sequences: symbol %c appears but has zero \
+                       background frequency"
+                      (Bioseq.Alphabet.to_char alphabet b));
+               (* Unobservable symbol: strongly disfavored. *)
+               int_of_float (Float.round (scale *. log (pseudocount /. (n +. pseudocount))))
+             end
+             else
+               let odds =
+                 (float_of_int counts.(b) +. (pseudocount *. fb))
+                 /. ((n +. pseudocount) *. fb)
+               in
+               int_of_float (Float.round (scale *. log odds)))))
+
+let score p i code = p.flat.((i * p.dim) + code)
+
+let best_at p i =
+  let best = ref Submat.neg_inf in
+  for b = 0 to p.dim - 2 do
+    if score p i b > !best then best := score p i b
+  done;
+  !best
+
+let pp ppf p =
+  Format.fprintf ppf "pssm(%d columns over %a)" p.length Bioseq.Alphabet.pp
+    p.alphabet

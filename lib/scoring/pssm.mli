@@ -1,0 +1,59 @@
+(** Position-specific scoring matrices (profiles).
+
+    A PSSM generalizes a substitution matrix for one fixed query: column
+    [i] scores every alphabet symbol against query position [i]
+    independently, the scoring model behind PSI-BLAST-style profile
+    searches. The OASIS engine and the Smith-Waterman scanner both
+    accept profiles ([Oasis.Engine.create_profile],
+    [Align.Smith_waterman.search_profile]) and remain exact for them —
+    position-specific scores change nothing in the algorithm's
+    correctness argument. *)
+
+type t
+
+val length : t -> int
+(** Number of profile columns (the "query length"). *)
+
+val alphabet : t -> Bioseq.Alphabet.t
+
+val make : alphabet:Bioseq.Alphabet.t -> int array array -> t
+(** [make ~alphabet rows] with one row of [Alphabet.size] scores per
+    profile column. Raises [Invalid_argument] on a ragged or empty
+    table. *)
+
+val of_query : matrix:Submat.t -> Bioseq.Sequence.t -> t
+(** The degenerate profile equivalent to searching [query] under
+    [matrix]: column [i] is the matrix row of the [i]-th query symbol.
+    Profile searches with this PSSM return exactly the plain-matrix
+    results (property-tested). *)
+
+val of_sequences :
+  ?pseudocount:float ->
+  freqs:float array ->
+  scale:float ->
+  Bioseq.Sequence.t list ->
+  t
+(** Build a log-odds profile from equal-length, pre-aligned family
+    members: column [i] scores symbol [b] as
+    [round (scale * ln ((count_i(b) + pseudocount * freqs(b)) /
+    ((n + pseudocount) * freqs(b))))]. [pseudocount] defaults to 1.
+    Raises [Invalid_argument] on an empty list, unequal lengths or a
+    symbol with zero background frequency appearing in the input. *)
+
+val score : t -> int -> int -> int
+(** [score p i code]: the score of aligning symbol [code] against
+    profile column [i] (0-based). The terminator code scores
+    {!Submat.neg_inf}. *)
+
+val best_at : t -> int -> int
+(** Maximum score of column [i] over real symbols. *)
+
+val rows_flat : t -> int array
+(** Row-major [length * (size + 1)] table for hot loops, terminator
+    column included (= {!Submat.neg_inf}):
+    [score p i c = (rows_flat p).((i * (size + 1)) + c)]. Read-only. *)
+
+val dim : t -> int
+(** [Alphabet.size + 1]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+type t = {
+  alphabet : Bioseq.Alphabet.t;
+  name : string;
+  dim : int;
+  flat : int array; (* dim * dim, row-major; terminator row/col = neg_inf *)
+}
+
+let neg_inf = min_int / 4
+
+let make ~alphabet ~name rows =
+  let size = Bioseq.Alphabet.size alphabet in
+  if Array.length rows <> size then
+    invalid_arg
+      (Printf.sprintf "Submat.make: %d rows for alphabet of size %d"
+         (Array.length rows) size);
+  let dim = size + 1 in
+  let flat = Array.make (dim * dim) neg_inf in
+  Array.iteri
+    (fun a row ->
+      if Array.length row <> size then
+        invalid_arg (Printf.sprintf "Submat.make: row %d has wrong length" a);
+      Array.iteri (fun b s -> flat.((a * dim) + b) <- s) row)
+    rows;
+  { alphabet; name; dim; flat }
+
+let of_function ~alphabet ~name f =
+  let size = Bioseq.Alphabet.size alphabet in
+  make ~alphabet ~name
+    (Array.init size (fun a -> Array.init size (fun b -> f a b)))
+
+let unit_edit alphabet =
+  of_function ~alphabet ~name:"unit" (fun a b -> if a = b then 1 else -1)
+
+let alphabet m = m.alphabet
+let name m = m.name
+let dim m = m.dim
+let score m a b = m.flat.((a * m.dim) + b)
+let scores_flat m = m.flat
+
+let fold_real_pairs m f init =
+  let size = m.dim - 1 in
+  let acc = ref init in
+  for a = 0 to size - 1 do
+    for b = 0 to size - 1 do
+      acc := f !acc a b (score m a b)
+    done
+  done;
+  !acc
+
+let best_against m a =
+  let size = m.dim - 1 in
+  let best = ref neg_inf in
+  for b = 0 to size - 1 do
+    if score m a b > !best then best := score m a b
+  done;
+  !best
+
+let max_entry m = fold_real_pairs m (fun acc _ _ s -> max acc s) neg_inf
+let min_entry m = fold_real_pairs m (fun acc _ _ s -> min acc s) max_int
+
+let is_symmetric m =
+  fold_real_pairs m (fun acc a b s -> acc && s = score m b a) true
+
+let pp ppf m =
+  Format.fprintf ppf "%s over %a" m.name Bioseq.Alphabet.pp m.alphabet

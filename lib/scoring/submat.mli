@@ -1,0 +1,57 @@
+(** Substitution matrices over an {!Bioseq.Alphabet}.
+
+    A matrix assigns an integer score to every ordered pair of symbol
+    codes. The terminator code scores {!neg_inf} against everything, so
+    dynamic programs over concatenated databases never extend an
+    alignment across a sequence boundary. *)
+
+type t
+
+val neg_inf : int
+(** Sentinel for "impossible": large enough in magnitude to dominate any
+    realistic alignment score, small enough that adding a handful of
+    matrix entries cannot overflow. *)
+
+(** {1 Construction} *)
+
+val make : alphabet:Bioseq.Alphabet.t -> name:string -> int array array -> t
+(** [make ~alphabet ~name rows] where [rows] is a [size x size] score
+    table indexed by symbol code. Raises [Invalid_argument] on dimension
+    mismatch. *)
+
+val of_function :
+  alphabet:Bioseq.Alphabet.t -> name:string -> (int -> int -> int) -> t
+(** Tabulates [f a b] for every pair of real symbol codes. *)
+
+val unit_edit : Bioseq.Alphabet.t -> t
+(** The paper's Table 1 generalized to any alphabet: +1 for an exact
+    match, -1 otherwise. *)
+
+(** {1 Lookup} *)
+
+val alphabet : t -> Bioseq.Alphabet.t
+val name : t -> string
+
+val dim : t -> int
+(** [size alphabet + 1]; row/column [dim - 1] is the terminator. *)
+
+val score : t -> int -> int -> int
+(** [score m a b] for symbol codes [a], [b] (terminator allowed). *)
+
+val scores_flat : t -> int array
+(** The underlying [dim*dim] row-major table, for hot DP loops:
+    [score m a b = (scores_flat m).((a * dim m) + b)]. Read-only. *)
+
+val best_against : t -> int -> int
+(** [best_against m a] is [max_b (score m a b)] over real symbols [b].
+    Used by the OASIS heuristic vector. *)
+
+val max_entry : t -> int
+(** Largest score over all pairs of real symbols. *)
+
+val min_entry : t -> int
+(** Smallest score over all pairs of real symbols. *)
+
+val is_symmetric : t -> bool
+
+val pp : Format.formatter -> t -> unit

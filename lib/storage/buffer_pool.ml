@@ -1,0 +1,122 @@
+type stats = { hits : int; misses : int }
+
+type handle = {
+  id : int;
+  device : Device.t;
+  name : string;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type frame = {
+  buf : bytes;
+  mutable owner : (int * int) option; (* (handle id, block index) *)
+  mutable referenced : bool;
+}
+
+type t = {
+  block_size : int;
+  frames : frame array;
+  table : (int * int, int) Hashtbl.t; (* (handle id, block) -> frame index *)
+  mutable hand : int;
+  mutable handles : handle list;
+  mutable next_id : int;
+}
+
+let create ~block_size ~capacity =
+  if block_size <= 0 || block_size mod 16 <> 0 then
+    invalid_arg "Buffer_pool.create: block_size must be a positive multiple of 16";
+  if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity must be positive";
+  {
+    block_size;
+    frames =
+      Array.init capacity (fun _ ->
+          { buf = Bytes.create block_size; owner = None; referenced = false });
+    table = Hashtbl.create (2 * capacity);
+    hand = 0;
+    handles = [];
+    next_id = 0;
+  }
+
+let block_size t = t.block_size
+let capacity t = Array.length t.frames
+
+let attach t ~name device =
+  let h = { id = t.next_id; device; name; hits = 0; misses = 0 } in
+  t.next_id <- t.next_id + 1;
+  t.handles <- h :: t.handles;
+  h
+
+(* Clock sweep: advance the hand, clearing reference bits, until an
+   unreferenced frame is found. *)
+let victim t =
+  let n = Array.length t.frames in
+  let rec sweep () =
+    let idx = t.hand in
+    let frame = t.frames.(idx) in
+    t.hand <- (t.hand + 1) mod n;
+    if frame.referenced then begin
+      frame.referenced <- false;
+      sweep ()
+    end
+    else (idx, frame)
+  in
+  sweep ()
+
+let load t h block =
+  let key = (h.id, block) in
+  match Hashtbl.find_opt t.table key with
+  | Some idx ->
+    h.hits <- h.hits + 1;
+    let frame = t.frames.(idx) in
+    frame.referenced <- true;
+    frame.buf
+  | None ->
+    h.misses <- h.misses + 1;
+    let idx, frame = victim t in
+    (match frame.owner with
+    | Some old_key ->
+      (* Blocks are read-only: no write-back needed. *)
+      Hashtbl.remove t.table old_key
+    | None -> ());
+    Device.pread h.device ~off:(block * t.block_size) ~buf:frame.buf;
+    frame.owner <- Some key;
+    frame.referenced <- true;
+    Hashtbl.replace t.table key idx;
+    frame.buf
+
+let read_byte t h off =
+  let buf = load t h (off / t.block_size) in
+  Char.code (Bytes.get buf (off mod t.block_size))
+
+let read_u32 t h off =
+  if off land 3 <> 0 then invalid_arg "Buffer_pool.read_u32: unaligned offset";
+  let buf = load t h (off / t.block_size) in
+  let base = off mod t.block_size in
+  Char.code (Bytes.get buf base)
+  lor (Char.code (Bytes.get buf (base + 1)) lsl 8)
+  lor (Char.code (Bytes.get buf (base + 2)) lsl 16)
+  lor (Char.code (Bytes.get buf (base + 3)) lsl 24)
+
+let stats h = { hits = h.hits; misses = h.misses }
+
+let hit_ratio (s : stats) =
+  let total = s.hits + s.misses in
+  if total = 0 then 1.0 else float_of_int s.hits /. float_of_int total
+
+let reset_stats t =
+  List.iter
+    (fun h ->
+      h.hits <- 0;
+      h.misses <- 0)
+    t.handles
+
+let drop_all t =
+  reset_stats t;
+  Hashtbl.reset t.table;
+  Array.iter
+    (fun frame ->
+      frame.owner <- None;
+      frame.referenced <- false)
+    t.frames;
+  t.hand <- 0

@@ -1,0 +1,40 @@
+(** A shared buffer pool with clock (second-chance) replacement,
+    matching the paper's implementation (§4.2: "OASIS reads disk pages
+    from a buffer pool, which uses a simple clock replacement policy").
+
+    Several devices ("files") attach to one pool; per-file hit/miss
+    counters drive the Figure 8 experiment. *)
+
+type t
+type handle
+
+val create : block_size:int -> capacity:int -> t
+(** [capacity] is the number of resident blocks; [block_size] must be a
+    positive multiple of 16 (so fixed-width node entries never straddle
+    blocks). *)
+
+val block_size : t -> int
+val capacity : t -> int
+
+val attach : t -> name:string -> Device.t -> handle
+(** Give the pool access to a device. The same device may be attached to
+    only one pool at a time for coherent statistics. *)
+
+val read_byte : t -> handle -> int -> int
+(** [read_byte pool h off] reads the byte at device offset [off] through
+    the pool. *)
+
+val read_u32 : t -> handle -> int -> int
+(** Little-endian 32-bit read; [off] must be 4-byte aligned. *)
+
+type stats = { hits : int; misses : int }
+
+val stats : handle -> stats
+val hit_ratio : stats -> float
+(** [hits / (hits + misses)]; 1.0 when there were no accesses. *)
+
+val reset_stats : t -> unit
+(** Zero all per-file counters (resident blocks stay cached). *)
+
+val drop_all : t -> unit
+(** Evict every block and zero counters — a cold start. *)

@@ -1,0 +1,93 @@
+type memory = { mutable data : bytes; mutable mlen : int }
+
+type file_state = {
+  ic : in_channel;
+  oc : out_channel option;
+  mutable dirty : bool;
+  mutable flen : int;
+}
+
+type backend = Memory of memory | File of file_state
+
+type t = { mutable backend : backend }
+
+let in_memory () = { backend = Memory { data = Bytes.create 4096; mlen = 0 } }
+
+let file path =
+  let oc = open_out_bin path in
+  let ic = open_in_bin path in
+  { backend = File { ic; oc = Some oc; dirty = false; flen = 0 } }
+
+let open_file path =
+  let ic = open_in_bin path in
+  { backend = File { ic; oc = None; dirty = false; flen = in_channel_length ic } }
+
+let length t =
+  match t.backend with
+  | Memory m -> m.mlen
+  | File f -> f.flen
+
+let ensure_capacity m extra =
+  let needed = m.mlen + extra in
+  if needed > Bytes.length m.data then begin
+    let ncap = max needed (2 * Bytes.length m.data) in
+    let ndata = Bytes.create ncap in
+    Bytes.blit m.data 0 ndata 0 m.mlen;
+    m.data <- ndata
+  end
+
+let append t data =
+  match t.backend with
+  | Memory m ->
+    ensure_capacity m (Bytes.length data);
+    Bytes.blit data 0 m.data m.mlen (Bytes.length data);
+    m.mlen <- m.mlen + Bytes.length data
+  | File f ->
+    (match f.oc with
+    | None -> invalid_arg "Device.append: device opened read-only"
+    | Some oc ->
+      seek_out oc f.flen;
+      output_bytes oc data;
+      f.flen <- f.flen + Bytes.length data;
+      f.dirty <- true)
+
+let pwrite t ~off data =
+  let len = Bytes.length data in
+  if off < 0 || off + len > length t then
+    invalid_arg "Device.pwrite: range outside the written region";
+  match t.backend with
+  | Memory m -> Bytes.blit data 0 m.data off len
+  | File f ->
+    (match f.oc with
+    | None -> invalid_arg "Device.pwrite: device opened read-only"
+    | Some oc ->
+      seek_out oc off;
+      output_bytes oc data;
+      f.dirty <- true)
+
+let pread t ~off ~buf =
+  let want = Bytes.length buf in
+  match t.backend with
+  | Memory m ->
+    let avail = max 0 (min want (m.mlen - off)) in
+    if avail > 0 then Bytes.blit m.data off buf 0 avail;
+    if avail < want then Bytes.fill buf avail (want - avail) '\000'
+  | File f ->
+    (match f.oc with
+    | Some oc when f.dirty ->
+      flush oc;
+      f.dirty <- false
+    | _ -> ());
+    let avail = max 0 (min want (f.flen - off)) in
+    if avail > 0 then begin
+      seek_in f.ic off;
+      really_input f.ic buf 0 avail
+    end;
+    if avail < want then Bytes.fill buf avail (want - avail) '\000'
+
+let close t =
+  match t.backend with
+  | Memory _ -> ()
+  | File f ->
+    (match f.oc with Some oc -> close_out_noerr oc | None -> ());
+    close_in_noerr f.ic

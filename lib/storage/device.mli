@@ -1,0 +1,33 @@
+(** Byte-addressable storage devices backing the paged suffix tree.
+
+    Two backends: an in-memory store (used by the benchmarks, where
+    "I/O" is counted rather than performed) and a real file. Devices are
+    written by appending during index construction and read randomly at
+    query time. *)
+
+type t
+
+val in_memory : unit -> t
+
+val file : string -> t
+(** Opens (creating or truncating) [path] for read/write. *)
+
+val open_file : string -> t
+(** Opens an existing file read-only; {!append} raises. *)
+
+val length : t -> int
+
+val append : t -> bytes -> unit
+
+val pwrite : t -> off:int -> bytes -> unit
+(** Overwrite bytes inside the already-written region (used to backfill
+    reserved headers and directories during external construction).
+    Raises [Invalid_argument] if the range extends past {!length} or the
+    device is read-only. *)
+
+val pread : t -> off:int -> buf:bytes -> unit
+(** Fill all of [buf] from offset [off]; bytes past end-of-device are
+    zero. *)
+
+val close : t -> unit
+(** Flush and release; in-memory devices keep their contents. *)

@@ -1,0 +1,524 @@
+let internal_entry_bytes = 16
+let leaf_entry_bytes = 4
+let leaf_header_bytes = 16
+let internal_header_bytes = 16
+let sentinel = 0xFFFFFFFF
+let last_flag = 1 lsl 31
+let depth_mask = last_flag - 1
+
+type layout = Position_indexed | Clustered
+
+(* Leaves-file header: magic "OASL", format version, layout tag.
+   Internal-file header: magic "OASI", format version, root-directory
+   entry count, entries-region offset. The root's children are listed
+   in an explicit directory (rather than relying on sibling adjacency)
+   so that partitioned external construction can emit each root subtree
+   independently. Directory entries tag bit 31 for leaf children. *)
+let leaf_magic = 0x4C53414F (* "OASL" *)
+let internal_magic = 0x4953414F (* "OASI" *)
+let layout_tag = function Position_indexed -> 0 | Clustered -> 1
+
+let layout_of_tag = function
+  | 0 -> Position_indexed
+  | 1 -> Clustered
+  | t -> invalid_arg (Printf.sprintf "Disk_tree: unknown layout tag %d" t)
+
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF))
+
+let u32_bytes v =
+  let buf = Buffer.create 4 in
+  put_u32 buf v;
+  Buffer.to_bytes buf
+
+let round16 n = (n + 15) / 16 * 16
+
+(* ------------------------------------------------------------------ *)
+(* Shared subtree serializer.                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Sinks the writers provide: [emit_internal] appends one 16-byte entry
+   (called in index order: indices are assigned on enqueue and entries
+   are emitted on dequeue of a FIFO, which is exactly BFS order);
+   [alloc_leaf_run] stores one node's leaf occurrence positions and
+   returns the directory/first-leaf token for them. *)
+type sink = {
+  mutable next_internal : int;
+  emit_internal :
+    depth:int ->
+    last:bool ->
+    start:int ->
+    first_internal:int ->
+    first_leaf:int ->
+    unit;
+  alloc_leaf_run : int list -> int;
+}
+
+(* BFS-serialize the subtree rooted at the internal node [node], whose
+   index is [sink.next_internal] at call time. [depth] is [node]'s path
+   depth and [last] its sibling flag. *)
+let serialize_subtree sink node ~depth ~last =
+  let queue = Queue.create () in
+  let take_index () =
+    let i = sink.next_internal in
+    sink.next_internal <- i + 1;
+    i
+  in
+  ignore (take_index ());
+  Queue.add (node, depth, last) queue;
+  while not (Queue.is_empty queue) do
+    let node, depth, last = Queue.pop queue in
+    let internal_children, leaf_slots =
+      List.fold_left
+        (fun (ints, slots) child ->
+          if Suffix_tree.Tree.is_leaf child then
+            (ints, slots @ Suffix_tree.Tree.positions child)
+          else (ints @ [ child ], slots))
+        ([], [])
+        (Suffix_tree.Tree.children node)
+    in
+    let first_leaf =
+      if leaf_slots = [] then sentinel else sink.alloc_leaf_run leaf_slots
+    in
+    let first_internal =
+      match internal_children with
+      | [] -> sentinel
+      | children ->
+        let first = sink.next_internal in
+        let n = List.length children in
+        List.iteri
+          (fun i child ->
+            let cstart, cstop = Suffix_tree.Tree.label child in
+            ignore (take_index ());
+            Queue.add (child, depth + cstop - cstart, i = n - 1) queue)
+          children;
+        first
+    in
+    let start, _ = Suffix_tree.Tree.label node in
+    sink.emit_internal ~depth ~last ~start:(max start 0) ~first_internal
+      ~first_leaf
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Writers.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let dir_entry_of_leaf_token token = token lor last_flag
+let dir_entry_of_internal index = index
+
+let write_leaf_header leaves layout =
+  let header = Buffer.create leaf_header_bytes in
+  put_u32 header leaf_magic;
+  put_u32 header 2 (* format version *);
+  put_u32 header (layout_tag layout);
+  put_u32 header 0;
+  Device.append leaves (Buffer.to_bytes header)
+
+let write_internal_header internal ~dir_count ~dir_cap =
+  let entries_offset = round16 (internal_header_bytes + (4 * dir_cap)) in
+  let header = Buffer.create internal_header_bytes in
+  put_u32 header internal_magic;
+  put_u32 header 2;
+  put_u32 header dir_count;
+  put_u32 header entries_offset;
+  Device.append internal (Buffer.to_bytes header);
+  Device.append internal
+    (Bytes.make (entries_offset - internal_header_bytes) '\000');
+  entries_offset
+
+(* Leaf-run allocators for the two layouts. Position-indexed writes go
+   through pwrite into the reserved array; clustered runs are appended. *)
+let position_indexed_alloc leaves slots =
+  let rec chain = function
+    | [] -> ()
+    | [ last_slot ] ->
+      Device.pwrite leaves
+        ~off:(leaf_header_bytes + (leaf_entry_bytes * last_slot))
+        (u32_bytes sentinel)
+    | slot :: (next :: _ as rest) ->
+      Device.pwrite leaves
+        ~off:(leaf_header_bytes + (leaf_entry_bytes * slot))
+        (u32_bytes next);
+      chain rest
+  in
+  chain slots;
+  List.hd slots
+
+let clustered_alloc leaves counter slots =
+  let first = !counter in
+  let n = List.length slots in
+  List.iteri
+    (fun i pos ->
+      incr counter;
+      Device.append leaves
+        (u32_bytes (pos lor (if i = n - 1 then last_flag else 0))))
+    slots;
+  first
+
+let make_sink ~layout ~internal ~leaves ~clustered_counter =
+  let buf = Buffer.create 16 in
+  {
+    next_internal = 0;
+    emit_internal =
+      (fun ~depth ~last ~start ~first_internal ~first_leaf ->
+        Buffer.clear buf;
+        put_u32 buf (depth lor (if last then last_flag else 0));
+        put_u32 buf start;
+        put_u32 buf first_internal;
+        put_u32 buf first_leaf;
+        Device.append internal (Buffer.to_bytes buf));
+    alloc_leaf_run =
+      (match layout with
+      | Position_indexed -> position_indexed_alloc leaves
+      | Clustered -> clustered_alloc leaves clustered_counter);
+  }
+
+(* Serialize one child of the (possibly virtual) root, returning its
+   directory entry. *)
+let serialize_root_child sink child =
+  if Suffix_tree.Tree.is_leaf child then
+    dir_entry_of_leaf_token
+      (sink.alloc_leaf_run (Suffix_tree.Tree.positions child))
+  else begin
+    let cstart, cstop = Suffix_tree.Tree.label child in
+    let index = sink.next_internal in
+    serialize_subtree sink child ~depth:(cstop - cstart) ~last:true;
+    dir_entry_of_internal index
+  end
+
+let backfill_directory internal entries =
+  List.iteri
+    (fun i entry ->
+      Device.pwrite internal
+        ~off:(internal_header_bytes + (4 * i))
+        (u32_bytes entry))
+    entries
+
+let write ?(layout = Position_indexed) tree ~symbols ~internal ~leaves =
+  if
+    Device.length symbols <> 0 || Device.length internal <> 0
+    || Device.length leaves <> 0
+  then invalid_arg "Disk_tree.write: devices must be empty";
+  let db = Suffix_tree.Tree.database tree in
+  let data = Bioseq.Database.data db in
+  Device.append symbols data;
+  write_leaf_header leaves layout;
+  (match layout with
+  | Position_indexed ->
+    (* Reserve the position-indexed array (backfilled via pwrite). *)
+    Device.append leaves
+      (Bytes.make (leaf_entry_bytes * Bytes.length data) '\255')
+  | Clustered -> ());
+  let root_children = Suffix_tree.Tree.children (Suffix_tree.Tree.root tree) in
+  let dir_cap = List.length root_children in
+  ignore (write_internal_header internal ~dir_count:dir_cap ~dir_cap);
+  let clustered_counter = ref 0 in
+  let sink = make_sink ~layout ~internal ~leaves ~clustered_counter in
+  backfill_directory internal
+    (List.map (serialize_root_child sink) root_children)
+
+module Private = struct
+  type nonrec sink = sink
+
+  let make_sink = make_sink
+  let serialize_root_child = serialize_root_child
+  let write_leaf_header = write_leaf_header
+
+  let reserve_position_leaves leaves n =
+    Device.append leaves (Bytes.make (leaf_entry_bytes * n) '\255')
+
+  let write_internal_header = write_internal_header
+
+  let backfill_directory_entry internal i entry =
+    Device.pwrite internal
+      ~off:(internal_header_bytes + (4 * i))
+      (u32_bytes entry)
+
+  let set_dir_count internal count =
+    Device.pwrite internal ~off:8 (u32_bytes count)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Reader.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  alphabet : Bioseq.Alphabet.t;
+  layout : layout;
+  pool : Buffer_pool.t;
+  symbols_h : Buffer_pool.handle;
+  internal_h : Buffer_pool.handle;
+  leaves_h : Buffer_pool.handle;
+  dir_count : int;
+  entries_offset : int;
+  data_length : int;
+  symbols_bytes : int;
+  internal_bytes : int;
+  leaves_bytes : int;
+}
+
+type node =
+  | Root
+  | Internal of { index : int; depth : int; start : int; parent_depth : int }
+  | Leaf of { slot : int; parent_depth : int }
+
+let open_ ~alphabet ~pool ~symbols ~internal ~leaves =
+  let leaves_h = Buffer_pool.attach pool ~name:"leaves" leaves in
+  if Buffer_pool.read_u32 pool leaves_h 0 <> leaf_magic then
+    invalid_arg "Disk_tree.open_: bad leaves-file magic";
+  let layout = layout_of_tag (Buffer_pool.read_u32 pool leaves_h 8) in
+  let internal_h = Buffer_pool.attach pool ~name:"internal" internal in
+  if Buffer_pool.read_u32 pool internal_h 0 <> internal_magic then
+    invalid_arg "Disk_tree.open_: bad internal-file magic";
+  let dir_count = Buffer_pool.read_u32 pool internal_h 8 in
+  let entries_offset = Buffer_pool.read_u32 pool internal_h 12 in
+  {
+    alphabet;
+    layout;
+    pool;
+    symbols_h = Buffer_pool.attach pool ~name:"symbols" symbols;
+    internal_h;
+    leaves_h;
+    dir_count;
+    entries_offset;
+    data_length = Device.length symbols;
+    symbols_bytes = Device.length symbols;
+    internal_bytes = Device.length internal;
+    leaves_bytes = Device.length leaves;
+  }
+
+let of_tree ?layout ?(block_size = 2048) ?(capacity = 256) tree =
+  let symbols = Device.in_memory ()
+  and internal = Device.in_memory ()
+  and leaves = Device.in_memory () in
+  write ?layout tree ~symbols ~internal ~leaves;
+  let pool = Buffer_pool.create ~block_size ~capacity in
+  let alphabet = Bioseq.Database.alphabet (Suffix_tree.Tree.database tree) in
+  (open_ ~alphabet ~pool ~symbols ~internal ~leaves, pool)
+
+let layout t = t.layout
+
+let internal_count t =
+  (t.internal_bytes - t.entries_offset) / internal_entry_bytes
+
+let root _ = Root
+let is_leaf = function Leaf _ -> true | Internal _ | Root -> false
+
+let read_entry t index =
+  let base = t.entries_offset + (internal_entry_bytes * index) in
+  let word0 = Buffer_pool.read_u32 t.pool t.internal_h base in
+  let depth = word0 land depth_mask in
+  let last = word0 land last_flag <> 0 in
+  let start = Buffer_pool.read_u32 t.pool t.internal_h (base + 4) in
+  let first_internal = Buffer_pool.read_u32 t.pool t.internal_h (base + 8) in
+  let first_leaf = Buffer_pool.read_u32 t.pool t.internal_h (base + 12) in
+  (depth, last, start, first_internal, first_leaf)
+
+(* Position-indexed: [slot] is a suffix position; the entry holds the
+   next sibling's position. *)
+let rec leaf_chain t depth slot acc =
+  if slot = sentinel then List.rev acc
+  else
+    let next =
+      Buffer_pool.read_u32 t.pool t.leaves_h
+        (leaf_header_bytes + (leaf_entry_bytes * slot))
+    in
+    leaf_chain t depth next (Leaf { slot; parent_depth = depth } :: acc)
+
+(* Clustered: [index] is an entry index; entries hold the suffix
+   position with a last-sibling flag. *)
+let rec leaf_run t depth index acc =
+  let word =
+    Buffer_pool.read_u32 t.pool t.leaves_h
+      (leaf_header_bytes + (leaf_entry_bytes * index))
+  in
+  let pos = word land depth_mask in
+  let acc = Leaf { slot = pos; parent_depth = depth } :: acc in
+  if word land last_flag <> 0 then List.rev acc
+  else leaf_run t depth (index + 1) acc
+
+let leaves_of_token t ~depth token =
+  if token = sentinel then []
+  else
+    match t.layout with
+    | Position_indexed -> leaf_chain t depth token []
+    | Clustered -> leaf_run t depth token []
+
+let node_of_internal t ~parent_depth index =
+  let depth, _, start, _, _ = read_entry t index in
+  Internal { index; depth; start; parent_depth }
+
+let children t = function
+  | Leaf _ -> []
+  | Root ->
+    List.init t.dir_count (fun i ->
+        Buffer_pool.read_u32 t.pool t.internal_h
+          (internal_header_bytes + (4 * i)))
+    |> List.concat_map (fun entry ->
+           if entry land last_flag <> 0 then
+             (* A leaf run hanging directly off the root. *)
+             leaves_of_token t ~depth:0 (entry land depth_mask)
+           else [ node_of_internal t ~parent_depth:0 entry ])
+  | Internal { index; depth; _ } ->
+    let _, _, _, first_internal, first_leaf = read_entry t index in
+    let rec internal_run index acc =
+      let cdepth, last, cstart, _, _ = read_entry t index in
+      let acc =
+        Internal { index; depth = cdepth; start = cstart; parent_depth = depth }
+        :: acc
+      in
+      if last then List.rev acc else internal_run (index + 1) acc
+    in
+    let internals =
+      if first_internal = sentinel then [] else internal_run first_internal []
+    in
+    internals @ leaves_of_token t ~depth first_leaf
+
+let label_start _ = function
+  | Internal { start; _ } -> start
+  | Leaf { slot; parent_depth } -> slot + parent_depth
+  | Root -> invalid_arg "Disk_tree.label_start: root has no incoming arc"
+
+let label_stop _ = function
+  | Internal { start; depth; parent_depth; _ } ->
+    Some (start + depth - parent_depth)
+  | Leaf _ -> None
+  | Root -> invalid_arg "Disk_tree.label_stop: root has no incoming arc"
+
+let node_depth _ = function
+  | Internal { depth; _ } -> Some depth
+  | Leaf _ | Root -> None
+
+let leaf_position = function
+  | Leaf { slot; _ } -> Some slot
+  | Internal _ | Root -> None
+
+let symbol t pos = Buffer_pool.read_byte t.pool t.symbols_h pos
+let data_length t = t.data_length
+let terminator t = Bioseq.Alphabet.terminator t.alphabet
+
+let subtree_positions t node =
+  (* Explicit work stack: tree depth is bounded only by sequence length. *)
+  let acc = ref [] in
+  let stack = ref [ node ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | Leaf { slot; _ } :: rest ->
+      acc := slot :: !acc;
+      stack := rest
+    | (Internal _ | Root) as n :: rest ->
+      stack := children t n @ rest
+  done;
+  !acc
+
+let validate t =
+  let term = terminator t in
+  let total = t.data_length in
+  let errors = ref [] in
+  let error fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let seen = Bytes.make total '\000' in
+  let rec walk node depth =
+    if is_leaf node then begin
+      match leaf_position node with
+      | None -> error "leaf without position"
+      | Some p ->
+        if p < 0 || p >= total then error "leaf position %d out of range" p
+        else begin
+          if Bytes.get seen p <> '\000' then
+            error "suffix position %d covered twice" p;
+          Bytes.set seen p '\001';
+          (* The leaf arc must run from p+depth to a terminator without
+             crossing one earlier. *)
+          let start = label_start t node in
+          if start <> p + depth then
+            error "leaf %d arc starts at %d, expected %d" p start (p + depth);
+          let rec scan i =
+            if i >= total then error "leaf %d arc runs off the data" p
+            else if symbol t i <> term then scan (i + 1)
+          in
+          if start < total then scan start else error "leaf %d arc start out of range" p
+        end
+    end
+    else begin
+      let kids = children t node in
+      (match node with
+      | Internal { index; depth = d; start; parent_depth; _ } ->
+        if d <= parent_depth then
+          error "entry %d: depth %d not below parent %d" index d parent_depth;
+        if start < 0 || start + (d - parent_depth) > total then
+          error "entry %d: label out of range" index;
+        for i = start to start + (d - parent_depth) - 1 do
+          if symbol t i = term && i < start + (d - parent_depth) - 1 then
+            error "entry %d: label crosses a terminator" index
+        done;
+        if List.length kids < 2 then error "entry %d: fewer than 2 children" index
+      | Root | Leaf _ -> ());
+      (* Sibling first symbols must be distinct — except that several
+         leaf occurrences of one identical suffix legitimately share a
+         chain (e.g. every sequence's terminator-only suffix). *)
+      let first_symbols : (int, node) Hashtbl.t = Hashtbl.create 8 in
+      let same_suffix a b =
+        let rec go i j =
+          let ca = symbol t i and cb = symbol t j in
+          if ca <> cb then false else ca = term || go (i + 1) (j + 1)
+        in
+        go (label_start t a) (label_start t b)
+      in
+      List.iter
+        (fun child ->
+          let c = symbol t (label_start t child) in
+          (match Hashtbl.find_opt first_symbols c with
+          | Some prev ->
+            if not (is_leaf child && is_leaf prev && same_suffix child prev)
+            then error "two children with first symbol %d" c
+          | None -> ());
+          Hashtbl.replace first_symbols c child;
+          let child_depth =
+            match node_depth t child with
+            | Some d -> d
+            | None ->
+              (* Leaf: depth is the parent's. *)
+              depth
+          in
+          walk child child_depth)
+        kids
+    end
+  in
+  walk Root 0;
+  for p = 0 to total - 1 do
+    if Bytes.get seen p = '\000' then error "suffix position %d not covered" p
+  done;
+  match List.rev !errors with
+  | [] -> Ok ()
+  | errs ->
+    Error
+      (String.concat "; " (List.filteri (fun i _ -> i < 10) errs))
+
+type component = Symbols | Internal_nodes | Leaves
+
+let component_stats t = function
+  | Symbols -> Buffer_pool.stats t.symbols_h
+  | Internal_nodes -> Buffer_pool.stats t.internal_h
+  | Leaves -> Buffer_pool.stats t.leaves_h
+
+type size_report = {
+  symbols_bytes : int;
+  internal_bytes : int;
+  leaves_bytes : int;
+  total_bytes : int;
+  bytes_per_symbol : float;
+}
+
+let size_report (t : t) =
+  let total = t.symbols_bytes + t.internal_bytes + t.leaves_bytes in
+  {
+    symbols_bytes = t.symbols_bytes;
+    internal_bytes = t.internal_bytes;
+    leaves_bytes = t.leaves_bytes;
+    total_bytes = total;
+    bytes_per_symbol = float_of_int total /. float_of_int t.data_length;
+  }

@@ -1,0 +1,165 @@
+(** The paper's on-disk suffix tree representation (§3.4).
+
+    Three components, each on its own device, all accessed through one
+    {!Buffer_pool}:
+
+    - {b symbols}: the database concatenation, one byte per symbol,
+      written sequentially in block-sized chunks;
+    - {b internal nodes}: fixed 16-byte entries in level (BFS) order, so
+      the internal children of any node are {e contiguous}. Fields:
+      path depth (with a last-sibling flag bit), label start (a symbols
+      pointer), first internal child index, first leaf child slot;
+    - {b leaves}: one 4-byte entry per suffix, {e indexed by the
+      suffix's start position} so no start pointer needs to be stored
+      (§3.4: "the array index of a node indicates the relevant offset in
+      the symbol array"). The entry is an explicit next-sibling chain
+      link, since leaves cannot be clustered next to their parents.
+
+    The paper's single first-child pointer is realized as the pair
+    (first internal child, first leaf child): internal siblings are
+    adjacent by construction while leaf siblings are chained, which is
+    exactly the hybrid the paper describes.
+
+    A leaf's incoming arc label starts at [slot + parent_depth] in the
+    symbols component and runs to its sequence's terminator, so reading
+    it requires no stored length.
+
+    Two leaf layouts are supported, selected at write time and recorded
+    in a small self-describing header at the start of the leaves
+    component:
+
+    - {!Position_indexed} — the paper's §3.4 scheme described above;
+    - {!Clustered} — the alternative the paper says it was experimenting
+      with (§4.5: "so that leaves are stored contiguously with the
+      internal nodes"): leaf entries are appended in parent (BFS) order,
+      each holding its suffix position plus a last-sibling flag, making
+      a node's leaf children one sequential read. Same 4 bytes per
+      entry; the Figure 8 ablation measures the hit-ratio difference. *)
+
+type layout = Position_indexed | Clustered
+
+val internal_entry_bytes : int
+(** 16 *)
+
+val leaf_entry_bytes : int
+(** 4 *)
+
+(** {1 Writing} *)
+
+val write :
+  ?layout:layout ->
+  Suffix_tree.Tree.t ->
+  symbols:Device.t ->
+  internal:Device.t ->
+  leaves:Device.t ->
+  unit
+(** Serialize a built tree ([layout] defaults to {!Position_indexed}).
+    Devices must be empty. *)
+
+(** {1 Reading} *)
+
+type t
+
+type node
+(** A traversal handle: either an internal node or a leaf occurrence. *)
+
+val open_ :
+  alphabet:Bioseq.Alphabet.t ->
+  pool:Buffer_pool.t ->
+  symbols:Device.t ->
+  internal:Device.t ->
+  leaves:Device.t ->
+  t
+(** Attach the three components to [pool] and return a reader. The leaf
+    layout is read from the leaves-file header; raises
+    [Invalid_argument] on a bad magic number. *)
+
+val layout : t -> layout
+
+val of_tree :
+  ?layout:layout ->
+  ?block_size:int ->
+  ?capacity:int ->
+  Suffix_tree.Tree.t ->
+  t * Buffer_pool.t
+(** Convenience for tests and benchmarks: serialize to in-memory devices
+    and open through a fresh pool ([block_size] defaults to 2048 — the
+    paper's value — and [capacity] to 256 blocks). *)
+
+val root : t -> node
+val is_leaf : node -> bool
+val children : t -> node -> node list
+
+val label_start : t -> node -> int
+val label_stop : t -> node -> int option
+(** [None] for leaves: the arc runs to the sequence terminator
+    (inclusive), which the caller discovers by reading symbols. *)
+
+val node_depth : t -> node -> int option
+(** Path depth for internal nodes, [None] for leaves. *)
+
+val leaf_position : node -> int option
+(** The suffix start position of a leaf occurrence. *)
+
+val internal_count : t -> int
+(** Number of internal-node entries (for instrumentation). *)
+
+val symbol : t -> int -> int
+(** Symbol at a global position, read through the buffer pool. *)
+
+val data_length : t -> int
+val terminator : t -> int
+
+val subtree_positions : t -> node -> int list
+(** All leaf occurrence positions under a node (descends through the
+    pool, counting I/O like any other access). *)
+
+(** {1 Statistics} *)
+
+type component = Symbols | Internal_nodes | Leaves
+
+val component_stats : t -> component -> Buffer_pool.stats
+
+(**/**)
+
+(** Internal plumbing shared with {!External_build}; not a public
+    API. *)
+module Private : sig
+  type sink
+
+  val make_sink :
+    layout:layout ->
+    internal:Device.t ->
+    leaves:Device.t ->
+    clustered_counter:int ref ->
+    sink
+
+  val serialize_root_child : sink -> Suffix_tree.Tree.node -> int
+  val write_leaf_header : Device.t -> layout -> unit
+  val reserve_position_leaves : Device.t -> int -> unit
+
+  val write_internal_header : Device.t -> dir_count:int -> dir_cap:int -> int
+
+  val backfill_directory_entry : Device.t -> int -> int -> unit
+  val set_dir_count : Device.t -> int -> unit
+end
+
+(**/**)
+
+type size_report = {
+  symbols_bytes : int;
+  internal_bytes : int;
+  leaves_bytes : int;
+  total_bytes : int;
+  bytes_per_symbol : float;  (** the §4.2 space-utilization metric *)
+}
+
+val size_report : t -> size_report
+
+val validate : t -> (unit, string) result
+(** Full integrity walk of the on-disk image: every arc label lies
+    inside one sequence region, leaf arcs end at a terminator, internal
+    nodes have at least two children with distinct first symbols, depths
+    are consistent along paths, and the leaf occurrences cover every
+    suffix position exactly once. O(index size); used by
+    [oasis verify-index] and the tests. *)

@@ -1,0 +1,36 @@
+(** External suffix-tree construction straight into the disk image —
+    the paper's §3.4.1 pipeline after Hunt et al. (VLDB 2001):
+    "constructs sub-trees stemming from fixed-length prefixes of each
+    suffix in memory, by making one pass through the sequence data for
+    each subtree ... Once the suffix tree has been constructed, we
+    reorganize the disk-representation".
+
+    Suffixes are partitioned by their first symbol; each partition's
+    subtree is built in memory, serialized into the {!Disk_tree} format
+    (whose internal file carries an explicit root directory precisely so
+    that partitions can be emitted independently), and dropped before
+    the next partition is built. Peak tree memory is therefore bounded
+    by the largest partition instead of the whole index — the property
+    that let the paper index data sets larger than RAM. (The sequence
+    data itself is the in-memory {!Bioseq.Database}; at ~1 byte per
+    symbol it is an order of magnitude smaller than the tree.)
+
+    The output is byte-level readable by {!Disk_tree.open_} and
+    semantically identical to serializing a monolithic
+    {!Suffix_tree.Ukkonen.build} tree (verified by property tests; entry
+    order differs, paths and positions do not). *)
+
+val write :
+  ?layout:Disk_tree.layout ->
+  Bioseq.Database.t ->
+  symbols:Device.t ->
+  internal:Device.t ->
+  leaves:Device.t ->
+  unit
+(** Devices must be empty. [layout] defaults to
+    {!Disk_tree.Position_indexed}. *)
+
+val max_partition_occurrences : Bioseq.Database.t -> int
+(** Size (in suffix occurrences) of the largest first-symbol partition —
+    the peak number of leaf occurrences resident during {!write}.
+    Exposed for tests and capacity planning. *)

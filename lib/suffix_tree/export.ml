@@ -1,0 +1,88 @@
+let label_string t node =
+  let db = Tree.database t in
+  let alphabet = Bioseq.Database.alphabet db in
+  let start, stop = Tree.label node in
+  String.init (stop - start) (fun i ->
+      Bioseq.Alphabet.to_char alphabet (Bioseq.Database.code db (start + i)))
+
+let node_name counter node =
+  if Tree.is_leaf node then
+    Printf.sprintf "%dL" (List.fold_left min max_int (Tree.positions node))
+  else begin
+    let n = !counter in
+    incr counter;
+    Printf.sprintf "%dN" n
+  end
+
+(* Children sorted by first edge symbol for a stable rendering. *)
+let sorted_children t node =
+  let db = Tree.database t in
+  List.sort
+    (fun a b ->
+      compare
+        (Bioseq.Database.code db (fst (Tree.label a)))
+        (Bioseq.Database.code db (fst (Tree.label b))))
+    (Tree.children node)
+
+let to_ascii t =
+  let buf = Buffer.create 1024 in
+  let counter = ref 1 in
+  Buffer.add_string buf "0N\n";
+  let rec go prefix node =
+    let children = sorted_children t node in
+    let n = List.length children in
+    List.iteri
+      (fun i child ->
+        let last = i = n - 1 in
+        let connector = if last then "`-- " else "+-- " in
+        let name = node_name counter child in
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s%s -> %s%s\n" prefix connector
+             (label_string t child) name
+             (if Tree.is_leaf child && List.length (Tree.positions child) > 1
+              then
+                Printf.sprintf " (also at %s)"
+                  (String.concat ","
+                     (List.map string_of_int
+                        (List.tl (List.sort compare (Tree.positions child)))))
+              else ""));
+        let extension = if last then "    " else "|   " in
+        go (prefix ^ extension) child)
+      children
+  in
+  go "" (Tree.root t);
+  Buffer.contents buf
+
+let to_dot ?(name = "suffix_tree") t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  node [fontname=\"monospace\"];\n";
+  let counter = ref 1 in
+  let id = ref 0 in
+  let fresh () =
+    incr id;
+    Printf.sprintf "n%d" !id
+  in
+  let root_id = fresh () in
+  Buffer.add_string buf
+    (Printf.sprintf "  %s [shape=circle, label=\"0N\"];\n" root_id);
+  let rec go parent_id node =
+    let node_id = fresh () in
+    let display = node_name counter node in
+    if Tree.is_leaf node then
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [shape=box, label=\"%s\\npos %s\"];\n" node_id
+           display
+           (String.concat ","
+              (List.map string_of_int (List.sort compare (Tree.positions node)))))
+    else
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [shape=circle, label=\"%s\"];\n" node_id display);
+    Buffer.add_string buf
+      (Printf.sprintf "  %s -> %s [label=\"%s\"];\n" parent_id node_id
+         (label_string t node));
+    List.iter (go node_id) (sorted_children t node)
+  in
+  List.iter (go root_id) (sorted_children t (Tree.root t));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

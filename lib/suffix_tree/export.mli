@@ -1,0 +1,21 @@
+(** Suffix-tree visualization — renders trees the way the paper's
+    Figure 2 draws them, for debugging and pedagogy.
+
+    Nodes print as [<n>N] (internal, arbitrary numbering in visit order)
+    or [<p>L] (leaf, numbered by suffix start position), matching the
+    paper's labeling convention. *)
+
+val to_ascii : Tree.t -> string
+(** Indented tree listing, one node per line, children ordered by their
+    first edge symbol:
+
+    {v
+    0N
+    +-- A -> 1N
+    |   +-- CG... -> 3L
+    v} *)
+
+val to_dot : ?name:string -> Tree.t -> string
+(** Graphviz DOT source: internal nodes as circles, leaves as boxes
+    labeled with their suffix positions, edges labeled with their
+    strings (terminator as ["$"]). *)

@@ -1,0 +1,163 @@
+(* McCreight's algorithm, generalized over a multi-sequence database by
+   running one pass per sequence into the shared tree (cf. Ukkonen).
+
+   State between iterations: the previous head node, its parent, and
+   both their path depths. Invariant (Gusfield §6.1): every internal
+   node except possibly the previous head already has a suffix link.
+
+   Rescan correctness across sequences: if path x·alpha·beta exists in
+   the tree then some already-inserted suffix starts with it, and the
+   suffix one position later — also already inserted, possibly from an
+   earlier sequence — starts with alpha·beta, so the rescanned path is
+   guaranteed present and only first symbols need comparing. *)
+
+let build db =
+  let t = Tree.create db in
+  let root = Tree.root t in
+  let data = Bioseq.Database.data db in
+  let code i = Char.code (Bytes.unsafe_get data i) in
+  let build_sequence seq_index =
+    let seq_start = Bioseq.Database.seq_start db seq_index in
+    let seq_len = Bioseq.Sequence.length (Bioseq.Database.seq db seq_index) in
+    let seq_stop = seq_start + seq_len + 1 (* include terminator *) in
+    (* Split [child]'s incoming edge after [len] symbols, returning the
+       new internal node. *)
+    let split_edge parent child len =
+      let mid =
+        Node.make_internal ~start:child.Node.start ~stop:(child.Node.start + len)
+      in
+      Node.replace_child parent ~old_child:child ~new_child:mid;
+      child.Node.start <- child.Node.start + len;
+      Node.add_child mid child;
+      mid
+    in
+    (* Scan: from [node] at [depth], match the suffix [i]'s symbols
+       data[i+depth .. stop) symbol by symbol. Returns the head for
+       suffix [i] — (parent, parent_depth, head, head_depth) — after
+       attaching the new leaf (or recording a duplicate occurrence). *)
+    let scan i node depth stop =
+      let rec go parent parent_depth node depth =
+        let probe = i + depth in
+        if probe >= stop then begin
+          (* Whole suffix already present: record the occurrence. *)
+          node.Node.positions <- i :: node.Node.positions;
+          (parent, parent_depth, node, depth)
+        end
+        else
+          match Node.find_child ~data node (code probe) with
+          | None ->
+            Node.add_child node (Node.make_leaf ~start:probe ~stop ~position:i);
+            (parent, parent_depth, node, depth)
+          | Some child ->
+            let el = Node.label_length child in
+            (* Compare along the edge. *)
+            let rec walk j =
+              if j = el then `Descend
+              else if i + depth + j >= stop then `Mismatch j
+              else if code (child.Node.start + j) = code (i + depth + j) then
+                walk (j + 1)
+              else `Mismatch j
+            in
+            (match walk 1 (* first symbol matched via find_child *) with
+            | `Descend -> go node depth child (depth + el)
+            | `Mismatch j ->
+              let mid = split_edge node child j in
+              let head_depth = depth + j in
+              if i + head_depth >= stop then
+                (* Suffix exhausted exactly at the split point: only
+                   possible when the edge continued past this suffix's
+                   terminator, which labels never do. *)
+                assert false
+              else
+                Node.add_child mid
+                  (Node.make_leaf ~start:(i + head_depth) ~stop ~position:i);
+              (node, depth, mid, head_depth))
+      in
+      go root 0 node depth
+    in
+    (* Rescan: from [node] at [depth], walk down the path
+       data[lo .. hi) comparing only first symbols (the path is known to
+       exist). Returns (parent, parent_depth, node_or_split, depth,
+       created) where [created] says the end fell mid-edge and a node
+       was split there. *)
+    let rec rescan parent parent_depth node depth lo hi =
+      if lo >= hi then (parent, parent_depth, node, depth, false)
+      else
+        match Node.find_child ~data node (code lo) with
+        | None ->
+          (* The rescan path must exist. *)
+          assert false
+        | Some child ->
+          let el = Node.label_length child in
+          if el <= hi - lo then
+            rescan node depth child (depth + el) (lo + el) hi
+          else begin
+            let mid = split_edge node child (hi - lo) in
+            (node, depth, mid, depth + (hi - lo), true)
+          end
+    in
+    (* Iterations. head/parent state carries depths. *)
+    let head = ref root and head_depth = ref 0 in
+    let parent = ref root and parent_depth = ref 0 in
+    for i = seq_start to seq_stop - 1 do
+      if !head == root then begin
+        let p, pd, h, hd = scan i root 0 seq_stop in
+        parent := p;
+        parent_depth := pd;
+        head := h;
+        head_depth := hd
+      end
+      else begin
+        (* beta = the previous head's incoming edge label. *)
+        let beta_lo = !head.Node.start and beta_hi = !head.Node.stop in
+        let from_node, from_depth, lo =
+          if !parent == root then
+            (* path(head) = x·beta'; rescan beta' from the root. *)
+            (root, 0, beta_lo + 1)
+          else
+            (* Follow the parent's suffix link (invariant: present). *)
+            let s_u =
+              match !parent.Node.suffix_link with
+              | Some link -> link
+              | None -> assert false
+            in
+            (s_u, !parent_depth - 1, beta_lo)
+        in
+        let p, pd, w, wd, created =
+          rescan root 0 from_node from_depth lo beta_hi
+        in
+        !head.Node.suffix_link <- Some w;
+        if created then begin
+          (* w is head(i): the unseen part starts right below it. *)
+          let stop = seq_stop in
+          if i + wd >= stop then assert false
+          else
+            Node.add_child w
+              (Node.make_leaf ~start:(i + wd) ~stop ~position:i);
+          parent := p;
+          parent_depth := pd;
+          head := w;
+          head_depth := wd
+        end
+        else begin
+          let p2, pd2, h, hd = scan i w wd seq_stop in
+          (* scan starts its parent tracking at the root; when it never
+             descended, the true parent is the rescan's. *)
+          if h == w then begin
+            parent := p;
+            parent_depth := pd
+          end
+          else begin
+            parent := p2;
+            parent_depth := pd2
+          end;
+          head := h;
+          head_depth := hd
+        end
+      end
+    done
+  in
+  for i = 0 to Bioseq.Database.num_sequences db - 1 do
+    build_sequence i
+  done;
+  t

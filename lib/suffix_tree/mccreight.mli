@@ -1,0 +1,16 @@
+(** McCreight's linear-time suffix tree construction (JACM 1976) — the
+    other classic algorithm the paper cites ([25]) next to Ukkonen's.
+
+    Suffixes are inserted longest-first; each insertion locates its
+    {e head} (the longest prefix already present) by following the
+    previous head's parent's suffix link, {e rescanning} the known part
+    by edge lengths alone, then {e scanning} the unknown tail symbol by
+    symbol. Produces a tree structurally identical to {!Ukkonen.build}
+    (verified by property tests), and exercises a completely different
+    code path — useful as a cross-check and as a second reference for
+    the disk serializer. *)
+
+val build : Bioseq.Database.t -> Tree.t
+(** O(total database length) expected; duplicate suffixes across
+    sequences append occurrences to existing leaves, as in
+    {!Ukkonen.build}. *)

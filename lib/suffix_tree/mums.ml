@@ -1,0 +1,63 @@
+type mum = { length : int; pos_a : int; pos_b : int; text : string }
+
+let find ?(min_length = 3) a b =
+  if min_length < 1 then invalid_arg "Mums.find: min_length < 1";
+  let db = Bioseq.Database.make [ a; b ] in
+  let t = Ukkonen.build db in
+  let alphabet = Bioseq.Database.alphabet db in
+  let term = Bioseq.Alphabet.terminator alphabet in
+  let b_start = Bioseq.Database.seq_start db 1 in
+  let code = Bioseq.Database.code db in
+  let preceding pos = if pos = 0 then term else code (pos - 1) in
+  let mums =
+    Tree.fold t ~init:[] ~f:(fun acc ~depth node ->
+        if Tree.is_leaf node then begin
+          (* A leaf holding one occurrence from each sequence is the
+             shared-suffix case: both continuations are the sequence
+             end, so the match (terminator stripped) is right-maximal.
+             The leaf edge must contain a real symbol — when it is just
+             the terminator, the candidate string equals the parent's
+             path, whose (internal-node) occurrence count decides
+             uniqueness instead. *)
+          let start, stop = Tree.label node in
+          let length = depth + stop - start - 1 (* strip the terminator *) in
+          if length < min_length || stop - start < 2 then acc
+          else
+            match List.sort compare (Tree.positions node) with
+            | [ pa; pb ] when pa < b_start && pb >= b_start ->
+              let ca = preceding pa and cb = preceding pb in
+              if ca <> cb || ca = term then begin
+                let text =
+                  String.init length (fun i ->
+                      Bioseq.Alphabet.to_char alphabet (code (pa + i)))
+                in
+                { length; pos_a = pa; pos_b = pb - b_start; text } :: acc
+              end
+              else acc
+            | _ -> acc
+        end
+        else begin
+          let start, stop = Tree.label node in
+          let length = depth + stop - start in
+          if length < min_length then acc
+          else
+            (* Right-unique in each sequence: exactly two occurrences,
+               one per sequence. Being an internal node already makes
+               the string right-maximal (two distinct continuations). *)
+            match List.sort compare (Tree.subtree_positions node) with
+            | [ pa; pb ] when pa < b_start && pb >= b_start ->
+              (* Left-maximal: the preceding symbols differ (or one
+                 occurrence starts its sequence). *)
+              let ca = preceding pa and cb = preceding pb in
+              if ca <> cb || ca = term then begin
+                let text =
+                  String.init length (fun i ->
+                      Bioseq.Alphabet.to_char alphabet (code (pa + i)))
+                in
+                { length; pos_a = pa; pos_b = pb - b_start; text } :: acc
+              end
+              else acc
+            | _ -> acc
+        end)
+  in
+  List.sort (fun x y -> compare x.pos_a y.pos_a) mums

@@ -1,0 +1,24 @@
+(** Maximal Unique Matches between two sequences — the anchor structure
+    of MUMmer-style whole-genome alignment, which the paper's §5 cites
+    as another suffix-tree application ("suffix trees have also been
+    applied for aligning whole genomes").
+
+    A MUM of sequences [a] and [b] is a substring that occurs exactly
+    once in each, and cannot be extended left or right without breaking
+    that. On a generalized suffix tree of [{a; b}] these are exactly the
+    internal nodes with one leaf occurrence per sequence (right-unique)
+    whose occurrences are preceded by different symbols
+    (left-maximal). *)
+
+type mum = {
+  length : int;
+  pos_a : int;  (** 0-based offset in the first sequence *)
+  pos_b : int;  (** 0-based offset in the second sequence *)
+  text : string;
+}
+
+val find :
+  ?min_length:int -> Bioseq.Sequence.t -> Bioseq.Sequence.t -> mum list
+(** All MUMs of length at least [min_length] (default 3), sorted by
+    position in the first sequence. Both sequences must share an
+    alphabet. *)

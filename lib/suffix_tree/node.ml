@@ -1,0 +1,87 @@
+type t = {
+  mutable start : int;
+  mutable stop : int;
+  mutable first_child : t option;
+  mutable next_sibling : t option;
+  mutable suffix_link : t option;
+  mutable positions : int list;
+}
+
+let make_root () =
+  {
+    start = -1;
+    stop = 0;
+    first_child = None;
+    next_sibling = None;
+    suffix_link = None;
+    positions = [];
+  }
+
+let make_leaf ~start ~stop ~position =
+  {
+    start;
+    stop;
+    first_child = None;
+    next_sibling = None;
+    suffix_link = None;
+    positions = [ position ];
+  }
+
+let make_internal ~start ~stop =
+  {
+    start;
+    stop;
+    first_child = None;
+    next_sibling = None;
+    suffix_link = None;
+    positions = [];
+  }
+
+let is_leaf n = n.first_child = None && n.start >= 0
+let is_root n = n.start < 0
+let label_length n = n.stop - n.start
+
+let find_child ~data node code =
+  let rec scan = function
+    | None -> None
+    | Some child ->
+      if Char.code (Bytes.unsafe_get data child.start) = code then Some child
+      else scan child.next_sibling
+  in
+  scan node.first_child
+
+let add_child parent child =
+  child.next_sibling <- parent.first_child;
+  parent.first_child <- Some child
+
+let replace_child parent ~old_child ~new_child =
+  let rec scan prev = function
+    | None -> invalid_arg "Node.replace_child: not a child"
+    | Some child when child == old_child ->
+      new_child.next_sibling <- child.next_sibling;
+      old_child.next_sibling <- None;
+      (match prev with
+      | None -> parent.first_child <- Some new_child
+      | Some p -> p.next_sibling <- Some new_child)
+    | Some child -> scan (Some child) child.next_sibling
+  in
+  scan None parent.first_child
+
+let iter_children parent f =
+  let rec go = function
+    | None -> ()
+    | Some child ->
+      f child;
+      go child.next_sibling
+  in
+  go parent.first_child
+
+let fold_children parent ~init ~f =
+  let acc = ref init in
+  iter_children parent (fun child -> acc := f !acc child);
+  !acc
+
+let children parent =
+  List.rev (fold_children parent ~init:[] ~f:(fun acc c -> c :: acc))
+
+let num_children parent = fold_children parent ~init:0 ~f:(fun acc _ -> acc + 1)

@@ -1,0 +1,39 @@
+(** Raw mutable suffix-tree nodes (internal to this library).
+
+    Children form a singly-linked sibling list; edge labels are
+    [ [start, stop) ) ranges into the database concatenation. The OASIS
+    library accesses trees through {!Tree}'s read-only view instead. *)
+
+type t = {
+  mutable start : int;  (** global start of the incoming edge label; -1 at root *)
+  mutable stop : int;  (** one past the label's last symbol; 0 at root *)
+  mutable first_child : t option;
+  mutable next_sibling : t option;
+  mutable suffix_link : t option;
+  mutable positions : int list;
+      (** suffix start positions; non-empty exactly for leaves *)
+}
+
+val make_root : unit -> t
+val make_leaf : start:int -> stop:int -> position:int -> t
+val make_internal : start:int -> stop:int -> t
+val is_leaf : t -> bool
+val is_root : t -> bool
+val label_length : t -> int
+
+val find_child : data:bytes -> t -> int -> t option
+(** [find_child ~data node code] is the child whose edge label begins
+    with symbol [code]. *)
+
+val add_child : t -> t -> unit
+(** Prepend a child to the sibling list. *)
+
+val replace_child : t -> old_child:t -> new_child:t -> unit
+(** Substitute [old_child] (found by physical equality) with
+    [new_child]; the old child's sibling link is cleared. Raises
+    [Invalid_argument] if [old_child] is not a child. *)
+
+val iter_children : t -> (t -> unit) -> unit
+val fold_children : t -> init:'a -> f:('a -> t -> 'a) -> 'a
+val children : t -> t list
+val num_children : t -> int

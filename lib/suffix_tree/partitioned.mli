@@ -1,0 +1,25 @@
+(** Prefix-partitioned suffix tree construction, after Hunt, Atkinson
+    and Irving (VLDB 2001) — the technique the paper uses to build trees
+    larger than memory (§3.4.1).
+
+    Suffixes are partitioned by a fixed-length prefix; each partition's
+    subtree is built independently by one pass over the database, so in
+    Hunt's setting only one subtree needs to be memory-resident at a
+    time. This implementation keeps the whole result in memory
+    (partitions are grafted under a shared root) — it serves as a
+    structural cross-check of {!Ukkonen.build} and as the reference for
+    the partition bookkeeping; a fully external build would additionally
+    stream each finished partition into {!Storage}'s disk image. *)
+
+val build : ?prefix_len:int -> Bioseq.Database.t -> Tree.t
+(** [prefix_len] defaults to 1. Suffixes shorter than [prefix_len]
+    (terminator included) form their own partitions. The resulting tree
+    is structurally identical to {!Ukkonen.build}'s (up to child
+    order). *)
+
+val partitions : prefix_len:int -> Bioseq.Database.t -> int list array * int list
+(** [partitions ~prefix_len db] is [(buckets, short)]: [buckets.(h)]
+    lists the suffix start positions whose length->= prefix_len] prefix
+    hashes to bucket [h] (radix order), and [short] lists suffixes
+    shorter than [prefix_len]. Exposed for the storage layer and
+    tests. *)

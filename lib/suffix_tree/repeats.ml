@@ -1,0 +1,48 @@
+type repeat = { length : int; positions : int list; text : string }
+
+let text_of t pos len =
+  let db = Tree.database t in
+  let alphabet = Bioseq.Database.alphabet db in
+  String.init len (fun i ->
+      Bioseq.Alphabet.to_char alphabet (Bioseq.Database.code db (pos + i)))
+
+let compare_repeat a b =
+  if a.length <> b.length then compare b.length a.length
+  else compare a.text b.text
+
+let all ?(min_length = 2) t =
+  if min_length < 1 then invalid_arg "Repeats.all: min_length < 1";
+  let repeats =
+    Tree.fold t ~init:[] ~f:(fun acc ~depth node ->
+        if Tree.is_leaf node then acc
+        else begin
+          let start, stop = Tree.label node in
+          let length = depth + stop - start in
+          if length < min_length then acc
+          else begin
+            let positions =
+              List.sort compare (Tree.subtree_positions node)
+            in
+            (* Every internal node has >= 2 leaf descendants by the
+               compact-tree invariant. *)
+            { length; positions; text = text_of t (List.hd positions) length }
+            :: acc
+          end
+        end)
+  in
+  List.sort compare_repeat repeats
+
+let left_maximal t r =
+  (* Left-maximal: not every occurrence is preceded by the same symbol.
+     An occurrence at a sequence start (or preceded by a terminator)
+     cannot be extended left at all. *)
+  let db = Tree.database t in
+  let term = Bioseq.Alphabet.terminator (Bioseq.Database.alphabet db) in
+  let preceding pos = if pos = 0 then term else Bioseq.Database.code db (pos - 1) in
+  match r.positions with
+  | [] | [ _ ] -> false
+  | first :: rest ->
+    let c0 = preceding first in
+    c0 = term || List.exists (fun p -> preceding p <> c0 || preceding p = term) rest
+
+let maximal ?min_length t = List.filter (left_maximal t) (all ?min_length t)

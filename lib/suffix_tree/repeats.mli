@@ -1,0 +1,25 @@
+(** Repeat analysis on the suffix tree — the REPuter-style application
+    the paper's §5 cites ("suffix trees have also been applied ... for
+    exploring repeated structures in genomic sequences").
+
+    A repeated substring of length [>= min_length] corresponds to an
+    internal node of path depth [>= min_length]; its occurrences are the
+    node's leaf positions. {!maximal} keeps only right-maximal repeats
+    that are also left-maximal (extending either way breaks at least one
+    occurrence pair). *)
+
+type repeat = {
+  length : int;  (** repeat length in symbols *)
+  positions : int list;  (** sorted global start positions, >= 2 of them *)
+  text : string;  (** the repeated substring *)
+}
+
+val all : ?min_length:int -> Tree.t -> repeat list
+(** Every right-maximal repeat (i.e. every internal node) of length at
+    least [min_length] (default 2), sorted by decreasing length then
+    text. Occurrences may overlap. *)
+
+val maximal : ?min_length:int -> Tree.t -> repeat list
+(** The subset of {!all} that is also left-maximal: at least two
+    occurrences are preceded by different symbols (or one starts a
+    sequence). *)

@@ -1,0 +1,106 @@
+type t = {
+  db : Bioseq.Database.t;
+  sa : int array; (* rank -> suffix start position *)
+  ranks : int array; (* suffix start position -> rank *)
+  mutable lcp : int array option;
+}
+
+(* Prefix doubling: sort by the first [2k] symbols given ranks for the
+   first [k]. Suffixes are compared over the raw concatenation, which
+   agrees with terminator-truncated comparison on every prefix that
+   matters for pattern lookup. *)
+let build db =
+  let data = Bioseq.Database.data db in
+  let n = Bytes.length data in
+  let sa = Array.init n Fun.id in
+  let rank = Array.init n (fun i -> Char.code (Bytes.get data i)) in
+  let tmp = Array.make n 0 in
+  let k = ref 1 in
+  let continue = ref (n > 1) in
+  while !continue do
+    let key i =
+      (rank.(i), if i + !k < n then rank.(i + !k) else -1)
+    in
+    Array.sort (fun a b -> compare (key a) (key b)) sa;
+    (* Re-rank. *)
+    tmp.(sa.(0)) <- 0;
+    for r = 1 to n - 1 do
+      tmp.(sa.(r)) <-
+        (tmp.(sa.(r - 1)) + if key sa.(r) = key sa.(r - 1) then 0 else 1)
+    done;
+    Array.blit tmp 0 rank 0 n;
+    if rank.(sa.(n - 1)) = n - 1 then continue := false
+    else k := !k * 2
+  done;
+  { db; sa; ranks = rank; lcp = None }
+
+let database t = t.db
+let length t = Array.length t.sa
+let suffix_at t r = t.sa.(r)
+let rank_of t pos = t.ranks.(pos)
+
+(* Compare the suffix at [pos] against [pattern], looking only at the
+   first [|pattern|] symbols: negative / zero (pattern is a prefix) /
+   positive. *)
+let compare_prefix t pos pattern =
+  let data = Bioseq.Database.data t.db in
+  let n = Bytes.length data and plen = Bytes.length pattern in
+  let rec go i =
+    if i = plen then 0
+    else if pos + i >= n then -1
+    else
+      let c = Char.compare (Bytes.get data (pos + i)) (Bytes.get pattern i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let interval t pattern =
+  if Bytes.length pattern = 0 then invalid_arg "Suffix_array.interval: empty pattern";
+  let n = length t in
+  (* First rank whose suffix compares >= / > the pattern prefix. *)
+  let search above =
+    let rec bs lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        let c = compare_prefix t t.sa.(mid) pattern in
+        if c < 0 || (above && c = 0) then bs (mid + 1) hi else bs lo mid
+    in
+    bs 0 n
+  in
+  let lo = search false and hi = search true in
+  if lo >= hi then None else Some (lo, hi)
+
+let find t pattern =
+  match interval t pattern with
+  | None -> []
+  | Some (lo, hi) ->
+    List.sort compare (List.init (hi - lo) (fun i -> t.sa.(lo + i)))
+
+(* Kasai et al. linear-time LCP construction. *)
+let lcp_array t =
+  match t.lcp with
+  | Some lcp -> lcp
+  | None ->
+    let data = Bioseq.Database.data t.db in
+    let n = length t in
+    let lcp = Array.make n 0 in
+    let h = ref 0 in
+    for pos = 0 to n - 1 do
+      let r = t.ranks.(pos) in
+      if r > 0 then begin
+        let prev = t.sa.(r - 1) in
+        while
+          pos + !h < n
+          && prev + !h < n
+          && Bytes.get data (pos + !h) = Bytes.get data (prev + !h)
+        do
+          incr h
+        done;
+        lcp.(r) <- !h;
+        if !h > 0 then decr h
+      end
+      else h := 0
+    done;
+    t.lcp <- Some lcp;
+    lcp

@@ -1,0 +1,40 @@
+(** Suffix arrays over a {!Bioseq.Database} — the index behind QUASAR
+    (Burkhardt et al., RECOMB 1999), which the paper discusses as the
+    main filtering alternative to its suffix tree (§5).
+
+    The array holds every suffix start position of the database
+    concatenation, sorted lexicographically (the terminator code sorts
+    above every real symbol, and suffixes implicitly end at their
+    sequence terminator, mirroring {!Tree}'s generalized-tree view). *)
+
+type t
+
+val build : Bioseq.Database.t -> t
+(** Prefix-doubling construction, O(n log n) time, O(n) space. *)
+
+val database : t -> Bioseq.Database.t
+
+val length : t -> int
+(** Number of suffixes (= database data length). *)
+
+val suffix_at : t -> int -> int
+(** [suffix_at t rank] is the start position of the [rank]-th smallest
+    suffix. *)
+
+val rank_of : t -> int -> int
+(** Inverse permutation: the rank of the suffix starting at a
+    position. *)
+
+val interval : t -> bytes -> (int * int) option
+(** [interval t pattern] is the half-open rank range [ [lo, hi) ) of
+    suffixes having [pattern] as a prefix, or [None] when the pattern
+    does not occur. O(|pattern| log n). *)
+
+val find : t -> bytes -> int list
+(** Sorted start positions of all occurrences of the encoded pattern
+    (like {!Tree.find_exact}). *)
+
+val lcp_array : t -> int array
+(** Kasai's longest-common-prefix array: [lcp.(i)] is the LCP of the
+    suffixes at ranks [i-1] and [i] ([lcp.(0) = 0]). Computed on demand
+    and cached. *)

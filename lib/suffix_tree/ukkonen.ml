@@ -1,0 +1,115 @@
+(* Classic Ukkonen with the active-point formulation, run over one
+   sequence region [seq_start, seq_stop) at a time ([seq_stop] is one
+   past the terminator). Leaves are created with their final edge end
+   ([seq_stop]-relative) immediately; during construction the effective
+   edge length is capped at the current phase position. *)
+
+let build_sequence t seq_index =
+  let db = Tree.database t in
+  let root = Tree.root t in
+  let data = Bioseq.Database.data db in
+  let code i = Char.code (Bytes.unsafe_get data i) in
+  begin
+    let seq_start = Bioseq.Database.seq_start db seq_index in
+    let seq_len = Bioseq.Sequence.length (Bioseq.Database.seq db seq_index) in
+    let seq_stop = seq_start + seq_len + 1 (* include terminator *) in
+    let active_node = ref root in
+    let active_edge = ref 0 in
+    let active_length = ref 0 in
+    let remainder = ref 0 in
+    for pos = seq_start to seq_stop - 1 do
+      let c = code pos in
+      incr remainder;
+      let last_new_node = ref None in
+      let link_pending target =
+        (match !last_new_node with
+        | Some n -> n.Node.suffix_link <- Some target
+        | None -> ());
+        last_new_node := None
+      in
+      let continue = ref true in
+      while !continue && !remainder > 0 do
+        if !active_length = 0 then active_edge := pos;
+        match Node.find_child ~data !active_node (code !active_edge) with
+        | None ->
+          (* Rule 2 from a node: new leaf child. *)
+          let position = pos - !remainder + 1 in
+          Node.add_child !active_node
+            (Node.make_leaf ~start:pos ~stop:seq_stop ~position);
+          link_pending !active_node;
+          (* Advance to the next (shorter) suffix. *)
+          decr remainder;
+          if !active_node == root && !active_length > 0 then begin
+            decr active_length;
+            active_edge := pos - !remainder + 1
+          end
+          else if not (!active_node == root) then
+            active_node :=
+              (match !active_node.Node.suffix_link with
+              | Some link -> link
+              | None -> root)
+        | Some next ->
+          let edge_stop = min next.Node.stop (pos + 1) in
+          let edge_len = edge_stop - next.Node.start in
+          if !active_length >= edge_len then begin
+            (* Skip/count: walk down a full edge. *)
+            active_node := next;
+            active_edge := !active_edge + edge_len;
+            active_length := !active_length - edge_len
+          end
+          else if code (next.Node.start + !active_length) = c then begin
+            (* Rule 3: the extension is already implicit; end the phase. *)
+            link_pending !active_node;
+            incr active_length;
+            continue := false
+          end
+          else begin
+            (* Rule 2 with split. *)
+            let split =
+              Node.make_internal ~start:next.Node.start
+                ~stop:(next.Node.start + !active_length)
+            in
+            Node.replace_child !active_node ~old_child:next ~new_child:split;
+            next.Node.start <- next.Node.start + !active_length;
+            Node.add_child split next;
+            let position = pos - !remainder + 1 in
+            Node.add_child split
+              (Node.make_leaf ~start:pos ~stop:seq_stop ~position);
+            link_pending split;
+            last_new_node := Some split;
+            decr remainder;
+            if !active_node == root && !active_length > 0 then begin
+              decr active_length;
+              active_edge := pos - !remainder + 1
+            end
+            else if not (!active_node == root) then
+              active_node :=
+                (match !active_node.Node.suffix_link with
+                | Some link -> link
+                | None -> root)
+          end
+      done
+    done;
+    (* Suffixes still implicit after the terminator phase are exact
+       duplicates of paths from earlier sequences; record their
+       occurrences on the existing leaves. *)
+    if !remainder > 0 then
+      for j = seq_stop - !remainder to seq_stop - 1 do
+        Tree.insert_suffix_naive t j
+      done
+  end
+
+let build db =
+  let t = Tree.create db in
+  for i = 0 to Bioseq.Database.num_sequences db - 1 do
+    build_sequence t i
+  done;
+  t
+
+let extend tree db =
+  let old_n = Bioseq.Database.num_sequences (Tree.database tree) in
+  let t = Tree.with_database tree db in
+  for i = old_n to Bioseq.Database.num_sequences db - 1 do
+    build_sequence t i
+  done;
+  t

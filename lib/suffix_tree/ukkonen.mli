@@ -1,0 +1,21 @@
+(** Online linear-time suffix tree construction (Ukkonen 1992).
+
+    The generalized tree over a multi-sequence database is built by
+    running Ukkonen's algorithm once per sequence into a shared tree,
+    resetting the active point between sequences. Suffixes of a later
+    sequence that already exist verbatim in the tree remain implicit at
+    the end of that sequence's pass; they are resolved by appending
+    their start positions to the existing leaves, so every database
+    suffix is represented exactly once. *)
+
+val build : Bioseq.Database.t -> Tree.t
+(** O(total database length) expected; worst case adds the cost of the
+    duplicate-suffix walks. *)
+
+val extend : Tree.t -> Bioseq.Database.t -> Tree.t
+(** [extend tree db] incrementally indexes the sequences [db] adds on
+    top of [tree]'s database (built with {!Bioseq.Database.append}) —
+    the paper's §6 "incremental updates" future work, for the in-memory
+    tree. Cost is proportional to the added length only. The input
+    [tree] shares nodes with the result and must not be used
+    afterwards. *)

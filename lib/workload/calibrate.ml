@@ -1,0 +1,24 @@
+let random_sequence rng ~alphabet ~freqs ~id ~len =
+  let b = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.set b i (Char.chr (Rng.choose_weighted rng freqs))
+  done;
+  Bioseq.Sequence.of_codes ~alphabet ~id b
+
+let gapped_params rng ~matrix ~gap ~freqs ?(length = 100) ?(samples = 500) () =
+  if length < 2 then invalid_arg "Calibrate.gapped_params: length < 2";
+  if samples < 10 then invalid_arg "Calibrate.gapped_params: samples < 10";
+  let alphabet = Scoring.Submat.alphabet matrix in
+  let scores =
+    List.init samples (fun i ->
+        let query =
+          random_sequence rng ~alphabet ~freqs ~id:(Printf.sprintf "q%d" i)
+            ~len:length
+        in
+        let target =
+          random_sequence rng ~alphabet ~freqs ~id:(Printf.sprintf "t%d" i)
+            ~len:length
+        in
+        Align.Smith_waterman.score_only ~matrix ~gap ~query ~target)
+  in
+  Scoring.Karlin.fit_gumbel ~m:length ~n:length scores

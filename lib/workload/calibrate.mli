@@ -1,0 +1,24 @@
+(** Empirical Karlin-Altschul calibration by simulation.
+
+    The analytic parameters ({!Scoring.Karlin.estimate}) only exist for
+    ungapped alignment; for gapped scoring systems practice (Altschul &
+    Gish 1996) simulates random sequence pairs, takes their maximum
+    local-alignment scores, and fits the Gumbel law. This is the
+    simulation driver; the fitting lives in
+    {!Scoring.Karlin.fit_gumbel}. *)
+
+val gapped_params :
+  Rng.t ->
+  matrix:Scoring.Submat.t ->
+  gap:Scoring.Gap.t ->
+  freqs:float array ->
+  ?length:int ->
+  ?samples:int ->
+  unit ->
+  Scoring.Karlin.params
+(** Draw [samples] (default 500) independent pairs of random sequences
+    of [length] (default 100) symbols from [freqs], score each with
+    Smith-Waterman under [matrix]/[gap], and fit. With a very large gap
+    penalty the result converges to the analytic ungapped parameters
+    (tested); with realistic gap costs [lambda] comes out lower, making
+    E-values appropriately more conservative. *)

@@ -1,0 +1,101 @@
+let clamp lo hi v = max lo (min hi v)
+
+(* Log-normal fitted by eye to SWISS-PROT's reported statistics: median
+   around 300, mean around 370, heavy right tail cut at 2048. *)
+let swissprot_length rng =
+  let mu = log 300. and sigma = 0.65 in
+  let v = exp (mu +. (sigma *. Rng.gaussian rng)) in
+  clamp 7 2048 (int_of_float v)
+
+let draw_residues rng ~alphabet ~freqs ~id ~len =
+  let b = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.set b i (Char.chr (Rng.choose_weighted rng freqs))
+  done;
+  Bioseq.Sequence.of_codes ~alphabet ~id b
+
+let protein_sequence rng ~id ~len =
+  draw_residues rng ~alphabet:Bioseq.Alphabet.protein
+    ~freqs:Scoring.Background.robinson_robinson ~id ~len
+
+let protein_database rng ?mean_len ~target_symbols () =
+  if target_symbols <= 0 then
+    invalid_arg "Generate.protein_database: target_symbols must be positive";
+  let scale =
+    match mean_len with
+    | None -> 1.0
+    | Some l -> float_of_int l /. 370.
+  in
+  let rec go acc total i =
+    if total >= target_symbols then List.rev acc
+    else begin
+      let len =
+        clamp 7 2048 (int_of_float (scale *. float_of_int (swissprot_length rng)))
+      in
+      let len = min len (max 7 (target_symbols - total)) in
+      let s = protein_sequence rng ~id:(Printf.sprintf "SYN%06d" i) ~len in
+      go (s :: acc) (total + len) (i + 1)
+    end
+  in
+  Bioseq.Database.make (go [] 0 0)
+
+let dna_sequence ?(gc = 0.45) rng ~id ~len =
+  draw_residues rng ~alphabet:Bioseq.Alphabet.dna
+    ~freqs:(Scoring.Background.dna_gc ~gc) ~id ~len
+
+let dna_database rng ?(gc = 0.45) ?(num_sequences = 32) ~target_symbols () =
+  if target_symbols < num_sequences then
+    invalid_arg "Generate.dna_database: fewer symbols than sequences";
+  let base = target_symbols / num_sequences in
+  let seqs =
+    List.init num_sequences (fun i ->
+        let len = if i = num_sequences - 1 then target_symbols - (base * i) else base in
+        dna_sequence ~gc rng ~id:(Printf.sprintf "SCAF%04d" i) ~len)
+  in
+  Bioseq.Database.make seqs
+
+(* Background frequencies for substituting a mutated symbol: never
+   introduces ambiguity codes. *)
+let background_for alphabet =
+  if Bioseq.Alphabet.name alphabet = "protein" then
+    Scoring.Background.robinson_robinson
+  else if Bioseq.Alphabet.name alphabet = "dna" then Scoring.Background.dna_uniform
+  else Scoring.Background.uniform alphabet
+
+let mutate_codes rng ~alphabet ~rate codes =
+  let freqs = background_for alphabet in
+  Bytes.map
+    (fun c ->
+      if Rng.bool rng ~p:rate then Char.chr (Rng.choose_weighted rng freqs)
+      else c)
+    codes
+
+let plant rng ~db ~motif ~copies ~mutation_rate =
+  let alphabet = Bioseq.Database.alphabet db in
+  if Bioseq.Alphabet.name (Bioseq.Sequence.alphabet motif) <> Bioseq.Alphabet.name alphabet
+  then invalid_arg "Generate.plant: alphabet mismatch";
+  let n = Bioseq.Database.num_sequences db in
+  let mlen = Bioseq.Sequence.length motif in
+  let payloads =
+    Array.init n (fun i -> Bytes.copy (Bioseq.Sequence.codes (Bioseq.Database.seq db i)))
+  in
+  let eligible =
+    Array.to_list (Array.init n Fun.id)
+    |> List.filter (fun i -> Bytes.length payloads.(i) >= mlen)
+  in
+  if eligible = [] then invalid_arg "Generate.plant: motif longer than every sequence";
+  let eligible = Array.of_list eligible in
+  for _ = 1 to copies do
+    let i = eligible.(Rng.int rng (Array.length eligible)) in
+    let room = Bytes.length payloads.(i) - mlen in
+    let off = if room = 0 then 0 else Rng.int rng (room + 1) in
+    let copy =
+      mutate_codes rng ~alphabet ~rate:mutation_rate (Bioseq.Sequence.codes motif)
+    in
+    Bytes.blit copy 0 payloads.(i) off mlen
+  done;
+  Bioseq.Database.make
+    (List.init n (fun i ->
+         let old = Bioseq.Database.seq db i in
+         Bioseq.Sequence.of_codes ~alphabet ~id:(Bioseq.Sequence.id old)
+           ~description:(Bioseq.Sequence.description old) payloads.(i)))

@@ -1,0 +1,41 @@
+(** Synthetic sequence databases standing in for the paper's data sets
+    (§4.1): SWISS-PROT (≈100K proteins, 40M residues, lengths 7-2048)
+    and the Drosophila genome (120M nt). The generators preserve the
+    statistics the algorithms are sensitive to — alphabet, background
+    residue frequencies and length mix — at a configurable scale. *)
+
+val swissprot_length : Rng.t -> int
+(** A protein length drawn from a log-normal fitted to SWISS-PROT's
+    reported shape (min 7, max 2048, mean ≈ 370). *)
+
+val protein_sequence : Rng.t -> id:string -> len:int -> Bioseq.Sequence.t
+(** Residues i.i.d. from Robinson-Robinson frequencies. *)
+
+val protein_database :
+  Rng.t -> ?mean_len:int -> target_symbols:int -> unit -> Bioseq.Database.t
+(** Sequences drawn with {!swissprot_length} (rescaled to [mean_len] if
+    given) until at least [target_symbols] residues accumulate. *)
+
+val dna_sequence : ?gc:float -> Rng.t -> id:string -> len:int -> Bioseq.Sequence.t
+
+val dna_database :
+  Rng.t ->
+  ?gc:float ->
+  ?num_sequences:int ->
+  target_symbols:int ->
+  unit ->
+  Bioseq.Database.t
+(** [num_sequences] (default 32) roughly-equal pieces totalling
+    [target_symbols], echoing the Drosophila set's few large scaffolds. *)
+
+val plant :
+  Rng.t ->
+  db:Bioseq.Database.t ->
+  motif:Bioseq.Sequence.t ->
+  copies:int ->
+  mutation_rate:float ->
+  Bioseq.Database.t
+(** Overwrite [copies] random locations (in distinct random sequences
+    where possible) with point-mutated copies of [motif], giving the
+    database genuine homologous families the way ProClass queries have
+    family members in SWISS-PROT. *)

@@ -1,0 +1,56 @@
+let proclass_length rng =
+  (* 6 + geometric-ish tail with mean 10, truncated at 56. *)
+  let rec draw len =
+    if len >= 56 then 56
+    else if Rng.bool rng ~p:0.1 then len
+    else draw (len + 1)
+  in
+  draw 6
+
+let mutate rng ~rate s =
+  let alphabet = Bioseq.Sequence.alphabet s in
+  let freqs =
+    if Bioseq.Alphabet.name alphabet = "protein" then
+      Scoring.Background.robinson_robinson
+    else if Bioseq.Alphabet.name alphabet = "dna" then
+      Scoring.Background.dna_uniform
+    else Scoring.Background.uniform alphabet
+  in
+  let codes =
+    Bytes.map
+      (fun c ->
+        if Rng.bool rng ~p:rate then Char.chr (Rng.choose_weighted rng freqs)
+        else c)
+      (Bioseq.Sequence.codes s)
+  in
+  Bioseq.Sequence.of_codes ~alphabet ~id:(Bioseq.Sequence.id s) codes
+
+let sample rng ~db ?len ~mutation_rate ~id () =
+  let len = match len with Some l -> l | None -> proclass_length rng in
+  let n = Bioseq.Database.num_sequences db in
+  let candidates =
+    List.filter
+      (fun i -> Bioseq.Sequence.length (Bioseq.Database.seq db i) >= len)
+      (List.init n Fun.id)
+  in
+  if candidates = [] then
+    invalid_arg
+      (Printf.sprintf "Motif.sample: no database sequence of length >= %d" len);
+  let candidates = Array.of_list candidates in
+  let i = candidates.(Rng.int rng (Array.length candidates)) in
+  let s = Bioseq.Database.seq db i in
+  let room = Bioseq.Sequence.length s - len in
+  let off = if room = 0 then 0 else Rng.int rng (room + 1) in
+  let piece = Bioseq.Sequence.sub s ~pos:off ~len in
+  let piece =
+    Bioseq.Sequence.of_codes
+      ~alphabet:(Bioseq.Sequence.alphabet s)
+      ~id
+      ~description:(Printf.sprintf "motif from %s@%d" (Bioseq.Sequence.id s) off)
+      (Bioseq.Sequence.codes piece)
+  in
+  mutate rng ~rate:mutation_rate piece
+
+let workload rng ~db ~count ?(mutation_rate = 0.1) () =
+  List.init count (fun i ->
+      sample rng ~db ~mutation_rate ~id:(Printf.sprintf "motif%03d" i) ())

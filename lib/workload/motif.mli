@@ -1,0 +1,38 @@
+(** ProClass-style motif query workloads (§4.1).
+
+    The paper's query set is a hundred motifs sampled from ProClass:
+    lengths 6-56, average ≈ 16, each strongly related to at least one
+    SWISS-PROT family. We reproduce that by cutting substrings out of
+    the database itself and point-mutating them: the query then has one
+    near-exact occurrence plus whatever weaker homology the database
+    contains. *)
+
+val proclass_length : Rng.t -> int
+(** Length in [6, 56] with mean ≈ 16 (truncated geometric tail). *)
+
+val sample :
+  Rng.t ->
+  db:Bioseq.Database.t ->
+  ?len:int ->
+  mutation_rate:float ->
+  id:string ->
+  unit ->
+  Bioseq.Sequence.t
+(** Cut a substring of a random database sequence (length [len], default
+    {!proclass_length}) and mutate it. Sequences shorter than the target
+    length are skipped; raises [Invalid_argument] if none is long
+    enough. *)
+
+val workload :
+  Rng.t ->
+  db:Bioseq.Database.t ->
+  count:int ->
+  ?mutation_rate:float ->
+  unit ->
+  Bioseq.Sequence.t list
+(** [count] queries with ProClass-like lengths; [mutation_rate] defaults
+    to 0.1. *)
+
+val mutate : Rng.t -> rate:float -> Bioseq.Sequence.t -> Bioseq.Sequence.t
+(** Point-mutate each symbol with probability [rate], drawing
+    replacements from the alphabet's background distribution. *)

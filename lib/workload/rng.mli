@@ -1,0 +1,29 @@
+(** Deterministic random number generator (splitmix64), so every
+    workload, test and benchmark is reproducible from a seed without
+    touching the global [Random] state. *)
+
+type t
+
+val create : seed:int -> t
+
+val next : t -> int64
+(** Raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [ [0, n) ); [n > 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [ [0, x) ). *)
+
+val bool : t -> p:float -> bool
+(** [true] with probability [p]. *)
+
+val gaussian : t -> float
+(** Standard normal (Box-Muller). *)
+
+val choose_weighted : t -> float array -> int
+(** Index drawn proportionally to the (non-negative) weights; raises
+    [Invalid_argument] if all weights are zero. *)
+
+val split : t -> t
+(** An independent generator derived from [t]'s stream. *)

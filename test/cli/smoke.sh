@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# End-to-end CLI smoke test: every subcommand over a real temp workspace.
+set -euo pipefail
+OASIS=$(realpath "$1")
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+cd "$work"
+
+fail() { echo "SMOKE FAIL: $1" >&2; exit 1; }
+
+$OASIS generate --kind protein --symbols 20000 --seed 5 -o db.fa >/dev/null
+grep -q '^>' db.fa || fail "generate produced no FASTA headers"
+
+$OASIS generate --kind dna --symbols 5000 --seed 6 -o dna.fa >/dev/null
+
+# Index in all three construction/layout modes and verify each.
+$OASIS index --db db.fa -o idx_plain >/dev/null
+$OASIS index --db db.fa -o idx_clustered --clustered >/dev/null
+$OASIS index --db db.fa -o idx_external --external --clustered >/dev/null
+for d in idx_plain idx_clustered idx_external; do
+  $OASIS verify-index --db db.fa --index "$d" > "verify_$d.out"
+  grep -q '^OK:' "verify_$d.out" || fail "verify-index rejected $d"
+done
+
+# Search: in-memory and disk must agree on the top hit line.
+mem=$($OASIS search --db db.fa -q DKDGDGTITTKE --min-score 20 --top 1 --format tabular)
+for d in idx_plain idx_clustered idx_external; do
+  disk=$($OASIS search --db db.fa --index "$d" -q DKDGDGTITTKE --min-score 20 \
+           --top 1 --format tabular | head -1)
+  [ "$mem" = "$disk" ] || fail "disk search over $d disagrees with memory"
+done
+
+# Output formats (capture to files: grep -q on a pipe can SIGPIPE the
+# writer under pipefail).
+$OASIS search --db db.fa -q DKDGDGTITTKE --min-score 20 --top 2 \
+  --format pairwise > pairwise.out
+grep -q 'Score =' pairwise.out || fail "pairwise format missing score line"
+$OASIS search --db db.fa -q DKDGDGTITTKE --evalue 1000 --evalue-order \
+  --top 3 > order.out
+grep -q 'E=' order.out || fail "evalue-order output missing E values"
+
+# Batch (two domains exercises the parallel path even on one core).
+$OASIS generate --kind protein --symbols 2000 --seed 7 -o queries.fa >/dev/null
+$OASIS batch --db db.fa --queries queries.fa --min-score 30 --domains 2 \
+  --format tabular > batch.out
+test -s batch.out || fail "batch produced no output"
+awk -F'\t' '/^#/ { next } NF && NF != 12 { exit 1 }' batch.out \
+  || fail "batch rows not 12 columns"
+
+$OASIS compare --db db.fa -q DKDGDGTITTKE --min-score 22 > compare.out
+grep -q '(= oasis)' compare.out || fail "compare: smith-waterman disagreed"
+
+$OASIS stats --db db.fa > stats.out
+grep -q 'suffix tree:' stats.out || fail "stats output missing"
+
+echo "cli smoke: all subcommands OK"

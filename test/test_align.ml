@@ -1,0 +1,305 @@
+(* Alignment substrate: Smith-Waterman (paper Table 2), Gotoh affine
+   gaps, Needleman-Wunsch, alignment bookkeeping. *)
+
+let dna = Bioseq.Alphabet.dna
+let unit_matrix = Scoring.Matrices.dna_unit
+let gap1 = Scoring.Gap.linear 1
+let seq id text = Bioseq.Sequence.make ~alphabet:dna ~id text
+
+let db_of_strings strings =
+  Bioseq.Database.make (List.mapi (fun i s -> seq (Printf.sprintf "s%d" i) s) strings)
+
+(* --- Paper Table 2 --- *)
+
+let test_table2_matrix () =
+  let query = seq "q" "TACG" and target = seq "t" "AGTACGCCTAG" in
+  let h =
+    Align.Smith_waterman.dp_matrix ~matrix:unit_matrix ~gap:gap1 ~query ~target
+  in
+  (* Row for T (paper Table 2, first row). *)
+  Alcotest.(check (list int)) "row T"
+    [ 0; 0; 1; 0; 0; 0; 0; 0; 1; 0; 0 ]
+    (List.tl (Array.to_list h.(1)));
+  (* Row for A. *)
+  Alcotest.(check (list int)) "row A"
+    [ 1; 0; 0; 2; 1; 0; 0; 0; 0; 2; 1 ]
+    (List.tl (Array.to_list h.(2)));
+  (* Row for C. *)
+  Alcotest.(check (list int)) "row C"
+    [ 0; 0; 0; 1; 3; 2; 1; 1; 0; 1; 1 ]
+    (List.tl (Array.to_list h.(3)));
+  (* Row for G with the winning score 4 at TACG/TACG. *)
+  Alcotest.(check (list int)) "row G"
+    [ 0; 1; 0; 0; 2; 4; 3; 2; 1; 0; 2 ]
+    (List.tl (Array.to_list h.(4)))
+
+let test_table2_alignment () =
+  let query = seq "q" "TACG" and target = seq "t" "AGTACGCCTAG" in
+  let a = Align.Smith_waterman.align ~matrix:unit_matrix ~gap:gap1 ~query ~target in
+  Alcotest.(check int) "score" 4 a.Align.Alignment.score;
+  Alcotest.(check int) "target start" 2 a.Align.Alignment.target_start;
+  Alcotest.(check int) "target stop" 6 a.Align.Alignment.target_stop;
+  Alcotest.(check string) "cigar" "4R" (Align.Alignment.cigar a);
+  Alcotest.(check int) "rescore agrees" 4
+    (Align.Alignment.rescore ~matrix:unit_matrix ~gap:gap1 ~query ~target a);
+  Alcotest.(check (float 1e-9)) "identity" 1.0
+    (Align.Alignment.identity ~query ~target a)
+
+let test_align_with_gap () =
+  (* TACG vs TAG: best is TACG / TA-G with one deletion... seen from the
+     query side it is an Insert (skip query C): score 3 - 1 = 2. *)
+  let query = seq "q" "TACG" and target = seq "t" "TAG" in
+  let a = Align.Smith_waterman.align ~matrix:unit_matrix ~gap:gap1 ~query ~target in
+  Alcotest.(check int) "score" 2 a.Align.Alignment.score;
+  Alcotest.(check int) "rescore agrees" 2
+    (Align.Alignment.rescore ~matrix:unit_matrix ~gap:gap1 ~query ~target a)
+
+let test_empty_alignment () =
+  let query = seq "q" "AAAA" and target = seq "t" "GGGG" in
+  let a = Align.Smith_waterman.align ~matrix:unit_matrix ~gap:gap1 ~query ~target in
+  Alcotest.(check int) "no positive alignment" 0 a.Align.Alignment.score;
+  Alcotest.(check (list unit)) "no ops" []
+    (List.map ignore a.Align.Alignment.ops)
+
+let test_score_only_matches_align () =
+  let query = seq "q" "GATTACA" and target = seq "t" "AGATCTACAGG" in
+  let a = Align.Smith_waterman.align ~matrix:unit_matrix ~gap:gap1 ~query ~target in
+  Alcotest.(check int) "score_only"
+    a.Align.Alignment.score
+    (Align.Smith_waterman.score_only ~matrix:unit_matrix ~gap:gap1 ~query ~target)
+
+(* --- Affine gaps (Gotoh) --- *)
+
+let test_affine_prefers_one_long_gap () =
+  (* Query AAAATTTT vs target AAAACCCCCTTTT: affine gaps make one long
+     gap cheaper than the sum of per-symbol penalties. *)
+  let query = seq "q" "AAAATTTT" and target = seq "t" "AAAACCCCCTTTT" in
+  let match3 =
+    Scoring.Submat.of_function ~alphabet:dna ~name:"m3" (fun a b ->
+        if a = b then 3 else -3)
+  in
+  let affine = Scoring.Gap.affine ~open_cost:4 ~extend_cost:1 in
+  let a = Align.Smith_waterman.align ~matrix:match3 ~gap:affine ~query ~target in
+  (* 8 matches (24) minus one 5-gap (4 + 5*1 = 9) = 15. *)
+  Alcotest.(check int) "score" 15 a.Align.Alignment.score;
+  Alcotest.(check string) "cigar" "4R5D4R" (Align.Alignment.cigar a);
+  Alcotest.(check int) "rescore agrees" 15
+    (Align.Alignment.rescore ~matrix:match3 ~gap:affine ~query ~target a)
+
+(* --- Database search --- *)
+
+let test_search_reports_per_sequence () =
+  let db = db_of_strings [ "AGTACGCCTAG"; "TTTT"; "TACG" ] in
+  let query = seq "q" "TACG" in
+  let hits, stats =
+    Align.Smith_waterman.search ~matrix:unit_matrix ~gap:gap1 ~query ~db
+      ~min_score:2
+  in
+  Alcotest.(check (list (pair int int)))
+    "hits (seq, score) by decreasing score"
+    [ (0, 4); (2, 4) ]
+    (List.map (fun h -> (h.Align.Smith_waterman.seq_index, h.Align.Smith_waterman.score)) hits);
+  Alcotest.(check int) "columns = total symbols" 19 stats.Align.Smith_waterman.columns
+
+let test_hit_alignment () =
+  let db = db_of_strings [ "AGTACGCCTAG" ] in
+  let query = seq "q" "TACG" in
+  let hits, _ =
+    Align.Smith_waterman.search ~matrix:unit_matrix ~gap:gap1 ~query ~db
+      ~min_score:1
+  in
+  match hits with
+  | [ hit ] ->
+    let a =
+      Align.Smith_waterman.hit_alignment ~matrix:unit_matrix ~gap:gap1 ~query
+        ~db hit
+    in
+    Alcotest.(check int) "alignment score" hit.Align.Smith_waterman.score
+      a.Align.Alignment.score
+  | _ -> Alcotest.fail "expected one hit"
+
+(* --- Needleman-Wunsch --- *)
+
+let test_nw_identical () =
+  let s = seq "s" "ACGTACGT" in
+  let a = Align.Needleman_wunsch.align ~matrix:unit_matrix ~gap:gap1 ~query:s ~target:s in
+  Alcotest.(check int) "score" 8 a.Align.Alignment.score;
+  Alcotest.(check string) "cigar" "8R" (Align.Alignment.cigar a)
+
+let test_nw_with_gaps () =
+  let query = seq "q" "ACGT" and target = seq "t" "AGT" in
+  let a =
+    Align.Needleman_wunsch.align ~matrix:unit_matrix ~gap:gap1 ~query ~target
+  in
+  (* A-C-G-T vs A-(-)-G-T: 3 matches - 1 gap = 2. *)
+  Alcotest.(check int) "score" 2 a.Align.Alignment.score;
+  Alcotest.(check int) "score_only agrees" 2
+    (Align.Needleman_wunsch.score_only ~matrix:unit_matrix ~gap:gap1 ~query ~target);
+  Alcotest.(check int) "rescore agrees" 2
+    (Align.Alignment.rescore ~matrix:unit_matrix ~gap:gap1 ~query ~target a);
+  Alcotest.(check int) "global spans query" 4 (Align.Alignment.query_span a);
+  Alcotest.(check int) "global spans target" 3 (Align.Alignment.target_span a)
+
+(* --- Properties --- *)
+
+let dna_string n m = QCheck.Gen.(string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range n m))
+
+let qcheck_traceback_consistent =
+  QCheck.Test.make ~count:300 ~name:"S-W traceback rescores to the DP score"
+    QCheck.(make Gen.(pair (dna_string 1 12) (dna_string 1 25))
+              ~print:(fun (q, t) -> q ^ " / " ^ t))
+    (fun (q, t) ->
+      let query = seq "q" q and target = seq "t" t in
+      let a = Align.Smith_waterman.align ~matrix:unit_matrix ~gap:gap1 ~query ~target in
+      a.Align.Alignment.score = 0
+      || Align.Alignment.rescore ~matrix:unit_matrix ~gap:gap1 ~query ~target a
+         = a.Align.Alignment.score)
+
+let qcheck_affine_traceback =
+  QCheck.Test.make ~count:300 ~name:"affine traceback rescores to the DP score"
+    QCheck.(make Gen.(pair (dna_string 1 10) (dna_string 1 20))
+              ~print:(fun (q, t) -> q ^ " / " ^ t))
+    (fun (q, t) ->
+      let query = seq "q" q and target = seq "t" t in
+      let gap = Scoring.Gap.affine ~open_cost:3 ~extend_cost:1 in
+      let a = Align.Smith_waterman.align ~matrix:unit_matrix ~gap ~query ~target in
+      a.Align.Alignment.score = 0
+      || Align.Alignment.rescore ~matrix:unit_matrix ~gap ~query ~target a
+         = a.Align.Alignment.score)
+
+let qcheck_symmetry =
+  QCheck.Test.make ~count:200 ~name:"S-W score is symmetric for symmetric matrices"
+    QCheck.(make Gen.(pair (dna_string 1 12) (dna_string 1 12))
+              ~print:(fun (q, t) -> q ^ " / " ^ t))
+    (fun (a, b) ->
+      let sa = seq "a" a and sb = seq "b" b in
+      Align.Smith_waterman.score_only ~matrix:unit_matrix ~gap:gap1 ~query:sa ~target:sb
+      = Align.Smith_waterman.score_only ~matrix:unit_matrix ~gap:gap1 ~query:sb ~target:sa)
+
+let qcheck_substring_scores_full =
+  QCheck.Test.make ~count:200 ~name:"a planted substring scores its own length"
+    QCheck.(make Gen.(pair (dna_string 4 10) (dna_string 5 20))
+              ~print:(fun (q, t) -> q ^ " / " ^ t))
+    (fun (q, t) ->
+      let target = seq "t" (t ^ q ^ t) in
+      let query = seq "q" q in
+      Align.Smith_waterman.score_only ~matrix:unit_matrix ~gap:gap1 ~query ~target
+      >= String.length q)
+
+let qcheck_banded_bounded_and_converges =
+  QCheck.Test.make ~count:300
+    ~name:"banded score <= full S-W, equal with a covering band"
+    QCheck.(make Gen.(triple (dna_string 1 12) (dna_string 1 20) (int_range 0 6))
+              ~print:(fun (q, t, b) -> Printf.sprintf "%s / %s band=%d" q t b))
+    (fun (q, t, band) ->
+      let query = seq "q" q and target = seq "t" t in
+      let full =
+        Align.Smith_waterman.score_only ~matrix:unit_matrix ~gap:gap1 ~query ~target
+      in
+      let banded =
+        Align.Banded.score_only ~matrix:unit_matrix ~gap:gap1 ~band ~diagonal:0
+          ~query ~target
+      in
+      let covering =
+        Align.Banded.score_only ~matrix:unit_matrix ~gap:gap1
+          ~band:(Align.Banded.covering_band ~query ~target)
+          ~diagonal:0 ~query ~target
+      in
+      banded <= full && covering = full)
+
+let qcheck_banded_monotone =
+  QCheck.Test.make ~count:200 ~name:"banded score grows with the band"
+    QCheck.(make Gen.(pair (dna_string 1 12) (dna_string 1 20))
+              ~print:(fun (q, t) -> q ^ " / " ^ t))
+    (fun (q, t) ->
+      let query = seq "q" q and target = seq "t" t in
+      let score band =
+        Align.Banded.score_only ~matrix:unit_matrix ~gap:gap1 ~band ~diagonal:0
+          ~query ~target
+      in
+      let rec check prev band =
+        if band > 8 then true
+        else
+          let v = score band in
+          v >= prev && check v (band + 1)
+      in
+      check (score 0) 1)
+
+let qcheck_linear_space_matches_sw =
+  QCheck.Test.make ~count:400
+    ~name:"linear-space local alignment matches Smith-Waterman"
+    QCheck.(make Gen.(pair (dna_string 1 30) (dna_string 1 60))
+              ~print:(fun (q, t) -> q ^ " / " ^ t))
+    (fun (q, t) ->
+      let query = seq "q" q and target = seq "t" t in
+      let full = Align.Smith_waterman.align ~matrix:unit_matrix ~gap:gap1 ~query ~target in
+      let hs = Align.Linear_space.align ~matrix:unit_matrix ~gap:gap1 ~query ~target in
+      hs.Align.Alignment.score = full.Align.Alignment.score
+      && (hs.Align.Alignment.score = 0
+         || Align.Alignment.rescore ~matrix:unit_matrix ~gap:gap1 ~query ~target hs
+            = hs.Align.Alignment.score))
+
+let qcheck_linear_space_pam30 =
+  QCheck.Test.make ~count:200
+    ~name:"linear-space alignment matches S-W under PAM30"
+    (QCheck.make
+       QCheck.Gen.(
+         let residue = map (String.get "ARNDCQEGHILKMFPSTWYV") (int_range 0 19) in
+         pair
+           (string_size ~gen:residue (int_range 1 20))
+           (string_size ~gen:residue (int_range 1 40)))
+       ~print:(fun (q, t) -> q ^ " / " ^ t))
+    (fun (q, t) ->
+      let palpha = Bioseq.Alphabet.protein in
+      let query = Bioseq.Sequence.make ~alphabet:palpha ~id:"q" q in
+      let target = Bioseq.Sequence.make ~alphabet:palpha ~id:"t" t in
+      let matrix = Scoring.Matrices.pam30 and gap = Scoring.Gap.linear 10 in
+      let full = Align.Smith_waterman.align ~matrix ~gap ~query ~target in
+      let hs = Align.Linear_space.align ~matrix ~gap ~query ~target in
+      hs.Align.Alignment.score = full.Align.Alignment.score
+      && (hs.Align.Alignment.score = 0
+         || Align.Alignment.rescore ~matrix ~gap ~query ~target hs
+            = hs.Align.Alignment.score))
+
+let qcheck_nw_le_sw =
+  QCheck.Test.make ~count:200 ~name:"global score never exceeds local score"
+    QCheck.(make Gen.(pair (dna_string 1 12) (dna_string 1 12))
+              ~print:(fun (q, t) -> q ^ " / " ^ t))
+    (fun (q, t) ->
+      let query = seq "q" q and target = seq "t" t in
+      Align.Needleman_wunsch.score_only ~matrix:unit_matrix ~gap:gap1 ~query ~target
+      <= Align.Smith_waterman.score_only ~matrix:unit_matrix ~gap:gap1 ~query ~target)
+
+let () =
+  Alcotest.run "align"
+    [
+      ( "smith_waterman",
+        [
+          Alcotest.test_case "paper table 2 matrix" `Quick test_table2_matrix;
+          Alcotest.test_case "paper table 2 alignment" `Quick test_table2_alignment;
+          Alcotest.test_case "gapped alignment" `Quick test_align_with_gap;
+          Alcotest.test_case "empty alignment" `Quick test_empty_alignment;
+          Alcotest.test_case "score_only" `Quick test_score_only_matches_align;
+          Alcotest.test_case "affine gaps" `Quick test_affine_prefers_one_long_gap;
+          Alcotest.test_case "database search" `Quick test_search_reports_per_sequence;
+          Alcotest.test_case "hit alignment" `Quick test_hit_alignment;
+        ] );
+      ( "needleman_wunsch",
+        [
+          Alcotest.test_case "identical" `Quick test_nw_identical;
+          Alcotest.test_case "with gaps" `Quick test_nw_with_gaps;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_traceback_consistent;
+            qcheck_affine_traceback;
+            qcheck_symmetry;
+            qcheck_banded_bounded_and_converges;
+            qcheck_banded_monotone;
+            qcheck_linear_space_matches_sw;
+            qcheck_linear_space_pam30;
+            qcheck_substring_scores_full;
+            qcheck_nw_le_sw;
+          ] );
+    ]

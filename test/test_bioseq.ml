@@ -1,0 +1,240 @@
+(* Bio-sequence substrate: alphabets, sequences, FASTA, databases. *)
+
+let dna = Bioseq.Alphabet.dna
+let protein = Bioseq.Alphabet.protein
+
+(* --- Alphabet --- *)
+
+let test_alphabet_basics () =
+  Alcotest.(check int) "dna size" 5 (Bioseq.Alphabet.size dna);
+  Alcotest.(check int) "protein size" 24 (Bioseq.Alphabet.size protein);
+  Alcotest.(check int) "terminator" 5 (Bioseq.Alphabet.terminator dna);
+  Alcotest.(check char) "code 0" 'A' (Bioseq.Alphabet.to_char dna 0);
+  Alcotest.(check char) "terminator char" '$'
+    (Bioseq.Alphabet.to_char dna (Bioseq.Alphabet.terminator dna));
+  Alcotest.(check (option int)) "of_char" (Some 2) (Bioseq.Alphabet.of_char dna 'G');
+  Alcotest.(check (option int)) "case-insensitive" (Some 2)
+    (Bioseq.Alphabet.of_char dna 'g');
+  Alcotest.(check (option int)) "unknown" None (Bioseq.Alphabet.of_char dna 'Z');
+  Alcotest.(check bool) "mem" true (Bioseq.Alphabet.mem protein 'W')
+
+let test_alphabet_roundtrip () =
+  let text = "ACGTNACGT" in
+  let encoded = Bioseq.Alphabet.encode dna text in
+  Alcotest.(check string) "roundtrip" text (Bioseq.Alphabet.decode dna encoded)
+
+let test_alphabet_rejects () =
+  Alcotest.check_raises "duplicate symbols"
+    (Invalid_argument "Alphabet.make: duplicate symbol 'a'") (fun () ->
+      ignore (Bioseq.Alphabet.make ~name:"bad" ~symbols:"Aa"));
+  Alcotest.check_raises "empty" (Invalid_argument "Alphabet.make: empty symbols")
+    (fun () -> ignore (Bioseq.Alphabet.make ~name:"bad" ~symbols:""))
+
+let test_custom_alphabet () =
+  (* Non-biological alphabets work too (the melody example relies on
+     this). *)
+  let notes = Bioseq.Alphabet.make ~name:"notes" ~symbols:"CDEFGAB" in
+  Alcotest.(check int) "size" 7 (Bioseq.Alphabet.size notes);
+  let s = Bioseq.Sequence.make ~alphabet:notes ~id:"tune" "CDEC" in
+  Alcotest.(check string) "roundtrip" "CDEC" (Bioseq.Sequence.to_string s)
+
+(* --- Sequence --- *)
+
+let test_sequence_basics () =
+  let s =
+    Bioseq.Sequence.make ~alphabet:dna ~id:"s1" ~description:"a test" "ACGT"
+  in
+  Alcotest.(check string) "id" "s1" (Bioseq.Sequence.id s);
+  Alcotest.(check string) "description" "a test" (Bioseq.Sequence.description s);
+  Alcotest.(check int) "length" 4 (Bioseq.Sequence.length s);
+  Alcotest.(check int) "get" 1 (Bioseq.Sequence.get s 1);
+  Alcotest.(check char) "char_at" 'T' (Bioseq.Sequence.char_at s 3);
+  Alcotest.(check string) "to_string" "ACGT" (Bioseq.Sequence.to_string s)
+
+let test_sequence_sub () =
+  let s = Bioseq.Sequence.make ~alphabet:dna ~id:"s" "ACGTACGT" in
+  let sub = Bioseq.Sequence.sub s ~pos:2 ~len:4 in
+  Alcotest.(check string) "sub text" "GTAC" (Bioseq.Sequence.to_string sub);
+  Alcotest.(check string) "sub id" "s[2,6)" (Bioseq.Sequence.id sub)
+
+let test_sequence_of_codes_rejects () =
+  Alcotest.check_raises "invalid code"
+    (Invalid_argument "Sequence.of_codes: invalid code 5") (fun () ->
+      ignore
+        (Bioseq.Sequence.of_codes ~alphabet:dna ~id:"x" (Bytes.make 1 '\005')))
+
+(* --- FASTA --- *)
+
+let fasta_text =
+  ">seq1 first sequence\nACGTAC\nGTAC\n\n; a comment line\n>seq2\nTTTT\n"
+
+let test_fasta_parse () =
+  match Bioseq.Fasta.parse_string ~alphabet:dna fasta_text with
+  | [ a; b ] ->
+    Alcotest.(check string) "id 1" "seq1" (Bioseq.Sequence.id a);
+    Alcotest.(check string) "description 1" "first sequence"
+      (Bioseq.Sequence.description a);
+    Alcotest.(check string) "payload 1 (wrapped lines joined)" "ACGTACGTAC"
+      (Bioseq.Sequence.to_string a);
+    Alcotest.(check string) "id 2" "seq2" (Bioseq.Sequence.id b);
+    Alcotest.(check string) "payload 2" "TTTT" (Bioseq.Sequence.to_string b)
+  | other -> Alcotest.failf "expected 2 sequences, got %d" (List.length other)
+
+let test_fasta_errors () =
+  (try
+     ignore (Bioseq.Fasta.parse_string ~alphabet:dna "ACGT\n");
+     Alcotest.fail "data before header accepted"
+   with Bioseq.Fasta.Parse_error { line = 1; _ } -> ());
+  (try
+     ignore (Bioseq.Fasta.parse_string ~alphabet:dna ">s\nACGJ\n");
+     Alcotest.fail "bad character accepted"
+   with Bioseq.Fasta.Parse_error { line = 2; _ } -> ());
+  try
+    ignore (Bioseq.Fasta.parse_string ~alphabet:dna ">s1\n>s2\nAC\n");
+    Alcotest.fail "empty sequence accepted"
+  with Bioseq.Fasta.Parse_error { line = 2; _ } -> ()
+
+let test_fasta_roundtrip_file () =
+  let seqs =
+    [
+      Bioseq.Sequence.make ~alphabet:dna ~id:"a" ~description:"desc" "ACGTACGTACGT";
+      Bioseq.Sequence.make ~alphabet:dna ~id:"b" "TTTTT";
+    ]
+  in
+  let path = Filename.temp_file "oasis_fasta" ".fa" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Bioseq.Fasta.write_file ~width:5 path seqs;
+      let back = Bioseq.Fasta.read_file ~alphabet:dna path in
+      Alcotest.(check int) "count" 2 (List.length back);
+      List.iter2
+        (fun a b ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s equal" (Bioseq.Sequence.id a))
+            true (Bioseq.Sequence.equal a b))
+        seqs back)
+
+(* --- Database --- *)
+
+let mk_db () =
+  Bioseq.Database.make
+    [
+      Bioseq.Sequence.make ~alphabet:dna ~id:"a" "ACGT";
+      Bioseq.Sequence.make ~alphabet:dna ~id:"b" "GG";
+      Bioseq.Sequence.make ~alphabet:dna ~id:"c" "TTTAA";
+    ]
+
+let test_database_layout () =
+  let db = mk_db () in
+  Alcotest.(check int) "sequences" 3 (Bioseq.Database.num_sequences db);
+  Alcotest.(check int) "symbols" 11 (Bioseq.Database.total_symbols db);
+  Alcotest.(check int) "data length" 14 (Bioseq.Database.data_length db);
+  Alcotest.(check int) "start 0" 0 (Bioseq.Database.seq_start db 0);
+  Alcotest.(check int) "start 1" 5 (Bioseq.Database.seq_start db 1);
+  Alcotest.(check int) "start 2" 8 (Bioseq.Database.seq_start db 2);
+  let term = Bioseq.Alphabet.terminator dna in
+  Alcotest.(check int) "terminator after a" term (Bioseq.Database.code db 4);
+  Alcotest.(check int) "terminator after b" term (Bioseq.Database.code db 7);
+  Alcotest.(check int) "first symbol of b" 2 (Bioseq.Database.code db 5)
+
+let test_database_mapping () =
+  let db = mk_db () in
+  Alcotest.(check int) "pos 0" 0 (Bioseq.Database.seq_of_pos db 0);
+  Alcotest.(check int) "pos 4 (terminator of a)" 0 (Bioseq.Database.seq_of_pos db 4);
+  Alcotest.(check int) "pos 5" 1 (Bioseq.Database.seq_of_pos db 5);
+  Alcotest.(check int) "pos 13" 2 (Bioseq.Database.seq_of_pos db 13);
+  Alcotest.(check (pair int int)) "to_local" (2, 3) (Bioseq.Database.to_local db 11)
+
+let test_database_rejects () =
+  Alcotest.check_raises "empty" (Invalid_argument "Database.make: empty sequence list")
+    (fun () -> ignore (Bioseq.Database.make []));
+  Alcotest.check_raises "mixed alphabets"
+    (Invalid_argument "Database.make: sequences use different alphabets")
+    (fun () ->
+      ignore
+        (Bioseq.Database.make
+           [
+             Bioseq.Sequence.make ~alphabet:dna ~id:"a" "ACGT";
+             Bioseq.Sequence.make ~alphabet:protein ~id:"b" "MK";
+           ]))
+
+(* --- Properties --- *)
+
+let qcheck_seq_of_pos =
+  QCheck.Test.make ~count:200 ~name:"seq_of_pos inverts the layout"
+    QCheck.(
+      make
+        Gen.(list_size (int_range 1 8) (int_range 1 20))
+        ~print:(fun ls -> String.concat "," (List.map string_of_int ls)))
+    (fun lens ->
+      let db =
+        Bioseq.Database.make
+          (List.mapi
+             (fun i len ->
+               Bioseq.Sequence.make ~alphabet:dna ~id:(string_of_int i)
+                 (String.make len 'A'))
+             lens)
+      in
+      let ok = ref true in
+      for i = 0 to Bioseq.Database.num_sequences db - 1 do
+        let start = Bioseq.Database.seq_start db i in
+        let len = Bioseq.Sequence.length (Bioseq.Database.seq db i) in
+        for off = 0 to len do
+          (* includes the terminator *)
+          if Bioseq.Database.seq_of_pos db (start + off) <> i then ok := false
+        done
+      done;
+      !ok)
+
+let qcheck_fasta_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 6)
+        (string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T'; 'N' ]) (int_range 1 40)))
+  in
+  QCheck.Test.make ~count:200 ~name:"fasta parse inverts print"
+    (QCheck.make gen ~print:(String.concat "/"))
+    (fun payloads ->
+      let seqs =
+        List.mapi
+          (fun i p -> Bioseq.Sequence.make ~alphabet:dna ~id:(Printf.sprintf "s%d" i) p)
+          payloads
+      in
+      let text = Bioseq.Fasta.to_string ~width:7 seqs in
+      let back = Bioseq.Fasta.parse_string ~alphabet:dna text in
+      List.length back = List.length seqs
+      && List.for_all2 Bioseq.Sequence.equal seqs back)
+
+let () =
+  Alcotest.run "bioseq"
+    [
+      ( "alphabet",
+        [
+          Alcotest.test_case "basics" `Quick test_alphabet_basics;
+          Alcotest.test_case "roundtrip" `Quick test_alphabet_roundtrip;
+          Alcotest.test_case "rejects" `Quick test_alphabet_rejects;
+          Alcotest.test_case "custom alphabet" `Quick test_custom_alphabet;
+        ] );
+      ( "sequence",
+        [
+          Alcotest.test_case "basics" `Quick test_sequence_basics;
+          Alcotest.test_case "sub" `Quick test_sequence_sub;
+          Alcotest.test_case "of_codes rejects" `Quick test_sequence_of_codes_rejects;
+        ] );
+      ( "fasta",
+        [
+          Alcotest.test_case "parse" `Quick test_fasta_parse;
+          Alcotest.test_case "errors" `Quick test_fasta_errors;
+          Alcotest.test_case "file roundtrip" `Quick test_fasta_roundtrip_file;
+        ] );
+      ( "database",
+        [
+          Alcotest.test_case "layout" `Quick test_database_layout;
+          Alcotest.test_case "mapping" `Quick test_database_mapping;
+          Alcotest.test_case "rejects" `Quick test_database_rejects;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_seq_of_pos; qcheck_fasta_roundtrip ] );
+    ]

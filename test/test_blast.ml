@@ -1,0 +1,262 @@
+(* BLAST baseline: word index, extensions, full pipeline. The pipeline
+   is a heuristic; its contract is "finds strong matches, never scores
+   above Smith-Waterman", not completeness. *)
+
+let dna = Bioseq.Alphabet.dna
+let protein = Bioseq.Alphabet.protein
+let dna_matrix = Scoring.Matrices.dna_unit
+let gap1 = Scoring.Gap.linear 1
+
+let dna_params =
+  Scoring.Karlin.estimate ~matrix:dna_matrix ~freqs:Scoring.Background.dna_uniform ()
+
+let pam30_params =
+  Scoring.Karlin.estimate ~matrix:Scoring.Matrices.pam30
+    ~freqs:Scoring.Background.robinson_robinson ()
+
+let dseq id text = Bioseq.Sequence.make ~alphabet:dna ~id text
+let pseq id text = Bioseq.Sequence.make ~alphabet:protein ~id text
+
+let dna_db strings =
+  Bioseq.Database.make (List.mapi (fun i s -> dseq (Printf.sprintf "s%d" i) s) strings)
+
+let protein_db strings =
+  Bioseq.Database.make (List.mapi (fun i s -> pseq (Printf.sprintf "p%d" i) s) strings)
+
+(* --- Word index --- *)
+
+let test_exact_word_index () =
+  let q = dseq "q" "ACGTACG" in
+  let idx =
+    Blast.Word_index.build ~matrix:dna_matrix ~word_size:4 ~threshold:max_int
+      ~query:q
+  in
+  Alcotest.(check int) "entries" 4 (Blast.Word_index.entries idx);
+  (* ACGT occurs at query offset 0, CGTA at 1, GTAC at 2, TACG at 3. *)
+  let db = dna_db [ "ACGT" ] in
+  let w = Blast.Word_index.encode_at idx (Bioseq.Database.data db) 0 in
+  Alcotest.(check (list int)) "lookup ACGT" [ 0 ] (Blast.Word_index.lookup idx w)
+
+let test_neighborhood_index () =
+  let q = pseq "q" "WWW" in
+  (* With threshold equal to the self-score only words scoring >= 3*11
+     qualify; W-W scores 13 under PAM30 so the neighborhood around WWW
+     at threshold 39 has exactly one word. *)
+  let idx =
+    Blast.Word_index.build ~matrix:Scoring.Matrices.pam30 ~word_size:3
+      ~threshold:39 ~query:q
+  in
+  Alcotest.(check int) "tight neighborhood" 1 (Blast.Word_index.neighborhood_size idx);
+  (* Lower thresholds expand the neighborhood. *)
+  let idx13 =
+    Blast.Word_index.build ~matrix:Scoring.Matrices.pam30 ~word_size:3
+      ~threshold:13 ~query:q
+  in
+  Alcotest.(check bool) "larger neighborhood" true
+    (Blast.Word_index.neighborhood_size idx13 > 1)
+
+let test_short_query_empty_index () =
+  let q = dseq "q" "AC" in
+  let idx =
+    Blast.Word_index.build ~matrix:dna_matrix ~word_size:4 ~threshold:max_int
+      ~query:q
+  in
+  Alcotest.(check int) "no entries" 0 (Blast.Word_index.entries idx)
+
+(* --- Ungapped extension --- *)
+
+let test_ungapped_extension () =
+  let q = dseq "q" "TACGT" in
+  let db = dna_db [ "GGTACGTGG" ] in
+  let data = Bioseq.Database.data db in
+  (* Word hit of length 3 at query offset 1 (ACG), target position 3. *)
+  let e =
+    Blast.Extend.ungapped ~matrix:dna_matrix ~x_drop:5 ~query:q ~data ~seq_lo:0
+      ~seq_hi:9 ~qpos:1 ~tpos:3 ~word:3
+  in
+  (* Extends to the full TACGT occurrence, score 5. *)
+  Alcotest.(check int) "score" 5 e.Blast.Extend.score;
+  Alcotest.(check int) "query start" 0 e.Blast.Extend.query_start;
+  Alcotest.(check int) "query stop" 5 e.Blast.Extend.query_stop;
+  Alcotest.(check int) "target start" 2 e.Blast.Extend.target_start;
+  Alcotest.(check int) "target stop" 7 e.Blast.Extend.target_stop
+
+let test_xdrop_stops () =
+  let q = dseq "q" "AAAATTTTTTTTAAAA" in
+  let db = dna_db [ "AAAACCCCCCCCAAAA" ] in
+  let data = Bioseq.Database.data db in
+  let e =
+    Blast.Extend.ungapped ~matrix:dna_matrix ~x_drop:2 ~query:q ~data ~seq_lo:0
+      ~seq_hi:16 ~qpos:0 ~tpos:0 ~word:4
+  in
+  (* The T-vs-C mismatch wall stops the extension at the seed. *)
+  Alcotest.(check int) "score" 4 e.Blast.Extend.score;
+  Alcotest.(check int) "stops at wall" 4 e.Blast.Extend.query_stop
+
+let test_gapped_extension_recovers_gap () =
+  let q = dseq "q" "AAAATTTT" in
+  let db = dna_db [ "GGAAAACTTTTGG" ] in
+  let data = Bioseq.Database.data db in
+  let seed =
+    Blast.Extend.ungapped ~matrix:dna_matrix ~x_drop:3 ~query:q ~data ~seq_lo:0
+      ~seq_hi:13 ~qpos:0 ~tpos:2 ~word:4
+  in
+  let g =
+    Blast.Extend.gapped ~matrix:dna_matrix ~gap:gap1 ~band:8 ~query:q ~data
+      ~seq_lo:0 ~seq_hi:13 ~seed
+  in
+  (* 8 matches minus one deletion = 7. *)
+  Alcotest.(check int) "gapped score" 7 g.Blast.Extend.score;
+  Alcotest.(check bool) "columns counted" true (g.Blast.Extend.columns > 0)
+
+(* --- Pipeline --- *)
+
+let test_finds_planted_match () =
+  let db = dna_db [ "GGGGGGGGGGGGGGGGGGGGGGGGGGGG"; "GGGGGGGGGGTACGTACGTAGGGGGGGG" ] in
+  let q = dseq "q" "TACGTACGTA" in
+  let cfg =
+    Blast.Search.default_dna ~word_size:6 ~matrix:dna_matrix ~gap:gap1
+      ~params:dna_params ()
+  in
+  let hits, stats = Blast.Search.search cfg ~query:q ~db in
+  (match hits with
+  | [ h ] ->
+    Alcotest.(check int) "sequence" 1 h.Blast.Search.seq_index;
+    Alcotest.(check int) "score" 10 h.Blast.Search.score;
+    Alcotest.(check bool) "evalue small" true (h.Blast.Search.evalue < 1.)
+  | hs -> Alcotest.failf "expected 1 hit, got %d" (List.length hs));
+  Alcotest.(check bool) "did some work" true (stats.Blast.Search.word_hits > 0)
+
+let test_misses_without_seed () =
+  (* A match whose longest exact word is below word_size generates no
+     seed: the heuristic misses it while S-W (and OASIS) would not.
+     ACGACGACG... vs ACTACTACT... shares only 2-symbol exact words but
+     aligns at 2 matches per 3 symbols (score 4 over 12 symbols). *)
+  let db = dna_db [ "ACTACTACTACT" ] in
+  let q = dseq "q" "ACGACGACGACG" in
+  let cfg =
+    Blast.Search.default_dna ~word_size:4 ~matrix:dna_matrix ~gap:gap1
+      ~params:dna_params ()
+  in
+  let hits, _ = Blast.Search.search cfg ~query:q ~db in
+  Alcotest.(check int) "blast misses" 0 (List.length hits);
+  let sw_hits, _ =
+    Align.Smith_waterman.search ~matrix:dna_matrix ~gap:gap1 ~query:q ~db
+      ~min_score:4
+  in
+  Alcotest.(check bool) "s-w does not" true (sw_hits <> [])
+
+let test_protein_pipeline () =
+  let family = "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ" in
+  let db =
+    protein_db
+      [
+        family;
+        "GGGGGGGGGGGGGGGGGGGG";
+        "MKTAYIAKQRQISFVKSHFSRQ" (* prefix of the family *);
+      ]
+  in
+  let q = pseq "q" "TAYIAKQRQISFVKSH" in
+  let cfg =
+    Blast.Search.default_protein ~matrix:Scoring.Matrices.pam30 ~gap:(Scoring.Gap.linear 10)
+      ~params:pam30_params ()
+  in
+  let hits, _ = Blast.Search.search cfg ~query:q ~db in
+  let seqs = List.map (fun h -> h.Blast.Search.seq_index) hits in
+  Alcotest.(check bool) "family member found" true (List.mem 0 seqs);
+  Alcotest.(check bool) "prefix found" true (List.mem 2 seqs);
+  Alcotest.(check bool) "junk not found" true (not (List.mem 1 seqs))
+
+let test_evalue_filter () =
+  let db = dna_db [ "GGGGGGGGTACGGGGGGGGG" ] in
+  let q = dseq "q" "TACG" in
+  let strict =
+    {
+      (Blast.Search.default_dna ~word_size:4 ~matrix:dna_matrix ~gap:gap1
+         ~params:dna_params ())
+      with
+      Blast.Search.evalue = 1e-6;
+    }
+  in
+  let hits, _ = Blast.Search.search strict ~query:q ~db in
+  Alcotest.(check int) "weak hit filtered" 0 (List.length hits)
+
+(* --- Properties --- *)
+
+let dna_string n m =
+  QCheck.Gen.(string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range n m))
+
+let qcheck_blast_never_beats_sw =
+  QCheck.Test.make ~count:200 ~name:"BLAST score <= S-W score per sequence"
+    QCheck.(
+      make
+        Gen.(pair (list_size (int_range 1 4) (dna_string 10 40)) (dna_string 6 12))
+        ~print:(fun (ss, q) -> String.concat "/" ss ^ " ? " ^ q))
+    (fun (strings, qtext) ->
+      let db = dna_db strings in
+      let q = dseq "q" qtext in
+      let cfg =
+        Blast.Search.default_dna ~word_size:5 ~matrix:dna_matrix ~gap:gap1
+          ~params:dna_params ()
+      in
+      let hits, _ = Blast.Search.search cfg ~query:q ~db in
+      let sw_hits, _ =
+        Align.Smith_waterman.search ~matrix:dna_matrix ~gap:gap1 ~query:q ~db
+          ~min_score:1
+      in
+      List.for_all
+        (fun h ->
+          match
+            List.find_opt
+              (fun s -> s.Align.Smith_waterman.seq_index = h.Blast.Search.seq_index)
+              sw_hits
+          with
+          | None -> false (* BLAST found something S-W scored 0?! *)
+          | Some s -> h.Blast.Search.score <= s.Align.Smith_waterman.score)
+        hits)
+
+let qcheck_planted_exact_found =
+  QCheck.Test.make ~count:200 ~name:"long exact plants are always found"
+    QCheck.(
+      make
+        Gen.(pair (dna_string 12 20) (pair (dna_string 20 40) (dna_string 20 40)))
+        ~print:(fun (q, (a, b)) -> q ^ " in " ^ a ^ "|" ^ b))
+    (fun (qtext, (prefix, suffix)) ->
+      let db = dna_db [ prefix ^ qtext ^ suffix ] in
+      let q = dseq "q" qtext in
+      let cfg =
+        Blast.Search.default_dna ~word_size:8 ~matrix:dna_matrix ~gap:gap1
+          ~params:dna_params ()
+      in
+      let hits, _ = Blast.Search.search cfg ~query:q ~db in
+      match hits with
+      | h :: _ -> h.Blast.Search.score >= String.length qtext
+      | [] -> false)
+
+let () =
+  Alcotest.run "blast"
+    [
+      ( "word_index",
+        [
+          Alcotest.test_case "exact words" `Quick test_exact_word_index;
+          Alcotest.test_case "neighborhood" `Quick test_neighborhood_index;
+          Alcotest.test_case "short query" `Quick test_short_query_empty_index;
+        ] );
+      ( "extension",
+        [
+          Alcotest.test_case "ungapped" `Quick test_ungapped_extension;
+          Alcotest.test_case "x-drop stops" `Quick test_xdrop_stops;
+          Alcotest.test_case "gapped recovers gap" `Quick
+            test_gapped_extension_recovers_gap;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "finds planted match" `Quick test_finds_planted_match;
+          Alcotest.test_case "misses without seed" `Quick test_misses_without_seed;
+          Alcotest.test_case "protein pipeline" `Quick test_protein_pipeline;
+          Alcotest.test_case "evalue filter" `Quick test_evalue_filter;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_blast_never_beats_sw; qcheck_planted_exact_found ] );
+    ]

@@ -1,0 +1,567 @@
+(* The core correctness property: OASIS reports exactly the
+   Smith-Waterman per-sequence maxima, online, in non-increasing score
+   order — on the paper's worked example and on randomized inputs, with
+   both tree sources and every pruning-option combination. *)
+
+let alpha = Bioseq.Alphabet.dna
+let unit_matrix = Scoring.Matrices.dna_unit
+let gap1 = Scoring.Gap.linear 1
+
+let db_of_strings strings =
+  Bioseq.Database.make
+    (List.mapi
+       (fun i s -> Bioseq.Sequence.make ~alphabet:alpha ~id:(Printf.sprintf "s%d" i) s)
+       strings)
+
+let query text = Bioseq.Sequence.make ~alphabet:alpha ~id:"q" text
+
+let mem_engine ?options ~matrix ~gap ~min_score db q =
+  let tree = Suffix_tree.Ukkonen.build db in
+  Oasis.Engine.Mem.create ~source:tree ~db ~query:q
+    (Oasis.Engine.config ?options ~matrix ~gap ~min_score ())
+
+let sw_hits ~matrix ~gap ~min_score db q =
+  fst (Align.Smith_waterman.search ~matrix ~gap ~query:q ~db ~min_score)
+
+let hit_pairs hits =
+  List.map (fun h -> (h.Oasis.Hit.seq_index, h.Oasis.Hit.score)) hits
+  |> List.sort compare
+
+let sw_pairs hits =
+  List.map
+    (fun h -> (h.Align.Smith_waterman.seq_index, h.Align.Smith_waterman.score))
+    hits
+  |> List.sort compare
+
+(* --- Paper worked example (§3.3) --- *)
+
+let test_paper_example () =
+  let db = db_of_strings [ "AGTACGCCTAG" ] in
+  let q = query "TACG" in
+  let engine = mem_engine ~matrix:unit_matrix ~gap:gap1 ~min_score:1 db q in
+  match Oasis.Engine.Mem.next engine with
+  | None -> Alcotest.fail "no result"
+  | Some hit ->
+    Alcotest.(check int) "score" 4 hit.Oasis.Hit.score;
+    Alcotest.(check int) "sequence" 0 hit.Oasis.Hit.seq_index;
+    Alcotest.(check int) "query stop" 4 hit.Oasis.Hit.query_stop;
+    (* TACG matches target positions [2,6). *)
+    Alcotest.(check int) "target stop" 6 hit.Oasis.Hit.target_stop;
+    Alcotest.(check (option reject)) "single sequence -> done" None
+      (Option.map ignore (Oasis.Engine.Mem.next engine))
+
+let test_paper_example_counters () =
+  let db = db_of_strings [ "AGTACGCCTAG" ] in
+  let q = query "TACG" in
+  let engine = mem_engine ~matrix:unit_matrix ~gap:gap1 ~min_score:1 db q in
+  ignore (Oasis.Engine.Mem.run engine);
+  let c = Oasis.Engine.Mem.counters engine in
+  Alcotest.(check bool) "expanded some nodes" true (c.Oasis.Engine.nodes_expanded > 0);
+  Alcotest.(check bool) "filled some columns" true (c.Oasis.Engine.columns > 0);
+  (* Far fewer columns than full S-W (which needs 11). Pruning should
+     keep OASIS under the S-W column count times the node fan-out. *)
+  Alcotest.(check bool) "column count sane" true (c.Oasis.Engine.columns < 64)
+
+let test_min_score_filters () =
+  let db = db_of_strings [ "AGTACGCCTAG"; "TTTT" ] in
+  let q = query "TACG" in
+  let engine = mem_engine ~matrix:unit_matrix ~gap:gap1 ~min_score:3 db q in
+  let hits = Oasis.Engine.Mem.run engine in
+  (* Sequence 1 (TTTT) can reach at most score 1 against TACG. *)
+  Alcotest.(check (list (pair int int))) "only strong hit" [ (0, 4) ]
+    (hit_pairs hits)
+
+let test_online_order () =
+  let db = db_of_strings [ "AGTACGCCTAG"; "TACG"; "TACC"; "GGGG"; "TAGG" ] in
+  let q = query "TACG" in
+  let engine = mem_engine ~matrix:unit_matrix ~gap:gap1 ~min_score:1 db q in
+  let hits = Oasis.Engine.Mem.run engine in
+  let scores = List.map (fun h -> h.Oasis.Hit.score) hits in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "scores non-increasing" true (non_increasing scores);
+  let seqs = List.map (fun h -> h.Oasis.Hit.seq_index) hits in
+  Alcotest.(check int) "no duplicate sequences"
+    (List.length seqs)
+    (List.length (List.sort_uniq compare seqs))
+
+let test_matches_sw_exactly () =
+  let db = db_of_strings [ "AGTACGCCTAG"; "TACG"; "CCCCTACGCCCC"; "GATTACA" ] in
+  let q = query "TACG" in
+  let oasis_hits =
+    Oasis.Engine.Mem.run (mem_engine ~matrix:unit_matrix ~gap:gap1 ~min_score:2 db q)
+  in
+  let sw = sw_hits ~matrix:unit_matrix ~gap:gap1 ~min_score:2 db q in
+  Alcotest.(check (list (pair int int))) "same hits" (sw_pairs sw)
+    (hit_pairs oasis_hits)
+
+let test_disk_engine_agrees () =
+  let db = db_of_strings [ "AGTACGCCTAG"; "TACG"; "CCCCTACGCCCC"; "GATTACA" ] in
+  let q = query "TACG" in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let dt, _pool = Storage.Disk_tree.of_tree ~block_size:16 ~capacity:4 tree in
+  let cfg = Oasis.Engine.config ~matrix:unit_matrix ~gap:gap1 ~min_score:1 () in
+  let mem = Oasis.Engine.Mem.create ~source:tree ~db ~query:q cfg in
+  let disk = Oasis.Engine.Disk.create ~source:dt ~db ~query:q cfg in
+  let mh = Oasis.Engine.Mem.run mem and dh = Oasis.Engine.Disk.run disk in
+  Alcotest.(check (list (pair int int))) "same hits" (hit_pairs mh) (hit_pairs dh)
+
+let test_affine_matches_gotoh () =
+  (* Affine gaps (our extension of the paper's future work) must agree
+     with Gotoh-style Smith-Waterman. The affine model rewards one long
+     gap over scattered ones, so pick sequences where that matters. *)
+  let db = db_of_strings [ "AAAACCCCCTTTT"; "AAAATTTT"; "GGGGGGGG"; "AATT" ] in
+  let q = query "AAAATTTT" in
+  let match3 =
+    Scoring.Submat.of_function ~alphabet:alpha ~name:"m3" (fun a b ->
+        if a = b then 3 else -3)
+  in
+  let gap = Scoring.Gap.affine ~open_cost:4 ~extend_cost:1 in
+  let sw = sw_hits ~matrix:match3 ~gap ~min_score:3 db q in
+  let oasis_hits =
+    Oasis.Engine.Mem.run (mem_engine ~matrix:match3 ~gap ~min_score:3 db q)
+  in
+  Alcotest.(check (list (pair int int))) "affine hits" (sw_pairs sw)
+    (hit_pairs oasis_hits);
+  (* The planted 5-gap case really scores 8*3 - (4 + 5) = 15. *)
+  (match List.find_opt (fun h -> h.Oasis.Hit.seq_index = 0) oasis_hits with
+  | Some h -> Alcotest.(check int) "long-gap score" 15 h.Oasis.Hit.score
+  | None -> Alcotest.fail "long-gap sequence not reported")
+
+let test_coordinates_consistent () =
+  (* The (query_stop, target_stop) cell of the S-W matrix for the hit's
+     sequence must hold exactly the reported score. *)
+  let db = db_of_strings [ "AGTACGCCTAG"; "CCGTACCA" ] in
+  let q = query "GTAC" in
+  let hits =
+    Oasis.Engine.Mem.run (mem_engine ~matrix:unit_matrix ~gap:gap1 ~min_score:1 db q)
+  in
+  Alcotest.(check bool) "has hits" true (hits <> []);
+  List.iter
+    (fun h ->
+      let target = Bioseq.Database.seq db h.Oasis.Hit.seq_index in
+      let dp =
+        Align.Smith_waterman.dp_matrix ~matrix:unit_matrix ~gap:gap1 ~query:q
+          ~target
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "cell for seq %d" h.Oasis.Hit.seq_index)
+        h.Oasis.Hit.score
+        dp.(h.Oasis.Hit.query_stop).(h.Oasis.Hit.target_stop))
+    hits
+
+(* --- Randomized equivalence with S-W --- *)
+
+let random_case_gen =
+  QCheck.Gen.(
+    let dna n m = string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range n m) in
+    let* strings = list_size (int_range 1 6) (dna 1 25) in
+    let* q = dna 1 10 in
+    let* min_score = int_range 1 6 in
+    return (strings, q, min_score))
+
+let print_case (strings, q, min_score) =
+  Printf.sprintf "db=%s query=%s min=%d" (String.concat "/" strings) q min_score
+
+let all_option_combos =
+  [
+    Oasis.Engine.default_options;
+    { Oasis.Engine.default_options with prune_nonpositive = false };
+    { Oasis.Engine.default_options with prune_dominated = false };
+    {
+      Oasis.Engine.prune_nonpositive = false;
+      prune_dominated = false;
+      heuristic = Oasis.Heuristic.Safe;
+    };
+    { Oasis.Engine.default_options with heuristic = Oasis.Heuristic.Paper };
+  ]
+
+let qcheck_matches_sw =
+  QCheck.Test.make ~count:400 ~name:"OASIS hits = S-W per-sequence maxima"
+    (QCheck.make random_case_gen ~print:print_case)
+    (fun (strings, qtext, min_score) ->
+      let db = db_of_strings strings in
+      let q = query qtext in
+      let sw = sw_pairs (sw_hits ~matrix:unit_matrix ~gap:gap1 ~min_score db q) in
+      let oasis_hits =
+        Oasis.Engine.Mem.run
+          (mem_engine ~matrix:unit_matrix ~gap:gap1 ~min_score db q)
+      in
+      let got = hit_pairs oasis_hits in
+      if got <> sw then
+        QCheck.Test.fail_reportf "oasis=[%s] sw=[%s]"
+          (String.concat ";"
+             (List.map (fun (s, v) -> Printf.sprintf "%d:%d" s v) got))
+          (String.concat ";"
+             (List.map (fun (s, v) -> Printf.sprintf "%d:%d" s v) sw))
+      else true)
+
+let qcheck_options_equivalent =
+  QCheck.Test.make ~count:150
+    ~name:"pruning options do not change results"
+    (QCheck.make random_case_gen ~print:print_case)
+    (fun (strings, qtext, min_score) ->
+      let db = db_of_strings strings in
+      let q = query qtext in
+      let reference =
+        hit_pairs
+          (Oasis.Engine.Mem.run
+             (mem_engine ~matrix:unit_matrix ~gap:gap1 ~min_score db q))
+      in
+      List.for_all
+        (fun options ->
+          hit_pairs
+            (Oasis.Engine.Mem.run
+               (mem_engine ~options ~matrix:unit_matrix ~gap:gap1 ~min_score db q))
+          = reference)
+        all_option_combos)
+
+let qcheck_online_order =
+  QCheck.Test.make ~count:200 ~name:"results stream in non-increasing score order"
+    (QCheck.make random_case_gen ~print:print_case)
+    (fun (strings, qtext, min_score) ->
+      let db = db_of_strings strings in
+      let q = query qtext in
+      let hits =
+        Oasis.Engine.Mem.run (mem_engine ~matrix:unit_matrix ~gap:gap1 ~min_score db q)
+      in
+      let rec check_order = function
+        | a :: (b :: _ as rest) ->
+          a.Oasis.Hit.score >= b.Oasis.Hit.score && check_order rest
+        | _ -> true
+      in
+      check_order hits)
+
+let qcheck_disk_matches_mem =
+  QCheck.Test.make ~count:100 ~name:"disk engine = memory engine"
+    (QCheck.make random_case_gen ~print:print_case)
+    (fun (strings, qtext, min_score) ->
+      let db = db_of_strings strings in
+      let q = query qtext in
+      let tree = Suffix_tree.Ukkonen.build db in
+      let cfg =
+        Oasis.Engine.config ~matrix:unit_matrix ~gap:gap1 ~min_score ()
+      in
+      let dt, _ = Storage.Disk_tree.of_tree ~block_size:16 ~capacity:3 tree in
+      let mh =
+        Oasis.Engine.Mem.run (Oasis.Engine.Mem.create ~source:tree ~db ~query:q cfg)
+      in
+      let dh =
+        Oasis.Engine.Disk.run (Oasis.Engine.Disk.create ~source:dt ~db ~query:q cfg)
+      in
+      hit_pairs mh = hit_pairs dh)
+
+let qcheck_coordinates =
+  QCheck.Test.make ~count:150 ~name:"reported coordinates hold the reported score"
+    (QCheck.make random_case_gen ~print:print_case)
+    (fun (strings, qtext, min_score) ->
+      let db = db_of_strings strings in
+      let q = query qtext in
+      let hits =
+        Oasis.Engine.Mem.run (mem_engine ~matrix:unit_matrix ~gap:gap1 ~min_score db q)
+      in
+      List.for_all
+        (fun h ->
+          let target = Bioseq.Database.seq db h.Oasis.Hit.seq_index in
+          let dp =
+            Align.Smith_waterman.dp_matrix ~matrix:unit_matrix ~gap:gap1
+              ~query:q ~target
+          in
+          dp.(h.Oasis.Hit.query_stop).(h.Oasis.Hit.target_stop) = h.Oasis.Hit.score)
+        hits)
+
+let qcheck_protein_pam30 =
+  (* Same equivalence on the protein alphabet with PAM30 + gap 10, the
+     paper's evaluation setting — ambiguity codes included. *)
+  let gen =
+    QCheck.Gen.(
+      let residues = "ARNDCQEGHILKMFPSTWYVBZX" in
+      let residue =
+        map (String.get residues) (int_range 0 (String.length residues - 1))
+      in
+      let protein n m = string_size ~gen:residue (int_range n m) in
+      let* strings = list_size (int_range 1 4) (protein 1 30) in
+      let* q = protein 1 8 in
+      let* min_score = int_range 1 25 in
+      return (strings, q, min_score))
+  in
+  QCheck.Test.make ~count:200 ~name:"OASIS = S-W under PAM30"
+    (QCheck.make gen ~print:print_case)
+    (fun (strings, qtext, min_score) ->
+      let palpha = Bioseq.Alphabet.protein in
+      let db =
+        Bioseq.Database.make
+          (List.mapi
+             (fun i s ->
+               Bioseq.Sequence.make ~alphabet:palpha ~id:(Printf.sprintf "p%d" i) s)
+             strings)
+      in
+      let q = Bioseq.Sequence.make ~alphabet:palpha ~id:"q" qtext in
+      let matrix = Scoring.Matrices.pam30 and gap = Scoring.Gap.linear 10 in
+      let sw = sw_pairs (sw_hits ~matrix ~gap ~min_score db q) in
+      let tree = Suffix_tree.Ukkonen.build db in
+      let oasis_hits =
+        Oasis.Engine.Mem.run
+          (Oasis.Engine.Mem.create ~source:tree ~db ~query:q
+             (Oasis.Engine.config ~matrix ~gap ~min_score ()))
+      in
+      hit_pairs oasis_hits = sw)
+
+let qcheck_affine_matches_sw =
+  QCheck.Test.make ~count:300 ~name:"OASIS = S-W under affine gaps"
+    (QCheck.make random_case_gen ~print:print_case)
+    (fun (strings, qtext, min_score) ->
+      let db = db_of_strings strings in
+      let q = query qtext in
+      let gap = Scoring.Gap.affine ~open_cost:2 ~extend_cost:1 in
+      let sw = sw_pairs (sw_hits ~matrix:unit_matrix ~gap ~min_score db q) in
+      let got =
+        hit_pairs
+          (Oasis.Engine.Mem.run (mem_engine ~matrix:unit_matrix ~gap ~min_score db q))
+      in
+      if got <> sw then
+        QCheck.Test.fail_reportf "oasis=[%s] sw=[%s]"
+          (String.concat ";"
+             (List.map (fun (s, v) -> Printf.sprintf "%d:%d" s v) got))
+          (String.concat ";"
+             (List.map (fun (s, v) -> Printf.sprintf "%d:%d" s v) sw))
+      else true)
+
+let qcheck_affine_protein =
+  let gen =
+    QCheck.Gen.(
+      let residues = "ARNDCQEGHILKMFPSTWYV" in
+      let residue = map (String.get residues) (int_range 0 19) in
+      let protein n m = string_size ~gen:residue (int_range n m) in
+      let* strings = list_size (int_range 1 4) (protein 1 30) in
+      let* q = protein 1 8 in
+      let* min_score = int_range 1 25 in
+      return (strings, q, min_score))
+  in
+  QCheck.Test.make ~count:150 ~name:"OASIS = S-W under PAM30 + affine gaps"
+    (QCheck.make gen ~print:print_case)
+    (fun (strings, qtext, min_score) ->
+      let palpha = Bioseq.Alphabet.protein in
+      let db =
+        Bioseq.Database.make
+          (List.mapi
+             (fun i s ->
+               Bioseq.Sequence.make ~alphabet:palpha ~id:(Printf.sprintf "p%d" i) s)
+             strings)
+      in
+      let q = Bioseq.Sequence.make ~alphabet:palpha ~id:"q" qtext in
+      let matrix = Scoring.Matrices.pam30 in
+      let gap = Scoring.Gap.affine ~open_cost:9 ~extend_cost:2 in
+      let sw = sw_pairs (sw_hits ~matrix ~gap ~min_score db q) in
+      let tree = Suffix_tree.Ukkonen.build db in
+      let oasis_hits =
+        Oasis.Engine.Mem.run
+          (Oasis.Engine.Mem.create ~source:tree ~db ~query:q
+             (Oasis.Engine.config ~matrix ~gap ~min_score ()))
+      in
+      hit_pairs oasis_hits = sw)
+
+(* --- Long-query filter-and-refine (exactness) --- *)
+
+let qcheck_profile_engine_equals_sw =
+  (* The profile engine must equal profile Smith-Waterman — including
+     for genuinely position-specific profiles (not just of_query). *)
+  let gen =
+    QCheck.Gen.(
+      let* m = int_range 2 8 in
+      let* rows =
+        list_size (return m)
+          (list_size (return 5) (int_range (-6) 6))
+      in
+      let* strings =
+        list_size (int_range 1 5)
+          (string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range 2 25))
+      in
+      let* min_score = int_range 1 8 in
+      return (rows, strings, min_score))
+  in
+  QCheck.Test.make ~count:300 ~name:"profile engine = profile S-W"
+    (QCheck.make gen ~print:(fun (_, ss, ms) ->
+         Printf.sprintf "%s min=%d" (String.concat "/" ss) ms))
+    (fun (rows, strings, min_score) ->
+      let db = db_of_strings strings in
+      let profile =
+        Scoring.Pssm.make ~alphabet:alpha
+          (Array.of_list (List.map Array.of_list rows))
+      in
+      let gap = Scoring.Gap.linear 2 in
+      let tree = Suffix_tree.Ukkonen.build db in
+      let engine_hits =
+        Oasis.Engine.Mem.run
+          (Oasis.Engine.Mem.create_profile ~source:tree ~db ~profile ~gap
+             ~min_score ())
+      in
+      let sw, _ =
+        Align.Smith_waterman.search_profile ~profile ~gap ~db ~min_score
+      in
+      hit_pairs engine_hits = sw_pairs sw)
+
+let qcheck_disk_affine =
+  QCheck.Test.make ~count:100 ~name:"disk engine = S-W under affine gaps"
+    (QCheck.make random_case_gen ~print:print_case)
+    (fun (strings, qtext, min_score) ->
+      let db = db_of_strings strings in
+      let q = query qtext in
+      let gap = Scoring.Gap.affine ~open_cost:2 ~extend_cost:1 in
+      let tree = Suffix_tree.Ukkonen.build db in
+      let dt, _ =
+        Storage.Disk_tree.of_tree ~layout:Storage.Disk_tree.Clustered
+          ~block_size:16 ~capacity:3 tree
+      in
+      let cfg = Oasis.Engine.config ~matrix:unit_matrix ~gap ~min_score () in
+      let dh =
+        Oasis.Engine.Disk.run (Oasis.Engine.Disk.create ~source:dt ~db ~query:q cfg)
+      in
+      hit_pairs dh = sw_pairs (sw_hits ~matrix:unit_matrix ~gap ~min_score db q))
+
+let qcheck_long_query_exact =
+  let gen =
+    QCheck.Gen.(
+      let dna n m = string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range n m) in
+      let* strings = list_size (int_range 1 5) (dna 5 40) in
+      let* q = dna 6 24 in
+      let* min_score = int_range 1 8 in
+      let* segments = int_range 1 4 in
+      return (strings, q, min_score, segments))
+  in
+  QCheck.Test.make ~count:300 ~name:"segmented long-query search is exact"
+    (QCheck.make gen ~print:(fun (ss, q, ms, k) ->
+         Printf.sprintf "%s ? %s min=%d k=%d" (String.concat "/" ss) q ms k))
+    (fun (strings, qtext, min_score, segments) ->
+      let db = db_of_strings strings in
+      let q = query qtext in
+      let tree = Suffix_tree.Ukkonen.build db in
+      let cfg = Oasis.Engine.config ~matrix:unit_matrix ~gap:gap1 ~min_score () in
+      let direct =
+        hit_pairs
+          (Oasis.Engine.Mem.run
+             (Oasis.Engine.Mem.create ~source:tree ~db ~query:q cfg))
+      in
+      let segmented, _ =
+        Oasis.Long_query.Mem.search ~source:tree ~db ~query:q ~segments cfg
+      in
+      hit_pairs segmented = direct)
+
+let qcheck_long_query_affine =
+  let gen =
+    QCheck.Gen.(
+      let dna n m = string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range n m) in
+      let* strings = list_size (int_range 1 4) (dna 5 30) in
+      let* q = dna 8 20 in
+      let* min_score = int_range 1 8 in
+      return (strings, q, min_score, 3))
+  in
+  QCheck.Test.make ~count:150
+    ~name:"segmented search stays exact under affine gaps"
+    (QCheck.make gen ~print:(fun (ss, q, ms, k) ->
+         Printf.sprintf "%s ? %s min=%d k=%d" (String.concat "/" ss) q ms k))
+    (fun (strings, qtext, min_score, segments) ->
+      let db = db_of_strings strings in
+      let q = query qtext in
+      let tree = Suffix_tree.Ukkonen.build db in
+      let gap = Scoring.Gap.affine ~open_cost:2 ~extend_cost:1 in
+      let cfg = Oasis.Engine.config ~matrix:unit_matrix ~gap ~min_score () in
+      let direct =
+        hit_pairs
+          (Oasis.Engine.Mem.run
+             (Oasis.Engine.Mem.create ~source:tree ~db ~query:q cfg))
+      in
+      let segmented, _ =
+        Oasis.Long_query.Mem.search ~source:tree ~db ~query:q ~segments cfg
+      in
+      hit_pairs segmented = direct)
+
+(* --- Parallel batch search --- *)
+
+let test_batch_parallel_equals_sequential () =
+  let db =
+    db_of_strings
+      [ "AGTACGCCTAG"; "TACG"; "CCCCTACGCCCC"; "GATTACA"; "ACGTACGTAA"; "TTAACC" ]
+  in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let queries =
+    List.map query [ "TACG"; "GATT"; "ACGT"; "CCTA"; "AAAA"; "TTAA"; "CGTA" ]
+  in
+  let cfg = Oasis.Engine.config ~matrix:unit_matrix ~gap:gap1 ~min_score:2 () in
+  let extract results =
+    List.map
+      (fun r ->
+        ( r.Oasis.Batch.query_index,
+          List.map (fun h -> (h.Oasis.Hit.seq_index, h.Oasis.Hit.score)) r.Oasis.Batch.hits ))
+      results
+  in
+  let sequential = extract (Oasis.Batch.run ~domains:1 ~tree ~db ~queries cfg) in
+  List.iter
+    (fun domains ->
+      let parallel = extract (Oasis.Batch.run ~domains ~tree ~db ~queries cfg) in
+      Alcotest.(check (list (pair int (list (pair int int)))))
+        (Printf.sprintf "%d domains" domains)
+        sequential parallel)
+    [ 2; 3; 4 ]
+
+let qcheck_batch_parallel =
+  QCheck.Test.make ~count:50 ~name:"parallel batch equals sequential batch"
+    (QCheck.make
+       QCheck.Gen.(
+         let dna n m = string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range n m) in
+         pair (list_size (int_range 1 5) (dna 2 30)) (list_size (int_range 1 6) (dna 2 8)))
+       ~print:(fun (ss, qs) -> String.concat "/" ss ^ " ? " ^ String.concat "," qs))
+    (fun (strings, qtexts) ->
+      let db = db_of_strings strings in
+      let tree = Suffix_tree.Ukkonen.build db in
+      let queries = List.map query qtexts in
+      let cfg = Oasis.Engine.config ~matrix:unit_matrix ~gap:gap1 ~min_score:1 () in
+      let key results =
+        List.map
+          (fun r ->
+            List.map
+              (fun h -> (h.Oasis.Hit.seq_index, h.Oasis.Hit.score))
+              r.Oasis.Batch.hits)
+          results
+      in
+      key (Oasis.Batch.run ~domains:1 ~tree ~db ~queries cfg)
+      = key (Oasis.Batch.run ~domains:3 ~tree ~db ~queries cfg))
+
+let () =
+  Alcotest.run "oasis"
+    [
+      ( "examples",
+        [
+          Alcotest.test_case "paper worked example" `Quick test_paper_example;
+          Alcotest.test_case "counters" `Quick test_paper_example_counters;
+          Alcotest.test_case "min_score filtering" `Quick test_min_score_filters;
+          Alcotest.test_case "online ordering" `Quick test_online_order;
+          Alcotest.test_case "matches S-W" `Quick test_matches_sw_exactly;
+          Alcotest.test_case "disk engine agrees" `Quick test_disk_engine_agrees;
+          Alcotest.test_case "affine matches Gotoh S-W" `Quick
+            test_affine_matches_gotoh;
+          Alcotest.test_case "coordinates consistent" `Quick
+            test_coordinates_consistent;
+          Alcotest.test_case "parallel batch" `Quick
+            test_batch_parallel_equals_sequential;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_matches_sw;
+            qcheck_options_equivalent;
+            qcheck_online_order;
+            qcheck_disk_matches_mem;
+            qcheck_coordinates;
+            qcheck_protein_pam30;
+            qcheck_affine_matches_sw;
+            qcheck_affine_protein;
+            qcheck_long_query_exact;
+            qcheck_long_query_affine;
+            qcheck_batch_parallel;
+            qcheck_disk_affine;
+            qcheck_profile_engine_equals_sw;
+          ] );
+    ]

@@ -1,0 +1,434 @@
+(* OASIS internals: the priority queue and the heuristic vector. *)
+
+(* --- Priority queue --- *)
+
+let test_pq_basic () =
+  let q = Oasis.Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Oasis.Pqueue.is_empty q);
+  Oasis.Pqueue.push q ~priority:3 "c";
+  Oasis.Pqueue.push q ~priority:9 "a";
+  Oasis.Pqueue.push q ~priority:5 "b";
+  Alcotest.(check int) "length" 3 (Oasis.Pqueue.length q);
+  Alcotest.(check (option int)) "peek" (Some 9) (Oasis.Pqueue.peek_priority q);
+  Alcotest.(check (option (pair int string))) "pop 1" (Some (9, "a"))
+    (Oasis.Pqueue.pop q);
+  Alcotest.(check (option (pair int string))) "pop 2" (Some (5, "b"))
+    (Oasis.Pqueue.pop q);
+  Alcotest.(check (option (pair int string))) "pop 3" (Some (3, "c"))
+    (Oasis.Pqueue.pop q);
+  Alcotest.(check (option reject)) "drained" None
+    (Option.map ignore (Oasis.Pqueue.pop q))
+
+let test_pq_tie_break () =
+  let q = Oasis.Pqueue.create () in
+  Oasis.Pqueue.push q ~priority:5 ~tie:1 "viable-first";
+  Oasis.Pqueue.push q ~priority:5 ~tie:0 "accepted";
+  Oasis.Pqueue.push q ~priority:5 ~tie:1 "viable-second";
+  (* Accepted (tie 0) wins at equal priority; FIFO within equal ties. *)
+  let order = List.init 3 (fun _ -> snd (Option.get (Oasis.Pqueue.pop q))) in
+  Alcotest.(check (list string)) "tie order"
+    [ "accepted"; "viable-first"; "viable-second" ]
+    order
+
+let qcheck_pq_sorts =
+  QCheck.Test.make ~count:300 ~name:"pqueue pops a non-increasing sequence"
+    QCheck.(list (int_range (-1000) 1000))
+    (fun priorities ->
+      let q = Oasis.Pqueue.create () in
+      List.iter (fun p -> Oasis.Pqueue.push q ~priority:p p) priorities;
+      let rec drain acc =
+        match Oasis.Pqueue.pop q with
+        | None -> List.rev acc
+        | Some (p, v) ->
+          if p <> v then QCheck.Test.fail_report "priority/value mismatch";
+          drain (p :: acc)
+      in
+      let out = drain [] in
+      out = List.sort (fun a b -> compare b a) priorities)
+
+let qcheck_pq_interleaved =
+  (* Pushes interleaved with pops still respect the heap order. *)
+  QCheck.Test.make ~count:200 ~name:"pqueue handles interleaved push/pop"
+    QCheck.(list (option (int_range 0 100)))
+    (fun ops ->
+      let q = Oasis.Pqueue.create () in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some p ->
+            Oasis.Pqueue.push q ~priority:p p;
+            model := p :: !model;
+            true
+          | None -> (
+            match (Oasis.Pqueue.pop q, !model) with
+            | None, [] -> true
+            | Some (p, _), (_ :: _ as m) ->
+              let best = List.fold_left max min_int m in
+              if p <> best then false
+              else begin
+                (* Remove one occurrence of best. *)
+                let removed = ref false in
+                model :=
+                  List.filter
+                    (fun x ->
+                      if x = best && not !removed then begin
+                        removed := true;
+                        false
+                      end
+                      else true)
+                    m;
+                true
+              end
+            | None, _ :: _ | Some _, [] -> false))
+        ops)
+
+(* --- Heuristic vector --- *)
+
+let protein = Bioseq.Alphabet.protein
+let pam30 = Scoring.Matrices.pam30
+let gap10 = Scoring.Gap.linear 10
+
+let mk_query text = Bioseq.Sequence.make ~alphabet:protein ~id:"q" text
+
+let test_heuristic_last_entry_zero () =
+  let q = mk_query "ACDEF" in
+  List.iter
+    (fun style ->
+      let h = Oasis.Heuristic.vector ~style ~matrix:pam30 ~gap:gap10 ~query:q in
+      Alcotest.(check int) "length" 6 (Array.length h);
+      Alcotest.(check int) "H(m) = 0" 0 h.(5))
+    [ Oasis.Heuristic.Safe; Oasis.Heuristic.Paper ]
+
+let test_heuristic_monotone_decreasing () =
+  (* With a positive-diagonal matrix, each entry adds a positive best
+     replacement, so H is strictly decreasing along the query. *)
+  let q = mk_query "WDKDGDGTITW" in
+  let h =
+    Oasis.Heuristic.vector ~style:Oasis.Heuristic.Safe ~matrix:pam30 ~gap:gap10
+      ~query:q
+  in
+  for i = 0 to Array.length h - 2 do
+    Alcotest.(check bool) (Printf.sprintf "H(%d) > H(%d)" i (i + 1)) true
+      (h.(i) > h.(i + 1))
+  done
+
+let test_heuristic_styles_agree_on_pam30 () =
+  (* For matrices with positive diagonals (hence positive best
+     replacements) and no clamping in play, Safe = Paper + gap term, and
+     the gap term never wins, so the vectors coincide. *)
+  let q = mk_query "MKTAYIAKQR" in
+  let safe =
+    Oasis.Heuristic.vector ~style:Oasis.Heuristic.Safe ~matrix:pam30 ~gap:gap10
+      ~query:q
+  in
+  let paper =
+    Oasis.Heuristic.vector ~style:Oasis.Heuristic.Paper ~matrix:pam30
+      ~gap:gap10 ~query:q
+  in
+  Alcotest.(check (array int)) "identical vectors" paper safe
+
+let test_paper_style_rejected_when_inadmissible () =
+  (* A matrix with an all-negative row makes the paper vector
+     inadmissible. *)
+  let dna = Bioseq.Alphabet.dna in
+  let bad =
+    Scoring.Submat.of_function ~alphabet:dna ~name:"bad" (fun a b ->
+        if a = 0 then -2 (* every alignment of symbol A loses *)
+        else if a = b then 1
+        else -1)
+  in
+  let q = Bioseq.Sequence.make ~alphabet:dna ~id:"q" "ACGT" in
+  Alcotest.(check bool) "detected" false
+    (Oasis.Heuristic.is_admissible_paper ~matrix:bad ~query:q);
+  (try
+     ignore
+       (Oasis.Heuristic.vector ~style:Oasis.Heuristic.Paper ~matrix:bad
+          ~gap:(Scoring.Gap.linear 1) ~query:q);
+     Alcotest.fail "inadmissible paper vector accepted"
+   with Invalid_argument _ -> ());
+  (* The safe vector handles it (and stays non-negative). *)
+  let h =
+    Oasis.Heuristic.vector ~style:Oasis.Heuristic.Safe ~matrix:bad
+      ~gap:(Scoring.Gap.linear 1) ~query:q
+  in
+  Array.iter (fun v -> Alcotest.(check bool) "non-negative" true (v >= 0)) h
+
+(* Admissibility is the property the engine's optimality rests on:
+   H.(i) must bound the score gain of aligning any query suffix piece
+   q[i..k) against ANY target. Check against brute-force S-W of every
+   query suffix vs random targets. *)
+let qcheck_heuristic_admissible =
+  let gen =
+    QCheck.Gen.(
+      let residue = map (String.get "ARNDCQEGHILKMFPSTWYV") (int_range 0 19) in
+      pair
+        (string_size ~gen:residue (int_range 1 8))
+        (string_size ~gen:residue (int_range 1 20)))
+  in
+  QCheck.Test.make ~count:300 ~name:"heuristic bounds any suffix alignment"
+    (QCheck.make gen ~print:(fun (q, t) -> q ^ " / " ^ t))
+    (fun (qtext, ttext) ->
+      let q = mk_query qtext in
+      let target = Bioseq.Sequence.make ~alphabet:protein ~id:"t" ttext in
+      let h =
+        Oasis.Heuristic.vector ~style:Oasis.Heuristic.Safe ~matrix:pam30
+          ~gap:gap10 ~query:q
+      in
+      let m = Bioseq.Sequence.length q in
+      let ok = ref true in
+      for i = 0 to m - 1 do
+        let suffix = Bioseq.Sequence.sub q ~pos:i ~len:(m - i) in
+        let best =
+          Align.Smith_waterman.score_only ~matrix:pam30 ~gap:gap10 ~query:suffix
+            ~target
+        in
+        if best > h.(i) then ok := false
+      done;
+      !ok)
+
+(* --- Trace events --- *)
+
+let test_tracer_narrates_search () =
+  let alpha = Bioseq.Alphabet.dna in
+  let db =
+    Bioseq.Database.make
+      [
+        Bioseq.Sequence.make ~alphabet:alpha ~id:"s0" "AGTACGCCTAG";
+        Bioseq.Sequence.make ~alphabet:alpha ~id:"s1" "TACG";
+      ]
+  in
+  let q = Bioseq.Sequence.make ~alphabet:alpha ~id:"q" "TACG" in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let engine =
+    Oasis.Engine.Mem.create ~source:tree ~db ~query:q
+      (Oasis.Engine.config ~matrix:Scoring.Matrices.dna_unit
+         ~gap:(Scoring.Gap.linear 1) ~min_score:2 ())
+  in
+  let pops = ref 0 and reports = ref [] in
+  Oasis.Engine.Mem.set_tracer engine (fun event ->
+      match event with
+      | Oasis.Engine.Popped p ->
+        incr pops;
+        Alcotest.(check bool) "priority sane" true (p.priority >= 2)
+      | Oasis.Engine.Reported r -> reports := (r.seq_index, r.score) :: !reports);
+  let hits = Oasis.Engine.Mem.run engine in
+  Alcotest.(check bool) "pops happened" true (!pops > 0);
+  Alcotest.(check (list (pair int int)))
+    "reported events equal returned hits"
+    (List.map (fun h -> (h.Oasis.Hit.seq_index, h.Oasis.Hit.score)) hits)
+    (List.rev !reports)
+
+(* --- E-value-ordered online stream (§4.3) --- *)
+
+let ev_alpha = Bioseq.Alphabet.dna
+
+let ev_db strings =
+  Bioseq.Database.make
+    (List.mapi
+       (fun i s ->
+         Bioseq.Sequence.make ~alphabet:ev_alpha ~id:(Printf.sprintf "s%d" i) s)
+       strings)
+
+let ev_params =
+  Scoring.Karlin.estimate ~matrix:Scoring.Matrices.dna_unit
+    ~freqs:Scoring.Background.dna_uniform ()
+
+let ev_stream db q min_score =
+  let tree = Suffix_tree.Ukkonen.build db in
+  let engine =
+    Oasis.Engine.Mem.create ~source:tree ~db ~query:q
+      (Oasis.Engine.config ~matrix:Scoring.Matrices.dna_unit
+         ~gap:(Scoring.Gap.linear 1) ~min_score ())
+  in
+  Oasis.Evalue_stream.Mem.create ~driver:engine ~db ~params:ev_params
+    ~query_length:(Bioseq.Sequence.length q)
+
+let drain_stream stream =
+  let rec go acc =
+    match Oasis.Evalue_stream.Mem.next stream with
+    | None -> List.rev acc
+    | Some entry -> go (entry :: acc)
+  in
+  go []
+
+let test_stream_same_hits_new_order () =
+  (* A long sequence and a short one with the same best score: the
+     short one's adjusted E-value is better, so the stream must emit it
+     first even though the engine order (by score, ties by discovery) is
+     unspecified between them. *)
+  let db =
+    ev_db
+      [
+        "TACG" ^ String.make 200 'G' (* long: worse adjusted E *);
+        "TTACGT" (* short: better adjusted E *);
+        "CCCCCC" (* no hit at min_score 3 *);
+      ]
+  in
+  let q = Bioseq.Sequence.make ~alphabet:ev_alpha ~id:"q" "TACG" in
+  let out = drain_stream (ev_stream db q 3) in
+  Alcotest.(check (list int)) "short sequence first"
+    [ 1; 0 ]
+    (List.map (fun (h, _) -> h.Oasis.Hit.seq_index) out);
+  let es = List.map snd out in
+  Alcotest.(check bool) "ascending adjusted E" true
+    (List.sort compare es = es)
+
+let qcheck_stream_is_sorted_and_complete =
+  let gen =
+    QCheck.Gen.(
+      let dna n m =
+        string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range n m)
+      in
+      let* strings = list_size (int_range 1 6) (dna 2 40) in
+      let* q = dna 2 8 in
+      let* min_score = int_range 1 5 in
+      return (strings, q, min_score))
+  in
+  QCheck.Test.make ~count:200
+    ~name:"evalue stream = engine hits, sorted by adjusted E"
+    (QCheck.make gen ~print:(fun (ss, q, ms) ->
+         Printf.sprintf "%s ? %s min=%d" (String.concat "/" ss) q ms))
+    (fun (strings, qtext, min_score) ->
+      let db = ev_db strings in
+      let q = Bioseq.Sequence.make ~alphabet:ev_alpha ~id:"q" qtext in
+      let out = drain_stream (ev_stream db q min_score) in
+      (* Reference: drain a second engine and sort by the same adjusted
+         formula. *)
+      let tree = Suffix_tree.Ukkonen.build db in
+      let engine =
+        Oasis.Engine.Mem.create ~source:tree ~db ~query:q
+          (Oasis.Engine.config ~matrix:Scoring.Matrices.dna_unit
+             ~gap:(Scoring.Gap.linear 1) ~min_score ())
+      in
+      let reference = Oasis.Engine.Mem.run engine in
+      (* Adjusted E-values must be non-decreasing (ties may emit in any
+         order) and the hit set must match the engine's exactly. *)
+      let rec monotone = function
+        | (_, a) :: ((_, b) :: _ as rest) -> a <= b && monotone rest
+        | _ -> true
+      in
+      monotone out
+      && List.sort compare
+           (List.map (fun (h, _) -> h.Oasis.Hit.seq_index) out)
+         = List.sort compare
+             (List.map (fun h -> h.Oasis.Hit.seq_index) reference))
+
+(* --- Edit-distance search (§5 comparison) --- *)
+
+(* Oracle: minimum unit edit distance between the query and any
+   substring of the target (standard DP with a free start). *)
+let brute_best_edits qtext ttext =
+  let m = String.length qtext and n = String.length ttext in
+  let prev = Array.make (m + 1) 0 and cur = Array.make (m + 1) 0 in
+  for j = 0 to m do
+    prev.(j) <- j
+  done;
+  let best = ref prev.(m) in
+  for t = 1 to n do
+    cur.(0) <- 0;
+    for j = 1 to m do
+      let cost = if qtext.[j - 1] = ttext.[t - 1] then 0 else 1 in
+      cur.(j) <- min (prev.(j - 1) + cost) (min (cur.(j - 1) + 1) (prev.(j) + 1))
+    done;
+    if cur.(m) < !best then best := cur.(m);
+    Array.blit cur 0 prev 0 (m + 1)
+  done;
+  !best
+
+let edit_db strings =
+  Bioseq.Database.make
+    (List.mapi
+       (fun i s ->
+         Bioseq.Sequence.make ~alphabet:ev_alpha ~id:(Printf.sprintf "s%d" i) s)
+       strings)
+
+let test_edit_search_exact () =
+  let db = edit_db [ "GGGGTACGGGGG"; "TTTT"; "GGGTAAGGG" ] in
+  let q = Bioseq.Sequence.make ~alphabet:ev_alpha ~id:"q" "TACG" in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let hits, stats =
+    Oasis.Edit_search.Mem.search ~source:tree ~db ~query:q ~max_diffs:1
+  in
+  Alcotest.(check (list (pair int int)))
+    "seq 0 exact, seq 2 one edit"
+    [ (0, 0); (2, 1) ]
+    (List.map (fun h -> (h.Oasis.Edit_search.seq_index, h.Oasis.Edit_search.edits)) hits);
+  Alcotest.(check bool) "did bounded work" true
+    (stats.Oasis.Edit_search.rows_computed > 0)
+
+let qcheck_edit_search_matches_brute =
+  let gen =
+    QCheck.Gen.(
+      let dna n m = string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range n m) in
+      let* strings = list_size (int_range 1 5) (dna 1 30) in
+      let* q = dna 1 8 in
+      let* k = int_range 0 3 in
+      return (strings, q, k))
+  in
+  QCheck.Test.make ~count:300 ~name:"edit search = brute-force k-difference scan"
+    (QCheck.make gen ~print:(fun (ss, q, k) ->
+         Printf.sprintf "%s ? %s k=%d" (String.concat "/" ss) q k))
+    (fun (strings, qtext, k) ->
+      let db = edit_db strings in
+      let q = Bioseq.Sequence.make ~alphabet:ev_alpha ~id:"q" qtext in
+      let tree = Suffix_tree.Ukkonen.build db in
+      let hits, _ =
+        Oasis.Edit_search.Mem.search ~source:tree ~db ~query:q ~max_diffs:k
+      in
+      let got =
+        List.sort compare
+          (List.map
+             (fun h -> (h.Oasis.Edit_search.seq_index, h.Oasis.Edit_search.edits))
+             hits)
+      in
+      let expected =
+        List.filteri (fun _ _ -> true) strings
+        |> List.mapi (fun i s -> (i, brute_best_edits qtext s))
+        |> List.filter (fun (_, e) -> e <= k)
+        |> List.sort compare
+      in
+      if got <> expected then
+        QCheck.Test.fail_reportf "got [%s] expected [%s]"
+          (String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "%d:%d" a b) got))
+          (String.concat ";"
+             (List.map (fun (a, b) -> Printf.sprintf "%d:%d" a b) expected))
+      else true)
+
+let () =
+  Alcotest.run "oasis_parts"
+    [
+      ( "pqueue",
+        [
+          Alcotest.test_case "basics" `Quick test_pq_basic;
+          Alcotest.test_case "tie breaking" `Quick test_pq_tie_break;
+        ] );
+      ( "heuristic",
+        [
+          Alcotest.test_case "terminal entry" `Quick test_heuristic_last_entry_zero;
+          Alcotest.test_case "monotone on PAM30" `Quick
+            test_heuristic_monotone_decreasing;
+          Alcotest.test_case "styles agree on PAM30" `Quick
+            test_heuristic_styles_agree_on_pam30;
+          Alcotest.test_case "inadmissible paper style rejected" `Quick
+            test_paper_style_rejected_when_inadmissible;
+        ] );
+      ( "tracer",
+        [ Alcotest.test_case "narrates the search" `Quick test_tracer_narrates_search ] );
+      ( "edit_search",
+        [ Alcotest.test_case "exact and near matches" `Quick test_edit_search_exact ] );
+      ( "evalue_stream",
+        [
+          Alcotest.test_case "reorders by sequence length" `Quick
+            test_stream_same_hits_new_order;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_pq_sorts;
+            qcheck_pq_interleaved;
+            qcheck_heuristic_admissible;
+            qcheck_stream_is_sorted_and_complete;
+            qcheck_edit_search_matches_brute;
+          ] );
+    ]

@@ -1,0 +1,126 @@
+(* QUASAR q-gram filter: lossless within the q-gram lemma regime,
+   bounded by Smith-Waterman, and actually filtering. *)
+
+let alpha = Bioseq.Alphabet.dna
+let matrix = Scoring.Matrices.dna_unit
+let gap1 = Scoring.Gap.linear 1
+
+let db_of_strings strings =
+  Bioseq.Database.make
+    (List.mapi
+       (fun i s -> Bioseq.Sequence.make ~alphabet:alpha ~id:(Printf.sprintf "s%d" i) s)
+       strings)
+
+let query text = Bioseq.Sequence.make ~alphabet:alpha ~id:"q" text
+
+let run ?diffs ?threshold db q min_score =
+  let sa = Suffix_tree.Suffix_array.build db in
+  let cfg =
+    Quasar.Filter.config ?diffs ~matrix ~gap:gap1 ~min_score
+      ~query_length:(Bioseq.Sequence.length q) ()
+  in
+  let cfg =
+    match threshold with None -> cfg | Some t -> { cfg with Quasar.Filter.threshold = t }
+  in
+  Quasar.Filter.search cfg ~sa ~query:q
+
+let test_finds_exact_occurrence () =
+  let filler = String.concat "" (List.init 150 (fun _ -> "GG")) in
+  let db = db_of_strings [ filler ^ "TACGTACGTACG" ^ filler; "GGGGGGGG" ] in
+  let q = query "TACGTACGTACG" in
+  let hits, stats = run db q 10 in
+  (match hits with
+  | [ h ] ->
+    Alcotest.(check int) "sequence" 0 h.Quasar.Filter.seq_index;
+    Alcotest.(check int) "score" 12 h.Quasar.Filter.score
+  | hs -> Alcotest.failf "expected 1 hit, got %d" (List.length hs));
+  Alcotest.(check bool) "skipped part of the database" true
+    (stats.Quasar.Filter.verified_symbols
+    < Bioseq.Database.total_symbols db)
+
+let test_finds_mutated_occurrence () =
+  (* Two substitutions: within the diffs=2 lemma regime, so the filter
+     must keep the block. *)
+  let db = db_of_strings [ "CCCCCCCCCCCCTAGGTACGTAAGCCCCCCCCCCCC" ] in
+  let q = query "TAGGTCCGTAAG" (* original TAGGTACGTAAG with 1 sub *) in
+  let hits, _ = run ~diffs:2 db q 8 in
+  Alcotest.(check bool) "found" true (hits <> [])
+
+let test_respects_min_score () =
+  let db = db_of_strings [ "TTTTTTTTTTTT" ] in
+  let q = query "ACGTACGT" in
+  let hits, _ = run db q 3 in
+  Alcotest.(check (list unit)) "no spurious hits" [] (List.map ignore hits)
+
+let test_stats_shape () =
+  let db = db_of_strings [ String.concat "" (List.init 50 (fun _ -> "ACGT")) ] in
+  let q = query "ACGTACGT" in
+  let _, stats = run ~threshold:1 db q 4 in
+  Alcotest.(check bool) "qgram occurrences counted" true
+    (stats.Quasar.Filter.qgram_occurrences > 0);
+  Alcotest.(check bool) "blocks partition the data" true
+    (stats.Quasar.Filter.total_blocks > 0);
+  Alcotest.(check bool) "candidates bounded by total" true
+    (stats.Quasar.Filter.candidate_blocks <= stats.Quasar.Filter.total_blocks)
+
+let qcheck_never_beats_sw =
+  let gen =
+    QCheck.Gen.(
+      let dna n m = string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range n m) in
+      pair (list_size (int_range 1 4) (dna 10 60)) (dna 6 12))
+  in
+  QCheck.Test.make ~count:200 ~name:"QUASAR hit scores <= S-W per sequence"
+    (QCheck.make gen ~print:(fun (ss, q) -> String.concat "/" ss ^ " ? " ^ q))
+    (fun (strings, qtext) ->
+      let db = db_of_strings strings in
+      let q = query qtext in
+      let hits, _ = run ~threshold:1 db q 1 in
+      let sw, _ =
+        Align.Smith_waterman.search ~matrix ~gap:gap1 ~query:q ~db ~min_score:1
+      in
+      List.for_all
+        (fun (h : Quasar.Filter.hit) ->
+          match
+            List.find_opt
+              (fun s -> s.Align.Smith_waterman.seq_index = h.seq_index)
+              sw
+          with
+          | None -> false
+          | Some s -> h.score <= s.Align.Smith_waterman.score)
+        hits)
+
+let qcheck_threshold1_is_complete_for_planted =
+  (* At threshold 1, any sequence containing the query verbatim shares a
+     q-gram, so a planted exact occurrence is always found with the full
+     score. *)
+  let gen =
+    QCheck.Gen.(
+      let dna n m = string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range n m) in
+      pair (dna 8 16) (pair (dna 10 40) (dna 10 40)))
+  in
+  QCheck.Test.make ~count:200 ~name:"threshold-1 filter finds exact plants"
+    (QCheck.make gen ~print:(fun (q, (a, b)) -> q ^ " in " ^ a ^ "|" ^ b))
+    (fun (qtext, (prefix, suffix)) ->
+      let db = db_of_strings [ prefix ^ qtext ^ suffix; "T" ] in
+      let q = query qtext in
+      let hits, _ = run ~threshold:1 db q (String.length qtext) in
+      List.exists
+        (fun (h : Quasar.Filter.hit) ->
+          h.seq_index = 0 && h.score >= String.length qtext)
+        hits)
+
+let () =
+  Alcotest.run "quasar"
+    [
+      ( "filter",
+        [
+          Alcotest.test_case "finds exact occurrence" `Quick test_finds_exact_occurrence;
+          Alcotest.test_case "finds mutated occurrence" `Quick
+            test_finds_mutated_occurrence;
+          Alcotest.test_case "respects min_score" `Quick test_respects_min_score;
+          Alcotest.test_case "stats shape" `Quick test_stats_shape;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_never_beats_sw; qcheck_threshold1_is_complete_for_planted ] );
+    ]

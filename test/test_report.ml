@@ -1,0 +1,253 @@
+(* Report rendering: BLAST outfmt-6 tabular, pairwise text, summaries. *)
+
+let dna = Bioseq.Alphabet.dna
+let matrix = Scoring.Matrices.dna_unit
+let gap1 = Scoring.Gap.linear 1
+
+let mk_db strings =
+  Bioseq.Database.make
+    (List.mapi
+       (fun i s -> Bioseq.Sequence.make ~alphabet:dna ~id:(Printf.sprintf "s%d" i) s)
+       strings)
+
+let paper_row ?params () =
+  let db = mk_db [ "AGTACGCCTAG" ] in
+  let query = Bioseq.Sequence.make ~alphabet:dna ~id:"q" "TACG" in
+  Report.Render.row ~matrix ~gap:gap1 ?params ~db ~query ~seq_index:0 ()
+
+let test_statistics () =
+  let r = paper_row () in
+  Alcotest.(check int) "identities" 4 (Report.Render.identities r);
+  Alcotest.(check int) "mismatches" 0 (Report.Render.mismatches r);
+  Alcotest.(check int) "gap opens" 0 (Report.Render.gap_opens r);
+  Alcotest.(check int) "length" 4 (Report.Render.alignment_length r);
+  Alcotest.(check (float 1e-9)) "pident" 100. (Report.Render.percent_identity r)
+
+let test_tabular_line () =
+  let r = paper_row () in
+  let line = Report.Render.to_string Report.Render.Tabular [ r ] in
+  (* qseqid sseqid pident length mismatch gapopen qstart qend sstart send
+     evalue bitscore; 1-based inclusive coordinates; '*' without
+     statistics. *)
+  Alcotest.(check string) "outfmt 6"
+    "q\ts0\t100.00\t4\t0\t0\t1\t4\t3\t6\t*\t*\n" line
+
+let test_tabular_with_stats () =
+  let params =
+    Scoring.Karlin.estimate ~matrix ~freqs:Scoring.Background.dna_uniform ()
+  in
+  let r = paper_row ~params () in
+  let line = Report.Render.to_string Report.Render.Tabular [ r ] in
+  Alcotest.(check bool) "no stars" true (not (String.contains line '*'));
+  Alcotest.(check bool) "evalue present" true
+    (Option.is_some r.Report.Render.evalue)
+
+let test_gap_statistics () =
+  (* Query AAAATTTT vs target AAAACCTTTT: one 2-symbol gap run. *)
+  let db = mk_db [ "AAAACCTTTT" ] in
+  let query = Bioseq.Sequence.make ~alphabet:dna ~id:"q" "AAAATTTT" in
+  let match3 =
+    Scoring.Submat.of_function ~alphabet:dna ~name:"m3" (fun a b ->
+        if a = b then 3 else -3)
+  in
+  let r =
+    Report.Render.row ~matrix:match3
+      ~gap:(Scoring.Gap.affine ~open_cost:2 ~extend_cost:1)
+      ~db ~query ~seq_index:0 ()
+  in
+  Alcotest.(check int) "one gap open" 1 (Report.Render.gap_opens r);
+  Alcotest.(check int) "length includes gap" 10 (Report.Render.alignment_length r);
+  Alcotest.(check int) "identities" 8 (Report.Render.identities r)
+
+let test_pairwise_shape () =
+  let r = paper_row () in
+  let text = Report.Render.to_string Report.Render.Pairwise [ r ] in
+  Alcotest.(check bool) "has header" true
+    (String.length text > 0 && text.[0] = '>');
+  let contains needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "score line" true (contains "Score = 4");
+  Alcotest.(check bool) "query row" true (contains "Query     1 TACG 4");
+  Alcotest.(check bool) "subject row" true (contains "Sbjct     3 TACG 6")
+
+let test_pairwise_wraps () =
+  (* A 150-symbol identical pair must wrap into 60-column blocks with
+     consistent coordinates. *)
+  let text150 = String.concat "" (List.init 15 (fun _ -> "ACGTACGTAC")) in
+  let db = mk_db [ text150 ] in
+  let query = Bioseq.Sequence.make ~alphabet:dna ~id:"q" text150 in
+  let r = Report.Render.row ~matrix ~gap:gap1 ~db ~query ~seq_index:0 () in
+  let text = Report.Render.to_string Report.Render.Pairwise [ r ] in
+  let lines = String.split_on_char '\n' text in
+  let query_lines =
+    List.filter (fun l -> String.length l > 5 && String.sub l 0 5 = "Query") lines
+  in
+  Alcotest.(check int) "three blocks" 3 (List.length query_lines);
+  Alcotest.(check bool) "second block starts at 61" true
+    (List.exists
+       (fun l -> String.length l > 11 && String.sub l 0 11 = "Query    61")
+       query_lines)
+
+let test_summary () =
+  let r = paper_row () in
+  let text = Report.Render.to_string Report.Render.Summary [ r ] in
+  Alcotest.(check bool) "mentions target and identities" true
+    (let contains needle =
+       let nl = String.length needle and tl = String.length text in
+       let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+       go 0
+     in
+     contains "s0" && contains "4/4")
+
+let qcheck_tabular_well_formed =
+  let gen =
+    QCheck.Gen.(
+      let dnas n m = string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range n m) in
+      pair (dnas 2 10) (dnas 5 40))
+  in
+  QCheck.Test.make ~count:200 ~name:"tabular rows always have 12 columns"
+    (QCheck.make gen ~print:(fun (q, t) -> q ^ " / " ^ t))
+    (fun (qtext, ttext) ->
+      let db = mk_db [ ttext ] in
+      let query = Bioseq.Sequence.make ~alphabet:dna ~id:"q" qtext in
+      let r = Report.Render.row ~matrix ~gap:gap1 ~db ~query ~seq_index:0 () in
+      let line = Report.Render.to_string Report.Render.Tabular [ r ] in
+      List.length (String.split_on_char '\t' (String.trim line)) = 12)
+
+let qcheck_stats_add_up =
+  let gen =
+    QCheck.Gen.(
+      let dnas n m = string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range n m) in
+      pair (dnas 2 10) (dnas 5 40))
+  in
+  QCheck.Test.make ~count:200
+    ~name:"identities + mismatches + gaps = alignment length"
+    (QCheck.make gen ~print:(fun (q, t) -> q ^ " / " ^ t))
+    (fun (qtext, ttext) ->
+      let db = mk_db [ ttext ] in
+      let query = Bioseq.Sequence.make ~alphabet:dna ~id:"q" qtext in
+      let r = Report.Render.row ~matrix ~gap:gap1 ~db ~query ~seq_index:0 () in
+      let gaps =
+        List.length
+          (List.filter
+             (fun op -> op <> Align.Alignment.Replace)
+             r.Report.Render.alignment.Align.Alignment.ops)
+      in
+      Report.Render.identities r + Report.Render.mismatches r + gaps
+      = Report.Render.alignment_length r)
+
+(* --- ASCII charts --- *)
+
+let contains text needle =
+  let nl = String.length needle and tl = String.length text in
+  let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+  go 0
+
+let test_chart_basic () =
+  let chart =
+    Report.Chart.render ~title:"t" ~x_label:"xs" ~y_label:"ys"
+      [
+        { Report.Chart.label = "a"; mark = 'a'; points = [ (0., 0.); (10., 5.) ] };
+        { Report.Chart.label = "b"; mark = 'b'; points = [ (5., 2.) ] };
+      ]
+  in
+  Alcotest.(check bool) "title" true (contains chart "t\n");
+  Alcotest.(check bool) "marks present" true
+    (String.contains chart 'a' && String.contains chart 'b');
+  Alcotest.(check bool) "legend" true (contains chart "legend:");
+  Alcotest.(check bool) "labels" true (contains chart "xs" && contains chart "ys")
+
+let test_chart_log_drops_nonpositive () =
+  let chart =
+    Report.Chart.render ~title:"t" ~y_scale:Report.Chart.Log10
+      [
+        {
+          Report.Chart.label = "a";
+          mark = '*';
+          points = [ (1., 0.); (2., -3.); (3., 10.) ];
+        };
+      ]
+  in
+  (* Only one drawable point; it must still render. *)
+  Alcotest.(check bool) "renders" true (String.contains chart '*')
+
+let test_chart_empty () =
+  Alcotest.(check string) "no drawable points" ""
+    (Report.Chart.render ~title:"t" ~y_scale:Report.Chart.Log10
+       [ { Report.Chart.label = "a"; mark = '*'; points = [ (1., -1.) ] } ])
+
+let test_chart_extremes_on_canvas () =
+  let chart =
+    Report.Chart.render ~width:20 ~height:8 ~title:"t"
+      [
+        {
+          Report.Chart.label = "a";
+          mark = '*';
+          points = [ (0., 0.); (100., 100.) ];
+        };
+      ]
+  in
+  let lines = String.split_on_char '\n' chart in
+  (* Every canvas row is bounded: "<label> |" + width characters. *)
+  List.iter
+    (fun l ->
+      if String.length l > 9 && l.[9] = '|' then
+        Alcotest.(check bool) "row width" true (String.length l <= 10 + 20))
+    lines
+
+let qcheck_chart_never_crashes =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 0 20)
+        (pair (float_range (-100.) 1000.) (float_range (-100.) 1000.)))
+  in
+  QCheck.Test.make ~count:200 ~name:"chart renders any point set"
+    (QCheck.make gen ~print:(fun ps ->
+         String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "(%g,%g)" a b) ps)))
+    (fun points ->
+      List.for_all
+        (fun (xs, ys) ->
+          let s =
+            Report.Chart.render ~x_scale:xs ~y_scale:ys ~title:"t"
+              [ { Report.Chart.label = "a"; mark = '*'; points } ]
+          in
+          (* Either empty (nothing drawable) or contains the canvas. *)
+          s = "" || String.contains s '|')
+        Report.Chart.
+          [ (Linear, Linear); (Log10, Linear); (Linear, Log10); (Log10, Log10) ])
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "statistics",
+        [
+          Alcotest.test_case "basic" `Quick test_statistics;
+          Alcotest.test_case "gaps" `Quick test_gap_statistics;
+        ] );
+      ( "formats",
+        [
+          Alcotest.test_case "tabular" `Quick test_tabular_line;
+          Alcotest.test_case "tabular with stats" `Quick test_tabular_with_stats;
+          Alcotest.test_case "pairwise shape" `Quick test_pairwise_shape;
+          Alcotest.test_case "pairwise wraps" `Quick test_pairwise_wraps;
+          Alcotest.test_case "summary" `Quick test_summary;
+        ] );
+      ( "chart",
+        [
+          Alcotest.test_case "basic" `Quick test_chart_basic;
+          Alcotest.test_case "log drops non-positive" `Quick
+            test_chart_log_drops_nonpositive;
+          Alcotest.test_case "empty" `Quick test_chart_empty;
+          Alcotest.test_case "extremes clamped" `Quick test_chart_extremes_on_canvas;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_tabular_well_formed;
+            qcheck_stats_add_up;
+            qcheck_chart_never_crashes;
+          ] );
+    ]

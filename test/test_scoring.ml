@@ -1,0 +1,349 @@
+(* Scoring substrate: substitution matrices, gap models, Karlin-Altschul
+   statistics. *)
+
+let protein = Bioseq.Alphabet.protein
+let dna = Bioseq.Alphabet.dna
+
+let code a c = Bioseq.Alphabet.of_char_exn a c
+
+(* --- Substitution matrices --- *)
+
+let test_unit_matrix () =
+  let m = Scoring.Submat.unit_edit dna in
+  Alcotest.(check int) "match" 1 (Scoring.Submat.score m 0 0);
+  Alcotest.(check int) "mismatch" (-1) (Scoring.Submat.score m 0 1);
+  Alcotest.(check bool) "terminator row is -inf" true
+    (Scoring.Submat.score m 0 (Bioseq.Alphabet.terminator dna)
+    = Scoring.Submat.neg_inf);
+  Alcotest.(check bool) "symmetric" true (Scoring.Submat.is_symmetric m)
+
+let test_blosum62_spot_values () =
+  let m = Scoring.Matrices.blosum62 in
+  let s a b = Scoring.Submat.score m (code protein a) (code protein b) in
+  (* Well-known cells of the published matrix. *)
+  Alcotest.(check int) "W-W" 11 (s 'W' 'W');
+  Alcotest.(check int) "C-C" 9 (s 'C' 'C');
+  Alcotest.(check int) "A-A" 4 (s 'A' 'A');
+  Alcotest.(check int) "A-R" (-1) (s 'A' 'R');
+  Alcotest.(check int) "I-L" 2 (s 'I' 'L');
+  Alcotest.(check int) "E-Z" 4 (s 'E' 'Z');
+  Alcotest.(check bool) "symmetric" true (Scoring.Submat.is_symmetric m)
+
+let test_pam30_spot_values () =
+  let m = Scoring.Matrices.pam30 in
+  let s a b = Scoring.Submat.score m (code protein a) (code protein b) in
+  Alcotest.(check int) "W-W" 13 (s 'W' 'W');
+  Alcotest.(check int) "M-M" 11 (s 'M' 'M');
+  Alcotest.(check int) "A-A" 6 (s 'A' 'A');
+  Alcotest.(check int) "R-K" 0 (s 'R' 'K');
+  Alcotest.(check bool) "symmetric" true (Scoring.Submat.is_symmetric m);
+  (* Every standard residue's diagonal must be its row maximum and
+     positive (this is what makes the paper's heuristic admissible). *)
+  for a = 0 to 19 do
+    Alcotest.(check bool)
+      (Printf.sprintf "diagonal max for %c" (Bioseq.Alphabet.to_char protein a))
+      true
+      (Scoring.Submat.best_against m a = Scoring.Submat.score m a a
+      && Scoring.Submat.score m a a > 0)
+  done
+
+let test_matrix_lookup () =
+  Alcotest.(check bool) "pam30 by name" true
+    (Option.is_some (Scoring.Matrices.by_name "PAM30"));
+  Alcotest.(check bool) "unknown" true
+    (Option.is_none (Scoring.Matrices.by_name "blosum999"))
+
+let test_of_function_and_entries () =
+  let m = Scoring.Submat.of_function ~alphabet:dna ~name:"f" (fun a b -> a - b) in
+  Alcotest.(check int) "max entry" 4 (Scoring.Submat.max_entry m);
+  Alcotest.(check int) "min entry" (-4) (Scoring.Submat.min_entry m);
+  Alcotest.(check int) "best_against 1" 1 (Scoring.Submat.best_against m 1)
+
+(* --- Gap models --- *)
+
+let test_gap_linear () =
+  let g = Scoring.Gap.linear 2 in
+  Alcotest.(check bool) "is_linear" true (Scoring.Gap.is_linear g);
+  Alcotest.(check int) "open" (-2) (Scoring.Gap.open_score g);
+  Alcotest.(check int) "extend" (-2) (Scoring.Gap.extend_score g);
+  Alcotest.(check int) "run of 3" (-6) (Scoring.Gap.run_score g 3)
+
+let test_gap_affine () =
+  let g = Scoring.Gap.affine ~open_cost:5 ~extend_cost:1 in
+  Alcotest.(check bool) "not linear" false (Scoring.Gap.is_linear g);
+  Alcotest.(check int) "open" (-6) (Scoring.Gap.open_score g);
+  Alcotest.(check int) "extend" (-1) (Scoring.Gap.extend_score g);
+  Alcotest.(check int) "run of 4" (-9) (Scoring.Gap.run_score g 4)
+
+let test_gap_rejects () =
+  Alcotest.check_raises "zero penalty"
+    (Invalid_argument "Gap.linear: penalty must be positive") (fun () ->
+      ignore (Scoring.Gap.linear 0));
+  Alcotest.check_raises "bad run"
+    (Invalid_argument "Gap.run_score: run length must be >= 1") (fun () ->
+      ignore (Scoring.Gap.run_score (Scoring.Gap.linear 1) 0))
+
+(* --- Karlin-Altschul --- *)
+
+let close ?(tol = 0.02) name expected got =
+  if abs_float (expected -. got) > tol *. max 1.0 (abs_float expected) then
+    Alcotest.failf "%s: expected %.4f within %.0f%%, got %.4f" name expected
+      (100. *. tol) got
+
+let test_karlin_unit_dna () =
+  (* Uniform ACGT with +1/-1: lambda solves e^l/4 + 3 e^-l/4 = 1,
+     i.e. lambda = ln 3. *)
+  let p =
+    Scoring.Karlin.estimate ~matrix:Scoring.Matrices.dna_unit
+      ~freqs:Scoring.Background.dna_uniform ()
+  in
+  close "lambda" (log 3.) p.Scoring.Karlin.lambda;
+  Alcotest.(check bool) "K in (0,1)" true
+    (p.Scoring.Karlin.k > 0. && p.Scoring.Karlin.k < 1.);
+  Alcotest.(check bool) "H > 0" true (p.Scoring.Karlin.h > 0.)
+
+let test_karlin_blosum62 () =
+  (* Published ungapped parameters: lambda = 0.3176, K = 0.134,
+     H = 0.40. *)
+  let p =
+    Scoring.Karlin.estimate ~matrix:Scoring.Matrices.blosum62
+      ~freqs:Scoring.Background.robinson_robinson ()
+  in
+  close "lambda" 0.3176 p.Scoring.Karlin.lambda;
+  close ~tol:0.05 "K" 0.134 p.Scoring.Karlin.k;
+  close ~tol:0.05 "H" 0.40 p.Scoring.Karlin.h
+
+let test_karlin_pam30 () =
+  (* Published ungapped parameters: lambda = 0.340, K = 0.283. *)
+  let p =
+    Scoring.Karlin.estimate ~matrix:Scoring.Matrices.pam30
+      ~freqs:Scoring.Background.robinson_robinson ()
+  in
+  close "lambda" 0.340 p.Scoring.Karlin.lambda;
+  close ~tol:0.05 "K" 0.283 p.Scoring.Karlin.k
+
+let test_evalue_roundtrip () =
+  let p =
+    Scoring.Karlin.estimate ~matrix:Scoring.Matrices.pam30
+      ~freqs:Scoring.Background.robinson_robinson ()
+  in
+  let m = 16 and n = 1_000_000 in
+  (* Equation 3 then Equation 2: the threshold score's E-value must not
+     exceed the requested cutoff, and one score lower must exceed it. *)
+  List.iter
+    (fun evalue ->
+      let s = Scoring.Karlin.score_for_evalue p ~m ~n ~evalue in
+      Alcotest.(check bool)
+        (Printf.sprintf "E(%g): score %d tight" evalue s)
+        true
+        (Scoring.Karlin.evalue p ~m ~n ~score:s <= evalue
+        && (s = 1 || Scoring.Karlin.evalue p ~m ~n ~score:(s - 1) > evalue)))
+    [ 0.001; 1.; 100.; 20000. ]
+
+let test_evalue_monotone () =
+  let p =
+    Scoring.Karlin.estimate ~matrix:Scoring.Matrices.blosum62
+      ~freqs:Scoring.Background.robinson_robinson ()
+  in
+  let e s = Scoring.Karlin.evalue p ~m:20 ~n:100000 ~score:s in
+  Alcotest.(check bool) "decreasing in score" true (e 10 > e 20 && e 20 > e 40);
+  Alcotest.(check bool) "bit score increasing" true
+    (Scoring.Karlin.bit_score p 40 > Scoring.Karlin.bit_score p 20)
+
+let test_effective_lengths () =
+  let p =
+    Scoring.Karlin.estimate ~matrix:Scoring.Matrices.blosum62
+      ~freqs:Scoring.Background.robinson_robinson ()
+  in
+  let m', n' =
+    Scoring.Karlin.effective_lengths p ~m:20 ~n:1_000_000 ~num_sequences:1000
+  in
+  Alcotest.(check bool) "query shortened" true (m' < 20 && m' >= 1);
+  Alcotest.(check bool) "database shortened" true (n' < 1_000_000 && n' >= 1000);
+  (* Tiny search spaces floor out instead of going negative. *)
+  let m'', n'' = Scoring.Karlin.effective_lengths p ~m:3 ~n:50 ~num_sequences:10 in
+  Alcotest.(check bool) "floors" true (m'' >= 1 && n'' >= 10)
+
+let test_karlin_rejects_positive_expectation () =
+  (* An all-positive matrix has no positive lambda. *)
+  let m = Scoring.Submat.of_function ~alphabet:dna ~name:"bad" (fun _ _ -> 1) in
+  (try
+     ignore (Scoring.Karlin.estimate ~matrix:m ~freqs:Scoring.Background.dna_uniform ());
+     Alcotest.fail "accepted a positive-expectation matrix"
+   with Scoring.Karlin.Unsupported_matrix _ -> ())
+
+(* --- Position-specific scoring matrices --- *)
+
+let test_pssm_of_query () =
+  let q = Bioseq.Sequence.make ~alphabet:protein ~id:"q" "MKT" in
+  let p = Scoring.Pssm.of_query ~matrix:Scoring.Matrices.pam30 q in
+  Alcotest.(check int) "length" 3 (Scoring.Pssm.length p);
+  for i = 0 to 2 do
+    for b = 0 to 19 do
+      Alcotest.(check int)
+        (Printf.sprintf "col %d sym %d" i b)
+        (Scoring.Submat.score Scoring.Matrices.pam30 (Bioseq.Sequence.get q i) b)
+        (Scoring.Pssm.score p i b)
+    done
+  done;
+  (* The terminator column is -inf. *)
+  Alcotest.(check bool) "terminator" true
+    (Scoring.Pssm.score p 0 (Bioseq.Alphabet.terminator protein)
+    = Scoring.Submat.neg_inf)
+
+let test_pssm_of_sequences () =
+  (* A perfectly conserved column scores high; a column where the
+     consensus symbol never appears scores low for it. *)
+  let mk text = Bioseq.Sequence.make ~alphabet:protein ~id:"m" text in
+  let members = [ mk "WAD"; mk "WCD"; mk "WGD"; mk "WTD" ] in
+  let p =
+    Scoring.Pssm.of_sequences ~freqs:Scoring.Background.robinson_robinson
+      ~scale:2.0 members
+  in
+  let w = Bioseq.Alphabet.of_char_exn protein 'W' in
+  let d = Bioseq.Alphabet.of_char_exn protein 'D' in
+  let l = Bioseq.Alphabet.of_char_exn protein 'L' in
+  Alcotest.(check bool) "conserved W scores high" true
+    (Scoring.Pssm.score p 0 w > 0);
+  Alcotest.(check bool) "conserved D scores high" true
+    (Scoring.Pssm.score p 2 d > 0);
+  Alcotest.(check bool) "absent L scores low at column 0" true
+    (Scoring.Pssm.score p 0 l < 0);
+  Alcotest.(check bool) "best at conserved column is W" true
+    (Scoring.Pssm.best_at p 0 = Scoring.Pssm.score p 0 w)
+
+let test_pssm_rejects () =
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Pssm.make: row 0 has wrong length") (fun () ->
+      ignore (Scoring.Pssm.make ~alphabet:dna [| [| 1; 2 |] |]));
+  let mk text = Bioseq.Sequence.make ~alphabet:protein ~id:"m" text in
+  (try
+     ignore
+       (Scoring.Pssm.of_sequences ~freqs:Scoring.Background.robinson_robinson
+          ~scale:2.0
+          [ mk "AA"; mk "AAA" ]);
+     Alcotest.fail "unequal lengths accepted"
+   with Invalid_argument _ -> ())
+
+let qcheck_pssm_search_degenerates =
+  (* Profile-from-query searches must equal plain matrix searches. *)
+  let gen =
+    QCheck.Gen.(
+      let residue = map (String.get "ARNDCQEGHILKMFPSTWYV") (int_range 0 19) in
+      let protein_str n m = string_size ~gen:residue (int_range n m) in
+      let* strings = list_size (int_range 1 4) (protein_str 2 25) in
+      let* q = protein_str 2 8 in
+      return (strings, q))
+  in
+  QCheck.Test.make ~count:200 ~name:"profile search degenerates to matrix search"
+    (QCheck.make gen ~print:(fun (ss, q) -> String.concat "/" ss ^ " ? " ^ q))
+    (fun (strings, qtext) ->
+      let db =
+        Bioseq.Database.make
+          (List.mapi
+             (fun i s ->
+               Bioseq.Sequence.make ~alphabet:protein ~id:(Printf.sprintf "s%d" i) s)
+             strings)
+      in
+      let q = Bioseq.Sequence.make ~alphabet:protein ~id:"q" qtext in
+      let matrix = Scoring.Matrices.pam30 and gap = Scoring.Gap.linear 10 in
+      let plain, _ = Align.Smith_waterman.search ~matrix ~gap ~query:q ~db ~min_score:5 in
+      let prof, _ =
+        Align.Smith_waterman.search_profile
+          ~profile:(Scoring.Pssm.of_query ~matrix q)
+          ~gap ~db ~min_score:5
+      in
+      List.map (fun h -> Align.Smith_waterman.(h.seq_index, h.score)) plain
+      = List.map (fun h -> Align.Smith_waterman.(h.seq_index, h.score)) prof)
+
+(* --- Background frequencies --- *)
+
+let test_backgrounds_sum_to_one () =
+  let check name freqs =
+    let total = Array.fold_left ( +. ) 0. freqs in
+    if abs_float (total -. 1.0) > 1e-9 then
+      Alcotest.failf "%s sums to %.12f" name total
+  in
+  check "robinson_robinson" Scoring.Background.robinson_robinson;
+  check "dna_uniform" Scoring.Background.dna_uniform;
+  check "dna_gc" (Scoring.Background.dna_gc ~gc:0.6);
+  check "uniform protein" (Scoring.Background.uniform protein)
+
+let test_background_of_database () =
+  let db =
+    Bioseq.Database.make
+      [ Bioseq.Sequence.make ~alphabet:dna ~id:"s" "AACG" ]
+  in
+  let f = Scoring.Background.of_database db in
+  Alcotest.(check (float 1e-9)) "A" 0.5 f.(0);
+  Alcotest.(check (float 1e-9)) "C" 0.25 f.(1);
+  Alcotest.(check (float 1e-9)) "T" 0. f.(3)
+
+(* --- Properties --- *)
+
+let qcheck_lambda_root =
+  (* lambda really is a root of sum p_i p_j e^{lambda s_ij} = 1 for
+     random mismatch penalties. *)
+  QCheck.Test.make ~count:50 ~name:"lambda satisfies its defining equation"
+    QCheck.(make Gen.(int_range 2 8) ~print:string_of_int)
+    (fun penalty ->
+      let m =
+        Scoring.Submat.of_function ~alphabet:dna ~name:"t" (fun a b ->
+            if a = b then 2 else -penalty)
+      in
+      let freqs = Scoring.Background.dna_uniform in
+      let p = Scoring.Karlin.estimate ~matrix:m ~freqs () in
+      let total = ref 0. in
+      for a = 0 to 3 do
+        for b = 0 to 3 do
+          total :=
+            !total
+            +. (0.25 *. 0.25
+               *. exp (p.Scoring.Karlin.lambda *. float_of_int (Scoring.Submat.score m a b)))
+        done
+      done;
+      abs_float (!total -. 1.0) < 1e-6)
+
+let () =
+  Alcotest.run "scoring"
+    [
+      ( "matrices",
+        [
+          Alcotest.test_case "unit" `Quick test_unit_matrix;
+          Alcotest.test_case "blosum62 spot values" `Quick test_blosum62_spot_values;
+          Alcotest.test_case "pam30 spot values" `Quick test_pam30_spot_values;
+          Alcotest.test_case "lookup by name" `Quick test_matrix_lookup;
+          Alcotest.test_case "of_function" `Quick test_of_function_and_entries;
+        ] );
+      ( "gaps",
+        [
+          Alcotest.test_case "linear" `Quick test_gap_linear;
+          Alcotest.test_case "affine" `Quick test_gap_affine;
+          Alcotest.test_case "rejects" `Quick test_gap_rejects;
+        ] );
+      ( "karlin",
+        [
+          Alcotest.test_case "unit dna closed form" `Quick test_karlin_unit_dna;
+          Alcotest.test_case "blosum62 published values" `Quick test_karlin_blosum62;
+          Alcotest.test_case "pam30 published values" `Quick test_karlin_pam30;
+          Alcotest.test_case "evalue/score roundtrip" `Quick test_evalue_roundtrip;
+          Alcotest.test_case "monotonicity" `Quick test_evalue_monotone;
+          Alcotest.test_case "effective lengths" `Quick test_effective_lengths;
+          Alcotest.test_case "rejects bad matrix" `Quick
+            test_karlin_rejects_positive_expectation;
+        ] );
+      ( "pssm",
+        [
+          Alcotest.test_case "of_query" `Quick test_pssm_of_query;
+          Alcotest.test_case "of_sequences" `Quick test_pssm_of_sequences;
+          Alcotest.test_case "rejects" `Quick test_pssm_rejects;
+        ] );
+      ( "background",
+        [
+          Alcotest.test_case "sums" `Quick test_backgrounds_sum_to_one;
+          Alcotest.test_case "of_database" `Quick test_background_of_database;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_lambda_root; qcheck_pssm_search_degenerates ] );
+    ]

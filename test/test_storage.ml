@@ -1,0 +1,399 @@
+(* Storage layer: devices, clock buffer pool, on-disk suffix tree
+   round-trips. *)
+
+let alpha = Bioseq.Alphabet.dna
+
+let db_of_strings strings =
+  Bioseq.Database.make
+    (List.mapi
+       (fun i s -> Bioseq.Sequence.make ~alphabet:alpha ~id:(Printf.sprintf "s%d" i) s)
+       strings)
+
+(* --- Device --- *)
+
+let test_device_memory () =
+  let d = Storage.Device.in_memory () in
+  Storage.Device.append d (Bytes.of_string "hello");
+  Storage.Device.append d (Bytes.of_string " world");
+  Alcotest.(check int) "length" 11 (Storage.Device.length d);
+  let buf = Bytes.create 5 in
+  Storage.Device.pread d ~off:6 ~buf;
+  Alcotest.(check string) "read" "world" (Bytes.to_string buf);
+  (* Reads past the end are zero-filled. *)
+  let buf = Bytes.create 4 in
+  Storage.Device.pread d ~off:9 ~buf;
+  Alcotest.(check string) "tail" "ld\000\000" (Bytes.to_string buf)
+
+let test_device_file () =
+  let path = Filename.temp_file "oasis_test" ".dev" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let d = Storage.Device.file path in
+      Storage.Device.append d (Bytes.of_string "abcdefgh");
+      let buf = Bytes.create 3 in
+      Storage.Device.pread d ~off:2 ~buf;
+      Alcotest.(check string) "read after append" "cde" (Bytes.to_string buf);
+      Storage.Device.close d;
+      let d = Storage.Device.open_file path in
+      Alcotest.(check int) "reopened length" 8 (Storage.Device.length d);
+      let buf = Bytes.create 8 in
+      Storage.Device.pread d ~off:0 ~buf;
+      Alcotest.(check string) "reopened read" "abcdefgh" (Bytes.to_string buf);
+      Alcotest.check_raises "append to read-only"
+        (Invalid_argument "Device.append: device opened read-only") (fun () ->
+          Storage.Device.append d (Bytes.of_string "x"));
+      Storage.Device.close d)
+
+(* --- Buffer pool --- *)
+
+let test_pool_hits_and_misses () =
+  let d = Storage.Device.in_memory () in
+  Storage.Device.append d (Bytes.init 4096 (fun i -> Char.chr (i land 0xFF)));
+  let pool = Storage.Buffer_pool.create ~block_size:16 ~capacity:4 in
+  let h = Storage.Buffer_pool.attach pool ~name:"d" d in
+  Alcotest.(check int) "byte 0" 0 (Storage.Buffer_pool.read_byte pool h 0);
+  Alcotest.(check int) "byte 1" 1 (Storage.Buffer_pool.read_byte pool h 1);
+  Alcotest.(check int) "byte 17" 17 (Storage.Buffer_pool.read_byte pool h 17);
+  let s = Storage.Buffer_pool.stats h in
+  Alcotest.(check int) "misses" 2 s.Storage.Buffer_pool.misses;
+  Alcotest.(check int) "hits" 1 s.Storage.Buffer_pool.hits
+
+let test_pool_eviction () =
+  let d = Storage.Device.in_memory () in
+  Storage.Device.append d (Bytes.init 4096 (fun i -> Char.chr (i land 0xFF)));
+  let pool = Storage.Buffer_pool.create ~block_size:16 ~capacity:2 in
+  let h = Storage.Buffer_pool.attach pool ~name:"d" d in
+  (* Touch 3 distinct blocks through a 2-block pool, then re-read: data
+     must still be correct after evictions. *)
+  for round = 1 to 3 do
+    for block = 0 to 2 do
+      let off = block * 16 in
+      let v = Storage.Buffer_pool.read_byte pool h off in
+      Alcotest.(check int) (Printf.sprintf "round %d block %d" round block)
+        (off land 0xFF) v
+    done
+  done;
+  let s = Storage.Buffer_pool.stats h in
+  Alcotest.(check int) "total accesses" 9
+    (s.Storage.Buffer_pool.hits + s.Storage.Buffer_pool.misses);
+  Alcotest.(check bool) "some misses beyond the first three" true
+    (s.Storage.Buffer_pool.misses > 3)
+
+let test_pool_u32 () =
+  let d = Storage.Device.in_memory () in
+  let b = Bytes.create 32 in
+  Bytes.fill b 0 32 '\000';
+  (* 0x0A0B0C0D little-endian at offset 4. *)
+  Bytes.set b 4 '\x0D';
+  Bytes.set b 5 '\x0C';
+  Bytes.set b 6 '\x0B';
+  Bytes.set b 7 '\x0A';
+  Storage.Device.append d b;
+  let pool = Storage.Buffer_pool.create ~block_size:16 ~capacity:2 in
+  let h = Storage.Buffer_pool.attach pool ~name:"d" d in
+  Alcotest.(check int) "u32" 0x0A0B0C0D (Storage.Buffer_pool.read_u32 pool h 4);
+  Alcotest.check_raises "unaligned"
+    (Invalid_argument "Buffer_pool.read_u32: unaligned offset") (fun () ->
+      ignore (Storage.Buffer_pool.read_u32 pool h 2))
+
+let test_pool_drop_all () =
+  let d = Storage.Device.in_memory () in
+  Storage.Device.append d (Bytes.make 64 'x');
+  let pool = Storage.Buffer_pool.create ~block_size:16 ~capacity:4 in
+  let h = Storage.Buffer_pool.attach pool ~name:"d" d in
+  ignore (Storage.Buffer_pool.read_byte pool h 0);
+  ignore (Storage.Buffer_pool.read_byte pool h 0);
+  Storage.Buffer_pool.drop_all pool;
+  let s = Storage.Buffer_pool.stats h in
+  Alcotest.(check int) "stats cleared" 0
+    (s.Storage.Buffer_pool.hits + s.Storage.Buffer_pool.misses);
+  ignore (Storage.Buffer_pool.read_byte pool h 0);
+  let s = Storage.Buffer_pool.stats h in
+  Alcotest.(check int) "cold after drop" 1 s.Storage.Buffer_pool.misses
+
+(* --- Disk tree --- *)
+
+(* Enumerate (path, positions) of every leaf via the disk tree. *)
+let disk_leaf_paths dt =
+  let buf = Buffer.create 64 in
+  let out = ref [] in
+  let rec go node prefix =
+    if Storage.Disk_tree.is_leaf node then begin
+      let start = Storage.Disk_tree.label_start dt node in
+      Buffer.clear buf;
+      Buffer.add_string buf prefix;
+      let rec read i =
+        let c = Storage.Disk_tree.symbol dt i in
+        if c = Storage.Disk_tree.terminator dt then Buffer.add_char buf '$'
+        else begin
+          Buffer.add_char buf (Bioseq.Alphabet.to_char alpha c);
+          read (i + 1)
+        end
+      in
+      read start;
+      match Storage.Disk_tree.leaf_position node with
+      | Some p -> out := (Buffer.contents buf, p) :: !out
+      | None -> Alcotest.fail "leaf without position"
+    end
+    else begin
+      let start = Storage.Disk_tree.label_start dt node in
+      let stop =
+        match Storage.Disk_tree.label_stop dt node with
+        | Some s -> s
+        | None -> Alcotest.fail "internal without stop"
+      in
+      let piece =
+        String.init (stop - start) (fun i ->
+            let c = Storage.Disk_tree.symbol dt (start + i) in
+            if c = Storage.Disk_tree.terminator dt then '$'
+            else Bioseq.Alphabet.to_char alpha c)
+      in
+      List.iter
+        (fun child -> go child (prefix ^ piece))
+        (Storage.Disk_tree.children dt node)
+    end
+  in
+  let root = Storage.Disk_tree.root dt in
+  List.iter (fun child -> go child "") (Storage.Disk_tree.children dt root);
+  List.sort compare !out
+
+let mem_leaf_paths tree =
+  Suffix_tree.Tree.fold tree ~init:[] ~f:(fun acc ~depth:_ node ->
+      if Suffix_tree.Tree.is_leaf node then
+        let path = Suffix_tree.Tree.path_string tree node in
+        List.fold_left
+          (fun acc p -> (path, p) :: acc)
+          acc
+          (Suffix_tree.Tree.positions node)
+      else acc)
+  |> List.sort compare
+
+let test_disk_tree_roundtrip () =
+  let db = db_of_strings [ "AGTACGCCTAG"; "TACG"; "AGTACG" ] in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let dt, _pool = Storage.Disk_tree.of_tree ~block_size:32 ~capacity:4 tree in
+  Alcotest.(check (list (pair string int)))
+    "leaf paths match" (mem_leaf_paths tree) (disk_leaf_paths dt)
+
+let test_disk_tree_clustered_roundtrip () =
+  let db = db_of_strings [ "AGTACGCCTAG"; "TACG"; "AGTACG" ] in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let dt, _pool =
+    Storage.Disk_tree.of_tree ~layout:Storage.Disk_tree.Clustered
+      ~block_size:32 ~capacity:4 tree
+  in
+  Alcotest.(check bool) "layout recorded" true
+    (Storage.Disk_tree.layout dt = Storage.Disk_tree.Clustered);
+  Alcotest.(check (list (pair string int)))
+    "leaf paths match" (mem_leaf_paths tree) (disk_leaf_paths dt)
+
+let test_disk_tree_bad_magic () =
+  let symbols = Storage.Device.in_memory ()
+  and internal = Storage.Device.in_memory ()
+  and leaves = Storage.Device.in_memory () in
+  Storage.Device.append leaves (Bytes.make 16 'x');
+  let pool = Storage.Buffer_pool.create ~block_size:16 ~capacity:2 in
+  try
+    ignore
+      (Storage.Disk_tree.open_ ~alphabet:alpha ~pool ~symbols ~internal ~leaves);
+    Alcotest.fail "bad magic accepted"
+  with Invalid_argument _ -> ()
+
+let test_disk_tree_subtree_positions () =
+  let db = db_of_strings [ "AGTACGCCTAG" ] in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let dt, _pool = Storage.Disk_tree.of_tree tree in
+  let root = Storage.Disk_tree.root dt in
+  let all = List.sort compare (Storage.Disk_tree.subtree_positions dt root) in
+  Alcotest.(check (list int)) "all suffixes" (List.init 12 Fun.id) all
+
+let test_disk_tree_stats_move () =
+  let db = db_of_strings [ "AGTACGCCTAGAGTACGAGTACCGTA" ] in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let dt, pool = Storage.Disk_tree.of_tree ~block_size:16 ~capacity:2 tree in
+  ignore (Storage.Disk_tree.subtree_positions dt (Storage.Disk_tree.root dt));
+  ignore pool;
+  let s = Storage.Disk_tree.component_stats dt Storage.Disk_tree.Internal_nodes in
+  Alcotest.(check bool) "internal accesses happened" true
+    (s.Storage.Buffer_pool.hits + s.Storage.Buffer_pool.misses > 0);
+  let l = Storage.Disk_tree.component_stats dt Storage.Disk_tree.Leaves in
+  Alcotest.(check bool) "leaf accesses happened" true
+    (l.Storage.Buffer_pool.hits + l.Storage.Buffer_pool.misses > 0)
+
+let test_size_report () =
+  let db = db_of_strings [ "AGTACGCCTAG" ] in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let dt, _ = Storage.Disk_tree.of_tree tree in
+  let r = Storage.Disk_tree.size_report dt in
+  Alcotest.(check int) "symbols bytes" 12 r.Storage.Disk_tree.symbols_bytes;
+  (* 16-byte layout header plus one 4-byte entry per suffix. *)
+  Alcotest.(check int) "leaves bytes" (16 + (12 * 4)) r.Storage.Disk_tree.leaves_bytes;
+  Alcotest.(check bool) "bytes per symbol sane" true
+    (r.Storage.Disk_tree.bytes_per_symbol > 4.
+    && r.Storage.Disk_tree.bytes_per_symbol < 40.)
+
+(* --- External (partitioned) construction --- *)
+
+let open_external ?layout db =
+  let symbols = Storage.Device.in_memory ()
+  and internal = Storage.Device.in_memory ()
+  and leaves = Storage.Device.in_memory () in
+  Storage.External_build.write ?layout db ~symbols ~internal ~leaves;
+  let pool = Storage.Buffer_pool.create ~block_size:64 ~capacity:8 in
+  Storage.Disk_tree.open_ ~alphabet:(Bioseq.Database.alphabet db) ~pool ~symbols
+    ~internal ~leaves
+
+let test_external_build_roundtrip () =
+  let db = db_of_strings [ "AGTACGCCTAG"; "TACG"; "AGTACG"; "TACG" ] in
+  let tree = Suffix_tree.Ukkonen.build db in
+  List.iter
+    (fun layout ->
+      let dt = open_external ~layout db in
+      Alcotest.(check (list (pair string int)))
+        "external leaf paths = in-memory tree" (mem_leaf_paths tree)
+        (disk_leaf_paths dt))
+    [ Storage.Disk_tree.Position_indexed; Storage.Disk_tree.Clustered ]
+
+let test_external_build_search () =
+  (* An OASIS search over the externally-built image must agree with the
+     in-memory engine. *)
+  let db = db_of_strings [ "AGTACGCCTAG"; "TACG"; "CCCCTACGCCCC"; "GATTACA" ] in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let dt = open_external db in
+  let q = Bioseq.Sequence.make ~alphabet:alpha ~id:"q" "TACG" in
+  let cfg =
+    Oasis.Engine.config ~matrix:Scoring.Matrices.dna_unit
+      ~gap:(Scoring.Gap.linear 1) ~min_score:2 ()
+  in
+  let mem_hits =
+    Oasis.Engine.Mem.run (Oasis.Engine.Mem.create ~source:tree ~db ~query:q cfg)
+  in
+  let disk_hits =
+    Oasis.Engine.Disk.run (Oasis.Engine.Disk.create ~source:dt ~db ~query:q cfg)
+  in
+  let key h = (h.Oasis.Hit.seq_index, h.Oasis.Hit.score) in
+  Alcotest.(check (list (pair int int)))
+    "hits agree"
+    (List.sort compare (List.map key mem_hits))
+    (List.sort compare (List.map key disk_hits))
+
+let test_max_partition () =
+  let db = db_of_strings [ "AAAACGT"; "AAA" ] in
+  (* Suffixes starting with A: positions 0,1,2,3 (then CGT...) plus
+     8,9,10 = 7 occurrences. *)
+  Alcotest.(check int) "largest bucket" 7
+    (Storage.External_build.max_partition_occurrences db)
+
+let test_validate_ok () =
+  let db = db_of_strings [ "AGTACGCCTAG"; "TACG"; "TACG" ] in
+  let tree = Suffix_tree.Ukkonen.build db in
+  List.iter
+    (fun layout ->
+      let dt, _ = Storage.Disk_tree.of_tree ~layout ~block_size:32 ~capacity:8 tree in
+      match Storage.Disk_tree.validate dt with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "validate: %s" msg)
+    [ Storage.Disk_tree.Position_indexed; Storage.Disk_tree.Clustered ];
+  let dt = open_external db in
+  match Storage.Disk_tree.validate dt with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "external validate: %s" msg
+
+let qcheck_validate_random =
+  QCheck.Test.make ~count:100 ~name:"validate accepts every built index"
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_range 1 5)
+           (string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range 1 25)))
+       ~print:(String.concat "/"))
+    (fun strings ->
+      let db = db_of_strings strings in
+      let tree = Suffix_tree.Ukkonen.build db in
+      let dt, _ = Storage.Disk_tree.of_tree ~block_size:16 ~capacity:3 tree in
+      Storage.Disk_tree.validate dt = Ok ())
+
+let qcheck_external_equals_monolithic =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 1 5)
+           (string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range 1 25)))
+        (oneofl
+           [ Storage.Disk_tree.Position_indexed; Storage.Disk_tree.Clustered ]))
+  in
+  QCheck.Test.make ~count:150
+    ~name:"external build equals monolithic serialization"
+    (QCheck.make gen ~print:(fun (ss, _) -> String.concat "/" ss))
+    (fun (strings, layout) ->
+      let db = db_of_strings strings in
+      let tree = Suffix_tree.Ukkonen.build db in
+      let dt_mono, _ =
+        Storage.Disk_tree.of_tree ~layout ~block_size:16 ~capacity:3 tree
+      in
+      let dt_ext = open_external ~layout db in
+      disk_leaf_paths dt_mono = disk_leaf_paths dt_ext)
+
+let qcheck_disk_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 1 5)
+           (string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range 1 25)))
+        (oneofl [ Storage.Disk_tree.Position_indexed; Storage.Disk_tree.Clustered ]))
+  in
+  QCheck.Test.make ~count:150 ~name:"disk round-trip preserves leaf paths"
+    (QCheck.make gen ~print:(fun (ss, layout) ->
+         String.concat "/" ss
+         ^ match layout with
+           | Storage.Disk_tree.Position_indexed -> " (position)"
+           | Storage.Disk_tree.Clustered -> " (clustered)"))
+    (fun (strings, layout) ->
+      let db = db_of_strings strings in
+      let tree = Suffix_tree.Ukkonen.build db in
+      let dt, _ =
+        Storage.Disk_tree.of_tree ~layout ~block_size:16 ~capacity:3 tree
+      in
+      mem_leaf_paths tree = disk_leaf_paths dt)
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "device",
+        [
+          Alcotest.test_case "in-memory" `Quick test_device_memory;
+          Alcotest.test_case "file backend" `Quick test_device_file;
+        ] );
+      ( "buffer_pool",
+        [
+          Alcotest.test_case "hits and misses" `Quick test_pool_hits_and_misses;
+          Alcotest.test_case "eviction correctness" `Quick test_pool_eviction;
+          Alcotest.test_case "u32 reads" `Quick test_pool_u32;
+          Alcotest.test_case "drop_all" `Quick test_pool_drop_all;
+        ] );
+      ( "disk_tree",
+        [
+          Alcotest.test_case "round-trip" `Quick test_disk_tree_roundtrip;
+          Alcotest.test_case "clustered round-trip" `Quick
+            test_disk_tree_clustered_roundtrip;
+          Alcotest.test_case "bad magic rejected" `Quick test_disk_tree_bad_magic;
+          Alcotest.test_case "external build round-trip" `Quick
+            test_external_build_roundtrip;
+          Alcotest.test_case "external build search" `Quick
+            test_external_build_search;
+          Alcotest.test_case "max partition size" `Quick test_max_partition;
+          Alcotest.test_case "validate accepts good indexes" `Quick
+            test_validate_ok;
+          Alcotest.test_case "subtree positions" `Quick
+            test_disk_tree_subtree_positions;
+          Alcotest.test_case "component stats" `Quick test_disk_tree_stats_move;
+          Alcotest.test_case "size report" `Quick test_size_report;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_disk_roundtrip;
+            qcheck_external_equals_monolithic;
+            qcheck_validate_random;
+          ] );
+    ]

@@ -1,0 +1,203 @@
+(* Stress and robustness: degenerate inputs that break naive
+   implementations — runs of one symbol (maximum tree depth), thousands
+   of tiny sequences, ambiguity codes, extreme thresholds, queries
+   longer than the database. *)
+
+let dna = Bioseq.Alphabet.dna
+let protein = Bioseq.Alphabet.protein
+let unit_matrix = Scoring.Matrices.dna_unit
+let gap1 = Scoring.Gap.linear 1
+
+let db_of_strings strings =
+  Bioseq.Database.make
+    (List.mapi
+       (fun i s -> Bioseq.Sequence.make ~alphabet:dna ~id:(Printf.sprintf "s%d" i) s)
+       strings)
+
+let test_degenerate_run () =
+  (* 60k of one symbol: the suffix tree is a 60k-deep chain; every
+     traversal must survive without native stack overflow. *)
+  let n = 60_000 in
+  let db = db_of_strings [ String.make n 'A' ] in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let stats = Suffix_tree.Tree.stats tree in
+  Alcotest.(check int) "occurrences" (n + 1) stats.Suffix_tree.Tree.occurrences;
+  Alcotest.(check int) "depth equals run" (n + 1) stats.Suffix_tree.Tree.max_depth;
+  (* Exact search and full subtree enumeration on the chain. *)
+  let hits =
+    Suffix_tree.Tree.find_exact tree (Bioseq.Alphabet.encode dna "AAAAAAAAAA")
+  in
+  Alcotest.(check int) "all starts found" (n - 9) (List.length hits);
+  (* OASIS over the chain with a tight threshold. *)
+  let q = Bioseq.Sequence.make ~alphabet:dna ~id:"q" (String.make 20 'A') in
+  let engine =
+    Oasis.Engine.Mem.create ~source:tree ~db ~query:q
+      (Oasis.Engine.config ~matrix:unit_matrix ~gap:gap1 ~min_score:20 ())
+  in
+  match Oasis.Engine.Mem.run engine with
+  | [ hit ] -> Alcotest.(check int) "score" 20 hit.Oasis.Hit.score
+  | hits -> Alcotest.failf "expected 1 hit, got %d" (List.length hits)
+
+let test_degenerate_disk_tree () =
+  let n = 30_000 in
+  let db = db_of_strings [ String.make n 'C' ] in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let dt, _ = Storage.Disk_tree.of_tree ~block_size:2048 ~capacity:64 tree in
+  let all = Storage.Disk_tree.subtree_positions dt (Storage.Disk_tree.root dt) in
+  Alcotest.(check int) "all positions" (n + 1) (List.length all)
+
+let test_many_tiny_sequences () =
+  let count = 8_000 in
+  let strings = List.init count (fun i ->
+      match i mod 4 with 0 -> "ACG" | 1 -> "TT" | 2 -> "GATTACA" | _ -> "C")
+  in
+  let db = db_of_strings strings in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let q = Bioseq.Sequence.make ~alphabet:dna ~id:"q" "GATTACA" in
+  let engine =
+    Oasis.Engine.Mem.create ~source:tree ~db ~query:q
+      (Oasis.Engine.config ~matrix:unit_matrix ~gap:gap1 ~min_score:7 ())
+  in
+  let hits = Oasis.Engine.Mem.run engine in
+  Alcotest.(check int) "every GATTACA copy reported" (count / 4)
+    (List.length hits);
+  (* The S-W oracle agrees even at this sequence count. *)
+  let sw, _ =
+    Align.Smith_waterman.search ~matrix:unit_matrix ~gap:gap1 ~query:q ~db
+      ~min_score:7
+  in
+  Alcotest.(check int) "S-W agrees" (List.length sw) (List.length hits)
+
+let test_ambiguity_codes () =
+  (* B/Z/X in database and query: PAM30 defines their scores; the whole
+     stack must accept them. *)
+  let db =
+    Bioseq.Database.make
+      [
+        Bioseq.Sequence.make ~alphabet:protein ~id:"amb" "MKXBZTAYIAKQRQISXFVKSH";
+        Bioseq.Sequence.make ~alphabet:protein ~id:"plain" "MKTAYIAKQRQISFVKSH";
+      ]
+  in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let q = Bioseq.Sequence.make ~alphabet:protein ~id:"q" "TAYIAKXRQIS" in
+  let matrix = Scoring.Matrices.pam30 and gap = Scoring.Gap.linear 10 in
+  let engine =
+    Oasis.Engine.Mem.create ~source:tree ~db ~query:q
+      (Oasis.Engine.config ~matrix ~gap ~min_score:10 ())
+  in
+  let hits = Oasis.Engine.Mem.run engine in
+  let sw, _ =
+    Align.Smith_waterman.search ~matrix ~gap ~query:q ~db ~min_score:10
+  in
+  Alcotest.(check int) "hit counts agree" (List.length sw) (List.length hits)
+
+let test_query_longer_than_database () =
+  let db = db_of_strings [ "ACGT"; "TT" ] in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let q =
+    Bioseq.Sequence.make ~alphabet:dna ~id:"q"
+      (String.concat "" (List.init 20 (fun _ -> "ACGT")))
+  in
+  let engine =
+    Oasis.Engine.Mem.create ~source:tree ~db ~query:q
+      (Oasis.Engine.config ~matrix:unit_matrix ~gap:gap1 ~min_score:3 ())
+  in
+  let hits = Oasis.Engine.Mem.run engine in
+  Alcotest.(check (list (pair int int))) "only the 4-symbol match"
+    [ (0, 4) ]
+    (List.map (fun h -> (h.Oasis.Hit.seq_index, h.Oasis.Hit.score)) hits)
+
+let test_min_score_unreachable () =
+  let db = db_of_strings [ "ACGTACGT" ] in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let q = Bioseq.Sequence.make ~alphabet:dna ~id:"q" "ACGT" in
+  let engine =
+    Oasis.Engine.Mem.create ~source:tree ~db ~query:q
+      (Oasis.Engine.config ~matrix:unit_matrix ~gap:gap1 ~min_score:1000 ())
+  in
+  Alcotest.(check (list unit)) "no hits" []
+    (List.map ignore (Oasis.Engine.Mem.run engine));
+  let c = Oasis.Engine.Mem.counters engine in
+  (* The root is pruned outright: no expansion should happen. *)
+  Alcotest.(check int) "no columns" 0 c.Oasis.Engine.columns
+
+let test_single_symbol_query () =
+  let db = db_of_strings [ "GGAGG"; "TTTT" ] in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let q = Bioseq.Sequence.make ~alphabet:dna ~id:"q" "A" in
+  let engine =
+    Oasis.Engine.Mem.create ~source:tree ~db ~query:q
+      (Oasis.Engine.config ~matrix:unit_matrix ~gap:gap1 ~min_score:1 ())
+  in
+  let hits = Oasis.Engine.Mem.run engine in
+  Alcotest.(check (list (pair int int))) "single A found" [ (0, 1) ]
+    (List.map (fun h -> (h.Oasis.Hit.seq_index, h.Oasis.Hit.score)) hits)
+
+let test_run_limit_prefix () =
+  (* run ~limit:k must be the prefix of the full online stream. *)
+  let db = db_of_strings [ "AGTACGCCTAG"; "TACG"; "TACC"; "GGGG"; "TAGG"; "ATAT" ] in
+  let q = Bioseq.Sequence.make ~alphabet:dna ~id:"q" "TACG" in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let cfg = Oasis.Engine.config ~matrix:unit_matrix ~gap:gap1 ~min_score:1 () in
+  let full =
+    Oasis.Engine.Mem.run (Oasis.Engine.Mem.create ~source:tree ~db ~query:q cfg)
+  in
+  for k = 0 to List.length full do
+    let prefix =
+      Oasis.Engine.Mem.run ~limit:k
+        (Oasis.Engine.Mem.create ~source:tree ~db ~query:q cfg)
+    in
+    Alcotest.(check int) (Printf.sprintf "limit %d" k) k (List.length prefix);
+    List.iteri
+      (fun i h ->
+        let f = List.nth full i in
+        Alcotest.(check (pair int int))
+          (Printf.sprintf "prefix element %d" i)
+          (f.Oasis.Hit.seq_index, f.Oasis.Hit.score)
+          (h.Oasis.Hit.seq_index, h.Oasis.Hit.score))
+      prefix
+  done
+
+let test_peek_bound_monotone () =
+  let db = db_of_strings [ "AGTACGCCTAG"; "TACG"; "CCCCTACGCCCC"; "GATTACA" ] in
+  let q = Bioseq.Sequence.make ~alphabet:dna ~id:"q" "TACG" in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let engine =
+    Oasis.Engine.Mem.create ~source:tree ~db ~query:q
+      (Oasis.Engine.config ~matrix:unit_matrix ~gap:gap1 ~min_score:1 ())
+  in
+  let rec drain last =
+    match Oasis.Engine.Mem.peek_bound engine with
+    | None -> ()
+    | Some bound ->
+      Alcotest.(check bool) "bound non-increasing" true (bound <= last);
+      (match Oasis.Engine.Mem.next engine with
+      | None -> ()
+      | Some hit ->
+        Alcotest.(check bool) "hit within bound" true (hit.Oasis.Hit.score <= bound);
+        drain bound)
+  in
+  drain max_int
+
+let () =
+  Alcotest.run "stress"
+    [
+      ( "degenerate",
+        [
+          Alcotest.test_case "60k single-symbol run" `Slow test_degenerate_run;
+          Alcotest.test_case "30k run through disk tree" `Slow
+            test_degenerate_disk_tree;
+          Alcotest.test_case "8k tiny sequences" `Slow test_many_tiny_sequences;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "ambiguity codes" `Quick test_ambiguity_codes;
+          Alcotest.test_case "query longer than database" `Quick
+            test_query_longer_than_database;
+          Alcotest.test_case "unreachable min_score" `Quick
+            test_min_score_unreachable;
+          Alcotest.test_case "single-symbol query" `Quick test_single_symbol_query;
+          Alcotest.test_case "run limit is a prefix" `Quick test_run_limit_prefix;
+          Alcotest.test_case "peek_bound monotone" `Quick test_peek_bound_monotone;
+        ] );
+    ]

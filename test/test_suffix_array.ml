@@ -1,0 +1,139 @@
+(* Suffix arrays: construction, pattern lookup vs the suffix tree and a
+   naive scan, LCP array correctness. *)
+
+let alpha = Bioseq.Alphabet.dna
+
+let db_of_strings strings =
+  Bioseq.Database.make
+    (List.mapi
+       (fun i s -> Bioseq.Sequence.make ~alphabet:alpha ~id:(Printf.sprintf "s%d" i) s)
+       strings)
+
+let test_sorted_order () =
+  let db = db_of_strings [ "AGTACGCCTAG" ] in
+  let sa = Suffix_tree.Suffix_array.build db in
+  let data = Bioseq.Database.data db in
+  let n = Bytes.length data in
+  Alcotest.(check int) "length" n (Suffix_tree.Suffix_array.length sa);
+  let suffix r =
+    let pos = Suffix_tree.Suffix_array.suffix_at sa r in
+    Bytes.sub_string data pos (n - pos)
+  in
+  for r = 1 to n - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "rank %d < rank %d" (r - 1) r)
+      true
+      (String.compare (suffix (r - 1)) (suffix r) < 0)
+  done
+
+let test_rank_inverse () =
+  let db = db_of_strings [ "ACGTACGT"; "GATTACA" ] in
+  let sa = Suffix_tree.Suffix_array.build db in
+  for r = 0 to Suffix_tree.Suffix_array.length sa - 1 do
+    Alcotest.(check int) "rank_of inverts suffix_at" r
+      (Suffix_tree.Suffix_array.rank_of sa (Suffix_tree.Suffix_array.suffix_at sa r))
+  done
+
+let test_find_matches_tree () =
+  let db = db_of_strings [ "AGTACGCCTAG"; "TACG"; "GATTACA" ] in
+  let sa = Suffix_tree.Suffix_array.build db in
+  let tree = Suffix_tree.Ukkonen.build db in
+  List.iter
+    (fun pattern ->
+      let p = Bioseq.Alphabet.encode alpha pattern in
+      Alcotest.(check (list int))
+        (Printf.sprintf "find %S" pattern)
+        (Suffix_tree.Tree.find_exact tree p)
+        (Suffix_tree.Suffix_array.find sa p))
+    [ "TACG"; "A"; "GG"; "GATTACA"; "CCC"; "TAG" ]
+
+let test_interval_absent () =
+  let db = db_of_strings [ "AAAA" ] in
+  let sa = Suffix_tree.Suffix_array.build db in
+  Alcotest.(check bool) "absent pattern" true
+    (Suffix_tree.Suffix_array.interval sa (Bioseq.Alphabet.encode alpha "C") = None)
+
+let test_lcp_kasai () =
+  let db = db_of_strings [ "AGTACGCCTAG" ] in
+  let sa = Suffix_tree.Suffix_array.build db in
+  let data = Bioseq.Database.data db in
+  let n = Bytes.length data in
+  let lcp = Suffix_tree.Suffix_array.lcp_array sa in
+  let common_prefix a b =
+    let rec go i =
+      if a + i < n && b + i < n && Bytes.get data (a + i) = Bytes.get data (b + i)
+      then go (i + 1)
+      else i
+    in
+    go 0
+  in
+  Alcotest.(check int) "lcp.(0)" 0 lcp.(0);
+  for r = 1 to n - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "lcp rank %d" r)
+      (common_prefix
+         (Suffix_tree.Suffix_array.suffix_at sa (r - 1))
+         (Suffix_tree.Suffix_array.suffix_at sa r))
+      lcp.(r)
+  done
+
+let random_db_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 5)
+      (string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range 1 30)))
+
+let qcheck_find_equals_tree =
+  QCheck.Test.make ~count:200 ~name:"suffix array find = suffix tree find"
+    (QCheck.make
+       QCheck.Gen.(
+         pair random_db_gen
+           (string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range 1 6)))
+       ~print:(fun (ss, p) -> String.concat "/" ss ^ " ? " ^ p))
+    (fun (strings, pattern) ->
+      let db = db_of_strings strings in
+      let sa = Suffix_tree.Suffix_array.build db in
+      let tree = Suffix_tree.Ukkonen.build db in
+      let p = Bioseq.Alphabet.encode alpha pattern in
+      Suffix_tree.Suffix_array.find sa p = Suffix_tree.Tree.find_exact tree p)
+
+let qcheck_order_and_lcp =
+  QCheck.Test.make ~count:150 ~name:"suffix order and LCP on random databases"
+    (QCheck.make random_db_gen ~print:(String.concat "/"))
+    (fun strings ->
+      let db = db_of_strings strings in
+      let sa = Suffix_tree.Suffix_array.build db in
+      let data = Bioseq.Database.data db in
+      let n = Bytes.length data in
+      let suffix r =
+        let pos = Suffix_tree.Suffix_array.suffix_at sa r in
+        Bytes.sub_string data pos (n - pos)
+      in
+      let lcp = Suffix_tree.Suffix_array.lcp_array sa in
+      let ok = ref true in
+      for r = 1 to n - 1 do
+        let a = suffix (r - 1) and b = suffix r in
+        if String.compare a b >= 0 then ok := false;
+        let rec common i =
+          if i < String.length a && i < String.length b && a.[i] = b.[i] then
+            common (i + 1)
+          else i
+        in
+        if lcp.(r) <> common 0 then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "suffix_array"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "sorted order" `Quick test_sorted_order;
+          Alcotest.test_case "rank inverse" `Quick test_rank_inverse;
+          Alcotest.test_case "find matches tree" `Quick test_find_matches_tree;
+          Alcotest.test_case "absent interval" `Quick test_interval_absent;
+          Alcotest.test_case "kasai lcp" `Quick test_lcp_kasai;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_find_equals_tree; qcheck_order_and_lcp ] );
+    ]

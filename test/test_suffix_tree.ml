@@ -1,0 +1,305 @@
+(* Suffix tree construction and queries: paper example, randomized
+   validation, Ukkonen vs partitioned equivalence. *)
+
+let alpha = Bioseq.Alphabet.dna
+
+let db_of_strings strings =
+  Bioseq.Database.make
+    (List.mapi
+       (fun i s -> Bioseq.Sequence.make ~alphabet:alpha ~id:(Printf.sprintf "s%d" i) s)
+       strings)
+
+let naive_occurrences db pattern =
+  (* All global positions where [pattern] occurs inside one sequence. *)
+  let out = ref [] in
+  for i = 0 to Bioseq.Database.num_sequences db - 1 do
+    let s = Bioseq.Database.seq db i in
+    let text = Bioseq.Sequence.to_string s in
+    let base = Bioseq.Database.seq_start db i in
+    let plen = String.length pattern and tlen = String.length text in
+    for pos = 0 to tlen - plen do
+      if String.sub text pos plen = pattern then out := (base + pos) :: !out
+    done
+  done;
+  List.sort compare !out
+
+let check_tree_matches_naive db tree =
+  (match Suffix_tree.Tree.validate tree with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "validate: %s" msg);
+  (* Exact-match equivalence on a sample of substrings. *)
+  for i = 0 to Bioseq.Database.num_sequences db - 1 do
+    let s = Bioseq.Database.seq db i in
+    let text = Bioseq.Sequence.to_string s in
+    let n = String.length text in
+    for start = 0 to min 3 (n - 1) do
+      for len = 1 to min 5 (n - start) do
+        let pattern = String.sub text start len in
+        let expected = naive_occurrences db pattern in
+        let got =
+          Suffix_tree.Tree.find_exact tree (Bioseq.Alphabet.encode alpha pattern)
+        in
+        Alcotest.(check (list int))
+          (Printf.sprintf "occurrences of %S" pattern)
+          expected got
+      done
+    done
+  done
+
+(* --- Paper example: Figure 2, sequence AGTACGCCTAG --- *)
+
+let paper_db () = db_of_strings [ "AGTACGCCTAG" ]
+
+let test_paper_figure2 () =
+  let db = paper_db () in
+  let tree = Suffix_tree.Ukkonen.build db in
+  (match Suffix_tree.Tree.validate tree with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "validate: %s" msg);
+  let stats = Suffix_tree.Tree.stats tree in
+  (* 12 suffixes: AGTACGCCTAG$ ... $ *)
+  Alcotest.(check int) "occurrences" 12 stats.Suffix_tree.Tree.occurrences;
+  (* TACG occurs at position 2 (§2.3.1). *)
+  let positions =
+    Suffix_tree.Tree.find_exact tree (Bioseq.Alphabet.encode alpha "TACG")
+  in
+  Alcotest.(check (list int)) "TACG" [ 2 ] positions;
+  (* AG occurs at 0 and 9. *)
+  let positions =
+    Suffix_tree.Tree.find_exact tree (Bioseq.Alphabet.encode alpha "AG")
+  in
+  Alcotest.(check (list int)) "AG" [ 0; 9 ] positions;
+  (* Absent pattern. *)
+  let positions =
+    Suffix_tree.Tree.find_exact tree (Bioseq.Alphabet.encode alpha "GGG")
+  in
+  Alcotest.(check (list int)) "GGG" [] positions
+
+let test_multi_sequence () =
+  let db = db_of_strings [ "ACGTACGT"; "CGTA"; "TTTT" ] in
+  let tree = Suffix_tree.Ukkonen.build db in
+  check_tree_matches_naive db tree;
+  let occurrences =
+    Suffix_tree.Tree.find_exact tree (Bioseq.Alphabet.encode alpha "CGTA")
+  in
+  (* In s0 at global 1, and s1 is entirely CGTA at global 9. *)
+  Alcotest.(check (list int)) "CGTA" [ 1; 9 ] occurrences
+
+let test_duplicate_sequences () =
+  (* Identical sequences exercise the implicit-suffix patch path. *)
+  let db = db_of_strings [ "ACGT"; "ACGT"; "GT" ] in
+  let tree = Suffix_tree.Ukkonen.build db in
+  check_tree_matches_naive db tree;
+  let occurrences =
+    Suffix_tree.Tree.find_exact tree (Bioseq.Alphabet.encode alpha "GT")
+  in
+  Alcotest.(check (list int)) "GT" [ 2; 7; 10 ] occurrences
+
+let test_repetitive () =
+  let db = db_of_strings [ "AAAAAAAAAA"; "AAAA" ] in
+  let tree = Suffix_tree.Ukkonen.build db in
+  check_tree_matches_naive db tree
+
+let test_mccreight_basics () =
+  let db = db_of_strings [ "AGTACGCCTAG"; "TACG"; "ACGT"; "ACGT" ] in
+  let tree = Suffix_tree.Mccreight.build db in
+  check_tree_matches_naive db tree;
+  Alcotest.(check bool) "same stats as ukkonen" true
+    (Suffix_tree.Tree.stats tree
+    = Suffix_tree.Tree.stats (Suffix_tree.Ukkonen.build db))
+
+let test_path_helpers () =
+  let db = paper_db () in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let strings =
+    Suffix_tree.Tree.fold tree ~init:[] ~f:(fun acc ~depth:_ node ->
+        Suffix_tree.Tree.path_string tree node :: acc)
+  in
+  (* Every leaf path is a suffix followed by '$'. *)
+  List.iter
+    (fun s ->
+      if String.length s > 0 && s.[String.length s - 1] = '$' then begin
+        let body = String.sub s 0 (String.length s - 1) in
+        let text = "AGTACGCCTAG" in
+        let is_suffix =
+          String.length body <= String.length text
+          && String.sub text (String.length text - String.length body)
+               (String.length body)
+             = body
+        in
+        Alcotest.(check bool) (Printf.sprintf "%S is a suffix" body) true is_suffix
+      end)
+    strings
+
+(* --- Incremental updates (Ukkonen.extend) --- *)
+
+let test_extend_matches_batch () =
+  let db0 = db_of_strings [ "ACGTACGT"; "CGTA" ] in
+  let tree0 = Suffix_tree.Ukkonen.build db0 in
+  let extra =
+    [
+      Bioseq.Sequence.make ~alphabet:alpha ~id:"s2" "TTACGTT";
+      Bioseq.Sequence.make ~alphabet:alpha ~id:"s3" "CGTA" (* duplicate *);
+    ]
+  in
+  let db1 = Bioseq.Database.append db0 extra in
+  let tree1 = Suffix_tree.Ukkonen.extend tree0 db1 in
+  check_tree_matches_naive db1 tree1;
+  let batch = Suffix_tree.Ukkonen.build db1 in
+  Alcotest.(check bool) "stats equal batch build" true
+    (Suffix_tree.Tree.stats tree1 = Suffix_tree.Tree.stats batch)
+
+let test_extend_rejects_non_extension () =
+  let tree = Suffix_tree.Ukkonen.build (db_of_strings [ "ACGT" ]) in
+  let other = db_of_strings [ "TTTT" ] in
+  (try
+     ignore (Suffix_tree.Ukkonen.extend tree other);
+     Alcotest.fail "accepted a non-extension"
+   with Invalid_argument _ -> ())
+
+let qcheck_extend_equals_batch =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 1 4)
+           (string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range 1 20)))
+        (list_size (int_range 1 4)
+           (string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range 1 20))))
+  in
+  QCheck.Test.make ~count:200 ~name:"incremental build equals batch build"
+    (QCheck.make gen ~print:(fun (a, b) ->
+         String.concat "/" a ^ " + " ^ String.concat "/" b))
+    (fun (first, second) ->
+      let db0 = db_of_strings first in
+      let tree0 = Suffix_tree.Ukkonen.build db0 in
+      let extra =
+        List.mapi
+          (fun i s ->
+            Bioseq.Sequence.make ~alphabet:alpha ~id:(Printf.sprintf "x%d" i) s)
+          second
+      in
+      let db1 = Bioseq.Database.append db0 extra in
+      let tree1 = Suffix_tree.Ukkonen.extend tree0 db1 in
+      match Suffix_tree.Tree.validate tree1 with
+      | Error msg -> QCheck.Test.fail_reportf "invalid: %s" msg
+      | Ok () ->
+        let batch = Suffix_tree.Ukkonen.build db1 in
+        Suffix_tree.Tree.stats tree1 = Suffix_tree.Tree.stats batch)
+
+(* --- Randomized construction checks --- *)
+
+let random_db_gen =
+  let open QCheck.Gen in
+  let seq_gen =
+    let* len = int_range 1 30 in
+    string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (return len)
+  in
+  let* n = int_range 1 6 in
+  list_size (return n) seq_gen
+
+let qcheck_ukkonen_valid =
+  QCheck.Test.make ~count:300 ~name:"ukkonen validates on random databases"
+    (QCheck.make random_db_gen ~print:(String.concat "/"))
+    (fun strings ->
+      let db = db_of_strings strings in
+      let tree = Suffix_tree.Ukkonen.build db in
+      match Suffix_tree.Tree.validate tree with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_reportf "invalid tree: %s" msg)
+
+let qcheck_mccreight_valid =
+  QCheck.Test.make ~count:300 ~name:"mccreight validates on random databases"
+    (QCheck.make random_db_gen ~print:(String.concat "/"))
+    (fun strings ->
+      let db = db_of_strings strings in
+      let tree = Suffix_tree.Mccreight.build db in
+      match Suffix_tree.Tree.validate tree with
+      | Ok () -> true
+      | Error msg -> QCheck.Test.fail_reportf "invalid tree: %s" msg)
+
+let qcheck_mccreight_vs_ukkonen =
+  QCheck.Test.make ~count:200 ~name:"mccreight and ukkonen agree structurally"
+    (QCheck.make random_db_gen ~print:(String.concat "/"))
+    (fun strings ->
+      let db = db_of_strings strings in
+      let a = Suffix_tree.Mccreight.build db in
+      let b = Suffix_tree.Ukkonen.build db in
+      Suffix_tree.Tree.stats a = Suffix_tree.Tree.stats b)
+
+let qcheck_ukkonen_vs_partitioned =
+  QCheck.Test.make ~count:150
+    ~name:"ukkonen and partitioned builds agree structurally"
+    (QCheck.make random_db_gen ~print:(String.concat "/"))
+    (fun strings ->
+      let db = db_of_strings strings in
+      let a = Suffix_tree.Ukkonen.build db in
+      let b = Suffix_tree.Partitioned.build ~prefix_len:2 db in
+      let sa = Suffix_tree.Tree.stats a and sb = Suffix_tree.Tree.stats b in
+      if sa <> sb then
+        QCheck.Test.fail_reportf
+          "stats differ: ukkonen (int=%d leaves=%d occ=%d depth=%d) vs \
+           partitioned (int=%d leaves=%d occ=%d depth=%d)"
+          sa.Suffix_tree.Tree.internal_nodes sa.leaves sa.occurrences
+          sa.max_depth sb.Suffix_tree.Tree.internal_nodes sb.leaves
+          sb.occurrences sb.max_depth
+      else true)
+
+let qcheck_find_exact =
+  QCheck.Test.make ~count:200 ~name:"find_exact matches naive scan"
+    (QCheck.make
+       QCheck.Gen.(
+         pair random_db_gen
+           (string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range 1 6)))
+       ~print:(fun (ss, p) -> String.concat "/" ss ^ " ? " ^ p))
+    (fun (strings, pattern) ->
+      let db = db_of_strings strings in
+      let tree = Suffix_tree.Ukkonen.build db in
+      let got =
+        Suffix_tree.Tree.find_exact tree (Bioseq.Alphabet.encode alpha pattern)
+      in
+      let expected = naive_occurrences db pattern in
+      if got <> expected then
+        QCheck.Test.fail_reportf "got [%s], expected [%s]"
+          (String.concat ";" (List.map string_of_int got))
+          (String.concat ";" (List.map string_of_int expected))
+      else true)
+
+let qcheck_partition_cover =
+  QCheck.Test.make ~count:100 ~name:"partitions cover every suffix exactly once"
+    (QCheck.make random_db_gen ~print:(String.concat "/"))
+    (fun strings ->
+      let db = db_of_strings strings in
+      let buckets, short = Suffix_tree.Partitioned.partitions ~prefix_len:2 db in
+      let all =
+        short @ Array.fold_left (fun acc b -> acc @ b) [] buckets
+        |> List.sort compare
+      in
+      all = List.init (Bioseq.Database.data_length db) Fun.id)
+
+let () =
+  Alcotest.run "suffix_tree"
+    [
+      ( "examples",
+        [
+          Alcotest.test_case "paper figure 2" `Quick test_paper_figure2;
+          Alcotest.test_case "multi-sequence" `Quick test_multi_sequence;
+          Alcotest.test_case "duplicate sequences" `Quick test_duplicate_sequences;
+          Alcotest.test_case "repetitive" `Quick test_repetitive;
+          Alcotest.test_case "mccreight" `Quick test_mccreight_basics;
+          Alcotest.test_case "path helpers" `Quick test_path_helpers;
+          Alcotest.test_case "incremental extend" `Quick test_extend_matches_batch;
+          Alcotest.test_case "extend rejects non-extension" `Quick
+            test_extend_rejects_non_extension;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_ukkonen_valid;
+            qcheck_ukkonen_vs_partitioned;
+            qcheck_find_exact;
+            qcheck_partition_cover;
+            qcheck_extend_equals_batch;
+            qcheck_mccreight_valid;
+            qcheck_mccreight_vs_ukkonen;
+          ] );
+    ]

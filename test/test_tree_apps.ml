@@ -1,0 +1,226 @@
+(* Suffix-tree applications: visualization export, repeat analysis,
+   maximal unique matches — the §5 related-work applications built on
+   the same substrate. *)
+
+let alpha = Bioseq.Alphabet.dna
+
+let db_of_strings strings =
+  Bioseq.Database.make
+    (List.mapi
+       (fun i s -> Bioseq.Sequence.make ~alphabet:alpha ~id:(Printf.sprintf "s%d" i) s)
+       strings)
+
+let contains text needle =
+  let nl = String.length needle and tl = String.length text in
+  let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+  go 0
+
+(* --- Export --- *)
+
+let test_ascii_figure2 () =
+  (* The paper's Figure 2 tree over AGTACGCCTAG. *)
+  let tree = Suffix_tree.Ukkonen.build (db_of_strings [ "AGTACGCCTAG" ]) in
+  let art = Suffix_tree.Export.to_ascii tree in
+  Alcotest.(check bool) "root" true (contains art "0N\n");
+  (* The paper's path examples: path(5N) = AG, and TAG$ ends at leaf 8. *)
+  Alcotest.(check bool) "AG arc" true (contains art "AG");
+  Alcotest.(check bool) "leaf 8 via TAG$" true (contains art "G$ -> 8L");
+  (* All 12 leaves appear. *)
+  for p = 0 to 11 do
+    Alcotest.(check bool)
+      (Printf.sprintf "leaf %d" p)
+      true
+      (contains art (Printf.sprintf "%dL" p))
+  done
+
+let test_dot_well_formed () =
+  let tree = Suffix_tree.Ukkonen.build (db_of_strings [ "AGTACG"; "TACG" ]) in
+  let dot = Suffix_tree.Export.to_dot ~name:"fig2" tree in
+  Alcotest.(check bool) "digraph" true (contains dot "digraph fig2 {");
+  Alcotest.(check bool) "closed" true (contains dot "}\n");
+  Alcotest.(check bool) "edges" true (contains dot "->");
+  Alcotest.(check bool) "terminator rendered" true (contains dot "$")
+
+(* --- Repeats --- *)
+
+let test_repeats_simple () =
+  (* ABAB over DNA letters: ACAC contains repeat AC (positions 0, 2). *)
+  let tree = Suffix_tree.Ukkonen.build (db_of_strings [ "ACAC" ]) in
+  let repeats = Suffix_tree.Repeats.all ~min_length:2 tree in
+  match
+    List.find_opt (fun r -> r.Suffix_tree.Repeats.text = "AC") repeats
+  with
+  | Some r ->
+    Alcotest.(check (list int)) "positions" [ 0; 2 ] r.Suffix_tree.Repeats.positions
+  | None -> Alcotest.fail "repeat AC not found"
+
+let test_repeats_maximal () =
+  (* In GTACGTACC, GTAC repeats (maximal); TAC also repeats but every
+     occurrence is preceded by G, so it is not left-maximal. *)
+  let tree = Suffix_tree.Ukkonen.build (db_of_strings [ "GTACGTACC" ]) in
+  let all = Suffix_tree.Repeats.all ~min_length:3 tree in
+  let maximal = Suffix_tree.Repeats.maximal ~min_length:3 tree in
+  let texts rs = List.map (fun r -> r.Suffix_tree.Repeats.text) rs in
+  Alcotest.(check bool) "TAC is a repeat" true (List.mem "TAC" (texts all));
+  Alcotest.(check bool) "GTAC is maximal" true (List.mem "GTAC" (texts maximal));
+  Alcotest.(check bool) "TAC is not left-maximal" false
+    (List.mem "TAC" (texts maximal))
+
+let qcheck_repeats_sound =
+  let gen =
+    QCheck.Gen.(string_size ~gen:(oneofl [ 'A'; 'C'; 'G' ]) (int_range 4 40))
+  in
+  QCheck.Test.make ~count:200 ~name:"every reported repeat really repeats"
+    (QCheck.make gen ~print:Fun.id)
+    (fun text ->
+      let tree = Suffix_tree.Ukkonen.build (db_of_strings [ text ]) in
+      let repeats = Suffix_tree.Repeats.all ~min_length:2 tree in
+      List.for_all
+        (fun r ->
+          List.length r.Suffix_tree.Repeats.positions >= 2
+          && List.for_all
+               (fun p ->
+                 p + r.Suffix_tree.Repeats.length <= String.length text
+                 && String.sub text p r.Suffix_tree.Repeats.length
+                    = r.Suffix_tree.Repeats.text)
+               r.Suffix_tree.Repeats.positions)
+        repeats)
+
+let qcheck_repeats_complete =
+  (* Brute force: every substring occurring >= 2 times must appear as a
+     prefix of some reported right-maximal repeat occurrence set. *)
+  let gen =
+    QCheck.Gen.(string_size ~gen:(oneofl [ 'A'; 'C' ]) (int_range 4 20))
+  in
+  QCheck.Test.make ~count:100 ~name:"repeated substrings are covered"
+    (QCheck.make gen ~print:Fun.id)
+    (fun text ->
+      let n = String.length text in
+      let tree = Suffix_tree.Ukkonen.build (db_of_strings [ text ]) in
+      let repeats = Suffix_tree.Repeats.all ~min_length:2 tree in
+      let ok = ref true in
+      for len = 2 to n - 1 do
+        for pos = 0 to n - len do
+          let sub = String.sub text pos len in
+          let occurrences = ref [] in
+          for p = 0 to n - len do
+            if String.sub text p len = sub then occurrences := p :: !occurrences
+          done;
+          if List.length !occurrences >= 2 then begin
+            (* Some repeat of length >= len must cover this substring's
+               occurrence set as prefixes. *)
+            let covered =
+              List.exists
+                (fun r ->
+                  r.Suffix_tree.Repeats.length >= len
+                  && String.sub r.Suffix_tree.Repeats.text 0 len = sub)
+                repeats
+            in
+            if not covered then ok := false
+          end
+        done
+      done;
+      !ok)
+
+(* --- MUMs --- *)
+
+let seq id text = Bioseq.Sequence.make ~alphabet:alpha ~id text
+
+(* Brute-force MUM oracle. *)
+let brute_mums ?(min_length = 3) a b =
+  let la = String.length a and lb = String.length b in
+  let occurrences s sub =
+    let n = String.length s and m = String.length sub in
+    let out = ref [] in
+    for p = 0 to n - m do
+      if String.sub s p m = sub then out := p :: !out
+    done;
+    List.rev !out
+  in
+  let mums = ref [] in
+  for pa = 0 to la - 1 do
+    for len = min_length to la - pa do
+      let sub = String.sub a pa len in
+      match (occurrences a sub, occurrences b sub) with
+      | [ pa' ], [ pb ] when pa' = pa ->
+        (* Maximality: no extension left or right keeps unique-in-both. *)
+        let left_ext =
+          pa > 0 && pb > 0 && a.[pa - 1] = b.[pb - 1]
+        in
+        let right_ext =
+          pa + len < la && pb + len < lb && a.[pa + len] = b.[pb + len]
+        in
+        if (not left_ext) && not right_ext then
+          mums := (len, pa, pb) :: !mums
+      | _ -> ()
+    done
+  done;
+  List.sort compare !mums
+
+let test_mums_basic () =
+  let a = seq "a" "TTTGATTACAGGG" and b = seq "b" "CCGATTACATT" in
+  let mums = Suffix_tree.Mums.find ~min_length:4 a b in
+  match
+    List.find_opt (fun m -> m.Suffix_tree.Mums.text = "GATTACA") mums
+  with
+  | Some m ->
+    Alcotest.(check int) "pos_a" 3 m.Suffix_tree.Mums.pos_a;
+    Alcotest.(check int) "pos_b" 2 m.Suffix_tree.Mums.pos_b
+  | None -> Alcotest.fail "GATTACA anchor not found"
+
+let test_mums_shared_suffix () =
+  (* Identical sequences: the whole string is the single MUM. *)
+  let a = seq "a" "ACGTAC" and b = seq "b" "ACGTAC" in
+  match Suffix_tree.Mums.find ~min_length:3 a b with
+  | [ m ] ->
+    Alcotest.(check string) "text" "ACGTAC" m.Suffix_tree.Mums.text;
+    Alcotest.(check int) "pos_a" 0 m.Suffix_tree.Mums.pos_a
+  | ms -> Alcotest.failf "expected 1 MUM, got %d" (List.length ms)
+
+let qcheck_mums_match_brute =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range 4 25))
+        (string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range 4 25)))
+  in
+  QCheck.Test.make ~count:300 ~name:"MUMs equal the brute-force oracle"
+    (QCheck.make gen ~print:(fun (a, b) -> a ^ " / " ^ b))
+    (fun (atext, btext) ->
+      let got =
+        Suffix_tree.Mums.find ~min_length:3 (seq "a" atext) (seq "b" btext)
+        |> List.map (fun m ->
+               Suffix_tree.Mums.(m.length, m.pos_a, m.pos_b))
+        |> List.sort compare
+      in
+      let expected = brute_mums ~min_length:3 atext btext in
+      if got <> expected then
+        QCheck.Test.fail_reportf "got [%s] expected [%s]"
+          (String.concat ";"
+             (List.map (fun (l, a, b) -> Printf.sprintf "%d@%d,%d" l a b) got))
+          (String.concat ";"
+             (List.map (fun (l, a, b) -> Printf.sprintf "%d@%d,%d" l a b) expected))
+      else true)
+
+let () =
+  Alcotest.run "tree_apps"
+    [
+      ( "export",
+        [
+          Alcotest.test_case "figure 2 ascii" `Quick test_ascii_figure2;
+          Alcotest.test_case "dot output" `Quick test_dot_well_formed;
+        ] );
+      ( "repeats",
+        [
+          Alcotest.test_case "simple repeat" `Quick test_repeats_simple;
+          Alcotest.test_case "maximality" `Quick test_repeats_maximal;
+        ] );
+      ( "mums",
+        [
+          Alcotest.test_case "anchor" `Quick test_mums_basic;
+          Alcotest.test_case "shared suffix" `Quick test_mums_shared_suffix;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_repeats_sound; qcheck_repeats_complete; qcheck_mums_match_brute ] );
+    ]

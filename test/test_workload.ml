@@ -1,0 +1,282 @@
+(* Workload substrate: RNG determinism, synthetic database shapes,
+   motif sampling. *)
+
+let test_rng_deterministic () =
+  let a = Workload.Rng.create ~seed:42 and b = Workload.Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Workload.Rng.next a) (Workload.Rng.next b)
+  done;
+  let c = Workload.Rng.create ~seed:43 in
+  Alcotest.(check bool) "different seed, different stream" true
+    (Workload.Rng.next c <> Workload.Rng.next (Workload.Rng.create ~seed:42))
+
+let test_rng_int_range () =
+  let rng = Workload.Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Workload.Rng.int rng 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done
+
+let test_rng_float_and_bool () =
+  let rng = Workload.Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Workload.Rng.float rng 2.5 in
+    Alcotest.(check bool) "float in range" true (v >= 0. && v < 2.5)
+  done;
+  let rng = Workload.Rng.create ~seed:8 in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Workload.Rng.bool rng ~p:0.3 then incr trues
+  done;
+  Alcotest.(check bool) "bool frequency ~ p" true
+    (!trues > 2600 && !trues < 3400)
+
+let test_rng_weighted () =
+  let rng = Workload.Rng.create ~seed:9 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 30_000 do
+    let i = Workload.Rng.choose_weighted rng [| 1.0; 2.0; 1.0 |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "middle drawn about twice as often" true
+    (counts.(1) > counts.(0) + counts.(2) - 3000
+    && counts.(1) < counts.(0) + counts.(2) + 3000);
+  Alcotest.check_raises "zero weights"
+    (Invalid_argument "Rng.choose_weighted: zero total weight") (fun () ->
+      ignore (Workload.Rng.choose_weighted rng [| 0.; 0. |]))
+
+let test_rng_gaussian_moments () =
+  let rng = Workload.Rng.create ~seed:10 in
+  let n = 20_000 in
+  let sum = ref 0. and sumsq = ref 0. in
+  for _ = 1 to n do
+    let v = Workload.Rng.gaussian rng in
+    sum := !sum +. v;
+    sumsq := !sumsq +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean ~ 0" true (abs_float mean < 0.05);
+  Alcotest.(check bool) "variance ~ 1" true (abs_float (var -. 1.) < 0.1)
+
+(* --- Generators --- *)
+
+let test_swissprot_lengths () =
+  let rng = Workload.Rng.create ~seed:1 in
+  let n = 5000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    let len = Workload.Generate.swissprot_length rng in
+    Alcotest.(check bool) "in SWISS-PROT range" true (len >= 7 && len <= 2048);
+    total := !total + len
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  (* SWISS-PROT's mean is ~370; accept a generous window. *)
+  Alcotest.(check bool) (Printf.sprintf "mean %.0f plausible" mean) true
+    (mean > 250. && mean < 500.)
+
+let test_protein_database_shape () =
+  let rng = Workload.Rng.create ~seed:2 in
+  let db = Workload.Generate.protein_database rng ~target_symbols:20_000 () in
+  Alcotest.(check bool) "enough symbols" true
+    (Bioseq.Database.total_symbols db >= 20_000);
+  Alcotest.(check string) "protein alphabet" "protein"
+    (Bioseq.Alphabet.name (Bioseq.Database.alphabet db));
+  (* Residue composition should track Robinson-Robinson: leucine (code
+     10) is the most common residue. *)
+  let freqs = Scoring.Background.of_database db in
+  let argmax = ref 0 in
+  Array.iteri (fun i f -> if f > freqs.(!argmax) then argmax := i) freqs;
+  Alcotest.(check int) "modal residue is L" 10 !argmax
+
+let test_dna_database_gc () =
+  let rng = Workload.Rng.create ~seed:3 in
+  let db =
+    Workload.Generate.dna_database rng ~gc:0.7 ~num_sequences:4
+      ~target_symbols:40_000 ()
+  in
+  Alcotest.(check int) "sequences" 4 (Bioseq.Database.num_sequences db);
+  Alcotest.(check int) "symbols" 40_000 (Bioseq.Database.total_symbols db);
+  let f = Scoring.Background.of_database db in
+  let gc = f.(1) +. f.(2) in
+  Alcotest.(check bool) (Printf.sprintf "gc %.3f ~ 0.7" gc) true
+    (abs_float (gc -. 0.7) < 0.02)
+
+let test_plant_creates_matches () =
+  let rng = Workload.Rng.create ~seed:4 in
+  let db = Workload.Generate.protein_database rng ~target_symbols:5_000 () in
+  let motif =
+    Bioseq.Sequence.make ~alphabet:Bioseq.Alphabet.protein ~id:"motif"
+      "DKDGDGCITTKEL"
+  in
+  let planted = Workload.Generate.plant rng ~db ~motif ~copies:5 ~mutation_rate:0. in
+  Alcotest.(check int) "same sequence count"
+    (Bioseq.Database.num_sequences db)
+    (Bioseq.Database.num_sequences planted);
+  (* With zero mutations the motif must appear verbatim somewhere. *)
+  let tree = Suffix_tree.Ukkonen.build planted in
+  let occurrences =
+    Suffix_tree.Tree.find_exact tree
+      (Bioseq.Alphabet.encode Bioseq.Alphabet.protein "DKDGDGCITTKEL")
+  in
+  Alcotest.(check bool) "motif present" true (occurrences <> [])
+
+(* --- Motif sampling --- *)
+
+let test_proclass_lengths () =
+  let rng = Workload.Rng.create ~seed:5 in
+  let n = 5000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    let len = Workload.Motif.proclass_length rng in
+    Alcotest.(check bool) "in ProClass range" true (len >= 6 && len <= 56);
+    total := !total + len
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  Alcotest.(check bool) (Printf.sprintf "mean %.1f ~ 16" mean) true
+    (mean > 12. && mean < 20.)
+
+let test_motif_sample_has_strong_match () =
+  let rng = Workload.Rng.create ~seed:6 in
+  let db = Workload.Generate.protein_database rng ~target_symbols:3_000 () in
+  let q = Workload.Motif.sample rng ~db ~len:12 ~mutation_rate:0. ~id:"q" () in
+  Alcotest.(check int) "requested length" 12 (Bioseq.Sequence.length q);
+  (* Unmutated: the motif matches its origin with the full self-score. *)
+  let matrix = Scoring.Matrices.pam30 in
+  let self = ref 0 in
+  for i = 0 to Bioseq.Sequence.length q - 1 do
+    self := !self + Scoring.Submat.score matrix (Bioseq.Sequence.get q i) (Bioseq.Sequence.get q i)
+  done;
+  let hits, _ =
+    Align.Smith_waterman.search ~matrix ~gap:(Scoring.Gap.linear 10) ~query:q
+      ~db ~min_score:!self
+  in
+  Alcotest.(check bool) "origin found at full self-score" true (hits <> [])
+
+let test_workload_count_and_mutation () =
+  let rng = Workload.Rng.create ~seed:7 in
+  let db = Workload.Generate.protein_database rng ~target_symbols:3_000 () in
+  let queries = Workload.Motif.workload rng ~db ~count:25 () in
+  Alcotest.(check int) "count" 25 (List.length queries);
+  List.iter
+    (fun q ->
+      let len = Bioseq.Sequence.length q in
+      Alcotest.(check bool) "length range" true (len >= 6 && len <= 56))
+    queries
+
+let test_mutate_rate () =
+  let rng = Workload.Rng.create ~seed:8 in
+  let s =
+    Bioseq.Sequence.make ~alphabet:Bioseq.Alphabet.protein ~id:"s"
+      (String.concat "" (List.init 50 (fun _ -> "ARNDCQEGHILKMFPSTWYV")))
+  in
+  let m = Workload.Motif.mutate rng ~rate:0.2 s in
+  let diffs = ref 0 in
+  for i = 0 to Bioseq.Sequence.length s - 1 do
+    if Bioseq.Sequence.get s i <> Bioseq.Sequence.get m i then incr diffs
+  done;
+  let rate = float_of_int !diffs /. float_of_int (Bioseq.Sequence.length s) in
+  (* Replacement can redraw the original symbol, so the observed rate is
+     a bit below 0.2. *)
+  Alcotest.(check bool) (Printf.sprintf "rate %.3f ~ 0.19" rate) true
+    (rate > 0.13 && rate < 0.25)
+
+(* --- Empirical Karlin calibration --- *)
+
+let test_calibrate_converges_to_ungapped () =
+  (* A prohibitive gap penalty makes gapped S-W effectively ungapped, so
+     the fitted Gumbel parameters should approach the analytic ones. *)
+  let rng = Workload.Rng.create ~seed:11 in
+  let matrix = Scoring.Matrices.blosum62 in
+  let freqs = Scoring.Background.robinson_robinson in
+  let analytic = Scoring.Karlin.estimate ~matrix ~freqs () in
+  let fitted =
+    Workload.Calibrate.gapped_params rng ~matrix ~gap:(Scoring.Gap.linear 1000)
+      ~freqs ~length:120 ~samples:600 ()
+  in
+  let rel a b = abs_float (a -. b) /. a in
+  Alcotest.(check bool)
+    (Printf.sprintf "lambda %.3f ~ %.3f" fitted.Scoring.Karlin.lambda
+       analytic.Scoring.Karlin.lambda)
+    true
+    (rel analytic.Scoring.Karlin.lambda fitted.Scoring.Karlin.lambda < 0.25)
+
+let test_calibrate_gapped_lambda_lower () =
+  (* Cheap gaps admit more high-scoring chance alignments: lambda must
+     drop relative to the ungapped value. *)
+  let rng = Workload.Rng.create ~seed:12 in
+  let matrix = Scoring.Matrices.blosum62 in
+  let freqs = Scoring.Background.robinson_robinson in
+  let analytic = Scoring.Karlin.estimate ~matrix ~freqs () in
+  let fitted =
+    (* Cheap gaps (open 5, extend 1) push lambda well below the ungapped
+       value even at moderate simulation sizes. *)
+    Workload.Calibrate.gapped_params rng ~matrix
+      ~gap:(Scoring.Gap.affine ~open_cost:5 ~extend_cost:1)
+      ~freqs ~length:150 ~samples:400 ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "gapped lambda %.3f < ungapped %.3f"
+       fitted.Scoring.Karlin.lambda analytic.Scoring.Karlin.lambda)
+    true
+    (fitted.Scoring.Karlin.lambda < analytic.Scoring.Karlin.lambda)
+
+let test_fit_gumbel_recovers_known_law () =
+  (* Draw synthetic Gumbel variates with known lambda/K and check the
+     moment fit recovers them. *)
+  let rng = Workload.Rng.create ~seed:13 in
+  let lambda = 0.3 and kparam = 0.1 in
+  let m = 100 and n = 100 in
+  let mu = log (kparam *. float_of_int m *. float_of_int n) /. lambda in
+  let scores =
+    List.init 4000 (fun _ ->
+        let u = max 1e-12 (Workload.Rng.float rng 1.0) in
+        (* Inverse CDF of the Gumbel law. *)
+        int_of_float (Float.round (mu -. (log (-.log u) /. lambda))))
+  in
+  let fitted = Scoring.Karlin.fit_gumbel ~m ~n scores in
+  Alcotest.(check bool)
+    (Printf.sprintf "lambda %.3f ~ 0.3" fitted.Scoring.Karlin.lambda)
+    true
+    (abs_float (fitted.Scoring.Karlin.lambda -. lambda) < 0.03);
+  Alcotest.(check bool)
+    (Printf.sprintf "K %.3f ~ 0.1" fitted.Scoring.Karlin.k)
+    true
+    (fitted.Scoring.Karlin.k > 0.05 && fitted.Scoring.Karlin.k < 0.2)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "float and bool" `Quick test_rng_float_and_bool;
+          Alcotest.test_case "weighted choice" `Quick test_rng_weighted;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "swissprot lengths" `Quick test_swissprot_lengths;
+          Alcotest.test_case "protein database" `Quick test_protein_database_shape;
+          Alcotest.test_case "dna gc bias" `Quick test_dna_database_gc;
+          Alcotest.test_case "plant" `Quick test_plant_creates_matches;
+        ] );
+      ( "calibrate",
+        [
+          Alcotest.test_case "converges to ungapped" `Slow
+            test_calibrate_converges_to_ungapped;
+          Alcotest.test_case "gapped lambda lower" `Slow
+            test_calibrate_gapped_lambda_lower;
+          Alcotest.test_case "recovers known Gumbel" `Quick
+            test_fit_gumbel_recovers_known_law;
+        ] );
+      ( "motifs",
+        [
+          Alcotest.test_case "proclass lengths" `Quick test_proclass_lengths;
+          Alcotest.test_case "sample has strong match" `Quick
+            test_motif_sample_has_strong_match;
+          Alcotest.test_case "workload" `Quick test_workload_count_and_mutation;
+          Alcotest.test_case "mutation rate" `Quick test_mutate_rate;
+        ] );
+    ]
