@@ -474,7 +474,7 @@ let pool_sweep setup =
       let dt =
         Storage.Disk_tree.open_
           ~alphabet:(Bioseq.Database.alphabet setup.db)
-          ~pool ~symbols ~internal ~leaves
+          ~pool ~symbols ~internal ~leaves ()
       in
       let wall = ref 0. in
       List.iter
@@ -691,7 +691,7 @@ let ablation setup =
       let dt =
         Storage.Disk_tree.open_
           ~alphabet:(Bioseq.Database.alphabet setup.db)
-          ~pool ~symbols ~internal ~leaves
+          ~pool ~symbols ~internal ~leaves ()
       in
       List.iter
         (fun query ->
@@ -940,7 +940,7 @@ let layout_exp setup =
           let dt =
             Storage.Disk_tree.open_
               ~alphabet:(Bioseq.Database.alphabet setup.db)
-              ~pool ~symbols ~internal ~leaves
+              ~pool ~symbols ~internal ~leaves ()
           in
           List.iter
             (fun query ->

@@ -170,7 +170,8 @@ let gap_of gap_penalty gap_open =
 
 let search_cmd =
   let run fasta alphabet index_dir query_text matrix gap_penalty gap_open
-      min_score evalue top with_alignments evalue_order format buffer_blocks =
+      min_score evalue top with_alignments evalue_order format buffer_blocks
+      max_columns max_nodes time_limit =
     let seqs = Bioseq.Fasta.read_file ~alphabet fasta in
     let db = Bioseq.Database.make seqs in
     let query = Bioseq.Sequence.make ~alphabet ~id:"query" query_text in
@@ -194,7 +195,18 @@ let search_cmd =
       | Some _, Some _ ->
         failwith "give at most one of --min-score and --evalue"
     in
-    let config = Oasis.Engine.config ~matrix ~gap ~min_score () in
+    let budget =
+      Oasis.Engine.budget ?max_columns ?max_expanded:max_nodes ?time_limit ()
+    in
+    let config = Oasis.Engine.config ~matrix ~gap ~min_score ~budget () in
+    (* When a budget stops the search early it does so cleanly: printed
+       hits are exact, and the frontier bound says what could remain. *)
+    let report_outcome = function
+      | Oasis.Engine.Exhausted { remaining_bound } ->
+        Printf.printf "# budget exhausted: unreported hits score <= %d\n"
+          remaining_bound
+      | Oasis.Engine.Searching | Oasis.Engine.Complete -> ()
+    in
     let report i hit evalue =
       match format with
       | `Tabular | `Pairwise ->
@@ -257,16 +269,18 @@ let search_cmd =
       (* In-memory index. *)
       let tree = Suffix_tree.Ukkonen.build db in
       let engine = Oasis.Engine.Mem.create ~source:tree ~db ~query config in
-      stream (with_order (module Oasis.Engine.Mem) engine)
+      stream (with_order (module Oasis.Engine.Mem) engine);
+      report_outcome (Oasis.Engine.Mem.outcome engine)
     | Some dir ->
       let sym_p, int_p, leaf_p = index_files dir in
       let symbols = Storage.Device.open_file sym_p
       and internal = Storage.Device.open_file int_p
       and leaves = Storage.Device.open_file leaf_p in
       let pool = Storage.Buffer_pool.create ~block_size:2048 ~capacity:buffer_blocks in
-      let dt = Storage.Disk_tree.open_ ~alphabet ~pool ~symbols ~internal ~leaves in
+      let dt = Storage.Disk_tree.open_ ~alphabet ~pool ~symbols ~internal ~leaves () in
       let engine = Oasis.Engine.Disk.create ~source:dt ~db ~query config in
       stream (with_order (module Oasis.Engine.Disk) engine);
+      report_outcome (Oasis.Engine.Disk.outcome engine);
       List.iter
         (fun (name, comp) ->
           let s = Storage.Disk_tree.component_stats dt comp in
@@ -332,13 +346,28 @@ let search_cmd =
     Arg.(value & opt int 4096 & info [ "buffer-blocks" ] ~docv:"N"
            ~doc:"Buffer pool capacity in 2K blocks (disk index only).")
   in
+  let max_columns =
+    Arg.(value & opt (some int) None & info [ "max-columns" ] ~docv:"N"
+           ~doc:"Search budget: stop after N dynamic-programming columns. \
+                 Hits printed before the stop are exact; a final comment \
+                 line bounds what was left unreported.")
+  in
+  let max_nodes =
+    Arg.(value & opt (some int) None & info [ "max-nodes" ] ~docv:"N"
+           ~doc:"Search budget: stop after N node expansions.")
+  in
+  let time_limit =
+    Arg.(value & opt (some float) None & info [ "time-limit" ] ~docv:"SECONDS"
+           ~doc:"Search budget: stop after this much wall-clock time.")
+  in
   Cmd.v
     (Cmd.info "search"
        ~doc:"Accurate online local-alignment search (the OASIS algorithm).")
     Term.(
       const run $ fasta_arg ~doc:"FASTA database." "db" $ alphabet_arg
       $ index_dir $ query $ matrix $ gap $ gap_open $ min_score $ evalue $ top
-      $ with_alignments $ evalue_order $ format $ buffer_blocks)
+      $ with_alignments $ evalue_order $ format $ buffer_blocks $ max_columns
+      $ max_nodes $ time_limit)
 
 (* --- batch --- *)
 
@@ -500,8 +529,22 @@ let compare_cmd =
 
 (* --- verify-index --- *)
 
+let level_conv =
+  let parse = function
+    | "off" -> Ok `Off
+    | "footer" -> Ok `Footer
+    | "full" -> Ok `Full
+    | other ->
+      Error (`Msg (Printf.sprintf "unknown level %S (off|footer|full)" other))
+  in
+  let print ppf l =
+    Format.pp_print_string ppf
+      (match l with `Off -> "off" | `Footer -> "footer" | `Full -> "full")
+  in
+  Arg.conv (parse, print)
+
 let verify_index_cmd =
-  let run fasta alphabet dir =
+  let run fasta alphabet dir level =
     let seqs = Bioseq.Fasta.read_file ~alphabet fasta in
     let db = Bioseq.Database.make seqs in
     let sym_p, int_p, leaf_p = index_files dir in
@@ -512,26 +555,51 @@ let verify_index_cmd =
       ~finally:(fun () ->
         List.iter Storage.Device.close [ symbols; internal; leaves ])
       (fun () ->
-        (* The symbols component must be exactly the database
-           concatenation. *)
+        (* The symbols payload (footer excluded) must be exactly the
+           database concatenation. *)
         let expected = Bioseq.Database.data db in
-        let buf = Bytes.create (Bytes.length expected) in
-        Storage.Device.pread symbols ~off:0 ~buf;
-        if Storage.Device.length symbols <> Bytes.length expected then begin
+        let sym_payload =
+          match Storage.Footer.read symbols with
+          | Some f -> f.Storage.Footer.payload_length
+          | None -> Storage.Device.length symbols
+        in
+        if sym_payload <> Bytes.length expected then begin
           Printf.eprintf
-            "FAIL: symbols component is %d bytes, database has %d\n"
-            (Storage.Device.length symbols)
-            (Bytes.length expected);
+            "FAIL: symbols component holds %d bytes, database has %d\n"
+            sym_payload (Bytes.length expected);
           exit 1
         end;
+        let buf = Bytes.create (Bytes.length expected) in
+        Storage.Device.pread symbols ~off:0 ~buf;
         if not (Bytes.equal buf expected) then begin
           Printf.eprintf "FAIL: symbols component differs from the FASTA\n";
           exit 1
         end;
         let pool = Storage.Buffer_pool.create ~block_size:2048 ~capacity:4096 in
-        let dt =
-          Storage.Disk_tree.open_ ~alphabet ~pool ~symbols ~internal ~leaves
+        (* Open at footer strength when any checking is on; the Full
+           structural walk runs below so every issue gets printed, not
+           just the first. *)
+        let verify =
+          match level with
+          | `Off -> Storage.Disk_tree.Off
+          | `Footer | `Full -> Storage.Disk_tree.Footer
         in
+        let dt =
+          Storage.Disk_tree.open_ ~verify ~alphabet ~pool ~symbols ~internal
+            ~leaves ()
+        in
+        (if level = `Full then
+           match Storage.Disk_tree.check dt with
+           | [] -> ()
+           | issues ->
+             List.iter
+               (fun i ->
+                 Printf.eprintf "FAIL: %s+%d: %s\n"
+                   (Storage.Disk_tree.component_name
+                      i.Storage.Disk_tree.component)
+                   i.Storage.Disk_tree.offset i.Storage.Disk_tree.message)
+               issues;
+             exit 1);
         match Storage.Disk_tree.validate dt with
         | Ok () ->
           let r = Storage.Disk_tree.size_report dt in
@@ -552,11 +620,19 @@ let verify_index_cmd =
     Arg.(required & opt (some dir) None & info [ "index" ] ~docv:"DIR"
            ~doc:"Index directory to verify.")
   in
+  let level =
+    Arg.(value & opt level_conv `Full & info [ "level" ] ~docv:"LEVEL"
+           ~doc:"Verification strength: off (header magics only), footer \
+                 (per-component length + CRC-32), or full (footer plus the \
+                 defensive structural walk and the semantic validator).")
+  in
   Cmd.v
     (Cmd.info "verify-index"
-       ~doc:"Check an on-disk index's structural integrity against its FASTA \
-             database.")
-    Term.(const run $ fasta_arg ~doc:"FASTA database." "db" $ alphabet_arg $ dir)
+       ~doc:"Check an on-disk index's integrity (footers, CRCs, structure) \
+             against its FASTA database.")
+    Term.(
+      const run $ fasta_arg ~doc:"FASTA database." "db" $ alphabet_arg $ dir
+      $ level)
 
 (* --- stats --- *)
 
@@ -605,15 +681,27 @@ let stats_cmd =
 
 let () =
   let doc = "accurate online local-alignment search (OASIS, VLDB 2003)" in
-  exit
-    (Cmd.eval
-       (Cmd.group (Cmd.info "oasis" ~version:"1.0.0" ~doc)
-          [
-            generate_cmd;
-            index_cmd;
-            search_cmd;
-            batch_cmd;
-            compare_cmd;
-            verify_index_cmd;
-            stats_cmd;
-          ]))
+  let cmd =
+    Cmd.group (Cmd.info "oasis" ~version:"1.0.0" ~doc)
+      [
+        generate_cmd;
+        index_cmd;
+        search_cmd;
+        batch_cmd;
+        compare_cmd;
+        verify_index_cmd;
+        stats_cmd;
+      ]
+  in
+  (* Expected failures print one clean line, not a backtrace. *)
+  try exit (Cmd.eval ~catch:false cmd) with
+  | Storage.Io_error info ->
+    Printf.eprintf "oasis: %s\n" (Storage.Io_error.to_string info);
+    exit 2
+  | Storage.Disk_tree.Corrupt { component; message } ->
+    Printf.eprintf "oasis: corrupt index (%s component): %s\n" component
+      message;
+    exit 2
+  | Failure msg | Invalid_argument msg ->
+    Printf.eprintf "oasis: %s\n" msg;
+    exit 2

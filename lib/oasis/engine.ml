@@ -7,22 +7,46 @@ type options = {
 let default_options =
   { prune_nonpositive = true; prune_dominated = true; heuristic = Heuristic.Safe }
 
+type budget = {
+  max_columns : int option;
+  max_expanded : int option;
+  time_limit : float option;
+}
+
+let unlimited = { max_columns = None; max_expanded = None; time_limit = None }
+
+let budget ?max_columns ?max_expanded ?time_limit () =
+  (match max_columns with
+  | Some l when l < 0 -> invalid_arg "Oasis.Engine.budget: max_columns < 0"
+  | _ -> ());
+  (match max_expanded with
+  | Some l when l < 0 -> invalid_arg "Oasis.Engine.budget: max_expanded < 0"
+  | _ -> ());
+  (match time_limit with
+  | Some s when s < 0. -> invalid_arg "Oasis.Engine.budget: time_limit < 0"
+  | _ -> ());
+  { max_columns; max_expanded; time_limit }
+
 type config = {
   matrix : Scoring.Submat.t;
   gap : Scoring.Gap.t;
   min_score : int;
   options : options;
+  budget : budget;
 }
 
-let config ?(options = default_options) ~matrix ~gap ~min_score () =
-  { matrix; gap; min_score; options }
+let config ?(options = default_options) ?(budget = unlimited) ~matrix ~gap
+    ~min_score () =
+  { matrix; gap; min_score; options; budget }
 
-let config_for_evalue ?(options = default_options) ~matrix ~gap ~params
-    ~query_length ~db_symbols ~evalue () =
+let config_for_evalue ?(options = default_options) ?(budget = unlimited)
+    ~matrix ~gap ~params ~query_length ~db_symbols ~evalue () =
   let min_score =
     Scoring.Karlin.score_for_evalue params ~m:query_length ~n:db_symbols ~evalue
   in
-  { matrix; gap; min_score; options }
+  { matrix; gap; min_score; options; budget }
+
+type outcome = Searching | Complete | Exhausted of { remaining_bound : int }
 
 type trace_event =
   | Popped of {
@@ -85,6 +109,11 @@ module Make (S : Source.S) = struct
     mutable c_pruned : int;
     mutable c_max_queue : int;
     mutable tracer : (trace_event -> unit) option;
+    deadline : float;  (** absolute; [infinity] when no time limit *)
+    mutable exhausted : int option;
+        (** [Some bound] once the budget stopped the search with viable
+            nodes still queued; [bound] is the admissible bound on
+            everything left unreported *)
   }
 
   (* Shared constructor: [rows]/[hvec] come either from a matrix and a
@@ -124,6 +153,11 @@ module Make (S : Source.S) = struct
         c_pruned = 0;
         c_max_queue = 0;
         tracer = None;
+        deadline =
+          (match cfg.budget.time_limit with
+          | None -> infinity
+          | Some s -> Unix.gettimeofday () +. s);
+        exhausted = None;
       }
     in
     (* Algorithm 2: seed the queue with the root. Root B entries are 0
@@ -165,8 +199,8 @@ module Make (S : Source.S) = struct
       ~profile:(Scoring.Pssm.of_query ~matrix:cfg.matrix query)
       cfg
 
-  let create_profile ~source ~db ~profile ?(options = default_options) ~gap
-      ~min_score () =
+  let create_profile ~source ~db ~profile ?(options = default_options)
+      ?(budget = unlimited) ~gap ~min_score () =
     (* The config's matrix slot is irrelevant for profile searches (the
        profile carries all scores); store the unit matrix of the
        profile's alphabet so the record stays self-consistent. *)
@@ -176,6 +210,7 @@ module Make (S : Source.S) = struct
         gap;
         min_score;
         options;
+        budget;
       }
 
   (* Expand one child arc (Algorithm 3) under the fixed gap model.
@@ -464,11 +499,30 @@ module Make (S : Source.S) = struct
     in
     List.iter (fun h -> Queue.add h t.pending) hits
 
+  (* Has the configured budget run out? Checked between queue pops, so a
+     single arc expansion may overshoot [max_columns] by one arc's worth
+     of columns — the stop is clean, not surgical. *)
+  let budget_spent t =
+    let b = t.cfg.budget in
+    (match b.max_columns with Some l -> t.c_columns >= l | None -> false)
+    || (match b.max_expanded with Some l -> t.c_expanded >= l | None -> false)
+    || (t.deadline < infinity && Unix.gettimeofday () >= t.deadline)
+
   let rec next t =
     match Queue.take_opt t.pending with
     | Some hit -> Some hit
     | None ->
       if t.reported_count >= Array.length t.reported_seq then None
+      else if t.exhausted <> None then None
+      else if budget_spent t && Pqueue.length t.pq > 0 then begin
+        (* Stop with the frontier intact: the head priority is an
+           admissible bound on every hit the truncated search would
+           still have reported. *)
+        (match Pqueue.peek_priority t.pq with
+        | Some bound -> t.exhausted <- Some bound
+        | None -> assert false);
+        None
+      end
       else begin
         match Pqueue.pop t.pq with
         | None -> None
@@ -531,6 +585,17 @@ module Make (S : Source.S) = struct
 
   let queue_length t = Pqueue.length t.pq
   let reported t = t.reported_count
+
+  let outcome t =
+    match t.exhausted with
+    | Some remaining_bound -> Exhausted { remaining_bound }
+    | None ->
+      if
+        Queue.is_empty t.pending
+        && (Pqueue.length t.pq = 0
+           || t.reported_count >= Array.length t.reported_seq)
+      then Complete
+      else Searching
 end
 
 module type DRIVER = sig

@@ -27,6 +27,24 @@ type options = {
 
 val default_options : options
 
+type budget = {
+  max_columns : int option;  (** stop after this many DP columns *)
+  max_expanded : int option;  (** stop after this many node expansions *)
+  time_limit : float option;  (** wall-clock seconds from [create] *)
+}
+(** Resource limits for one search. The budget is checked between queue
+    pops, so a stop is clean — no partial hit is ever emitted — but may
+    overshoot by one arc expansion. Because the engine is best-first,
+    truncation degrades gracefully: everything already reported is
+    exact and final, and {!Make.outcome} carries an admissible bound on
+    the score of anything left unreported. *)
+
+val unlimited : budget
+
+val budget :
+  ?max_columns:int -> ?max_expanded:int -> ?time_limit:float -> unit -> budget
+(** Raises [Invalid_argument] on a negative limit. *)
+
 type config = {
   matrix : Scoring.Submat.t;
   gap : Scoring.Gap.t;
@@ -37,10 +55,12 @@ type config = {
           Smith-Waterman under either model. *)
   min_score : int;  (** >= 1 *)
   options : options;
+  budget : budget;
 }
 
 val config :
   ?options:options ->
+  ?budget:budget ->
   matrix:Scoring.Submat.t ->
   gap:Scoring.Gap.t ->
   min_score:int ->
@@ -49,6 +69,7 @@ val config :
 
 val config_for_evalue :
   ?options:options ->
+  ?budget:budget ->
   matrix:Scoring.Submat.t ->
   gap:Scoring.Gap.t ->
   params:Scoring.Karlin.params ->
@@ -59,6 +80,17 @@ val config_for_evalue :
   config
 (** Equation 3: translate a BLAST-style E-value cutoff into
     [min_score]. *)
+
+(** Where a search stands after any number of {!Make.next} calls:
+
+    - [Searching] — viable work remains and the budget permits it;
+    - [Complete] — the result set is exact: the queue drained (or every
+      sequence was reported) with the budget intact;
+    - [Exhausted] — the budget ran out with viable nodes still queued.
+      Hits already returned are exact; any unreported hit scores at most
+      [remaining_bound] (the frontier's {!Make.peek_bound} at the moment
+      the search stopped). *)
+type outcome = Searching | Complete | Exhausted of { remaining_bound : int }
 
 (** Search-trace events, mirroring the §3.3 worked example's narration:
     one event per queue pop and per reported hit. Attach an observer
@@ -95,6 +127,7 @@ module Make (S : Source.S) : sig
     db:Bioseq.Database.t ->
     profile:Scoring.Pssm.t ->
     ?options:options ->
+    ?budget:budget ->
     gap:Scoring.Gap.t ->
     min_score:int ->
     unit ->
@@ -108,7 +141,8 @@ module Make (S : Source.S) : sig
   val next : t -> Hit.t option
   (** The next result, online: strictly non-increasing scores across
       calls; each sequence appears at most once. [None] when the queue
-      is exhausted or every sequence has been reported. *)
+      is exhausted, every sequence has been reported, or the configured
+      {!budget} ran out — distinguish with {!outcome}. *)
 
   val run : ?limit:int -> t -> Hit.t list
   (** Drain [next] (up to [limit] results). *)
@@ -125,6 +159,10 @@ module Make (S : Source.S) : sig
   val counters : t -> counters
   val queue_length : t -> int
   val reported : t -> int
+
+  val outcome : t -> outcome
+  (** See {!outcome}. Once [Exhausted], further {!next} calls return
+      [None] without resuming; the value is stable. *)
 end
 
 (** Minimal pull interface shared by every engine instantiation (what

@@ -4,7 +4,16 @@
     by symbol, and enumerate the suffix positions below a node. Two
     implementations are provided: the in-memory {!Suffix_tree.Tree} and
     the paged {!Storage.Disk_tree} (whose every access is counted by the
-    buffer pool). *)
+    buffer pool).
+
+    Error model: {!Disk} accessors read through the buffer pool, so a
+    failing device surfaces as {!Storage.Io_error} out of any engine
+    call that touches the tree ([next], mostly). Transient faults are
+    retried inside the pool (see {!Storage.Buffer_pool.set_retry});
+    only errors that outlive the retry policy escape. An escape is
+    fatal to the search (a node may already have been popped), so size
+    the retry policy for the faults you expect and treat the exception
+    as "rebuild the engine". *)
 
 module type S = sig
   type t

@@ -1,4 +1,9 @@
-type stats = { hits : int; misses : int }
+type stats = { hits : int; misses : int; retries : int; failures : int }
+
+type retry = { attempts : int; backoff : float; multiplier : float }
+
+let no_retry = { attempts = 1; backoff = 0.; multiplier = 2. }
+let default_retry = { attempts = 4; backoff = 0.001; multiplier = 2. }
 
 type handle = {
   id : int;
@@ -6,6 +11,8 @@ type handle = {
   name : string;
   mutable hits : int;
   mutable misses : int;
+  mutable retries : int;
+  mutable failures : int;
 }
 
 type frame = {
@@ -16,6 +23,7 @@ type frame = {
 
 type t = {
   block_size : int;
+  mutable retry : retry;
   frames : frame array;
   table : (int * int, int) Hashtbl.t; (* (handle id, block) -> frame index *)
   mutable hand : int;
@@ -29,6 +37,7 @@ let create ~block_size ~capacity =
   if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity must be positive";
   {
     block_size;
+    retry = no_retry;
     frames =
       Array.init capacity (fun _ ->
           { buf = Bytes.create block_size; owner = None; referenced = false });
@@ -41,8 +50,27 @@ let create ~block_size ~capacity =
 let block_size t = t.block_size
 let capacity t = Array.length t.frames
 
+let set_retry t retry =
+  if retry.attempts < 1 then
+    invalid_arg "Buffer_pool.set_retry: attempts must be >= 1";
+  if retry.backoff < 0. || retry.multiplier < 1. then
+    invalid_arg "Buffer_pool.set_retry: backoff must be >= 0 and multiplier >= 1";
+  t.retry <- retry
+
+let retry_policy t = t.retry
+
 let attach t ~name device =
-  let h = { id = t.next_id; device; name; hits = 0; misses = 0 } in
+  let h =
+    {
+      id = t.next_id;
+      device;
+      name;
+      hits = 0;
+      misses = 0;
+      retries = 0;
+      failures = 0;
+    }
+  in
   t.next_id <- t.next_id + 1;
   t.handles <- h :: t.handles;
   h
@@ -63,6 +91,22 @@ let victim t =
   in
   sweep ()
 
+(* Read one block, retrying transient Io_errors with exponential
+   backoff. Permanent errors and exhausted budgets count as a failure
+   and propagate to the caller. *)
+let pread_with_retry t h ~off ~buf =
+  let rec go attempt sleep =
+    try Device.pread h.device ~off ~buf
+    with Io_error.E info when info.Io_error.transient && attempt < t.retry.attempts ->
+      h.retries <- h.retries + 1;
+      if sleep > 0. then Unix.sleepf sleep;
+      go (attempt + 1) (sleep *. t.retry.multiplier)
+  in
+  try go 1 t.retry.backoff
+  with e ->
+    h.failures <- h.failures + 1;
+    raise e
+
 let load t h block =
   let key = (h.id, block) in
   match Hashtbl.find_opt t.table key with
@@ -79,7 +123,10 @@ let load t h block =
       (* Blocks are read-only: no write-back needed. *)
       Hashtbl.remove t.table old_key
     | None -> ());
-    Device.pread h.device ~off:(block * t.block_size) ~buf:frame.buf;
+    (* Detach the frame before the read so a failing device cannot
+       leave a frame that claims an owner the table no longer maps. *)
+    frame.owner <- None;
+    pread_with_retry t h ~off:(block * t.block_size) ~buf:frame.buf;
     frame.owner <- Some key;
     frame.referenced <- true;
     Hashtbl.replace t.table key idx;
@@ -98,7 +145,8 @@ let read_u32 t h off =
   lor (Char.code (Bytes.get buf (base + 2)) lsl 16)
   lor (Char.code (Bytes.get buf (base + 3)) lsl 24)
 
-let stats h = { hits = h.hits; misses = h.misses }
+let stats h =
+  { hits = h.hits; misses = h.misses; retries = h.retries; failures = h.failures }
 
 let hit_ratio (s : stats) =
   let total = s.hits + s.misses in
@@ -108,7 +156,9 @@ let reset_stats t =
   List.iter
     (fun h ->
       h.hits <- 0;
-      h.misses <- 0)
+      h.misses <- 0;
+      h.retries <- 0;
+      h.failures <- 0)
     t.handles
 
 let drop_all t =

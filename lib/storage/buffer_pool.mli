@@ -3,7 +3,13 @@
     from a buffer pool, which uses a simple clock replacement policy").
 
     Several devices ("files") attach to one pool; per-file hit/miss
-    counters drive the Figure 8 experiment. *)
+    counters drive the Figure 8 experiment.
+
+    The pool is also the retry boundary of the storage stack: a device
+    read that raises a {e transient} {!Io_error.E} is retried under the
+    pool's {!retry} policy (exponential backoff), and per-file retry and
+    failure counters sit alongside the hit/miss statistics. Permanent
+    errors propagate to the caller. *)
 
 type t
 type handle
@@ -11,10 +17,29 @@ type handle
 val create : block_size:int -> capacity:int -> t
 (** [capacity] is the number of resident blocks; [block_size] must be a
     positive multiple of 16 (so fixed-width node entries never straddle
-    blocks). *)
+    blocks). The pool starts with the {!no_retry} policy. *)
 
 val block_size : t -> int
 val capacity : t -> int
+
+(** {1 Retry policy} *)
+
+type retry = {
+  attempts : int;  (** total tries per block read, >= 1 *)
+  backoff : float;  (** seconds slept before the first retry *)
+  multiplier : float;  (** backoff growth per further retry, >= 1 *)
+}
+
+val no_retry : retry
+(** One attempt, no sleeping — transient errors propagate immediately. *)
+
+val default_retry : retry
+(** 4 attempts, 1 ms initial backoff, doubling. *)
+
+val set_retry : t -> retry -> unit
+val retry_policy : t -> retry
+
+(** {1 Access} *)
 
 val attach : t -> name:string -> Device.t -> handle
 (** Give the pool access to a device. The same device may be attached to
@@ -27,7 +52,14 @@ val read_byte : t -> handle -> int -> int
 val read_u32 : t -> handle -> int -> int
 (** Little-endian 32-bit read; [off] must be 4-byte aligned. *)
 
-type stats = { hits : int; misses : int }
+(** {1 Statistics} *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  retries : int;  (** transient read failures that were retried *)
+  failures : int;  (** block reads abandoned (permanent or budget spent) *)
+}
 
 val stats : handle -> stats
 val hit_ratio : stats -> float

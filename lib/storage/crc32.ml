@@ -1,0 +1,48 @@
+(* Standard CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.
+   Values are unsigned 32-bit quantities held in OCaml ints. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+type state = int
+
+let start : state = 0xFFFFFFFF
+
+let feed (s : state) buf pos len : state =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Crc32.feed: range outside the buffer";
+  let table = Lazy.force table in
+  let s = ref s in
+  for i = pos to pos + len - 1 do
+    s :=
+      Array.unsafe_get table ((!s lxor Char.code (Bytes.unsafe_get buf i)) land 0xFF)
+      lxor (!s lsr 8)
+  done;
+  !s
+
+let finish (s : state) = s lxor 0xFFFFFFFF
+
+let bytes b = finish (feed start b 0 (Bytes.length b))
+let string s = bytes (Bytes.unsafe_of_string s)
+
+let chunk = 65536
+
+let of_device ?length device =
+  let total = match length with Some l -> l | None -> Device.length device in
+  let buf = Bytes.create (min chunk (max 1 total)) in
+  let rec go s off =
+    if off >= total then finish s
+    else begin
+      let n = min chunk (total - off) in
+      let piece = if n = Bytes.length buf then buf else Bytes.create n in
+      Device.pread device ~off ~buf:piece;
+      go (feed s piece 0 n) (off + n)
+    end
+  in
+  go start 0

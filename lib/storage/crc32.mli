@@ -1,0 +1,19 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over bytes and devices.
+    Checksums are unsigned 32-bit values in an OCaml [int]. *)
+
+type state
+
+val start : state
+
+val feed : state -> bytes -> int -> int -> state
+(** [feed s buf pos len] absorbs a chunk; raises [Invalid_argument] if
+    the range lies outside [buf]. *)
+
+val finish : state -> int
+
+val bytes : bytes -> int
+val string : string -> int
+
+val of_device : ?length:int -> Device.t -> int
+(** Checksum of the first [length] bytes of a device (the whole device
+    by default), read in 64 KiB chunks. *)

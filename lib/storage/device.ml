@@ -1,31 +1,27 @@
-type memory = { mutable data : bytes; mutable mlen : int }
+(* A device is a record of operations, so backends and combinators
+   (e.g. Faulty) compose freely: the rest of the storage layer only ever
+   goes through this record. *)
 
-type file_state = {
-  ic : in_channel;
-  oc : out_channel option;
-  mutable dirty : bool;
-  mutable flen : int;
+type t = {
+  length : unit -> int;
+  append : bytes -> unit;
+  pwrite : off:int -> bytes -> unit;
+  pread : off:int -> buf:bytes -> unit;
+  close : unit -> unit;
 }
 
-type backend = Memory of memory | File of file_state
+let length t = t.length ()
+let append t data = t.append data
+let pwrite t ~off data = t.pwrite ~off data
+let pread t ~off ~buf = t.pread ~off ~buf
+let close t = t.close ()
 
-type t = { mutable backend : backend }
+let make ~length ~append ~pwrite ~pread ~close =
+  { length; append; pwrite; pread; close }
 
-let in_memory () = { backend = Memory { data = Bytes.create 4096; mlen = 0 } }
+(* --- In-memory backend --- *)
 
-let file path =
-  let oc = open_out_bin path in
-  let ic = open_in_bin path in
-  { backend = File { ic; oc = Some oc; dirty = false; flen = 0 } }
-
-let open_file path =
-  let ic = open_in_bin path in
-  { backend = File { ic; oc = None; dirty = false; flen = in_channel_length ic } }
-
-let length t =
-  match t.backend with
-  | Memory m -> m.mlen
-  | File f -> f.flen
+type memory = { mutable data : bytes; mutable mlen : int }
 
 let ensure_capacity m extra =
   let needed = m.mlen + extra in
@@ -36,58 +32,116 @@ let ensure_capacity m extra =
     m.data <- ndata
   end
 
-let append t data =
-  match t.backend with
-  | Memory m ->
-    ensure_capacity m (Bytes.length data);
-    Bytes.blit data 0 m.data m.mlen (Bytes.length data);
-    m.mlen <- m.mlen + Bytes.length data
-  | File f ->
-    (match f.oc with
-    | None -> invalid_arg "Device.append: device opened read-only"
-    | Some oc ->
-      seek_out oc f.flen;
-      output_bytes oc data;
-      f.flen <- f.flen + Bytes.length data;
-      f.dirty <- true)
+let in_memory () =
+  let m = { data = Bytes.create 4096; mlen = 0 } in
+  {
+    length = (fun () -> m.mlen);
+    append =
+      (fun data ->
+        ensure_capacity m (Bytes.length data);
+        Bytes.blit data 0 m.data m.mlen (Bytes.length data);
+        m.mlen <- m.mlen + Bytes.length data);
+    pwrite =
+      (fun ~off data ->
+        let len = Bytes.length data in
+        if off < 0 || off + len > m.mlen then
+          invalid_arg "Device.pwrite: range outside the written region";
+        Bytes.blit data 0 m.data off len);
+    pread =
+      (fun ~off ~buf ->
+        let want = Bytes.length buf in
+        let avail = max 0 (min want (m.mlen - off)) in
+        if avail > 0 then Bytes.blit m.data off buf 0 avail;
+        if avail < want then Bytes.fill buf avail (want - avail) '\000');
+    close = (fun () -> ());
+  }
 
-let pwrite t ~off data =
-  let len = Bytes.length data in
-  if off < 0 || off + len > length t then
-    invalid_arg "Device.pwrite: range outside the written region";
-  match t.backend with
-  | Memory m -> Bytes.blit data 0 m.data off len
-  | File f ->
-    (match f.oc with
-    | None -> invalid_arg "Device.pwrite: device opened read-only"
-    | Some oc ->
-      seek_out oc off;
-      output_bytes oc data;
-      f.dirty <- true)
+(* --- File backend --- *)
 
-let pread t ~off ~buf =
-  let want = Bytes.length buf in
-  match t.backend with
-  | Memory m ->
-    let avail = max 0 (min want (m.mlen - off)) in
-    if avail > 0 then Bytes.blit m.data off buf 0 avail;
-    if avail < want then Bytes.fill buf avail (want - avail) '\000'
-  | File f ->
-    (match f.oc with
-    | Some oc when f.dirty ->
-      flush oc;
-      f.dirty <- false
-    | _ -> ());
-    let avail = max 0 (min want (f.flen - off)) in
-    if avail > 0 then begin
-      seek_in f.ic off;
-      really_input f.ic buf 0 avail
-    end;
-    if avail < want then Bytes.fill buf avail (want - avail) '\000'
+type file_state = {
+  path : string;
+  ic : in_channel;
+  oc : out_channel option;
+  mutable dirty : bool;
+  mutable flen : int;
+}
 
-let close t =
-  match t.backend with
-  | Memory _ -> ()
-  | File f ->
-    (match f.oc with Some oc -> close_out_noerr oc | None -> ());
-    close_in_noerr f.ic
+(* Map Sys_error onto the typed Io_error so callers never see a raw
+   OCaml runtime message without the path and operation. *)
+let io ~path op f =
+  try f () with Sys_error msg -> Io_error.error ~path op msg
+
+let of_file_state f =
+  {
+    length = (fun () -> f.flen);
+    append =
+      (fun data ->
+        match f.oc with
+        | None -> invalid_arg "Device.append: device opened read-only"
+        | Some oc ->
+          io ~path:f.path Io_error.Write (fun () ->
+              seek_out oc f.flen;
+              output_bytes oc data);
+          f.flen <- f.flen + Bytes.length data;
+          f.dirty <- true);
+    pwrite =
+      (fun ~off data ->
+        let len = Bytes.length data in
+        if off < 0 || off + len > f.flen then
+          invalid_arg "Device.pwrite: range outside the written region";
+        match f.oc with
+        | None -> invalid_arg "Device.pwrite: device opened read-only"
+        | Some oc ->
+          io ~path:f.path Io_error.Write (fun () ->
+              seek_out oc off;
+              output_bytes oc data);
+          f.dirty <- true);
+    pread =
+      (fun ~off ~buf ->
+        (match f.oc with
+        | Some oc when f.dirty ->
+          io ~path:f.path Io_error.Flush (fun () -> flush oc);
+          f.dirty <- false
+        | _ -> ());
+        let want = Bytes.length buf in
+        let avail = max 0 (min want (f.flen - off)) in
+        if avail > 0 then
+          io ~path:f.path Io_error.Read (fun () ->
+              seek_in f.ic off;
+              really_input f.ic buf 0 avail);
+        if avail < want then Bytes.fill buf avail (want - avail) '\000');
+    close =
+      (fun () ->
+        (* Flush explicitly before closing so a full disk (ENOSPC) or
+           any other deferred write failure surfaces as an error instead
+           of being swallowed by close_out_noerr — a partially written
+           index must not look successfully built. *)
+        let flush_failure =
+          match f.oc with
+          | None -> None
+          | Some oc -> (
+            match flush oc with
+            | () -> None
+            | exception Sys_error msg -> Some msg)
+        in
+        (match f.oc with Some oc -> close_out_noerr oc | None -> ());
+        close_in_noerr f.ic;
+        match flush_failure with
+        | None -> ()
+        | Some msg -> Io_error.error ~path:f.path Io_error.Flush msg);
+  }
+
+let file path =
+  let oc = io ~path Io_error.Open (fun () -> open_out_bin path) in
+  let ic =
+    try io ~path Io_error.Open (fun () -> open_in_bin path)
+    with e ->
+      close_out_noerr oc;
+      raise e
+  in
+  of_file_state { path; ic; oc = Some oc; dirty = false; flen = 0 }
+
+let open_file path =
+  let ic = io ~path Io_error.Open (fun () -> open_in_bin path) in
+  let flen = io ~path Io_error.Open (fun () -> in_channel_length ic) in
+  of_file_state { path; ic; oc = None; dirty = false; flen }

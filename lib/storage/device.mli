@@ -1,19 +1,38 @@
 (** Byte-addressable storage devices backing the paged suffix tree.
 
-    Two backends: an in-memory store (used by the benchmarks, where
-    "I/O" is counted rather than performed) and a real file. Devices are
-    written by appending during index construction and read randomly at
-    query time. *)
+    A device is a record of operations, so backends and combinators
+    compose: the built-in backends are an in-memory store (used by the
+    benchmarks, where "I/O" is counted rather than performed) and a real
+    file, and {!Faulty} wraps any device with an injected fault plan.
+    Devices are written by appending during index construction and read
+    randomly at query time.
+
+    File-backed devices report failures as the typed
+    {!Io_error.E} (re-exported as [Storage.Io_error]) carrying the path
+    and operation, never as a bare [Sys_error]. *)
 
 type t
 
 val in_memory : unit -> t
 
 val file : string -> t
-(** Opens (creating or truncating) [path] for read/write. *)
+(** Opens (creating or truncating) [path] for read/write. Raises
+    {!Io_error.E} (op [Open]) when the path cannot be created. *)
 
 val open_file : string -> t
-(** Opens an existing file read-only; {!append} raises. *)
+(** Opens an existing file read-only; {!append} raises. Raises
+    {!Io_error.E} (op [Open]) on a missing path or permission denial. *)
+
+val make :
+  length:(unit -> int) ->
+  append:(bytes -> unit) ->
+  pwrite:(off:int -> bytes -> unit) ->
+  pread:(off:int -> buf:bytes -> unit) ->
+  close:(unit -> unit) ->
+  t
+(** Build a device from raw operations — the hook used by combinators
+    such as {!Faulty} (and available for future ones: metrics,
+    encryption, remote blocks). *)
 
 val length : t -> int
 
@@ -30,4 +49,8 @@ val pread : t -> off:int -> buf:bytes -> unit
     zero. *)
 
 val close : t -> unit
-(** Flush and release; in-memory devices keep their contents. *)
+(** Flush and release; in-memory devices keep their contents. A dirty
+    file device is flushed {e explicitly} first and any failure (e.g.
+    ENOSPC) raises {!Io_error.E} (op [Flush]) after the channels are
+    released — a partially written index cannot look successfully
+    built. *)

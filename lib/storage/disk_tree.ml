@@ -197,6 +197,13 @@ let backfill_directory internal entries =
         (u32_bytes entry))
     entries
 
+(* Every component ends in a self-describing integrity footer; written
+   last, after all backfills, so the CRC covers the final contents. *)
+let append_footers ~symbols ~internal ~leaves =
+  Footer.append symbols;
+  Footer.append internal;
+  Footer.append leaves
+
 let write ?(layout = Position_indexed) tree ~symbols ~internal ~leaves =
   if
     Device.length symbols <> 0 || Device.length internal <> 0
@@ -218,7 +225,8 @@ let write ?(layout = Position_indexed) tree ~symbols ~internal ~leaves =
   let clustered_counter = ref 0 in
   let sink = make_sink ~layout ~internal ~leaves ~clustered_counter in
   backfill_directory internal
-    (List.map (serialize_root_child sink) root_children)
+    (List.map (serialize_root_child sink) root_children);
+  append_footers ~symbols ~internal ~leaves
 
 module Private = struct
   type nonrec sink = sink
@@ -239,6 +247,8 @@ module Private = struct
 
   let set_dir_count internal count =
     Device.pwrite internal ~off:8 (u32_bytes count)
+
+  let append_footers = append_footers
 end
 
 (* ------------------------------------------------------------------ *)
@@ -265,12 +275,48 @@ type node =
   | Internal of { index : int; depth : int; start : int; parent_depth : int }
   | Leaf of { slot : int; parent_depth : int }
 
-let open_ ~alphabet ~pool ~symbols ~internal ~leaves =
+type verify = Off | Footer | Full
+
+exception Corrupt of { component : string; message : string }
+
+let corrupt component fmt =
+  Printf.ksprintf (fun message -> raise (Corrupt { component; message })) fmt
+
+(* Payload length of one component. With verification on, the footer
+   must be present, versioned, and (at [Footer] and above) CRC-clean;
+   with it off, a parseable footer still supplies the payload length so
+   readers never mistake the footer for tree data, and a footerless
+   (legacy) image is taken whole. *)
+let component_payload ~verify name device =
+  match verify with
+  | Off -> (
+    match Footer.read device with
+    | Some f when f.Footer.payload_length = Device.length device - Footer.size
+      ->
+      f.Footer.payload_length
+    | Some _ | None -> Device.length device)
+  | Footer | Full -> (
+    match Footer.verify device with
+    | Ok f -> f.Footer.payload_length
+    | Error message -> raise (Corrupt { component = name; message }))
+
+(* Attach and parse headers; the [Full] structural walk is layered on in
+   [open_] below, after [check] is defined. *)
+let open_internal ~verify ~alphabet ~pool ~symbols ~internal ~leaves =
+  let symbols_bytes = component_payload ~verify "symbols" symbols in
+  let internal_bytes = component_payload ~verify "internal" internal in
+  let leaves_bytes = component_payload ~verify "leaves" leaves in
   let leaves_h = Buffer_pool.attach pool ~name:"leaves" leaves in
+  if leaves_bytes < leaf_header_bytes then
+    corrupt "leaves" "component too short for its header (%d bytes)"
+      leaves_bytes;
   if Buffer_pool.read_u32 pool leaves_h 0 <> leaf_magic then
     invalid_arg "Disk_tree.open_: bad leaves-file magic";
   let layout = layout_of_tag (Buffer_pool.read_u32 pool leaves_h 8) in
   let internal_h = Buffer_pool.attach pool ~name:"internal" internal in
+  if internal_bytes < internal_header_bytes then
+    corrupt "internal" "component too short for its header (%d bytes)"
+      internal_bytes;
   if Buffer_pool.read_u32 pool internal_h 0 <> internal_magic then
     invalid_arg "Disk_tree.open_: bad internal-file magic";
   let dir_count = Buffer_pool.read_u32 pool internal_h 8 in
@@ -284,10 +330,10 @@ let open_ ~alphabet ~pool ~symbols ~internal ~leaves =
     leaves_h;
     dir_count;
     entries_offset;
-    data_length = Device.length symbols;
-    symbols_bytes = Device.length symbols;
-    internal_bytes = Device.length internal;
-    leaves_bytes = Device.length leaves;
+    data_length = symbols_bytes;
+    symbols_bytes;
+    internal_bytes;
+    leaves_bytes;
   }
 
 let of_tree ?layout ?(block_size = 2048) ?(capacity = 256) tree =
@@ -297,7 +343,7 @@ let of_tree ?layout ?(block_size = 2048) ?(capacity = 256) tree =
   write ?layout tree ~symbols ~internal ~leaves;
   let pool = Buffer_pool.create ~block_size ~capacity in
   let alphabet = Bioseq.Database.alphabet (Suffix_tree.Tree.database tree) in
-  (open_ ~alphabet ~pool ~symbols ~internal ~leaves, pool)
+  (open_internal ~verify:Off ~alphabet ~pool ~symbols ~internal ~leaves, pool)
 
 let layout t = t.layout
 
@@ -499,6 +545,203 @@ let validate t =
       (String.concat "; " (List.filteri (fun i _ -> i < 10) errs))
 
 type component = Symbols | Internal_nodes | Leaves
+
+let component_name = function
+  | Symbols -> "symbols"
+  | Internal_nodes -> "internal"
+  | Leaves -> "leaves"
+
+(* ------------------------------------------------------------------ *)
+(* Defensive structural check.                                          *)
+(* ------------------------------------------------------------------ *)
+
+type issue = { component : component; offset : int; message : string }
+
+exception Check_stop
+
+(* Unlike [validate] — which assumes a well-formed image and checks its
+   suffix-tree semantics — [check] trusts nothing: every index, offset
+   and chain link is bounds-checked before it is followed, leaf chains
+   are cycle-checked, and each inconsistency is reported with the device
+   offset of the offending word instead of surfacing later as a wrong
+   alignment or an out-of-bounds read. *)
+let check ?(max_issues = 100) t =
+  let issues = ref [] in
+  let count = ref 0 in
+  let report component offset fmt =
+    Printf.ksprintf
+      (fun message ->
+        issues := { component; offset; message } :: !issues;
+        incr count;
+        if !count >= max_issues then raise Check_stop)
+      fmt
+  in
+  let n_entries =
+    max 0 ((t.internal_bytes - t.entries_offset) / internal_entry_bytes)
+  in
+  let leaf_region = max 0 (t.leaves_bytes - leaf_header_bytes) in
+  let n_leaf_entries = leaf_region / leaf_entry_bytes in
+  let entry_off i = t.entries_offset + (internal_entry_bytes * i) in
+  let slot_off s = leaf_header_bytes + (leaf_entry_bytes * s) in
+  (* One mark per leaf entry: a slot reached twice means two chains (or
+     one cyclic chain) share it. *)
+  let visited_leaf = Bytes.make (max 1 n_leaf_entries) '\000' in
+  (* [src] locates the word that referenced an out-of-range target. *)
+  let check_leaf_token ~src token =
+    if token <> sentinel then
+      match t.layout with
+      | Position_indexed ->
+        if token < 0 || token >= n_leaf_entries then
+          report Internal_nodes src
+            "leaf chain head %d outside the %d suffix slots" token
+            n_leaf_entries
+        else begin
+          let rec follow slot =
+            if Bytes.get visited_leaf slot <> '\000' then
+              report Leaves (slot_off slot)
+                "leaf slot %d reached twice (cycle or shared chain)" slot
+            else begin
+              Bytes.set visited_leaf slot '\001';
+              let next = Buffer_pool.read_u32 t.pool t.leaves_h (slot_off slot) in
+              if next <> sentinel then
+                if next < 0 || next >= n_leaf_entries then
+                  report Leaves (slot_off slot)
+                    "chain link %d -> %d outside the %d suffix slots" slot next
+                    n_leaf_entries
+                else follow next
+            end
+          in
+          follow token
+        end
+      | Clustered ->
+        if token < 0 || token >= n_leaf_entries then
+          report Internal_nodes src "leaf run head %d outside the %d entries"
+            token n_leaf_entries
+        else begin
+          let rec run index =
+            if index >= n_leaf_entries then
+              report Leaves
+                (slot_off (n_leaf_entries - 1))
+                "leaf run overruns the component without a last-sibling flag"
+            else begin
+              if Bytes.get visited_leaf index <> '\000' then
+                report Leaves (slot_off index)
+                  "leaf entry %d belongs to two runs" index
+              else Bytes.set visited_leaf index '\001';
+              let word = Buffer_pool.read_u32 t.pool t.leaves_h (slot_off index) in
+              let pos = word land depth_mask in
+              if pos >= t.data_length then
+                report Leaves (slot_off index)
+                  "leaf entry %d: position %d outside the %d symbols" index pos
+                  t.data_length;
+              if word land last_flag = 0 then run (index + 1)
+            end
+          in
+          run token
+        end
+  in
+  (try
+     (* Geometry first: if the headers disagree with the component
+        sizes, say so instead of reading through garbage. *)
+     if t.dir_count < 0 || internal_header_bytes + (4 * t.dir_count) > t.entries_offset
+     then
+       report Internal_nodes 8
+         "root directory (%d entries) overlaps the entries region at %d"
+         t.dir_count t.entries_offset;
+     if t.entries_offset > t.internal_bytes then
+       report Internal_nodes 12 "entries region offset %d beyond component end %d"
+         t.entries_offset t.internal_bytes;
+     if
+       t.entries_offset <= t.internal_bytes
+       && (t.internal_bytes - t.entries_offset) mod internal_entry_bytes <> 0
+     then
+       report Internal_nodes (entry_off n_entries)
+         "entries region is not a whole number of %d-byte entries"
+         internal_entry_bytes;
+     (match t.layout with
+     | Position_indexed ->
+       if leaf_region <> leaf_entry_bytes * t.data_length then
+         report Leaves 0
+           "position-indexed leaf array holds %d entries for %d symbols"
+           n_leaf_entries t.data_length
+     | Clustered ->
+       if leaf_region mod leaf_entry_bytes <> 0 then
+         report Leaves 0 "clustered leaf region is not a whole number of entries");
+     (* Every internal entry's fields, whether reachable or not. *)
+     for i = 0 to n_entries - 1 do
+       let depth, _last, start, first_internal, first_leaf = read_entry t i in
+       if depth <= 0 then
+         report Internal_nodes (entry_off i) "entry %d: non-positive depth %d" i
+           depth;
+       if start < 0 || start >= t.data_length then
+         report Internal_nodes (entry_off i)
+           "entry %d: label start %d outside the %d symbols" i start
+           t.data_length;
+       if first_internal <> sentinel && (first_internal < 0 || first_internal >= n_entries)
+       then
+         report Internal_nodes
+           (entry_off i + 8)
+           "entry %d: first internal child %d outside the %d entries" i
+           first_internal n_entries;
+       check_leaf_token ~src:(entry_off i + 12) first_leaf
+     done;
+     (* Sibling runs must terminate inside the entries region. *)
+     for i = 0 to n_entries - 1 do
+       let _, _, _, first_internal, _ = read_entry t i in
+       if first_internal <> sentinel && first_internal >= 0 && first_internal < n_entries
+       then begin
+         let rec scan j steps =
+           if j >= n_entries then
+             report Internal_nodes
+               (entry_off (n_entries - 1))
+               "sibling run from entry %d overruns the component without a \
+                last-sibling flag"
+               first_internal
+           else if steps <= n_entries then begin
+             let _, last, _, _, _ = read_entry t j in
+             if not last then scan (j + 1) (steps + 1)
+           end
+         in
+         scan first_internal 0
+       end
+     done;
+     (* Root directory entries. *)
+     for i = 0 to t.dir_count - 1 do
+       let off = internal_header_bytes + (4 * i) in
+       if off + 4 <= t.entries_offset then begin
+         let e = Buffer_pool.read_u32 t.pool t.internal_h off in
+         if e land last_flag <> 0 then check_leaf_token ~src:off (e land depth_mask)
+         else if e >= n_entries then
+           report Internal_nodes off
+             "directory entry %d: internal index %d outside the %d entries" i e
+             n_entries
+       end
+     done
+   with Check_stop -> ());
+  List.rev !issues
+
+(* ------------------------------------------------------------------ *)
+(* Public open with verification levels.                                *)
+(* ------------------------------------------------------------------ *)
+
+let open_ ?(verify = Off) ~alphabet ~pool ~symbols ~internal ~leaves () =
+  let t = open_internal ~verify ~alphabet ~pool ~symbols ~internal ~leaves in
+  (match verify with
+  | Off | Footer -> ()
+  | Full -> (
+    match check t with
+    | [] -> ()
+    | { component; offset; message } :: _ as issues ->
+      raise
+        (Corrupt
+           {
+             component = component_name component;
+             message =
+               Printf.sprintf "structural check found %d issue(s); first at \
+                               offset %d: %s"
+                 (List.length issues) offset message;
+           })));
+  t
 
 let component_stats t = function
   | Symbols -> Buffer_pool.stats t.symbols_h

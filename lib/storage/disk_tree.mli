@@ -54,7 +54,10 @@ val write :
   leaves:Device.t ->
   unit
 (** Serialize a built tree ([layout] defaults to {!Position_indexed}).
-    Devices must be empty. *)
+    Devices must be empty. Each component is terminated by a
+    self-describing {!Footer} (magic, format version, payload length,
+    CRC-32 of the payload), written after every backfill so the checksum
+    covers the final contents. *)
 
 (** {1 Reading} *)
 
@@ -63,16 +66,34 @@ type t
 type node
 (** A traversal handle: either an internal node or a leaf occurrence. *)
 
+(** How much of the image {!open_} verifies before returning:
+
+    - [Off] — header magics only (footers are still parsed when present
+      so payload lengths are right, but nothing is checked);
+    - [Footer] — every component must carry a current-version footer
+      whose length and CRC-32 match its contents: catches truncation,
+      torn tail writes and bit rot at the cost of one sequential read
+      per component;
+    - [Full] — [Footer] plus the {!check} structural walk. *)
+type verify = Off | Footer | Full
+
+exception Corrupt of { component : string; message : string }
+(** Raised by {!open_} when verification fails; [component] is
+    ["symbols"], ["internal"] or ["leaves"]. *)
+
 val open_ :
+  ?verify:verify ->
   alphabet:Bioseq.Alphabet.t ->
   pool:Buffer_pool.t ->
   symbols:Device.t ->
   internal:Device.t ->
   leaves:Device.t ->
+  unit ->
   t
 (** Attach the three components to [pool] and return a reader. The leaf
     layout is read from the leaves-file header; raises
-    [Invalid_argument] on a bad magic number. *)
+    [Invalid_argument] on a bad magic number and {!Corrupt} when the
+    requested [verify] level (default [Off]) finds damage. *)
 
 val layout : t -> layout
 
@@ -118,7 +139,25 @@ val subtree_positions : t -> node -> int list
 
 type component = Symbols | Internal_nodes | Leaves
 
+val component_name : component -> string
+(** ["symbols"], ["internal"] or ["leaves"]. *)
+
 val component_stats : t -> component -> Buffer_pool.stats
+
+(** {1 Integrity} *)
+
+type issue = { component : component; offset : int; message : string }
+(** One inconsistency, located by the device byte offset of the
+    offending word. *)
+
+val check : ?max_issues:int -> t -> issue list
+(** Defensive structural walk of the on-disk image: every internal
+    entry's fields, sibling-run terminators, root-directory entries and
+    leaf chains/runs are bounds-checked before being followed, and leaf
+    chains are cycle-checked. Unlike {!validate}, [check] assumes
+    nothing about the image and never crashes or loops on garbage
+    pointers — it reports them. Returns at most [max_issues] (default
+    100) issues; [[]] means structurally sound. *)
 
 (**/**)
 
@@ -142,6 +181,9 @@ module Private : sig
 
   val backfill_directory_entry : Device.t -> int -> int -> unit
   val set_dir_count : Device.t -> int -> unit
+
+  val append_footers :
+    symbols:Device.t -> internal:Device.t -> leaves:Device.t -> unit
 end
 
 (**/**)

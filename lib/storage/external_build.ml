@@ -47,4 +47,5 @@ let write ?(layout = Disk_tree.Position_indexed) db ~symbols ~internal ~leaves =
           (Suffix_tree.Tree.children (Suffix_tree.Tree.root mini))
       end)
     buckets;
-  Disk_tree.Private.set_dir_count internal !dir_next
+  Disk_tree.Private.set_dir_count internal !dir_next;
+  Disk_tree.Private.append_footers ~symbols ~internal ~leaves

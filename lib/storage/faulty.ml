@@ -1,0 +1,130 @@
+type plan = {
+  seed : int;
+  warmup_ops : int;
+  transient_read_prob : float;
+  max_consecutive_transient : int;
+  fail_after_ops : int option;
+  torn_append_prob : float;
+  bit_flip_prob : float;
+}
+
+let plan ?(seed = 0) ?(warmup_ops = 0) ?(transient_read_prob = 0.)
+    ?(max_consecutive_transient = 1) ?fail_after_ops ?(torn_append_prob = 0.)
+    ?(bit_flip_prob = 0.) () =
+  if transient_read_prob < 0. || transient_read_prob > 1. then
+    invalid_arg "Faulty.plan: transient_read_prob outside [0, 1]";
+  if torn_append_prob < 0. || torn_append_prob > 1. then
+    invalid_arg "Faulty.plan: torn_append_prob outside [0, 1]";
+  if bit_flip_prob < 0. || bit_flip_prob > 1. then
+    invalid_arg "Faulty.plan: bit_flip_prob outside [0, 1]";
+  if max_consecutive_transient < 0 then
+    invalid_arg "Faulty.plan: max_consecutive_transient must be >= 0";
+  {
+    seed;
+    warmup_ops;
+    transient_read_prob;
+    max_consecutive_transient;
+    fail_after_ops;
+    torn_append_prob;
+    bit_flip_prob;
+  }
+
+type stats = {
+  reads : int;
+  writes : int;
+  transient_failures : int;
+  torn_appends : int;
+  bit_flips : int;
+}
+
+type handle = {
+  plan : plan;
+  rng : Random.State.t;
+  mutable ops : int;
+  mutable consecutive : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable transient_failures : int;
+  mutable torn_appends : int;
+  mutable bit_flips : int;
+}
+
+let stats h =
+  {
+    reads = h.reads;
+    writes = h.writes;
+    transient_failures = h.transient_failures;
+    torn_appends = h.torn_appends;
+    bit_flips = h.bit_flips;
+  }
+
+let roll h prob = prob > 0. && Random.State.float h.rng 1.0 < prob
+
+(* Every data operation ticks the op counter; faults are armed only
+   after the warmup window, and a fail-after-N plan turns every
+   subsequent operation into a permanent (non-transient) Io_error. *)
+let tick h op =
+  h.ops <- h.ops + 1;
+  match h.plan.fail_after_ops with
+  | Some n when h.ops > n ->
+    Io_error.error ~transient:false op "injected permanent device failure"
+  | _ -> ()
+
+let armed h = h.ops > h.plan.warmup_ops
+
+let wrap plan inner =
+  let h =
+    {
+      plan;
+      rng = Random.State.make [| plan.seed |];
+      ops = 0;
+      consecutive = 0;
+      reads = 0;
+      writes = 0;
+      transient_failures = 0;
+      torn_appends = 0;
+      bit_flips = 0;
+    }
+  in
+  let device =
+    Device.make
+      ~length:(fun () -> Device.length inner)
+      ~append:(fun data ->
+        tick h Io_error.Write;
+        h.writes <- h.writes + 1;
+        if armed h && roll h plan.torn_append_prob && Bytes.length data > 0 then begin
+          (* Torn write: only a strict prefix reaches the device, as
+             after a crash mid-append. *)
+          let keep = Random.State.int h.rng (Bytes.length data) in
+          h.torn_appends <- h.torn_appends + 1;
+          Device.append inner (Bytes.sub data 0 keep)
+        end
+        else Device.append inner data)
+      ~pwrite:(fun ~off data ->
+        tick h Io_error.Write;
+        h.writes <- h.writes + 1;
+        Device.pwrite inner ~off data)
+      ~pread:(fun ~off ~buf ->
+        tick h Io_error.Read;
+        h.reads <- h.reads + 1;
+        if
+          armed h
+          && h.consecutive < plan.max_consecutive_transient
+          && roll h plan.transient_read_prob
+        then begin
+          h.consecutive <- h.consecutive + 1;
+          h.transient_failures <- h.transient_failures + 1;
+          Io_error.error ~transient:true Io_error.Read
+            "injected transient read failure"
+        end;
+        h.consecutive <- 0;
+        Device.pread inner ~off ~buf;
+        if armed h && roll h plan.bit_flip_prob && Bytes.length buf > 0 then begin
+          let i = Random.State.int h.rng (Bytes.length buf) in
+          let bit = Random.State.int h.rng 8 in
+          h.bit_flips <- h.bit_flips + 1;
+          Bytes.set buf i (Char.chr (Char.code (Bytes.get buf i) lxor (1 lsl bit)))
+        end)
+      ~close:(fun () -> Device.close inner)
+  in
+  (device, h)

@@ -1,0 +1,64 @@
+(** Deterministic storage fault injection.
+
+    [Faulty.wrap plan device] returns a device that behaves like
+    [device] but injects faults according to a seeded, deterministic
+    plan, so every storage failure mode is testable in-process:
+
+    - {e transient read failures}: a read raises {!Io_error.E} with
+      [transient = true]; retrying (as {!Buffer_pool} does) succeeds.
+      At most [max_consecutive_transient] failures occur in a row, so a
+      retry budget of [max_consecutive_transient + 1] attempts is always
+      sufficient.
+    - {e fail-after-N}: once [fail_after_ops] operations have completed,
+      every further operation raises a {e permanent} {!Io_error.E} — the
+      device has died.
+    - {e short (torn) appends}: an append writes only a strict prefix of
+      its data, as after a crash mid-write. The integrity footers
+      ({!Disk_tree.open_} with [~verify]) detect the damage.
+    - {e single-bit flips}: a read returns its data with one random bit
+      inverted — silent corruption on the read path, caught by CRC
+      verification or {!Disk_tree.check}.
+
+    All randomness comes from [Random.State.make [| seed |]]: the same
+    plan over the same operation sequence injects the same faults. The
+    fault machinery is armed only after [warmup_ops] operations, which
+    lets tests open an index cleanly and then run its queries over a
+    failing device. *)
+
+type plan = {
+  seed : int;
+  warmup_ops : int;  (** no faults during the first N operations *)
+  transient_read_prob : float;
+  max_consecutive_transient : int;
+  fail_after_ops : int option;
+  torn_append_prob : float;
+  bit_flip_prob : float;
+}
+
+val plan :
+  ?seed:int ->
+  ?warmup_ops:int ->
+  ?transient_read_prob:float ->
+  ?max_consecutive_transient:int ->
+  ?fail_after_ops:int ->
+  ?torn_append_prob:float ->
+  ?bit_flip_prob:float ->
+  unit ->
+  plan
+(** All fault probabilities default to 0 (no faults); probabilities must
+    lie in [0, 1]. *)
+
+type stats = {
+  reads : int;
+  writes : int;
+  transient_failures : int;
+  torn_appends : int;
+  bit_flips : int;
+}
+
+type handle
+
+val wrap : plan -> Device.t -> Device.t * handle
+(** The wrapped device plus a handle for inspecting injected faults. *)
+
+val stats : handle -> stats

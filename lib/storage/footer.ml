@@ -1,0 +1,79 @@
+(* Self-describing integrity footer, appended to each index component
+   after construction:
+
+     offset  field
+     +0      magic "OASF" (little-endian u32)
+     +4      footer format version (u32)
+     +8      payload length in bytes (u32) — everything before the footer
+     +12     CRC-32 of the payload (u32)
+
+   16 bytes total, so the footer never splits a 16-byte-aligned entry.
+   A truncated component loses its tail — i.e. the footer itself — so
+   truncation shows up as a missing footer; payload corruption shows up
+   as a CRC mismatch. *)
+
+let magic = 0x4653414F (* "OASF" *)
+let current_version = 1
+let size = 16
+
+type t = { version : int; payload_length : int; crc : int }
+
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF))
+
+let get_u32 b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let append ?(version = current_version) device =
+  let payload_length = Device.length device in
+  let crc = Crc32.of_device ~length:payload_length device in
+  let buf = Buffer.create size in
+  put_u32 buf magic;
+  put_u32 buf version;
+  put_u32 buf payload_length;
+  put_u32 buf crc;
+  Device.append device (Buffer.to_bytes buf)
+
+let read device =
+  let len = Device.length device in
+  if len < size then None
+  else begin
+    let b = Bytes.create size in
+    Device.pread device ~off:(len - size) ~buf:b;
+    if get_u32 b 0 <> magic then None
+    else
+      Some
+        { version = get_u32 b 4; payload_length = get_u32 b 8; crc = get_u32 b 12 }
+  end
+
+let verify device =
+  match read device with
+  | None ->
+    Error
+      "missing integrity footer (component truncated, or written before \
+       footers existed)"
+  | Some f ->
+    if f.version <> current_version then
+      Error
+        (Printf.sprintf "unsupported footer version %d (expected %d)" f.version
+           current_version)
+    else if f.payload_length <> Device.length device - size then
+      Error
+        (Printf.sprintf
+           "footer claims %d payload bytes but the component holds %d"
+           f.payload_length
+           (Device.length device - size))
+    else begin
+      let crc = Crc32.of_device ~length:f.payload_length device in
+      if crc <> f.crc then
+        Error
+          (Printf.sprintf "CRC mismatch: footer 0x%08x, contents 0x%08x" f.crc
+             crc)
+      else Ok f
+    end

@@ -1,0 +1,27 @@
+(** Per-component integrity footer: 16 bytes at the tail of each index
+    component holding a magic number, a format version, the payload
+    length and a CRC-32 of the payload.
+
+    Truncation chops the footer off (detected as a missing footer);
+    payload bit-rot fails the CRC; a format change fails the version
+    check. {!Disk_tree.open_}'s [~verify] levels build on this. *)
+
+val size : int
+(** 16 *)
+
+val current_version : int
+
+type t = { version : int; payload_length : int; crc : int }
+
+val append : ?version:int -> Device.t -> unit
+(** Checksum the device's current contents and append the footer.
+    [version] (default {!current_version}) is exposed so tests can write
+    futuristic footers. *)
+
+val read : Device.t -> t option
+(** Parse the footer at the device tail; [None] when the magic number is
+    absent (no footer — truncated or legacy image). No CRC check. *)
+
+val verify : Device.t -> (t, string) result
+(** Full check: footer present, supported version, consistent payload
+    length, and matching payload CRC. *)

@@ -1,0 +1,26 @@
+type op = Open | Read | Write | Flush | Close
+
+type info = {
+  path : string option;
+  op : op;
+  transient : bool;
+  detail : string;
+}
+
+exception E of info
+
+let op_name = function
+  | Open -> "open"
+  | Read -> "read"
+  | Write -> "write"
+  | Flush -> "flush"
+  | Close -> "close"
+
+let to_string { path; op; transient; detail } =
+  Printf.sprintf "%s error%s: %s%s" (op_name op)
+    (match path with Some p -> Printf.sprintf " on %s" p | None -> "")
+    detail
+    (if transient then " (transient)" else "")
+
+let error ?path ?(transient = false) op detail =
+  raise (E { path; op; transient; detail })

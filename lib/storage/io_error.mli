@@ -1,0 +1,28 @@
+(** Typed storage I/O failures.
+
+    Every failure crossing the storage boundary is reported as {!E}
+    rather than a bare [Sys_error], carrying the device path (when
+    known), the operation that failed, and whether the failure is
+    {e transient} — retrying a transient failure may succeed (and
+    {!Buffer_pool} does exactly that), while a permanent one will not.
+
+    Re-exported at the library root as [Storage.Io_error]. *)
+
+type op = Open | Read | Write | Flush | Close
+
+type info = {
+  path : string option;
+  op : op;
+  transient : bool;
+  detail : string;
+}
+
+exception E of info
+
+val op_name : op -> string
+
+val to_string : info -> string
+(** One-line human-readable rendering (used by the CLI). *)
+
+val error : ?path:string -> ?transient:bool -> op -> string -> 'a
+(** Raise {!E}. [transient] defaults to [false]. *)

@@ -1,0 +1,22 @@
+(** Library root: the storage stack behind the paged suffix tree.
+
+    {!Device} (backends + the {!Faulty} fault-injection combinator),
+    {!Buffer_pool} (clock replacement + transient-error retries),
+    {!Crc32}/{!Footer} (end-to-end integrity), {!Disk_tree} and
+    {!External_build} (the paper's on-disk representation and its
+    partitioned construction).
+
+    Every I/O failure crossing this library's boundary is the typed
+    {!Io_error} below, never a bare [Sys_error]. *)
+
+module Io_error = Io_error
+module Crc32 = Crc32
+module Device = Device
+module Faulty = Faulty
+module Buffer_pool = Buffer_pool
+module Footer = Footer
+module Disk_tree = Disk_tree
+module External_build = External_build
+
+exception Io_error = Io_error.E
+(** Alias of {!Io_error.E}: catch as [Storage.Io_error info]. *)

@@ -1,0 +1,118 @@
+(* End-to-end robustness: an OASIS disk search running over a
+   fault-injected device, with buffer-pool retries absorbing the
+   transient failures, must return exactly the Smith-Waterman oracle's
+   results — fault tolerance may cost time, never accuracy. *)
+
+let alpha = Bioseq.Alphabet.dna
+let matrix = Scoring.Matrices.dna_unit
+let gap = Scoring.Gap.linear 1
+
+let db_of_strings strings =
+  Bioseq.Database.make
+    (List.mapi
+       (fun i s ->
+         Bioseq.Sequence.make ~alphabet:alpha ~id:(Printf.sprintf "s%d" i) s)
+       strings)
+
+let sw_pairs db q min_score =
+  let hits, _ = Align.Smith_waterman.search ~matrix ~gap ~query:q ~db ~min_score in
+  List.sort compare
+    (List.map (fun h -> Align.Smith_waterman.(h.seq_index, h.score)) hits)
+
+let hit_pairs hits =
+  List.sort compare
+    (List.map (fun h -> (h.Oasis.Hit.seq_index, h.Oasis.Hit.score)) hits)
+
+(* Serialize [db]'s suffix tree to clean in-memory devices, then wrap
+   each component in a fault injector and open the index through a
+   retrying pool. [warmup_ops] covers the footer reads [open_] performs
+   outside the pool (at most two raw preads per device); everything the
+   search itself touches goes through the pool and is retried. *)
+let faulty_engine db query min_score plan =
+  let symbols = Storage.Device.in_memory ()
+  and internal = Storage.Device.in_memory ()
+  and leaves = Storage.Device.in_memory () in
+  let tree = Suffix_tree.Ukkonen.build db in
+  Storage.Disk_tree.write tree ~symbols ~internal ~leaves;
+  let symbols, hs = Storage.Faulty.wrap plan symbols in
+  let internal, hi = Storage.Faulty.wrap plan internal in
+  let leaves, hl = Storage.Faulty.wrap plan leaves in
+  let pool = Storage.Buffer_pool.create ~block_size:32 ~capacity:8 in
+  Storage.Buffer_pool.set_retry pool
+    { Storage.Buffer_pool.attempts = 4; backoff = 0.; multiplier = 2. };
+  let dt =
+    Storage.Disk_tree.open_ ~verify:Storage.Disk_tree.Footer ~alphabet:alpha
+      ~pool ~symbols ~internal ~leaves ()
+  in
+  let cfg = Oasis.Engine.config ~matrix ~gap ~min_score () in
+  (Oasis.Engine.Disk.create ~source:dt ~db ~query cfg, [ hs; hi; hl ])
+
+let transient_plan seed =
+  Storage.Faulty.plan ~seed ~warmup_ops:8 ~transient_read_prob:0.4
+    ~max_consecutive_transient:2 ()
+
+let test_search_through_faults () =
+  let db = db_of_strings [ "AGTACGCCTAG"; "TACG"; "CCCCTACGCCCC"; "GATTACA" ] in
+  let q = Bioseq.Sequence.make ~alphabet:alpha ~id:"q" "TACG" in
+  let engine, handles = faulty_engine db q 2 (transient_plan 11) in
+  let hits = Oasis.Engine.Disk.run engine in
+  Alcotest.(check (list (pair int int)))
+    "hits equal the oracle" (sw_pairs db q 2) (hit_pairs hits);
+  let injected =
+    List.fold_left
+      (fun acc h -> acc + (Storage.Faulty.stats h).Storage.Faulty.transient_failures)
+      0 handles
+  in
+  Alcotest.(check bool) "faults actually fired" true (injected > 0)
+
+let test_dead_device_surfaces () =
+  (* Once the device dies permanently, the search fails with a typed,
+     non-transient error rather than a crash or a silent wrong answer. *)
+  let db = db_of_strings [ "AGTACGCCTAG"; "TACG"; "CCCCTACGCCCC"; "GATTACA" ] in
+  let q = Bioseq.Sequence.make ~alphabet:alpha ~id:"q" "TACG" in
+  let plan = Storage.Faulty.plan ~fail_after_ops:10 () in
+  match faulty_engine db q 2 plan with
+  | exception Storage.Io_error info ->
+    (* The budget may already die during open_'s footer reads. *)
+    Alcotest.(check bool) "permanent" false info.Storage.Io_error.transient
+  | engine, _ -> (
+    match Oasis.Engine.Disk.run engine with
+    | exception Storage.Io_error info ->
+      Alcotest.(check bool) "permanent" false info.Storage.Io_error.transient
+    | _ -> Alcotest.fail "search over a dead device succeeded")
+
+let qcheck_faulty_equals_oracle =
+  let gen =
+    QCheck.Gen.(
+      let dna n = string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) n in
+      quad
+        (list_size (int_range 1 5) (dna (int_range 1 25)))
+        (dna (int_range 1 8))
+        (int_range 1 6) (int_range 0 1000))
+  in
+  let print (ss, q, ms, seed) =
+    Printf.sprintf "db=%s q=%s min_score=%d seed=%d" (String.concat "/" ss) q
+      ms seed
+  in
+  QCheck.Test.make ~count:150
+    ~name:"fault-injected disk search equals Smith-Waterman"
+    (QCheck.make gen ~print)
+    (fun (strings, query, min_score, seed) ->
+      QCheck.assume (query <> "");
+      let db = db_of_strings strings in
+      let q = Bioseq.Sequence.make ~alphabet:alpha ~id:"q" query in
+      let engine, _ = faulty_engine db q min_score (transient_plan seed) in
+      hit_pairs (Oasis.Engine.Disk.run engine) = sw_pairs db q min_score)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "search through transient faults" `Quick
+            test_search_through_faults;
+          Alcotest.test_case "permanent failure surfaces cleanly" `Quick
+            test_dead_device_surfaces;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest qcheck_faulty_equals_oracle ]);
+    ]

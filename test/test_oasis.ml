@@ -478,6 +478,119 @@ let qcheck_long_query_affine =
       in
       hit_pairs segmented = direct)
 
+(* --- Budgeted search / graceful degradation --- *)
+
+let mem_engine_budget ~budget ~min_score db q =
+  let tree = Suffix_tree.Ukkonen.build db in
+  Oasis.Engine.Mem.create ~source:tree ~db ~query:q
+    (Oasis.Engine.config ~budget ~matrix:unit_matrix ~gap:gap1 ~min_score ())
+
+(* A truncated run degrades gracefully when everything it reported is an
+   exact oracle hit and everything it suppressed is covered by the
+   Exhausted bound. *)
+let check_degradation ~name db q min_score engine =
+  let hits = Oasis.Engine.Mem.run engine in
+  let got = hit_pairs hits in
+  let oracle = sw_pairs (sw_hits ~matrix:unit_matrix ~gap:gap1 ~min_score db q) in
+  match Oasis.Engine.Mem.outcome engine with
+  | Oasis.Engine.Searching -> Alcotest.failf "%s: still Searching after drain" name
+  | Oasis.Engine.Complete ->
+    Alcotest.(check (list (pair int int))) (name ^ ": complete = oracle") oracle got
+  | Oasis.Engine.Exhausted { remaining_bound } ->
+    List.iter
+      (fun p ->
+        if not (List.mem p oracle) then
+          Alcotest.failf "%s: reported non-oracle hit (%d, %d)" name (fst p)
+            (snd p))
+      got;
+    List.iter
+      (fun (s, score) ->
+        if (not (List.mem (s, score) got)) && score > remaining_bound then
+          Alcotest.failf "%s: suppressed hit (%d, %d) above bound %d" name s
+            score remaining_bound)
+      oracle
+
+let test_budget_max_columns () =
+  let db =
+    db_of_strings [ "AGTACGCCTAG"; "TACG"; "CCCCTACGCCCC"; "GATTACA"; "ACGTAC" ]
+  in
+  let q = query "TACG" in
+  let budget = Oasis.Engine.budget ~max_columns:1 () in
+  let engine = mem_engine_budget ~budget ~min_score:1 db q in
+  let hits = Oasis.Engine.Mem.run engine in
+  (match Oasis.Engine.Mem.outcome engine with
+  | Oasis.Engine.Exhausted { remaining_bound } ->
+    Alcotest.(check bool) "bound positive" true (remaining_bound >= 1)
+  | _ -> Alcotest.fail "tiny column budget did not exhaust");
+  (* A fresh engine with the same budget degrades gracefully. *)
+  ignore hits;
+  check_degradation ~name:"max_columns=1" db q 1
+    (mem_engine_budget ~budget ~min_score:1 db q)
+
+let test_budget_max_nodes () =
+  let db = db_of_strings [ "AGTACGCCTAG"; "TACG"; "CCCCTACGCCCC"; "GATTACA" ] in
+  let q = query "TACG" in
+  let budget = Oasis.Engine.budget ~max_expanded:1 () in
+  check_degradation ~name:"max_expanded=1" db q 1
+    (mem_engine_budget ~budget ~min_score:1 db q)
+
+let test_budget_unlimited_completes () =
+  let db = db_of_strings [ "AGTACGCCTAG"; "TACG"; "CCCCTACGCCCC" ] in
+  let q = query "TACG" in
+  let engine = mem_engine_budget ~budget:Oasis.Engine.unlimited ~min_score:2 db q in
+  let hits = Oasis.Engine.Mem.run engine in
+  Alcotest.(check bool) "complete" true
+    (Oasis.Engine.Mem.outcome engine = Oasis.Engine.Complete);
+  Alcotest.(check (list (pair int int)))
+    "hits = oracle"
+    (sw_pairs (sw_hits ~matrix:unit_matrix ~gap:gap1 ~min_score:2 db q))
+    (hit_pairs hits)
+
+let test_budget_time_limit_zero () =
+  (* An already-expired deadline stops the search before its first pop;
+     the bound is then the root priority, covering every possible hit. *)
+  let db = db_of_strings [ "TACGTACG"; "AGTC" ] in
+  let q = query "TACG" in
+  let budget = Oasis.Engine.budget ~time_limit:0. () in
+  let engine = mem_engine_budget ~budget ~min_score:1 db q in
+  Alcotest.(check bool) "no hit emitted" true
+    (Oasis.Engine.Mem.next engine = None);
+  match Oasis.Engine.Mem.outcome engine with
+  | Oasis.Engine.Exhausted { remaining_bound } ->
+    let oracle = sw_pairs (sw_hits ~matrix:unit_matrix ~gap:gap1 ~min_score:1 db q) in
+    List.iter
+      (fun (_, score) ->
+        Alcotest.(check bool) "bound admissible" true (score <= remaining_bound))
+      oracle
+  | _ -> Alcotest.fail "expired deadline did not exhaust"
+
+let qcheck_budget_graceful =
+  QCheck.Test.make ~count:300
+    ~name:"budgeted search: exact prefix + admissible bound"
+    (QCheck.make
+       QCheck.Gen.(
+         pair random_case_gen (int_range 0 60))
+       ~print:(fun (case, cols) ->
+         print_case case ^ Printf.sprintf " max_columns=%d" cols))
+    (fun ((strings, qtext, min_score), max_columns) ->
+      let db = db_of_strings strings in
+      let q = query qtext in
+      let budget = Oasis.Engine.budget ~max_columns () in
+      let engine = mem_engine_budget ~budget ~min_score db q in
+      let got = hit_pairs (Oasis.Engine.Mem.run engine) in
+      let oracle =
+        sw_pairs (sw_hits ~matrix:unit_matrix ~gap:gap1 ~min_score db q)
+      in
+      match Oasis.Engine.Mem.outcome engine with
+      | Oasis.Engine.Searching -> false
+      | Oasis.Engine.Complete -> got = oracle
+      | Oasis.Engine.Exhausted { remaining_bound } ->
+        List.for_all (fun p -> List.mem p oracle) got
+        && List.for_all
+             (fun (s, score) ->
+               List.mem (s, score) got || score <= remaining_bound)
+             oracle)
+
 (* --- Parallel batch search --- *)
 
 let test_batch_parallel_equals_sequential () =
@@ -547,6 +660,17 @@ let () =
           Alcotest.test_case "parallel batch" `Quick
             test_batch_parallel_equals_sequential;
         ] );
+      ( "budget",
+        [
+          Alcotest.test_case "max_columns exhausts with a bound" `Quick
+            test_budget_max_columns;
+          Alcotest.test_case "max_expanded degrades gracefully" `Quick
+            test_budget_max_nodes;
+          Alcotest.test_case "unlimited budget completes" `Quick
+            test_budget_unlimited_completes;
+          Alcotest.test_case "expired deadline stops before work" `Quick
+            test_budget_time_limit_zero;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
@@ -563,5 +687,6 @@ let () =
             qcheck_batch_parallel;
             qcheck_disk_affine;
             qcheck_profile_engine_equals_sw;
+            qcheck_budget_graceful;
           ] );
     ]

@@ -196,7 +196,7 @@ let test_disk_tree_bad_magic () =
   let pool = Storage.Buffer_pool.create ~block_size:16 ~capacity:2 in
   try
     ignore
-      (Storage.Disk_tree.open_ ~alphabet:alpha ~pool ~symbols ~internal ~leaves);
+      (Storage.Disk_tree.open_ ~alphabet:alpha ~pool ~symbols ~internal ~leaves ());
     Alcotest.fail "bad magic accepted"
   with Invalid_argument _ -> ()
 
@@ -242,7 +242,7 @@ let open_external ?layout db =
   Storage.External_build.write ?layout db ~symbols ~internal ~leaves;
   let pool = Storage.Buffer_pool.create ~block_size:64 ~capacity:8 in
   Storage.Disk_tree.open_ ~alphabet:(Bioseq.Database.alphabet db) ~pool ~symbols
-    ~internal ~leaves
+    ~internal ~leaves ()
 
 let test_external_build_roundtrip () =
   let db = db_of_strings [ "AGTACGCCTAG"; "TACG"; "AGTACG"; "TACG" ] in
@@ -334,6 +334,297 @@ let qcheck_external_equals_monolithic =
       let dt_ext = open_external ~layout db in
       disk_leaf_paths dt_mono = disk_leaf_paths dt_ext)
 
+(* --- Integrity: CRC-32, footers, verify levels --- *)
+
+let test_crc32_known () =
+  (* The CRC-32/IEEE check value. *)
+  Alcotest.(check int) "check value" 0xCBF43926
+    (Storage.Crc32.string "123456789");
+  Alcotest.(check int) "empty" 0 (Storage.Crc32.string "");
+  let d = Storage.Device.in_memory () in
+  Storage.Device.append d (Bytes.of_string "123456789");
+  Alcotest.(check int) "of_device" 0xCBF43926 (Storage.Crc32.of_device d)
+
+let test_footer_roundtrip () =
+  let d = Storage.Device.in_memory () in
+  Storage.Device.append d (Bytes.of_string "payload bytes");
+  Storage.Footer.append d;
+  Alcotest.(check int) "length" (13 + Storage.Footer.size)
+    (Storage.Device.length d);
+  (match Storage.Footer.read d with
+  | Some f ->
+    Alcotest.(check int) "version" Storage.Footer.current_version
+      f.Storage.Footer.version;
+    Alcotest.(check int) "payload length" 13 f.Storage.Footer.payload_length;
+    Alcotest.(check int) "crc"
+      (Storage.Crc32.string "payload bytes")
+      f.Storage.Footer.crc
+  | None -> Alcotest.fail "footer unreadable");
+  match Storage.Footer.verify d with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "verify: %s" e
+
+let sample_db () = db_of_strings [ "AGTACGCCTAG"; "TACG"; "AGTACG" ]
+
+let write_devices ?layout db =
+  let symbols = Storage.Device.in_memory ()
+  and internal = Storage.Device.in_memory ()
+  and leaves = Storage.Device.in_memory () in
+  let tree = Suffix_tree.Ukkonen.build db in
+  Storage.Disk_tree.write ?layout tree ~symbols ~internal ~leaves;
+  (symbols, internal, leaves)
+
+let open_devices ?verify (symbols, internal, leaves) =
+  let pool = Storage.Buffer_pool.create ~block_size:32 ~capacity:8 in
+  Storage.Disk_tree.open_ ?verify ~alphabet:alpha ~pool ~symbols ~internal
+    ~leaves ()
+
+(* A copy of [d] with its last [n] bytes chopped off, as after an
+   interrupted write. *)
+let truncated d n =
+  let keep = Storage.Device.length d - n in
+  let buf = Bytes.create keep in
+  Storage.Device.pread d ~off:0 ~buf;
+  let d' = Storage.Device.in_memory () in
+  Storage.Device.append d' buf;
+  d'
+
+let flip_bit d off =
+  let buf = Bytes.create 1 in
+  Storage.Device.pread d ~off ~buf;
+  Bytes.set buf 0 (Char.chr (Char.code (Bytes.get buf 0) lxor 0x04));
+  Storage.Device.pwrite d ~off buf
+
+let expect_corrupt component f =
+  try
+    ignore (f ());
+    Alcotest.failf "%s corruption accepted" component
+  with Storage.Disk_tree.Corrupt { component = c; _ } ->
+    Alcotest.(check string) "failing component" component c
+
+let test_verify_full_ok () =
+  let db = sample_db () in
+  let tree = Suffix_tree.Ukkonen.build db in
+  List.iter
+    (fun layout ->
+      let dt =
+        open_devices ~verify:Storage.Disk_tree.Full (write_devices ~layout db)
+      in
+      Alcotest.(check (list (pair string int)))
+        "paths survive full verification" (mem_leaf_paths tree)
+        (disk_leaf_paths dt))
+    [ Storage.Disk_tree.Position_indexed; Storage.Disk_tree.Clustered ];
+  (* The externally-built image carries valid footers too. *)
+  let symbols = Storage.Device.in_memory ()
+  and internal = Storage.Device.in_memory ()
+  and leaves = Storage.Device.in_memory () in
+  Storage.External_build.write db ~symbols ~internal ~leaves;
+  let dt =
+    open_devices ~verify:Storage.Disk_tree.Full (symbols, internal, leaves)
+  in
+  Alcotest.(check (list (pair string int)))
+    "external image verifies" (mem_leaf_paths tree) (disk_leaf_paths dt)
+
+let test_verify_truncation () =
+  (* Chopping the tail off any component removes its footer; every
+     verify level above Off must refuse the image. *)
+  List.iter
+    (fun pick ->
+      let s, i, l = write_devices (sample_db ()) in
+      let name, devices =
+        match pick with
+        | 0 -> ("symbols", (truncated s 8, i, l))
+        | 1 -> ("internal", (s, truncated i 8, l))
+        | _ -> ("leaves", (s, i, truncated l 8))
+      in
+      expect_corrupt name (fun () ->
+          open_devices ~verify:Storage.Disk_tree.Footer devices))
+    [ 0; 1; 2 ]
+
+let test_verify_bit_flip () =
+  (* One flipped payload bit in any component fails its CRC. *)
+  List.iter
+    (fun pick ->
+      let s, i, l = write_devices (sample_db ()) in
+      let d, name =
+        match pick with
+        | 0 -> (s, "symbols")
+        | 1 -> (i, "internal")
+        | _ -> (l, "leaves")
+      in
+      flip_bit d (Storage.Device.length d - Storage.Footer.size - 2);
+      expect_corrupt name (fun () ->
+          open_devices ~verify:Storage.Disk_tree.Footer (s, i, l)))
+    [ 0; 1; 2 ]
+
+let test_verify_wrong_version () =
+  let s, i, l = write_devices (sample_db ()) in
+  let s = truncated s Storage.Footer.size in
+  Storage.Footer.append ~version:(Storage.Footer.current_version + 1) s;
+  expect_corrupt "symbols" (fun () ->
+      open_devices ~verify:Storage.Disk_tree.Footer (s, i, l))
+
+let test_verify_off_legacy () =
+  (* Images written before footers existed (no footer at all) still open
+     at the default level. *)
+  let db = sample_db () in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let s, i, l = write_devices db in
+  let n = Storage.Footer.size in
+  let dt = open_devices (truncated s n, truncated i n, truncated l n) in
+  Alcotest.(check (list (pair string int)))
+    "legacy footerless image readable" (mem_leaf_paths tree)
+    (disk_leaf_paths dt)
+
+let test_check_reports_garbage () =
+  (* Damage an internal entry's pointer word: Footer-level verification
+     would catch the CRC, but [check] must locate the bad field even
+     when asked to look at the raw structure. *)
+  let s, i, l = write_devices (sample_db ()) in
+  let off = 16 + 4 (* first entry's label-start word *) in
+  let bad = Bytes.of_string "\xff\xff\xff\x7f" in
+  Storage.Device.pwrite i ~off bad;
+  let dt = open_devices (s, i, l) in
+  match Storage.Disk_tree.check dt with
+  | [] -> Alcotest.fail "check accepted a wild pointer"
+  | issue :: _ ->
+    Alcotest.(check string) "component" "internal"
+      (Storage.Disk_tree.component_name issue.Storage.Disk_tree.component)
+
+(* --- Fault injection --- *)
+
+let test_faulty_transient () =
+  let inner = Storage.Device.in_memory () in
+  Storage.Device.append inner (Bytes.of_string "abcdefgh");
+  let plan =
+    Storage.Faulty.plan ~transient_read_prob:1.0 ~max_consecutive_transient:2 ()
+  in
+  let d, h = Storage.Faulty.wrap plan inner in
+  let buf = Bytes.create 4 in
+  let attempts = ref 0 in
+  let rec go () =
+    incr attempts;
+    try Storage.Device.pread d ~off:0 ~buf
+    with Storage.Io_error info ->
+      Alcotest.(check bool) "transient" true info.Storage.Io_error.transient;
+      go ()
+  in
+  go ();
+  (* max_consecutive_transient + 1 attempts always suffice. *)
+  Alcotest.(check int) "third attempt succeeds" 3 !attempts;
+  Alcotest.(check string) "data intact" "abcd" (Bytes.to_string buf);
+  let s = Storage.Faulty.stats h in
+  Alcotest.(check int) "failures counted" 2
+    s.Storage.Faulty.transient_failures
+
+let test_faulty_fail_after () =
+  let inner = Storage.Device.in_memory () in
+  Storage.Device.append inner (Bytes.make 16 'x');
+  let d, _ =
+    Storage.Faulty.wrap (Storage.Faulty.plan ~fail_after_ops:3 ()) inner
+  in
+  let buf = Bytes.create 1 in
+  for _ = 1 to 3 do
+    Storage.Device.pread d ~off:0 ~buf
+  done;
+  try
+    Storage.Device.pread d ~off:0 ~buf;
+    Alcotest.fail "dead device still reads"
+  with Storage.Io_error info ->
+    Alcotest.(check bool) "permanent" false info.Storage.Io_error.transient
+
+let test_faulty_torn_append () =
+  let inner = Storage.Device.in_memory () in
+  let d, h =
+    Storage.Faulty.wrap
+      (Storage.Faulty.plan ~seed:7 ~torn_append_prob:1.0 ())
+      inner
+  in
+  Storage.Device.append d (Bytes.make 100 'a');
+  Alcotest.(check bool) "strict prefix landed" true
+    (Storage.Device.length inner < 100);
+  Alcotest.(check int) "torn append counted" 1
+    (Storage.Faulty.stats h).Storage.Faulty.torn_appends
+
+let test_faulty_bit_flip () =
+  let inner = Storage.Device.in_memory () in
+  Storage.Device.append inner (Bytes.make 32 '\000');
+  let d, h =
+    Storage.Faulty.wrap (Storage.Faulty.plan ~seed:3 ~bit_flip_prob:1.0 ()) inner
+  in
+  let buf = Bytes.create 32 in
+  Storage.Device.pread d ~off:0 ~buf;
+  let set_bits = ref 0 in
+  Bytes.iter
+    (fun c ->
+      for bit = 0 to 7 do
+        if Char.code c land (1 lsl bit) <> 0 then incr set_bits
+      done)
+    buf;
+  Alcotest.(check int) "exactly one bit flipped" 1 !set_bits;
+  Alcotest.(check int) "flip counted" 1
+    (Storage.Faulty.stats h).Storage.Faulty.bit_flips;
+  (* The flip is on the read path only: the device itself is clean. *)
+  let again = Bytes.create 32 in
+  Storage.Device.pread inner ~off:0 ~buf:again;
+  Alcotest.(check string) "underlying data clean"
+    (String.make 32 '\000')
+    (Bytes.to_string again)
+
+let test_faulty_deterministic () =
+  let run () =
+    let inner = Storage.Device.in_memory () in
+    Storage.Device.append inner (Bytes.make 64 'x');
+    let plan =
+      Storage.Faulty.plan ~seed:42 ~transient_read_prob:0.5
+        ~max_consecutive_transient:1 ()
+    in
+    let d, h = Storage.Faulty.wrap plan inner in
+    let buf = Bytes.create 4 in
+    for off = 0 to 15 do
+      try Storage.Device.pread d ~off ~buf with Storage.Io_error _ -> ()
+    done;
+    Storage.Faulty.stats h
+  in
+  Alcotest.(check bool) "same seed, same faults" true (run () = run ())
+
+let test_pool_retry () =
+  let inner = Storage.Device.in_memory () in
+  Storage.Device.append inner (Bytes.init 64 (fun i -> Char.chr i));
+  let plan =
+    Storage.Faulty.plan ~transient_read_prob:1.0 ~max_consecutive_transient:2 ()
+  in
+  let d, _ = Storage.Faulty.wrap plan inner in
+  let pool = Storage.Buffer_pool.create ~block_size:16 ~capacity:4 in
+  Storage.Buffer_pool.set_retry pool
+    { Storage.Buffer_pool.attempts = 3; backoff = 0.; multiplier = 2. };
+  let h = Storage.Buffer_pool.attach pool ~name:"faulty" d in
+  Alcotest.(check int) "read through retries" 5
+    (Storage.Buffer_pool.read_byte pool h 5);
+  let s = Storage.Buffer_pool.stats h in
+  Alcotest.(check int) "retries counted" 2 s.Storage.Buffer_pool.retries;
+  Alcotest.(check int) "no failures" 0 s.Storage.Buffer_pool.failures;
+  (* Without a retry budget the same fault is fatal and counted. *)
+  Storage.Buffer_pool.set_retry pool Storage.Buffer_pool.no_retry;
+  (try
+     ignore (Storage.Buffer_pool.read_byte pool h 20);
+     Alcotest.fail "fault survived no_retry"
+   with Storage.Io_error info ->
+     Alcotest.(check bool) "still transient" true
+       info.Storage.Io_error.transient);
+  let s = Storage.Buffer_pool.stats h in
+  Alcotest.(check int) "failure counted" 1 s.Storage.Buffer_pool.failures
+
+let test_open_file_missing () =
+  try
+    ignore (Storage.Device.open_file "/nonexistent/oasis-io-error-test");
+    Alcotest.fail "opened a missing file"
+  with Storage.Io_error info ->
+    Alcotest.(check bool) "op is Open" true
+      (info.Storage.Io_error.op = Storage.Io_error.Open);
+    Alcotest.(check bool) "path recorded" true
+      (info.Storage.Io_error.path <> None)
+
 let qcheck_disk_roundtrip =
   let gen =
     QCheck.Gen.(
@@ -363,6 +654,39 @@ let () =
         [
           Alcotest.test_case "in-memory" `Quick test_device_memory;
           Alcotest.test_case "file backend" `Quick test_device_file;
+          Alcotest.test_case "missing file is a typed Io_error" `Quick
+            test_open_file_missing;
+        ] );
+      ( "integrity",
+        [
+          Alcotest.test_case "crc32 known values" `Quick test_crc32_known;
+          Alcotest.test_case "footer round-trip" `Quick test_footer_roundtrip;
+          Alcotest.test_case "full verify accepts good images" `Quick
+            test_verify_full_ok;
+          Alcotest.test_case "truncation rejected" `Quick
+            test_verify_truncation;
+          Alcotest.test_case "bit flip rejected" `Quick test_verify_bit_flip;
+          Alcotest.test_case "wrong footer version rejected" `Quick
+            test_verify_wrong_version;
+          Alcotest.test_case "legacy footerless image opens at Off" `Quick
+            test_verify_off_legacy;
+          Alcotest.test_case "check locates wild pointers" `Quick
+            test_check_reports_garbage;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "transient reads recover" `Quick
+            test_faulty_transient;
+          Alcotest.test_case "fail-after kills the device" `Quick
+            test_faulty_fail_after;
+          Alcotest.test_case "torn append writes a strict prefix" `Quick
+            test_faulty_torn_append;
+          Alcotest.test_case "bit flip corrupts the read path only" `Quick
+            test_faulty_bit_flip;
+          Alcotest.test_case "same seed injects the same faults" `Quick
+            test_faulty_deterministic;
+          Alcotest.test_case "pool retries transient faults" `Quick
+            test_pool_retry;
         ] );
       ( "buffer_pool",
         [
