@@ -5,7 +5,17 @@
      dune exec bench/main.exe -- fig3    # one experiment
                                   (table2 space fig3 fig4 fig5 fig6 fig7 fig8
                                    fig9 ablation longq affine dna quasar layout
-                                   edit parallel micro)
+                                   edit parallel micro kernel)
+     dune exec bench/main.exe -- --quick kernel
+                                         # CI mode: small database, few
+                                         # queries; with no experiment names
+                                         # --quick runs just the kernel bench
+
+   The [kernel] experiment races the pooled engine against the
+   executable reference implementation (Oasis.Reference) on the protein
+   workload, asserts bit-identical hit streams, and writes the numbers
+   (columns/sec, nodes/sec, minor-GC words per column, peak pool bytes)
+   to BENCH_oasis.json in the current directory.
 
    Environment knobs:
      OASIS_BENCH_DB       database size in residues   (default 300_000)
@@ -25,8 +35,9 @@ let env_int name default =
 let env_float name default =
   match Sys.getenv_opt name with Some v -> float_of_string v | None -> default
 
-let db_symbols = env_int "OASIS_BENCH_DB" 300_000
-let queries_per_length = env_int "OASIS_BENCH_QPL" 5
+let quick = Array.exists (( = ) "--quick") Sys.argv
+let db_symbols = env_int "OASIS_BENCH_DB" (if quick then 60_000 else 300_000)
+let queries_per_length = env_int "OASIS_BENCH_QPL" (if quick then 2 else 5)
 let seed = env_int "OASIS_BENCH_SEED" 2003
 let seek_ms = env_float "OASIS_BENCH_SEEK_MS" 5.0
 
@@ -1204,6 +1215,198 @@ let micro _setup =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Kernel benchmark: pooled engine vs the executable reference, with a  *)
+(* machine-readable BENCH_oasis.json for CI trend tracking.             *)
+(* ------------------------------------------------------------------ *)
+
+let bench_json_path = "BENCH_oasis.json"
+
+let same_hit (a : Oasis.Hit.t) (b : Oasis.Hit.t) =
+  a.Oasis.Hit.seq_index = b.Oasis.Hit.seq_index
+  && a.Oasis.Hit.score = b.Oasis.Hit.score
+  && a.Oasis.Hit.query_stop = b.Oasis.Hit.query_stop
+  && a.Oasis.Hit.target_stop = b.Oasis.Hit.target_stop
+
+let same_stream a b =
+  List.length a = List.length b && List.for_all2 same_hit a b
+
+type kernel_side = {
+  k_wall : float;
+  k_columns : int;
+  k_expanded : int;
+  k_minor_words : float;
+  k_peak_pool_bytes : int;  (** 0 for the reference (it has no pool) *)
+  k_pool_reused : int;
+}
+
+let kernel setup =
+  print_endline
+    "== Kernel: pooled engine vs reference implementation (protein workload, \
+     E=20000)";
+  let queries = List.concat_map snd (workload setup) in
+  let jobs =
+    List.map
+      (fun q -> (q, min_score_for setup ~query:q ~evalue:20000.))
+      queries
+  in
+  let reps = if quick then 1 else 3 in
+  Printf.printf "  %d queries x %d reps%s\n%!" (List.length jobs) reps
+    (if quick then " (--quick)" else "");
+  (* Correctness gate first, unmeasured: the pooled engine must produce
+     the reference's hit stream bit-identically — same hits, same order,
+     same column counts — on every query of the workload. *)
+  List.iter
+    (fun (query, min_score) ->
+      let cfg =
+        Oasis.Engine.config ~matrix:setup.matrix ~gap:setup.gap ~min_score ()
+      in
+      let e = Oasis.Engine.Mem.create ~source:setup.tree ~db:setup.db ~query cfg in
+      let eh = Oasis.Engine.Mem.run e in
+      let r =
+        Oasis.Reference.Mem.create ~source:setup.tree ~db:setup.db ~query cfg
+      in
+      let rh = Oasis.Reference.Mem.run r in
+      if not (same_stream eh rh) then
+        failwith
+          (Printf.sprintf
+             "kernel bench: hit stream diverged from reference on %s"
+             (Bioseq.Sequence.id query));
+      if
+        (Oasis.Engine.Mem.counters e).Oasis.Engine.columns
+        <> Oasis.Reference.Mem.columns r
+      then
+        failwith
+          (Printf.sprintf "kernel bench: column count diverged on %s"
+             (Bioseq.Sequence.id query)))
+    jobs;
+  Printf.printf "  hit streams identical on all %d queries\n%!" (List.length jobs);
+  let measure_engine () =
+    let columns = ref 0 and expanded = ref 0 in
+    let peak_pool = ref 0 and reused = ref 0 in
+    let words0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    for _rep = 1 to reps do
+      List.iter
+        (fun (query, min_score) ->
+          let cfg =
+            Oasis.Engine.config ~matrix:setup.matrix ~gap:setup.gap ~min_score ()
+          in
+          let e =
+            Oasis.Engine.Mem.create ~source:setup.tree ~db:setup.db ~query cfg
+          in
+          ignore (Oasis.Engine.Mem.run e);
+          let c = Oasis.Engine.Mem.counters e in
+          columns := !columns + c.Oasis.Engine.columns;
+          expanded := !expanded + c.Oasis.Engine.nodes_expanded;
+          peak_pool := max !peak_pool c.Oasis.Engine.pool_peak_bytes;
+          reused := !reused + c.Oasis.Engine.pool_reused)
+        jobs
+    done;
+    {
+      k_wall = Unix.gettimeofday () -. t0;
+      k_columns = !columns;
+      k_expanded = !expanded;
+      k_minor_words = Gc.minor_words () -. words0;
+      k_peak_pool_bytes = !peak_pool;
+      k_pool_reused = !reused;
+    }
+  in
+  let measure_reference () =
+    let columns = ref 0 and expanded = ref 0 in
+    let words0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    for _rep = 1 to reps do
+      List.iter
+        (fun (query, min_score) ->
+          let cfg =
+            Oasis.Engine.config ~matrix:setup.matrix ~gap:setup.gap ~min_score ()
+          in
+          let r =
+            Oasis.Reference.Mem.create ~source:setup.tree ~db:setup.db ~query
+              cfg
+          in
+          ignore (Oasis.Reference.Mem.run r);
+          columns := !columns + Oasis.Reference.Mem.columns r;
+          expanded := !expanded + Oasis.Reference.Mem.nodes_expanded r)
+        jobs
+    done;
+    {
+      k_wall = Unix.gettimeofday () -. t0;
+      k_columns = !columns;
+      k_expanded = !expanded;
+      k_minor_words = Gc.minor_words () -. words0;
+      k_peak_pool_bytes = 0;
+      k_pool_reused = 0;
+    }
+  in
+  (* Interleave to share any JIT-less warmup (page cache, branch state)
+     fairly; reference first so the engine cannot benefit from running
+     last either. *)
+  let reference = measure_reference () in
+  let engine = measure_engine () in
+  let per_sec n wall = float_of_int n /. max 1e-9 wall in
+  let wpc side = side.k_minor_words /. float_of_int (max 1 side.k_columns) in
+  let speedup =
+    per_sec engine.k_columns engine.k_wall
+    /. per_sec reference.k_columns reference.k_wall
+  in
+  let words_ratio = wpc reference /. max 1e-9 (wpc engine) in
+  let row name side =
+    Printf.printf
+      "  %-9s %10.3fs  %12.0f cols/s  %11.0f nodes/s  %8.2f minor words/col\n"
+      name side.k_wall
+      (per_sec side.k_columns side.k_wall)
+      (per_sec side.k_expanded side.k_wall)
+      (wpc side)
+  in
+  row "reference" reference;
+  row "engine" engine;
+  Printf.printf
+    "  speedup: %.2fx columns/sec   allocation: %.1fx fewer minor words/col   \
+     peak pool: %d bytes\n"
+    speedup words_ratio engine.k_peak_pool_bytes;
+  let oc = open_out bench_json_path in
+  let side name s =
+    Printf.sprintf
+      "  \"%s\": {\n\
+      \    \"wall_s\": %.6f,\n\
+      \    \"columns\": %d,\n\
+      \    \"columns_per_sec\": %.1f,\n\
+      \    \"nodes_expanded\": %d,\n\
+      \    \"nodes_expanded_per_sec\": %.1f,\n\
+      \    \"minor_words\": %.0f,\n\
+      \    \"minor_words_per_column\": %.3f,\n\
+      \    \"peak_pool_bytes\": %d,\n\
+      \    \"pool_reused\": %d\n\
+      \  }"
+      name s.k_wall s.k_columns
+      (per_sec s.k_columns s.k_wall)
+      s.k_expanded
+      (per_sec s.k_expanded s.k_wall)
+      s.k_minor_words (wpc s) s.k_peak_pool_bytes s.k_pool_reused
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"kernel\",\n\
+    \  \"quick\": %b,\n\
+    \  \"db_symbols\": %d,\n\
+    \  \"queries\": %d,\n\
+    \  \"reps\": %d,\n\
+    \  \"seed\": %d,\n\
+    \  \"hit_streams_identical\": true,\n\
+     %s,\n\
+     %s,\n\
+    \  \"speedup_columns_per_sec\": %.3f,\n\
+    \  \"minor_words_reduction\": %.2f\n\
+     }\n"
+    quick db_symbols (List.length jobs) reps seed
+    (side "reference" reference)
+    (side "engine" engine)
+    speedup words_ratio;
+  close_out oc;
+  Printf.printf "  wrote %s\n\n" bench_json_path
+
+(* ------------------------------------------------------------------ *)
 (* Driver.                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1227,13 +1430,16 @@ let experiments =
     ("edit", edit_exp);
     ("parallel", parallel_exp);
     ("micro", micro);
+    ("kernel", kernel);
   ]
 
 let () =
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match
+      List.filter (fun a -> a <> "--quick") (List.tl (Array.to_list Sys.argv))
+    with
+    | [] -> if quick then [ "kernel" ] else List.map fst experiments
+    | names -> names
   in
   let unknown =
     List.filter (fun n -> not (List.mem_assoc n experiments)) requested

@@ -30,4 +30,4 @@ let run ?(domains = 1) ~tree ~db ~queries cfg =
       Array.fold_left (fun acc w -> Domain.join w @ acc) [] workers
     end
   in
-  List.sort (fun a b -> compare a.query_index b.query_index) results
+  List.sort (fun a b -> Int.compare a.query_index b.query_index) results

@@ -1,0 +1,77 @@
+type t = {
+  width : int;
+  mutable data : int array; (* cap * width cells *)
+  mutable cap : int; (* slots allocated in [data] *)
+  mutable next_fresh : int; (* slots in [0, next_fresh) have been handed out *)
+  mutable free : int array; (* LIFO free stack in free.(0 .. free_top-1) *)
+  mutable free_top : int;
+  mutable live : int;
+  mutable peak_live : int;
+  mutable reused : int;
+  mutable acquired : int;
+}
+
+let create ~width =
+  if width <= 0 then invalid_arg "Col_pool.create: width must be positive";
+  {
+    width;
+    data = [||];
+    cap = 0;
+    next_fresh = 0;
+    free = [||];
+    free_top = 0;
+    live = 0;
+    peak_live = 0;
+    reused = 0;
+    acquired = 0;
+  }
+
+let width t = t.width
+let data t = t.data
+let base t slot = slot * t.width
+
+let grow t =
+  let ncap = max 8 (2 * t.cap) in
+  let ndata = Array.make (ncap * t.width) 0 in
+  Array.blit t.data 0 ndata 0 (t.cap * t.width);
+  t.data <- ndata;
+  t.cap <- ncap
+
+let acquire t =
+  t.acquired <- t.acquired + 1;
+  t.live <- t.live + 1;
+  if t.live > t.peak_live then t.peak_live <- t.live;
+  if t.free_top > 0 then begin
+    t.free_top <- t.free_top - 1;
+    t.reused <- t.reused + 1;
+    t.free.(t.free_top)
+  end
+  else begin
+    if t.next_fresh = t.cap then grow t;
+    let slot = t.next_fresh in
+    t.next_fresh <- t.next_fresh + 1;
+    slot
+  end
+
+let release t slot =
+  if slot < 0 || slot >= t.next_fresh then
+    invalid_arg "Col_pool.release: slot was never acquired";
+  if t.free_top = Array.length t.free then begin
+    let ncap = max 8 (2 * Array.length t.free) in
+    let nfree = Array.make ncap 0 in
+    Array.blit t.free 0 nfree 0 t.free_top;
+    t.free <- nfree
+  end;
+  t.free.(t.free_top) <- slot;
+  t.free_top <- t.free_top + 1;
+  t.live <- t.live - 1
+
+let blit t ~src ~dst =
+  Array.blit t.data (src * t.width) t.data (dst * t.width) t.width
+
+let fill t slot v = Array.fill t.data (slot * t.width) t.width v
+let live t = t.live
+let peak_live t = t.peak_live
+let reused t = t.reused
+let acquired t = t.acquired
+let capacity_bytes t = t.cap * t.width * (Sys.word_size / 8)

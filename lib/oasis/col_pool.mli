@@ -1,0 +1,69 @@
+(** Column arena: a growable pool of fixed-width integer buffers backing
+    the engine's DP columns.
+
+    Search nodes reference their column(s) by {e slot} instead of owning
+    an OCaml array: expanding a child acquires a slot, the DP runs in
+    place inside the shared backing store, and the slot is released the
+    moment the node is pruned, accepted, or fully expanded. Steady-state
+    searches therefore allocate nothing per column — the backing store
+    only grows when the live frontier outgrows every previous high-water
+    mark, and released slots are recycled LIFO (the hottest slot is
+    reused first, which keeps the working set cache-resident).
+
+    The pool is single-owner and not thread-safe; each engine instance
+    creates its own (parallel batch search runs one engine per domain).
+
+    Safety of recycling rests on the engine's node lifetimes: a slot is
+    referenced only by the one queued node that acquired it, children
+    copy the parent column {e before} the parent's slot is released, and
+    accepted nodes carry no slot at all. *)
+
+type t
+
+val create : width:int -> t
+(** [create ~width] makes an empty pool of [width]-integer slots.
+    Raises [Invalid_argument] if [width <= 0]. *)
+
+val width : t -> int
+
+val acquire : t -> int
+(** Hand out a slot id, recycling a released slot when one is free and
+    growing the backing store (amortized doubling) otherwise. Slot
+    contents are whatever the previous owner left — callers initialise
+    via {!fill} or {!blit}. *)
+
+val release : t -> int -> unit
+(** Return a slot to the free list. Raises [Invalid_argument] on a slot
+    that was never handed out. Releasing the same slot twice is not
+    detected — the engine's node lifetimes make it impossible. *)
+
+val blit : t -> src:int -> dst:int -> unit
+(** Copy one slot's contents onto another (the parent-to-child column
+    copy). *)
+
+val fill : t -> int -> int -> unit
+(** [fill t slot v] sets every cell of [slot] to [v]. *)
+
+val data : t -> int array
+(** The current backing store; index cell [i] of a slot as
+    [(data t).(base t slot + i)]. The array is replaced on growth, so
+    re-read it after any {!acquire}. *)
+
+val base : t -> int -> int
+(** [base t slot = slot * width t]: the slot's offset into {!data}. *)
+
+(** {2 Statistics} *)
+
+val live : t -> int
+(** Slots currently acquired and not yet released. *)
+
+val peak_live : t -> int
+val reused : t -> int
+(** Acquisitions served by recycling a released slot. *)
+
+val acquired : t -> int
+(** Total acquisitions. *)
+
+val capacity_bytes : t -> int
+(** Size of the backing store in bytes — the pool's high-water mark,
+    since the store never shrinks. *)

@@ -81,8 +81,8 @@ module Make (S : Source.S) = struct
     let hits =
       List.sort
         (fun a b ->
-          if a.edits <> b.edits then compare a.edits b.edits
-          else compare a.seq_index b.seq_index)
+          if a.edits <> b.edits then Int.compare a.edits b.edits
+          else Int.compare a.seq_index b.seq_index)
         !hits
     in
     (hits, { nodes_visited = !nodes_visited; rows_computed = !rows_computed })

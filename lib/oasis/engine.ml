@@ -64,18 +64,31 @@ type counters = {
   nodes_enqueued : int;
   nodes_pruned : int;
   max_queue : int;
+  pool_reused : int;
+  pool_live : int;
+  pool_peak_live : int;
+  pool_peak_bytes : int;
+  minor_words : float;
 }
 
 let neg_inf = Scoring.Submat.neg_inf
 
+(* Debug escape hatch: set OASIS_CHECKED_KERNEL=1 to validate the
+   kernel's index ranges once per DP column. The inner loops use unsafe
+   array accesses whose indices all lie inside the validated ranges, so
+   a per-access check would only re-prove the same bounds at ~5x the
+   memory-access count. *)
+let checked_kernel =
+  match Sys.getenv_opt "OASIS_CHECKED_KERNEL" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
 module Make (S : Source.S) = struct
   type snode = {
     tree_node : S.node;
-    b : int array;  (** empty for accepted nodes (never expanded) *)
-    bd : int array;
-        (** affine gaps only: scores of alignments ending in a
-            gap-vs-target run (Gotoh's D matrix column); empty under the
-            linear model and for accepted nodes *)
+    slot : int;
+        (** column-arena slot holding this node's DP vector(s); [-1] for
+            accepted nodes, which are never expanded *)
     depth : int;  (** path length in symbols *)
     max_score : int;
     max_q : int;  (** query end (exclusive) of the max_score alignment *)
@@ -89,16 +102,21 @@ module Make (S : Source.S) = struct
     m : int;
     hvec : int array;
     cfg : config;
-    rows : int array;
-        (** per-query-position scoring table, row-major [m * dim]:
-            [rows.((i-1) * dim + c)] scores symbol [c] against query
-            position [i] — a matrix row for plain searches, a PSSM
-            column for profile searches *)
-    dim : int;
+    cols : int array;
+        (** symbol-major scoring table [dim * m]:
+            [cols.((c * m) + (i - 1))] scores symbol [c] against query
+            position [i] — one contiguous row per database symbol, so a
+            DP column (fixed [c], [i] sweeping) is a stride-1 scan *)
     gap_open : int;  (** score of a gap run's first symbol (negative) *)
     gap_extend : int;  (** score of each further gap symbol (negative) *)
+    min_score : int;  (** = cfg.min_score, hoisted for the kernel *)
+    opt_pn : bool;  (** = cfg.options.prune_nonpositive *)
+    opt_pd : bool;  (** = cfg.options.prune_dominated *)
     affine : bool;
     term : int;
+    pool : Col_pool.t;
+        (** slot width [m + 1] (linear) or [2 * (m + 1)] (affine, [B]
+            then Gotoh's [D] vector in one slot) *)
     pq : snode Pqueue.t;
     reported_seq : bool array;
     mutable reported_count : int;
@@ -108,7 +126,16 @@ module Make (S : Source.S) = struct
     mutable c_enqueued : int;
     mutable c_pruned : int;
     mutable c_max_queue : int;
+    (* Scratch registers for the closure-free kernel: loaded from the
+       parent node before an arc walk, stored into the child snode (or
+       discarded) after. Only one arc is ever in flight. *)
+    mutable sc_best : int;
+    mutable sc_best_q : int;
+    mutable sc_best_off : int;
+    mutable sc_ub : int;  (** arc result: the viable node's priority *)
+    mutable sc_depth : int;  (** arc result: the viable node's depth *)
     mutable tracer : (trace_event -> unit) option;
+    base_minor_words : float;  (** [Gc.minor_words] at creation *)
     deadline : float;  (** absolute; [infinity] when no time limit *)
     mutable exhausted : int option;
         (** [Some bound] once the budget stopped the search with viable
@@ -116,9 +143,373 @@ module Make (S : Source.S) = struct
             everything left unreported *)
   }
 
-  (* Shared constructor: [rows]/[hvec] come either from a matrix and a
+  (* Checked-mode validation, once per DP column: every unsafe access
+     in the loops below stays inside these ranges ([w.(lo .. hi + m)],
+     [cols.(c*m .. c*m + m - 1)], [hvec.(0 .. m)]). *)
+  let check_column t (w : int array) lo hi c =
+    if
+      lo < 0
+      || hi + t.m >= Array.length w
+      || c < 0
+      || (c + 1) * t.m > Array.length t.cols
+      || Array.length t.hvec <> t.m + 1
+    then invalid_arg "Oasis.Engine: kernel index range violation"
+
+  (* Fallback bound for an arc that contributed no DP column: scan the
+     (inherited) column once, as the pre-arena engine's second pass did.
+     When at least one column ran, the fused per-column bound already
+     equals this scan's result over the final column, so the kernel
+     skips it. *)
+  let rescan t (w : int array) off =
+    let rec go i ub =
+      if i > t.m then ub
+      else
+        let v = w.(off + i) in
+        let ub =
+          if v > neg_inf && v + t.hvec.(i) > ub then v + t.hvec.(i) else ub
+        in
+        go (i + 1) ub
+    in
+    go 0 neg_inf
+
+  (* One linear-model DP column, in place at [w.(off .. off + m)], fused
+     with the upper-bound computation. [diag] carries the previous
+     column's value one row up; [crow = c * m - 1] indexes the symbol's
+     stride-1 score row. Returns the column's admissible bound; the
+     running best lives in the scratch registers. Arguments are plain
+     ints so the loop allocates nothing (no closures, no refs), the §3.2
+     pruning cascade is written out inline — without flambda an
+     out-of-line cascade costs a call per cell — and every [max] is an
+     explicit int comparison (the polymorphic [Stdlib.max] keeps its
+     generic [>=], a C call, when the compiler is not flambda). *)
+  let rec lin_rows t (w : int array) off crow i diag ub depth =
+    if i > t.m then ub
+    else begin
+      let wi = Array.unsafe_get w (off + i) in
+      let repl =
+        if diag = neg_inf then neg_inf
+        else diag + Array.unsafe_get t.cols (crow + i)
+      in
+      let del = if wi = neg_inf then neg_inf else wi + t.gap_extend in
+      let prev = Array.unsafe_get w (off + i - 1) in
+      let ins = if prev = neg_inf then neg_inf else prev + t.gap_extend in
+      let hv = Array.unsafe_get t.hvec i in
+      let dm = if del >= ins then del else ins in
+      let v = if repl >= dm then repl else dm in
+      let v =
+        if v = neg_inf then neg_inf
+        else if t.opt_pn && v <= 0 then neg_inf
+        else if t.opt_pd && v + hv <= t.sc_best then neg_inf
+        else if v + hv < t.min_score then neg_inf
+        else v
+      in
+      Array.unsafe_set w (off + i) v;
+      let ub =
+        if v > neg_inf then begin
+          if v > t.sc_best then begin
+            t.sc_best <- v;
+            t.sc_best_q <- i;
+            t.sc_best_off <- depth
+          end;
+          if v + hv > ub then v + hv else ub
+        end
+        else ub
+      in
+      lin_rows t w off crow (i + 1) wi ub depth
+    end
+
+  (* [lin_rows] specialized for the default pruning configuration (both
+     rules on — the only one the CLI and bench exercise). The three
+     cascade thresholds collapse into one cutoff
+     [cut = max sc_best (min_score - 1)], maintained incrementally as
+     the best improves, so a cell lives iff [v > 0 && v + hvec(i) > cut]
+     — two compares instead of four (rule 1 subsumes the [neg_inf]
+     guard). [left] carries the just-written cell so the loop reads [w]
+     once per row. Cell-for-cell equivalent to [lin_rows] with both
+     flags set: [v + hv <= max best (min_score - 1)] iff
+     [v + hv <= best || v + hv < min_score]. *)
+  let rec lin_rows_def t (w : int array) off crow i diag left ub cut depth =
+    if i > t.m then ub
+    else begin
+      let wi = Array.unsafe_get w (off + i) in
+      let ge = t.gap_extend in
+      let repl =
+        if diag = neg_inf then neg_inf
+        else diag + Array.unsafe_get t.cols (crow + i)
+      in
+      let del = if wi = neg_inf then neg_inf else wi + ge in
+      let ins = if left = neg_inf then neg_inf else left + ge in
+      let dm = if del >= ins then del else ins in
+      let v = if repl >= dm then repl else dm in
+      let s = v + Array.unsafe_get t.hvec i in
+      if v <= 0 || s <= cut then begin
+        Array.unsafe_set w (off + i) neg_inf;
+        lin_rows_def t w off crow (i + 1) wi neg_inf ub cut depth
+      end
+      else begin
+        Array.unsafe_set w (off + i) v;
+        let ub = if s > ub then s else ub in
+        if v > t.sc_best then begin
+          t.sc_best <- v;
+          t.sc_best_q <- i;
+          t.sc_best_off <- depth;
+          let cut = if v > cut then v else cut in
+          lin_rows_def t w off crow (i + 1) wi v ub cut depth
+        end
+        else lin_rows_def t w off crow (i + 1) wi v ub cut depth
+      end
+    end
+
+  let lin_column t w off c depth =
+    if checked_kernel then check_column t w off off c;
+    (* Row 0: the empty query prefix. Off the root it can only be
+       reached by deleting target symbols, which other tree paths cover;
+       it is pruned by rule 1 (or kept, negative, when the rule is off —
+       harmless either way). *)
+    let w0 = Array.unsafe_get w off in
+    let w0' =
+      if w0 = neg_inf then neg_inf
+      else
+        let v = w0 + t.gap_extend in
+        if t.opt_pn && v <= 0 then neg_inf else v
+    in
+    Array.unsafe_set w off w0';
+    let ub = if w0' = neg_inf then neg_inf else w0' + Array.unsafe_get t.hvec 0 in
+    let crow = (c * t.m) - 1 in
+    if t.opt_pn && t.opt_pd then
+      let ms1 = t.min_score - 1 in
+      let cut = if t.sc_best >= ms1 then t.sc_best else ms1 in
+      lin_rows_def t w off crow 1 w0 w0' ub cut depth
+    else lin_rows t w off crow 1 w0 ub depth
+
+  (* One affine-model (Gotoh) column: [off] addresses the B vector,
+     [offd] the D vector (delete-run scores), both in the same arena
+     slot. [ins] threads the insert-run score down the column. *)
+  let rec aff_rows t (w : int array) off offd crow i diag ins ub depth =
+    if i > t.m then ub
+    else begin
+      let whi = Array.unsafe_get w (off + i) in
+      let wdi = Array.unsafe_get w (offd + i) in
+      (* Delete run: previous column's B/D at row i (not yet
+         overwritten). *)
+      let d1 = if whi = neg_inf then neg_inf else whi + t.gap_open in
+      let d2 = if wdi = neg_inf then neg_inf else wdi + t.gap_extend in
+      let d = if d1 >= d2 then d1 else d2 in
+      (* Insert run: current column, one row up. *)
+      let prev = Array.unsafe_get w (off + i - 1) in
+      let i1 = if prev = neg_inf then neg_inf else prev + t.gap_open in
+      let i2 = if ins = neg_inf then neg_inf else ins + t.gap_extend in
+      let ins = if i1 >= i2 then i1 else i2 in
+      let repl =
+        if diag = neg_inf then neg_inf
+        else diag + Array.unsafe_get t.cols (crow + i)
+      in
+      let hv = Array.unsafe_get t.hvec i in
+      let d =
+        if d = neg_inf then neg_inf
+        else if t.opt_pn && d <= 0 then neg_inf
+        else if t.opt_pd && d + hv <= t.sc_best then neg_inf
+        else if d + hv < t.min_score then neg_inf
+        else d
+      in
+      let dm = if d >= ins then d else ins in
+      let h = if repl >= dm then repl else dm in
+      let h =
+        if h = neg_inf then neg_inf
+        else if t.opt_pn && h <= 0 then neg_inf
+        else if t.opt_pd && h + hv <= t.sc_best then neg_inf
+        else if h + hv < t.min_score then neg_inf
+        else h
+      in
+      Array.unsafe_set w (offd + i) d;
+      Array.unsafe_set w (off + i) h;
+      let ub =
+        if h > neg_inf then begin
+          if h > t.sc_best then begin
+            t.sc_best <- h;
+            t.sc_best_q <- i;
+            t.sc_best_off <- depth
+          end;
+          if h + hv > ub then h + hv else ub
+        end
+        else ub
+      in
+      aff_rows t w off offd crow (i + 1) whi ins ub depth
+    end
+
+  (* [aff_rows] specialized like [lin_rows_def]: one [cut] threshold,
+     [left] carries the just-written B cell. Both Gotoh cascades (the
+     delete-run score and the cell score) use the collapsed test. The
+     last two arguments spill to the stack (OCaml passes ten ints in
+     registers on amd64) — still far cheaper than the generic cascades. *)
+  let rec aff_rows_def t (w : int array) off offd crow i diag ins left ub cut
+      depth =
+    if i > t.m then ub
+    else begin
+      let whi = Array.unsafe_get w (off + i) in
+      let wdi = Array.unsafe_get w (offd + i) in
+      let ge = t.gap_extend in
+      let go = t.gap_open in
+      let d1 = if whi = neg_inf then neg_inf else whi + go in
+      let d2 = if wdi = neg_inf then neg_inf else wdi + ge in
+      let d = if d1 >= d2 then d1 else d2 in
+      let i1 = if left = neg_inf then neg_inf else left + go in
+      let i2 = if ins = neg_inf then neg_inf else ins + ge in
+      let ins = if i1 >= i2 then i1 else i2 in
+      let repl =
+        if diag = neg_inf then neg_inf
+        else diag + Array.unsafe_get t.cols (crow + i)
+      in
+      let hv = Array.unsafe_get t.hvec i in
+      let d = if d <= 0 || d + hv <= cut then neg_inf else d in
+      let dm = if d >= ins then d else ins in
+      let h = if repl >= dm then repl else dm in
+      Array.unsafe_set w (offd + i) d;
+      let s = h + hv in
+      if h <= 0 || s <= cut then begin
+        Array.unsafe_set w (off + i) neg_inf;
+        aff_rows_def t w off offd crow (i + 1) whi ins neg_inf ub cut depth
+      end
+      else begin
+        Array.unsafe_set w (off + i) h;
+        let ub = if s > ub then s else ub in
+        if h > t.sc_best then begin
+          t.sc_best <- h;
+          t.sc_best_q <- i;
+          t.sc_best_off <- depth;
+          let cut = if h > cut then h else cut in
+          aff_rows_def t w off offd crow (i + 1) whi ins h ub cut depth
+        end
+        else aff_rows_def t w off offd crow (i + 1) whi ins h ub cut depth
+      end
+    end
+
+  let aff_column t w off offd c depth =
+    if checked_kernel then check_column t w off offd c;
+    let wh0 = Array.unsafe_get w off in
+    let wd0 = Array.unsafe_get w offd in
+    (* Row 0: reachable only through a delete run. *)
+    let d1 = if wh0 = neg_inf then neg_inf else wh0 + t.gap_open in
+    let d2 = if wd0 = neg_inf then neg_inf else wd0 + t.gap_extend in
+    let d0 = if d1 >= d2 then d1 else d2 in
+    let hv0 = Array.unsafe_get t.hvec 0 in
+    let d0 =
+      if d0 = neg_inf then neg_inf
+      else if t.opt_pn && d0 <= 0 then neg_inf
+      else if t.opt_pd && d0 + hv0 <= t.sc_best then neg_inf
+      else if d0 + hv0 < t.min_score then neg_inf
+      else d0
+    in
+    Array.unsafe_set w offd d0;
+    Array.unsafe_set w off d0;
+    let ub = if d0 = neg_inf then neg_inf else d0 + hv0 in
+    let crow = (c * t.m) - 1 in
+    if t.opt_pn && t.opt_pd then
+      let ms1 = t.min_score - 1 in
+      let cut = if t.sc_best >= ms1 then t.sc_best else ms1 in
+      aff_rows_def t w off offd crow 1 wh0 neg_inf d0 ub cut depth
+    else aff_rows t w off offd crow 1 wh0 neg_inf ub depth
+
+  (* Walk one child arc's symbols (Algorithm 3), columns fused with
+     bounds. Returns a status code, with details in the scratch
+     registers:
+     - [0]: unviable, discard;
+     - [1]: viable — enqueue with priority [t.sc_ub], depth [t.sc_depth];
+     - [2]: bound is exact (terminator hit, or no extension can beat
+       [t.sc_best]) — enqueue as accepted iff [sc_best >= min_score].
+     [last_ub] is [min_int] until the first column of this arc runs. *)
+  let rec lin_arc t w off idx stop depth last_ub =
+    if idx >= stop then begin
+      t.sc_ub <- (if last_ub <> min_int then last_ub else rescan t w off);
+      t.sc_depth <- depth;
+      1
+    end
+    else
+      let c = S.symbol t.source idx in
+      if c = t.term then 2
+      else begin
+        t.c_columns <- t.c_columns + 1;
+        let depth = depth + 1 in
+        let ub = lin_column t w off c depth in
+        if ub <= t.sc_best then 2
+        else if ub < t.min_score then 0
+        else lin_arc t w off (idx + 1) stop depth ub
+      end
+
+  let rec aff_arc t w off offd idx stop depth last_ub =
+    if idx >= stop then begin
+      t.sc_ub <- (if last_ub <> min_int then last_ub else rescan t w off);
+      t.sc_depth <- depth;
+      1
+    end
+    else
+      let c = S.symbol t.source idx in
+      if c = t.term then 2
+      else begin
+        t.c_columns <- t.c_columns + 1;
+        let depth = depth + 1 in
+        let ub = aff_column t w off offd c depth in
+        if ub <= t.sc_best then 2
+        else if ub < t.min_score then 0
+        else aff_arc t w off offd (idx + 1) stop depth ub
+      end
+
+  (* Expand one child arc: acquire a slot, copy the parent's column(s)
+     into it, run the fused kernel, then enqueue or recycle. The parent's
+     own slot is released by [next] after all children are expanded. *)
+  let expand t parent child =
+    let start = S.label_start t.source child in
+    let stop = S.label_end t.source child in
+    let slot = Col_pool.acquire t.pool in
+    Col_pool.blit t.pool ~src:parent.slot ~dst:slot;
+    (* Read the backing store only after [acquire] — growth replaces it. *)
+    let w = Col_pool.data t.pool in
+    let off = Col_pool.base t.pool slot in
+    t.sc_best <- parent.max_score;
+    t.sc_best_q <- parent.max_q;
+    t.sc_best_off <- parent.max_off;
+    let status =
+      if t.affine then
+        aff_arc t w off (off + t.m + 1) start stop parent.depth min_int
+      else lin_arc t w off start stop parent.depth min_int
+    in
+    match status with
+    | 0 ->
+      Col_pool.release t.pool slot;
+      t.c_pruned <- t.c_pruned + 1
+    | 1 ->
+      t.c_enqueued <- t.c_enqueued + 1;
+      Pqueue.push_tie t.pq ~priority:t.sc_ub ~tie:1
+        {
+          tree_node = child;
+          slot;
+          depth = t.sc_depth;
+          max_score = t.sc_best;
+          max_q = t.sc_best_q;
+          max_off = t.sc_best_off;
+          accepted = false;
+        }
+    | _ ->
+      (* Bound exact: the node needs no column any more. *)
+      Col_pool.release t.pool slot;
+      if t.sc_best >= t.min_score then begin
+        t.c_enqueued <- t.c_enqueued + 1;
+        Pqueue.push_tie t.pq ~priority:t.sc_best ~tie:0
+          {
+            tree_node = child;
+            slot = -1;
+            depth = 0;
+            max_score = t.sc_best;
+            max_q = t.sc_best_q;
+            max_off = t.sc_best_off;
+            accepted = true;
+          }
+      end
+      else t.c_pruned <- t.c_pruned + 1
+
+  (* Shared constructor: [cols]/[hvec] come either from a matrix and a
      query or from a position-specific profile. *)
-  let create_internal ~source ~db ~profile cfg =
+  let create_internal ~source ~db ~profile (cfg : config) =
     if cfg.min_score < 1 then
       invalid_arg "Oasis.Engine.create: min_score must be >= 1";
     if
@@ -130,6 +521,7 @@ module Make (S : Source.S) = struct
       Heuristic.vector_of_profile ~style:cfg.options.heuristic ~gap:cfg.gap
         profile
     in
+    let affine = not (Scoring.Gap.is_linear cfg.gap) in
     let t =
       {
         source;
@@ -137,12 +529,15 @@ module Make (S : Source.S) = struct
         m;
         hvec;
         cfg;
-        rows = Scoring.Pssm.rows_flat profile;
-        dim = Scoring.Pssm.dim profile;
+        cols = Scoring.Pssm.cols_flat profile;
         gap_open = Scoring.Gap.open_score cfg.gap;
         gap_extend = Scoring.Gap.extend_score cfg.gap;
-        affine = not (Scoring.Gap.is_linear cfg.gap);
+        min_score = cfg.min_score;
+        opt_pn = cfg.options.prune_nonpositive;
+        opt_pd = cfg.options.prune_dominated;
+        affine;
         term = S.terminator source;
+        pool = Col_pool.create ~width:((m + 1) * if affine then 2 else 1);
         pq = Pqueue.create ();
         reported_seq = Array.make (Bioseq.Database.num_sequences db) false;
         reported_count = 0;
@@ -152,7 +547,13 @@ module Make (S : Source.S) = struct
         c_enqueued = 0;
         c_pruned = 0;
         c_max_queue = 0;
+        sc_best = 0;
+        sc_best_q = 0;
+        sc_best_off = 0;
+        sc_ub = neg_inf;
+        sc_depth = 0;
         tracer = None;
+        base_minor_words = Gc.minor_words ();
         deadline =
           (match cfg.budget.time_limit with
           | None -> infinity
@@ -163,20 +564,23 @@ module Make (S : Source.S) = struct
     (* Algorithm 2: seed the queue with the root. Root B entries are 0
        (the empty partial alignment may start at any query position);
        entries that cannot reach min_score are pruned. *)
-    let b = Array.make (m + 1) neg_inf in
     let priority = ref neg_inf in
     for i = 0 to m do
-      if hvec.(i) >= cfg.min_score then begin
-        b.(i) <- 0;
-        if hvec.(i) > !priority then priority := hvec.(i)
-      end
+      if hvec.(i) >= cfg.min_score && hvec.(i) > !priority then
+        priority := hvec.(i)
     done;
     if !priority > neg_inf then begin
+      let slot = Col_pool.acquire t.pool in
+      Col_pool.fill t.pool slot neg_inf;
+      let w = Col_pool.data t.pool in
+      let off = Col_pool.base t.pool slot in
+      for i = 0 to m do
+        if hvec.(i) >= cfg.min_score then w.(off + i) <- 0
+      done;
       Pqueue.push t.pq ~priority:!priority ~tie:1
         {
           tree_node = S.root source;
-          b;
-          bd = (if t.affine then Array.make (m + 1) neg_inf else [||]);
+          slot;
           depth = 0;
           max_score = 0;
           max_q = 0;
@@ -213,262 +617,6 @@ module Make (S : Source.S) = struct
         budget;
       }
 
-  (* Expand one child arc (Algorithm 3) under the fixed gap model.
-     Returns the tagged search node to enqueue, or [None] when the child
-     is unviable. *)
-  let expand_linear t parent child =
-    let start = S.label_start t.source child in
-    let stop = S.label_stop t.source child in
-    let opts = t.cfg.options in
-    let min_score = t.cfg.min_score in
-    let m = t.m in
-    let hvec = t.hvec in
-    let w = Array.copy parent.b in
-    let max_score = ref parent.max_score in
-    let max_q = ref parent.max_q in
-    let max_off = ref parent.max_off in
-    let accepted () =
-      if !max_score >= min_score then
-        Some
-          {
-            tree_node = child;
-            b = [||];
-            bd = [||];
-            depth = 0;
-            max_score = !max_score;
-            max_q = !max_q;
-            max_off = !max_off;
-            accepted = true;
-          }
-      else None
-    in
-    let rec columns idx depth =
-      let arc_done = match stop with Some s -> idx >= s | None -> false in
-      if arc_done then
-        (* Arc consumed: the node stays on the frontier as viable. Its
-           bound was checked after the last column, so ub > max_score
-           and ub >= min_score here. *)
-        let ub = ref neg_inf in
-        let () =
-          for i = 0 to m do
-            if w.(i) > neg_inf && w.(i) + hvec.(i) > !ub then
-              ub := w.(i) + hvec.(i)
-          done
-        in
-        Some
-          ( {
-              tree_node = child;
-              b = w;
-              bd = [||];
-              depth;
-              max_score = !max_score;
-              max_q = !max_q;
-              max_off = !max_off;
-              accepted = false;
-            },
-            !ub )
-      else
-        let c = S.symbol t.source idx in
-        if c = t.term then
-          (* Sequence terminator: nothing below can extend any
-             alignment; only what was already found matters. *)
-          match accepted () with
-          | Some node -> Some (node, node.max_score)
-          | None -> None
-        else begin
-          t.c_columns <- t.c_columns + 1;
-          let depth = depth + 1 in
-          (* One DP column, in place. [diag] carries the previous
-             column's value one row up. *)
-          let diag = ref w.(0) in
-          (* Row 0: the empty query prefix. Off the root it can only be
-             reached by deleting target symbols, which other tree paths
-             cover; it is pruned by rule 1 (or kept, negative, when the
-             rule is off — harmless either way). *)
-          w.(0) <-
-            (if w.(0) = neg_inf then neg_inf
-             else
-               let v = w.(0) + t.gap_extend in
-               if opts.prune_nonpositive && v <= 0 then neg_inf else v);
-          let ub = ref (if w.(0) = neg_inf then neg_inf else w.(0) + hvec.(0)) in
-          for i = 1 to m do
-            let repl =
-              if !diag = neg_inf then neg_inf
-              else !diag + Array.unsafe_get t.rows (((i - 1) * t.dim) + c)
-            in
-            let del = if w.(i) = neg_inf then neg_inf else w.(i) + t.gap_extend in
-            let ins =
-              if w.(i - 1) = neg_inf then neg_inf else w.(i - 1) + t.gap_extend
-            in
-            diag := w.(i);
-            let v = max repl (max del ins) in
-            let v =
-              if v = neg_inf then neg_inf
-              else if opts.prune_nonpositive && v <= 0 then neg_inf
-              else if opts.prune_dominated && v + hvec.(i) <= !max_score then
-                neg_inf
-              else if v + hvec.(i) < min_score then neg_inf
-              else v
-            in
-            w.(i) <- v;
-            if v > neg_inf then begin
-              if v + hvec.(i) > !ub then ub := v + hvec.(i);
-              if v > !max_score then begin
-                max_score := v;
-                max_q := i;
-                max_off := depth
-              end
-            end
-          done;
-          if !ub <= !max_score then
-            (* No extension can beat what this path already found. *)
-            match accepted () with
-            | Some node -> Some (node, node.max_score)
-            | None -> None
-          else if !ub < min_score then None
-          else columns (idx + 1) depth
-        end
-    in
-    match columns start parent.depth with
-    | None ->
-      t.c_pruned <- t.c_pruned + 1;
-      None
-    | Some (node, priority) -> Some (node, priority)
-
-  (* Affine-gap expansion (the paper's §6 future work): Gotoh's
-     three-state recurrence folded into the search-node columns. Each
-     node carries two vectors — [b] (best alignment ending at (i, path
-     end), any final operation) and [bd] (alignments ending in a
-     gap-vs-target run, which can be extended cheaply across the next
-     column). Insert runs (query symbol vs gap) live within a column and
-     need no persistent state. The pruning rules apply to both vectors;
-     since [b >= bd] cell-wise, the priority bound from [b] alone is
-     exact. *)
-  let expand_affine t parent child =
-    let start = S.label_start t.source child in
-    let stop = S.label_stop t.source child in
-    let opts = t.cfg.options in
-    let min_score = t.cfg.min_score in
-    let m = t.m in
-    let hvec = t.hvec in
-    let wh = Array.copy parent.b in
-    let wd = Array.copy parent.bd in
-    let go = t.gap_open and ge = t.gap_extend in
-    let max_score = ref parent.max_score in
-    let max_q = ref parent.max_q in
-    let max_off = ref parent.max_off in
-    let accepted () =
-      if !max_score >= min_score then
-        Some
-          {
-            tree_node = child;
-            b = [||];
-            bd = [||];
-            depth = 0;
-            max_score = !max_score;
-            max_q = !max_q;
-            max_off = !max_off;
-            accepted = true;
-          }
-      else None
-    in
-    let prune i v =
-      if v = neg_inf then neg_inf
-      else if opts.prune_nonpositive && v <= 0 then neg_inf
-      else if opts.prune_dominated && v + hvec.(i) <= !max_score then neg_inf
-      else if v + hvec.(i) < min_score then neg_inf
-      else v
-    in
-    let rec columns idx depth =
-      let arc_done = match stop with Some s -> idx >= s | None -> false in
-      if arc_done then begin
-        let ub = ref neg_inf in
-        for i = 0 to m do
-          if wh.(i) > neg_inf && wh.(i) + hvec.(i) > !ub then
-            ub := wh.(i) + hvec.(i)
-        done;
-        Some
-          ( {
-              tree_node = child;
-              b = wh;
-              bd = wd;
-              depth;
-              max_score = !max_score;
-              max_q = !max_q;
-              max_off = !max_off;
-              accepted = false;
-            },
-            !ub )
-      end
-      else
-        let c = S.symbol t.source idx in
-        if c = t.term then
-          match accepted () with
-          | Some node -> Some (node, node.max_score)
-          | None -> None
-        else begin
-          t.c_columns <- t.c_columns + 1;
-          let depth = depth + 1 in
-          let diag = ref wh.(0) in
-          (* Row 0: reachable only through a delete run. *)
-          let d0 =
-            max
-              (if wh.(0) = neg_inf then neg_inf else wh.(0) + go)
-              (if wd.(0) = neg_inf then neg_inf else wd.(0) + ge)
-          in
-          wd.(0) <- prune 0 d0;
-          wh.(0) <- wd.(0);
-          let ub = ref (if wh.(0) = neg_inf then neg_inf else wh.(0) + hvec.(0)) in
-          let ins = ref neg_inf in
-          for i = 1 to m do
-            (* Delete run: uses the previous column's wh/wd at row i
-               (not yet overwritten). *)
-            let d =
-              max
-                (if wh.(i) = neg_inf then neg_inf else wh.(i) + go)
-                (if wd.(i) = neg_inf then neg_inf else wd.(i) + ge)
-            in
-            (* Insert run: current column, one row up. *)
-            ins :=
-              max
-                (if wh.(i - 1) = neg_inf then neg_inf else wh.(i - 1) + go)
-                (if !ins = neg_inf then neg_inf else !ins + ge);
-            let repl =
-              if !diag = neg_inf then neg_inf
-              else !diag + Array.unsafe_get t.rows (((i - 1) * t.dim) + c)
-            in
-            diag := wh.(i);
-            let d = prune i d in
-            let h = prune i (max repl (max d !ins)) in
-            wd.(i) <- d;
-            wh.(i) <- h;
-            if h > neg_inf then begin
-              if h + hvec.(i) > !ub then ub := h + hvec.(i);
-              if h > !max_score then begin
-                max_score := h;
-                max_q := i;
-                max_off := depth
-              end
-            end
-          done;
-          if !ub <= !max_score then
-            match accepted () with
-            | Some node -> Some (node, node.max_score)
-            | None -> None
-          else if !ub < min_score then None
-          else columns (idx + 1) depth
-        end
-    in
-    match columns start parent.depth with
-    | None ->
-      t.c_pruned <- t.c_pruned + 1;
-      None
-    | Some (node, priority) -> Some (node, priority)
-
-  let expand t parent child =
-    if t.affine then expand_affine t parent child
-    else expand_linear t parent child
-
   let set_tracer t f = t.tracer <- Some f
 
   let trace t event =
@@ -495,7 +643,7 @@ module Make (S : Source.S) = struct
                   global_stop - Bioseq.Database.seq_start t.db seq_index;
               }
           end)
-        (List.sort compare positions)
+        (List.sort Int.compare positions)
     in
     List.iter (fun h -> Queue.add h t.pending) hits
 
@@ -539,16 +687,11 @@ module Make (S : Source.S) = struct
           if node.accepted then emit t node
           else begin
             t.c_expanded <- t.c_expanded + 1;
-            List.iter
-              (fun child ->
-                match expand t node child with
-                | None -> ()
-                | Some (snode, priority) ->
-                  t.c_enqueued <- t.c_enqueued + 1;
-                  Pqueue.push t.pq ~priority
-                    ~tie:(if snode.accepted then 0 else 1)
-                    snode)
-              (S.children t.source node.tree_node);
+            S.iter_children t.source node.tree_node (fun child ->
+                expand t node child);
+            (* Every child has copied what it needs: recycle the
+               parent's column. *)
+            Col_pool.release t.pool node.slot;
             t.c_max_queue <- max t.c_max_queue (Pqueue.length t.pq)
           end;
           next t
@@ -581,6 +724,11 @@ module Make (S : Source.S) = struct
       nodes_enqueued = t.c_enqueued;
       nodes_pruned = t.c_pruned;
       max_queue = t.c_max_queue;
+      pool_reused = Col_pool.reused t.pool;
+      pool_live = Col_pool.live t.pool;
+      pool_peak_live = Col_pool.peak_live t.pool;
+      pool_peak_bytes = Col_pool.capacity_bytes t.pool;
+      minor_words = Gc.minor_words () -. t.base_minor_words;
     }
 
   let queue_length t = Pqueue.length t.pq

@@ -112,7 +112,24 @@ type counters = {
   nodes_enqueued : int;
   nodes_pruned : int;  (** children discarded as unviable *)
   max_queue : int;
+  pool_reused : int;
+      (** column-arena acquisitions served by recycling a released slot
+          (vs growing the backing store) *)
+  pool_live : int;  (** arena slots held by queued viable nodes *)
+  pool_peak_live : int;
+  pool_peak_bytes : int;
+      (** arena backing-store size — its high-water mark, since the
+          store never shrinks *)
+  minor_words : float;
+      (** minor-heap words allocated since [create], engine work and
+          caller work alike ([Gc.minor_words] delta) — divide by
+          [columns] for the words-per-column figure the bench reports *)
 }
+(** The pool_* fields observe the {!Col_pool} column arena behind the
+    hot path: DP columns live in a recycled flat backing store, so a
+    steady-state search allocates (almost) nothing per column. Set
+    [OASIS_CHECKED_KERNEL=1] to re-enable bounds checks in the kernel's
+    array accesses when debugging. *)
 
 module Make (S : Source.S) : sig
   type t

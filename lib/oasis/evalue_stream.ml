@@ -3,7 +3,8 @@ module Make (D : Engine.DRIVER) = struct
     type t = float * int * Hit.t (* adjusted E, sequence index, hit *)
 
     let compare (e1, s1, _) (e2, s2, _) =
-      if e1 <> e2 then compare e1 e2 else compare s1 s2
+      let c = Float.compare e1 e2 in
+      if c <> 0 then c else Int.compare s1 s2
   end)
 
   type t = {

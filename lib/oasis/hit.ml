@@ -6,8 +6,8 @@ type t = {
 }
 
 let compare_for_report a b =
-  if a.score <> b.score then compare b.score a.score
-  else compare a.seq_index b.seq_index
+  if a.score <> b.score then Int.compare b.score a.score
+  else Int.compare a.seq_index b.seq_index
 
 let pp ppf h =
   Format.fprintf ppf "seq %d score %d (query ..%d, target ..%d)" h.seq_index

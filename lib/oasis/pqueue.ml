@@ -1,73 +1,137 @@
-type 'a entry = { priority : int; tie : int; seqno : int; value : 'a }
+(* Structure-of-arrays binary heap: priorities and packed tie/seqno live
+   in flat int arrays, values in a parallel array, so push/pop allocate
+   nothing (array growth is amortized and reuses the pushed value as the
+   filler). Equal-priority order is decided entirely by [meta] — tie in
+   the high bits, seqno below — so one int comparison replaces the old
+   entry record's three-field cascade. *)
+
+let seqno_bits = 54
+let max_tie = 1 lsl 8 (* tie must fit above seqno within 62 bits *)
 
 type 'a t = {
-  mutable entries : 'a entry array; (* heap in entries.(0 .. size-1) *)
+  mutable prios : int array; (* heap order in slots 0 .. size-1 *)
+  mutable metas : int array; (* (tie lsl seqno_bits) lor seqno *)
+  mutable values : 'a array;
   mutable size : int;
   mutable next_seqno : int;
 }
 
-let create () = { entries = [||]; size = 0; next_seqno = 0 }
+let create () =
+  { prios = [||]; metas = [||]; values = [||]; size = 0; next_seqno = 0 }
+
 let is_empty t = t.size = 0
 let length t = t.size
 
-(* [a] sorts strictly before [b]. *)
-let before a b =
-  if a.priority <> b.priority then a.priority > b.priority
-  else if a.tie <> b.tie then a.tie < b.tie
-  else a.seqno < b.seqno
+(* (p1, m1) sorts strictly before (p2, m2): higher priority first, then
+   smaller meta (lower tie, then earlier seqno — FIFO). *)
+let[@inline] before p1 m1 p2 m2 = p1 > p2 || (p1 = p2 && m1 < m2)
 
-let grow t entry =
-  let cap = Array.length t.entries in
+let grow t value =
+  let cap = Array.length t.prios in
   if t.size = cap then begin
     let ncap = max 16 (2 * cap) in
-    let entries = Array.make ncap entry in
-    Array.blit t.entries 0 entries 0 t.size;
-    t.entries <- entries
+    let nprios = Array.make ncap 0 in
+    let nmetas = Array.make ncap 0 in
+    let nvalues = Array.make ncap value in
+    Array.blit t.prios 0 nprios 0 t.size;
+    Array.blit t.metas 0 nmetas 0 t.size;
+    Array.blit t.values 0 nvalues 0 t.size;
+    t.prios <- nprios;
+    t.metas <- nmetas;
+    t.values <- nvalues
   end
 
-let push t ~priority ?(tie = 1) value =
-  let entry = { priority; tie; seqno = t.next_seqno; value } in
+(* Unsafe accesses below are justified by the heap shape: every index is
+   either [< t.size <= capacity] or the write slot [t.size] itself,
+   which [grow] just guaranteed to exist. *)
+
+let push_tie t ~priority ~tie value =
+  if tie < 0 || tie >= max_tie then
+    invalid_arg "Pqueue.push: tie must be in [0, 256)";
+  let meta = (tie lsl seqno_bits) lor t.next_seqno in
   t.next_seqno <- t.next_seqno + 1;
-  grow t entry;
-  let entries = t.entries in
+  grow t value;
+  let prios = t.prios and metas = t.metas and values = t.values in
   let rec up i =
-    if i = 0 then entries.(0) <- entry
+    if i = 0 then begin
+      Array.unsafe_set prios 0 priority;
+      Array.unsafe_set metas 0 meta;
+      Array.unsafe_set values 0 value
+    end
     else
       let parent = (i - 1) / 2 in
-      if before entry entries.(parent) then begin
-        entries.(i) <- entries.(parent);
+      if
+        before priority meta
+          (Array.unsafe_get prios parent)
+          (Array.unsafe_get metas parent)
+      then begin
+        Array.unsafe_set prios i (Array.unsafe_get prios parent);
+        Array.unsafe_set metas i (Array.unsafe_get metas parent);
+        Array.unsafe_set values i (Array.unsafe_get values parent);
         up parent
       end
-      else entries.(i) <- entry
+      else begin
+        Array.unsafe_set prios i priority;
+        Array.unsafe_set metas i meta;
+        Array.unsafe_set values i value
+      end
   in
   up t.size;
   t.size <- t.size + 1
 
+let push t ~priority ?(tie = 1) value = push_tie t ~priority ~tie value
+
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.entries.(0) in
+    let top_prio = t.prios.(0) and top_value = t.values.(0) in
     t.size <- t.size - 1;
-    let last = t.entries.(t.size) in
-    let entries = t.entries in
-    let rec down i =
-      let left = (2 * i) + 1 in
-      if left >= t.size then entries.(i) <- last
-      else begin
-        let right = left + 1 in
-        let best =
-          if right < t.size && before entries.(right) entries.(left) then right
-          else left
-        in
-        if before entries.(best) last then begin
-          entries.(i) <- entries.(best);
-          down best
+    let n = t.size in
+    if n > 0 then begin
+      let prios = t.prios and metas = t.metas and values = t.values in
+      (* Re-insert the last element from the root down. *)
+      let lp = Array.unsafe_get prios n
+      and lm = Array.unsafe_get metas n
+      and lv = Array.unsafe_get values n in
+      let rec down i =
+        let left = (2 * i) + 1 in
+        if left >= n then begin
+          Array.unsafe_set prios i lp;
+          Array.unsafe_set metas i lm;
+          Array.unsafe_set values i lv
         end
-        else entries.(i) <- last
-      end
-    in
-    if t.size > 0 then down 0;
-    Some (top.priority, top.value)
+        else begin
+          let right = left + 1 in
+          let best =
+            if
+              right < n
+              && before
+                   (Array.unsafe_get prios right)
+                   (Array.unsafe_get metas right)
+                   (Array.unsafe_get prios left)
+                   (Array.unsafe_get metas left)
+            then right
+            else left
+          in
+          if
+            before (Array.unsafe_get prios best) (Array.unsafe_get metas best)
+              lp lm
+          then begin
+            Array.unsafe_set prios i (Array.unsafe_get prios best);
+            Array.unsafe_set metas i (Array.unsafe_get metas best);
+            Array.unsafe_set values i (Array.unsafe_get values best);
+            down best
+          end
+          else begin
+            Array.unsafe_set prios i lp;
+            Array.unsafe_set metas i lm;
+            Array.unsafe_set values i lv
+          end
+        end
+      in
+      down 0
+    end;
+    Some (top_prio, top_value)
   end
 
-let peek_priority t = if t.size = 0 then None else Some t.entries.(0).priority
+let peek_priority t = if t.size = 0 then None else Some t.prios.(0)

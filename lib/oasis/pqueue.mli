@@ -4,14 +4,27 @@
     increasing [tie] (the engine uses [tie = 0] for accepted nodes and
     [1] for viable nodes, so exact scores surface before equal upper
     bounds); remaining ties break by insertion order (FIFO), keeping the
-    search deterministic. *)
+    search deterministic.
+
+    The heap is a structure of arrays — flat [int] arrays for priorities
+    and packed tie/insertion-order keys, one parallel array for values —
+    so push and pop allocate nothing; array growth is amortized. *)
 
 type 'a t
 
 val create : unit -> 'a t
 val is_empty : 'a t -> bool
 val length : 'a t -> int
+
 val push : 'a t -> priority:int -> ?tie:int -> 'a -> unit
+(** [tie] defaults to [1] and must lie in [\[0, 256)] (it is packed
+    above the insertion counter in one machine word); raises
+    [Invalid_argument] otherwise. *)
+
+val push_tie : 'a t -> priority:int -> tie:int -> 'a -> unit
+(** {!push} with a required [tie] — no option box is built, which keeps
+    the engine's enqueue path allocation-free (the value itself is the
+    only allocation the caller pays). *)
 
 val pop : 'a t -> (int * 'a) option
 (** Highest priority first; returns [(priority, value)]. *)

@@ -1,0 +1,532 @@
+(* The pre-optimization engine, preserved as an executable
+   specification. See reference.mli for why this file must stay dumb:
+   per-child column copies, a record-based priority queue, row-major
+   profile scans, and a separate upper-bound pass at the end of each
+   arc. The optimized Engine must produce bit-identical hit streams. *)
+
+let neg_inf = Scoring.Submat.neg_inf
+
+(* The original entry-record binary heap, embedded so the reference
+   cannot drift when the shared Pqueue is optimized. *)
+module Rq = struct
+  type 'a entry = { priority : int; tie : int; seqno : int; value : 'a }
+
+  type 'a t = {
+    mutable entries : 'a entry array; (* heap in entries.(0 .. size-1) *)
+    mutable size : int;
+    mutable next_seqno : int;
+  }
+
+  let create () = { entries = [||]; size = 0; next_seqno = 0 }
+  let length t = t.size
+
+  (* [a] sorts strictly before [b]. *)
+  let before a b =
+    if a.priority <> b.priority then a.priority > b.priority
+    else if a.tie <> b.tie then a.tie < b.tie
+    else a.seqno < b.seqno
+
+  let grow t entry =
+    let cap = Array.length t.entries in
+    if t.size = cap then begin
+      let ncap = max 16 (2 * cap) in
+      let entries = Array.make ncap entry in
+      Array.blit t.entries 0 entries 0 t.size;
+      t.entries <- entries
+    end
+
+  let push t ~priority ?(tie = 1) value =
+    let entry = { priority; tie; seqno = t.next_seqno; value } in
+    t.next_seqno <- t.next_seqno + 1;
+    grow t entry;
+    let entries = t.entries in
+    let rec up i =
+      if i = 0 then entries.(0) <- entry
+      else
+        let parent = (i - 1) / 2 in
+        if before entry entries.(parent) then begin
+          entries.(i) <- entries.(parent);
+          up parent
+        end
+        else entries.(i) <- entry
+    in
+    up t.size;
+    t.size <- t.size + 1
+
+  let pop t =
+    if t.size = 0 then None
+    else begin
+      let top = t.entries.(0) in
+      t.size <- t.size - 1;
+      let last = t.entries.(t.size) in
+      let entries = t.entries in
+      let rec down i =
+        let left = (2 * i) + 1 in
+        if left >= t.size then entries.(i) <- last
+        else begin
+          let right = left + 1 in
+          let best =
+            if right < t.size && before entries.(right) entries.(left) then
+              right
+            else left
+          in
+          if before entries.(best) last then begin
+            entries.(i) <- entries.(best);
+            down best
+          end
+          else entries.(i) <- last
+        end
+      in
+      if t.size > 0 then down 0;
+      Some (top.priority, top.value)
+    end
+
+  let peek_priority t = if t.size = 0 then None else Some t.entries.(0).priority
+end
+
+module Make (S : Source.S) = struct
+  type snode = {
+    tree_node : S.node;
+    b : int array; (* empty for accepted nodes *)
+    bd : int array; (* affine gaps only *)
+    depth : int;
+    max_score : int;
+    max_q : int;
+    max_off : int;
+    accepted : bool;
+  }
+
+  type t = {
+    source : S.t;
+    db : Bioseq.Database.t;
+    m : int;
+    hvec : int array;
+    cfg : Engine.config;
+    rows : int array; (* row-major [m * dim] profile scores *)
+    dim : int;
+    gap_open : int;
+    gap_extend : int;
+    affine : bool;
+    term : int;
+    pq : snode Rq.t;
+    reported_seq : bool array;
+    mutable reported_count : int;
+    pending : Hit.t Queue.t;
+    mutable c_columns : int;
+    mutable c_expanded : int;
+    deadline : float;
+    mutable exhausted : int option;
+  }
+
+  let create_internal ~source ~db ~profile (cfg : Engine.config) =
+    if cfg.Engine.min_score < 1 then
+      invalid_arg "Oasis.Reference.create: min_score must be >= 1";
+    if
+      Bioseq.Alphabet.name (Scoring.Pssm.alphabet profile)
+      <> Bioseq.Alphabet.name (Bioseq.Database.alphabet db)
+    then invalid_arg "Oasis.Reference.create: alphabet mismatch";
+    let m = Scoring.Pssm.length profile in
+    let hvec =
+      Heuristic.vector_of_profile ~style:cfg.Engine.options.Engine.heuristic
+        ~gap:cfg.Engine.gap profile
+    in
+    let t =
+      {
+        source;
+        db;
+        m;
+        hvec;
+        cfg;
+        rows = Scoring.Pssm.rows_flat profile;
+        dim = Scoring.Pssm.dim profile;
+        gap_open = Scoring.Gap.open_score cfg.Engine.gap;
+        gap_extend = Scoring.Gap.extend_score cfg.Engine.gap;
+        affine = not (Scoring.Gap.is_linear cfg.Engine.gap);
+        term = S.terminator source;
+        pq = Rq.create ();
+        reported_seq = Array.make (Bioseq.Database.num_sequences db) false;
+        reported_count = 0;
+        pending = Queue.create ();
+        c_columns = 0;
+        c_expanded = 0;
+        deadline =
+          (match cfg.Engine.budget.Engine.time_limit with
+          | None -> infinity
+          | Some s -> Unix.gettimeofday () +. s);
+        exhausted = None;
+      }
+    in
+    let b = Array.make (m + 1) neg_inf in
+    let priority = ref neg_inf in
+    for i = 0 to m do
+      if hvec.(i) >= cfg.Engine.min_score then begin
+        b.(i) <- 0;
+        if hvec.(i) > !priority then priority := hvec.(i)
+      end
+    done;
+    if !priority > neg_inf then
+      Rq.push t.pq ~priority:!priority ~tie:1
+        {
+          tree_node = S.root source;
+          b;
+          bd = (if t.affine then Array.make (m + 1) neg_inf else [||]);
+          depth = 0;
+          max_score = 0;
+          max_q = 0;
+          max_off = 0;
+          accepted = false;
+        };
+    t
+
+  let create ~source ~db ~query cfg =
+    if Bioseq.Sequence.length query = 0 then
+      invalid_arg "Oasis.Reference.create: empty query";
+    if
+      Bioseq.Alphabet.name (Scoring.Submat.alphabet cfg.Engine.matrix)
+      <> Bioseq.Alphabet.name (Bioseq.Sequence.alphabet query)
+    then invalid_arg "Oasis.Reference.create: alphabet mismatch";
+    create_internal ~source ~db
+      ~profile:(Scoring.Pssm.of_query ~matrix:cfg.Engine.matrix query)
+      cfg
+
+  let create_profile ~source ~db ~profile
+      ?(options = Engine.default_options) ?(budget = Engine.unlimited) ~gap
+      ~min_score () =
+    create_internal ~source ~db ~profile
+      {
+        Engine.matrix = Scoring.Submat.unit_edit (Scoring.Pssm.alphabet profile);
+        gap;
+        min_score;
+        options;
+        budget;
+      }
+
+  let expand_linear t parent child =
+    let start = S.label_start t.source child in
+    let stop = S.label_stop t.source child in
+    let opts = t.cfg.Engine.options in
+    let min_score = t.cfg.Engine.min_score in
+    let m = t.m in
+    let hvec = t.hvec in
+    let w = Array.copy parent.b in
+    let max_score = ref parent.max_score in
+    let max_q = ref parent.max_q in
+    let max_off = ref parent.max_off in
+    let accepted () =
+      if !max_score >= min_score then
+        Some
+          {
+            tree_node = child;
+            b = [||];
+            bd = [||];
+            depth = 0;
+            max_score = !max_score;
+            max_q = !max_q;
+            max_off = !max_off;
+            accepted = true;
+          }
+      else None
+    in
+    let rec columns idx depth =
+      let arc_done = match stop with Some s -> idx >= s | None -> false in
+      if arc_done then
+        (* Arc consumed: second pass recomputes the bound. *)
+        let ub = ref neg_inf in
+        let () =
+          for i = 0 to m do
+            if w.(i) > neg_inf && w.(i) + hvec.(i) > !ub then
+              ub := w.(i) + hvec.(i)
+          done
+        in
+        Some
+          ( {
+              tree_node = child;
+              b = w;
+              bd = [||];
+              depth;
+              max_score = !max_score;
+              max_q = !max_q;
+              max_off = !max_off;
+              accepted = false;
+            },
+            !ub )
+      else
+        let c = S.symbol t.source idx in
+        if c = t.term then
+          match accepted () with
+          | Some node -> Some (node, node.max_score)
+          | None -> None
+        else begin
+          t.c_columns <- t.c_columns + 1;
+          let depth = depth + 1 in
+          let diag = ref w.(0) in
+          w.(0) <-
+            (if w.(0) = neg_inf then neg_inf
+             else
+               let v = w.(0) + t.gap_extend in
+               if opts.Engine.prune_nonpositive && v <= 0 then neg_inf else v);
+          let ub = ref (if w.(0) = neg_inf then neg_inf else w.(0) + hvec.(0)) in
+          for i = 1 to m do
+            let repl =
+              if !diag = neg_inf then neg_inf
+              else !diag + t.rows.(((i - 1) * t.dim) + c)
+            in
+            let del =
+              if w.(i) = neg_inf then neg_inf else w.(i) + t.gap_extend
+            in
+            let ins =
+              if w.(i - 1) = neg_inf then neg_inf else w.(i - 1) + t.gap_extend
+            in
+            diag := w.(i);
+            let v = max repl (max del ins) in
+            let v =
+              if v = neg_inf then neg_inf
+              else if opts.Engine.prune_nonpositive && v <= 0 then neg_inf
+              else if
+                opts.Engine.prune_dominated && v + hvec.(i) <= !max_score
+              then neg_inf
+              else if v + hvec.(i) < min_score then neg_inf
+              else v
+            in
+            w.(i) <- v;
+            if v > neg_inf then begin
+              if v + hvec.(i) > !ub then ub := v + hvec.(i);
+              if v > !max_score then begin
+                max_score := v;
+                max_q := i;
+                max_off := depth
+              end
+            end
+          done;
+          if !ub <= !max_score then
+            match accepted () with
+            | Some node -> Some (node, node.max_score)
+            | None -> None
+          else if !ub < min_score then None
+          else columns (idx + 1) depth
+        end
+    in
+    columns start parent.depth
+
+  let expand_affine t parent child =
+    let start = S.label_start t.source child in
+    let stop = S.label_stop t.source child in
+    let opts = t.cfg.Engine.options in
+    let min_score = t.cfg.Engine.min_score in
+    let m = t.m in
+    let hvec = t.hvec in
+    let wh = Array.copy parent.b in
+    let wd = Array.copy parent.bd in
+    let go = t.gap_open and ge = t.gap_extend in
+    let max_score = ref parent.max_score in
+    let max_q = ref parent.max_q in
+    let max_off = ref parent.max_off in
+    let accepted () =
+      if !max_score >= min_score then
+        Some
+          {
+            tree_node = child;
+            b = [||];
+            bd = [||];
+            depth = 0;
+            max_score = !max_score;
+            max_q = !max_q;
+            max_off = !max_off;
+            accepted = true;
+          }
+      else None
+    in
+    let prune i v =
+      if v = neg_inf then neg_inf
+      else if opts.Engine.prune_nonpositive && v <= 0 then neg_inf
+      else if opts.Engine.prune_dominated && v + hvec.(i) <= !max_score then
+        neg_inf
+      else if v + hvec.(i) < min_score then neg_inf
+      else v
+    in
+    let rec columns idx depth =
+      let arc_done = match stop with Some s -> idx >= s | None -> false in
+      if arc_done then begin
+        let ub = ref neg_inf in
+        for i = 0 to m do
+          if wh.(i) > neg_inf && wh.(i) + hvec.(i) > !ub then
+            ub := wh.(i) + hvec.(i)
+        done;
+        Some
+          ( {
+              tree_node = child;
+              b = wh;
+              bd = wd;
+              depth;
+              max_score = !max_score;
+              max_q = !max_q;
+              max_off = !max_off;
+              accepted = false;
+            },
+            !ub )
+      end
+      else
+        let c = S.symbol t.source idx in
+        if c = t.term then
+          match accepted () with
+          | Some node -> Some (node, node.max_score)
+          | None -> None
+        else begin
+          t.c_columns <- t.c_columns + 1;
+          let depth = depth + 1 in
+          let diag = ref wh.(0) in
+          let d0 =
+            max
+              (if wh.(0) = neg_inf then neg_inf else wh.(0) + go)
+              (if wd.(0) = neg_inf then neg_inf else wd.(0) + ge)
+          in
+          wd.(0) <- prune 0 d0;
+          wh.(0) <- wd.(0);
+          let ub =
+            ref (if wh.(0) = neg_inf then neg_inf else wh.(0) + hvec.(0))
+          in
+          let ins = ref neg_inf in
+          for i = 1 to m do
+            let d =
+              max
+                (if wh.(i) = neg_inf then neg_inf else wh.(i) + go)
+                (if wd.(i) = neg_inf then neg_inf else wd.(i) + ge)
+            in
+            ins :=
+              max
+                (if wh.(i - 1) = neg_inf then neg_inf else wh.(i - 1) + go)
+                (if !ins = neg_inf then neg_inf else !ins + ge);
+            let repl =
+              if !diag = neg_inf then neg_inf
+              else !diag + t.rows.(((i - 1) * t.dim) + c)
+            in
+            diag := wh.(i);
+            let d = prune i d in
+            let h = prune i (max repl (max d !ins)) in
+            wd.(i) <- d;
+            wh.(i) <- h;
+            if h > neg_inf then begin
+              if h + hvec.(i) > !ub then ub := h + hvec.(i);
+              if h > !max_score then begin
+                max_score := h;
+                max_q := i;
+                max_off := depth
+              end
+            end
+          done;
+          if !ub <= !max_score then
+            match accepted () with
+            | Some node -> Some (node, node.max_score)
+            | None -> None
+          else if !ub < min_score then None
+          else columns (idx + 1) depth
+        end
+    in
+    columns start parent.depth
+
+  let expand t parent child =
+    if t.affine then expand_affine t parent child
+    else expand_linear t parent child
+
+  let emit t node =
+    let positions = S.subtree_positions t.source node.tree_node in
+    let hits =
+      List.filter_map
+        (fun p ->
+          let seq_index = Bioseq.Database.seq_of_pos t.db p in
+          if t.reported_seq.(seq_index) then None
+          else begin
+            t.reported_seq.(seq_index) <- true;
+            t.reported_count <- t.reported_count + 1;
+            let global_stop = p + node.max_off in
+            Some
+              {
+                Hit.seq_index;
+                score = node.max_score;
+                query_stop = node.max_q;
+                target_stop =
+                  global_stop - Bioseq.Database.seq_start t.db seq_index;
+              }
+          end)
+        (List.sort compare positions)
+    in
+    List.iter (fun h -> Queue.add h t.pending) hits
+
+  let budget_spent t =
+    let b = t.cfg.Engine.budget in
+    (match b.Engine.max_columns with
+    | Some l -> t.c_columns >= l
+    | None -> false)
+    || (match b.Engine.max_expanded with
+       | Some l -> t.c_expanded >= l
+       | None -> false)
+    || (t.deadline < infinity && Unix.gettimeofday () >= t.deadline)
+
+  let rec next t =
+    match Queue.take_opt t.pending with
+    | Some hit -> Some hit
+    | None ->
+      if t.reported_count >= Array.length t.reported_seq then None
+      else if t.exhausted <> None then None
+      else if budget_spent t && Rq.length t.pq > 0 then begin
+        (match Rq.peek_priority t.pq with
+        | Some bound -> t.exhausted <- Some bound
+        | None -> assert false);
+        None
+      end
+      else begin
+        match Rq.pop t.pq with
+        | None -> None
+        | Some (_, node) ->
+          if node.accepted then emit t node
+          else begin
+            t.c_expanded <- t.c_expanded + 1;
+            List.iter
+              (fun child ->
+                match expand t node child with
+                | None -> ()
+                | Some (snode, priority) ->
+                  Rq.push t.pq ~priority
+                    ~tie:(if snode.accepted then 0 else 1)
+                    snode)
+              (S.children t.source node.tree_node)
+          end;
+          next t
+      end
+
+  let run ?limit t =
+    let rec go acc n =
+      match limit with
+      | Some l when n >= l -> List.rev acc
+      | _ -> (
+        match next t with
+        | None -> List.rev acc
+        | Some hit -> go (hit :: acc) (n + 1))
+    in
+    go [] 0
+
+  let peek_bound t =
+    let from_queue = Rq.peek_priority t.pq in
+    match Queue.peek_opt t.pending with
+    | None -> from_queue
+    | Some hit -> (
+      match from_queue with
+      | None -> Some hit.Hit.score
+      | Some p -> Some (max p hit.Hit.score))
+
+  let outcome t =
+    match t.exhausted with
+    | Some remaining_bound -> Engine.Exhausted { remaining_bound }
+    | None ->
+      if
+        Queue.is_empty t.pending
+        && (Rq.length t.pq = 0
+           || t.reported_count >= Array.length t.reported_seq)
+      then Engine.Complete
+      else Engine.Searching
+
+  let columns t = t.c_columns
+  let nodes_expanded t = t.c_expanded
+end
+
+module Mem = Make (Source.Mem)

@@ -1,0 +1,50 @@
+(** Executable specification of the search engine.
+
+    This is the straightforward, allocating implementation the optimized
+    {!Engine} kernel was derived from: every child expansion copies the
+    parent's DP column into a fresh array, the priority queue stores
+    boxed entry records, the profile is scanned row-major, and the upper
+    bound is recomputed in a second pass when an arc is consumed. It is
+    kept — unoptimized, byte for byte in behaviour — for two jobs:
+
+    - {e oracle}: property tests assert that {!Engine} produces a
+      bit-identical hit stream (same hits, same order, same tie-breaks,
+      same budget outcomes) on random workloads;
+    - {e baseline}: the bench harness measures the pooled kernel's
+      columns/sec and allocation rate against it on the same queries.
+
+    Do not use it for real searches, and do not "fix" it to match a
+    changed [Engine] — change it only when the intended semantics
+    change, in which case the stream-equality tests re-verify the
+    optimized kernel against it. *)
+
+module Make (S : Source.S) : sig
+  type t
+
+  val create :
+    source:S.t ->
+    db:Bioseq.Database.t ->
+    query:Bioseq.Sequence.t ->
+    Engine.config ->
+    t
+
+  val create_profile :
+    source:S.t ->
+    db:Bioseq.Database.t ->
+    profile:Scoring.Pssm.t ->
+    ?options:Engine.options ->
+    ?budget:Engine.budget ->
+    gap:Scoring.Gap.t ->
+    min_score:int ->
+    unit ->
+    t
+
+  val next : t -> Hit.t option
+  val run : ?limit:int -> t -> Hit.t list
+  val peek_bound : t -> int option
+  val outcome : t -> Engine.outcome
+  val columns : t -> int
+  val nodes_expanded : t -> int
+end
+
+module Mem : module type of Make (Source.Mem)

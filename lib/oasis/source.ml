@@ -4,9 +4,11 @@ module type S = sig
 
   val root : t -> node
   val children : t -> node -> node list
+  val iter_children : t -> node -> (node -> unit) -> unit
   val is_leaf : t -> node -> bool
   val label_start : t -> node -> int
   val label_stop : t -> node -> int option
+  val label_end : t -> node -> int
   val symbol : t -> int -> int
   val terminator : t -> int
   val subtree_positions : t -> node -> int list
@@ -18,9 +20,11 @@ module Mem = struct
 
   let root = Suffix_tree.Tree.root
   let children _ node = Suffix_tree.Tree.children node
+  let iter_children _ node f = Suffix_tree.Tree.iter_children node f
   let is_leaf _ node = Suffix_tree.Tree.is_leaf node
-  let label_start _ node = fst (Suffix_tree.Tree.label node)
-  let label_stop _ node = Some (snd (Suffix_tree.Tree.label node))
+  let label_start _ node = Suffix_tree.Tree.label_start node
+  let label_stop _ node = Some (Suffix_tree.Tree.label_stop node)
+  let label_end _ node = Suffix_tree.Tree.label_stop node
 
   let symbol t pos =
     Bioseq.Database.code (Suffix_tree.Tree.database t) pos
@@ -38,9 +42,15 @@ module Disk = struct
 
   let root = Storage.Disk_tree.root
   let children = Storage.Disk_tree.children
+  let iter_children t node f = List.iter f (Storage.Disk_tree.children t node)
   let is_leaf _ node = Storage.Disk_tree.is_leaf node
   let label_start = Storage.Disk_tree.label_start
   let label_stop = Storage.Disk_tree.label_stop
+
+  let label_end t node =
+    match Storage.Disk_tree.label_stop t node with
+    | Some s -> s
+    | None -> max_int
   let symbol = Storage.Disk_tree.symbol
   let terminator = Storage.Disk_tree.terminator
   let subtree_positions = Storage.Disk_tree.subtree_positions

@@ -21,6 +21,13 @@ module type S = sig
 
   val root : t -> node
   val children : t -> node -> node list
+
+  val iter_children : t -> node -> (node -> unit) -> unit
+  (** Same children, same order as {!children}, without materializing a
+      list — the engine's hot path uses this to keep expansion
+      allocation-free (the in-memory tree iterates sibling links in
+      place). *)
+
   val is_leaf : t -> node -> bool
 
   val label_start : t -> node -> int
@@ -29,6 +36,12 @@ module type S = sig
   val label_stop : t -> node -> int option
   (** One past the label's last symbol; [None] when the arc runs to its
       sequence terminator (leaf arcs on disk). *)
+
+  val label_end : t -> node -> int
+  (** {!label_stop} without the option box: [max_int] stands in for
+      [None] (every arc ends at its sequence terminator long before
+      [max_int] symbols). The engine's per-child hot path uses this to
+      stay allocation-free. *)
 
   val symbol : t -> int -> int
   (** Symbol code at a global position (terminator included). *)

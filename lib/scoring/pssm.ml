@@ -2,13 +2,15 @@ type t = {
   alphabet : Bioseq.Alphabet.t;
   length : int;
   dim : int; (* size + 1; the extra column is the terminator *)
-  flat : int array; (* length * dim, row-major *)
+  flat : int array; (* length * dim, row-major (position-major) *)
+  cols : int array; (* dim * length, symbol-major transpose of [flat] *)
 }
 
 let length p = p.length
 let alphabet p = p.alphabet
 let dim p = p.dim
 let rows_flat p = p.flat
+let cols_flat p = p.cols
 
 let make ~alphabet rows =
   let size = Bioseq.Alphabet.size alphabet in
@@ -22,7 +24,13 @@ let make ~alphabet rows =
         invalid_arg (Printf.sprintf "Pssm.make: row %d has wrong length" i);
       Array.iteri (fun b s -> flat.((i * dim) + b) <- s) row)
     rows;
-  { alphabet; length = m; dim; flat }
+  let cols = Array.make (dim * m) Submat.neg_inf in
+  for i = 0 to m - 1 do
+    for b = 0 to dim - 1 do
+      cols.((b * m) + i) <- flat.((i * dim) + b)
+    done
+  done;
+  { alphabet; length = m; dim; flat; cols }
 
 let of_query ~matrix query =
   let alphabet = Submat.alphabet matrix in

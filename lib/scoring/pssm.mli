@@ -53,6 +53,13 @@ val rows_flat : t -> int array
     column included (= {!Submat.neg_inf}):
     [score p i c = (rows_flat p).((i * (size + 1)) + c)]. Read-only. *)
 
+val cols_flat : t -> int array
+(** Symbol-major [(size + 1) * length] transpose of {!rows_flat}:
+    [score p i c = (cols_flat p).((c * length p) + i)]. A DP column
+    aligns one fixed database symbol [c] against every query position,
+    so this layout makes the engine's inner loop a stride-1 scan of one
+    contiguous row. Read-only. *)
+
 val dim : t -> int
 (** [Alphabet.size + 1]. *)
 

@@ -21,7 +21,11 @@ let build db =
     let key i =
       (rank.(i), if i + !k < n then rank.(i + !k) else -1)
     in
-    Array.sort (fun a b -> compare (key a) (key b)) sa;
+    Array.sort
+      (fun a b ->
+        let (a1, a2) = key a and (b1, b2) = key b in
+        if a1 <> b1 then Int.compare a1 b1 else Int.compare a2 b2)
+      sa;
     (* Re-rank. *)
     tmp.(sa.(0)) <- 0;
     for r = 1 to n - 1 do
@@ -75,7 +79,7 @@ let find t pattern =
   match interval t pattern with
   | None -> []
   | Some (lo, hi) ->
-    List.sort compare (List.init (hi - lo) (fun i -> t.sa.(lo + i)))
+    List.sort Int.compare (List.init (hi - lo) (fun i -> t.sa.(lo + i)))
 
 (* Kasai et al. linear-time LCP construction. *)
 let lcp_array t =

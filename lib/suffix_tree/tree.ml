@@ -7,6 +7,8 @@ let is_leaf = Node.is_leaf
 let children = Node.children
 let iter_children n f = Node.iter_children n f
 let label (n : node) = (n.Node.start, n.Node.stop)
+let label_start (n : node) = n.Node.start
+let label_stop (n : node) = n.Node.stop
 let positions (n : node) = n.Node.positions
 
 let data t = Bioseq.Database.data t.db
@@ -80,7 +82,7 @@ let find_exact t pattern =
   in
   match walk t.root 0 with
   | None -> []
-  | Some node -> List.sort compare (subtree_positions node)
+  | Some node -> List.sort Int.compare (subtree_positions node)
 
 let fold t ~init ~f =
   (* Pre-order with an explicit stack (see [subtree_positions]). *)

@@ -23,6 +23,11 @@ val iter_children : node -> (node -> unit) -> unit
 val label : node -> int * int
 (** Global range [ [start, stop) ) of the incoming edge label. *)
 
+val label_start : node -> int
+val label_stop : node -> int
+(** The components of {!label} without the tuple — the search engine's
+    per-child hot path reads these to stay allocation-free. *)
+
 val positions : node -> int list
 (** Suffix start positions; non-empty exactly for leaves. *)
 

@@ -591,6 +591,163 @@ let qcheck_budget_graceful =
                List.mem (s, score) got || score <= remaining_bound)
              oracle)
 
+(* --- Pooled kernel vs. reference implementation --- *)
+
+(* The optimized engine must reproduce the pre-refactor engine's hit
+   stream bit for bit: same hits, same order, same tie-breaks — not just
+   the same set. [Oasis.Reference] is that engine, kept as an executable
+   specification; these properties drain both engines step by step and
+   compare full records in stream order. *)
+
+let same_hit (a : Oasis.Hit.t) (b : Oasis.Hit.t) =
+  a.seq_index = b.seq_index
+  && a.score = b.score
+  && a.query_stop = b.query_stop
+  && a.target_stop = b.target_stop
+
+let rec same_stream xs ys =
+  match (xs, ys) with
+  | [], [] -> true
+  | x :: xs, y :: ys -> same_hit x y && same_stream xs ys
+  | _ -> false
+
+let engine_pair ?options ?budget ~matrix ~gap ~min_score db q =
+  let tree = Suffix_tree.Ukkonen.build db in
+  let cfg = Oasis.Engine.config ?options ?budget ~matrix ~gap ~min_score () in
+  ( Oasis.Engine.Mem.create ~source:tree ~db ~query:q cfg,
+    Oasis.Reference.Mem.create ~source:tree ~db ~query:q cfg )
+
+let same_outcome a b =
+  match (a, b) with
+  | Oasis.Engine.Searching, Oasis.Engine.Searching -> true
+  | Oasis.Engine.Complete, Oasis.Engine.Complete -> true
+  | ( Oasis.Engine.Exhausted { remaining_bound = x },
+      Oasis.Engine.Exhausted { remaining_bound = y } ) ->
+    x = y
+  | _ -> false
+
+let qcheck_stream_equals_reference =
+  QCheck.Test.make ~count:300
+    ~name:"pooled engine stream = reference stream (linear)"
+    (QCheck.make random_case_gen ~print:print_case)
+    (fun (strings, qtext, min_score) ->
+      let db = db_of_strings strings in
+      let q = query qtext in
+      let engine, reference =
+        engine_pair ~matrix:unit_matrix ~gap:gap1 ~min_score db q
+      in
+      let eh = Oasis.Engine.Mem.run engine in
+      let rh = Oasis.Reference.Mem.run reference in
+      same_stream eh rh
+      && (Oasis.Engine.Mem.counters engine).Oasis.Engine.columns
+         = Oasis.Reference.Mem.columns reference)
+
+let qcheck_stream_equals_reference_affine =
+  QCheck.Test.make ~count:200
+    ~name:"pooled engine stream = reference stream (affine)"
+    (QCheck.make random_case_gen ~print:print_case)
+    (fun (strings, qtext, min_score) ->
+      let db = db_of_strings strings in
+      let q = query qtext in
+      let gap = Scoring.Gap.affine ~open_cost:2 ~extend_cost:1 in
+      let engine, reference = engine_pair ~matrix:unit_matrix ~gap ~min_score db q in
+      same_stream (Oasis.Engine.Mem.run engine) (Oasis.Reference.Mem.run reference))
+
+let qcheck_stream_equals_reference_protein =
+  let gen =
+    QCheck.Gen.(
+      let residues = "ARNDCQEGHILKMFPSTWYVBZX" in
+      let residue =
+        map (String.get residues) (int_range 0 (String.length residues - 1))
+      in
+      let protein n m = string_size ~gen:residue (int_range n m) in
+      let* strings = list_size (int_range 1 4) (protein 1 30) in
+      let* q = protein 1 8 in
+      let* min_score = int_range 1 25 in
+      return (strings, q, min_score))
+  in
+  QCheck.Test.make ~count:150
+    ~name:"pooled engine stream = reference stream (PAM30)"
+    (QCheck.make gen ~print:print_case)
+    (fun (strings, qtext, min_score) ->
+      let palpha = Bioseq.Alphabet.protein in
+      let db =
+        Bioseq.Database.make
+          (List.mapi
+             (fun i s ->
+               Bioseq.Sequence.make ~alphabet:palpha ~id:(Printf.sprintf "p%d" i) s)
+             strings)
+      in
+      let q = Bioseq.Sequence.make ~alphabet:palpha ~id:"q" qtext in
+      let engine, reference =
+        engine_pair ~matrix:Scoring.Matrices.pam30 ~gap:(Scoring.Gap.linear 10)
+          ~min_score db q
+      in
+      same_stream (Oasis.Engine.Mem.run engine) (Oasis.Reference.Mem.run reference))
+
+let qcheck_stream_equals_reference_options =
+  (* Every pruning/heuristic combination must stay in lockstep — this is
+     what pins the specialized default-path kernel to the generic one. *)
+  QCheck.Test.make ~count:100
+    ~name:"pooled engine stream = reference stream (all option combos)"
+    (QCheck.make random_case_gen ~print:print_case)
+    (fun (strings, qtext, min_score) ->
+      let db = db_of_strings strings in
+      let q = query qtext in
+      List.for_all
+        (fun options ->
+          let engine, reference =
+            engine_pair ~options ~matrix:unit_matrix ~gap:gap1 ~min_score db q
+          in
+          same_stream (Oasis.Engine.Mem.run engine)
+            (Oasis.Reference.Mem.run reference))
+        all_option_combos)
+
+let qcheck_stream_equals_reference_budgeted =
+  (* Budgeted runs must truncate at exactly the same point with the same
+     outcome and the same remaining bound. *)
+  QCheck.Test.make ~count:200
+    ~name:"budgeted pooled engine = budgeted reference (outcome + bound)"
+    (QCheck.make
+       QCheck.Gen.(triple random_case_gen (int_range 0 40) (int_range 0 10))
+       ~print:(fun (case, cols, nodes) ->
+         print_case case ^ Printf.sprintf " max_columns=%d max_expanded=%d" cols nodes))
+    (fun ((strings, qtext, min_score), max_columns, max_expanded) ->
+      let db = db_of_strings strings in
+      let q = query qtext in
+      let budget = Oasis.Engine.budget ~max_columns ~max_expanded () in
+      let engine, reference =
+        engine_pair ~budget ~matrix:unit_matrix ~gap:gap1 ~min_score db q
+      in
+      same_stream (Oasis.Engine.Mem.run engine) (Oasis.Reference.Mem.run reference)
+      && same_outcome
+           (Oasis.Engine.Mem.outcome engine)
+           (Oasis.Reference.Mem.outcome reference))
+
+let qcheck_pool_recycles =
+  (* Arena discipline: once the frontier is drained every slot has been
+     released (live slots otherwise belong exactly to still-queued
+     viable nodes, which an early finish legitimately leaves behind),
+     and the peak never exceeds queued nodes plus the parent and child
+     of the expansion in flight. *)
+  QCheck.Test.make ~count:200 ~name:"column pool drains to zero live slots"
+    (QCheck.make random_case_gen ~print:print_case)
+    (fun (strings, qtext, min_score) ->
+      let db = db_of_strings strings in
+      let q = query qtext in
+      let tree = Suffix_tree.Ukkonen.build db in
+      let engine =
+        Oasis.Engine.Mem.create ~source:tree ~db ~query:q
+          (Oasis.Engine.config ~matrix:unit_matrix ~gap:gap1 ~min_score ())
+      in
+      ignore (Oasis.Engine.Mem.run engine);
+      let c = Oasis.Engine.Mem.counters engine in
+      (Oasis.Engine.Mem.peek_bound engine <> None
+      || c.Oasis.Engine.pool_live = 0)
+      && c.Oasis.Engine.pool_peak_live <= c.Oasis.Engine.nodes_enqueued + 2
+      && (c.Oasis.Engine.nodes_expanded <= 1
+         || c.Oasis.Engine.pool_peak_bytes > 0))
+
 (* --- Parallel batch search --- *)
 
 let test_batch_parallel_equals_sequential () =
@@ -688,5 +845,11 @@ let () =
             qcheck_disk_affine;
             qcheck_profile_engine_equals_sw;
             qcheck_budget_graceful;
+            qcheck_stream_equals_reference;
+            qcheck_stream_equals_reference_affine;
+            qcheck_stream_equals_reference_protein;
+            qcheck_stream_equals_reference_options;
+            qcheck_stream_equals_reference_budgeted;
+            qcheck_pool_recycles;
           ] );
     ]

@@ -30,6 +30,67 @@ let test_pq_tie_break () =
     [ "accepted"; "viable-first"; "viable-second" ]
     order
 
+let test_pq_growth_from_empty () =
+  (* The SoA heap starts with zero capacity; the first push allocates
+     and repeated doubling must keep all three arrays in step. *)
+  let q = Oasis.Pqueue.create () in
+  for i = 0 to 999 do
+    Oasis.Pqueue.push_tie q ~priority:(i * 7 mod 101) ~tie:(i mod 2) i
+  done;
+  Alcotest.(check int) "length" 1000 (Oasis.Pqueue.length q);
+  let rec drain n last =
+    match Oasis.Pqueue.pop q with
+    | None -> n
+    | Some (p, _) ->
+      Alcotest.(check bool) "non-increasing priorities" true (p <= last);
+      drain (n + 1) p
+  in
+  Alcotest.(check int) "drained all" 1000 (drain 0 max_int)
+
+let test_pq_tie_out_of_range () =
+  let q = Oasis.Pqueue.create () in
+  List.iter
+    (fun tie ->
+      try
+        Oasis.Pqueue.push_tie q ~priority:0 ~tie ();
+        Alcotest.fail "out-of-range tie accepted"
+      with Invalid_argument _ -> ())
+    [ -1; 256; 1000 ]
+
+(* Model-based fuzz of the full ordering contract: priority descending,
+   then tie ascending (accepted before viable), then insertion order
+   (FIFO) — the engine's determinism rests on all three. *)
+let qcheck_pq_model =
+  QCheck.Test.make ~count:300 ~name:"pqueue matches sorted model (tie + FIFO)"
+    QCheck.(list (option (pair (int_range 0 15) (int_range 0 3))))
+    (fun ops ->
+      let q = Oasis.Pqueue.create () in
+      let model = ref [] and seq = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some (p, tie) ->
+            Oasis.Pqueue.push_tie q ~priority:p ~tie !seq;
+            model := (p, tie, !seq) :: !model;
+            incr seq;
+            true
+          | None -> (
+            let expected =
+              List.sort
+                (fun (p1, t1, s1) (p2, t2, s2) ->
+                  if p1 <> p2 then Int.compare p2 p1
+                  else if t1 <> t2 then Int.compare t1 t2
+                  else Int.compare s1 s2)
+                !model
+            in
+            match (Oasis.Pqueue.pop q, expected) with
+            | None, [] -> true
+            | Some (p, v), (ep, _, es) :: rest ->
+              model := rest;
+              p = ep && v = es
+            | None, _ :: _ | Some _, [] -> false))
+        ops)
+
 let qcheck_pq_sorts =
   QCheck.Test.make ~count:300 ~name:"pqueue pops a non-increasing sequence"
     QCheck.(list (int_range (-1000) 1000))
@@ -402,6 +463,9 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_pq_basic;
           Alcotest.test_case "tie breaking" `Quick test_pq_tie_break;
+          Alcotest.test_case "growth from empty" `Quick
+            test_pq_growth_from_empty;
+          Alcotest.test_case "tie out of range" `Quick test_pq_tie_out_of_range;
         ] );
       ( "heuristic",
         [
@@ -427,6 +491,7 @@ let () =
           [
             qcheck_pq_sorts;
             qcheck_pq_interleaved;
+            qcheck_pq_model;
             qcheck_heuristic_admissible;
             qcheck_stream_is_sorted_and_complete;
             qcheck_edit_search_matches_brute;
