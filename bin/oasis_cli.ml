@@ -88,42 +88,79 @@ let index_files dir =
     Filename.concat dir "internal.dat",
     Filename.concat dir "leaves.dat" )
 
+let write_one_index ~layout ~external_build ~dir db =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let sym_p, int_p, leaf_p = index_files dir in
+  let symbols = Storage.Device.file sym_p
+  and internal = Storage.Device.file int_p
+  and leaves = Storage.Device.file leaf_p in
+  if external_build then
+    Storage.External_build.write ~layout db ~symbols ~internal ~leaves
+  else begin
+    let tree = Suffix_tree.Ukkonen.build db in
+    Storage.Disk_tree.write ~layout tree ~symbols ~internal ~leaves
+  end;
+  let total =
+    Storage.Device.length symbols + Storage.Device.length internal
+    + Storage.Device.length leaves
+  in
+  List.iter Storage.Device.close [ symbols; internal; leaves ];
+  total
+
 let index_cmd =
-  let run fasta alphabet dir clustered external_build =
+  let run fasta alphabet dir clustered external_build shards =
     let seqs = Bioseq.Fasta.read_file ~alphabet fasta in
     let db = Bioseq.Database.make seqs in
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-    let sym_p, int_p, leaf_p = index_files dir in
-    let symbols = Storage.Device.file sym_p
-    and internal = Storage.Device.file int_p
-    and leaves = Storage.Device.file leaf_p in
     let layout =
       if clustered then Storage.Disk_tree.Clustered
       else Storage.Disk_tree.Position_indexed
     in
-    if external_build then begin
+    if external_build then
       Printf.printf
         "building index externally (one first-symbol partition at a time, \
          largest holds %d suffixes) over %d sequences (%d symbols)...\n%!"
         (Storage.External_build.max_partition_occurrences db)
         (Bioseq.Database.num_sequences db)
-        (Bioseq.Database.total_symbols db);
-      Storage.External_build.write ~layout db ~symbols ~internal ~leaves
-    end
-    else begin
+        (Bioseq.Database.total_symbols db)
+    else
       Printf.printf "building suffix tree over %d sequences (%d symbols)...\n%!"
         (Bioseq.Database.num_sequences db)
         (Bioseq.Database.total_symbols db);
-      let tree = Suffix_tree.Ukkonen.build db in
-      Storage.Disk_tree.write ~layout tree ~symbols ~internal ~leaves
-    end;
     let total =
-      Storage.Device.length symbols + Storage.Device.length internal
-      + Storage.Device.length leaves
+      if shards <= 1 then write_one_index ~layout ~external_build ~dir db
+      else begin
+        let pieces = Oasis.Shard.plan ~shards db in
+        let totals =
+          Array.mapi
+            (fun i (piece : Oasis.Shard.piece) ->
+              let sdir = Storage.Shard_manifest.shard_dir dir i in
+              let bytes =
+                write_one_index ~layout ~external_build ~dir:sdir piece.db
+              in
+              Printf.printf "  shard%d: %d sequences (%d symbols), %d bytes\n%!"
+                i
+                (Bioseq.Database.num_sequences piece.db)
+                (Bioseq.Database.total_symbols piece.db)
+                bytes;
+              bytes)
+            pieces
+        in
+        Storage.Shard_manifest.save ~dir
+          (Array.map
+             (fun (piece : Oasis.Shard.piece) ->
+               {
+                 Storage.Shard_manifest.first_seq = piece.first_seq;
+                 num_seqs = Bioseq.Database.num_sequences piece.db;
+                 symbols = Bioseq.Database.total_symbols piece.db;
+               })
+             pieces);
+        Printf.printf "manifest: %d shards\n" (Array.length pieces);
+        Array.fold_left ( + ) 0 totals
+      end
     in
     Printf.printf "index written to %s: %d bytes (%.2f bytes/symbol)\n" dir total
-      (float_of_int total /. float_of_int (Bioseq.Database.data_length db));
-    List.iter Storage.Device.close [ symbols; internal; leaves ]
+      (float_of_int total /. float_of_int (Bioseq.Database.data_length db))
   in
   let dir =
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"DIR"
@@ -140,13 +177,20 @@ let index_cmd =
                  one first-symbol partition at a time, bounding peak tree \
                  memory by the largest partition.")
   in
+  let shards =
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K"
+           ~doc:"Partition the database into K shards (cut at sequence \
+                 boundaries, balanced by symbols) and build one index per \
+                 shard under shard0/..shardK-1/ plus a manifest; \
+                 $(b,oasis search --index) then runs the shards in parallel.")
+  in
   Cmd.v
     (Cmd.info "index"
        ~doc:"Build the paper's three-component on-disk suffix tree for a FASTA \
              database.")
     Term.(
       const run $ fasta_arg ~doc:"Input FASTA database." "db" $ alphabet_arg
-      $ dir $ clustered $ external_build)
+      $ dir $ clustered $ external_build $ shards)
 
 (* --- search --- *)
 
@@ -168,10 +212,43 @@ let gap_of gap_penalty gap_open =
   | None -> Scoring.Gap.linear gap_penalty
   | Some open_cost -> Scoring.Gap.affine ~open_cost ~extend_cost:gap_penalty
 
+(* Rebuild the shard sub-databases a sharded index was built over; the
+   manifest, not a fresh plan, is the source of truth. *)
+let pieces_of_manifest db entries =
+  let total =
+    Array.fold_left
+      (fun acc (e : Storage.Shard_manifest.entry) -> acc + e.num_seqs)
+      0 entries
+  in
+  if total <> Bioseq.Database.num_sequences db then
+    failwith
+      (Printf.sprintf
+         "sharded index covers %d sequences but the FASTA has %d — wrong \
+          database for this index?"
+         total
+         (Bioseq.Database.num_sequences db));
+  Array.map
+    (fun (e : Storage.Shard_manifest.entry) ->
+      let seqs =
+        List.init e.num_seqs (fun i -> Bioseq.Database.seq db (e.first_seq + i))
+      in
+      let piece =
+        { Oasis.Shard.db = Bioseq.Database.make seqs; first_seq = e.first_seq }
+      in
+      if Bioseq.Database.total_symbols piece.Oasis.Shard.db <> e.symbols then
+        failwith
+          (Printf.sprintf
+             "shard %d: manifest records %d symbols, FASTA slice has %d — \
+              wrong database for this index?"
+             e.first_seq e.symbols
+             (Bioseq.Database.total_symbols piece.Oasis.Shard.db));
+      piece)
+    entries
+
 let search_cmd =
   let run fasta alphabet index_dir query_text matrix gap_penalty gap_open
       min_score evalue top with_alignments evalue_order format buffer_blocks
-      max_columns max_nodes time_limit =
+      max_columns max_nodes time_limit shards =
     let seqs = Bioseq.Fasta.read_file ~alphabet fasta in
     let db = Bioseq.Database.make seqs in
     let query = Bioseq.Sequence.make ~alphabet ~id:"query" query_text in
@@ -265,12 +342,56 @@ let search_cmd =
       end
     in
     (match index_dir with
+    | None when shards > 1 ->
+      (* Sharded in-memory search: one tree + engine per shard on a
+         domain pool, merged preserving the decreasing-score order. *)
+      let t = Oasis.Parallel.Mem.create_sharded ~shards ~db ~query config in
+      stream (with_order (module Oasis.Parallel.Mem) t);
+      report_outcome (Oasis.Parallel.Mem.outcome t)
     | None ->
       (* In-memory index. *)
       let tree = Suffix_tree.Ukkonen.build db in
       let engine = Oasis.Engine.Mem.create ~source:tree ~db ~query config in
       stream (with_order (module Oasis.Engine.Mem) engine);
       report_outcome (Oasis.Engine.Mem.outcome engine)
+    | Some dir when Storage.Shard_manifest.exists ~dir ->
+      (* Sharded on-disk index: the manifest names the partition; each
+         shard opens its own components and buffer pool (the pool is
+         single-threaded by design, so shards must not share one). *)
+      let entries = Storage.Shard_manifest.load ~dir in
+      let pieces = pieces_of_manifest db entries in
+      let k = Array.length pieces in
+      let per_shard_blocks = max 16 (buffer_blocks / k) in
+      let devices = ref [] in
+      Fun.protect
+        ~finally:(fun () -> List.iter Storage.Device.close !devices)
+        (fun () ->
+          let sources =
+            Array.mapi
+              (fun i piece ->
+                let sym_p, int_p, leaf_p =
+                  index_files (Storage.Shard_manifest.shard_dir dir i)
+                in
+                let symbols = Storage.Device.open_file sym_p
+                and internal = Storage.Device.open_file int_p
+                and leaves = Storage.Device.open_file leaf_p in
+                devices := symbols :: internal :: leaves :: !devices;
+                let pool =
+                  Storage.Buffer_pool.create ~block_size:2048
+                    ~capacity:per_shard_blocks
+                in
+                let source =
+                  Storage.Disk_tree.open_ ~alphabet ~pool ~symbols ~internal
+                    ~leaves ()
+                in
+                { Oasis.Parallel.Disk.source; piece })
+              pieces
+          in
+          let t = Oasis.Parallel.Disk.create ~shards:sources ~query config in
+          stream (with_order (module Oasis.Parallel.Disk) t);
+          report_outcome (Oasis.Parallel.Disk.outcome t);
+          Printf.printf "# %d shards, %d buffer blocks each\n" k
+            per_shard_blocks)
     | Some dir ->
       let sym_p, int_p, leaf_p = index_files dir in
       let symbols = Storage.Device.open_file sym_p
@@ -360,6 +481,13 @@ let search_cmd =
     Arg.(value & opt (some float) None & info [ "time-limit" ] ~docv:"SECONDS"
            ~doc:"Search budget: stop after this much wall-clock time.")
   in
+  let shards =
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K"
+           ~doc:"Shard the in-memory search across K worker domains \
+                 (partitioned at sequence boundaries; results keep the \
+                 decreasing-score order). With --index, the shard count \
+                 comes from the index's manifest and this flag is ignored.")
+  in
   Cmd.v
     (Cmd.info "search"
        ~doc:"Accurate online local-alignment search (the OASIS algorithm).")
@@ -367,7 +495,7 @@ let search_cmd =
       const run $ fasta_arg ~doc:"FASTA database." "db" $ alphabet_arg
       $ index_dir $ query $ matrix $ gap $ gap_open $ min_score $ evalue $ top
       $ with_alignments $ evalue_order $ format $ buffer_blocks $ max_columns
-      $ max_nodes $ time_limit)
+      $ max_nodes $ time_limit $ shards)
 
 (* --- batch --- *)
 
@@ -701,6 +829,9 @@ let () =
   | Storage.Disk_tree.Corrupt { component; message } ->
     Printf.eprintf "oasis: corrupt index (%s component): %s\n" component
       message;
+    exit 2
+  | Storage.Shard_manifest.Corrupt message ->
+    Printf.eprintf "oasis: corrupt index (shard manifest): %s\n" message;
     exit 2
   | Failure msg | Invalid_argument msg ->
     Printf.eprintf "oasis: %s\n" msg;

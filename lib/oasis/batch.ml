@@ -4,30 +4,30 @@ type result = {
   counters : Engine.counters;
 }
 
-let search_one ~tree ~db cfg (query_index, query) =
+let search_one ~tree ~db cfg query_index query =
   let engine = Engine.Mem.create ~source:tree ~db ~query cfg in
   let hits = Engine.Mem.run engine in
   { query_index; hits; counters = Engine.Mem.counters engine }
 
-let run ?(domains = 1) ~tree ~db ~queries cfg =
-  if domains < 1 then invalid_arg "Batch.run: domains < 1";
-  let indexed = List.mapi (fun i q -> (i, q)) queries in
-  let results =
-    if domains = 1 then List.map (search_one ~tree ~db cfg) indexed
-    else begin
-      (* Round-robin split; the tree and database are only read. *)
-      let chunks = Array.make domains [] in
-      List.iter
-        (fun ((i, _) as entry) ->
-          chunks.(i mod domains) <- entry :: chunks.(i mod domains))
-        indexed;
-      let workers =
-        Array.map
-          (fun chunk ->
-            Domain.spawn (fun () -> List.map (search_one ~tree ~db cfg) chunk))
-          chunks
-      in
-      Array.fold_left (fun acc w -> Domain.join w @ acc) [] workers
-    end
-  in
-  List.sort (fun a b -> Int.compare a.query_index b.query_index) results
+let run_on_pool pool ~tree ~db ~queries cfg =
+  let queries = Array.of_list queries in
+  let results = Array.make (Array.length queries) None in
+  Array.iteri
+    (fun i query ->
+      Domain_pool.submit pool (fun () ->
+          results.(i) <- Some (search_one ~tree ~db cfg i query)))
+    queries;
+  Domain_pool.wait pool;
+  Array.to_list results
+  |> List.map (function Some r -> r | None -> assert false)
+
+let run ?(domains = 1) ?pool ~tree ~db ~queries cfg =
+  match pool with
+  | Some pool -> run_on_pool pool ~tree ~db ~queries cfg
+  | None ->
+    if domains < 1 then invalid_arg "Batch.run: domains < 1";
+    if domains = 1 then
+      List.mapi (fun i q -> search_one ~tree ~db cfg i q) queries
+    else
+      Domain_pool.with_pool ~domains (fun pool ->
+          run_on_pool pool ~tree ~db ~queries cfg)

@@ -16,12 +16,16 @@ type result = {
 
 val run :
   ?domains:int ->
+  ?pool:Domain_pool.t ->
   tree:Suffix_tree.Tree.t ->
   db:Bioseq.Database.t ->
   queries:Bioseq.Sequence.t list ->
   Engine.config ->
   result list
-(** Search every query, returning results in query order. [domains]
-    defaults to 1 (sequential); with [d > 1], queries are distributed
-    round-robin over [d] domains. Results are identical regardless of
-    [domains] (checked by tests). *)
+(** Search every query, returning results in query order. One task per
+    query on a {!Domain_pool} — queries of very different costs still
+    balance, unlike a static split. [pool] reuses a caller's pool
+    (e.g. shared with a {!Parallel} search); otherwise [domains]
+    (default 1) sizes a private one, with [domains = 1] running
+    inline. Results are identical regardless of [domains]/[pool]
+    (checked by tests). *)

@@ -1,0 +1,53 @@
+type t = {
+  columns : int;
+  nodes_expanded : int;
+  nodes_enqueued : int;
+  nodes_pruned : int;
+  max_queue : int;
+  pool_reused : int;
+  pool_live : int;
+  pool_peak_live : int;
+  pool_peak_bytes : int;
+  minor_words : float;
+}
+
+let zero =
+  {
+    columns = 0;
+    nodes_expanded = 0;
+    nodes_enqueued = 0;
+    nodes_pruned = 0;
+    max_queue = 0;
+    pool_reused = 0;
+    pool_live = 0;
+    pool_peak_live = 0;
+    pool_peak_bytes = 0;
+    minor_words = 0.;
+  }
+
+let merge a b =
+  {
+    columns = a.columns + b.columns;
+    nodes_expanded = a.nodes_expanded + b.nodes_expanded;
+    nodes_enqueued = a.nodes_enqueued + b.nodes_enqueued;
+    nodes_pruned = a.nodes_pruned + b.nodes_pruned;
+    max_queue = (if a.max_queue >= b.max_queue then a.max_queue else b.max_queue);
+    pool_reused = a.pool_reused + b.pool_reused;
+    pool_live = (if a.pool_live >= b.pool_live then a.pool_live else b.pool_live);
+    pool_peak_live =
+      (if a.pool_peak_live >= b.pool_peak_live then a.pool_peak_live
+       else b.pool_peak_live);
+    pool_peak_bytes =
+      (if a.pool_peak_bytes >= b.pool_peak_bytes then a.pool_peak_bytes
+       else b.pool_peak_bytes);
+    minor_words = a.minor_words +. b.minor_words;
+  }
+
+let sum cs = List.fold_left merge zero cs
+
+let pp ppf c =
+  Format.fprintf ppf
+    "columns %d, expanded %d, enqueued %d, pruned %d, max queue %d, pool \
+     reused %d / live %d / peak %d (%d bytes), minor words %.0f"
+    c.columns c.nodes_expanded c.nodes_enqueued c.nodes_pruned c.max_queue
+    c.pool_reused c.pool_live c.pool_peak_live c.pool_peak_bytes c.minor_words

@@ -1,0 +1,52 @@
+(** Search-effort counters, shared by every engine instantiation and by
+    the aggregation layers above them ({!Batch}, {!Parallel}).
+
+    A counters record mixes two kinds of field, and aggregating them
+    correctly requires treating them differently — which is why
+    {!merge} exists instead of ad-hoc per-field addition:
+
+    - {e additive} totals ([columns], [nodes_expanded], [nodes_enqueued],
+      [nodes_pruned], [pool_reused], [minor_words]): work done; summing
+      across engines gives the work of the whole search.
+    - {e gauges and peaks} ([max_queue], [pool_live], [pool_peak_live],
+      [pool_peak_bytes]): sizes of one engine's own structures. Each
+      engine owns a separate column arena and queue, so adding peaks
+      would claim a single pool reached the sum of several distinct
+      high-water marks — it never did. {!merge} takes the maximum: the
+      largest single-engine footprint, which is the number capacity
+      planning actually needs (every engine must fit, and concurrent
+      engines are sized independently). *)
+
+type t = {
+  columns : int;  (** DP columns filled — the Figure 4 metric *)
+  nodes_expanded : int;
+  nodes_enqueued : int;
+  nodes_pruned : int;  (** children discarded as unviable *)
+  max_queue : int;
+  pool_reused : int;
+      (** column-arena acquisitions served by recycling a released slot
+          (vs growing the backing store) *)
+  pool_live : int;  (** arena slots held by queued viable nodes *)
+  pool_peak_live : int;
+  pool_peak_bytes : int;
+      (** arena backing-store size — its high-water mark, since the
+          store never shrinks *)
+  minor_words : float;
+      (** minor-heap words allocated since engine creation, {e on the
+          engine's own domain} ([Gc.minor_words] is per-domain in
+          OCaml 5, which is what makes these safely additive across a
+          shard pool) *)
+}
+
+val zero : t
+(** Identity of {!merge}. *)
+
+val merge : t -> t -> t
+(** Pointwise aggregate: additive fields sum, gauge/peak fields take
+    the maximum (see the module comment for why). Associative and
+    commutative with {!zero} as identity (unit-tested). *)
+
+val sum : t list -> t
+(** [List.fold_left merge zero]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+type t = {
+  mu : Mutex.t;
+  work_ready : Condition.t;  (** signalled when a task or stop arrives *)
+  idle : Condition.t;  (** signalled when [busy + queued] may have hit 0 *)
+  tasks : (unit -> unit) Queue.t;
+  mutable busy : int;  (** tasks currently executing *)
+  mutable failed : exn option;  (** first task exception, kept for [wait] *)
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.tasks && not t.stopping do
+      Condition.wait t.work_ready t.mu
+    done;
+    match Queue.take_opt t.tasks with
+    | None ->
+      (* Stopping and drained. *)
+      Mutex.unlock t.mu;
+      ()
+    | Some task ->
+      t.busy <- t.busy + 1;
+      Mutex.unlock t.mu;
+      (try task ()
+       with exn ->
+         locked t (fun () ->
+             if t.failed = None then t.failed <- Some exn));
+      locked t (fun () ->
+          t.busy <- t.busy - 1;
+          if t.busy = 0 && Queue.is_empty t.tasks then
+            Condition.broadcast t.idle);
+      loop ()
+  in
+  loop ()
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Domain_pool.create: domains < 1";
+  let t =
+    {
+      mu = Mutex.create ();
+      work_ready = Condition.create ();
+      idle = Condition.create ();
+      tasks = Queue.create ();
+      busy = 0;
+      failed = None;
+      stopping = false;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init domains (fun _ -> Domain.spawn (worker t));
+  t
+
+let size t = Array.length t.workers
+
+let submit t task =
+  locked t (fun () ->
+      if t.stopping then invalid_arg "Domain_pool.submit: pool is shut down";
+      Queue.add task t.tasks;
+      Condition.signal t.work_ready)
+
+let wait t =
+  let reraise =
+    locked t (fun () ->
+        while t.busy > 0 || not (Queue.is_empty t.tasks) do
+          Condition.wait t.idle t.mu
+        done;
+        let e = t.failed in
+        t.failed <- None;
+        e)
+  in
+  match reraise with None -> () | Some exn -> raise exn
+
+let shutdown t =
+  let joinable =
+    locked t (fun () ->
+        if t.stopping then [||]
+        else begin
+          t.stopping <- true;
+          Condition.broadcast t.work_ready;
+          t.workers
+        end)
+  in
+  Array.iter Domain.join joinable;
+  if joinable <> [||] then wait t
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

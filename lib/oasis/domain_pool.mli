@@ -1,0 +1,45 @@
+(** A fixed pool of OCaml 5 worker domains draining one task queue.
+
+    Both aggregation layers above the engine run on this pool: {!Batch}
+    submits one task per query, {!Parallel} one task per database
+    shard. Centralizing the domains keeps their number fixed for a
+    whole workload (domains are heavyweight — spawning one per task
+    would swamp short searches) and lets a server share a single pool
+    across many concurrent requests.
+
+    Tasks may block on their own synchronization (the {!Parallel}
+    coordinator consumes shard hits while the shard tasks are still
+    running) but must never wait on {e other tasks starting}: with
+    fewer workers than tasks, later submissions wait for a free worker,
+    so a task that spins on a sibling's progress can deadlock the
+    pool. Shard and query tasks run to completion independently, which
+    is what makes them safe here.
+
+    A task that raises does not kill its worker: the first exception is
+    kept and re-raised from {!wait} (and {!shutdown}); later ones are
+    dropped. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawn [domains] worker domains (>= 1; raises [Invalid_argument]
+    otherwise). Callers usually size this by
+    [Domain.recommended_domain_count ()]. *)
+
+val size : t -> int
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a task; it runs on the first free worker. Raises
+    [Invalid_argument] after {!shutdown}. *)
+
+val wait : t -> unit
+(** Block until every submitted task has finished, then re-raise the
+    first task exception if any (clearing it). The pool stays usable
+    for further submissions. *)
+
+val shutdown : t -> unit
+(** {!wait}, then stop and join the workers. Idempotent; the pool
+    refuses further submissions. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [create], run the function, and {!shutdown} (also on exception). *)

@@ -58,7 +58,7 @@ type trace_event =
     }
   | Reported of { seq_index : int; score : int }
 
-type counters = {
+type counters = Counters.t = {
   columns : int;
   nodes_expanded : int;
   nodes_enqueued : int;
@@ -716,6 +716,9 @@ module Make (S : Source.S) = struct
       match from_queue with
       | None -> Some hit.Hit.score
       | Some p -> Some (max p hit.Hit.score))
+
+  let frontier_bound t =
+    match peek_bound t with Some b -> b | None -> neg_inf
 
   let counters t =
     {

@@ -106,7 +106,7 @@ type trace_event =
     }
   | Reported of { seq_index : int; score : int }
 
-type counters = {
+type counters = Counters.t = {
   columns : int;  (** DP columns filled — the Figure 4 metric *)
   nodes_expanded : int;
   nodes_enqueued : int;
@@ -122,14 +122,17 @@ type counters = {
           store never shrinks *)
   minor_words : float;
       (** minor-heap words allocated since [create], engine work and
-          caller work alike ([Gc.minor_words] delta) — divide by
-          [columns] for the words-per-column figure the bench reports *)
+          caller work alike ([Gc.minor_words] delta, per-domain in
+          OCaml 5) — divide by [columns] for the words-per-column figure
+          the bench reports *)
 }
-(** The pool_* fields observe the {!Col_pool} column arena behind the
-    hot path: DP columns live in a recycled flat backing store, so a
-    steady-state search allocates (almost) nothing per column. Set
-    [OASIS_CHECKED_KERNEL=1] to re-enable bounds checks in the kernel's
-    array accesses when debugging. *)
+(** Re-export of {!Counters.t} (aggregate across engines with
+    {!Counters.merge}, never ad-hoc addition — the pool_* gauges must
+    not be summed). The pool_* fields observe the {!Col_pool} column
+    arena behind the hot path: DP columns live in a recycled flat
+    backing store, so a steady-state search allocates (almost) nothing
+    per column. Set [OASIS_CHECKED_KERNEL=1] to re-enable bounds checks
+    in the kernel's array accesses when debugging. *)
 
 module Make (S : Source.S) : sig
   type t
@@ -172,6 +175,11 @@ module Make (S : Source.S) : sig
       ([None] once nothing remains). Non-increasing across calls; used by
       {!Evalue_stream} to re-order hits by length-adjusted E-value
       without losing the online property. *)
+
+  val frontier_bound : t -> int
+  (** {!peek_bound} without the option box: [Scoring.Submat.neg_inf]
+      once nothing remains. This is the merge-release bound the sharded
+      {!Parallel} coordinator compares against after every hit. *)
 
   val counters : t -> counters
   val queue_length : t -> int

@@ -1,0 +1,301 @@
+let neg_inf = Scoring.Submat.neg_inf
+
+(* Largest-remainder split of an optional limit over shard weights:
+   quotas sum exactly to the limit, every shard's share is proportional
+   to its symbol count, and the result is deterministic (remainder goes
+   to the largest fractional parts, lowest index first on ties). *)
+let split_limit weights = function
+  | None -> Array.map (fun _ -> None) weights
+  | Some limit ->
+    let total = Array.fold_left ( + ) 0 weights in
+    let k = Array.length weights in
+    let quota = Array.map (fun w -> limit * w / total) weights in
+    let given = Array.fold_left ( + ) 0 quota in
+    let order = Array.init k (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        let fa = limit * weights.(a) mod total
+        and fb = limit * weights.(b) mod total in
+        if fa <> fb then compare fb fa else compare a b)
+      order;
+    for r = 0 to limit - given - 1 do
+      let i = order.(r mod k) in
+      quota.(i) <- quota.(i) + 1
+    done;
+    Array.map (fun q -> Some q) quota
+
+module Make (S : Source.S) = struct
+  module E = Engine.Make (S)
+
+  type shard_source = { source : S.t; piece : Shard.piece }
+
+  type shard = {
+    piece : Shard.piece;
+    hits : Hit.t Queue.t;  (* globalized, pushed in non-increasing order *)
+    mutable bound : int;  (* admissible bound on hits not yet pushed *)
+    mutable done_ : bool;
+    mutable outcome : Engine.outcome;  (* meaningful once done_ *)
+    mutable counters : Counters.t;  (* latest snapshot *)
+  }
+
+  type t = {
+    mu : Mutex.t;
+    progress : Condition.t;  (* a shard pushed, finished, or failed *)
+    shards : shard array;
+    mutable failed : exn option;
+    mutable owned_pool : Domain_pool.t option;  (* shut down on drain *)
+  }
+
+  let locked t f =
+    Mutex.lock t.mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+  (* Runs on a pool worker. The engine lives entirely in this domain,
+     so its per-domain [minor_words] counter stays meaningful. *)
+  let shard_task t shard source query config () =
+    match
+      let e = E.create ~source ~db:shard.piece.Shard.db ~query config in
+      locked t (fun () ->
+          shard.bound <- E.frontier_bound e;
+          shard.counters <- E.counters e;
+          Condition.broadcast t.progress);
+      let rec loop () =
+        match E.next e with
+        | Some h ->
+          let g = Shard.globalize shard.piece h in
+          (* frontier_bound already <= h.score after the pop; the min is
+             belt and braces for the merge invariant. *)
+          let b = min (E.frontier_bound e) h.Hit.score in
+          locked t (fun () ->
+              Queue.add g shard.hits;
+              shard.bound <- b;
+              shard.counters <- E.counters e;
+              Condition.broadcast t.progress);
+          loop ()
+        | None ->
+          locked t (fun () ->
+              shard.bound <- neg_inf;
+              shard.outcome <- E.outcome e;
+              shard.counters <- E.counters e;
+              shard.done_ <- true;
+              Condition.broadcast t.progress)
+      in
+      loop ()
+    with
+    | () -> ()
+    | exception exn ->
+      locked t (fun () ->
+          if t.failed = None then t.failed <- Some exn;
+          shard.bound <- neg_inf;
+          shard.done_ <- true;
+          Condition.broadcast t.progress)
+
+  let create ?pool ~shards ~query (config : Engine.config) =
+    let n = Array.length shards in
+    if n = 0 then invalid_arg "Parallel.create: no shards";
+    let weights =
+      Array.map
+        (fun (s : shard_source) ->
+          max 1 (Bioseq.Database.total_symbols s.piece.Shard.db))
+        shards
+    in
+    let b = config.Engine.budget in
+    let columns = split_limit weights b.Engine.max_columns in
+    let expanded = split_limit weights b.Engine.max_expanded in
+    (* Shared wall clock: shards whose task starts late (fewer workers
+       than shards) only get what is left of the limit. *)
+    let deadline =
+      Option.map (fun s -> Unix.gettimeofday () +. s) b.Engine.time_limit
+    in
+    let t =
+      {
+        mu = Mutex.create ();
+        progress = Condition.create ();
+        shards =
+          Array.map
+            (fun (s : shard_source) ->
+              {
+                piece = s.piece;
+                hits = Queue.create ();
+                bound = max_int;
+                done_ = false;
+                outcome = Engine.Searching;
+                counters = Counters.zero;
+              })
+            shards;
+        failed = None;
+        owned_pool = None;
+      }
+    in
+    let pool, owned =
+      match pool with
+      | Some p -> (p, false)
+      | None ->
+        let domains = min n (Domain.recommended_domain_count ()) in
+        (Domain_pool.create ~domains, true)
+    in
+    Array.iteri
+      (fun i (s : shard_source) ->
+        Domain_pool.submit pool (fun () ->
+            let time_limit =
+              Option.map
+                (fun d -> Float.max 0. (d -. Unix.gettimeofday ()))
+                deadline
+            in
+            let config =
+              {
+                config with
+                Engine.budget =
+                  {
+                    Engine.max_columns = columns.(i);
+                    max_expanded = expanded.(i);
+                    time_limit;
+                  };
+              }
+            in
+            shard_task t t.shards.(i) s.source query config ()))
+      shards;
+    if owned then t.owned_pool <- Some pool;
+    t
+
+  let num_shards t = Array.length t.shards
+
+  let head_score s = (Queue.peek s.hits).Hit.score
+
+  (* The merge-release rule (see the interface): candidate = max head
+     score, lowest shard index on ties; safe iff every still-running
+     empty-buffered shard j satisfies s > bound_j, or s = bound_j with
+     j on the losing side (> i) of the tie order. *)
+  let pick t =
+    let best = ref (-1) in
+    Array.iteri
+      (fun i s ->
+        if not (Queue.is_empty s.hits) then
+          if !best < 0 || head_score s > head_score t.shards.(!best) then
+            best := i)
+      t.shards;
+    match !best with
+    | -1 -> None
+    | i ->
+      let s = head_score t.shards.(i) in
+      let safe = ref true in
+      Array.iteri
+        (fun j sh ->
+          if
+            j <> i
+            && (not sh.done_)
+            && Queue.is_empty sh.hits
+            && not (s > sh.bound || (s = sh.bound && j > i))
+          then safe := false)
+        t.shards;
+      Some (i, !safe)
+
+  let all_done t = Array.for_all (fun s -> s.done_) t.shards
+
+  let close_pool t =
+    match t.owned_pool with
+    | None -> ()
+    | Some p ->
+      t.owned_pool <- None;
+      Domain_pool.shutdown p
+
+  let next t =
+    let result =
+      locked t (fun () ->
+          let rec loop () =
+            match t.failed with
+            | Some exn -> Error exn
+            | None -> (
+              match pick t with
+              | Some (i, true) -> Ok (Some (Queue.pop t.shards.(i).hits))
+              | Some (_, false) ->
+                Condition.wait t.progress t.mu;
+                loop ()
+              | None ->
+                if all_done t then Ok None
+                else begin
+                  Condition.wait t.progress t.mu;
+                  loop ()
+                end)
+          in
+          loop ())
+    in
+    match result with
+    | Error exn ->
+      close_pool t;
+      raise exn
+    | Ok None ->
+      close_pool t;
+      None
+    | Ok some -> some
+
+  let run ?limit t =
+    let rec go acc n =
+      if n = 0 then List.rev acc
+      else
+        match next t with
+        | None -> List.rev acc
+        | Some h -> go (h :: acc) (n - 1)
+    in
+    go [] (match limit with None -> -1 | Some l -> l)
+
+  let peek_bound t =
+    locked t (fun () ->
+        let b =
+          Array.fold_left
+            (fun acc s ->
+              let sb =
+                if not (Queue.is_empty s.hits) then head_score s
+                else if s.done_ then neg_inf
+                else s.bound
+              in
+              max acc sb)
+            neg_inf t.shards
+        in
+        if b = neg_inf then None else Some b)
+
+  let outcome t =
+    locked t (fun () ->
+        if not (all_done t) then Engine.Searching
+        else if Array.exists (fun s -> not (Queue.is_empty s.hits)) t.shards
+        then Engine.Searching
+        else
+          let bound =
+            Array.fold_left
+              (fun acc s ->
+                match s.outcome with
+                | Engine.Exhausted { remaining_bound } ->
+                  max acc remaining_bound
+                | _ -> acc)
+              neg_inf t.shards
+          in
+          if bound > neg_inf then Engine.Exhausted { remaining_bound = bound }
+          else if Array.exists
+                    (fun s ->
+                      match s.outcome with
+                      | Engine.Exhausted _ -> true
+                      | _ -> false)
+                    t.shards
+          then
+            (* Exhausted shards whose frontier was already empty-bounded. *)
+            Engine.Exhausted { remaining_bound = neg_inf }
+          else Engine.Complete)
+
+  let counters t =
+    locked t (fun () ->
+        Counters.sum (Array.to_list (Array.map (fun s -> s.counters) t.shards)))
+end
+
+module Mem = struct
+  include Make (Source.Mem)
+
+  let create_sharded ?pool ~shards ~db ~query config =
+    let pieces = Shard.plan ~shards db in
+    let trees = Shard.build_trees ?pool pieces in
+    let sources =
+      Array.map2 (fun source piece -> { source; piece }) trees pieces
+    in
+    create ?pool ~shards:sources ~query config
+end
+
+module Disk = Make (Source.Disk)

@@ -1,0 +1,125 @@
+(** Sharded multicore search: one engine per database shard on a
+    {!Domain_pool}, merged back into a single online hit stream.
+
+    {2 Why sharding is exact}
+
+    A {!Shard.plan} cuts the database only at sequence boundaries, so
+    every alignment the unsharded search can find lies entirely inside
+    one shard: running K independent engines finds exactly the union of
+    the unsharded result set, with shard-local sequence indices mapped
+    back through {!Shard.globalize}.
+
+    {2 Why the merge preserves the online order}
+
+    Each engine emits its hits in non-increasing score order and
+    publishes, after every hit, an admissible upper bound on everything
+    it can still produce ({!Engine.Make.frontier_bound}, clamped to the
+    last hit's score). The coordinator buffers each shard's hits and
+    releases the best buffered candidate — score [s] from shard [i] —
+    only when it provably precedes everything unseen, i.e. for every
+    shard [j <> i] that is still running with an empty buffer:
+
+    [s > bound_j  \/  (s = bound_j /\ j > i)]
+
+    Shards with a non-empty buffer need no check: the candidate is the
+    maximum over buffer heads (lowest shard index on ties), and each
+    buffer is itself sorted. Because bounds only decrease and are
+    admissible, this rule makes the merged stream a {e deterministic}
+    function of the per-shard streams — independent of domain timing —
+    and globally non-increasing. Ties across shards emit in increasing
+    shard index; within a shard the engine's own order is kept. With
+    K = 1 the stream is bit-identical to the plain engine's.
+
+    With K > 1 the stream equals the unsharded one modulo two tie
+    effects, both deterministic: (a) equal-score hits may permute
+    across shards (they emit in shard order, the single engine in its
+    own queue order), and (b) when one sequence has several endpoints
+    of the same maximal score, the shard's tree may discover a
+    different one than the global tree — [seq_index] and [score] are
+    always identical, only the reported stop coordinates can differ.
+
+    {2 Budgets}
+
+    [max_columns] and [max_expanded] are divided across shards in
+    proportion to shard symbol count (largest-remainder rounding), so
+    the aggregate work bound is the configured one. [time_limit] is a
+    shared wall clock measured from {!Make.create}: shards whose task
+    starts late get only the remaining time. The aggregate
+    {!Make.outcome} is [Exhausted] as soon as any shard exhausted — but
+    unlike a single exhausted engine, the other shards still complete
+    and their hits are exact, so truncation degrades {e better} than in
+    the unsharded search; [remaining_bound] is the max over exhausted
+    shards' bounds.
+
+    A worker that raises poisons the stream: the first exception is
+    re-raised from the next {!Make.next} call. *)
+
+module Make (S : Source.S) : sig
+  type shard_source = {
+    source : S.t;  (** suffix tree over [piece.db] *)
+    piece : Shard.piece;
+  }
+
+  type t
+
+  val create :
+    ?pool:Domain_pool.t ->
+    shards:shard_source array ->
+    query:Bioseq.Sequence.t ->
+    Engine.config ->
+    t
+  (** Submit one search task per shard and return immediately; hits
+      are pulled with {!next}. Without [pool] a private pool of
+      [min (Array.length shards) (Domain.recommended_domain_count ())]
+      domains is created and shut down when the stream drains. With
+      fewer workers than shards the search still completes (later
+      shards queue), but nothing can be emitted until every shard has
+      started and published its first bound. Raises [Invalid_argument]
+      on an empty shard array. *)
+
+  val next : t -> Hit.t option
+  (** Blocking pull of the next merged hit; [None] once every shard
+      has finished and its buffer drained. Same contract as
+      {!Engine.Make.next}: non-increasing scores, each (global)
+      sequence at most once. *)
+
+  val run : ?limit:int -> t -> Hit.t list
+  (** Drain {!next} (up to [limit] results). *)
+
+  val peek_bound : t -> int option
+  (** Upper bound on the score of every hit {!next} can still return
+      (max over shard buffers and published bounds); [None] once
+      nothing remains. Before a shard's task has started this is
+      [Some max_int] — admissible, just loose. *)
+
+  val outcome : t -> Engine.outcome
+  (** [Searching] until every shard finished {e and} the merged stream
+      drained; then [Complete], or [Exhausted] with the max remaining
+      bound if any shard ran out of budget (see the budget notes
+      above). *)
+
+  val counters : t -> Engine.counters
+  (** {!Counters.merge} across shards (additive fields summed, pool
+      gauges maxed), from each shard's latest published snapshot —
+      exact once that shard finished. *)
+
+  val num_shards : t -> int
+end
+
+module Mem : sig
+  include module type of Make (Source.Mem)
+
+  val create_sharded :
+    ?pool:Domain_pool.t ->
+    shards:int ->
+    db:Bioseq.Database.t ->
+    query:Bioseq.Sequence.t ->
+    Engine.config ->
+    t
+  (** Convenience: {!Shard.plan} the database, build one in-memory
+      suffix tree per piece (on [pool] when given), and {!create}. *)
+end
+
+module Disk : module type of Make (Source.Disk)
+(** Sharded search over per-shard {!Storage.Disk_tree} indexes (see
+    {!Storage.Shard_manifest} for the on-disk layout). *)

@@ -1,0 +1,59 @@
+type piece = { db : Bioseq.Database.t; first_seq : int }
+
+(* Cut points: after assigning a sequence, start a new piece once the
+   accumulated symbols reach the next ideal boundary i * total / shards.
+   Greedy and deterministic; every piece gets at least one sequence
+   because boundaries are visited in order and each step consumes one. *)
+let plan ~shards db =
+  if shards < 1 then invalid_arg "Shard.plan: shards < 1";
+  let n = Bioseq.Database.num_sequences db in
+  let shards = min shards n in
+  let total = Bioseq.Database.total_symbols db in
+  let pieces = ref [] in
+  let current = ref [] and current_first = ref 0 in
+  let assigned = ref 0 (* symbols in closed pieces + current *) in
+  let piece_index = ref 0 in
+  let flush next_first =
+    if !current <> [] then begin
+      pieces :=
+        { db = Bioseq.Database.make (List.rev !current); first_seq = !current_first }
+        :: !pieces;
+      incr piece_index;
+      current := [];
+      current_first := next_first
+    end
+  in
+  for i = 0 to n - 1 do
+    current := Bioseq.Database.seq db i :: !current;
+    assigned := !assigned + Bioseq.Sequence.length (Bioseq.Database.seq db i);
+    (* Close the piece when it reaches its ideal share, but never leave
+       more pieces to form than sequences to fill them. *)
+    let remaining_seqs = n - i - 1 in
+    let remaining_pieces = shards - !piece_index - 1 in
+    if
+      remaining_pieces > 0
+      && (!assigned * shards >= total * (!piece_index + 1)
+         || remaining_seqs <= remaining_pieces)
+    then flush (i + 1)
+  done;
+  flush n;
+  let arr = Array.of_list (List.rev !pieces) in
+  assert (Array.length arr >= 1 && Array.length arr <= shards);
+  arr
+
+let globalize piece (h : Hit.t) =
+  if piece.first_seq = 0 then h
+  else { h with Hit.seq_index = h.Hit.seq_index + piece.first_seq }
+
+let build_trees ?pool pieces =
+  match pool with
+  | None -> Array.map (fun p -> Suffix_tree.Ukkonen.build p.db) pieces
+  | Some pool ->
+    let trees = Array.make (Array.length pieces) None in
+    Array.iteri
+      (fun i p ->
+        Domain_pool.submit pool (fun () ->
+            trees.(i) <- Some (Suffix_tree.Ukkonen.build p.db)))
+      pieces;
+    Domain_pool.wait pool;
+    Array.map (function Some t -> t | None -> assert false) trees

@@ -1,0 +1,35 @@
+(** Database partitioning for the sharded search ({!Parallel}).
+
+    A shard is a contiguous run of whole database sequences, packaged
+    as its own {!Bioseq.Database.t} (so a suffix tree can be built on
+    it — in memory or on disk — exactly as for an unsharded database)
+    plus the global index of its first sequence. Cutting only at
+    sequence boundaries is what keeps the sharded search exact:
+    alignments never cross a terminator, so every alignment the
+    unsharded search can find lives entirely inside one shard, and a
+    shard-local hit maps back to the global database by shifting its
+    sequence index. *)
+
+type piece = {
+  db : Bioseq.Database.t;  (** the shard's own sequence database *)
+  first_seq : int;  (** global index of the shard's sequence 0 *)
+}
+
+val plan : shards:int -> Bioseq.Database.t -> piece array
+(** Split [db] into at most [shards] contiguous pieces, balanced by
+    symbol count (greedy cut at the sequence boundary nearest each
+    ideal split point). Every piece is non-empty; fewer pieces than
+    requested come back when the database has fewer sequences. Raises
+    [Invalid_argument] when [shards < 1]. The partition is a pure
+    function of [(shards, db)] — index build and search must agree on
+    it, which the on-disk {!Storage.Shard_manifest} records
+    explicitly. *)
+
+val globalize : piece -> Hit.t -> Hit.t
+(** Map a shard-local hit to global sequence numbering. [query_stop]
+    and [target_stop] are already sequence-relative and unchanged. *)
+
+val build_trees : ?pool:Domain_pool.t -> piece array -> Suffix_tree.Tree.t array
+(** One {!Suffix_tree.Ukkonen} tree per piece; built on [pool]'s
+    domains when given (construction is per-shard independent),
+    sequentially otherwise. *)

@@ -1,0 +1,97 @@
+(* Payload layout (all little-endian u32):
+
+     +0   magic "OASH"
+     +4   shard count K
+     +8   K entries of (first_seq, num_seqs, symbols)
+
+   followed by the standard 16-byte integrity footer. *)
+
+let magic = 0x4853414F (* "OASH" *)
+let filename = "manifest.dat"
+let shard_dir dir i = Filename.concat dir (Printf.sprintf "shard%d" i)
+
+type entry = { first_seq : int; num_seqs : int; symbols : int }
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+let put_u32 buf v =
+  if v < 0 || v > 0xFFFFFFFF then
+    invalid_arg "Shard_manifest: field out of u32 range";
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF))
+
+let get_u32 b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let write device entries =
+  let k = Array.length entries in
+  if k = 0 then invalid_arg "Shard_manifest.write: no entries";
+  let next = ref 0 in
+  Array.iter
+    (fun e ->
+      if e.first_seq <> !next || e.num_seqs < 1 then
+        invalid_arg "Shard_manifest.write: entries not contiguous from 0";
+      next := e.first_seq + e.num_seqs)
+    entries;
+  let buf = Buffer.create (8 + (12 * k)) in
+  put_u32 buf magic;
+  put_u32 buf k;
+  Array.iter
+    (fun e ->
+      put_u32 buf e.first_seq;
+      put_u32 buf e.num_seqs;
+      put_u32 buf e.symbols)
+    entries;
+  Device.append device (Buffer.to_bytes buf);
+  Footer.append device
+
+let read device =
+  (match Footer.verify device with
+  | Error msg -> corrupt "manifest: %s" msg
+  | Ok _ -> ());
+  let len = Device.length device - Footer.size in
+  if len < 8 then corrupt "manifest: payload too short (%d bytes)" len;
+  let b = Bytes.create len in
+  Device.pread device ~off:0 ~buf:b;
+  if get_u32 b 0 <> magic then corrupt "manifest: bad magic";
+  let k = get_u32 b 4 in
+  if k < 1 || len <> 8 + (12 * k) then
+    corrupt "manifest: claims %d shards but holds %d payload bytes" k len;
+  let entries =
+    Array.init k (fun i ->
+        let off = 8 + (12 * i) in
+        {
+          first_seq = get_u32 b off;
+          num_seqs = get_u32 b (off + 4);
+          symbols = get_u32 b (off + 8);
+        })
+  in
+  let next = ref 0 in
+  Array.iter
+    (fun e ->
+      if e.first_seq <> !next || e.num_seqs < 1 then
+        corrupt "manifest: shard ranges not contiguous from sequence 0";
+      next := e.first_seq + e.num_seqs)
+    entries;
+  entries
+
+let save ~dir entries =
+  let device = Device.file (Filename.concat dir filename) in
+  Fun.protect
+    ~finally:(fun () -> Device.close device)
+    (fun () -> write device entries)
+
+let load ~dir =
+  let device = Device.open_file (Filename.concat dir filename) in
+  Fun.protect
+    ~finally:(fun () -> Device.close device)
+    (fun () -> read device)
+
+let exists ~dir = Sys.file_exists (Filename.concat dir filename)

@@ -1,0 +1,50 @@
+(** The manifest tying a sharded on-disk index together.
+
+    A sharded index directory holds one complete {!Disk_tree} image per
+    shard in [shard0/ .. shard<K-1>/] plus a [manifest.dat] recording
+    how the database was partitioned: the sharded search must rebuild
+    {e exactly} the partition the index was built with (shard-local
+    sequence numbering depends on it), so the split is recorded rather
+    than re-derived. Each entry gives the shard's first global sequence
+    index, its sequence count and its symbol count — enough to carve
+    the shard sub-databases back out of the loaded database and to
+    sanity-check that the database on hand is the one that was indexed.
+
+    The payload carries its own magic and is sealed with a {!Footer}
+    (version + length + CRC-32), so truncation and bit rot surface as
+    {!Corrupt} at open time, like any other index component. *)
+
+type entry = {
+  first_seq : int;  (** global index of the shard's first sequence *)
+  num_seqs : int;
+  symbols : int;  (** total symbols in the shard's sequences *)
+}
+
+exception Corrupt of string
+(** Raised by {!read}/{!load} on a damaged or alien manifest. *)
+
+val filename : string
+(** ["manifest.dat"] *)
+
+val shard_dir : string -> int -> string
+(** [shard_dir dir i] is ["<dir>/shard<i>"], the per-shard index
+    directory. *)
+
+val write : Device.t -> entry array -> unit
+(** Serialize entries (device must be empty) and seal with a footer.
+    Raises [Invalid_argument] on an empty array or entries that are
+    not contiguous from sequence 0. *)
+
+val read : Device.t -> entry array
+(** Verify the footer and parse; raises {!Corrupt} on damage. *)
+
+val save : dir:string -> entry array -> unit
+(** {!write} to ["<dir>/manifest.dat"]. *)
+
+val load : dir:string -> entry array
+(** {!read} from ["<dir>/manifest.dat"]; raises {!Io_error.E} when the
+    file is missing (use {!exists} to probe). *)
+
+val exists : dir:string -> bool
+(** Whether ["<dir>/manifest.dat"] is present — how the CLI tells a
+    sharded index directory from a plain one. *)

@@ -17,6 +17,7 @@ module Buffer_pool = Buffer_pool
 module Footer = Footer
 module Disk_tree = Disk_tree
 module External_build = External_build
+module Shard_manifest = Shard_manifest
 
 exception Io_error = Io_error.E
 (** Alias of {!Io_error.E}: catch as [Storage.Io_error info]. *)

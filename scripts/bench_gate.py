@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Regression gate over BENCH_oasis.json.
+
+Compares a freshly generated BENCH_oasis.json (CI runs the quick kernel
+and scaling benches) against the committed baseline and fails when the
+kernel's engine columns/sec regressed by more than the tolerance
+(default 25%, override with BENCH_GATE_TOLERANCE, e.g. 0.4).
+
+The baseline is a full-size run from the development machine while the
+fresh numbers come from a CI runner's quick mode, so the tolerance is
+deliberately loose: the gate exists to catch the engine getting
+dramatically slower (an accidental O(n) regression, a lost
+optimization), not single-digit noise. Correctness flags
+(hit_streams_identical / hit_streams_match) are hard failures at any
+tolerance. The scaling speedup assertion itself lives in the bench
+binary, where it can see the core count; this script only re-checks the
+recorded numbers for consistency.
+
+Usage: bench_gate.py --baseline BENCH_baseline.json --fresh BENCH_oasis.json
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"bench gate: FAIL: {msg}")
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--fresh", required=True)
+    args = parser.parse_args()
+
+    tolerance = float(os.environ.get("BENCH_GATE_TOLERANCE", "0.25"))
+    if not (0.0 <= tolerance < 1.0):
+        fail(f"BENCH_GATE_TOLERANCE must be in [0, 1), got {tolerance}")
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    # The committed file predating the sectioned format kept the kernel
+    # numbers at the top level with a "bench" marker.
+    base_kernel = baseline.get("kernel", baseline if "bench" in baseline else None)
+    if base_kernel is None:
+        fail(f"{args.baseline} has no kernel section")
+    fresh_kernel = fresh.get("kernel")
+    if fresh_kernel is None:
+        fail(f"{args.fresh} has no kernel section — did the quick kernel bench run?")
+
+    if fresh_kernel.get("hit_streams_identical") is not True:
+        fail("fresh kernel run did not certify hit-stream identity")
+
+    base_cps = base_kernel["engine"]["columns_per_sec"]
+    fresh_cps = fresh_kernel["engine"]["columns_per_sec"]
+    floor = base_cps * (1.0 - tolerance)
+    verdict = "ok" if fresh_cps >= floor else "REGRESSION"
+    print(
+        f"bench gate: kernel engine columns/sec: fresh {fresh_cps:,.0f} vs "
+        f"baseline {base_cps:,.0f} (floor {floor:,.0f} at {tolerance:.0%} "
+        f"tolerance) -> {verdict}"
+    )
+    if fresh_cps < floor:
+        fail(
+            f"kernel columns/sec regressed more than {tolerance:.0%} "
+            f"({fresh_cps:,.0f} < {floor:,.0f})"
+        )
+
+    # Informational: the engine-vs-reference speedup is machine-relative
+    # and should be far more stable than absolute throughput.
+    base_speedup = base_kernel.get("speedup_columns_per_sec")
+    fresh_speedup = fresh_kernel.get("speedup_columns_per_sec")
+    if base_speedup and fresh_speedup:
+        print(
+            f"bench gate: engine/reference speedup: fresh {fresh_speedup:.2f}x "
+            f"vs baseline {base_speedup:.2f}x (informational)"
+        )
+
+    fresh_scaling = fresh.get("scaling")
+    if fresh_scaling is not None:
+        if fresh_scaling.get("hit_streams_match") is not True:
+            fail("fresh scaling run did not certify hit-stream equality")
+        cores = fresh_scaling.get("cores", 1)
+        s2 = fresh_scaling.get("shards_2", {}).get("speedup")
+        if cores >= 2 and s2 is not None and not s2 > 1.0:
+            fail(
+                f"scaling: 2-shard speedup {s2:.2f}x is not > 1.0 on a "
+                f"{cores}-core runner"
+            )
+        summary = ", ".join(
+            f"{k[len('shards_'):]} shards: {v['speedup']:.2f}x"
+            for k, v in sorted(fresh_scaling.items())
+            if k.startswith("shards_")
+        )
+        print(f"bench gate: scaling on {cores} core(s): {summary}")
+
+    print("bench gate: PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -104,6 +104,88 @@ let qcheck_faulty_equals_oracle =
       let engine, _ = faulty_engine db q min_score (transient_plan seed) in
       hit_pairs (Oasis.Engine.Disk.run engine) = sw_pairs db q min_score)
 
+(* Budget exhaustion under sharding: the per-shard budget split must
+   exhaust the aggregate search the way a single engine exhausts —
+   ordered stream, only oracle hits reported, every suppressed hit
+   covered by the aggregate remaining bound — never wedge the merge or
+   report fabricated results. *)
+
+let sharded_engine ~shards ~budget ~min_score db q =
+  Oasis.Parallel.Mem.create_sharded ~shards ~db ~query:q
+    (Oasis.Engine.config ~budget ~matrix ~gap ~min_score ())
+
+let check_sharded_degradation ~name ~shards ~budget db q min_score =
+  let t = sharded_engine ~shards ~budget ~min_score db q in
+  let hits = Oasis.Parallel.Mem.run t in
+  let rec ordered = function
+    | a :: (b :: _ as rest) ->
+      a.Oasis.Hit.score >= b.Oasis.Hit.score && ordered rest
+    | _ -> true
+  in
+  Alcotest.(check bool) (name ^ ": stream non-increasing") true (ordered hits);
+  let got = hit_pairs hits in
+  let oracle = sw_pairs db q min_score in
+  match Oasis.Parallel.Mem.outcome t with
+  | Oasis.Engine.Searching -> Alcotest.failf "%s: Searching after drain" name
+  | Oasis.Engine.Complete ->
+    Alcotest.(check (list (pair int int)))
+      (name ^ ": complete = oracle")
+      oracle got
+  | Oasis.Engine.Exhausted { remaining_bound } ->
+    Alcotest.(check bool)
+      (name ^ ": bound covers viable work")
+      true
+      (remaining_bound >= min_score);
+    List.iter
+      (fun p ->
+        if not (List.mem p oracle) then
+          Alcotest.failf "%s: reported non-oracle hit (%d, %d)" name (fst p)
+            (snd p))
+      got;
+    List.iter
+      (fun (s, score) ->
+        if (not (List.mem (s, score) got)) && score > remaining_bound then
+          Alcotest.failf "%s: suppressed hit (%d, %d) above bound %d" name s
+            score remaining_bound)
+      oracle
+
+let test_sharded_budget_exhaustion () =
+  let db =
+    db_of_strings
+      [
+        "AGTACGCCTAG";
+        "TACG";
+        "CCCCTACGCCCC";
+        "GATTACA";
+        "ACGTACGTAC";
+        "TTACGTTACG";
+      ]
+  in
+  let q = Bioseq.Sequence.make ~alphabet:alpha ~id:"q" "TACG" in
+  (* A tiny aggregate budget must exhaust — never wedge the merge. *)
+  let t =
+    sharded_engine ~shards:2
+      ~budget:(Oasis.Engine.budget ~max_columns:2 ())
+      ~min_score:1 db q
+  in
+  ignore (Oasis.Parallel.Mem.run t);
+  (match Oasis.Parallel.Mem.outcome t with
+  | Oasis.Engine.Exhausted { remaining_bound } ->
+    Alcotest.(check bool) "bound positive" true (remaining_bound >= 1)
+  | _ -> Alcotest.fail "tiny sharded budget did not exhaust");
+  List.iter
+    (fun (shards, max_columns) ->
+      check_sharded_degradation
+        ~name:(Printf.sprintf "K=%d max_columns=%d" shards max_columns)
+        ~shards
+        ~budget:(Oasis.Engine.budget ~max_columns ())
+        db q 1)
+    [ (2, 2); (2, 16); (3, 9); (4, 40) ];
+  (* A generous budget restores the exact oracle result. *)
+  check_sharded_degradation ~name:"K=4 ample" ~shards:4
+    ~budget:(Oasis.Engine.budget ~max_columns:1_000_000 ())
+    db q 1
+
 let () =
   Alcotest.run "faults"
     [
@@ -113,6 +195,11 @@ let () =
             test_search_through_faults;
           Alcotest.test_case "permanent failure surfaces cleanly" `Quick
             test_dead_device_surfaces;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "exhaustion under sharding degrades gracefully"
+            `Quick test_sharded_budget_exhaustion;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest qcheck_faulty_equals_oracle ]);
     ]

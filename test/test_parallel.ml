@@ -1,0 +1,478 @@
+(* Sharded search: the partition planner, the counter algebra the
+   coordinator aggregates with, the on-disk shard manifest, the domain
+   pool, and — the heart of it — determinism of the K-shard merged hit
+   stream against the single-engine reference under the documented tie
+   rule. *)
+
+let alpha = Bioseq.Alphabet.dna
+let unit_matrix = Scoring.Matrices.dna_unit
+
+let db_of_strings ?(alphabet = alpha) strings =
+  Bioseq.Database.make
+    (List.mapi
+       (fun i s ->
+         Bioseq.Sequence.make ~alphabet ~id:(Printf.sprintf "s%d" i) s)
+       strings)
+
+(* One pool for the whole suite: two workers exercise real domain
+   parallelism where the runner has cores and plain interleaving where
+   it does not, without respawning domains per test case. *)
+let pool = lazy (Oasis.Domain_pool.create ~domains:2)
+
+(* ---------- Shard.plan ---------- *)
+
+let check_partition db pieces =
+  if Array.length pieces = 0 then Alcotest.fail "empty partition";
+  let next = ref 0 in
+  Array.iter
+    (fun (p : Oasis.Shard.piece) ->
+      Alcotest.(check int) "contiguous first_seq" !next p.first_seq;
+      let n = Bioseq.Database.num_sequences p.db in
+      Alcotest.(check bool) "piece non-empty" true (n > 0);
+      for i = 0 to n - 1 do
+        Alcotest.(check bool)
+          (Printf.sprintf "sequence %d preserved" (p.first_seq + i))
+          true
+          (Bioseq.Sequence.equal
+             (Bioseq.Database.seq p.db i)
+             (Bioseq.Database.seq db (p.first_seq + i)))
+      done;
+      next := !next + n)
+    pieces;
+  Alcotest.(check int) "all sequences covered"
+    (Bioseq.Database.num_sequences db)
+    !next
+
+let test_plan_basic () =
+  let db = db_of_strings [ "ACGT"; "GG"; "TTTTTT"; "A"; "CCGG" ] in
+  List.iter
+    (fun shards ->
+      let pieces = Oasis.Shard.plan ~shards db in
+      Alcotest.(check bool)
+        (Printf.sprintf "at most %d pieces" shards)
+        true
+        (Array.length pieces <= shards);
+      check_partition db pieces)
+    [ 1; 2; 3; 4; 5 ];
+  (* More shards than sequences clamps to one piece per sequence. *)
+  let pieces = Oasis.Shard.plan ~shards:40 db in
+  Alcotest.(check int) "clamped to num_sequences" 5 (Array.length pieces);
+  check_partition db pieces;
+  Alcotest.check_raises "shards = 0 rejected"
+    (Invalid_argument "Shard.plan: shards < 1") (fun () ->
+      ignore (Oasis.Shard.plan ~shards:0 db))
+
+let qcheck_plan_partitions =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 1 12)
+           (string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range 1 20)))
+        (int_range 1 8))
+  in
+  let print (ss, k) = Printf.sprintf "db=%s k=%d" (String.concat "/" ss) k in
+  QCheck.Test.make ~count:300
+    ~name:"Shard.plan is a deterministic exact partition"
+    (QCheck.make gen ~print)
+    (fun (strings, shards) ->
+      let db = db_of_strings strings in
+      let pieces = Oasis.Shard.plan ~shards db in
+      check_partition db pieces;
+      (* Build and search must agree on the split: pure function. *)
+      let again = Oasis.Shard.plan ~shards db in
+      Array.length pieces = Array.length again
+      && Array.for_all2
+           (fun (a : Oasis.Shard.piece) (b : Oasis.Shard.piece) ->
+             a.first_seq = b.first_seq
+             && Bioseq.Database.num_sequences a.db
+                = Bioseq.Database.num_sequences b.db)
+           pieces again)
+
+(* ---------- Counters.merge ---------- *)
+
+let counters_a =
+  {
+    Oasis.Counters.columns = 10;
+    nodes_expanded = 3;
+    nodes_enqueued = 7;
+    nodes_pruned = 2;
+    max_queue = 5;
+    pool_reused = 4;
+    pool_live = 1;
+    pool_peak_live = 6;
+    pool_peak_bytes = 1000;
+    minor_words = 12.5;
+  }
+
+let counters_b =
+  {
+    Oasis.Counters.columns = 100;
+    nodes_expanded = 30;
+    nodes_enqueued = 70;
+    nodes_pruned = 20;
+    max_queue = 2;
+    pool_reused = 40;
+    pool_live = 3;
+    pool_peak_live = 4;
+    pool_peak_bytes = 800;
+    minor_words = 0.5;
+  }
+
+let test_counters_merge () =
+  let m = Oasis.Counters.merge counters_a counters_b in
+  Alcotest.(check int) "columns add" 110 m.Oasis.Counters.columns;
+  Alcotest.(check int) "nodes_expanded add" 33 m.Oasis.Counters.nodes_expanded;
+  Alcotest.(check int) "nodes_enqueued add" 77 m.Oasis.Counters.nodes_enqueued;
+  Alcotest.(check int) "nodes_pruned add" 22 m.Oasis.Counters.nodes_pruned;
+  Alcotest.(check int) "pool_reused add" 44 m.Oasis.Counters.pool_reused;
+  Alcotest.(check (float 1e-9)) "minor_words add" 13.0
+    m.Oasis.Counters.minor_words;
+  Alcotest.(check int) "max_queue maxes" 5 m.Oasis.Counters.max_queue;
+  Alcotest.(check int) "pool_live maxes" 3 m.Oasis.Counters.pool_live;
+  Alcotest.(check int) "pool_peak_live maxes" 6 m.Oasis.Counters.pool_peak_live;
+  Alcotest.(check int) "pool_peak_bytes maxes" 1000
+    m.Oasis.Counters.pool_peak_bytes
+
+let test_counters_no_double_count () =
+  (* The regression this module exists for: merging an engine's
+     snapshot with itself (or summing K shards that share a peak) must
+     not inflate the arena high-water mark. *)
+  let m = Oasis.Counters.merge counters_a counters_a in
+  Alcotest.(check int) "pool_peak_bytes not doubled"
+    counters_a.Oasis.Counters.pool_peak_bytes m.Oasis.Counters.pool_peak_bytes;
+  Alcotest.(check int) "pool_peak_live not doubled"
+    counters_a.Oasis.Counters.pool_peak_live m.Oasis.Counters.pool_peak_live;
+  Alcotest.(check int) "columns doubled (work is additive)"
+    (2 * counters_a.Oasis.Counters.columns)
+    m.Oasis.Counters.columns
+
+let test_counters_algebra () =
+  let ( = ) = Stdlib.( = ) in
+  Alcotest.(check bool) "zero is left identity" true
+    (Oasis.Counters.merge Oasis.Counters.zero counters_a = counters_a);
+  Alcotest.(check bool) "zero is right identity" true
+    (Oasis.Counters.merge counters_a Oasis.Counters.zero = counters_a);
+  Alcotest.(check bool) "commutative" true
+    (Oasis.Counters.merge counters_a counters_b
+    = Oasis.Counters.merge counters_b counters_a);
+  Alcotest.(check bool) "associative" true
+    (Oasis.Counters.(merge (merge counters_a counters_b) counters_a)
+    = Oasis.Counters.(merge counters_a (merge counters_b counters_a)));
+  Alcotest.(check bool) "sum folds merge" true
+    (Oasis.Counters.sum [ counters_a; counters_b ]
+    = Oasis.Counters.merge counters_a counters_b)
+
+(* ---------- K-shard determinism vs the single engine ---------- *)
+
+let single_engine_hits ~matrix ~gap ~min_score db q =
+  let tree = Suffix_tree.Ukkonen.build db in
+  Oasis.Engine.Mem.run
+    (Oasis.Engine.Mem.create ~source:tree ~db ~query:q
+       (Oasis.Engine.config ~matrix ~gap ~min_score ()))
+
+let sharded_hits ~matrix ~gap ~min_score ~shards db q =
+  let t =
+    Oasis.Parallel.Mem.create_sharded ~pool:(Lazy.force pool) ~shards ~db
+      ~query:q
+      (Oasis.Engine.config ~matrix ~gap ~min_score ())
+  in
+  let hits = Oasis.Parallel.Mem.run t in
+  (match Oasis.Parallel.Mem.outcome t with
+  | Oasis.Engine.Complete -> ()
+  | _ -> Alcotest.fail "unbudgeted sharded search did not complete");
+  hits
+
+let shard_of_seq pieces seq =
+  let found = ref (-1) in
+  Array.iteri
+    (fun i (p : Oasis.Shard.piece) ->
+      if
+        seq >= p.first_seq
+        && seq < p.first_seq + Bioseq.Database.num_sequences p.db
+      then found := i)
+    pieces;
+  !found
+
+let nonincreasing hits =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+      a.Oasis.Hit.score >= b.Oasis.Hit.score && go rest
+    | _ -> true
+  in
+  go hits
+
+(* Within each maximal run of equal scores, the merge releases shards
+   in increasing index order (and a shard it has moved past can never
+   reach that score again) — so shard indices are non-decreasing. *)
+let tie_rule_respected pieces hits =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+      (a.Oasis.Hit.score <> b.Oasis.Hit.score
+      || shard_of_seq pieces a.Oasis.Hit.seq_index
+         <= shard_of_seq pieces b.Oasis.Hit.seq_index)
+      && go rest
+    | _ -> true
+  in
+  go hits
+
+let seq_score hits =
+  List.sort compare
+    (List.map (fun h -> (h.Oasis.Hit.seq_index, h.Oasis.Hit.score)) hits)
+
+(* The determinism property, for one scoring workload: K = 1 is
+   bit-identical to the plain engine; K > 1 yields the same
+   (seq_index, score) multiset in non-increasing score order under the
+   documented cross-shard tie rule, and is reproducible run to run. *)
+let determinism_prop ~matrix ~gap (strings, qtext, min_score, alphabet) =
+  let db = db_of_strings ~alphabet strings in
+  let q = Bioseq.Sequence.make ~alphabet ~id:"q" qtext in
+  let reference = single_engine_hits ~matrix ~gap ~min_score db q in
+  let sharded = sharded_hits ~matrix ~gap ~min_score db q in
+  let one = sharded ~shards:1 in
+  if one <> reference then
+    QCheck.Test.fail_reportf "K=1 stream differs from the plain engine";
+  List.for_all
+    (fun k ->
+      let pieces = Oasis.Shard.plan ~shards:k db in
+      let hits = sharded ~shards:k in
+      if not (nonincreasing hits) then
+        QCheck.Test.fail_reportf "K=%d stream not non-increasing" k;
+      if seq_score hits <> seq_score reference then
+        QCheck.Test.fail_reportf "K=%d (seq, score) multiset differs" k;
+      if not (tie_rule_respected pieces hits) then
+        QCheck.Test.fail_reportf "K=%d violates the shard-order tie rule" k;
+      if sharded ~shards:k <> hits then
+        QCheck.Test.fail_reportf "K=%d stream not reproducible" k;
+      true)
+    [ 2; 4 ]
+
+let dna_case_gen =
+  QCheck.Gen.(
+    let dna n = string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) n in
+    let* strings = list_size (int_range 1 10) (dna (int_range 1 25)) in
+    let* q = dna (int_range 1 8) in
+    let* min_score = int_range 1 6 in
+    return (strings, q, min_score, Bioseq.Alphabet.dna))
+
+let protein_case_gen =
+  QCheck.Gen.(
+    let residues = "ARNDCQEGHILKMFPSTWYVBZX" in
+    let residue =
+      map (String.get residues) (int_range 0 (String.length residues - 1))
+    in
+    let protein n m = string_size ~gen:residue (int_range n m) in
+    let* strings = list_size (int_range 1 8) (protein 1 30) in
+    let* q = protein 1 8 in
+    let* min_score = int_range 1 25 in
+    return (strings, q, min_score, Bioseq.Alphabet.protein))
+
+let print_case (ss, q, ms, _) =
+  Printf.sprintf "db=%s q=%s min_score=%d" (String.concat "/" ss) q ms
+
+let qcheck_determinism_linear =
+  QCheck.Test.make ~count:100
+    ~name:"K-shard stream deterministic vs engine (DNA, linear gaps)"
+    (QCheck.make dna_case_gen ~print:print_case)
+    (determinism_prop ~matrix:unit_matrix ~gap:(Scoring.Gap.linear 1))
+
+let qcheck_determinism_affine =
+  QCheck.Test.make ~count:100
+    ~name:"K-shard stream deterministic vs engine (DNA, affine gaps)"
+    (QCheck.make dna_case_gen ~print:print_case)
+    (determinism_prop ~matrix:unit_matrix
+       ~gap:(Scoring.Gap.affine ~open_cost:2 ~extend_cost:1))
+
+let qcheck_determinism_pam30 =
+  QCheck.Test.make ~count:60
+    ~name:"K-shard stream deterministic vs engine (protein, PAM30)"
+    (QCheck.make protein_case_gen ~print:print_case)
+    (determinism_prop ~matrix:Scoring.Matrices.pam30
+       ~gap:(Scoring.Gap.linear 10))
+
+let test_empty_shards_rejected () =
+  let q = Bioseq.Sequence.make ~alphabet:alpha ~id:"q" "AC" in
+  Alcotest.check_raises "empty shard array"
+    (Invalid_argument "Parallel.create: no shards") (fun () ->
+      ignore
+        (Oasis.Parallel.Mem.create ~pool:(Lazy.force pool) ~shards:[||]
+           ~query:q
+           (Oasis.Engine.config ~matrix:unit_matrix
+              ~gap:(Scoring.Gap.linear 1) ~min_score:1 ())))
+
+(* ---------- Shard_manifest ---------- *)
+
+let entries_testable =
+  Alcotest.testable
+    (fun ppf (e : Storage.Shard_manifest.entry) ->
+      Format.fprintf ppf "{first=%d; n=%d; sym=%d}" e.first_seq e.num_seqs
+        e.symbols)
+    ( = )
+
+let sample_entries =
+  [|
+    { Storage.Shard_manifest.first_seq = 0; num_seqs = 3; symbols = 120 };
+    { Storage.Shard_manifest.first_seq = 3; num_seqs = 1; symbols = 7 };
+    { Storage.Shard_manifest.first_seq = 4; num_seqs = 5; symbols = 64 };
+  |]
+
+let test_manifest_roundtrip () =
+  let d = Storage.Device.in_memory () in
+  Storage.Shard_manifest.write d sample_entries;
+  Alcotest.(check (array entries_testable))
+    "entries survive the round trip" sample_entries
+    (Storage.Shard_manifest.read d)
+
+let flip_bit d off =
+  let buf = Bytes.create 1 in
+  Storage.Device.pread d ~off ~buf;
+  Bytes.set buf 0 (Char.chr (Char.code (Bytes.get buf 0) lxor 0x04));
+  Storage.Device.pwrite d ~off buf
+
+let expect_manifest_corrupt what f =
+  match f () with
+  | (_ : Storage.Shard_manifest.entry array) ->
+    Alcotest.failf "%s accepted" what
+  | exception Storage.Shard_manifest.Corrupt _ -> ()
+
+let test_manifest_corruption () =
+  (* Flip one bit anywhere — payload or footer — and the read must
+     refuse with Corrupt rather than return altered shard geometry. *)
+  let len =
+    let d = Storage.Device.in_memory () in
+    Storage.Shard_manifest.write d sample_entries;
+    Storage.Device.length d
+  in
+  for off = 0 to len - 1 do
+    let d = Storage.Device.in_memory () in
+    Storage.Shard_manifest.write d sample_entries;
+    flip_bit d off;
+    expect_manifest_corrupt
+      (Printf.sprintf "bit flip at offset %d" off)
+      (fun () -> Storage.Shard_manifest.read d)
+  done;
+  expect_manifest_corrupt "empty device" (fun () ->
+      Storage.Shard_manifest.read (Storage.Device.in_memory ()))
+
+let test_manifest_rejects_bad_entries () =
+  let reject name entries =
+    match Storage.Shard_manifest.write (Storage.Device.in_memory ()) entries with
+    | () -> Alcotest.failf "%s accepted" name
+    | exception Invalid_argument _ -> ()
+  in
+  reject "empty entry array" [||];
+  reject "gap in sequence coverage"
+    [|
+      { Storage.Shard_manifest.first_seq = 0; num_seqs = 2; symbols = 10 };
+      { Storage.Shard_manifest.first_seq = 3; num_seqs = 1; symbols = 5 };
+    |];
+  reject "not starting at sequence 0"
+    [| { Storage.Shard_manifest.first_seq = 1; num_seqs = 2; symbols = 10 } |];
+  reject "empty shard"
+    [| { Storage.Shard_manifest.first_seq = 0; num_seqs = 0; symbols = 0 } |]
+
+let test_manifest_save_load () =
+  let dir = Filename.temp_file "oasis_manifest" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      let f = Filename.concat dir Storage.Shard_manifest.filename in
+      if Sys.file_exists f then Sys.remove f;
+      Sys.rmdir dir)
+    (fun () ->
+      Alcotest.(check bool) "absent before save" false
+        (Storage.Shard_manifest.exists ~dir);
+      Storage.Shard_manifest.save ~dir sample_entries;
+      Alcotest.(check bool) "present after save" true
+        (Storage.Shard_manifest.exists ~dir);
+      Alcotest.(check (array entries_testable))
+        "load returns saved entries" sample_entries
+        (Storage.Shard_manifest.load ~dir))
+
+let test_shard_dir_layout () =
+  Alcotest.(check string)
+    "shard_dir" "idx/shard3"
+    (Storage.Shard_manifest.shard_dir "idx" 3)
+
+(* ---------- Domain_pool ---------- *)
+
+let test_pool_runs_tasks () =
+  Oasis.Domain_pool.with_pool ~domains:2 (fun p ->
+      let hits = Atomic.make 0 in
+      for _ = 1 to 50 do
+        Oasis.Domain_pool.submit p (fun () -> Atomic.incr hits)
+      done;
+      Oasis.Domain_pool.wait p;
+      Alcotest.(check int) "all tasks ran" 50 (Atomic.get hits);
+      (* The pool stays usable after a wait. *)
+      Oasis.Domain_pool.submit p (fun () -> Atomic.incr hits);
+      Oasis.Domain_pool.wait p;
+      Alcotest.(check int) "pool reusable after wait" 51 (Atomic.get hits))
+
+let test_pool_propagates_exceptions () =
+  Oasis.Domain_pool.with_pool ~domains:2 (fun p ->
+      Oasis.Domain_pool.submit p (fun () -> failwith "boom");
+      (match Oasis.Domain_pool.wait p with
+      | () -> Alcotest.fail "task exception swallowed"
+      | exception Failure msg -> Alcotest.(check string) "boom" "boom" msg);
+      (* The exception is cleared and the worker survived. *)
+      let ok = Atomic.make false in
+      Oasis.Domain_pool.submit p (fun () -> Atomic.set ok true);
+      Oasis.Domain_pool.wait p;
+      Alcotest.(check bool) "pool alive after task failure" true
+        (Atomic.get ok))
+
+let () =
+  let suite =
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "partitions, clamps, rejects" `Quick
+            test_plan_basic;
+          QCheck_alcotest.to_alcotest qcheck_plan_partitions;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "merge sums work, maxes gauges" `Quick
+            test_counters_merge;
+          Alcotest.test_case "no pool-peak double count" `Quick
+            test_counters_no_double_count;
+          Alcotest.test_case "monoid laws" `Quick test_counters_algebra;
+        ] );
+      ( "determinism",
+        [
+          QCheck_alcotest.to_alcotest qcheck_determinism_linear;
+          QCheck_alcotest.to_alcotest qcheck_determinism_affine;
+          QCheck_alcotest.to_alcotest qcheck_determinism_pam30;
+          Alcotest.test_case "empty shard array rejected" `Quick
+            test_empty_shards_rejected;
+        ] );
+      ( "manifest",
+        [
+          Alcotest.test_case "round trip" `Quick test_manifest_roundtrip;
+          Alcotest.test_case "every bit flip surfaces as Corrupt" `Quick
+            test_manifest_corruption;
+          Alcotest.test_case "bad entry arrays rejected" `Quick
+            test_manifest_rejects_bad_entries;
+          Alcotest.test_case "save / load / exists" `Quick
+            test_manifest_save_load;
+          Alcotest.test_case "shard_dir layout" `Quick test_shard_dir_layout;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "runs every task" `Quick test_pool_runs_tasks;
+          Alcotest.test_case "propagates task exceptions" `Quick
+            test_pool_propagates_exceptions;
+        ] );
+    ]
+  in
+  let failed =
+    Fun.protect
+      ~finally:(fun () ->
+        if Lazy.is_val pool then Oasis.Domain_pool.shutdown (Lazy.force pool))
+      (fun () ->
+        match Alcotest.run ~and_exit:false "parallel" suite with
+        | () -> false
+        | exception Alcotest.Test_error -> true)
+  in
+  if failed then exit 1
