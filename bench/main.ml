@@ -1491,6 +1491,234 @@ let kernel setup =
        speedup words_ratio)
 
 (* ------------------------------------------------------------------ *)
+(* Disk: the same workload against the Mem and Disk sources, cold and   *)
+(* warm pool, both leaf layouts — the mem/disk gap the storage fast     *)
+(* path exists to close.                                                *)
+(* ------------------------------------------------------------------ *)
+
+type disk_side = {
+  d_wall : float;
+  d_columns : int;
+  d_minor_words : float;
+  d_io_hits : int;
+  d_io_misses : int;
+}
+
+let disk_exp setup =
+  print_endline
+    "== Disk: Mem vs Disk engine on one workload (pool holds the working \
+     set; cold = pool dropped before every query, warm = steady state)";
+  let block_size = 2048 in
+  (* Storage-bound subset: at these query lengths the DP column is a few
+     nanoseconds, so node decoding and pool accesses — the costs this
+     experiment exists to track — dominate the wall clock instead of
+     being noise under the kernel's compute. The kernel experiment
+     covers the compute-bound end. *)
+  let queries =
+    List.concat_map
+      (fun (len, qs) -> if len <= 12 then qs else [])
+      (workload setup)
+  in
+  let jobs =
+    List.map (fun q -> (q, min_score_for setup ~query:q ~evalue:20000.)) queries
+  in
+  let reps = if quick then 1 else 3 in
+  Printf.printf "  %d queries x %d reps%s\n%!" (List.length jobs) reps
+    (if quick then " (--quick)" else "");
+  (* Mem-side reference streams: the correctness gate for every layout. *)
+  let mem_streams =
+    List.map
+      (fun (query, min_score) ->
+        let cfg =
+          Oasis.Engine.config ~matrix:setup.matrix ~gap:setup.gap ~min_score ()
+        in
+        Oasis.Engine.Mem.run
+          (Oasis.Engine.Mem.create ~source:setup.tree ~db:setup.db ~query cfg))
+      jobs
+  in
+  let measure_mem () =
+    let columns = ref 0 in
+    let words0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    for _rep = 1 to reps do
+      List.iter
+        (fun (query, min_score) ->
+          let cfg =
+            Oasis.Engine.config ~matrix:setup.matrix ~gap:setup.gap ~min_score ()
+          in
+          let e =
+            Oasis.Engine.Mem.create ~source:setup.tree ~db:setup.db ~query cfg
+          in
+          ignore (Oasis.Engine.Mem.run e);
+          columns := !columns + (Oasis.Engine.Mem.counters e).Oasis.Engine.columns)
+        jobs
+    done;
+    {
+      d_wall = Unix.gettimeofday () -. t0;
+      d_columns = !columns;
+      d_minor_words = Gc.minor_words () -. words0;
+      d_io_hits = 0;
+      d_io_misses = 0;
+    }
+  in
+  let open_layout layout =
+    let symbols = Storage.Device.in_memory ()
+    and internal = Storage.Device.in_memory ()
+    and leaves = Storage.Device.in_memory () in
+    Storage.Disk_tree.write ~layout setup.tree ~symbols ~internal ~leaves;
+    let total_bytes =
+      Storage.Device.length symbols + Storage.Device.length internal
+      + Storage.Device.length leaves
+    in
+    (* The pool holds the whole working set: the interesting number is
+       the CPU cost of paged access, not eviction churn (fig7 covers
+       that). *)
+    let capacity = (total_bytes / block_size) + 8 in
+    let pool = Storage.Buffer_pool.create ~block_size ~capacity in
+    ( Storage.Disk_tree.open_
+        ~alphabet:(Bioseq.Database.alphabet setup.db)
+        ~pool ~symbols ~internal ~leaves (),
+      pool )
+  in
+  let run_disk dt query min_score =
+    let cfg =
+      Oasis.Engine.config ~matrix:setup.matrix ~gap:setup.gap ~min_score ()
+    in
+    let e = Oasis.Engine.Disk.create ~source:dt ~db:setup.db ~query cfg in
+    let hits = Oasis.Engine.Disk.run e in
+    (hits, Oasis.Engine.Disk.counters e)
+  in
+  let measure_disk dt pool ~cold =
+    let columns = ref 0 in
+    let acc_h = ref 0 and acc_m = ref 0 in
+    (* [drop_all] zeroes the per-file counters along with the cache, so
+       cold mode harvests the stats after every query. *)
+    let harvest () =
+      List.iter
+        (fun comp ->
+          let s = Storage.Disk_tree.component_stats dt comp in
+          acc_h := !acc_h + s.Storage.Buffer_pool.hits;
+          acc_m := !acc_m + s.Storage.Buffer_pool.misses)
+        [ Storage.Disk_tree.Symbols; Internal_nodes; Leaves ];
+      Storage.Buffer_pool.reset_stats pool
+    in
+    let words0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    for _rep = 1 to reps do
+      List.iter
+        (fun (query, min_score) ->
+          if cold then Storage.Buffer_pool.drop_all pool;
+          let _, c = run_disk dt query min_score in
+          columns := !columns + c.Oasis.Engine.columns;
+          if cold then harvest ())
+        jobs
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    if not cold then harvest ();
+    {
+      d_wall = wall;
+      d_columns = !columns;
+      d_minor_words = Gc.minor_words () -. words0;
+      d_io_hits = !acc_h;
+      d_io_misses = !acc_m;
+    }
+  in
+  let layouts =
+    [
+      ("position_indexed", Storage.Disk_tree.Position_indexed);
+      ("clustered", Storage.Disk_tree.Clustered);
+    ]
+  in
+  (* Correctness gate first, unmeasured: the disk engine must reproduce
+     the mem engine's hit stream bit-identically under both layouts. *)
+  List.iter
+    (fun (lname, layout) ->
+      let dt, _pool = open_layout layout in
+      List.iter2
+        (fun (query, min_score) mem_hits ->
+          let hits, _ = run_disk dt query min_score in
+          if not (same_stream hits mem_hits) then
+            failwith
+              (Printf.sprintf
+                 "disk bench: %s hit stream diverged from Mem on %s" lname
+                 (Bioseq.Sequence.id query)))
+        jobs mem_streams)
+    layouts;
+  Printf.printf "  hit streams identical (Mem = Disk) on all %d queries x %d \
+                 layouts\n%!"
+    (List.length jobs) (List.length layouts);
+  let mem = measure_mem () in
+  let per_sec s = float_of_int s.d_columns /. max 1e-9 s.d_wall in
+  let wpc s = s.d_minor_words /. float_of_int (max 1 s.d_columns) in
+  let row name s =
+    Printf.printf
+      "  %-28s %9.3fs  %12.0f cols/s  %8.2f minor words/col  %9d hits %7d \
+       misses\n"
+      name s.d_wall (per_sec s) (wpc s) s.d_io_hits s.d_io_misses
+  in
+  row "mem" mem;
+  let sides =
+    List.map
+      (fun (lname, layout) ->
+        let dt, pool = open_layout layout in
+        (* Warm the pool (and branch state) once, unmeasured. *)
+        List.iter
+          (fun (query, min_score) -> ignore (run_disk dt query min_score))
+          jobs;
+        Storage.Buffer_pool.reset_stats pool;
+        let warm = measure_disk dt pool ~cold:false in
+        row (lname ^ " warm") warm;
+        Storage.Buffer_pool.reset_stats pool;
+        let cold = measure_disk dt pool ~cold:true in
+        row (lname ^ " cold") cold;
+        (lname, warm, cold))
+      layouts
+  in
+  let _, pi_warm, _ = List.hd sides in
+  Printf.printf
+    "  mem/disk gap (warm, position-indexed): %.2fx columns/sec, %.1fx minor \
+     words/col\n"
+    (per_sec mem /. per_sec pi_warm)
+    (wpc pi_warm /. max 1e-9 (wpc mem));
+  let side_json name s =
+    Printf.sprintf
+      "    \"%s\": {\n\
+      \      \"wall_s\": %.6f,\n\
+      \      \"columns\": %d,\n\
+      \      \"columns_per_sec\": %.1f,\n\
+      \      \"minor_words\": %.0f,\n\
+      \      \"minor_words_per_column\": %.3f,\n\
+      \      \"pool_hits\": %d,\n\
+      \      \"pool_misses\": %d\n\
+      \    }"
+      name s.d_wall s.d_columns (per_sec s) s.d_minor_words (wpc s) s.d_io_hits
+      s.d_io_misses
+  in
+  let layout_json =
+    List.concat_map
+      (fun (lname, warm, cold) ->
+        [ side_json (lname ^ "_warm") warm; side_json (lname ^ "_cold") cold ])
+      sides
+  in
+  update_bench_section "disk"
+    (Printf.sprintf
+       "{\n\
+       \    \"quick\": %b,\n\
+       \    \"db_symbols\": %d,\n\
+       \    \"queries\": %d,\n\
+       \    \"reps\": %d,\n\
+       \    \"seed\": %d,\n\
+       \    \"hit_streams_identical\": true,\n\
+        %s,\n\
+       %s,\n\
+       \    \"disk_vs_mem_warm\": %.3f\n\
+       \  }"
+       quick db_symbols (List.length jobs) reps seed
+       (side_json "mem" mem)
+       (String.concat ",\n" layout_json)
+       (per_sec pi_warm /. max 1e-9 (per_sec mem)))
+
+(* ------------------------------------------------------------------ *)
 (* Scaling: sharded multicore search over database partitions.          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1676,6 +1904,7 @@ let experiments =
     ("parallel", parallel_exp);
     ("micro", micro);
     ("kernel", kernel);
+    ("disk", disk_exp);
     ("scaling", scaling);
   ]
 

@@ -402,6 +402,13 @@ let search_cmd =
       let engine = Oasis.Engine.Disk.create ~source:dt ~db ~query config in
       stream (with_order (module Oasis.Engine.Disk) engine);
       report_outcome (Oasis.Engine.Disk.outcome engine);
+      let c = Oasis.Engine.Disk.counters engine in
+      Printf.printf
+        "# engine pool I/O: %d hits / %d misses (%d table probes, %d memo \
+         hits)\n"
+        c.Oasis.Engine.io_hits c.Oasis.Engine.io_misses
+        (Storage.Buffer_pool.probes pool)
+        (Storage.Buffer_pool.memo_hits pool);
       List.iter
         (fun (name, comp) ->
           let s = Storage.Disk_tree.component_stats dt comp in

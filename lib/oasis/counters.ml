@@ -9,6 +9,8 @@ type t = {
   pool_peak_live : int;
   pool_peak_bytes : int;
   minor_words : float;
+  io_hits : int;
+  io_misses : int;
 }
 
 let zero =
@@ -23,6 +25,8 @@ let zero =
     pool_peak_live = 0;
     pool_peak_bytes = 0;
     minor_words = 0.;
+    io_hits = 0;
+    io_misses = 0;
   }
 
 let merge a b =
@@ -41,6 +45,8 @@ let merge a b =
       (if a.pool_peak_bytes >= b.pool_peak_bytes then a.pool_peak_bytes
        else b.pool_peak_bytes);
     minor_words = a.minor_words +. b.minor_words;
+    io_hits = a.io_hits + b.io_hits;
+    io_misses = a.io_misses + b.io_misses;
   }
 
 let sum cs = List.fold_left merge zero cs
@@ -48,6 +54,8 @@ let sum cs = List.fold_left merge zero cs
 let pp ppf c =
   Format.fprintf ppf
     "columns %d, expanded %d, enqueued %d, pruned %d, max queue %d, pool \
-     reused %d / live %d / peak %d (%d bytes), minor words %.0f"
+     reused %d / live %d / peak %d (%d bytes), minor words %.0f, io %d hits / \
+     %d misses"
     c.columns c.nodes_expanded c.nodes_enqueued c.nodes_pruned c.max_queue
     c.pool_reused c.pool_live c.pool_peak_live c.pool_peak_bytes c.minor_words
+    c.io_hits c.io_misses

@@ -6,7 +6,8 @@
     {!merge} exists instead of ad-hoc per-field addition:
 
     - {e additive} totals ([columns], [nodes_expanded], [nodes_enqueued],
-      [nodes_pruned], [pool_reused], [minor_words]): work done; summing
+      [nodes_pruned], [pool_reused], [minor_words], [io_hits],
+      [io_misses]): work done; summing
       across engines gives the work of the whole search.
     - {e gauges and peaks} ([max_queue], [pool_live], [pool_peak_live],
       [pool_peak_bytes]): sizes of one engine's own structures. Each
@@ -36,6 +37,12 @@ type t = {
           engine's own domain} ([Gc.minor_words] is per-domain in
           OCaml 5, which is what makes these safely additive across a
           shard pool) *)
+  io_hits : int;
+      (** buffer-pool accesses served from a resident block (additive;
+          always 0 for in-memory sources) *)
+  io_misses : int;
+      (** buffer-pool accesses that had to read the device (additive;
+          always 0 for in-memory sources) *)
 }
 
 val zero : t

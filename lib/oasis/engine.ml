@@ -69,9 +69,54 @@ type counters = Counters.t = {
   pool_peak_live : int;
   pool_peak_bytes : int;
   minor_words : float;
+  io_hits : int;
+  io_misses : int;
 }
 
 let neg_inf = Scoring.Submat.neg_inf
+
+(* In-place ascending sort of [a.(lo .. hi)] — quicksort with an
+   insertion-sort base case. The emit path sorts a reused scratch
+   prefix, which [Array.sort] cannot do without slicing. *)
+let rec sort_range (a : int array) lo hi =
+  if hi - lo < 12 then
+    for i = lo + 1 to hi do
+      let v = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && a.(!j) > v do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- v
+    done
+  else begin
+    let swap i j =
+      let tmp = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- tmp
+    in
+    let mid = (lo + hi) / 2 in
+    if a.(mid) < a.(lo) then swap mid lo;
+    if a.(hi) < a.(lo) then swap hi lo;
+    if a.(hi) < a.(mid) then swap hi mid;
+    let pivot = a.(mid) in
+    let i = ref lo and j = ref hi in
+    while !i <= !j do
+      while a.(!i) < pivot do
+        incr i
+      done;
+      while a.(!j) > pivot do
+        decr j
+      done;
+      if !i <= !j then begin
+        swap !i !j;
+        incr i;
+        decr j
+      end
+    done;
+    sort_range a lo !j;
+    sort_range a !i hi
+  end
 
 (* Debug escape hatch: set OASIS_CHECKED_KERNEL=1 to validate the
    kernel's index ranges once per DP column. The inner loops use unsafe
@@ -135,7 +180,15 @@ module Make (S : Source.S) = struct
     mutable sc_ub : int;  (** arc result: the viable node's priority *)
     mutable sc_depth : int;  (** arc result: the viable node's depth *)
     mutable tracer : (trace_event -> unit) option;
+    mutable emit_buf : int array;
+        (** scratch positions buffer for {!emit}; grown on demand,
+            reused across hits *)
     base_minor_words : float;  (** [Gc.minor_words] at creation *)
+    base_io_hits : int;
+    base_io_misses : int;
+        (** [S.io_stats] at creation — opening and verifying an index
+            does its own pool reads; counters report the search's
+            share *)
     deadline : float;  (** absolute; [infinity] when no time limit *)
     mutable exhausted : int option;
         (** [Some bound] once the budget stopped the search with viable
@@ -553,7 +606,10 @@ module Make (S : Source.S) = struct
         sc_ub = neg_inf;
         sc_depth = 0;
         tracer = None;
+        emit_buf = Array.make 64 0;
         base_minor_words = Gc.minor_words ();
+        base_io_hits = (let h, _ = S.io_stats source in h);
+        base_io_misses = (let _, m = S.io_stats source in m);
         deadline =
           (match cfg.budget.time_limit with
           | None -> infinity
@@ -622,30 +678,40 @@ module Make (S : Source.S) = struct
   let trace t event =
     match t.tracer with None -> () | Some f -> f event
 
+  (* Report an accepted node: every not-yet-reported sequence with an
+     occurrence below it, in ascending position order. Positions stream
+     into a reused scratch buffer and are sorted in place — no list, no
+     [List.sort] allocation per hit. *)
   let emit t node =
-    let positions = S.subtree_positions t.source node.tree_node in
-    let hits =
-      List.filter_map
-        (fun p ->
-          let seq_index = Bioseq.Database.seq_of_pos t.db p in
-          if t.reported_seq.(seq_index) then None
-          else begin
-            t.reported_seq.(seq_index) <- true;
-            t.reported_count <- t.reported_count + 1;
-            let global_stop = p + node.max_off in
-            trace t (Reported { seq_index; score = node.max_score });
-            Some
-              {
-                Hit.seq_index;
-                score = node.max_score;
-                query_stop = node.max_q;
-                target_stop =
-                  global_stop - Bioseq.Database.seq_start t.db seq_index;
-              }
-          end)
-        (List.sort Int.compare positions)
-    in
-    List.iter (fun h -> Queue.add h t.pending) hits
+    let n = ref 0 in
+    S.iter_positions t.source node.tree_node (fun p ->
+        if !n = Array.length t.emit_buf then begin
+          let bigger = Array.make (2 * !n) 0 in
+          Array.blit t.emit_buf 0 bigger 0 !n;
+          t.emit_buf <- bigger
+        end;
+        t.emit_buf.(!n) <- p;
+        incr n);
+    sort_range t.emit_buf 0 (!n - 1);
+    for i = 0 to !n - 1 do
+      let p = t.emit_buf.(i) in
+      let seq_index = Bioseq.Database.seq_of_pos t.db p in
+      if not t.reported_seq.(seq_index) then begin
+        t.reported_seq.(seq_index) <- true;
+        t.reported_count <- t.reported_count + 1;
+        let global_stop = p + node.max_off in
+        trace t (Reported { seq_index; score = node.max_score });
+        Queue.add
+          {
+            Hit.seq_index;
+            score = node.max_score;
+            query_stop = node.max_q;
+            target_stop =
+              global_stop - Bioseq.Database.seq_start t.db seq_index;
+          }
+          t.pending
+      end
+    done
 
   (* Has the configured budget run out? Checked between queue pops, so a
      single arc expansion may overshoot [max_columns] by one arc's worth
@@ -732,6 +798,8 @@ module Make (S : Source.S) = struct
       pool_peak_live = Col_pool.peak_live t.pool;
       pool_peak_bytes = Col_pool.capacity_bytes t.pool;
       minor_words = Gc.minor_words () -. t.base_minor_words;
+      io_hits = (let h, _ = S.io_stats t.source in h - t.base_io_hits);
+      io_misses = (let _, m = S.io_stats t.source in m - t.base_io_misses);
     }
 
   let queue_length t = Pqueue.length t.pq

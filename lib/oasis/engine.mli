@@ -125,6 +125,12 @@ type counters = Counters.t = {
           caller work alike ([Gc.minor_words] delta, per-domain in
           OCaml 5) — divide by [columns] for the words-per-column figure
           the bench reports *)
+  io_hits : int;
+      (** buffer-pool accesses served from a resident block since
+          [create] (0 for {!Mem} engines) *)
+  io_misses : int;
+      (** buffer-pool accesses that went to the device since [create]
+          (0 for {!Mem} engines) *)
 }
 (** Re-export of {!Counters.t} (aggregate across engines with
     {!Counters.merge}, never ad-hoc addition — the pool_* gauges must

@@ -12,6 +12,8 @@ module type S = sig
   val symbol : t -> int -> int
   val terminator : t -> int
   val subtree_positions : t -> node -> int list
+  val iter_positions : t -> node -> (int -> unit) -> unit
+  val io_stats : t -> int * int
 end
 
 module Mem = struct
@@ -19,8 +21,23 @@ module Mem = struct
   type node = Suffix_tree.Tree.node
 
   let root = Suffix_tree.Tree.root
-  let children _ node = Suffix_tree.Tree.children node
-  let iter_children _ node f = Suffix_tree.Tree.iter_children node f
+
+  (* Canonical sibling order: internal children first (in tree order),
+     then leaf children. The disk image stores a node's internal
+     children as one contiguous entry run and its leaf children as one
+     leaf run, so that partition is the only order the disk source can
+     iterate in without buffering — matching it here makes Mem and Disk
+     hit streams bit-identical under score ties. *)
+  let iter_children _ node f =
+    Suffix_tree.Tree.iter_children node (fun c ->
+        if not (Suffix_tree.Tree.is_leaf c) then f c);
+    Suffix_tree.Tree.iter_children node (fun c ->
+        if Suffix_tree.Tree.is_leaf c then f c)
+
+  let children t node =
+    let acc = ref [] in
+    iter_children t node (fun c -> acc := c :: !acc);
+    List.rev !acc
   let is_leaf _ node = Suffix_tree.Tree.is_leaf node
   let label_start _ node = Suffix_tree.Tree.label_start node
   let label_stop _ node = Some (Suffix_tree.Tree.label_stop node)
@@ -34,6 +51,16 @@ module Mem = struct
       (Bioseq.Database.alphabet (Suffix_tree.Tree.database t))
 
   let subtree_positions _ node = Suffix_tree.Tree.subtree_positions node
+
+  let iter_positions _ node f =
+    let rec walk n =
+      if Suffix_tree.Tree.is_leaf n then
+        List.iter f (Suffix_tree.Tree.positions n)
+      else Suffix_tree.Tree.iter_children n walk
+    in
+    walk node
+
+  let io_stats _ = (0, 0)
 end
 
 module Disk = struct
@@ -42,16 +69,19 @@ module Disk = struct
 
   let root = Storage.Disk_tree.root
   let children = Storage.Disk_tree.children
-  let iter_children t node f = List.iter f (Storage.Disk_tree.children t node)
+  let iter_children = Storage.Disk_tree.iter_children
   let is_leaf _ node = Storage.Disk_tree.is_leaf node
   let label_start = Storage.Disk_tree.label_start
   let label_stop = Storage.Disk_tree.label_stop
-
-  let label_end t node =
-    match Storage.Disk_tree.label_stop t node with
-    | Some s -> s
-    | None -> max_int
+  let label_end = Storage.Disk_tree.label_end
   let symbol = Storage.Disk_tree.symbol
   let terminator = Storage.Disk_tree.terminator
-  let subtree_positions = Storage.Disk_tree.subtree_positions
+  let iter_positions = Storage.Disk_tree.iter_positions
+
+  let subtree_positions t node =
+    let acc = ref [] in
+    iter_positions t node (fun p -> acc := p :: !acc);
+    !acc
+
+  let io_stats = Storage.Disk_tree.io_stats
 end

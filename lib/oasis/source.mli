@@ -38,10 +38,11 @@ module type S = sig
       sequence terminator (leaf arcs on disk). *)
 
   val label_end : t -> node -> int
-  (** {!label_stop} without the option box: [max_int] stands in for
-      [None] (every arc ends at its sequence terminator long before
-      [max_int] symbols). The engine's per-child hot path uses this to
-      stay allocation-free. *)
+  (** {!label_stop} without the option box: for a leaf arc, the real
+      exclusive end — its sequence's terminator position + 1 (the disk
+      source resolves it from a terminator table built at open time).
+      The engine's per-child hot path uses this to stay
+      allocation-free. *)
 
   val symbol : t -> int -> int
   (** Symbol code at a global position (terminator included). *)
@@ -50,6 +51,15 @@ module type S = sig
 
   val subtree_positions : t -> node -> int list
   (** Suffix start positions of all leaf occurrences below the node. *)
+
+  val iter_positions : t -> node -> (int -> unit) -> unit
+  (** Same positions as {!subtree_positions} without materializing a
+      list — the engine's hit-emission path uses this with a reusable
+      scratch buffer. Order is unspecified; not reentrant. *)
+
+  val io_stats : t -> int * int
+  (** Cumulative I/O [(hits, misses)] behind this source — buffer-pool
+      traffic for {!Disk}, [(0, 0)] for {!Mem}. *)
 end
 
 module Mem : S with type t = Suffix_tree.Tree.t

@@ -5,6 +5,14 @@ type retry = { attempts : int; backoff : float; multiplier : float }
 let no_retry = { attempts = 1; backoff = 0.; multiplier = 2. }
 let default_retry = { attempts = 4; backoff = 0.001; multiplier = 2. }
 
+(* A block's identity is packed into one immediate int so the frame
+   table never boxes a key: handle id in the top bits, block index in
+   the low 40 (a 2048-byte-block device would have to exceed 2 PiB to
+   overflow them). [-1] means "no owner". *)
+let block_bits = 40
+let pack_key ~id ~block = (id lsl block_bits) lor block
+let no_key = -1
+
 type handle = {
   id : int;
   device : Device.t;
@@ -13,42 +21,73 @@ type handle = {
   mutable misses : int;
   mutable retries : int;
   mutable failures : int;
-}
-
-type frame = {
-  buf : bytes;
-  mutable owner : (int * int) option; (* (handle id, block index) *)
-  mutable referenced : bool;
+  (* Last block this handle touched: sequential runs (symbol labels,
+     contiguous entry runs, clustered leaves) revalidate it with one
+     array load instead of a table probe. Validity is checked against
+     the frame's current owner key, so eviction invalidates it for
+     free. *)
+  mutable memo_key : int;
+  mutable memo_frame : int;
 }
 
 type t = {
   block_size : int;
   mutable retry : retry;
-  frames : frame array;
-  table : (int * int, int) Hashtbl.t; (* (handle id, block) -> frame index *)
+  (* Struct-of-arrays frame metadata: parallel to [bufs]. *)
+  bufs : bytes array;
+  keys : int array; (* packed owner key per frame, [no_key] = free *)
+  referenced : bool array; (* clock second-chance bits *)
+  pins : int array; (* pin counts; pinned frames are never victims *)
+  (* Open-addressed frame table: linear probing, backward-shift
+     deletion, fibonacci hashing. [tbl_keys.(i) = 0] means empty,
+     otherwise it stores [key + 1]; [tbl_frames.(i)] is the frame. *)
+  tbl_keys : int array;
+  tbl_frames : int array;
+  tbl_mask : int;
+  tbl_shift : int;
   mutable hand : int;
   mutable handles : handle list;
   mutable next_id : int;
+  (* Pool-level instrumentation: every table probe step and every access
+     the per-handle memo short-circuited. *)
+  mutable probes : int;
+  mutable memo_hits : int;
 }
 
 let create ~block_size ~capacity =
   if block_size <= 0 || block_size mod 16 <> 0 then
     invalid_arg "Buffer_pool.create: block_size must be a positive multiple of 16";
   if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity must be positive";
+  (* Power-of-two table at least 4x the frame count: at most a quarter
+     full, so probe chains stay short through any eviction churn. *)
+  let tbl_size =
+    let rec grow n = if n >= 4 * capacity then n else grow (2 * n) in
+    grow 8
+  in
+  let tbl_bits =
+    let rec bits n acc = if n = 1 then acc else bits (n lsr 1) (acc + 1) in
+    bits tbl_size 0
+  in
   {
     block_size;
     retry = no_retry;
-    frames =
-      Array.init capacity (fun _ ->
-          { buf = Bytes.create block_size; owner = None; referenced = false });
-    table = Hashtbl.create (2 * capacity);
+    bufs = Array.init capacity (fun _ -> Bytes.create block_size);
+    keys = Array.make capacity no_key;
+    referenced = Array.make capacity false;
+    pins = Array.make capacity 0;
+    tbl_keys = Array.make tbl_size 0;
+    tbl_frames = Array.make tbl_size 0;
+    tbl_mask = tbl_size - 1;
+    tbl_shift = 63 - tbl_bits;
     hand = 0;
     handles = [];
     next_id = 0;
+    probes = 0;
+    memo_hits = 0;
   }
 
 let block_size t = t.block_size
-let capacity t = Array.length t.frames
+let capacity t = Array.length t.bufs
 
 let set_retry t retry =
   if retry.attempts < 1 then
@@ -69,25 +108,107 @@ let attach t ~name device =
       misses = 0;
       retries = 0;
       failures = 0;
+      memo_key = no_key;
+      memo_frame = 0;
     }
   in
   t.next_id <- t.next_id + 1;
   t.handles <- h :: t.handles;
   h
 
-(* Clock sweep: advance the hand, clearing reference bits, until an
-   unreferenced frame is found. *)
+(* ------------------------------------------------------------------ *)
+(* Open-addressed frame table.                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Fibonacci hashing: multiply by 2^63 / phi and keep the top bits.
+   Packed keys are dense in both fields, which this mixes well. *)
+let[@inline] slot_of_key t key = (key * 0x4F1BBCDCBFA53E0B) lsr t.tbl_shift
+
+(* Frame holding [key], or -1. The probe loop is a top-level function:
+   an inner [let rec] would close over [t] and allocate ~5 words on
+   every probe — this is the pool's hottest path after the memo. *)
+let rec tbl_find_from t stored i =
+  t.probes <- t.probes + 1;
+  let k = Array.unsafe_get t.tbl_keys i in
+  if k = stored then Array.unsafe_get t.tbl_frames i
+  else if k = 0 then -1
+  else tbl_find_from t stored ((i + 1) land t.tbl_mask)
+
+let tbl_find t key =
+  tbl_find_from t (key + 1) (slot_of_key t key land t.tbl_mask)
+
+let tbl_insert t key frame =
+  let rec go i =
+    if t.tbl_keys.(i) = 0 then begin
+      t.tbl_keys.(i) <- key + 1;
+      t.tbl_frames.(i) <- frame
+    end
+    else go ((i + 1) land t.tbl_mask)
+  in
+  go (slot_of_key t key land t.tbl_mask)
+
+(* Backward-shift deletion keeps probe chains dense without tombstones:
+   after freeing slot [i], any later entry in the cluster whose home
+   slot is at or before [i] slides back into it. *)
+let tbl_remove t key =
+  let stored = key + 1 in
+  let rec find i =
+    let k = t.tbl_keys.(i) in
+    if k = stored then i
+    else if k = 0 then -1
+    else find ((i + 1) land t.tbl_mask)
+  in
+  let i = find (slot_of_key t key land t.tbl_mask) in
+  if i >= 0 then begin
+    let hole = ref i in
+    let j = ref ((i + 1) land t.tbl_mask) in
+    let continue = ref true in
+    while !continue do
+      let k = t.tbl_keys.(!j) in
+      if k = 0 then continue := false
+      else begin
+        let home = slot_of_key t (k - 1) land t.tbl_mask in
+        if (!j - home) land t.tbl_mask >= (!j - !hole) land t.tbl_mask then begin
+          t.tbl_keys.(!hole) <- k;
+          t.tbl_frames.(!hole) <- t.tbl_frames.(!j);
+          hole := !j
+        end;
+        j := (!j + 1) land t.tbl_mask
+      end
+    done;
+    t.tbl_keys.(!hole) <- 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Clock replacement.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Advance the hand, clearing reference bits, until an unreferenced and
+   unpinned frame turns up. Pinned frames are passed over without
+   touching their reference bit (they are in active use by definition).
+   Two full sweeps clear every clearable bit, so a third finding nothing
+   means every frame is pinned — a caller bug worth crashing loudly on
+   rather than spinning. *)
 let victim t =
-  let n = Array.length t.frames in
+  let n = Array.length t.bufs in
+  let budget = ref (2 * n) in
   let rec sweep () =
     let idx = t.hand in
-    let frame = t.frames.(idx) in
     t.hand <- (t.hand + 1) mod n;
-    if frame.referenced then begin
-      frame.referenced <- false;
+    if t.pins.(idx) > 0 then begin
+      decr budget;
+      if !budget < 0 then
+        failwith "Buffer_pool: all frames pinned, cannot evict";
       sweep ()
     end
-    else (idx, frame)
+    else if t.referenced.(idx) then begin
+      t.referenced.(idx) <- false;
+      decr budget;
+      if !budget < 0 then
+        failwith "Buffer_pool: all frames pinned, cannot evict";
+      sweep ()
+    end
+    else idx
   in
   sweep ()
 
@@ -107,43 +228,103 @@ let pread_with_retry t h ~off ~buf =
     h.failures <- h.failures + 1;
     raise e
 
-let load t h block =
-  let key = (h.id, block) in
-  match Hashtbl.find_opt t.table key with
-  | Some idx ->
+(* Make [block] of [h] resident and return its frame index. *)
+let load_frame t h block =
+  let key = pack_key ~id:h.id ~block in
+  (* Sequential fast path: same block as last time, still owned by the
+     frame we left it in. Eviction overwrites the frame's key, so a
+     stale memo fails the comparison and falls through — no explicit
+     invalidation anywhere. *)
+  let m = h.memo_frame in
+  if h.memo_key = key && Array.unsafe_get t.keys m = key then begin
     h.hits <- h.hits + 1;
-    let frame = t.frames.(idx) in
-    frame.referenced <- true;
-    frame.buf
-  | None ->
-    h.misses <- h.misses + 1;
-    let idx, frame = victim t in
-    (match frame.owner with
-    | Some old_key ->
-      (* Blocks are read-only: no write-back needed. *)
-      Hashtbl.remove t.table old_key
-    | None -> ());
-    (* Detach the frame before the read so a failing device cannot
-       leave a frame that claims an owner the table no longer maps. *)
-    frame.owner <- None;
-    pread_with_retry t h ~off:(block * t.block_size) ~buf:frame.buf;
-    frame.owner <- Some key;
-    frame.referenced <- true;
-    Hashtbl.replace t.table key idx;
-    frame.buf
+    t.memo_hits <- t.memo_hits + 1;
+    Array.unsafe_set t.referenced m true;
+    m
+  end
+  else begin
+    let idx = tbl_find t key in
+    if idx >= 0 then begin
+      h.hits <- h.hits + 1;
+      t.referenced.(idx) <- true;
+      h.memo_key <- key;
+      h.memo_frame <- idx;
+      idx
+    end
+    else begin
+      h.misses <- h.misses + 1;
+      let idx = victim t in
+      if t.keys.(idx) <> no_key then tbl_remove t t.keys.(idx);
+      (* Detach the frame before the read so a failing device cannot
+         leave a frame that claims an owner the table no longer maps. *)
+      t.keys.(idx) <- no_key;
+      pread_with_retry t h ~off:(block * t.block_size) ~buf:t.bufs.(idx);
+      t.keys.(idx) <- key;
+      t.referenced.(idx) <- true;
+      tbl_insert t key idx;
+      h.memo_key <- key;
+      h.memo_frame <- idx;
+      idx
+    end
+  end
+
+let load t h block = t.bufs.(load_frame t h block)
+let page = load
+
+(* ------------------------------------------------------------------ *)
+(* Pinning.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let pin t h ~block =
+  let idx = load_frame t h block in
+  t.pins.(idx) <- t.pins.(idx) + 1;
+  idx
+
+let unpin t idx =
+  let p = t.pins.(idx) in
+  if p <= 0 then invalid_arg "Buffer_pool.unpin: frame is not pinned";
+  t.pins.(idx) <- p - 1
+
+let frame_bytes t idx = t.bufs.(idx)
+
+let pinned_count t =
+  Array.fold_left (fun acc p -> acc + if p > 0 then 1 else 0) 0 t.pins
+
+(* ------------------------------------------------------------------ *)
+(* Reads.                                                               *)
+(* ------------------------------------------------------------------ *)
 
 let read_byte t h off =
   let buf = load t h (off / t.block_size) in
-  Char.code (Bytes.get buf (off mod t.block_size))
+  Char.code (Bytes.unsafe_get buf (off mod t.block_size))
 
 let read_u32 t h off =
   if off land 3 <> 0 then invalid_arg "Buffer_pool.read_u32: unaligned offset";
   let buf = load t h (off / t.block_size) in
   let base = off mod t.block_size in
-  Char.code (Bytes.get buf base)
-  lor (Char.code (Bytes.get buf (base + 1)) lsl 8)
-  lor (Char.code (Bytes.get buf (base + 2)) lsl 16)
-  lor (Char.code (Bytes.get buf (base + 3)) lsl 24)
+  Char.code (Bytes.unsafe_get buf base)
+  lor (Char.code (Bytes.unsafe_get buf (base + 1)) lsl 8)
+  lor (Char.code (Bytes.unsafe_get buf (base + 2)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get buf (base + 3)) lsl 24)
+
+let read_bytes_into t h ~off ~len ~dst ~dst_off =
+  if len < 0 || dst_off < 0 || dst_off + len > Bytes.length dst then
+    invalid_arg "Buffer_pool.read_bytes_into: bad range";
+  let pos = ref off and written = ref dst_off and remaining = ref len in
+  while !remaining > 0 do
+    let block = !pos / t.block_size in
+    let base = !pos mod t.block_size in
+    let chunk = min !remaining (t.block_size - base) in
+    let buf = load t h block in
+    Bytes.blit buf base dst !written chunk;
+    pos := !pos + chunk;
+    written := !written + chunk;
+    remaining := !remaining - chunk
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Statistics.                                                          *)
+(* ------------------------------------------------------------------ *)
 
 let stats h =
   { hits = h.hits; misses = h.misses; retries = h.retries; failures = h.failures }
@@ -152,7 +333,12 @@ let hit_ratio (s : stats) =
   let total = s.hits + s.misses in
   if total = 0 then 1.0 else float_of_int s.hits /. float_of_int total
 
+let probes t = t.probes
+let memo_hits t = t.memo_hits
+
 let reset_stats t =
+  t.probes <- 0;
+  t.memo_hits <- 0;
   List.iter
     (fun h ->
       h.hits <- 0;
@@ -162,11 +348,13 @@ let reset_stats t =
     t.handles
 
 let drop_all t =
+  if pinned_count t > 0 then
+    invalid_arg "Buffer_pool.drop_all: frames are pinned";
   reset_stats t;
-  Hashtbl.reset t.table;
-  Array.iter
-    (fun frame ->
-      frame.owner <- None;
-      frame.referenced <- false)
-    t.frames;
+  Array.fill t.tbl_keys 0 (Array.length t.tbl_keys) 0;
+  Array.fill t.keys 0 (Array.length t.keys) no_key;
+  Array.fill t.referenced 0 (Array.length t.referenced) false;
+  (* Stale memos fail their owner-key check, but clear them anyway so a
+     dropped pool looks exactly like a fresh one. *)
+  List.iter (fun h -> h.memo_key <- no_key) t.handles;
   t.hand <- 0

@@ -52,6 +52,42 @@ val read_byte : t -> handle -> int -> int
 val read_u32 : t -> handle -> int -> int
 (** Little-endian 32-bit read; [off] must be 4-byte aligned. *)
 
+val read_bytes_into :
+  t -> handle -> off:int -> len:int -> dst:bytes -> dst_off:int -> unit
+(** Copy [len] bytes starting at device offset [off] into [dst],
+    spanning blocks as needed; each touched block counts as one pool
+    access. *)
+
+val page : t -> handle -> int -> bytes
+(** [page pool h block] makes the block resident and returns the frame's
+    backing buffer directly — one pool access, no copy. The buffer is
+    only valid until the next pool operation (which may evict the
+    frame); use {!pin} to hold it across other accesses. *)
+
+(** {1 Pinning}
+
+    A pinned frame is resident and immovable: the clock sweep passes it
+    over, so bytes obtained from {!frame_bytes} stay valid — across any
+    number of other pool accesses — until the matching {!unpin}. Pins
+    nest (each [pin] needs its own [unpin]) and compose with the retry
+    policy: the initial load retries transient faults exactly like any
+    other access. If every frame is pinned the next miss raises
+    [Failure] rather than sweeping forever. *)
+
+val pin : t -> handle -> block:int -> int
+(** Make [block] resident, pin its frame and return the frame index. *)
+
+val unpin : t -> int -> unit
+(** Release one pin on a frame index returned by {!pin}. Raises
+    [Invalid_argument] if the frame is not pinned. *)
+
+val frame_bytes : t -> int -> bytes
+(** The backing buffer of a frame index returned by {!pin}. Only valid
+    while the pin is held. *)
+
+val pinned_count : t -> int
+(** Number of currently pinned frames (instrumentation / tests). *)
+
 (** {1 Statistics} *)
 
 type stats = {
@@ -65,8 +101,19 @@ val stats : handle -> stats
 val hit_ratio : stats -> float
 (** [hits / (hits + misses)]; 1.0 when there were no accesses. *)
 
+val probes : t -> int
+(** Cumulative open-addressed table probe steps (every key comparison,
+    including the terminating one). With the memo absorbing sequential
+    runs this stays well below the access count. *)
+
+val memo_hits : t -> int
+(** Accesses short-circuited by a handle's last-block memo — hits that
+    never touched the frame table. *)
+
 val reset_stats : t -> unit
-(** Zero all per-file counters (resident blocks stay cached). *)
+(** Zero all per-file counters and the pool-level probe/memo counters
+    (resident blocks stay cached). *)
 
 val drop_all : t -> unit
-(** Evict every block and zero counters — a cold start. *)
+(** Evict every block and zero counters — a cold start. Raises
+    [Invalid_argument] while any frame is pinned. *)

@@ -57,6 +57,14 @@ type sink = {
   alloc_leaf_run : int list -> int;
 }
 
+(* A leaf node may carry several positions (equal suffixes of different
+   sequences); the reader flattens runs into sibling leaves, one per
+   position. Sort each leaf child's positions ascending so the on-disk
+   sibling order matches the canonical order [Source.Mem] iterates in —
+   that correspondence is what makes Mem and Disk hit streams
+   bit-identical under score ties. *)
+let leaf_slots_of child = List.sort Int.compare (Suffix_tree.Tree.positions child)
+
 (* BFS-serialize the subtree rooted at the internal node [node], whose
    index is [sink.next_internal] at call time. [depth] is [node]'s path
    depth and [last] its sibling flag. *)
@@ -75,7 +83,7 @@ let serialize_subtree sink node ~depth ~last =
       List.fold_left
         (fun (ints, slots) child ->
           if Suffix_tree.Tree.is_leaf child then
-            (ints, slots @ Suffix_tree.Tree.positions child)
+            (ints, slots @ leaf_slots_of child)
           else (ints @ [ child ], slots))
         ([], [])
         (Suffix_tree.Tree.children node)
@@ -130,7 +138,10 @@ let write_internal_header internal ~dir_count ~dir_cap =
   entries_offset
 
 (* Leaf-run allocators for the two layouts. Position-indexed writes go
-   through pwrite into the reserved array; clustered runs are appended. *)
+   through pwrite into the reserved array; clustered runs are appended.
+   Runs arrive in canonical sibling order (see [leaf_slots_of]) and are
+   stored verbatim: the reader flattens a run back into sibling leaves,
+   so the stored order is the order the engine enqueues them in. *)
 let position_indexed_alloc leaves slots =
   let rec chain = function
     | [] -> ()
@@ -180,8 +191,7 @@ let make_sink ~layout ~internal ~leaves ~clustered_counter =
    directory entry. *)
 let serialize_root_child sink child =
   if Suffix_tree.Tree.is_leaf child then
-    dir_entry_of_leaf_token
-      (sink.alloc_leaf_run (Suffix_tree.Tree.positions child))
+    dir_entry_of_leaf_token (sink.alloc_leaf_run (leaf_slots_of child))
   else begin
     let cstart, cstop = Suffix_tree.Tree.label child in
     let index = sink.next_internal in
@@ -219,7 +229,17 @@ let write ?(layout = Position_indexed) tree ~symbols ~internal ~leaves =
     Device.append leaves
       (Bytes.make (leaf_entry_bytes * Bytes.length data) '\255')
   | Clustered -> ());
-  let root_children = Suffix_tree.Tree.children (Suffix_tree.Tree.root tree) in
+  (* Canonical sibling order at the root too: internal children first,
+     then leaf children, matching both the interior-node layout (one
+     internal run + one leaf run) and [Source.Mem]'s iteration order. *)
+  let root_children =
+    let ints, leafs =
+      List.partition
+        (fun c -> not (Suffix_tree.Tree.is_leaf c))
+        (Suffix_tree.Tree.children (Suffix_tree.Tree.root tree))
+    in
+    ints @ leafs
+  in
   let dir_cap = List.length root_children in
   ignore (write_internal_header internal ~dir_count:dir_cap ~dir_cap);
   let clustered_counter = ref 0 in
@@ -268,12 +288,42 @@ type t = {
   symbols_bytes : int;
   internal_bytes : int;
   leaves_bytes : int;
+  bs : int;  (** pool block size, cached for offset arithmetic *)
+  (* Terminator positions in ascending order, scanned once at open time:
+     a leaf arc's real end is the first terminator at or after its
+     suffix position (arcs never cross terminators), found by binary
+     search — no [max_int] sentinel, no per-call I/O. *)
+  seq_ends : int array;
+  (* Scratch stack of sibling-run head indices for [iter_positions];
+     reused across calls so steady-state emission allocates nothing. *)
+  mutable pstack : int array;
+  mutable psp : int;
 }
 
-type node =
-  | Root
-  | Internal of { index : int; depth : int; start : int; parent_depth : int }
-  | Leaf of { slot : int; parent_depth : int }
+(* A traversal handle is an immediate integer, so child enumeration and
+   the engine's task bookkeeping allocate nothing per node:
+
+     bit 61       1 = leaf occurrence, 0 = internal node
+     bits 32..60  parent depth (string depth of the parent node)
+     bits 0..31   leaf: suffix position; internal: entry index
+
+   The root is [-1], the only negative handle. The on-disk format stores
+   positions and indices as u32, so 32 payload bits are exact; parent
+   depth is bounded by the data length, far below 2^29. Entry fields
+   (label start, depth, child-run heads) are re-read through the buffer
+   pool on demand — consecutive probes of one node's 16-byte entry all
+   land on the same page, which the per-handle memo resolves with a
+   single comparison. *)
+type node = int
+
+let node_leaf_tag = 1 lsl 61
+let[@inline] pack_internal ~parent_depth index = (parent_depth lsl 32) lor index
+
+let[@inline] pack_leaf ~parent_depth slot =
+  node_leaf_tag lor (parent_depth lsl 32) lor slot
+
+let[@inline] node_payload n = n land 0xFFFF_FFFF
+let[@inline] node_parent_depth n = (n lsr 32) land 0x1FFF_FFFF
 
 type verify = Off | Footer | Full
 
@@ -300,6 +350,45 @@ let component_payload ~verify name device =
     | Ok f -> f.Footer.payload_length
     | Error message -> raise (Corrupt { component = name; message }))
 
+(* One sequential pass over the symbols device collecting terminator
+   positions. Reads the device directly — not through the pool — so
+   opening an index neither pollutes the per-component hit/miss
+   statistics nor evicts anything a caller primed; transient faults are
+   retried under the pool's policy like any pooled read would be. *)
+let scan_seq_ends ~retry symbols ~payload ~term =
+  let pread_retrying ~off ~buf =
+    let rec go attempt sleep =
+      try Device.pread symbols ~off ~buf
+      with Io_error.E info
+        when info.Io_error.transient
+             && attempt < retry.Buffer_pool.attempts ->
+        if sleep > 0. then Unix.sleepf sleep;
+        go (attempt + 1) (sleep *. retry.Buffer_pool.multiplier)
+    in
+    go 1 retry.Buffer_pool.backoff
+  in
+  let ends = ref [] in
+  let chunk_len = 65536 in
+  let chunk = Bytes.create chunk_len in
+  let off = ref 0 in
+  while !off < payload do
+    let len = min chunk_len (payload - !off) in
+    let buf = if len = chunk_len then chunk else Bytes.create len in
+    pread_retrying ~off:!off ~buf;
+    for i = 0 to len - 1 do
+      if Char.code (Bytes.unsafe_get buf i) = term then
+        ends := (!off + i) :: !ends
+    done;
+    off := !off + len
+  done;
+  let arr = Array.of_list !ends in
+  let n = Array.length arr in
+  let rev = Array.make n 0 in
+  for i = 0 to n - 1 do
+    rev.(i) <- arr.(n - 1 - i)
+  done;
+  rev
+
 (* Attach and parse headers; the [Full] structural walk is layered on in
    [open_] below, after [check] is defined. *)
 let open_internal ~verify ~alphabet ~pool ~symbols ~internal ~leaves =
@@ -321,6 +410,12 @@ let open_internal ~verify ~alphabet ~pool ~symbols ~internal ~leaves =
     invalid_arg "Disk_tree.open_: bad internal-file magic";
   let dir_count = Buffer_pool.read_u32 pool internal_h 8 in
   let entries_offset = Buffer_pool.read_u32 pool internal_h 12 in
+  let seq_ends =
+    scan_seq_ends
+      ~retry:(Buffer_pool.retry_policy pool)
+      symbols ~payload:symbols_bytes
+      ~term:(Bioseq.Alphabet.terminator alphabet)
+  in
   {
     alphabet;
     layout;
@@ -334,6 +429,10 @@ let open_internal ~verify ~alphabet ~pool ~symbols ~internal ~leaves =
     symbols_bytes;
     internal_bytes;
     leaves_bytes;
+    bs = Buffer_pool.block_size pool;
+    seq_ends;
+    pstack = Array.make 64 0;
+    psp = 0;
   }
 
 let of_tree ?layout ?(block_size = 2048) ?(capacity = 256) tree =
@@ -350,116 +449,306 @@ let layout t = t.layout
 let internal_count t =
   (t.internal_bytes - t.entries_offset) / internal_entry_bytes
 
-let root _ = Root
-let is_leaf = function Leaf _ -> true | Internal _ | Root -> false
+let root _ = -1
+let is_leaf n = n >= 0 && n land node_leaf_tag <> 0
 
+let[@inline] get_u32 buf base =
+  Char.code (Bytes.unsafe_get buf base)
+  lor (Char.code (Bytes.unsafe_get buf (base + 1)) lsl 8)
+  lor (Char.code (Bytes.unsafe_get buf (base + 2)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get buf (base + 3)) lsl 24)
+
+(* Decode one 16-byte entry with a single pool probe: [entries_offset]
+   is 16-aligned and the block size is a multiple of 16, so an entry
+   never straddles a block boundary. *)
 let read_entry t index =
-  let base = t.entries_offset + (internal_entry_bytes * index) in
-  let word0 = Buffer_pool.read_u32 t.pool t.internal_h base in
+  let off = t.entries_offset + (internal_entry_bytes * index) in
+  let buf = Buffer_pool.page t.pool t.internal_h (off / t.bs) in
+  let base = off mod t.bs in
+  let word0 = get_u32 buf base in
   let depth = word0 land depth_mask in
   let last = word0 land last_flag <> 0 in
-  let start = Buffer_pool.read_u32 t.pool t.internal_h (base + 4) in
-  let first_internal = Buffer_pool.read_u32 t.pool t.internal_h (base + 8) in
-  let first_leaf = Buffer_pool.read_u32 t.pool t.internal_h (base + 12) in
+  let start = get_u32 buf (base + 4) in
+  let first_internal = get_u32 buf (base + 8) in
+  let first_leaf = get_u32 buf (base + 12) in
   (depth, last, start, first_internal, first_leaf)
 
-(* Position-indexed: [slot] is a suffix position; the entry holds the
-   next sibling's position. *)
-let rec leaf_chain t depth slot acc =
-  if slot = sentinel then List.rev acc
-  else
-    let next =
-      Buffer_pool.read_u32 t.pool t.leaves_h
-        (leaf_header_bytes + (leaf_entry_bytes * slot))
-    in
-    leaf_chain t depth next (Leaf { slot; parent_depth = depth } :: acc)
+(* One u32 field of entry [index]: a single pool probe (memo hit for
+   repeated probes of the same node) and no allocation. *)
+let[@inline] entry_field t index fo =
+  let off = t.entries_offset + (internal_entry_bytes * index) + fo in
+  get_u32 (Buffer_pool.page t.pool t.internal_h (off / t.bs)) (off mod t.bs)
 
-(* Clustered: [index] is an entry index; entries hold the suffix
-   position with a last-sibling flag. *)
-let rec leaf_run t depth index acc =
-  let word =
-    Buffer_pool.read_u32 t.pool t.leaves_h
-      (leaf_header_bytes + (leaf_entry_bytes * index))
-  in
-  let pos = word land depth_mask in
-  let acc = Leaf { slot = pos; parent_depth = depth } :: acc in
-  if word land last_flag <> 0 then List.rev acc
-  else leaf_run t depth (index + 1) acc
+let[@inline] slot_off slot = leaf_header_bytes + (leaf_entry_bytes * slot)
 
-let leaves_of_token t ~depth token =
-  if token = sentinel then []
-  else
-    match t.layout with
-    | Position_indexed -> leaf_chain t depth token []
-    | Clustered -> leaf_run t depth token []
+(* ------------------------------------------------------------------ *)
+(* Allocation-free child iteration.                                     *)
+(*                                                                      *)
+(* Contiguous runs — internal sibling entries and clustered leaf runs — *)
+(* are decoded straight out of a pinned page: one pin per page instead  *)
+(* of one table probe per word, and the page stays resident while the   *)
+(* callback does its own pool reads (symbol lookups during expansion).  *)
+(* At most one frame is ever pinned at a time, so a two-frame pool      *)
+(* always has a frame left for the callback's reads.                    *)
+(* ------------------------------------------------------------------ *)
 
-let node_of_internal t ~parent_depth index =
-  let depth, _, start, _, _ = read_entry t index in
-  Internal { index; depth; start; parent_depth }
+(* The run walkers below thread their state through tail-call integer
+   parameters rather than refs — refs are heap blocks, and these run
+   once per node expansion on the search's hot path. Each walker pins a
+   page, decodes entries until the run ends or the page does, and
+   re-pins across the boundary; the [try] re-raises with the pin
+   released if the callback throws. *)
 
-let children t = function
-  | Leaf _ -> []
-  | Root ->
-    List.init t.dir_count (fun i ->
-        Buffer_pool.read_u32 t.pool t.internal_h
-          (internal_header_bytes + (4 * i)))
-    |> List.concat_map (fun entry ->
-           if entry land last_flag <> 0 then
-             (* A leaf run hanging directly off the root. *)
-             leaves_of_token t ~depth:0 (entry land depth_mask)
-           else [ node_of_internal t ~parent_depth:0 entry ])
-  | Internal { index; depth; _ } ->
-    let _, _, _, first_internal, first_leaf = read_entry t index in
-    let rec internal_run index acc =
-      let cdepth, last, cstart, _, _ = read_entry t index in
-      let acc =
-        Internal { index; depth = cdepth; start = cstart; parent_depth = depth }
-        :: acc
+(* Position-indexed chains hop by suffix position, so links are random
+   access: read each through the pool (the memo still absorbs links that
+   land in the same block). *)
+let rec iter_leaf_chain t ~depth slot f =
+  if slot <> sentinel then begin
+    f (pack_leaf ~parent_depth:depth slot);
+    iter_leaf_chain t ~depth
+      (Buffer_pool.read_u32 t.pool t.leaves_h (slot_off slot))
+      f
+  end
+
+(* Clustered leaf entries of one run, pinned page by pinned page.
+   Returns the entry index to continue at, or [-1] when the run's
+   last-sibling flag was seen. *)
+let rec iter_leaf_run t ~depth index f =
+  let frame = Buffer_pool.pin t.pool t.leaves_h ~block:(slot_off index / t.bs) in
+  let next =
+    try
+      let buf = Buffer_pool.frame_bytes t.pool frame in
+      let rec entries index base =
+        if base + leaf_entry_bytes > t.bs then index
+        else begin
+          let word = get_u32 buf base in
+          f (pack_leaf ~parent_depth:depth (word land depth_mask));
+          if word land last_flag <> 0 then -1
+          else entries (index + 1) (base + leaf_entry_bytes)
+        end
       in
-      if last then List.rev acc else internal_run (index + 1) acc
-    in
-    let internals =
-      if first_internal = sentinel then [] else internal_run first_internal []
-    in
-    internals @ leaves_of_token t ~depth first_leaf
+      entries index (slot_off index mod t.bs)
+    with e ->
+      Buffer_pool.unpin t.pool frame;
+      raise e
+  in
+  Buffer_pool.unpin t.pool frame;
+  if next >= 0 then iter_leaf_run t ~depth next f
 
-let label_start _ = function
-  | Internal { start; _ } -> start
-  | Leaf { slot; parent_depth } -> slot + parent_depth
-  | Root -> invalid_arg "Disk_tree.label_start: root has no incoming arc"
+let iter_leaf_token t ~depth token f =
+  if token <> sentinel then
+    match t.layout with
+    | Position_indexed -> iter_leaf_chain t ~depth token f
+    | Clustered -> iter_leaf_run t ~depth token f
 
-let label_stop _ = function
-  | Internal { start; depth; parent_depth; _ } ->
-    Some (start + depth - parent_depth)
-  | Leaf _ -> None
-  | Root -> invalid_arg "Disk_tree.label_stop: root has no incoming arc"
+(* One sibling handle per 16-byte entry, with only the depth word read
+   from the pinned page — the handle is the entry index plus the shared
+   parent depth, both already in hand. *)
+let rec iter_internal_run t ~parent_depth index f =
+  let off = t.entries_offset + (internal_entry_bytes * index) in
+  let frame = Buffer_pool.pin t.pool t.internal_h ~block:(off / t.bs) in
+  let next =
+    try
+      let buf = Buffer_pool.frame_bytes t.pool frame in
+      let rec entries index base =
+        if base + internal_entry_bytes > t.bs then index
+        else begin
+          let word0 = get_u32 buf base in
+          f (pack_internal ~parent_depth index);
+          if word0 land last_flag <> 0 then -1
+          else entries (index + 1) (base + internal_entry_bytes)
+        end
+      in
+      entries index (off mod t.bs)
+    with e ->
+      Buffer_pool.unpin t.pool frame;
+      raise e
+  in
+  Buffer_pool.unpin t.pool frame;
+  if next >= 0 then iter_internal_run t ~parent_depth next f
 
-let node_depth _ = function
-  | Internal { depth; _ } -> Some depth
-  | Leaf _ | Root -> None
+let iter_children t node f =
+  if node < 0 then
+    (* Root: the directory lists one run head per first symbol. *)
+    for i = 0 to t.dir_count - 1 do
+      let entry =
+        Buffer_pool.read_u32 t.pool t.internal_h
+          (internal_header_bytes + (4 * i))
+      in
+      if entry land last_flag <> 0 then
+        (* A leaf run hanging directly off the root. *)
+        iter_leaf_token t ~depth:0 (entry land depth_mask) f
+      else f (pack_internal ~parent_depth:0 entry)
+    done
+  else if node land node_leaf_tag = 0 then begin
+    (* Internal: decode the entry once up front — the page is not
+       pinned here, so all fields must be read before the run walkers
+       (and the callback's own pool reads) can recycle the frame. *)
+    let index = node_payload node in
+    let off = t.entries_offset + (internal_entry_bytes * index) in
+    let buf = Buffer_pool.page t.pool t.internal_h (off / t.bs) in
+    let base = off mod t.bs in
+    let depth = get_u32 buf base land depth_mask in
+    let first_internal = get_u32 buf (base + 8) in
+    let first_leaf = get_u32 buf (base + 12) in
+    if first_internal <> sentinel then
+      iter_internal_run t ~parent_depth:depth first_internal f;
+    iter_leaf_token t ~depth first_leaf f
+  end
 
-let leaf_position = function
-  | Leaf { slot; _ } -> Some slot
-  | Internal _ | Root -> None
+let children t node =
+  let acc = ref [] in
+  iter_children t node (fun c -> acc := c :: !acc);
+  List.rev !acc
+
+let label_start t n =
+  if n < 0 then invalid_arg "Disk_tree.label_start: root has no incoming arc"
+  else if n land node_leaf_tag <> 0 then node_payload n + node_parent_depth n
+  else entry_field t (node_payload n) 4
+
+let label_stop t n =
+  if n < 0 then invalid_arg "Disk_tree.label_stop: root has no incoming arc"
+  else if n land node_leaf_tag <> 0 then None
+  else
+    let index = node_payload n in
+    let depth = entry_field t index 0 land depth_mask in
+    Some (entry_field t index 4 + depth - node_parent_depth n)
+
+let node_depth t n =
+  if n >= 0 && n land node_leaf_tag = 0 then
+    Some (entry_field t (node_payload n) 0 land depth_mask)
+  else None
+
+let leaf_position n = if is_leaf n then Some (node_payload n) else None
 
 let symbol t pos = Buffer_pool.read_byte t.pool t.symbols_h pos
 let data_length t = t.data_length
 let terminator t = Bioseq.Alphabet.terminator t.alphabet
 
+(* Exclusive end of a node's incoming arc label. For a leaf the arc runs
+   to its sequence's terminator (inclusive): the first terminator at or
+   after the suffix position, found by binary search in [seq_ends] — the
+   arc cannot cross an earlier one. Matches [Suffix_tree.Tree.label_stop]
+   on the equivalent in-memory leaf. *)
+let label_end t node =
+  if node < 0 then
+    invalid_arg "Disk_tree.label_end: root has no incoming arc"
+  else if node land node_leaf_tag <> 0 then begin
+    let slot = node_payload node in
+    let ends = t.seq_ends in
+    let n = Array.length ends in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) lsr 1 in
+      if Array.unsafe_get ends mid >= slot then hi := mid else lo := mid + 1
+    done;
+    if !lo < n then Array.unsafe_get ends !lo + 1 else t.data_length
+  end
+  else
+    let index = node_payload node in
+    let depth = entry_field t index 0 land depth_mask in
+    entry_field t index 4 + depth - node_parent_depth node
+
+(* ------------------------------------------------------------------ *)
+(* Allocation-free position emission.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let push_run t head =
+  if t.psp = Array.length t.pstack then begin
+    let bigger = Array.make (2 * t.psp) 0 in
+    Array.blit t.pstack 0 bigger 0 t.psp;
+    t.pstack <- bigger
+  end;
+  t.pstack.(t.psp) <- head;
+  t.psp <- t.psp + 1
+
+(* Emit one leaf token's positions. No pins are held: leaf runs/chains
+   are read word-by-word through the pool, where the per-handle memo
+   absorbs the sequential accesses, so the callback is free to do its
+   own pool reads. *)
+let iter_slots t token f =
+  match t.layout with
+  | Position_indexed ->
+    let slot = ref token in
+    while !slot <> sentinel do
+      f !slot;
+      slot := Buffer_pool.read_u32 t.pool t.leaves_h (slot_off !slot)
+    done
+  | Clustered ->
+    let index = ref token in
+    let continue = ref true in
+    while !continue do
+      let word = Buffer_pool.read_u32 t.pool t.leaves_h (slot_off !index) in
+      f (word land depth_mask);
+      continue := word land last_flag = 0;
+      incr index
+    done
+
+(* Iterate every leaf occurrence position under [node] without building
+   lists: an explicit stack of sibling-run head indices (scratch storage
+   in [t], so steady-state emission allocates nothing). Not reentrant —
+   the engine emits one node at a time. Order is unspecified; callers
+   that need sorted positions sort. *)
+let iter_positions t node f =
+  t.psp <- 0 (* reset in case a previous traversal was interrupted *);
+  let emit_token token = if token <> sentinel then iter_slots t token f in
+  let walk_run head =
+    push_run t head;
+    while t.psp > 0 do
+      t.psp <- t.psp - 1;
+      let index = ref t.pstack.(t.psp) in
+      let continue = ref true in
+      while !continue do
+        (* Entry decode inlined (rather than via [read_entry]) to avoid
+           boxing a tuple per entry on the emission path. All fields are
+           read before [emit_token]: the page is not pinned, and the
+           token's own pool reads could recycle the frame under [buf]. *)
+        let off = t.entries_offset + (internal_entry_bytes * !index) in
+        let buf = Buffer_pool.page t.pool t.internal_h (off / t.bs) in
+        let base = off mod t.bs in
+        let word0 = get_u32 buf base in
+        let first_internal = get_u32 buf (base + 8) in
+        let first_leaf = get_u32 buf (base + 12) in
+        emit_token first_leaf;
+        if first_internal <> sentinel then push_run t first_internal;
+        continue := word0 land last_flag = 0;
+        incr index
+      done
+    done
+  in
+  if node >= 0 && node land node_leaf_tag <> 0 then f (node_payload node)
+  else if node >= 0 then begin
+    let index = node_payload node in
+    let first_internal = entry_field t index 8 in
+    emit_token (entry_field t index 12);
+    if first_internal <> sentinel then walk_run first_internal
+  end
+  else
+    for i = 0 to t.dir_count - 1 do
+      let entry =
+        Buffer_pool.read_u32 t.pool t.internal_h
+          (internal_header_bytes + (4 * i))
+      in
+      if entry land last_flag <> 0 then emit_token (entry land depth_mask)
+      else
+        (* Root children are serialized with the last-sibling flag set,
+           so the run starting at this entry is exactly this subtree. *)
+        walk_run entry
+    done
+
 let subtree_positions t node =
-  (* Explicit work stack: tree depth is bounded only by sequence length. *)
   let acc = ref [] in
-  let stack = ref [ node ] in
-  while !stack <> [] do
-    match !stack with
-    | [] -> ()
-    | Leaf { slot; _ } :: rest ->
-      acc := slot :: !acc;
-      stack := rest
-    | (Internal _ | Root) as n :: rest ->
-      stack := children t n @ rest
-  done;
+  iter_positions t node (fun p -> acc := p :: !acc);
   !acc
+
+(* Pool traffic across the reader's three components, for engine-level
+   I/O accounting (hits, misses). *)
+let io_stats t =
+  let open Buffer_pool in
+  let s = stats t.symbols_h
+  and i = stats t.internal_h
+  and l = stats t.leaves_h in
+  (s.hits + i.hits + l.hits, s.misses + i.misses + l.misses)
 
 let validate t =
   let term = terminator t in
@@ -491,18 +780,22 @@ let validate t =
     end
     else begin
       let kids = children t node in
-      (match node with
-      | Internal { index; depth = d; start; parent_depth; _ } ->
-        if d <= parent_depth then
-          error "entry %d: depth %d not below parent %d" index d parent_depth;
-        if start < 0 || start + (d - parent_depth) > total then
-          error "entry %d: label out of range" index;
-        for i = start to start + (d - parent_depth) - 1 do
-          if symbol t i = term && i < start + (d - parent_depth) - 1 then
-            error "entry %d: label crosses a terminator" index
-        done;
-        if List.length kids < 2 then error "entry %d: fewer than 2 children" index
-      | Root | Leaf _ -> ());
+      (if node >= 0 then begin
+         (* Internal (leaves take the other branch of [walk]). *)
+         let index = node_payload node in
+         let d, _, start, _, _ = read_entry t index in
+         let parent_depth = node_parent_depth node in
+         if d <= parent_depth then
+           error "entry %d: depth %d not below parent %d" index d parent_depth;
+         if start < 0 || start + (d - parent_depth) > total then
+           error "entry %d: label out of range" index;
+         for i = start to start + (d - parent_depth) - 1 do
+           if symbol t i = term && i < start + (d - parent_depth) - 1 then
+             error "entry %d: label crosses a terminator" index
+         done;
+         if List.length kids < 2 then
+           error "entry %d: fewer than 2 children" index
+       end);
       (* Sibling first symbols must be distinct — except that several
          leaf occurrences of one identical suffix legitimately share a
          chain (e.g. every sequence's terminator-only suffix). *)
@@ -534,7 +827,7 @@ let validate t =
         kids
     end
   in
-  walk Root 0;
+  walk (root t) 0;
   for p = 0 to total - 1 do
     if Bytes.get seen p = '\000' then error "suffix position %d not covered" p
   done;

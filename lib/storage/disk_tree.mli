@@ -109,12 +109,30 @@ val of_tree :
 
 val root : t -> node
 val is_leaf : node -> bool
+
+val iter_children : t -> node -> (node -> unit) -> unit
+(** Call [f] on each child in stored (canonical) order without building
+    a list: contiguous runs — internal sibling entries, clustered leaf
+    runs — are decoded from a pinned page, one pin per page instead of
+    one pool probe per word. At most one frame is pinned at any moment,
+    and it is released before [iter_children] returns, so the callback
+    may freely read through the pool (even with a two-frame pool). *)
+
 val children : t -> node -> node list
+(** List-building convenience over {!iter_children}; prefer the iterator
+    on hot paths. *)
 
 val label_start : t -> node -> int
 val label_stop : t -> node -> int option
 (** [None] for leaves: the arc runs to the sequence terminator
     (inclusive), which the caller discovers by reading symbols. *)
+
+val label_end : t -> node -> int
+(** Exclusive end of the incoming arc label for any non-root node. For a
+    leaf this is its sequence's terminator position + 1, resolved by
+    binary search over the terminator table scanned at open time — no
+    per-call I/O, no [max_int] sentinel. Raises [Invalid_argument] on
+    the root. *)
 
 val node_depth : t -> node -> int option
 (** Path depth for internal nodes, [None] for leaves. *)
@@ -131,9 +149,20 @@ val symbol : t -> int -> int
 val data_length : t -> int
 val terminator : t -> int
 
+val iter_positions : t -> node -> (int -> unit) -> unit
+(** Call [f] on every leaf occurrence position under a node without
+    building lists; the traversal stack is scratch storage reused across
+    calls, so steady-state emission allocates nothing. Order is
+    unspecified (sort if you need it); not reentrant. Descends through
+    the pool, counting I/O like any other access. *)
+
 val subtree_positions : t -> node -> int list
-(** All leaf occurrence positions under a node (descends through the
-    pool, counting I/O like any other access). *)
+  [@@deprecated "use iter_positions: it avoids building a list per emit"]
+(** All leaf occurrence positions under a node. *)
+
+val io_stats : t -> int * int
+(** Cumulative pool [(hits, misses)] summed over the reader's three
+    components, for engine-level I/O accounting. *)
 
 (** {1 Statistics} *)
 

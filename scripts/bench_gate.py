@@ -82,6 +82,37 @@ def main() -> None:
             f"vs baseline {base_speedup:.2f}x (informational)"
         )
 
+    # Disk path: same rules as the kernel — stream identity between the
+    # Mem and Disk engines is a hard failure, warm-pool disk throughput
+    # gates at the shared tolerance. Cold numbers are informational
+    # (they track the runner's memcpy speed more than the search).
+    base_disk = baseline.get("disk")
+    fresh_disk = fresh.get("disk")
+    if fresh_disk is not None:
+        if fresh_disk.get("hit_streams_identical") is not True:
+            fail("fresh disk run did not certify Mem/Disk hit-stream identity")
+        if base_disk is not None:
+            base_cps = base_disk["position_indexed_warm"]["columns_per_sec"]
+            fresh_cps = fresh_disk["position_indexed_warm"]["columns_per_sec"]
+            floor = base_cps * (1.0 - tolerance)
+            verdict = "ok" if fresh_cps >= floor else "REGRESSION"
+            print(
+                f"bench gate: warm disk columns/sec (position-indexed): fresh "
+                f"{fresh_cps:,.0f} vs baseline {base_cps:,.0f} (floor "
+                f"{floor:,.0f} at {tolerance:.0%} tolerance) -> {verdict}"
+            )
+            if fresh_cps < floor:
+                fail(
+                    f"warm disk columns/sec regressed more than {tolerance:.0%} "
+                    f"({fresh_cps:,.0f} < {floor:,.0f})"
+                )
+            ratio = fresh_disk.get("disk_vs_mem_warm")
+            if ratio is not None:
+                print(
+                    f"bench gate: warm disk / mem throughput ratio: "
+                    f"{ratio:.2f}x (informational)"
+                )
+
     fresh_scaling = fresh.get("scaling")
     if fresh_scaling is not None:
         if fresh_scaling.get("hit_streams_match") is not True:

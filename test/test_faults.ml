@@ -28,16 +28,16 @@ let hit_pairs hits =
    retrying pool. [warmup_ops] covers the footer reads [open_] performs
    outside the pool (at most two raw preads per device); everything the
    search itself touches goes through the pool and is retried. *)
-let faulty_engine db query min_score plan =
+let faulty_engine ?layout ?(capacity = 8) db query min_score plan =
   let symbols = Storage.Device.in_memory ()
   and internal = Storage.Device.in_memory ()
   and leaves = Storage.Device.in_memory () in
   let tree = Suffix_tree.Ukkonen.build db in
-  Storage.Disk_tree.write tree ~symbols ~internal ~leaves;
+  Storage.Disk_tree.write ?layout tree ~symbols ~internal ~leaves;
   let symbols, hs = Storage.Faulty.wrap plan symbols in
   let internal, hi = Storage.Faulty.wrap plan internal in
   let leaves, hl = Storage.Faulty.wrap plan leaves in
-  let pool = Storage.Buffer_pool.create ~block_size:32 ~capacity:8 in
+  let pool = Storage.Buffer_pool.create ~block_size:32 ~capacity in
   Storage.Buffer_pool.set_retry pool
     { Storage.Buffer_pool.attempts = 4; backoff = 0.; multiplier = 2. };
   let dt =
@@ -45,16 +45,22 @@ let faulty_engine db query min_score plan =
       ~pool ~symbols ~internal ~leaves ()
   in
   let cfg = Oasis.Engine.config ~matrix ~gap ~min_score () in
-  (Oasis.Engine.Disk.create ~source:dt ~db ~query cfg, [ hs; hi; hl ])
+  (Oasis.Engine.Disk.create ~source:dt ~db ~query cfg, [ hs; hi; hl ], pool)
 
+(* [warmup_ops] covers open_'s raw (unretried) reads: the footer
+   verification preads plus the terminator scan. The pinned-page reader
+   needs very few device reads per search, so the warmup is tight and
+   the search runs cold (pool dropped) to leave the fault machinery
+   something to bite on. *)
 let transient_plan seed =
-  Storage.Faulty.plan ~seed ~warmup_ops:8 ~transient_read_prob:0.4
+  Storage.Faulty.plan ~seed ~warmup_ops:4 ~transient_read_prob:0.4
     ~max_consecutive_transient:2 ()
 
 let test_search_through_faults () =
   let db = db_of_strings [ "AGTACGCCTAG"; "TACG"; "CCCCTACGCCCC"; "GATTACA" ] in
   let q = Bioseq.Sequence.make ~alphabet:alpha ~id:"q" "TACG" in
-  let engine, handles = faulty_engine db q 2 (transient_plan 11) in
+  let engine, handles, pool = faulty_engine db q 2 (transient_plan 11) in
+  Storage.Buffer_pool.drop_all pool;
   let hits = Oasis.Engine.Disk.run engine in
   Alcotest.(check (list (pair int int)))
     "hits equal the oracle" (sw_pairs db q 2) (hit_pairs hits);
@@ -70,12 +76,18 @@ let test_dead_device_surfaces () =
      non-transient error rather than a crash or a silent wrong answer. *)
   let db = db_of_strings [ "AGTACGCCTAG"; "TACG"; "CCCCTACGCCCC"; "GATTACA" ] in
   let q = Bioseq.Sequence.make ~alphabet:alpha ~id:"q" "TACG" in
-  let plan = Storage.Faulty.plan ~fail_after_ops:10 () in
+  (* The budget must outlast open_ (3 raw reads per device) but not the
+     cold search: the pinned-page reader finishes this workload in ~7
+     internal-component reads, so anything much higher never fires. *)
+  let plan = Storage.Faulty.plan ~fail_after_ops:4 () in
   match faulty_engine db q 2 plan with
   | exception Storage.Io_error info ->
     (* The budget may already die during open_'s footer reads. *)
     Alcotest.(check bool) "permanent" false info.Storage.Io_error.transient
-  | engine, _ -> (
+  | engine, _, pool -> (
+    (* Evict everything the open verification cached: the search must go
+       back to the (now dead) device rather than ride the pool. *)
+    Storage.Buffer_pool.drop_all pool;
     match Oasis.Engine.Disk.run engine with
     | exception Storage.Io_error info ->
       Alcotest.(check bool) "permanent" false info.Storage.Io_error.transient
@@ -101,8 +113,57 @@ let qcheck_faulty_equals_oracle =
       QCheck.assume (query <> "");
       let db = db_of_strings strings in
       let q = Bioseq.Sequence.make ~alphabet:alpha ~id:"q" query in
-      let engine, _ = faulty_engine db q min_score (transient_plan seed) in
+      let engine, _, _ = faulty_engine db q min_score (transient_plan seed) in
       hit_pairs (Oasis.Engine.Disk.run engine) = sw_pairs db q min_score)
+
+(* The strongest equivalence the engine offers: Mem and Disk produce
+   {e bit-identical ordered hit streams} (not just equal sets), for both
+   leaf layouts, even when the disk engine runs through a two-frame pool
+   (the minimum that supports one pinned page plus one working frame)
+   over fault-injected devices. This pins down the canonical sibling
+   order end to end: any divergence in child or position iteration shows
+   up as a reordered stream under score ties. *)
+let qcheck_mem_disk_streams_identical =
+  let gen =
+    QCheck.Gen.(
+      let dna n = string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) n in
+      quad
+        (list_size (int_range 1 6) (dna (int_range 1 20)))
+        (dna (int_range 1 8))
+        (int_range 1 6) (int_range 0 1000))
+  in
+  let print (ss, q, ms, seed) =
+    Printf.sprintf "db=%s q=%s min_score=%d seed=%d" (String.concat "/" ss) q
+      ms seed
+  in
+  let stream_of hits =
+    List.map
+      (fun h ->
+        Oasis.Hit.(h.seq_index, h.score, h.query_stop, h.target_stop))
+      hits
+  in
+  QCheck.Test.make ~count:100
+    ~name:"Mem and Disk hit streams bit-identical (2-frame pool, faults)"
+    (QCheck.make gen ~print)
+    (fun (strings, query, min_score, seed) ->
+      QCheck.assume (query <> "");
+      let db = db_of_strings strings in
+      let q = Bioseq.Sequence.make ~alphabet:alpha ~id:"q" query in
+      let tree = Suffix_tree.Ukkonen.build db in
+      let cfg = Oasis.Engine.config ~matrix ~gap ~min_score () in
+      let mem_stream =
+        stream_of
+          (Oasis.Engine.Mem.run
+             (Oasis.Engine.Mem.create ~source:tree ~db ~query:q cfg))
+      in
+      List.for_all
+        (fun layout ->
+          let engine, _, _ =
+            faulty_engine ~layout ~capacity:2 db q min_score
+              (transient_plan seed)
+          in
+          stream_of (Oasis.Engine.Disk.run engine) = mem_stream)
+        [ Storage.Disk_tree.Position_indexed; Storage.Disk_tree.Clustered ])
 
 (* Budget exhaustion under sharding: the per-shard budget split must
    exhaust the aggregate search the way a single engine exhausts —
@@ -201,5 +262,9 @@ let () =
           Alcotest.test_case "exhaustion under sharding degrades gracefully"
             `Quick test_sharded_budget_exhaustion;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest qcheck_faulty_equals_oracle ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_faulty_equals_oracle;
+          QCheck_alcotest.to_alcotest qcheck_mem_disk_streams_identical;
+        ] );
     ]

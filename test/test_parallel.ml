@@ -102,6 +102,8 @@ let counters_a =
     pool_peak_live = 6;
     pool_peak_bytes = 1000;
     minor_words = 12.5;
+    io_hits = 9;
+    io_misses = 2;
   }
 
 let counters_b =
@@ -116,6 +118,8 @@ let counters_b =
     pool_peak_live = 4;
     pool_peak_bytes = 800;
     minor_words = 0.5;
+    io_hits = 1;
+    io_misses = 3;
   }
 
 let test_counters_merge () =
@@ -127,6 +131,8 @@ let test_counters_merge () =
   Alcotest.(check int) "pool_reused add" 44 m.Oasis.Counters.pool_reused;
   Alcotest.(check (float 1e-9)) "minor_words add" 13.0
     m.Oasis.Counters.minor_words;
+  Alcotest.(check int) "io_hits add" 10 m.Oasis.Counters.io_hits;
+  Alcotest.(check int) "io_misses add" 5 m.Oasis.Counters.io_misses;
   Alcotest.(check int) "max_queue maxes" 5 m.Oasis.Counters.max_queue;
   Alcotest.(check int) "pool_live maxes" 3 m.Oasis.Counters.pool_live;
   Alcotest.(check int) "pool_peak_live maxes" 6 m.Oasis.Counters.pool_peak_live;

@@ -112,6 +112,200 @@ let test_pool_drop_all () =
   let s = Storage.Buffer_pool.stats h in
   Alcotest.(check int) "cold after drop" 1 s.Storage.Buffer_pool.misses
 
+(* Three devices churning through a two-frame pool: every read must
+   return the right byte through any number of evictions and re-reads,
+   and the stats must stay conserved (every access is a hit or a miss). *)
+let test_pool_churn () =
+  let mk tag =
+    let d = Storage.Device.in_memory () in
+    Storage.Device.append d
+      (Bytes.init 512 (fun i -> Char.chr ((tag + i) land 0xFF)));
+    d
+  in
+  let pool = Storage.Buffer_pool.create ~block_size:16 ~capacity:2 in
+  let handles =
+    List.map
+      (fun tag -> (tag, Storage.Buffer_pool.attach pool ~name:"d" (mk tag)))
+      [ 0; 50; 100 ]
+  in
+  let accesses = ref 0 in
+  for round = 0 to 3 do
+    List.iter
+      (fun (tag, h) ->
+        for block = 0 to 31 do
+          let off = (block * 16) + ((round + tag) mod 16) in
+          incr accesses;
+          Alcotest.(check int)
+            (Printf.sprintf "tag %d round %d off %d" tag round off)
+            ((tag + off) land 0xFF)
+            (Storage.Buffer_pool.read_byte pool h off)
+        done)
+      handles
+  done;
+  let total =
+    List.fold_left
+      (fun acc (_, h) ->
+        let s = Storage.Buffer_pool.stats h in
+        acc + s.Storage.Buffer_pool.hits + s.Storage.Buffer_pool.misses)
+      0 handles
+  in
+  Alcotest.(check int) "hits + misses = accesses" !accesses total;
+  List.iter
+    (fun (_, h) ->
+      Alcotest.(check bool) "evictions forced re-reads" true
+        ((Storage.Buffer_pool.stats h).Storage.Buffer_pool.misses > 32))
+    handles
+
+let test_pool_read_bytes_into () =
+  let d = Storage.Device.in_memory () in
+  let content = Bytes.init 200 (fun i -> Char.chr ((i * 7) land 0xFF)) in
+  Storage.Device.append d content;
+  let pool = Storage.Buffer_pool.create ~block_size:16 ~capacity:3 in
+  let h = Storage.Buffer_pool.attach pool ~name:"d" d in
+  (* A block-straddling range must come back exactly, with padding in
+     [dst] untouched. *)
+  let dst = Bytes.make 80 '\xAA' in
+  Storage.Buffer_pool.read_bytes_into pool h ~off:13 ~len:70 ~dst ~dst_off:5;
+  Alcotest.(check string) "spanning copy"
+    (Bytes.sub_string content 13 70)
+    (Bytes.sub_string dst 5 70);
+  Alcotest.(check char) "front padding intact" '\xAA' (Bytes.get dst 0);
+  Alcotest.(check char) "back padding intact" '\xAA' (Bytes.get dst 79);
+  Alcotest.check_raises "bad range"
+    (Invalid_argument "Buffer_pool.read_bytes_into: bad range") (fun () ->
+      Storage.Buffer_pool.read_bytes_into pool h ~off:0 ~len:100 ~dst ~dst_off:0)
+
+(* A pinned frame survives arbitrary churn: the clock must pass it over,
+   so its bytes stay valid until the unpin. *)
+let test_pool_pinning () =
+  let d = Storage.Device.in_memory () in
+  Storage.Device.append d (Bytes.init 512 (fun i -> Char.chr (i land 0xFF)));
+  let pool = Storage.Buffer_pool.create ~block_size:16 ~capacity:2 in
+  let h = Storage.Buffer_pool.attach pool ~name:"d" d in
+  let frame = Storage.Buffer_pool.pin pool h ~block:0 in
+  (* Churn every other block through the remaining frame. *)
+  for block = 1 to 31 do
+    ignore (Storage.Buffer_pool.read_byte pool h (block * 16))
+  done;
+  let buf = Storage.Buffer_pool.frame_bytes pool frame in
+  Alcotest.(check int) "pinned bytes still block 0" 5 (Char.code (Bytes.get buf 5));
+  Alcotest.(check int) "one frame pinned" 1 (Storage.Buffer_pool.pinned_count pool);
+  (* The pinned block is still resident: re-reading it is a hit. *)
+  let before = (Storage.Buffer_pool.stats h).Storage.Buffer_pool.misses in
+  ignore (Storage.Buffer_pool.read_byte pool h 0);
+  Alcotest.(check int) "pinned block re-read is a hit" before
+    ((Storage.Buffer_pool.stats h).Storage.Buffer_pool.misses);
+  Alcotest.check_raises "drop_all refused while pinned"
+    (Invalid_argument "Buffer_pool.drop_all: frames are pinned") (fun () ->
+      Storage.Buffer_pool.drop_all pool);
+  Storage.Buffer_pool.unpin pool frame;
+  Alcotest.(check int) "unpinned" 0 (Storage.Buffer_pool.pinned_count pool);
+  Alcotest.check_raises "double unpin"
+    (Invalid_argument "Buffer_pool.unpin: frame is not pinned") (fun () ->
+      Storage.Buffer_pool.unpin pool frame);
+  Storage.Buffer_pool.drop_all pool
+
+let test_pool_all_pinned () =
+  let d = Storage.Device.in_memory () in
+  Storage.Device.append d (Bytes.make 256 'x');
+  let pool = Storage.Buffer_pool.create ~block_size:16 ~capacity:2 in
+  let h = Storage.Buffer_pool.attach pool ~name:"d" d in
+  let f0 = Storage.Buffer_pool.pin pool h ~block:0 in
+  let f1 = Storage.Buffer_pool.pin pool h ~block:1 in
+  Alcotest.check_raises "miss with every frame pinned"
+    (Failure "Buffer_pool: all frames pinned, cannot evict") (fun () ->
+      ignore (Storage.Buffer_pool.read_byte pool h (5 * 16)));
+  (* Pinned blocks themselves stay readable (they are resident). *)
+  ignore (Storage.Buffer_pool.read_byte pool h 0);
+  Storage.Buffer_pool.unpin pool f0;
+  Storage.Buffer_pool.unpin pool f1;
+  ignore (Storage.Buffer_pool.read_byte pool h (5 * 16))
+
+(* The open-addressed pool must be observably the same cache as the
+   seed's Hashtbl clock: replay a random access trace against a direct
+   reimplementation of that algorithm and compare per-handle stats. *)
+module Clock_model = struct
+  type frame = { mutable owner : (int * int) option; mutable referenced : bool }
+
+  type t = {
+    frames : frame array;
+    table : (int * int, int) Hashtbl.t;
+    mutable hand : int;
+    hits : int array;
+    misses : int array;
+  }
+
+  let create ~capacity ~n_handles =
+    {
+      frames =
+        Array.init capacity (fun _ -> { owner = None; referenced = false });
+      table = Hashtbl.create 16;
+      hand = 0;
+      hits = Array.make n_handles 0;
+      misses = Array.make n_handles 0;
+    }
+
+  let access t handle block =
+    let key = (handle, block) in
+    match Hashtbl.find_opt t.table key with
+    | Some idx ->
+      t.hits.(handle) <- t.hits.(handle) + 1;
+      t.frames.(idx).referenced <- true
+    | None ->
+      t.misses.(handle) <- t.misses.(handle) + 1;
+      let rec sweep () =
+        let idx = t.hand in
+        let frame = t.frames.(idx) in
+        t.hand <- (t.hand + 1) mod Array.length t.frames;
+        if frame.referenced then begin
+          frame.referenced <- false;
+          sweep ()
+        end
+        else (idx, frame)
+      in
+      let idx, frame = sweep () in
+      (match frame.owner with
+      | Some old_key -> Hashtbl.remove t.table old_key
+      | None -> ());
+      frame.owner <- Some key;
+      frame.referenced <- true;
+      Hashtbl.replace t.table key idx
+end
+
+let qcheck_pool_matches_clock_model =
+  let gen =
+    QCheck.Gen.(
+      pair (int_range 1 6)
+        (list_size (int_range 0 300) (pair (int_range 0 2) (int_range 0 15))))
+  in
+  let print (cap, trace) =
+    Printf.sprintf "capacity=%d trace=[%s]" cap
+      (String.concat ";"
+         (List.map (fun (h, b) -> Printf.sprintf "%d@%d" h b) trace))
+  in
+  QCheck.Test.make ~count:300
+    ~name:"pool stats replay the seed clock algorithm exactly"
+    (QCheck.make gen ~print)
+    (fun (capacity, trace) ->
+      let pool = Storage.Buffer_pool.create ~block_size:16 ~capacity in
+      let handles =
+        Array.init 3 (fun i ->
+            let d = Storage.Device.in_memory () in
+            Storage.Device.append d (Bytes.make 256 (Char.chr (i + 65)));
+            Storage.Buffer_pool.attach pool ~name:(string_of_int i) d)
+      in
+      let model = Clock_model.create ~capacity ~n_handles:3 in
+      List.iter
+        (fun (h, block) ->
+          ignore (Storage.Buffer_pool.read_byte pool handles.(h) (block * 16));
+          Clock_model.access model h block)
+        trace;
+      Array.for_all Fun.id
+        (Array.init 3 (fun i ->
+             let s = Storage.Buffer_pool.stats handles.(i) in
+             s.Storage.Buffer_pool.hits = model.Clock_model.hits.(i)
+             && s.Storage.Buffer_pool.misses = model.Clock_model.misses.(i))))
+
 (* --- Disk tree --- *)
 
 (* Enumerate (path, positions) of every leaf via the disk tree. *)
@@ -205,14 +399,16 @@ let test_disk_tree_subtree_positions () =
   let tree = Suffix_tree.Ukkonen.build db in
   let dt, _pool = Storage.Disk_tree.of_tree tree in
   let root = Storage.Disk_tree.root dt in
-  let all = List.sort compare (Storage.Disk_tree.subtree_positions dt root) in
+  let acc = ref [] in
+  Storage.Disk_tree.iter_positions dt root (fun p -> acc := p :: !acc);
+  let all = List.sort compare !acc in
   Alcotest.(check (list int)) "all suffixes" (List.init 12 Fun.id) all
 
 let test_disk_tree_stats_move () =
   let db = db_of_strings [ "AGTACGCCTAGAGTACGAGTACCGTA" ] in
   let tree = Suffix_tree.Ukkonen.build db in
   let dt, pool = Storage.Disk_tree.of_tree ~block_size:16 ~capacity:2 tree in
-  ignore (Storage.Disk_tree.subtree_positions dt (Storage.Disk_tree.root dt));
+  Storage.Disk_tree.iter_positions dt (Storage.Disk_tree.root dt) ignore;
   ignore pool;
   let s = Storage.Disk_tree.component_stats dt Storage.Disk_tree.Internal_nodes in
   Alcotest.(check bool) "internal accesses happened" true
@@ -694,6 +890,13 @@ let () =
           Alcotest.test_case "eviction correctness" `Quick test_pool_eviction;
           Alcotest.test_case "u32 reads" `Quick test_pool_u32;
           Alcotest.test_case "drop_all" `Quick test_pool_drop_all;
+          Alcotest.test_case "multi-handle churn" `Quick test_pool_churn;
+          Alcotest.test_case "read_bytes_into spans blocks" `Quick
+            test_pool_read_bytes_into;
+          Alcotest.test_case "pinned frame survives churn" `Quick
+            test_pool_pinning;
+          Alcotest.test_case "all frames pinned fails loudly" `Quick
+            test_pool_all_pinned;
         ] );
       ( "disk_tree",
         [
@@ -719,5 +922,6 @@ let () =
             qcheck_disk_roundtrip;
             qcheck_external_equals_monolithic;
             qcheck_validate_random;
+            qcheck_pool_matches_clock_model;
           ] );
     ]
