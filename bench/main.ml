@@ -1491,6 +1491,96 @@ let kernel setup =
        speedup words_ratio)
 
 (* ------------------------------------------------------------------ *)
+(* Obs: instrumentation cost on the kernel workload. Hooks off is the  *)
+(* shipped default (every hook site is one pointer compare) and gates  *)
+(* against the committed kernel baseline; hooks on attaches one        *)
+(* accumulating Instrument with no trace sink and records the phase    *)
+(* breakdown the timer saw.                                            *)
+(* ------------------------------------------------------------------ *)
+
+let obs_exp setup =
+  print_endline
+    "== Obs: instrumentation overhead (kernel workload; hooks off vs an \
+     attached Instrument, no trace sink)";
+  let queries = List.concat_map snd (workload setup) in
+  let jobs =
+    List.map
+      (fun q -> (q, min_score_for setup ~query:q ~evalue:20000.))
+      queries
+  in
+  let reps = if quick then 1 else 3 in
+  Printf.printf "  %d queries x %d reps%s\n%!" (List.length jobs) reps
+    (if quick then " (--quick)" else "");
+  let measure inst =
+    let columns = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    for _rep = 1 to reps do
+      List.iter
+        (fun (query, min_score) ->
+          let cfg =
+            Oasis.Engine.config ~matrix:setup.matrix ~gap:setup.gap ~min_score
+              ()
+          in
+          let e =
+            Oasis.Engine.Mem.create ~source:setup.tree ~db:setup.db ~query cfg
+          in
+          Oasis.Engine.Mem.set_instrument e inst;
+          ignore (Oasis.Engine.Mem.run e);
+          columns :=
+            !columns + (Oasis.Engine.Mem.counters e).Oasis.Engine.columns)
+        jobs
+    done;
+    (Unix.gettimeofday () -. t0, !columns)
+  in
+  (* Hooks off first so it cannot benefit from running last. *)
+  let off_wall, off_columns = measure None in
+  let inst = Oasis.Instrument.create () in
+  let on_wall, on_columns = measure (Some inst) in
+  let cps columns wall = float_of_int columns /. max 1e-9 wall in
+  let off_cps = cps off_columns off_wall and on_cps = cps on_columns on_wall in
+  let overhead_pct = (off_cps /. max 1e-9 on_cps -. 1.) *. 100. in
+  Printf.printf
+    "  hooks off %10.3fs  %12.0f cols/s\n\
+    \  hooks on  %10.3fs  %12.0f cols/s   (%.1f%% overhead)\n"
+    off_wall off_cps on_wall on_cps overhead_pct;
+  let timer = inst.Oasis.Instrument.timer in
+  let timer_total = Obs.Timer.total timer in
+  let phases = Obs.Timer.phases timer in
+  List.iter
+    (fun (name, s) ->
+      Printf.printf "    phase %-8s %10.3fs  %5.1f%%\n" name s
+        (100. *. s /. max 1e-9 timer_total))
+    (List.sort (fun (_, a) (_, b) -> compare b a) phases);
+  let phases_json =
+    String.concat ",\n"
+      (List.map
+         (fun (name, s) ->
+           Printf.sprintf
+             "      \"%s\": { \"seconds\": %.6f, \"fraction\": %.4f }" name s
+             (s /. max 1e-9 timer_total))
+         phases)
+  in
+  update_bench_section "obs"
+    (Printf.sprintf
+       "{\n\
+       \    \"quick\": %b,\n\
+       \    \"db_symbols\": %d,\n\
+       \    \"queries\": %d,\n\
+       \    \"reps\": %d,\n\
+       \    \"seed\": %d,\n\
+       \    \"hooks_off\": { \"wall_s\": %.6f, \"columns\": %d, \
+        \"columns_per_sec\": %.1f },\n\
+       \    \"hooks_on\": { \"wall_s\": %.6f, \"columns\": %d, \
+        \"columns_per_sec\": %.1f },\n\
+       \    \"overhead_pct\": %.2f,\n\
+       \    \"phases\": {\n\
+        %s\n\
+       \    }\n\
+       \  }"
+       quick db_symbols (List.length jobs) reps seed off_wall off_columns
+       off_cps on_wall on_columns on_cps overhead_pct phases_json)
+
+(* ------------------------------------------------------------------ *)
 (* Disk: the same workload against the Mem and Disk sources, cold and   *)
 (* warm pool, both leaf layouts — the mem/disk gap the storage fast     *)
 (* path exists to close.                                                *)
@@ -1904,6 +1994,7 @@ let experiments =
     ("parallel", parallel_exp);
     ("micro", micro);
     ("kernel", kernel);
+    ("obs", obs_exp);
     ("disk", disk_exp);
     ("scaling", scaling);
   ]

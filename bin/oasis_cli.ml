@@ -248,7 +248,7 @@ let pieces_of_manifest db entries =
 let search_cmd =
   let run fasta alphabet index_dir query_text matrix gap_penalty gap_open
       min_score evalue top with_alignments evalue_order format buffer_blocks
-      max_columns max_nodes time_limit shards =
+      max_columns max_nodes time_limit shards stats trace_file =
     let seqs = Bioseq.Fasta.read_file ~alphabet fasta in
     let db = Bioseq.Database.make seqs in
     let query = Bioseq.Sequence.make ~alphabet ~id:"query" query_text in
@@ -324,6 +324,86 @@ let search_cmd =
       in
       go 1
     in
+    (* Observability: --stats registers every layer's metrics in one
+       registry and prints them after the search; --trace streams
+       structured events (JSONL, or Chrome trace_event for .json/.trace
+       paths). Engine-level hooks attach on the single-engine paths;
+       sharded searches record the merge (release latency, occupancy,
+       frontier bounds) — per-shard engines run on worker domains where
+       a shared sink would race. *)
+    let registry = Obs.Registry.create () in
+    let trace_sink =
+      Option.map
+        (fun path ->
+          let oc = open_out path in
+          (Obs.Trace.create ~format:(Obs.Trace.format_of_path path) oc, oc))
+        trace_file
+    in
+    let sink = Option.map fst trace_sink in
+    let observing = stats || sink <> None in
+    let inst =
+      if observing then Some (Oasis.Instrument.create ~registry ?trace:sink ())
+      else None
+    in
+    let merge_obs () =
+      if observing then
+        Some (Oasis.Instrument.merge_obs ~registry ?trace:sink ())
+      else None
+    in
+    let wall0 = ref 0. in
+    let finish ?(sharded = false) counters =
+      let wall = Unix.gettimeofday () -. !wall0 in
+      (match sink with
+      | Some s ->
+        Oasis.Instrument.emit_counters s ~sharded counters;
+        Obs.Trace.close s
+      | None -> ());
+      (match trace_sink with Some (_, oc) -> close_out oc | None -> ());
+      if stats then begin
+        Printf.printf "# --- search stats ---\n";
+        Printf.printf "# wall %26.3f ms\n" (wall *. 1e3);
+        (match inst with
+        | Some i ->
+          let timer = i.Oasis.Instrument.timer in
+          let total = Obs.Timer.total timer in
+          if total > 0. then begin
+            Printf.printf "# phases:\n";
+            List.iter
+              (fun (name, s) ->
+                Printf.printf "#   %-10s %16.3f ms  %5.1f%%\n" name (s *. 1e3)
+                  (if total > 0. then 100. *. s /. total else 0.))
+              (List.sort
+                 (fun (_, a) (_, b) -> compare (b : float) a)
+                 (Obs.Timer.phases timer));
+            Printf.printf "#   %-10s %16.3f ms  (%.1f%% of wall)\n" "sum"
+              (total *. 1e3)
+              (if wall > 0. then 100. *. total /. wall else 0.)
+          end
+        | None -> ());
+        let items = Obs.Registry.items registry in
+        if items <> [] then begin
+          Printf.printf "# metrics:\n";
+          List.iter
+            (fun (name, m) ->
+              let body =
+                match m with
+                | Obs.Registry.Counter c ->
+                  Format.asprintf "%a" Obs.Metric.pp_counter c
+                | Obs.Registry.Gauge g ->
+                  Format.asprintf "%a" Obs.Metric.pp_gauge g
+                | Obs.Registry.Histogram h ->
+                  Format.asprintf "%a" Obs.Metric.pp_histogram h
+              in
+              Printf.printf "#   %-28s %s\n" name body)
+            items
+        end;
+        Printf.printf "# work: %d columns, %d expanded, %d enqueued, %d \
+                       pruned, queue peak %d\n"
+          counters.Oasis.Engine.columns counters.Oasis.Engine.nodes_expanded
+          counters.Oasis.Engine.nodes_enqueued
+          counters.Oasis.Engine.nodes_pruned counters.Oasis.Engine.max_queue
+      end
+    in
     (* With --evalue-order, wrap the engine in the length-adjusted
        E-value stream (§4.3). *)
     let with_order (type e) (module D : Oasis.Engine.DRIVER with type t = e)
@@ -345,15 +425,23 @@ let search_cmd =
     | None when shards > 1 ->
       (* Sharded in-memory search: one tree + engine per shard on a
          domain pool, merged preserving the decreasing-score order. *)
-      let t = Oasis.Parallel.Mem.create_sharded ~shards ~db ~query config in
+      let t =
+        Oasis.Parallel.Mem.create_sharded ?obs:(merge_obs ()) ~shards ~db
+          ~query config
+      in
+      wall0 := Unix.gettimeofday ();
       stream (with_order (module Oasis.Parallel.Mem) t);
-      report_outcome (Oasis.Parallel.Mem.outcome t)
+      report_outcome (Oasis.Parallel.Mem.outcome t);
+      finish ~sharded:true (Oasis.Parallel.Mem.counters t)
     | None ->
       (* In-memory index. *)
       let tree = Suffix_tree.Ukkonen.build db in
       let engine = Oasis.Engine.Mem.create ~source:tree ~db ~query config in
+      Oasis.Engine.Mem.set_instrument engine inst;
+      wall0 := Unix.gettimeofday ();
       stream (with_order (module Oasis.Engine.Mem) engine);
-      report_outcome (Oasis.Engine.Mem.outcome engine)
+      report_outcome (Oasis.Engine.Mem.outcome engine);
+      finish (Oasis.Engine.Mem.counters engine)
     | Some dir when Storage.Shard_manifest.exists ~dir ->
       (* Sharded on-disk index: the manifest names the partition; each
          shard opens its own components and buffer pool (the pool is
@@ -387,11 +475,16 @@ let search_cmd =
                 { Oasis.Parallel.Disk.source; piece })
               pieces
           in
-          let t = Oasis.Parallel.Disk.create ~shards:sources ~query config in
+          let t =
+            Oasis.Parallel.Disk.create ?obs:(merge_obs ()) ~shards:sources
+              ~query config
+          in
+          wall0 := Unix.gettimeofday ();
           stream (with_order (module Oasis.Parallel.Disk) t);
           report_outcome (Oasis.Parallel.Disk.outcome t);
           Printf.printf "# %d shards, %d buffer blocks each\n" k
-            per_shard_blocks)
+            per_shard_blocks;
+          finish ~sharded:true (Oasis.Parallel.Disk.counters t))
     | Some dir ->
       let sym_p, int_p, leaf_p = index_files dir in
       let symbols = Storage.Device.open_file sym_p
@@ -400,8 +493,14 @@ let search_cmd =
       let pool = Storage.Buffer_pool.create ~block_size:2048 ~capacity:buffer_blocks in
       let dt = Storage.Disk_tree.open_ ~alphabet ~pool ~symbols ~internal ~leaves () in
       let engine = Oasis.Engine.Disk.create ~source:dt ~db ~query config in
+      Oasis.Engine.Disk.set_instrument engine inst;
+      if observing then
+        Storage.Buffer_pool.set_obs pool
+          (Some (Storage.Buffer_pool.obs ~registry ?trace:sink ()));
+      wall0 := Unix.gettimeofday ();
       stream (with_order (module Oasis.Engine.Disk) engine);
       report_outcome (Oasis.Engine.Disk.outcome engine);
+      finish (Oasis.Engine.Disk.counters engine);
       let c = Oasis.Engine.Disk.counters engine in
       Printf.printf
         "# engine pool I/O: %d hits / %d misses (%d table probes, %d memo \
@@ -495,6 +594,22 @@ let search_cmd =
                  decreasing-score order). With --index, the shard count \
                  comes from the index's manifest and this flag is ignored.")
   in
+  let stats =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"After the search, print a per-phase time table (queue / \
+                 expand / dp / bound / emit), work histograms \
+                 (expansion depth, arc columns, buffer-pool probe \
+                 lengths) and counters for every instrumented layer.")
+  in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Stream structured search events (node expansions, hit \
+                 emissions, queue high-water marks, buffer-pool misses, \
+                 shard frontier updates) to FILE: Chrome trace_event \
+                 JSON for .json/.trace paths (open in chrome://tracing \
+                 or Perfetto), JSONL otherwise. Validate with \
+                 scripts/trace_check.py.")
+  in
   Cmd.v
     (Cmd.info "search"
        ~doc:"Accurate online local-alignment search (the OASIS algorithm).")
@@ -502,7 +617,7 @@ let search_cmd =
       const run $ fasta_arg ~doc:"FASTA database." "db" $ alphabet_arg
       $ index_dir $ query $ matrix $ gap $ gap_open $ min_score $ evalue $ top
       $ with_alignments $ evalue_order $ format $ buffer_blocks $ max_columns
-      $ max_nodes $ time_limit $ shards)
+      $ max_nodes $ time_limit $ shards $ stats $ trace)
 
 (* --- batch --- *)
 

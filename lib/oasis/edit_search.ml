@@ -16,6 +16,11 @@ module Make (S : Source.S) = struct
     (* The DP row for the current path: row.(j) = unit edit distance
        between the full path and query prefix of length j. *)
     let report node depth edits =
+      (* Collect-and-sort keeps the reported stop deterministic (lowest
+         position wins an edit-count tie) whatever order the source
+         streams positions in. *)
+      let positions = ref [] in
+      S.iter_positions source node (fun p -> positions := p :: !positions);
       List.iter
         (fun p ->
           let seq_index = Bioseq.Database.seq_of_pos db p in
@@ -24,7 +29,7 @@ module Make (S : Source.S) = struct
             best_stop.(seq_index) <-
               p + depth - Bioseq.Database.seq_start db seq_index
           end)
-        (S.subtree_positions source node)
+        (List.sort Int.compare !positions)
     in
     let rec visit node row depth =
       incr nodes_visited;

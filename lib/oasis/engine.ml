@@ -180,6 +180,9 @@ module Make (S : Source.S) = struct
     mutable sc_ub : int;  (** arc result: the viable node's priority *)
     mutable sc_depth : int;  (** arc result: the viable node's depth *)
     mutable tracer : (trace_event -> unit) option;
+    mutable obs : Instrument.t option;
+        (** observability hooks; [None] (the default) costs one pointer
+            compare per hook site on the hot path *)
     mutable emit_buf : int array;
         (** scratch positions buffer for {!emit}; grown on demand,
             reused across hits *)
@@ -507,6 +510,14 @@ module Make (S : Source.S) = struct
         else aff_arc t w off offd (idx + 1) stop depth ub
       end
 
+  (* Every obs hook is one [match] on [t.obs] when instrumentation is
+     off; the bench gate holds the disabled-hook overhead on the kernel
+     experiment under the shared tolerance. *)
+  let[@inline] obs_phase t p =
+    match t.obs with
+    | None -> ()
+    | Some o -> Obs.Timer.switch o.Instrument.timer p
+
   (* Expand one child arc: acquire a slot, copy the parent's column(s)
      into it, run the fused kernel, then enqueue or recycle. The parent's
      own slot is released by [next] after all children are expanded. *)
@@ -521,11 +532,18 @@ module Make (S : Source.S) = struct
     t.sc_best <- parent.max_score;
     t.sc_best_q <- parent.max_q;
     t.sc_best_off <- parent.max_off;
+    let cols_before = t.c_columns in
+    obs_phase t Instrument.phase_dp;
     let status =
       if t.affine then
         aff_arc t w off (off + t.m + 1) start stop parent.depth min_int
       else lin_arc t w off start stop parent.depth min_int
     in
+    (match t.obs with
+    | None -> ()
+    | Some o ->
+      Obs.Timer.switch o.Instrument.timer Instrument.phase_expand;
+      Obs.Metric.observe o.Instrument.arc_columns (t.c_columns - cols_before));
     match status with
     | 0 ->
       Col_pool.release t.pool slot;
@@ -606,6 +624,7 @@ module Make (S : Source.S) = struct
         sc_ub = neg_inf;
         sc_depth = 0;
         tracer = None;
+        obs = None;
         emit_buf = Array.make 64 0;
         base_minor_words = Gc.minor_words ();
         base_io_hits = (let h, _ = S.io_stats source in h);
@@ -674,6 +693,7 @@ module Make (S : Source.S) = struct
       }
 
   let set_tracer t f = t.tracer <- Some f
+  let set_instrument t obs = t.obs <- obs
 
   let trace t event =
     match t.tracer with None -> () | Some f -> f event
@@ -701,6 +721,15 @@ module Make (S : Source.S) = struct
         t.reported_count <- t.reported_count + 1;
         let global_stop = p + node.max_off in
         trace t (Reported { seq_index; score = node.max_score });
+        (match t.obs with
+        | Some { Instrument.trace = Some sink; _ } ->
+          Obs.Trace.instant sink "hit"
+            ~args:
+              [
+                ("seq", Obs.Trace.Int seq_index);
+                ("score", Obs.Trace.Int node.max_score);
+              ]
+        | _ -> ());
         Queue.add
           {
             Hit.seq_index;
@@ -722,46 +751,97 @@ module Make (S : Source.S) = struct
     || (match b.max_expanded with Some l -> t.c_expanded >= l | None -> false)
     || (t.deadline < infinity && Unix.gettimeofday () >= t.deadline)
 
-  let rec next t =
+  let rec next_loop t =
     match Queue.take_opt t.pending with
     | Some hit -> Some hit
     | None ->
       if t.reported_count >= Array.length t.reported_seq then None
       else if t.exhausted <> None then None
-      else if budget_spent t && Pqueue.length t.pq > 0 then begin
-        (* Stop with the frontier intact: the head priority is an
-           admissible bound on every hit the truncated search would
-           still have reported. *)
-        (match Pqueue.peek_priority t.pq with
-        | Some bound -> t.exhausted <- Some bound
-        | None -> assert false);
-        None
-      end
       else begin
-        match Pqueue.pop t.pq with
-        | None -> None
-        | Some (priority, node) ->
-          trace t
-            (Popped
-               {
-                 priority;
-                 accepted = node.accepted;
-                 depth = node.depth;
-                 max_score = node.max_score;
-                 queue_length = Pqueue.length t.pq;
-               });
-          if node.accepted then emit t node
-          else begin
-            t.c_expanded <- t.c_expanded + 1;
-            S.iter_children t.source node.tree_node (fun child ->
-                expand t node child);
-            (* Every child has copied what it needs: recycle the
-               parent's column. *)
-            Col_pool.release t.pool node.slot;
-            t.c_max_queue <- max t.c_max_queue (Pqueue.length t.pq)
-          end;
-          next t
+        obs_phase t Instrument.phase_bound;
+        if budget_spent t && Pqueue.length t.pq > 0 then begin
+          (* Stop with the frontier intact: the head priority is an
+             admissible bound on every hit the truncated search would
+             still have reported. *)
+          (match Pqueue.peek_priority t.pq with
+          | Some bound -> t.exhausted <- Some bound
+          | None -> assert false);
+          None
+        end
+        else begin
+          obs_phase t Instrument.phase_queue;
+          match Pqueue.pop t.pq with
+          | None -> None
+          | Some (priority, node) ->
+            trace t
+              (Popped
+                 {
+                   priority;
+                   accepted = node.accepted;
+                   depth = node.depth;
+                   max_score = node.max_score;
+                   queue_length = Pqueue.length t.pq;
+                 });
+            if node.accepted then begin
+              obs_phase t Instrument.phase_emit;
+              emit t node;
+              obs_phase t Instrument.phase_queue
+            end
+            else begin
+              (match t.obs with
+              | None -> ()
+              | Some o -> (
+                Obs.Metric.observe o.Instrument.expansion_depth node.depth;
+                match o.Instrument.trace with
+                | None -> ()
+                | Some sink ->
+                  (* One "expand" event per expanded node, so
+                     trace_check.py can equate the event count with the
+                     nodes_expanded counter. *)
+                  Obs.Trace.instant sink "expand"
+                    ~args:
+                      [
+                        ("depth", Obs.Trace.Int node.depth);
+                        ("priority", Obs.Trace.Int priority);
+                        ("queue", Obs.Trace.Int (Pqueue.length t.pq));
+                      ]));
+              obs_phase t Instrument.phase_expand;
+              t.c_expanded <- t.c_expanded + 1;
+              S.iter_children t.source node.tree_node (fun child ->
+                  expand t node child);
+              (* Every child has copied what it needs: recycle the
+                 parent's column. *)
+              Col_pool.release t.pool node.slot;
+              obs_phase t Instrument.phase_queue;
+              let qlen = Pqueue.length t.pq in
+              if qlen > t.c_max_queue then begin
+                t.c_max_queue <- qlen;
+                match t.obs with
+                | None -> ()
+                | Some o -> (
+                  Obs.Metric.set o.Instrument.queue qlen;
+                  match o.Instrument.trace with
+                  | None -> ()
+                  | Some sink ->
+                    Obs.Trace.instant sink "queue_hwm"
+                      ~args:[ ("queue", Obs.Trace.Int qlen) ])
+              end
+            end;
+            next_loop t
+        end
       end
+
+  (* Public [next]: when instrumented, the timer runs for exactly the
+     span of the call (started on entry, paused on exit), so per-phase
+     times telescope to the instrumented wall time. *)
+  let next t =
+    match t.obs with
+    | None -> next_loop t
+    | Some o ->
+      Obs.Timer.switch o.Instrument.timer Instrument.phase_queue;
+      let hit = next_loop t in
+      Obs.Timer.pause o.Instrument.timer;
+      hit
 
   let run ?limit t =
     let rec go acc n =

@@ -176,6 +176,15 @@ module Make (S : Source.S) : sig
   val set_tracer : t -> (trace_event -> unit) -> unit
   (** Observe the search as it runs (see {!trace_event}). *)
 
+  val set_instrument : t -> Instrument.t option -> unit
+  (** Attach (or detach) observability hooks: the phase timer runs for
+      the exact span of each {!next} call, expansion-depth and
+      arc-column histograms fill, and — when the instrument carries a
+      trace sink — one ["expand"] event per expanded node plus ["hit"]
+      and ["queue_hwm"] events stream out. With [None] (the default)
+      every hook site costs one pointer compare; the kernel bench gates
+      that this stays within the shared tolerance. *)
+
   val peek_bound : t -> int option
   (** An upper bound on the score of every hit {!next} can still return
       ([None] once nothing remains). Non-increasing across calls; used by

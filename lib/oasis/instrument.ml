@@ -1,0 +1,60 @@
+let phase_queue = 0
+let phase_expand = 1
+let phase_dp = 2
+let phase_bound = 3
+let phase_emit = 4
+let phase_names = [| "queue"; "expand"; "dp"; "bound"; "emit" |]
+
+type t = {
+  timer : Obs.Timer.t;
+  expansion_depth : Obs.Metric.histogram;
+  arc_columns : Obs.Metric.histogram;
+  queue : Obs.Metric.gauge;
+  trace : Obs.Trace.t option;
+  registry : Obs.Registry.t;
+}
+
+let create ?registry ?trace () =
+  let registry =
+    match registry with Some r -> r | None -> Obs.Registry.create ()
+  in
+  {
+    timer = Obs.Timer.create ~phases:phase_names;
+    expansion_depth = Obs.Registry.histogram registry "engine.expansion_depth";
+    arc_columns = Obs.Registry.histogram registry "engine.arc_columns";
+    queue = Obs.Registry.gauge registry "engine.queue";
+    trace;
+    registry;
+  }
+
+type merge = {
+  release_latency_us : Obs.Metric.histogram;
+  merge_occupancy : Obs.Metric.histogram;
+  merge_trace : Obs.Trace.t option;
+}
+
+let merge_obs ?registry ?trace () =
+  let registry =
+    match registry with Some r -> r | None -> Obs.Registry.create ()
+  in
+  {
+    release_latency_us =
+      Obs.Registry.histogram registry "parallel.release_latency_us";
+    merge_occupancy = Obs.Registry.histogram registry "parallel.merge_occupancy";
+    merge_trace = trace;
+  }
+
+let emit_counters sink ?(sharded = false) (c : Counters.t) =
+  Obs.Trace.instant sink "counters"
+    ~args:
+      [
+        ("sharded", Obs.Trace.Bool sharded);
+        ("columns", Obs.Trace.Int c.columns);
+        ("nodes_expanded", Obs.Trace.Int c.nodes_expanded);
+        ("nodes_enqueued", Obs.Trace.Int c.nodes_enqueued);
+        ("nodes_pruned", Obs.Trace.Int c.nodes_pruned);
+        ("max_queue", Obs.Trace.Int c.max_queue);
+        ("pool_peak_bytes", Obs.Trace.Int c.pool_peak_bytes);
+        ("io_hits", Obs.Trace.Int c.io_hits);
+        ("io_misses", Obs.Trace.Int c.io_misses);
+      ]

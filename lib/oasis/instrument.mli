@@ -1,0 +1,78 @@
+(** Observability hooks for the search layers.
+
+    An {!t} bundles the metrics one engine updates while searching: a
+    phase timer, the expansion-depth and arc-column-length histograms,
+    the queue-length gauge, and an optional {!Obs.Trace.t} event sink.
+    Engines hold [Instrument.t option] and every hook site is guarded
+    by a single [match] on it, so a [None] engine pays one pointer
+    compare per hook — the kernel benchmark gates that this stays
+    within the shared bench tolerance.
+
+    All metric cells are registered in an {!Obs.Registry.t} under
+    stable dotted names ([engine.*], [parallel.*]; the buffer pool
+    registers [pool.*] through {!Storage.Buffer_pool.set_obs}), so the
+    CLI and the bench harness can print every layer uniformly. *)
+
+(** {1 Engine phases} *)
+
+val phase_queue : int
+(** Priority-queue pops and pushes, pending-hit bookkeeping. *)
+
+val phase_expand : int
+(** Child-arc setup: slot acquire, column blit, enqueue/recycle. *)
+
+val phase_dp : int
+(** The fused DP-column + admissible-bound kernel (the bound is
+    computed inside the DP loop, so a separate bound phase would
+    always read zero; see DESIGN.md §2f). *)
+
+val phase_bound : int
+(** Budget checks and frontier-bound bookkeeping between pops. *)
+
+val phase_emit : int
+(** Hit emission: position collection, sorting, dedup. *)
+
+val phase_names : string array
+
+(** {1 Engine instrumentation} *)
+
+type t = {
+  timer : Obs.Timer.t;
+  expansion_depth : Obs.Metric.histogram;
+      (** depth (in symbols) of each node popped for expansion *)
+  arc_columns : Obs.Metric.histogram;
+      (** DP columns computed per child arc (0 = pruned before the
+          first column or terminator-first arc) *)
+  queue : Obs.Metric.gauge;  (** priority-queue length at each high-water *)
+  trace : Obs.Trace.t option;
+  registry : Obs.Registry.t;
+}
+
+val create : ?registry:Obs.Registry.t -> ?trace:Obs.Trace.t -> unit -> t
+(** Metrics register in [registry] (fresh one if omitted); reusing one
+    instrument across engines accumulates. *)
+
+(** {1 Merge (sharded search) instrumentation} *)
+
+type merge = {
+  release_latency_us : Obs.Metric.histogram;
+      (** microseconds between a shard publishing a hit and the
+          order-preserving merge releasing it *)
+  merge_occupancy : Obs.Metric.histogram;
+      (** hits buffered across all shards at each release *)
+  merge_trace : Obs.Trace.t option;
+      (** frontier-bound updates and releases; written only under the
+          coordinator lock *)
+}
+
+val merge_obs :
+  ?registry:Obs.Registry.t -> ?trace:Obs.Trace.t -> unit -> merge
+
+(** {1 Trace helpers} *)
+
+val emit_counters : Obs.Trace.t -> ?sharded:bool -> Counters.t -> unit
+(** Write the end-of-search ["counters"] summary event carrying the
+    final {!Counters.t}. [scripts/trace_check.py] cross-checks its
+    [nodes_expanded] against the number of ["expand"] events unless
+    [sharded] is set (sharded traces carry merge events, not per-node
+    engine events). *)

@@ -30,8 +30,13 @@ module Make (S : Source.S) = struct
   type shard_source = { source : S.t; piece : Shard.piece }
 
   type shard = {
+    index : int;
     piece : Shard.piece;
     hits : Hit.t Queue.t;  (* globalized, pushed in non-increasing order *)
+    push_times : float Queue.t;
+        (* parallel to [hits], filled only when instrumented: wall
+           clock at push, consumed at release for the latency
+           histogram *)
     mutable bound : int;  (* admissible bound on hits not yet pushed *)
     mutable done_ : bool;
     mutable outcome : Engine.outcome;  (* meaningful once done_ *)
@@ -42,6 +47,9 @@ module Make (S : Source.S) = struct
     mu : Mutex.t;
     progress : Condition.t;  (* a shard pushed, finished, or failed *)
     shards : shard array;
+    obs : Instrument.merge option;
+        (* all obs updates and trace writes happen under [mu], so one
+           sink is safe to share across worker domains *)
     mutable failed : exn option;
     mutable owned_pool : Domain_pool.t option;  (* shut down on drain *)
   }
@@ -49,6 +57,19 @@ module Make (S : Source.S) = struct
   let locked t f =
     Mutex.lock t.mu;
     Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+  (* Trace one shard's frontier-bound update. Called under [t.mu]. *)
+  let obs_bound t shard =
+    match t.obs with
+    | Some { Instrument.merge_trace = Some sink; _ } ->
+      Obs.Trace.instant sink ~tid:(shard.index + 2) "frontier"
+        ~args:
+          [
+            ("shard", Obs.Trace.Int shard.index);
+            ("bound", Obs.Trace.Int shard.bound);
+            ("done", Obs.Trace.Bool shard.done_);
+          ]
+    | _ -> ()
 
   (* Runs on a pool worker. The engine lives entirely in this domain,
      so its per-domain [minor_words] counter stays meaningful. *)
@@ -58,6 +79,7 @@ module Make (S : Source.S) = struct
       locked t (fun () ->
           shard.bound <- E.frontier_bound e;
           shard.counters <- E.counters e;
+          obs_bound t shard;
           Condition.broadcast t.progress);
       let rec loop () =
         match E.next e with
@@ -68,8 +90,11 @@ module Make (S : Source.S) = struct
           let b = min (E.frontier_bound e) h.Hit.score in
           locked t (fun () ->
               Queue.add g shard.hits;
+              if t.obs <> None then
+                Queue.add (Unix.gettimeofday ()) shard.push_times;
               shard.bound <- b;
               shard.counters <- E.counters e;
+              obs_bound t shard;
               Condition.broadcast t.progress);
           loop ()
         | None ->
@@ -78,6 +103,7 @@ module Make (S : Source.S) = struct
               shard.outcome <- E.outcome e;
               shard.counters <- E.counters e;
               shard.done_ <- true;
+              obs_bound t shard;
               Condition.broadcast t.progress)
       in
       loop ()
@@ -90,7 +116,7 @@ module Make (S : Source.S) = struct
           shard.done_ <- true;
           Condition.broadcast t.progress)
 
-  let create ?pool ~shards ~query (config : Engine.config) =
+  let create ?pool ?obs ~shards ~query (config : Engine.config) =
     let n = Array.length shards in
     if n = 0 then invalid_arg "Parallel.create: no shards";
     let weights =
@@ -112,17 +138,20 @@ module Make (S : Source.S) = struct
         mu = Mutex.create ();
         progress = Condition.create ();
         shards =
-          Array.map
-            (fun (s : shard_source) ->
+          Array.mapi
+            (fun index (s : shard_source) ->
               {
+                index;
                 piece = s.piece;
                 hits = Queue.create ();
+                push_times = Queue.create ();
                 bound = max_int;
                 done_ = false;
                 outcome = Engine.Searching;
                 counters = Counters.zero;
               })
             shards;
+        obs;
         failed = None;
         owned_pool = None;
       }
@@ -199,6 +228,31 @@ module Make (S : Source.S) = struct
       t.owned_pool <- None;
       Domain_pool.shutdown p
 
+  (* Record one release through the merge. Called under [t.mu], after
+     the pop. *)
+  let obs_release t o i (h : Hit.t) =
+    let sh = t.shards.(i) in
+    (match Queue.take_opt sh.push_times with
+    | Some pushed ->
+      let us = int_of_float ((Unix.gettimeofday () -. pushed) *. 1e6) in
+      Obs.Metric.observe o.Instrument.release_latency_us (max 0 us)
+    | None -> ());
+    let occ =
+      Array.fold_left (fun acc s -> acc + Queue.length s.hits) 0 t.shards
+    in
+    Obs.Metric.observe o.Instrument.merge_occupancy occ;
+    match o.Instrument.merge_trace with
+    | None -> ()
+    | Some sink ->
+      Obs.Trace.instant sink "release"
+        ~args:
+          [
+            ("shard", Obs.Trace.Int i);
+            ("seq", Obs.Trace.Int h.Hit.seq_index);
+            ("score", Obs.Trace.Int h.Hit.score);
+            ("buffered", Obs.Trace.Int occ);
+          ]
+
   let next t =
     let result =
       locked t (fun () ->
@@ -207,7 +261,12 @@ module Make (S : Source.S) = struct
             | Some exn -> Error exn
             | None -> (
               match pick t with
-              | Some (i, true) -> Ok (Some (Queue.pop t.shards.(i).hits))
+              | Some (i, true) ->
+                let h = Queue.pop t.shards.(i).hits in
+                (match t.obs with
+                | None -> ()
+                | Some o -> obs_release t o i h);
+                Ok (Some h)
               | Some (_, false) ->
                 Condition.wait t.progress t.mu;
                 loop ()
@@ -289,13 +348,13 @@ end
 module Mem = struct
   include Make (Source.Mem)
 
-  let create_sharded ?pool ~shards ~db ~query config =
+  let create_sharded ?pool ?obs ~shards ~db ~query config =
     let pieces = Shard.plan ~shards db in
     let trees = Shard.build_trees ?pool pieces in
     let sources =
       Array.map2 (fun source piece -> { source; piece }) trees pieces
     in
-    create ?pool ~shards:sources ~query config
+    create ?pool ?obs ~shards:sources ~query config
 end
 
 module Disk = Make (Source.Disk)

@@ -64,6 +64,7 @@ module Make (S : Source.S) : sig
 
   val create :
     ?pool:Domain_pool.t ->
+    ?obs:Instrument.merge ->
     shards:shard_source array ->
     query:Bioseq.Sequence.t ->
     Engine.config ->
@@ -75,7 +76,14 @@ module Make (S : Source.S) : sig
       fewer workers than shards the search still completes (later
       shards queue), but nothing can be emitted until every shard has
       started and published its first bound. Raises [Invalid_argument]
-      on an empty shard array. *)
+      on an empty shard array.
+
+      With [obs], the merge records per-shard release latency (push to
+      order-preserving release) and merge-buffer occupancy histograms,
+      and — when the instrument carries a trace sink — streams
+      ["frontier"] (per-shard bound updates, one trace [tid] per
+      shard) and ["release"] events. All updates happen under the
+      coordinator lock, so a single sink is safe across domains. *)
 
   val next : t -> Hit.t option
   (** Blocking pull of the next merged hit; [None] once every shard
@@ -111,6 +119,7 @@ module Mem : sig
 
   val create_sharded :
     ?pool:Domain_pool.t ->
+    ?obs:Instrument.merge ->
     shards:int ->
     db:Bioseq.Database.t ->
     query:Bioseq.Sequence.t ->

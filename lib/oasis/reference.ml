@@ -429,7 +429,10 @@ module Make (S : Source.S) = struct
     else expand_linear t parent child
 
   let emit t node =
-    let positions = S.subtree_positions t.source node.tree_node in
+    let positions = ref [] in
+    S.iter_positions t.source node.tree_node (fun p ->
+        positions := p :: !positions);
+    let positions = !positions in
     let hits =
       List.filter_map
         (fun p ->

@@ -11,7 +11,6 @@ module type S = sig
   val label_end : t -> node -> int
   val symbol : t -> int -> int
   val terminator : t -> int
-  val subtree_positions : t -> node -> int list
   val iter_positions : t -> node -> (int -> unit) -> unit
   val io_stats : t -> int * int
 end
@@ -50,8 +49,6 @@ module Mem = struct
     Bioseq.Alphabet.terminator
       (Bioseq.Database.alphabet (Suffix_tree.Tree.database t))
 
-  let subtree_positions _ node = Suffix_tree.Tree.subtree_positions node
-
   let iter_positions _ node f =
     let rec walk n =
       if Suffix_tree.Tree.is_leaf n then
@@ -77,11 +74,5 @@ module Disk = struct
   let symbol = Storage.Disk_tree.symbol
   let terminator = Storage.Disk_tree.terminator
   let iter_positions = Storage.Disk_tree.iter_positions
-
-  let subtree_positions t node =
-    let acc = ref [] in
-    iter_positions t node (fun p -> acc := p :: !acc);
-    !acc
-
   let io_stats = Storage.Disk_tree.io_stats
 end

@@ -49,13 +49,11 @@ module type S = sig
 
   val terminator : t -> int
 
-  val subtree_positions : t -> node -> int list
-  (** Suffix start positions of all leaf occurrences below the node. *)
-
   val iter_positions : t -> node -> (int -> unit) -> unit
-  (** Same positions as {!subtree_positions} without materializing a
-      list — the engine's hit-emission path uses this with a reusable
-      scratch buffer. Order is unspecified; not reentrant. *)
+  (** Suffix start positions of all leaf occurrences below the node,
+      without materializing a list — the engine's hit-emission path
+      uses this with a reusable scratch buffer. Order is unspecified;
+      not reentrant. *)
 
   val io_stats : t -> int * int
   (** Cumulative I/O [(hits, misses)] behind this source — buffer-pool

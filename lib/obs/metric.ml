@@ -1,0 +1,123 @@
+type counter = { mutable count : int }
+
+let counter () = { count = 0 }
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let count c = c.count
+
+type gauge = { mutable value : int; mutable peak : int }
+
+let gauge () = { value = 0; peak = 0 }
+
+let set g v =
+  g.value <- v;
+  if v > g.peak then g.peak <- v
+
+let value g = g.value
+let peak g = g.peak
+
+(* Bucket 0: v <= 0. Bucket k >= 1: 2^(k-1) <= v < 2^k. With 63
+   buckets the top bucket absorbs everything >= 2^61, so indexing
+   needs no clamp beyond the loop below. *)
+let buckets = 63
+
+type histogram = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let histogram () =
+  { counts = Array.make buckets 0; n = 0; sum = 0; min_v = 0; max_v = 0 }
+
+(* floor(log2 v) + 1 for v >= 1, computed by binary-stepped shifts:
+   branchy but allocation-free and fast for the small values the
+   search produces (depths, probe lengths, column counts). *)
+let[@inline] bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let v = ref v and b = ref 0 in
+    if !v >= 1 lsl 32 then begin
+      v := !v lsr 32;
+      b := !b + 32
+    end;
+    if !v >= 1 lsl 16 then begin
+      v := !v lsr 16;
+      b := !b + 16
+    end;
+    if !v >= 1 lsl 8 then begin
+      v := !v lsr 8;
+      b := !b + 8
+    end;
+    if !v >= 1 lsl 4 then begin
+      v := !v lsr 4;
+      b := !b + 4
+    end;
+    if !v >= 1 lsl 2 then begin
+      v := !v lsr 2;
+      b := !b + 2
+    end;
+    if !v >= 1 lsl 1 then b := !b + 1;
+    !b + 1
+  end
+
+let observe h v =
+  let b = bucket_of v in
+  h.counts.(b) <- h.counts.(b) + 1;
+  if h.n = 0 then begin
+    h.min_v <- v;
+    h.max_v <- v
+  end
+  else begin
+    if v < h.min_v then h.min_v <- v;
+    if v > h.max_v then h.max_v <- v
+  end;
+  h.n <- h.n + 1;
+  if v > 0 then h.sum <- h.sum + v
+
+let hist_count h = h.n
+let hist_sum h = h.sum
+let hist_min h = h.min_v
+let hist_max h = h.max_v
+let mean h = if h.n = 0 then 0. else float_of_int h.sum /. float_of_int h.n
+
+let bucket_hi b = if b = 0 then 0 else 1 lsl b
+let bucket_lo b = if b <= 1 then 0 else 1 lsl (b - 1)
+
+let quantile h q =
+  if h.n = 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int h.n)) in
+      if r < 1 then 1 else if r > h.n then h.n else r
+    in
+    let b = ref 0 and seen = ref 0 in
+    (try
+       for i = 0 to buckets - 1 do
+         seen := !seen + h.counts.(i);
+         if !seen >= rank then begin
+           b := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let hi = bucket_hi !b in
+    if hi > h.max_v then h.max_v else hi
+  end
+
+let iter_buckets h f =
+  for b = 0 to buckets - 1 do
+    if h.counts.(b) > 0 then
+      f ~lo:(bucket_lo b) ~hi:(bucket_hi b) ~count:h.counts.(b)
+  done
+
+let pp_counter ppf c = Format.fprintf ppf "%d" c.count
+let pp_gauge ppf g = Format.fprintf ppf "%d (peak %d)" g.value g.peak
+
+let pp_histogram ppf h =
+  if h.n = 0 then Format.fprintf ppf "empty"
+  else
+    Format.fprintf ppf "n=%d mean=%.1f p50<=%d p99<=%d max=%d" h.n (mean h)
+      (quantile h 0.5) (quantile h 0.99) h.max_v

@@ -1,0 +1,76 @@
+(** Allocation-conscious metric primitives.
+
+    Every metric is a handful of mutable scalars (plus one fixed [int
+    array] for histograms) allocated once at registration time.
+    Recording an observation never allocates, so these are safe to poke
+    from the search hot path when instrumentation is enabled. *)
+
+(** {1 Counters}
+
+    Monotonic event counts. *)
+
+type counter
+
+val counter : unit -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+
+(** {1 Gauges}
+
+    A point-in-time level plus its high-water mark. *)
+
+type gauge
+
+val gauge : unit -> gauge
+
+val set : gauge -> int -> unit
+(** [set g v] records the current level and updates the peak. *)
+
+val value : gauge -> int
+val peak : gauge -> int
+
+(** {1 Histograms}
+
+    Fixed-bucket log2 histograms over non-negative ints. Bucket 0
+    holds values [<= 0]; bucket [k >= 1] holds values [v] with
+    [2^(k-1) <= v < 2^k]. 63 buckets cover the whole int range, so
+    [observe] never branches on overflow. *)
+
+type histogram
+
+val histogram : unit -> histogram
+
+val observe : histogram -> int -> unit
+(** Record one value. Never allocates. *)
+
+val hist_count : histogram -> int
+(** Number of observations. *)
+
+val hist_sum : histogram -> int
+(** Sum of observed values (values [< 0] contribute 0). *)
+
+val hist_min : histogram -> int
+(** Smallest observed value; [0] when empty. *)
+
+val hist_max : histogram -> int
+(** Largest observed value; [0] when empty. *)
+
+val mean : histogram -> float
+(** Arithmetic mean of observations; [0.] when empty. *)
+
+val quantile : histogram -> float -> int
+(** [quantile h q] (with [0 <= q <= 1]) returns an upper bound for the
+    [q]-quantile: the exclusive upper edge of the bucket holding the
+    [q * count]-th observation (clamped to [hist_max h]). Accurate to
+    bucket resolution, i.e. within 2x. *)
+
+val iter_buckets : histogram -> (lo:int -> hi:int -> count:int -> unit) -> unit
+(** Iterate non-empty buckets in increasing order. [lo] is inclusive,
+    [hi] exclusive ([lo = hi = 0] for the zero bucket). *)
+
+val pp_counter : Format.formatter -> counter -> unit
+val pp_gauge : Format.formatter -> gauge -> unit
+
+val pp_histogram : Format.formatter -> histogram -> unit
+(** One-line summary: count, mean, p50, p99, max. *)

@@ -1,0 +1,55 @@
+type metric =
+  | Counter of Metric.counter
+  | Gauge of Metric.gauge
+  | Histogram of Metric.histogram
+
+(* Reversed registration order; [items] re-reverses. Registries hold a
+   handful of entries, so association-list lookup is fine. *)
+type t = { mutable rev_items : (string * metric) list }
+
+let create () = { rev_items = [] }
+let find t name = List.assoc_opt name t.rev_items
+
+let register t name make wrap unwrap kind =
+  match find t name with
+  | None ->
+      let m = make () in
+      t.rev_items <- (name, wrap m) :: t.rev_items;
+      m
+  | Some existing -> (
+      match unwrap existing with
+      | Some m -> m
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Obs.Registry: %S already registered, not a %s" name
+               kind))
+
+let counter t name =
+  register t name Metric.counter
+    (fun c -> Counter c)
+    (function Counter c -> Some c | _ -> None)
+    "counter"
+
+let gauge t name =
+  register t name Metric.gauge
+    (fun g -> Gauge g)
+    (function Gauge g -> Some g | _ -> None)
+    "gauge"
+
+let histogram t name =
+  register t name Metric.histogram
+    (fun h -> Histogram h)
+    (function Histogram h -> Some h | _ -> None)
+    "histogram"
+
+let items t = List.rev t.rev_items
+
+let pp ppf t =
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter c -> Format.fprintf ppf "%-32s %a@," name Metric.pp_counter c
+      | Gauge g -> Format.fprintf ppf "%-32s %a@," name Metric.pp_gauge g
+      | Histogram h ->
+          Format.fprintf ppf "%-32s %a@," name Metric.pp_histogram h)
+    (items t)

@@ -1,0 +1,33 @@
+(** Named metric registry.
+
+    A registry owns a flat, registration-ordered list of named metrics
+    so front ends (CLI [--stats], the bench harness) can print every
+    instrumented layer uniformly without knowing which subsystem
+    registered what. Registration happens once at instrumentation
+    setup; the returned cells are then updated directly, so the
+    registry itself never sits on a hot path. *)
+
+type t
+
+type metric =
+  | Counter of Metric.counter
+  | Gauge of Metric.gauge
+  | Histogram of Metric.histogram
+
+val create : unit -> t
+
+val counter : t -> string -> Metric.counter
+(** [counter t name] returns the counter registered under [name],
+    creating it on first use. Raises [Invalid_argument] if [name] is
+    already registered as a different metric kind. *)
+
+val gauge : t -> string -> Metric.gauge
+val histogram : t -> string -> Metric.histogram
+
+val items : t -> (string * metric) list
+(** All metrics in registration order. *)
+
+val find : t -> string -> metric option
+
+val pp : Format.formatter -> t -> unit
+(** One line per metric, registration order. *)

@@ -1,0 +1,54 @@
+type t = {
+  names : string array;
+  acc : float array;
+  mutable current : int; (* -1 = stopped *)
+  mutable since : float; (* clock at last switch, valid when running *)
+}
+
+let create ~phases =
+  if Array.length phases = 0 then invalid_arg "Obs.Timer.create: no phases";
+  {
+    names = Array.copy phases;
+    acc = Array.make (Array.length phases) 0.;
+    current = -1;
+    since = 0.;
+  }
+
+let now () = Unix.gettimeofday ()
+
+let switch t p =
+  let clock = now () in
+  if t.current >= 0 then t.acc.(t.current) <- t.acc.(t.current) +. clock -. t.since;
+  t.current <- p;
+  t.since <- clock
+
+let pause t =
+  if t.current >= 0 then begin
+    let clock = now () in
+    t.acc.(t.current) <- t.acc.(t.current) +. clock -. t.since;
+    t.current <- -1
+  end
+
+let elapsed t p = t.acc.(p)
+let total t = Array.fold_left ( +. ) 0. t.acc
+let phase_count t = Array.length t.names
+let phase_name t p = t.names.(p)
+
+let phases t =
+  Array.to_list (Array.mapi (fun i name -> (name, t.acc.(i))) t.names)
+
+let reset t =
+  Array.fill t.acc 0 (Array.length t.acc) 0.;
+  t.current <- -1
+
+let pp ppf t =
+  let tot = total t in
+  let rows =
+    List.sort (fun (_, a) (_, b) -> compare (b : float) a) (phases t)
+  in
+  List.iter
+    (fun (name, s) ->
+      let pct = if tot > 0. then 100. *. s /. tot else 0. in
+      Format.fprintf ppf "%-12s %8.2f ms  %5.1f%%@," name (s *. 1e3) pct)
+    rows;
+  Format.fprintf ppf "%-12s %8.2f ms@," "total" (tot *. 1e3)

@@ -1,0 +1,43 @@
+(** Named-scope phase timer.
+
+    A timer carries a fixed set of phases (named at creation) and at
+    any moment is either stopped or attributing wall time to exactly
+    one phase. [switch] moves attribution between phases and [pause]
+    stops it; both read the clock once, so the per-phase times
+    telescope: the sum over phases equals the total wall time spent
+    between the first [switch] and the matching [pause], with no gaps
+    and no double counting. That identity is what lets [search
+    --stats] promise that phase times sum to the instrumented wall
+    time. [switch] and [pause] never allocate. *)
+
+type t
+
+val create : phases:string array -> t
+(** Phase ids are indices into [phases]. *)
+
+val switch : t -> int -> unit
+(** [switch t p] accrues elapsed time to the currently running phase
+    (if any) and starts attributing to phase [p]. Starting the timer
+    when stopped is just [switch]. *)
+
+val pause : t -> unit
+(** Accrue to the running phase and stop. No-op when stopped. *)
+
+val elapsed : t -> int -> float
+(** Accrued seconds for one phase (excludes any currently running
+    span). *)
+
+val total : t -> float
+(** Sum of all phase times. *)
+
+val phase_count : t -> int
+val phase_name : t -> int -> string
+
+val phases : t -> (string * float) list
+(** [(name, seconds)] in phase-id order. *)
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Phase table sorted by descending time with percentages of
+    [total]. *)

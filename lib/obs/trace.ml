@@ -1,0 +1,125 @@
+type format = Jsonl | Chrome
+
+type arg =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+
+type t = {
+  oc : out_channel;
+  format : format;
+  t0 : float;
+  mutable last_us : int;
+  mutable events : int;
+  mutable closed : bool;
+  buf : Buffer.t;
+}
+
+let format_of_path path =
+  let lower = String.lowercase_ascii path in
+  if
+    Filename.check_suffix lower ".json" || Filename.check_suffix lower ".trace"
+  then Chrome
+  else Jsonl
+
+let create ?(format = Jsonl) oc =
+  let t =
+    {
+      oc;
+      format;
+      t0 = Unix.gettimeofday ();
+      last_us = 0;
+      events = 0;
+      closed = false;
+      buf = Buffer.create 256;
+    }
+  in
+  (match format with Chrome -> output_string oc "[\n" | Jsonl -> ());
+  t
+
+let now_us t =
+  let us = int_of_float ((Unix.gettimeofday () -. t.t0) *. 1e6) in
+  let us = if us < t.last_us then t.last_us else us in
+  t.last_us <- us;
+  us
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_arg buf = function
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (Printf.sprintf "%.6g" f)
+  | String s -> add_json_string buf s
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+
+let emit t ~ph ~tid ~ts ?dur ?args name =
+  if t.closed then invalid_arg "Obs.Trace: sink is closed";
+  let buf = t.buf in
+  Buffer.clear buf;
+  Buffer.add_string buf "{\"name\":";
+  add_json_string buf name;
+  Buffer.add_string buf (Printf.sprintf ",\"ph\":\"%c\"" ph);
+  Buffer.add_string buf (Printf.sprintf ",\"ts\":%d" ts);
+  (match dur with
+  | Some d -> Buffer.add_string buf (Printf.sprintf ",\"dur\":%d" d)
+  | None -> ());
+  Buffer.add_string buf (Printf.sprintf ",\"pid\":1,\"tid\":%d" tid);
+  (match ph with
+  | 'i' -> Buffer.add_string buf ",\"s\":\"t\""
+  | _ -> ());
+  (match args with
+  | None | Some [] -> ()
+  | Some kvs ->
+      Buffer.add_string buf ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_json_string buf k;
+          Buffer.add_char buf ':';
+          add_arg buf v)
+        kvs;
+      Buffer.add_char buf '}');
+  Buffer.add_char buf '}';
+  (match t.format with
+  | Jsonl ->
+      Buffer.add_char buf '\n';
+      Buffer.output_buffer t.oc buf
+  | Chrome ->
+      if t.events > 0 then output_string t.oc ",\n";
+      Buffer.output_buffer t.oc buf);
+  t.events <- t.events + 1
+
+let instant t ?(tid = 1) ?args name =
+  emit t ~ph:'i' ~tid ~ts:(now_us t) ?args name
+
+let counter t ?(tid = 1) name args =
+  emit t ~ph:'C' ~tid ~ts:(now_us t) ~args name
+
+let complete t ?(tid = 1) ?args ~start_us ~dur_us name =
+  let start_us = if start_us < 0 then 0 else start_us in
+  let dur_us = if dur_us < 0 then 0 else dur_us in
+  if start_us + dur_us > t.last_us then t.last_us <- start_us + dur_us;
+  emit t ~ph:'X' ~tid ~ts:start_us ~dur:dur_us ?args name
+
+let events t = t.events
+
+let close t =
+  if not t.closed then begin
+    (match t.format with Chrome -> output_string t.oc "\n]\n" | Jsonl -> ());
+    flush t.oc;
+    t.closed <- true
+  end

@@ -1,0 +1,63 @@
+(** Structured trace sink.
+
+    Streams timestamped search events to a channel in one of two
+    formats:
+
+    - [Jsonl]: one JSON object per line — easy to grep and to consume
+      from scripts ([scripts/trace_check.py]).
+    - [Chrome]: a JSON array of Chrome [trace_event] objects, loadable
+      directly in [chrome://tracing] or {{:https://ui.perfetto.dev}
+      Perfetto}.
+
+    Both formats share the same per-event schema (a superset of the
+    trace_event fields): [name], [ph] (event kind), [ts] (microseconds
+    since the sink was created), [pid], [tid], and an optional [args]
+    object. Timestamps are clamped to be non-decreasing in emission
+    order, so a trace replays cleanly even if the wall clock steps.
+
+    Writing an event allocates (it formats JSON), so sinks are meant
+    for [--trace] runs, not for always-on production counters — that
+    is what {!Metric} is for. Sinks are not thread-safe; callers that
+    trace from multiple domains must serialize (the sharded search
+    emits only under its coordinator lock). *)
+
+type t
+
+type format = Jsonl | Chrome
+
+val format_of_path : string -> format
+(** [Chrome] for [.json] / [.trace] paths, [Jsonl] otherwise. *)
+
+type arg =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+
+val create : ?format:format -> out_channel -> t
+(** Default format is [Jsonl]. The caller keeps ownership of the
+    channel but must call {!close} before closing it (Chrome traces
+    need the closing bracket). *)
+
+val instant : t -> ?tid:int -> ?args:(string * arg) list -> string -> unit
+(** Point event ([ph = "i"]). *)
+
+val counter : t -> ?tid:int -> string -> (string * arg) list -> unit
+(** Counter sample ([ph = "C"]); Chrome renders these as stacked
+    charts. *)
+
+val complete : t -> ?tid:int -> ?args:(string * arg) list ->
+  start_us:int -> dur_us:int -> string -> unit
+(** Complete span ([ph = "X"]) with explicit start and duration, used
+    to lay phase summaries on the timeline. *)
+
+val now_us : t -> int
+(** Microseconds since the sink was created (clamped monotonic, same
+    clock as event timestamps). *)
+
+val events : t -> int
+(** Events written so far. *)
+
+val close : t -> unit
+(** Terminate the stream (writes the closing bracket for [Chrome])
+    and flush. Does not close the underlying channel. Idempotent. *)

@@ -30,6 +30,19 @@ type handle = {
   mutable memo_frame : int;
 }
 
+(* Observability hooks (Obs metrics + optional trace sink). [None] —
+   the default — costs one pointer compare on the lookup path. The
+   storage layer cannot see [Oasis.Instrument] (it sits below it), so
+   the pool carries its own bundle; the CLI registers it in the same
+   registry as the engine's metrics. *)
+type obs = {
+  probe_length : Obs.Metric.histogram;
+      (* frame-table probe steps per (non-memo) lookup *)
+  evictions : Obs.Metric.counter;
+  pin_events : Obs.Metric.counter;
+  trace : Obs.Trace.t option;
+}
+
 type t = {
   block_size : int;
   mutable retry : retry;
@@ -52,6 +65,7 @@ type t = {
      the per-handle memo short-circuited. *)
   mutable probes : int;
   mutable memo_hits : int;
+  mutable obs : obs option;
 }
 
 let create ~block_size ~capacity =
@@ -84,7 +98,21 @@ let create ~block_size ~capacity =
     next_id = 0;
     probes = 0;
     memo_hits = 0;
+    obs = None;
   }
+
+let obs ?registry ?trace () =
+  let registry =
+    match registry with Some r -> r | None -> Obs.Registry.create ()
+  in
+  {
+    probe_length = Obs.Registry.histogram registry "pool.probe_length";
+    evictions = Obs.Registry.counter registry "pool.evictions";
+    pin_events = Obs.Registry.counter registry "pool.pin_events";
+    trace;
+  }
+
+let set_obs t obs = t.obs <- obs
 
 let block_size t = t.block_size
 let capacity t = Array.length t.bufs
@@ -243,7 +271,15 @@ let load_frame t h block =
     m
   end
   else begin
-    let idx = tbl_find t key in
+    let idx =
+      match t.obs with
+      | None -> tbl_find t key
+      | Some o ->
+        let before = t.probes in
+        let idx = tbl_find t key in
+        Obs.Metric.observe o.probe_length (t.probes - before);
+        idx
+    in
     if idx >= 0 then begin
       h.hits <- h.hits + 1;
       t.referenced.(idx) <- true;
@@ -253,8 +289,28 @@ let load_frame t h block =
     end
     else begin
       h.misses <- h.misses + 1;
+      (match t.obs with
+      | Some { trace = Some sink; _ } ->
+        Obs.Trace.instant sink "pool_miss"
+          ~args:
+            [
+              ("handle", Obs.Trace.String h.name);
+              ("block", Obs.Trace.Int block);
+            ]
+      | _ -> ());
       let idx = victim t in
-      if t.keys.(idx) <> no_key then tbl_remove t t.keys.(idx);
+      if t.keys.(idx) <> no_key then begin
+        (match t.obs with
+        | None -> ()
+        | Some o -> (
+          Obs.Metric.incr o.evictions;
+          match o.trace with
+          | Some sink ->
+            Obs.Trace.instant sink "evict"
+              ~args:[ ("frame", Obs.Trace.Int idx) ]
+          | None -> ()));
+        tbl_remove t t.keys.(idx)
+      end;
       (* Detach the frame before the read so a failing device cannot
          leave a frame that claims an owner the table no longer maps. *)
       t.keys.(idx) <- no_key;
@@ -278,6 +334,15 @@ let page = load
 let pin t h ~block =
   let idx = load_frame t h block in
   t.pins.(idx) <- t.pins.(idx) + 1;
+  (match t.obs with
+  | None -> ()
+  | Some o -> (
+    Obs.Metric.incr o.pin_events;
+    match o.trace with
+    | Some sink ->
+      Obs.Trace.instant sink "pin"
+        ~args:[ ("frame", Obs.Trace.Int idx); ("block", Obs.Trace.Int block) ]
+    | None -> ()));
   idx
 
 let unpin t idx =

@@ -114,6 +114,29 @@ val reset_stats : t -> unit
 (** Zero all per-file counters and the pool-level probe/memo counters
     (resident blocks stay cached). *)
 
+(** {1 Observability}
+
+    Richer, optional instrumentation on top of the always-on counters
+    above: a per-lookup probe-length histogram, eviction and pin
+    counters, and — when a trace sink is attached — ["pool_miss"],
+    ["evict"] and ["pin"] events. Hooks cost one pointer compare per
+    lookup when unset. *)
+
+type obs = {
+  probe_length : Obs.Metric.histogram;
+      (** frame-table probe steps per lookup (memo hits bypass the
+          table and are not observed) *)
+  evictions : Obs.Metric.counter;  (** frames whose owner was replaced *)
+  pin_events : Obs.Metric.counter;  (** {!pin} calls *)
+  trace : Obs.Trace.t option;
+}
+
+val obs : ?registry:Obs.Registry.t -> ?trace:Obs.Trace.t -> unit -> obs
+(** Metric cells register in [registry] (fresh one if omitted) under
+    [pool.probe_length] / [pool.evictions] / [pool.pin_events]. *)
+
+val set_obs : t -> obs option -> unit
+
 val drop_all : t -> unit
 (** Evict every block and zero counters — a cold start. Raises
     [Invalid_argument] while any frame is pinned. *)

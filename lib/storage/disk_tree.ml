@@ -736,11 +736,6 @@ let iter_positions t node f =
         walk_run entry
     done
 
-let subtree_positions t node =
-  let acc = ref [] in
-  iter_positions t node (fun p -> acc := p :: !acc);
-  !acc
-
 (* Pool traffic across the reader's three components, for engine-level
    I/O accounting (hits, misses). *)
 let io_stats t =

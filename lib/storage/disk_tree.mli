@@ -156,10 +156,6 @@ val iter_positions : t -> node -> (int -> unit) -> unit
     unspecified (sort if you need it); not reentrant. Descends through
     the pool, counting I/O like any other access. *)
 
-val subtree_positions : t -> node -> int list
-  [@@deprecated "use iter_positions: it avoids building a list per emit"]
-(** All leaf occurrence positions under a node. *)
-
 val io_stats : t -> int * int
 (** Cumulative pool [(hits, misses)] summed over the reader's three
     components, for engine-level I/O accounting. *)

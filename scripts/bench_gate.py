@@ -113,6 +113,44 @@ def main() -> None:
                     f"{ratio:.2f}x (informational)"
                 )
 
+    # Observability: the hooks-off run IS the shipped hot path (every
+    # hook site is a single pointer compare on a None option), so it
+    # gates against the same kernel baseline at the same tolerance —
+    # this is the "disabled instrumentation is free" promise. The
+    # hooks-on overhead and phase split are informational: they depend
+    # on clock resolution and workload shape, not on correctness.
+    fresh_obs = fresh.get("obs")
+    if fresh_obs is not None:
+        base_cps = base_kernel["engine"]["columns_per_sec"]
+        off_cps = fresh_obs["hooks_off"]["columns_per_sec"]
+        floor = base_cps * (1.0 - tolerance)
+        verdict = "ok" if off_cps >= floor else "REGRESSION"
+        print(
+            f"bench gate: hooks-off columns/sec: fresh {off_cps:,.0f} vs "
+            f"baseline kernel {base_cps:,.0f} (floor {floor:,.0f} at "
+            f"{tolerance:.0%} tolerance) -> {verdict}"
+        )
+        if off_cps < floor:
+            fail(
+                f"disabled-instrumentation columns/sec regressed more than "
+                f"{tolerance:.0%} ({off_cps:,.0f} < {floor:,.0f})"
+            )
+        overhead = fresh_obs.get("overhead_pct")
+        if overhead is not None:
+            print(
+                f"bench gate: hooks-on instrumentation overhead: "
+                f"{overhead:.1f}% (informational)"
+            )
+        phases = fresh_obs.get("phases", {})
+        if phases:
+            split = ", ".join(
+                f"{name} {v['fraction']:.0%}"
+                for name, v in sorted(
+                    phases.items(), key=lambda kv: -kv[1]["fraction"]
+                )
+            )
+            print(f"bench gate: phase split: {split}")
+
     fresh_scaling = fresh.get("scaling")
     if fresh_scaling is not None:
         if fresh_scaling.get("hit_streams_match") is not True:

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Validator for `oasis search --trace` output.
+
+Accepts both trace formats the CLI writes (Chrome trace_event JSON
+array for .json/.trace paths, JSONL otherwise — the file content is
+sniffed, not the extension) and checks:
+
+  1. Schema completeness: every event carries name/ph/ts/pid/tid with
+     the right types, instant events carry the trace_event scope field,
+     and args (when present) is an object.
+  2. Monotonic timestamps: `ts` never decreases in emission order
+     across instant ("i") and counter ("C") events. Complete ("X")
+     spans are exempt — they are summary spans written at close time
+     with a start in the past.
+  3. Counter agreement: the closing "counters" event must be present,
+     and for single-engine traces (args.sharded == false) the number of
+     "expand" events must equal its nodes_expanded counter. Sharded
+     traces carry merge-level events (frontier/release), not per-node
+     engine events, so the cross-check is skipped.
+
+Exit status 0 on a valid trace, 1 otherwise.
+
+Usage: trace_check.py TRACE_FILE
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED = {"name": str, "ph": str, "ts": int, "pid": int, "tid": int}
+
+
+def fail(msg: str) -> None:
+    print(f"trace check: FAIL: {msg}")
+    sys.exit(1)
+
+
+def load_events(path: str):
+    with open(path) as f:
+        text = f.read()
+    stripped = text.lstrip()
+    if not stripped:
+        fail(f"{path} is empty")
+    if stripped.startswith("["):
+        try:
+            events = json.loads(text)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: not valid JSON ({e})")
+        if not isinstance(events, list):
+            fail(f"{path}: top-level JSON is not an array")
+        return events, "chrome"
+    events = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{lineno}: not valid JSON ({e})")
+    return events, "jsonl"
+
+
+def check_schema(i: int, ev) -> None:
+    if not isinstance(ev, dict):
+        fail(f"event {i}: not an object")
+    for key, ty in REQUIRED.items():
+        if key not in ev:
+            fail(f"event {i} ({ev.get('name', '?')}): missing field {key!r}")
+        if not isinstance(ev[key], ty):
+            fail(
+                f"event {i} ({ev.get('name', '?')}): field {key!r} is "
+                f"{type(ev[key]).__name__}, expected {ty.__name__}"
+            )
+    if ev["ts"] < 0:
+        fail(f"event {i} ({ev['name']}): negative timestamp")
+    if ev["ph"] == "i" and ev.get("s") not in ("t", "p", "g"):
+        fail(f"event {i} ({ev['name']}): instant event without scope field")
+    if ev["ph"] == "X" and not isinstance(ev.get("dur"), int):
+        fail(f"event {i} ({ev['name']}): complete event without integer dur")
+    if "args" in ev and not isinstance(ev["args"], dict):
+        fail(f"event {i} ({ev['name']}): args is not an object")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace")
+    args = parser.parse_args()
+
+    events, fmt = load_events(args.trace)
+    if not events:
+        fail(f"{args.trace}: no events")
+
+    last_ts = None
+    expand_count = 0
+    counters = None
+    names = {}
+    for i, ev in enumerate(events):
+        check_schema(i, ev)
+        names[ev["name"]] = names.get(ev["name"], 0) + 1
+        if ev["ph"] in ("i", "C"):
+            if last_ts is not None and ev["ts"] < last_ts:
+                fail(
+                    f"event {i} ({ev['name']}): timestamp {ev['ts']} < "
+                    f"previous {last_ts} (non-monotonic)"
+                )
+            last_ts = ev["ts"]
+        if ev["name"] == "expand":
+            expand_count += 1
+        if ev["name"] == "counters":
+            counters = ev.get("args", {})
+
+    if counters is None:
+        fail("no closing 'counters' summary event")
+    nodes_expanded = counters.get("nodes_expanded")
+    if not isinstance(nodes_expanded, int):
+        fail("'counters' event lacks an integer nodes_expanded")
+    if counters.get("sharded") is True:
+        print(
+            "trace check: sharded trace — skipping expand-vs-counter "
+            f"cross-check (merge events only; nodes_expanded={nodes_expanded})"
+        )
+    elif expand_count != nodes_expanded:
+        fail(
+            f"{expand_count} 'expand' events but nodes_expanded counter is "
+            f"{nodes_expanded}"
+        )
+
+    summary = ", ".join(f"{name}={count}" for name, count in sorted(names.items()))
+    print(
+        f"trace check: PASS ({fmt}, {len(events)} events, "
+        f"monotonic through ts={last_ts}: {summary})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,223 @@
+(* Committed adversarial corpus: every file under corpus/ is one
+   (scoring system, query, database) case chosen to stress an edge of
+   the search — terminator-adjacent repeats, degenerate trees, score
+   ties, empty streams, thresholds at the reachable boundary. For each
+   case the reference implementation, the in-memory engine and the disk
+   engine must produce bit-identical hit streams (same hits, same
+   stops, same order), and the K=2 sharded search the same
+   (seq_index, score) multiset in non-increasing score order,
+   reproducibly (the PR3 determinism contract). *)
+
+(* dune runtest runs from the test directory; dune exec from the root. *)
+let corpus_dir =
+  if Sys.file_exists "corpus" then "corpus" else "test/corpus"
+
+type case = {
+  file : string;
+  alphabet : Bioseq.Alphabet.t;
+  matrix : Scoring.Submat.t;
+  gap : Scoring.Gap.t;
+  min_score : int;
+  query : string;
+  seqs : string list;
+}
+
+let parse_case file =
+  let ic = open_in (Filename.concat corpus_dir file) in
+  let alphabet = ref None
+  and matrix = ref None
+  and gap = ref None
+  and min_score = ref None
+  and query = ref None
+  and seqs = ref [] in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          let line = String.trim (input_line ic) in
+          if line = "" || line.[0] = '#' then ()
+          else
+            match String.split_on_char ' ' line with
+            | [ "alphabet"; "dna" ] -> alphabet := Some Bioseq.Alphabet.dna
+            | [ "alphabet"; "protein" ] ->
+              alphabet := Some Bioseq.Alphabet.protein
+            | [ "matrix"; name ] -> (
+              match Scoring.Matrices.by_name name with
+              | Some m -> matrix := Some m
+              | None -> failwith (file ^ ": unknown matrix " ^ name))
+            | [ "gap"; "linear"; p ] ->
+              gap := Some (Scoring.Gap.linear (int_of_string p))
+            | [ "gap"; "affine"; o; e ] ->
+              gap :=
+                Some
+                  (Scoring.Gap.affine ~open_cost:(int_of_string o)
+                     ~extend_cost:(int_of_string e))
+            | [ "min_score"; s ] -> min_score := Some (int_of_string s)
+            | [ "query"; q ] -> query := Some q
+            | [ "seq"; s ] -> seqs := s :: !seqs
+            | _ -> failwith (file ^ ": unparseable line: " ^ line)
+        done
+      with End_of_file -> ());
+  let req what = function
+    | Some v -> v
+    | None -> failwith (file ^ ": missing " ^ what)
+  in
+  {
+    file;
+    alphabet = req "alphabet" !alphabet;
+    matrix = req "matrix" !matrix;
+    gap = req "gap" !gap;
+    min_score = req "min_score" !min_score;
+    query = req "query" !query;
+    seqs = List.rev !seqs;
+  }
+
+let cases =
+  lazy
+    (Sys.readdir corpus_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".txt")
+    |> List.sort compare |> List.map parse_case)
+
+let db_of_case c =
+  Bioseq.Database.make
+    (List.mapi
+       (fun i s ->
+         Bioseq.Sequence.make ~alphabet:c.alphabet
+           ~id:(Printf.sprintf "s%d" i) s)
+       c.seqs)
+
+let query_of_case c =
+  Bioseq.Sequence.make ~alphabet:c.alphabet ~id:"q" c.query
+
+let cfg_of_case c =
+  Oasis.Engine.config ~matrix:c.matrix ~gap:c.gap ~min_score:c.min_score ()
+
+let pool = lazy (Oasis.Domain_pool.create ~domains:2)
+
+let hit_testable =
+  Alcotest.testable Oasis.Hit.pp (fun (a : Oasis.Hit.t) b -> a = b)
+
+let seq_scores hits =
+  List.sort compare
+    (List.map (fun h -> (h.Oasis.Hit.seq_index, h.Oasis.Hit.score)) hits)
+
+let nonincreasing hits =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+      a.Oasis.Hit.score >= b.Oasis.Hit.score && go rest
+    | _ -> true
+  in
+  go hits
+
+let check_case c =
+  let db = db_of_case c in
+  let q = query_of_case c in
+  let cfg = cfg_of_case c in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let reference =
+    Oasis.Reference.Mem.run
+      (Oasis.Reference.Mem.create ~source:tree ~db ~query:q cfg)
+  in
+  let mem =
+    Oasis.Engine.Mem.run (Oasis.Engine.Mem.create ~source:tree ~db ~query:q cfg)
+  in
+  Alcotest.(check (list hit_testable))
+    (c.file ^ ": mem engine = reference, bit-identical")
+    reference mem;
+  List.iter
+    (fun layout ->
+      let dt, _pool =
+        Storage.Disk_tree.of_tree ~layout ~block_size:32 ~capacity:8 tree
+      in
+      let disk =
+        Oasis.Engine.Disk.run
+          (Oasis.Engine.Disk.create ~source:dt ~db ~query:q cfg)
+      in
+      Alcotest.(check (list hit_testable))
+        (c.file ^ ": disk engine = reference, bit-identical")
+        reference disk)
+    [ Storage.Disk_tree.Position_indexed; Storage.Disk_tree.Clustered ];
+  let sharded () =
+    Oasis.Parallel.Mem.run
+      (Oasis.Parallel.Mem.create_sharded ~pool:(Lazy.force pool) ~shards:2 ~db
+         ~query:q cfg)
+  in
+  let s1 = sharded () in
+  Alcotest.(check (list (pair int int)))
+    (c.file ^ ": sharded (seq, score) multiset = reference")
+    (seq_scores reference) (seq_scores s1);
+  Alcotest.(check bool)
+    (c.file ^ ": sharded stream non-increasing")
+    true (nonincreasing s1);
+  Alcotest.(check (list hit_testable))
+    (c.file ^ ": sharded stream reproducible")
+    s1 (sharded ())
+
+let test_corpus_covers_edges () =
+  (* The corpus must stay adversarial: keep at least one empty-stream
+     case, one tie pile-up, one query longer than every target, and
+     both alphabets, so a future pruning "optimization" cannot quietly
+     drop the cases that made these files worth committing. *)
+  let cases = Lazy.force cases in
+  Alcotest.(check bool) "at least 20 cases" true (List.length cases >= 20);
+  let some p = List.exists p cases in
+  Alcotest.(check bool) "an empty-hit case" true
+    (some (fun c ->
+         let db = db_of_case c in
+         let tree = Suffix_tree.Ukkonen.build db in
+         Oasis.Engine.Mem.run
+           (Oasis.Engine.Mem.create ~source:tree ~db ~query:(query_of_case c)
+              (cfg_of_case c))
+         = []));
+  Alcotest.(check bool) "a score-tie case (>= 4 equal scores)" true
+    (some (fun c ->
+         let db = db_of_case c in
+         let tree = Suffix_tree.Ukkonen.build db in
+         let hits =
+           Oasis.Engine.Mem.run
+             (Oasis.Engine.Mem.create ~source:tree ~db
+                ~query:(query_of_case c) (cfg_of_case c))
+         in
+         List.exists
+           (fun h ->
+             List.length
+               (List.filter
+                  (fun h' -> h'.Oasis.Hit.score = h.Oasis.Hit.score)
+                  hits)
+             >= 4)
+           hits));
+  Alcotest.(check bool) "a query longer than every target" true
+    (some (fun c ->
+         List.for_all (fun s -> String.length s < String.length c.query) c.seqs));
+  Alcotest.(check bool) "both alphabets represented" true
+    (some (fun c -> c.alphabet == Bioseq.Alphabet.dna)
+    && some (fun c -> c.alphabet == Bioseq.Alphabet.protein))
+
+let () =
+  let case_tests =
+    List.map
+      (fun c ->
+        Alcotest.test_case c.file `Quick (fun () -> check_case c))
+      (Lazy.force cases)
+  in
+  let suite =
+    [
+      ("cases", case_tests);
+      ( "coverage",
+        [
+          Alcotest.test_case "corpus stays adversarial" `Quick
+            test_corpus_covers_edges;
+        ] );
+    ]
+  in
+  let failed =
+    Fun.protect
+      ~finally:(fun () ->
+        if Lazy.is_val pool then Oasis.Domain_pool.shutdown (Lazy.force pool))
+      (fun () ->
+        match Alcotest.run ~and_exit:false "corpus" suite with
+        | () -> false
+        | exception Alcotest.Test_error -> true)
+  in
+  if failed then exit 1

@@ -1,0 +1,260 @@
+(* Two reporting-layer contracts on top of the engine:
+
+   - Evalue_stream threshold monotonicity: raising [min_score] must be
+     exactly a filter. The stream at a strict threshold equals the
+     stream at a looser one with the sub-threshold hits dropped — same
+     hits, same adjusted E-values, same order. A violation means the
+     threshold leaks into the ordering or the buffering, not just into
+     membership.
+
+   - Long_query vs the Smith-Waterman oracle: the segmented
+     filter-and-refine search is exact for every chunking, so for
+     segments 1..4 its (seq_index, score) list must equal the oracle's
+     — in particular a sequence whose alignment straddles a chunk
+     boundary must still be found via the overlap/threshold-split
+     argument in long_query.mli. *)
+
+(* ---------- Evalue_stream: threshold is exactly a filter ---------- *)
+
+let prot_alpha = Bioseq.Alphabet.protein
+let prot_matrix = Scoring.Matrices.pam30
+
+let prot_params =
+  Scoring.Karlin.estimate ~matrix:prot_matrix
+    ~freqs:Scoring.Background.robinson_robinson ()
+
+let prot_db strings =
+  Bioseq.Database.make
+    (List.mapi
+       (fun i s ->
+         Bioseq.Sequence.make ~alphabet:prot_alpha ~id:(Printf.sprintf "s%d" i)
+           s)
+       strings)
+
+let drain stream =
+  let rec go acc =
+    match Oasis.Evalue_stream.Mem.next stream with
+    | None -> List.rev acc
+    | Some entry -> go (entry :: acc)
+  in
+  go []
+
+let evalue_stream db q min_score =
+  let tree = Suffix_tree.Ukkonen.build db in
+  let engine =
+    Oasis.Engine.Mem.create ~source:tree ~db ~query:q
+      (Oasis.Engine.config ~matrix:prot_matrix ~gap:(Scoring.Gap.linear 10)
+         ~min_score ())
+  in
+  Oasis.Evalue_stream.Mem.create ~driver:engine ~db ~params:prot_params
+    ~query_length:(Bioseq.Sequence.length q)
+
+let monotonicity_prop (strings, qtext, s_loose, delta) =
+  let s_strict = s_loose + delta in
+  let db = prot_db strings in
+  let q = Bioseq.Sequence.make ~alphabet:prot_alpha ~id:"q" qtext in
+  let loose = drain (evalue_stream db q s_loose) in
+  let strict = drain (evalue_stream db q s_strict) in
+  let filtered =
+    List.filter (fun (h, _) -> h.Oasis.Hit.score >= s_strict) loose
+  in
+  if List.length strict <> List.length filtered then
+    QCheck.Test.fail_reportf
+      "strict stream has %d hits, filtered loose stream %d"
+      (List.length strict) (List.length filtered);
+  (* Order must agree wherever adjusted E distinguishes hits; within a
+     run of equal E (identical score and sequence length) the release
+     order is unspecified, so compare positional E-values plus the
+     overall multiset rather than hit-by-hit order. *)
+  List.iter2
+    (fun (_, se) (_, fe) ->
+      if abs_float (se -. fe) > 1e-9 *. (1. +. abs_float fe) then
+        QCheck.Test.fail_reportf
+          "positional adjusted E differs: the threshold reordered hits \
+           across distinct E values")
+    strict filtered;
+  if
+    List.sort compare (List.map fst strict)
+    <> List.sort compare (List.map fst filtered)
+  then
+    QCheck.Test.fail_reportf
+      "strict stream is not the loose stream filtered to score >= %d"
+      s_strict;
+  true
+
+let protein_gen =
+  QCheck.Gen.(
+    let residues = "ARNDCQEGHILKMFPSTWYV" in
+    let residue =
+      map (String.get residues) (int_range 0 (String.length residues - 1))
+    in
+    let protein n m = string_size ~gen:residue (int_range n m) in
+    let* strings = list_size (int_range 1 8) (protein 2 40) in
+    let* q = protein 2 8 in
+    let* s_loose = int_range 1 20 in
+    let* delta = int_range 1 15 in
+    return (strings, q, s_loose, delta))
+
+let qcheck_threshold_monotonicity =
+  QCheck.Test.make ~count:150
+    ~name:"evalue stream: raising min_score is exactly a filter"
+    (QCheck.make protein_gen ~print:(fun (ss, q, s, d) ->
+         Printf.sprintf "db=%s q=%s loose=%d strict=%d" (String.concat "/" ss)
+           q s (s + d)))
+    monotonicity_prop
+
+let test_threshold_fixed () =
+  (* Hand-sized instance: the strict stream drops exactly the weak hit
+     and keeps the strong ones in their loose-stream order. *)
+  let db = prot_db [ "MKVLATLLVLLC"; "MKVLGT"; "AAAAAA" ] in
+  let q = Bioseq.Sequence.make ~alphabet:prot_alpha ~id:"q" "MKVLAT" in
+  let loose = drain (evalue_stream db q 10) in
+  Alcotest.(check bool) "loose stream sees several hits" true
+    (List.length loose >= 2);
+  let strict_at s =
+    List.map (fun (h, _) -> h.Oasis.Hit.seq_index) (drain (evalue_stream db q s))
+  in
+  let filtered_at s =
+    List.filter_map
+      (fun (h, _) ->
+        if h.Oasis.Hit.score >= s then Some h.Oasis.Hit.seq_index else None)
+      loose
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "threshold %d is a filter" s)
+        (filtered_at s) (strict_at s))
+    [ 15; 25; 35; 45 ]
+
+(* ---------- Long_query vs the Smith-Waterman oracle ---------- *)
+
+let dna_alpha = Bioseq.Alphabet.dna
+let unit_matrix = Scoring.Matrices.dna_unit
+
+let dna_db strings =
+  Bioseq.Database.make
+    (List.mapi
+       (fun i s ->
+         Bioseq.Sequence.make ~alphabet:dna_alpha ~id:(Printf.sprintf "s%d" i)
+           s)
+       strings)
+
+let sw_pairs ~matrix ~gap ~min_score db q =
+  List.map
+    (fun h -> (h.Align.Smith_waterman.seq_index, h.Align.Smith_waterman.score))
+    (fst (Align.Smith_waterman.search ~matrix ~gap ~query:q ~db ~min_score))
+
+let hit_pairs hits =
+  List.map (fun h -> (h.Oasis.Hit.seq_index, h.Oasis.Hit.score)) hits
+
+let oracle_prop ~gap (strings, qtext, min_score) =
+  let db = dna_db strings in
+  let q = Bioseq.Sequence.make ~alphabet:dna_alpha ~id:"q" qtext in
+  let oracle = sw_pairs ~matrix:unit_matrix ~gap ~min_score db q in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let cfg = Oasis.Engine.config ~matrix:unit_matrix ~gap ~min_score () in
+  List.for_all
+    (fun segments ->
+      let hits, stats =
+        Oasis.Long_query.Mem.search ~source:tree ~db ~query:q ~segments cfg
+      in
+      if hit_pairs hits <> oracle then
+        QCheck.Test.fail_reportf "segments=%d diverges from the SW oracle"
+          segments;
+      if stats.Oasis.Long_query.candidates < List.length oracle then
+        QCheck.Test.fail_reportf
+          "segments=%d: %d candidates < %d oracle hits (filter unsound)"
+          segments stats.Oasis.Long_query.candidates (List.length oracle);
+      true)
+    [ 1; 2; 3; 4 ]
+
+let long_gen =
+  QCheck.Gen.(
+    let dna n m =
+      string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range n m)
+    in
+    let* strings = list_size (int_range 1 5) (dna 5 35) in
+    (* Long enough that 4 segments are all non-trivial. *)
+    let* q = dna 12 28 in
+    let* min_score = int_range 1 10 in
+    return (strings, q, min_score))
+
+let qcheck_long_query_oracle_linear =
+  QCheck.Test.make ~count:120
+    ~name:"long query, segments 1-4 = SW oracle (linear gaps)"
+    (QCheck.make long_gen ~print:(fun (ss, q, ms) ->
+         Printf.sprintf "db=%s q=%s min=%d" (String.concat "/" ss) q ms))
+    (oracle_prop ~gap:(Scoring.Gap.linear 1))
+
+let qcheck_long_query_oracle_affine =
+  QCheck.Test.make ~count:80
+    ~name:"long query, segments 1-4 = SW oracle (affine gaps)"
+    (QCheck.make long_gen ~print:(fun (ss, q, ms) ->
+         Printf.sprintf "db=%s q=%s min=%d" (String.concat "/" ss) q ms))
+    (oracle_prop ~gap:(Scoring.Gap.affine ~open_cost:2 ~extend_cost:1))
+
+let test_chunk_boundary_straddle () =
+  (* The alignment lives exactly across the segment boundary: with
+     segments=2 the query "ACGTACGTTTTT..." splits so that neither half
+     alone scores min_score against the target, but the overlap
+     argument must still surface the sequence as a candidate. *)
+  let target = "GGACGTACGTGG" in
+  let db = dna_db [ target; "CCCCCCCC" ] in
+  let qtext = "AAAAACGTACGTAAAA" in
+  let q = Bioseq.Sequence.make ~alphabet:dna_alpha ~id:"q" qtext in
+  let min_score = 7 in
+  let gap = Scoring.Gap.linear 1 in
+  let oracle = sw_pairs ~matrix:unit_matrix ~gap ~min_score db q in
+  Alcotest.(check (list (pair int int))) "oracle finds the straddler"
+    [ (0, 8) ] oracle;
+  let tree = Suffix_tree.Ukkonen.build db in
+  let cfg = Oasis.Engine.config ~matrix:unit_matrix ~gap ~min_score () in
+  List.iter
+    (fun segments ->
+      let hits, _ =
+        Oasis.Long_query.Mem.search ~source:tree ~db ~query:q ~segments cfg
+      in
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "segments=%d finds the straddler" segments)
+        oracle (hit_pairs hits))
+    [ 1; 2; 3; 4 ]
+
+let test_long_query_disk () =
+  (* The Disk instantiation goes through the same functor; one fixed
+     case guards the wiring. *)
+  let db = dna_db [ "ACGTACGTACGT"; "TTTTGGGG"; "ACGT" ] in
+  let q = Bioseq.Sequence.make ~alphabet:dna_alpha ~id:"q" "ACGTACGTACGTACGT" in
+  let gap = Scoring.Gap.linear 1 in
+  let min_score = 4 in
+  let oracle = sw_pairs ~matrix:unit_matrix ~gap ~min_score db q in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let dt, _pool = Storage.Disk_tree.of_tree ~block_size:32 ~capacity:8 tree in
+  let cfg = Oasis.Engine.config ~matrix:unit_matrix ~gap ~min_score () in
+  List.iter
+    (fun segments ->
+      let hits, _ =
+        Oasis.Long_query.Disk.search ~source:dt ~db ~query:q ~segments cfg
+      in
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "disk segments=%d = oracle" segments)
+        oracle (hit_pairs hits))
+    [ 1; 3 ]
+
+let () =
+  Alcotest.run "evalue_long"
+    [
+      ( "evalue_stream",
+        [
+          QCheck_alcotest.to_alcotest qcheck_threshold_monotonicity;
+          Alcotest.test_case "fixed thresholds" `Quick test_threshold_fixed;
+        ] );
+      ( "long_query",
+        [
+          QCheck_alcotest.to_alcotest qcheck_long_query_oracle_linear;
+          QCheck_alcotest.to_alcotest qcheck_long_query_oracle_affine;
+          Alcotest.test_case "chunk-boundary straddle" `Quick
+            test_chunk_boundary_straddle;
+          Alcotest.test_case "disk instantiation" `Quick test_long_query_disk;
+        ] );
+    ]

@@ -1,0 +1,281 @@
+(* Metamorphic properties of the search: transformations of the input
+   with a known effect on the output, checked against every engine
+   (in-memory, disk, K=2 sharded). Unlike the oracle tests these need
+   no reference implementation — they catch bugs the oracle shares,
+   e.g. a direction-dependent pruning rule or a threshold baked in
+   somewhere other than the config.
+
+   (a) Reversing the query and every database sequence preserves each
+       sequence's best local score (alignments reverse with them).
+   (b) Appending a sequence over a disjoint alphabet half (all
+       mismatches against the query) leaves the hit multiset unchanged.
+   (c) Scaling the unit-edit matrix, the gap costs and the threshold by
+       a positive integer k scales every hit score by exactly k and
+       changes nothing else: every DP comparison is preserved under
+       multiplication by k > 0. *)
+
+let alpha = Bioseq.Alphabet.dna
+
+let db_of_strings strings =
+  Bioseq.Database.make
+    (List.mapi
+       (fun i s ->
+         Bioseq.Sequence.make ~alphabet:alpha ~id:(Printf.sprintf "s%d" i) s)
+       strings)
+
+let query qtext = Bioseq.Sequence.make ~alphabet:alpha ~id:"q" qtext
+
+(* Shared two-worker pool, spawned on first sharded case (see
+   test_parallel.ml). *)
+let pool = lazy (Oasis.Domain_pool.create ~domains:2)
+
+let mem_hits ~matrix ~gap ~min_score db q =
+  let tree = Suffix_tree.Ukkonen.build db in
+  Oasis.Engine.Mem.run
+    (Oasis.Engine.Mem.create ~source:tree ~db ~query:q
+       (Oasis.Engine.config ~matrix ~gap ~min_score ()))
+
+let disk_hits ~matrix ~gap ~min_score db q =
+  let tree = Suffix_tree.Ukkonen.build db in
+  let dt, _pool = Storage.Disk_tree.of_tree ~block_size:32 ~capacity:8 tree in
+  Oasis.Engine.Disk.run
+    (Oasis.Engine.Disk.create ~source:dt ~db ~query:q
+       (Oasis.Engine.config ~matrix ~gap ~min_score ()))
+
+let sharded_hits ~matrix ~gap ~min_score db q =
+  Oasis.Parallel.Mem.run
+    (Oasis.Parallel.Mem.create_sharded ~pool:(Lazy.force pool) ~shards:2 ~db
+       ~query:q
+       (Oasis.Engine.config ~matrix ~gap ~min_score ()))
+
+let paths = [ ("mem", mem_hits); ("disk", disk_hits); ("sharded2", sharded_hits) ]
+
+(* One hit per sequence, so the sorted (seq_index, score) list is the
+   full per-sequence score map. Stops are not compared across a
+   transformation: reversal moves them by construction. *)
+let seq_scores hits =
+  List.sort compare
+    (List.map (fun h -> (h.Oasis.Hit.seq_index, h.Oasis.Hit.score)) hits)
+
+let full_multiset hits =
+  List.sort compare
+    (List.map
+       (fun h ->
+         ( h.Oasis.Hit.seq_index,
+           h.Oasis.Hit.score,
+           h.Oasis.Hit.query_stop,
+           h.Oasis.Hit.target_stop ))
+       hits)
+
+let rev_string s =
+  String.init (String.length s) (fun i -> s.[String.length s - 1 - i])
+
+(* ---------- (a) reversal ---------- *)
+
+let reversal_prop ~matrix ~gap (strings, qtext, min_score) =
+  List.for_all
+    (fun (name, run) ->
+      let fwd =
+        run ~matrix ~gap ~min_score (db_of_strings strings) (query qtext)
+      in
+      let bwd =
+        run ~matrix ~gap ~min_score
+          (db_of_strings (List.map rev_string strings))
+          (query (rev_string qtext))
+      in
+      if seq_scores fwd <> seq_scores bwd then
+        QCheck.Test.fail_reportf
+          "%s: per-sequence scores changed under reversal" name;
+      true)
+    paths
+
+(* ---------- (b) disjoint-alphabet pad ---------- *)
+
+(* Query over {A,C}, pad over {G,T}: with the unit matrix every query
+   symbol mismatches every pad symbol, so the pad's best local score is
+   0 < min_score — no hit with the pad's index, and every existing
+   sequence keeps its score. (Stops are not compared: the pad shares
+   tree paths with existing sequences, which may legitimately flip
+   which of several equal-scoring alignment ends gets reported.) *)
+let pad_prop ~matrix ~gap (strings, qtext, pad, min_score) =
+  List.for_all
+    (fun (name, run) ->
+      let base =
+        run ~matrix ~gap ~min_score (db_of_strings strings) (query qtext)
+      in
+      let padded =
+        run ~matrix ~gap ~min_score
+          (db_of_strings (strings @ [ pad ]))
+          (query qtext)
+      in
+      if
+        List.exists
+          (fun h -> h.Oasis.Hit.seq_index = List.length strings)
+          padded
+      then QCheck.Test.fail_reportf "%s: pad sequence produced a hit" name;
+      if seq_scores base <> seq_scores padded then
+        QCheck.Test.fail_reportf "%s: pad sequence perturbed the hits" name;
+      true)
+    paths
+
+(* ---------- (c) score scaling ---------- *)
+
+let scale_gap k = function
+  | Scoring.Gap.Linear { penalty } -> Scoring.Gap.linear (k * penalty)
+  | Scoring.Gap.Affine { open_cost; extend_cost } ->
+    Scoring.Gap.affine ~open_cost:(k * open_cost)
+      ~extend_cost:(k * extend_cost)
+
+let scale_matrix k m =
+  Scoring.Submat.of_function ~alphabet:(Scoring.Submat.alphabet m)
+    ~name:(Printf.sprintf "%dx %s" k (Scoring.Submat.name m))
+    (fun a b -> k * Scoring.Submat.score m a b)
+
+let scaling_prop ~gap (strings, qtext, min_score, k) =
+  let matrix = Scoring.Submat.unit_edit alpha in
+  List.for_all
+    (fun (name, run) ->
+      let base =
+        run ~matrix ~gap ~min_score (db_of_strings strings) (query qtext)
+      in
+      let scaled =
+        run ~matrix:(scale_matrix k matrix) ~gap:(scale_gap k gap)
+          ~min_score:(k * min_score) (db_of_strings strings) (query qtext)
+      in
+      let expected =
+        List.map (fun (s, sc, qs, ts) -> (s, k * sc, qs, ts)) (full_multiset base)
+      in
+      if full_multiset scaled <> expected then
+        QCheck.Test.fail_reportf
+          "%s: scaling the scoring system by %d did not scale hit scores by \
+           %d"
+          name k k;
+      true)
+    paths
+
+(* ---------- generators ---------- *)
+
+let dna n m =
+  QCheck.Gen.(string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range n m))
+
+let base_gen =
+  QCheck.Gen.(
+    let* strings = list_size (int_range 1 6) (dna 1 25) in
+    let* q = dna 1 8 in
+    let* min_score = int_range 1 5 in
+    return (strings, q, min_score))
+
+let pad_gen =
+  QCheck.Gen.(
+    let ac n m =
+      string_size ~gen:(oneofl [ 'A'; 'C' ]) (int_range n m)
+    in
+    let gt n m =
+      string_size ~gen:(oneofl [ 'G'; 'T' ]) (int_range n m)
+    in
+    let* strings = list_size (int_range 1 6) (dna 1 25) in
+    let* q = ac 1 8 in
+    let* pad = gt 1 30 in
+    let* min_score = int_range 1 5 in
+    return (strings, q, pad, min_score))
+
+let scale_gen =
+  QCheck.Gen.(
+    let* strings, q, min_score = base_gen in
+    let* k = int_range 2 5 in
+    return (strings, q, min_score, k))
+
+let print_base (ss, q, ms) =
+  Printf.sprintf "db=%s q=%s min=%d" (String.concat "/" ss) q ms
+
+let print_pad (ss, q, pad, ms) =
+  Printf.sprintf "db=%s q=%s pad=%s min=%d" (String.concat "/" ss) q pad ms
+
+let print_scale (ss, q, ms, k) =
+  Printf.sprintf "db=%s q=%s min=%d k=%d" (String.concat "/" ss) q ms k
+
+let unit_matrix = Scoring.Matrices.dna_unit
+let gap1 = Scoring.Gap.linear 1
+let affine21 = Scoring.Gap.affine ~open_cost:2 ~extend_cost:1
+
+let qcheck_reversal_linear =
+  QCheck.Test.make ~count:60
+    ~name:"reversal preserves per-sequence scores (linear gaps)"
+    (QCheck.make base_gen ~print:print_base)
+    (reversal_prop ~matrix:unit_matrix ~gap:gap1)
+
+let qcheck_reversal_affine =
+  QCheck.Test.make ~count:40
+    ~name:"reversal preserves per-sequence scores (affine gaps)"
+    (QCheck.make base_gen ~print:print_base)
+    (reversal_prop ~matrix:unit_matrix ~gap:affine21)
+
+let qcheck_pad =
+  QCheck.Test.make ~count:60
+    ~name:"disjoint-alphabet pad sequence leaves hits unchanged"
+    (QCheck.make pad_gen ~print:print_pad)
+    (pad_prop ~matrix:unit_matrix ~gap:gap1)
+
+let qcheck_scaling_linear =
+  QCheck.Test.make ~count:60
+    ~name:"scaling matrix+gap+threshold by k scales scores by k (linear)"
+    (QCheck.make scale_gen ~print:print_scale)
+    (scaling_prop ~gap:gap1)
+
+let qcheck_scaling_affine =
+  QCheck.Test.make ~count:40
+    ~name:"scaling matrix+gap+threshold by k scales scores by k (affine)"
+    (QCheck.make scale_gen ~print:print_scale)
+    (scaling_prop ~gap:affine21)
+
+(* Fixed cases pinning each property to a hand-checkable instance. *)
+
+let test_reversal_fixed () =
+  let strings = [ "ACGTACGT"; "TTTT"; "GATTACA" ] in
+  assert (
+    reversal_prop ~matrix:unit_matrix ~gap:gap1 (strings, "ACGT", 2));
+  let fwd = mem_hits ~matrix:unit_matrix ~gap:gap1 ~min_score:2
+      (db_of_strings strings) (query "ACGT")
+  in
+  Alcotest.(check bool) "forward search finds hits" true (fwd <> [])
+
+let test_pad_fixed () =
+  assert (
+    pad_prop ~matrix:unit_matrix ~gap:gap1
+      ([ "ACAC"; "CCCC" ], "ACA", "GTGTGTGT", 2))
+
+let test_scaling_fixed () =
+  assert (scaling_prop ~gap:gap1 ([ "ACGTACGT"; "GATTACA" ], "ACGT", 2, 3))
+
+let () =
+  let suite =
+    [
+      ( "reversal",
+        [
+          QCheck_alcotest.to_alcotest qcheck_reversal_linear;
+          QCheck_alcotest.to_alcotest qcheck_reversal_affine;
+          Alcotest.test_case "fixed case" `Quick test_reversal_fixed;
+        ] );
+      ( "pad",
+        [
+          QCheck_alcotest.to_alcotest qcheck_pad;
+          Alcotest.test_case "fixed case" `Quick test_pad_fixed;
+        ] );
+      ( "scaling",
+        [
+          QCheck_alcotest.to_alcotest qcheck_scaling_linear;
+          QCheck_alcotest.to_alcotest qcheck_scaling_affine;
+          Alcotest.test_case "fixed case" `Quick test_scaling_fixed;
+        ] );
+    ]
+  in
+  let failed =
+    Fun.protect
+      ~finally:(fun () ->
+        if Lazy.is_val pool then Oasis.Domain_pool.shutdown (Lazy.force pool))
+      (fun () ->
+        match Alcotest.run ~and_exit:false "metamorphic" suite with
+        | () -> false
+        | exception Alcotest.Test_error -> true)
+  in
+  if failed then exit 1

@@ -1,0 +1,393 @@
+(* The observability layer: metric cells, the registry, the telescoping
+   phase timer, the trace sink's two output formats, and the
+   instrumented engines end to end — including the two promises the
+   CLI's --stats/--trace surface makes: phase times sum to (within 10%
+   of) the wall time spent in the search, and the trace's "expand"
+   events agree exactly with the nodes_expanded counter. *)
+
+(* ---------- Metric ---------- *)
+
+let test_counter () =
+  let c = Obs.Metric.counter () in
+  Alcotest.(check int) "fresh counter" 0 (Obs.Metric.count c);
+  Obs.Metric.incr c;
+  Obs.Metric.incr c;
+  Obs.Metric.add c 40;
+  Alcotest.(check int) "incr + add" 42 (Obs.Metric.count c)
+
+let test_gauge () =
+  let g = Obs.Metric.gauge () in
+  Obs.Metric.set g 5;
+  Obs.Metric.set g 17;
+  Obs.Metric.set g 3;
+  Alcotest.(check int) "value is last set" 3 (Obs.Metric.value g);
+  Alcotest.(check int) "peak is max ever set" 17 (Obs.Metric.peak g)
+
+let test_histogram () =
+  let h = Obs.Metric.histogram () in
+  Alcotest.(check int) "empty count" 0 (Obs.Metric.hist_count h);
+  List.iter (Obs.Metric.observe h) [ 1; 2; 3; 100; 0; -7 ];
+  Alcotest.(check int) "count" 6 (Obs.Metric.hist_count h);
+  Alcotest.(check int) "sum (negatives contribute 0)" 106
+    (Obs.Metric.hist_sum h);
+  Alcotest.(check int) "min" (-7) (Obs.Metric.hist_min h);
+  Alcotest.(check int) "max" 100 (Obs.Metric.hist_max h);
+  Alcotest.(check (float 1e-6)) "mean" (106. /. 6.) (Obs.Metric.mean h);
+  (* The log2 bucket invariant: an upper quantile bound is never below
+     a lower one, p0 reaches the smallest bucket's bound and p100 covers
+     the max. *)
+  Alcotest.(check bool) "quantiles monotone" true
+    (Obs.Metric.quantile h 0.25 <= Obs.Metric.quantile h 0.75);
+  Alcotest.(check bool) "p100 covers max" true
+    (Obs.Metric.quantile h 1.0 >= 100);
+  let total = ref 0 in
+  Obs.Metric.iter_buckets h (fun ~lo:_ ~hi:_ ~count -> total := !total + count);
+  Alcotest.(check int) "buckets sum to count" 6 !total
+
+let test_histogram_buckets () =
+  (* 2^(k-1) <= v < 2^k lands in bucket k; check the boundaries via
+     iter_buckets ranges. *)
+  let h = Obs.Metric.histogram () in
+  List.iter (Obs.Metric.observe h) [ 1; 2; 4; 8; 1024 ];
+  Obs.Metric.iter_buckets h (fun ~lo ~hi ~count ->
+      if count > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "bucket [%d, %d) holds only its range" lo hi)
+          true
+          (List.exists (fun v -> v >= lo && v < hi) [ 1; 2; 4; 8; 1024 ]))
+
+(* ---------- Registry ---------- *)
+
+let test_registry () =
+  let r = Obs.Registry.create () in
+  let c = Obs.Registry.counter r "a.count" in
+  let _g = Obs.Registry.gauge r "a.gauge" in
+  let _h = Obs.Registry.histogram r "a.hist" in
+  Alcotest.(check bool) "same name returns the same cell" true
+    (c == Obs.Registry.counter r "a.count");
+  Alcotest.(check int) "items in registration order" 3
+    (List.length (Obs.Registry.items r));
+  Alcotest.(check (list string)) "names"
+    [ "a.count"; "a.gauge"; "a.hist" ]
+    (List.map fst (Obs.Registry.items r));
+  Alcotest.(check bool) "find" true (Obs.Registry.find r "a.gauge" <> None);
+  Alcotest.(check bool) "find miss" true (Obs.Registry.find r "nope" = None);
+  match Obs.Registry.gauge r "a.count" with
+  | _ -> Alcotest.fail "kind clash accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ---------- Timer ---------- *)
+
+let spin_for seconds =
+  let t0 = Unix.gettimeofday () in
+  while Unix.gettimeofday () -. t0 < seconds do
+    ignore (Sys.opaque_identity (sqrt 2.))
+  done
+
+let test_timer_telescopes () =
+  let t = Obs.Timer.create ~phases:[| "a"; "b"; "c" |] in
+  Alcotest.(check (float 0.)) "fresh total" 0. (Obs.Timer.total t);
+  let w0 = Unix.gettimeofday () in
+  Obs.Timer.switch t 0;
+  spin_for 0.01;
+  Obs.Timer.switch t 1;
+  spin_for 0.02;
+  Obs.Timer.switch t 0;
+  spin_for 0.01;
+  Obs.Timer.pause t;
+  let wall = Unix.gettimeofday () -. w0 in
+  let sum =
+    List.fold_left (fun acc (_, s) -> acc +. s) 0. (Obs.Timer.phases t)
+  in
+  (* switch/pause read the clock once each, so phase times sum to the
+     switch-to-pause wall span exactly (modulo the clock reads
+     themselves, far below a millisecond). *)
+  Alcotest.(check bool) "phases sum to the covered wall span" true
+    (abs_float (sum -. wall) < 2e-3);
+  Alcotest.(check (float 1e-9)) "total = sum of phases" sum
+    (Obs.Timer.total t);
+  Alcotest.(check bool) "a accrued both spans" true
+    (Obs.Timer.elapsed t 0 >= 0.015);
+  Alcotest.(check bool) "b accrued its span" true
+    (Obs.Timer.elapsed t 1 >= 0.015);
+  Alcotest.(check (float 0.)) "c never ran" 0. (Obs.Timer.elapsed t 2);
+  Obs.Timer.pause t;
+  Alcotest.(check (float 1e-9)) "pause when stopped is a no-op" sum
+    (Obs.Timer.total t);
+  Obs.Timer.reset t;
+  Alcotest.(check (float 0.)) "reset clears" 0. (Obs.Timer.total t)
+
+(* ---------- Trace ---------- *)
+
+let with_trace_file format f =
+  let path = Filename.temp_file "oasis_trace" ".out" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let sink = Obs.Trace.create ~format oc in
+      f sink;
+      Obs.Trace.close sink;
+      close_out oc;
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in ic;
+      text)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_trace_jsonl () =
+  let text =
+    with_trace_file Obs.Trace.Jsonl (fun sink ->
+        Obs.Trace.instant sink ~args:[ ("x", Obs.Trace.Int 3) ] "ev";
+        Obs.Trace.counter sink "ctr" [ ("v", Obs.Trace.Float 1.5) ];
+        Obs.Trace.complete sink ~start_us:0 ~dur_us:10 "span";
+        Alcotest.(check int) "events counted" 3 (Obs.Trace.events sink))
+  in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
+  in
+  Alcotest.(check int) "one line per event" 3 (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "line is an object" true
+        (l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines;
+  Alcotest.(check bool) "instant has scope" true
+    (contains ~needle:"\"ph\":\"i\",\"ts\":" text
+    && contains ~needle:"\"s\":\"t\"" text);
+  Alcotest.(check bool) "counter event" true
+    (contains ~needle:"\"ph\":\"C\"" text);
+  Alcotest.(check bool) "complete has dur" true
+    (contains ~needle:"\"ph\":\"X\"" text && contains ~needle:"\"dur\":10" text);
+  Alcotest.(check bool) "args serialized" true
+    (contains ~needle:"\"args\":{\"x\":3}" text)
+
+let test_trace_chrome_array () =
+  let text =
+    with_trace_file Obs.Trace.Chrome (fun sink ->
+        Obs.Trace.instant sink "a";
+        Obs.Trace.instant sink "b")
+  in
+  let trimmed = String.trim text in
+  Alcotest.(check bool) "bracketed array" true
+    (trimmed.[0] = '[' && trimmed.[String.length trimmed - 1] = ']');
+  Alcotest.(check bool) "comma-separated" true (contains ~needle:"},\n{" text)
+
+let test_trace_string_escaping () =
+  let text =
+    with_trace_file Obs.Trace.Jsonl (fun sink ->
+        Obs.Trace.instant sink
+          ~args:[ ("s", Obs.Trace.String "a\"b\\c\nd") ]
+          "quote\"name")
+  in
+  Alcotest.(check bool) "name escaped" true
+    (contains ~needle:"\"quote\\\"name\"" text);
+  Alcotest.(check bool) "arg escaped" true
+    (contains ~needle:"\"a\\\"b\\\\c\\nd\"" text)
+
+let test_trace_timestamps_monotonic () =
+  let text =
+    with_trace_file Obs.Trace.Jsonl (fun sink ->
+        for i = 0 to 49 do
+          Obs.Trace.instant sink (Printf.sprintf "e%d" i)
+        done)
+  in
+  let ts_of line =
+    (* every event line carries ,"ts":N, *)
+    let marker = "\"ts\":" in
+    let rec find i =
+      if String.sub line i (String.length marker) = marker then
+        i + String.length marker
+      else find (i + 1)
+    in
+    let start = find 0 in
+    let stop = ref start in
+    while !stop < String.length line && line.[!stop] <> ',' do incr stop done;
+    int_of_string (String.sub line start (!stop - start))
+  in
+  let stamps =
+    List.map ts_of
+      (List.filter (fun l -> l <> "") (String.split_on_char '\n' text))
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "timestamps non-decreasing" true (monotone stamps)
+
+(* ---------- Instrumented engine, end to end ---------- *)
+
+let build_db seed symbols =
+  let st = Random.State.make [| seed |] in
+  let letters = [| 'A'; 'C'; 'G'; 'T' |] in
+  let seqs = ref [] and left = ref symbols and i = ref 0 in
+  while !left > 0 do
+    let len = min !left (20 + Random.State.int st 180) in
+    let s = String.init len (fun _ -> letters.(Random.State.int st 4)) in
+    seqs := Bioseq.Sequence.make ~alphabet:Bioseq.Alphabet.dna
+        ~id:(Printf.sprintf "s%d" !i) s
+      :: !seqs;
+    left := !left - len;
+    incr i
+  done;
+  Bioseq.Database.make (List.rev !seqs)
+
+let dna_query text =
+  Bioseq.Sequence.make ~alphabet:Bioseq.Alphabet.dna ~id:"q" text
+
+let search_cfg =
+  Oasis.Engine.config ~matrix:Scoring.Matrices.dna_unit
+    ~gap:(Scoring.Gap.linear 1) ~min_score:8 ()
+
+(* The --stats promise: the phase timer runs for exactly the span of
+   every [next] call, so its total matches the wall time of the drain
+   loop within 10% (the slack is the loop glue between calls). One
+   retry absorbs a scheduler hiccup on a loaded runner. *)
+let test_phase_sum_within_10pct_of_wall () =
+  let db = build_db 42 30000 in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let attempt () =
+    let inst = Oasis.Instrument.create () in
+    let engine =
+      Oasis.Engine.Mem.create ~source:tree ~db ~query:(dna_query "ACGTAGGCTA")
+        search_cfg
+    in
+    Oasis.Engine.Mem.set_instrument engine (Some inst);
+    let w0 = Unix.gettimeofday () in
+    let hits = Oasis.Engine.Mem.run engine in
+    let wall = Unix.gettimeofday () -. w0 in
+    let sum = Obs.Timer.total inst.Oasis.Instrument.timer in
+    ignore hits;
+    (sum, wall)
+  in
+  let ok (sum, wall) = abs_float (sum -. wall) <= 0.10 *. wall in
+  let first = attempt () in
+  let sum, wall = if ok first then first else attempt () in
+  Alcotest.(check bool)
+    (Printf.sprintf "phase sum %.4fs within 10%% of wall %.4fs" sum wall)
+    true
+    (abs_float (sum -. wall) <= 0.10 *. wall);
+  Alcotest.(check bool) "phases cover a nonzero search" true (sum > 0.)
+
+let test_trace_expand_count_matches_counter () =
+  let db = build_db 7 8000 in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let path = Filename.temp_file "oasis_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let sink = Obs.Trace.create ~format:Obs.Trace.Jsonl oc in
+      let inst = Oasis.Instrument.create ~trace:sink () in
+      let engine =
+        Oasis.Engine.Mem.create ~source:tree ~db
+          ~query:(dna_query "GATTACAGATT") search_cfg
+      in
+      Oasis.Engine.Mem.set_instrument engine (Some inst);
+      let hits = Oasis.Engine.Mem.run engine in
+      let counters = Oasis.Engine.Mem.counters engine in
+      Oasis.Instrument.emit_counters sink counters;
+      Obs.Trace.close sink;
+      close_out oc;
+      let expands = ref 0 and hit_events = ref 0 in
+      let ic = open_in path in
+      (try
+         while true do
+           let line = input_line ic in
+           if contains ~needle:"\"name\":\"expand\"" line then incr expands;
+           if contains ~needle:"\"name\":\"hit\"" line then incr hit_events
+         done
+       with End_of_file -> close_in ic);
+      Alcotest.(check bool) "search did real work" true
+        (counters.Oasis.Counters.nodes_expanded > 0);
+      Alcotest.(check int) "expand events = nodes_expanded counter"
+        counters.Oasis.Counters.nodes_expanded !expands;
+      Alcotest.(check int) "hit events = reported hits" (List.length hits)
+        !hit_events;
+      (* The histograms saw the same traffic. *)
+      Alcotest.(check int) "expansion_depth observations"
+        counters.Oasis.Counters.nodes_expanded
+        (Obs.Metric.hist_count inst.Oasis.Instrument.expansion_depth))
+
+let test_pool_obs () =
+  let db = build_db 11 4000 in
+  let tree = Suffix_tree.Ukkonen.build db in
+  (* Two frames force steady eviction. *)
+  let dt, pool = Storage.Disk_tree.of_tree ~block_size:64 ~capacity:2 tree in
+  let registry = Obs.Registry.create () in
+  Storage.Buffer_pool.set_obs pool
+    (Some (Storage.Buffer_pool.obs ~registry ()));
+  let engine =
+    Oasis.Engine.Disk.create ~source:dt ~db ~query:(dna_query "GATTACAGATT")
+      search_cfg
+  in
+  ignore (Oasis.Engine.Disk.run engine);
+  let count name =
+    match Obs.Registry.find registry name with
+    | Some (Obs.Registry.Counter c) -> Obs.Metric.count c
+    | Some (Obs.Registry.Histogram h) -> Obs.Metric.hist_count h
+    | _ -> Alcotest.failf "metric %s not registered" name
+  in
+  Alcotest.(check bool) "probe lengths observed" true
+    (count "pool.probe_length" > 0);
+  Alcotest.(check bool) "evictions counted" true (count "pool.evictions" > 0);
+  Alcotest.(check bool) "pins counted" true (count "pool.pin_events" > 0)
+
+let test_merge_obs () =
+  let db = build_db 5 6000 in
+  let obs = Oasis.Instrument.merge_obs () in
+  Oasis.Domain_pool.with_pool ~domains:2 (fun pool ->
+      let t =
+        Oasis.Parallel.Mem.create_sharded ~pool ~obs ~shards:2 ~db
+          ~query:(dna_query "ACGTAGGCTA") search_cfg
+      in
+      let hits = Oasis.Parallel.Mem.run t in
+      Alcotest.(check bool) "workload produces hits" true (hits <> []);
+      Alcotest.(check int) "one release latency per hit" (List.length hits)
+        (Obs.Metric.hist_count obs.Oasis.Instrument.release_latency_us);
+      Alcotest.(check int) "one occupancy sample per hit" (List.length hits)
+        (Obs.Metric.hist_count obs.Oasis.Instrument.merge_occupancy))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metric",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "gauge tracks peak" `Quick test_gauge;
+          Alcotest.test_case "histogram moments" `Quick test_histogram;
+          Alcotest.test_case "log2 buckets" `Quick test_histogram_buckets;
+        ] );
+      ( "registry",
+        [ Alcotest.test_case "register, reuse, clash" `Quick test_registry ] );
+      ( "timer",
+        [ Alcotest.test_case "telescoping phases" `Quick test_timer_telescopes ]
+      );
+      ( "trace",
+        [
+          Alcotest.test_case "jsonl schema" `Quick test_trace_jsonl;
+          Alcotest.test_case "chrome array format" `Quick
+            test_trace_chrome_array;
+          Alcotest.test_case "string escaping" `Quick
+            test_trace_string_escaping;
+          Alcotest.test_case "timestamps monotone" `Quick
+            test_trace_timestamps_monotonic;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "phase sum within 10% of wall" `Quick
+            test_phase_sum_within_10pct_of_wall;
+          Alcotest.test_case "trace expand events = counter" `Quick
+            test_trace_expand_count_matches_counter;
+        ] );
+      ( "layers",
+        [
+          Alcotest.test_case "buffer pool obs" `Quick test_pool_obs;
+          Alcotest.test_case "sharded merge obs" `Quick test_merge_obs;
+        ] );
+    ]
