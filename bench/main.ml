@@ -1970,6 +1970,166 @@ let scaling setup =
        (speedup_at 4))
 
 (* ------------------------------------------------------------------ *)
+(* Incremental: the crash-safe log-structured index (append, recovery,  *)
+(* merged search over {segments ∪ tail}).                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs over the in-memory Vfs backend, so the numbers isolate the CPU
+   cost of the log-structured machinery (journaling, CRCs, tail-tree
+   maintenance, the k-way merge) from device latency — consistent with
+   the harness's counted-I/O philosophy. The hit-stream gate against
+   the monolithic engine is a hard failure. *)
+let incremental setup =
+  print_endline
+    "== Incremental: log-structured index (append / recovery / merged \
+     search)";
+  let alphabet = Bioseq.Database.alphabet setup.db in
+  let all_seqs =
+    List.init (Bioseq.Database.num_sequences setup.db)
+      (Bioseq.Database.seq setup.db)
+  in
+  let total_symbols = Bioseq.Database.total_symbols setup.db in
+  let num_batches = 16 in
+  let per_batch =
+    (List.length all_seqs + num_batches - 1) / num_batches
+  in
+  let batches =
+    let rec cut acc = function
+      | [] -> List.rev acc
+      | rest ->
+        let batch = List.filteri (fun i _ -> i < per_batch) rest in
+        let rest' = List.filteri (fun i _ -> i >= per_batch) rest in
+        cut (batch :: acc) rest'
+    in
+    cut [] all_seqs
+  in
+  let store = Storage.Vfs.store () in
+  let fs = Storage.Vfs.of_store store in
+  let t = Storage.Live_index.create ~alphabet fs in
+  (* Append throughput: every batch journaled + indexed into the tail,
+     with a compaction after every fourth batch so the final index is a
+     genuine {segments ∪ tail} mix. *)
+  let (), append_wall =
+    time (fun () ->
+        List.iteri
+          (fun i batch ->
+            Storage.Live_index.append t batch;
+            if (i + 1) mod 4 = 0 && i + 1 < List.length batches then
+              Storage.Live_index.compact t)
+          batches)
+  in
+  let segments = List.length (Storage.Live_index.segments t) in
+  let tail = Storage.Live_index.tail_sequences t in
+  Printf.printf
+    "  append: %d sequences (%d symbols) in %d batches -> %.2fs (%.0f \
+     symbols/sec), %d segments + %d tail sequences\n"
+    (List.length all_seqs) total_symbols (List.length batches) append_wall
+    (float_of_int total_symbols /. max 1e-9 append_wall)
+    segments tail;
+  Storage.Live_index.close t;
+  (* Recovery-on-open: catalog load, segment footer verification,
+     journal scan and tail replay. *)
+  let (t, recovery), reopen_wall =
+    time (fun () -> Storage.Live_index.open_ ~alphabet fs)
+  in
+  if recovery.Storage.Live_index.truncated <> Storage.Segment_log.Sealed then
+    failwith "incremental: clean journal reported torn on reopen";
+  Printf.printf "  reopen: %.3fs (%d journal records replayed)\n" reopen_wall
+    recovery.Storage.Live_index.replayed;
+  (* Merged search vs the monolithic in-memory engine: same (sequence,
+     score) multisets, both streams non-increasing. *)
+  let queries =
+    List.concat_map
+      (fun len ->
+        List.init
+          (min 3 queries_per_length)
+          (fun i ->
+            make_query setup ~len ~id:(Printf.sprintf "inc%d_%d" len i)))
+      [ 8; 12; 16; 26 ]
+  in
+  let jobs =
+    List.map (fun q -> (q, min_score_for setup ~query:q ~evalue:20000.)) queries
+  in
+  let canon hits =
+    List.sort compare
+      (List.map (fun h -> (h.Oasis.Hit.seq_index, h.Oasis.Hit.score)) hits)
+  in
+  let nonincreasing hits =
+    let rec go = function
+      | (a : Oasis.Hit.t) :: (b :: _ as rest) ->
+        a.Oasis.Hit.score >= b.Oasis.Hit.score && go rest
+      | _ -> true
+    in
+    go hits
+  in
+  let mono_hits, mono_wall =
+    time (fun () ->
+        List.map
+          (fun (query, min_score) ->
+            let cfg =
+              Oasis.Engine.config ~matrix:setup.matrix ~gap:setup.gap
+                ~min_score ()
+            in
+            Oasis.Engine.Mem.run
+              (Oasis.Engine.Mem.create ~source:setup.tree ~db:setup.db ~query
+                 cfg))
+          jobs)
+  in
+  let snap = Storage.Live_index.snapshot t in
+  let parts = Oasis.Multi.parts_of_snapshot snap in
+  let merged_hits, merged_wall =
+    time (fun () ->
+        List.map
+          (fun (query, min_score) ->
+            let cfg =
+              Oasis.Engine.config ~matrix:setup.matrix ~gap:setup.gap
+                ~min_score ()
+            in
+            Oasis.Multi.run (Oasis.Multi.create ~parts ~query cfg))
+          jobs)
+  in
+  List.iteri
+    (fun i (merged, mono) ->
+      let query, _ = List.nth jobs i in
+      if not (nonincreasing merged) then
+        failwith
+          (Printf.sprintf "incremental: merged stream not score-ordered on %s"
+             (Bioseq.Sequence.id query));
+      if canon merged <> canon mono then
+        failwith
+          (Printf.sprintf
+             "incremental: merged {segments ∪ tail} hits diverge from the \
+              monolithic engine on %s"
+             (Bioseq.Sequence.id query)))
+    (List.combine merged_hits mono_hits);
+  Storage.Live_index.release t snap;
+  Storage.Live_index.close t;
+  Printf.printf
+    "  search: %d queries, merged %.2fs vs monolithic %.2fs (x%.2f), \
+     streams match\n"
+    (List.length jobs) merged_wall mono_wall
+    (merged_wall /. max 1e-9 mono_wall);
+  update_bench_section "incremental"
+    (Printf.sprintf
+       "{\n\
+       \    \"quick\": %b,\n\
+       \    \"db_symbols\": %d,\n\
+       \    \"batches\": %d,\n\
+       \    \"seed\": %d,\n\
+       \    \"hit_streams_match\": true,\n\
+       \    \"append\": { \"wall_s\": %.6f, \"symbols_per_sec\": %.1f, \
+        \"segments\": %d, \"tail_sequences\": %d },\n\
+       \    \"reopen\": { \"wall_s\": %.6f, \"records_replayed\": %d },\n\
+       \    \"search\": { \"queries\": %d, \"merged_wall_s\": %.6f, \
+        \"mono_wall_s\": %.6f, \"merged_vs_mono\": %.3f }\n\
+       \  }"
+       quick db_symbols (List.length batches) seed append_wall
+       (float_of_int total_symbols /. max 1e-9 append_wall)
+       segments tail reopen_wall recovery.Storage.Live_index.replayed
+       (List.length jobs) merged_wall mono_wall
+       (merged_wall /. max 1e-9 mono_wall))
+
+(* ------------------------------------------------------------------ *)
 (* Driver.                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1997,6 +2157,7 @@ let experiments =
     ("obs", obs_exp);
     ("disk", disk_exp);
     ("scaling", scaling);
+    ("incremental", incremental);
   ]
 
 let () =

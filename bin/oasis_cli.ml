@@ -36,6 +36,9 @@ let matrix_conv =
 let fasta_arg ~doc name =
   Arg.(required & opt (some file) None & info [ name ] ~docv:"FASTA" ~doc)
 
+let opt_fasta_arg ~doc name =
+  Arg.(value & opt (some file) None & info [ name ] ~docv:"FASTA" ~doc)
+
 let alphabet_arg =
   Arg.(
     value
@@ -192,6 +195,83 @@ let index_cmd =
       const run $ fasta_arg ~doc:"Input FASTA database." "db" $ alphabet_arg
       $ dir $ clustered $ external_build $ shards)
 
+(* --- append / compact: the live log-structured index --- *)
+
+let live_open ~alphabet fs =
+  let t, r = Storage.Live_index.open_ ~alphabet fs in
+  (match r.Storage.Live_index.truncated with
+  | Storage.Segment_log.Sealed -> ()
+  | state ->
+    Printf.printf "# recovery: cut a %s journal tail, %d records replayed\n%!"
+      (Storage.Segment_log.state_name state)
+      r.Storage.Live_index.replayed);
+  t
+
+let live_summary t =
+  Printf.sprintf "catalog v%d: %d sealed segments, %d journaled in the tail"
+    (Storage.Live_index.catalog_version t)
+    (List.length (Storage.Live_index.segments t))
+    (Storage.Live_index.tail_sequences t)
+
+let live_index_arg =
+  Arg.(required & opt (some string) None & info [ "o"; "index" ] ~docv:"DIR"
+         ~doc:"Live index directory.")
+
+let append_cmd =
+  let run fasta alphabet dir =
+    let seqs = Bioseq.Fasta.read_file ~alphabet fasta in
+    if seqs = [] then failwith "no sequences in the FASTA";
+    let fs = Storage.Vfs.dir dir in
+    let t =
+      if Storage.Live_index.exists fs then live_open ~alphabet fs
+      else Storage.Live_index.create ~alphabet fs
+    in
+    Fun.protect
+      ~finally:(fun () -> Storage.Live_index.close t)
+      (fun () ->
+        Storage.Live_index.append t seqs;
+        Printf.printf "appended %d sequences; index holds %d (%s)\n"
+          (List.length seqs)
+          (Storage.Live_index.num_sequences t)
+          (live_summary t))
+  in
+  Cmd.v
+    (Cmd.info "append"
+       ~doc:"Append FASTA sequences to a live log-structured index, creating \
+             it on first use. Crash-safe: the batch is journaled and synced \
+             before it is acknowledged, so after a crash the index recovers \
+             to a searchable prefix of what was appended.")
+    Term.(
+      const run
+      $ fasta_arg ~doc:"FASTA file with the sequences to append." "db"
+      $ alphabet_arg $ live_index_arg)
+
+let compact_cmd =
+  let run alphabet dir full =
+    let fs = Storage.Vfs.dir dir in
+    if not (Storage.Live_index.exists fs) then
+      failwith (Printf.sprintf "%s holds no live index" dir);
+    let t = live_open ~alphabet fs in
+    Fun.protect
+      ~finally:(fun () -> Storage.Live_index.close t)
+      (fun () ->
+        let tail = Storage.Live_index.tail_sequences t in
+        Storage.Live_index.compact ~full t;
+        Printf.printf "sealed %d tail sequences; %s\n" tail (live_summary t))
+  in
+  let full =
+    Arg.(value & flag & info [ "full" ]
+           ~doc:"Also fold the existing sealed segments in, leaving a single \
+                 segment.")
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:"Seal a live index's journaled tail into an immutable segment \
+             (the paper's section 3.4.1 external builder). A crash at any \
+             point leaves the previous catalog version live; stale files are \
+             garbage-collected on the next open.")
+    Term.(const run $ alphabet_arg $ live_index_arg $ full)
+
 (* --- search --- *)
 
 let format_conv =
@@ -249,7 +329,24 @@ let search_cmd =
   let run fasta alphabet index_dir query_text matrix gap_penalty gap_open
       min_score evalue top with_alignments evalue_order format buffer_blocks
       max_columns max_nodes time_limit shards stats trace_file =
-    let seqs = Bioseq.Fasta.read_file ~alphabet fasta in
+    (* A live (log-structured) index carries its own sequences, so
+       --db is optional there; everywhere else it is the database. *)
+    let live =
+      match index_dir with
+      | Some dirpath
+        when Storage.Live_index.exists (Storage.Vfs.dir dirpath) ->
+        Some (live_open ~alphabet (Storage.Vfs.dir dirpath))
+      | _ -> None
+    in
+    let seqs =
+      match (live, fasta) with
+      | Some t, _ -> Storage.Live_index.sequences t
+      | None, Some f -> Bioseq.Fasta.read_file ~alphabet f
+      | None, None ->
+        failwith
+          "--db is required (only a live log-structured --index carries its \
+           own sequences)"
+    in
     let db = Bioseq.Database.make seqs in
     let query = Bioseq.Sequence.make ~alphabet ~id:"query" query_text in
     let gap = gap_of gap_penalty gap_open in
@@ -421,8 +518,27 @@ let search_cmd =
         fun () -> Option.map (fun (h, e) -> (h, Some e)) (Stream.next stream)
       end
     in
-    (match index_dir with
-    | None when shards > 1 ->
+    (match (live, index_dir) with
+    | Some t, _ ->
+      (* Live log-structured index: search the pinned {segments ∪ tail}
+         snapshot through the order-preserving merge. *)
+      Fun.protect
+        ~finally:(fun () -> Storage.Live_index.close t)
+        (fun () ->
+          let snap = Storage.Live_index.snapshot t in
+          Fun.protect
+            ~finally:(fun () -> Storage.Live_index.release t snap)
+            (fun () ->
+              match Oasis.Multi.parts_of_snapshot snap with
+              | [||] -> Printf.printf "# empty index, no hits\n"
+              | parts ->
+                let m = Oasis.Multi.create ~parts ~query config in
+                wall0 := Unix.gettimeofday ();
+                stream (with_order (module Oasis.Multi) m);
+                report_outcome (Oasis.Multi.outcome m);
+                Printf.printf "# live index, %s\n" (live_summary t);
+                finish ~sharded:true (Oasis.Multi.counters m)))
+    | None, None when shards > 1 ->
       (* Sharded in-memory search: one tree + engine per shard on a
          domain pool, merged preserving the decreasing-score order. *)
       let t =
@@ -433,7 +549,7 @@ let search_cmd =
       stream (with_order (module Oasis.Parallel.Mem) t);
       report_outcome (Oasis.Parallel.Mem.outcome t);
       finish ~sharded:true (Oasis.Parallel.Mem.counters t)
-    | None ->
+    | None, None ->
       (* In-memory index. *)
       let tree = Suffix_tree.Ukkonen.build db in
       let engine = Oasis.Engine.Mem.create ~source:tree ~db ~query config in
@@ -442,7 +558,7 @@ let search_cmd =
       stream (with_order (module Oasis.Engine.Mem) engine);
       report_outcome (Oasis.Engine.Mem.outcome engine);
       finish (Oasis.Engine.Mem.counters engine)
-    | Some dir when Storage.Shard_manifest.exists ~dir ->
+    | None, Some dir when Storage.Shard_manifest.exists ~dir ->
       (* Sharded on-disk index: the manifest names the partition; each
          shard opens its own components and buffer pool (the pool is
          single-threaded by design, so shards must not share one). *)
@@ -485,7 +601,7 @@ let search_cmd =
           Printf.printf "# %d shards, %d buffer blocks each\n" k
             per_shard_blocks;
           finish ~sharded:true (Oasis.Parallel.Disk.counters t))
-    | Some dir ->
+    | None, Some dir ->
       let sym_p, int_p, leaf_p = index_files dir in
       let symbols = Storage.Device.open_file sym_p
       and internal = Storage.Device.open_file int_p
@@ -523,8 +639,10 @@ let search_cmd =
   in
   let index_dir =
     Arg.(value & opt (some dir) None & info [ "index" ] ~docv:"DIR"
-           ~doc:"On-disk index directory built with $(b,oasis index); \
-                 searches in memory when omitted.")
+           ~doc:"On-disk index directory: either one built with \
+                 $(b,oasis index), or a live log-structured one grown with \
+                 $(b,oasis append) (detected automatically; --db is then \
+                 unnecessary). Searches in memory when omitted.")
   in
   let query =
     Arg.(required & opt (some string) None & info [ "q"; "query" ] ~docv:"SEQ"
@@ -614,7 +732,12 @@ let search_cmd =
     (Cmd.info "search"
        ~doc:"Accurate online local-alignment search (the OASIS algorithm).")
     Term.(
-      const run $ fasta_arg ~doc:"FASTA database." "db" $ alphabet_arg
+      const run
+      $ opt_fasta_arg
+          ~doc:"FASTA database (not needed with a live --index, which \
+                carries its own sequences)."
+          "db"
+      $ alphabet_arg
       $ index_dir $ query $ matrix $ gap $ gap_open $ min_score $ evalue $ top
       $ with_alignments $ evalue_order $ format $ buffer_blocks $ max_columns
       $ max_nodes $ time_limit $ shards $ stats $ trace)
@@ -793,8 +916,67 @@ let level_conv =
   in
   Arg.conv (parse, print)
 
+(* Health table for a live log-structured index: one row per sealed
+   segment plus the journal. Exit is non-zero only for non-recoverable
+   states — a torn or corrupt journal TAIL is a normal post-crash
+   condition that the next open truncates. *)
+let verify_live_index ~alphabet ~level fs =
+  let verify =
+    match level with
+    | `Off -> Storage.Disk_tree.Off
+    | `Footer | `Full -> Storage.Disk_tree.Footer
+  in
+  match Storage.Live_index.inspect ~verify ~alphabet fs with
+  | Error msg ->
+    Printf.eprintf "FAIL: %s\n" msg;
+    exit 1
+  | Ok h ->
+    Printf.printf "live index, catalog v%d, %d sequences\n"
+      h.Storage.Live_index.health_version
+      h.Storage.Live_index.health_sequences;
+    Printf.printf "  %-18s %-10s %10s  %s\n" "file" "state" "sequences"
+      "detail";
+    List.iter
+      (fun (s : Storage.Live_index.segment_health) ->
+        Printf.printf "  %-18s %-10s %10d  %s\n"
+          s.segment.Storage.Catalog.name
+          (if s.segment_ok then "sealed" else "CORRUPT")
+          s.segment.Storage.Catalog.num_seqs s.segment_detail)
+      h.Storage.Live_index.health_segments;
+    let j = h.Storage.Live_index.health_journal in
+    let state, detail =
+      if not j.journal_readable then
+        ("UNREADABLE", "damaged header; not recoverable")
+      else
+        match j.journal_state with
+        | Storage.Segment_log.Sealed -> ("clean", "every record intact")
+        | Storage.Segment_log.Torn ->
+          ("torn", "incomplete tail record; the next open truncates it")
+        | Storage.Segment_log.Corrupted ->
+          ("corrupt", "damaged tail record; the next open truncates it")
+    in
+    Printf.printf "  %-18s %-10s %10d  %s\n" j.journal_file state
+      j.journal_records detail;
+    if h.Storage.Live_index.recoverable then
+      Printf.printf "OK: recoverable (opening replays the journal)\n"
+    else begin
+      Printf.eprintf "FAIL: not recoverable\n";
+      exit 1
+    end
+
 let verify_index_cmd =
   let run fasta alphabet dir level =
+    let fs = Storage.Vfs.dir dir in
+    if Storage.Live_index.exists fs then verify_live_index ~alphabet ~level fs
+    else begin
+    let fasta =
+      match fasta with
+      | Some f -> f
+      | None ->
+        failwith
+          "--db is required for a static index (only a live log-structured \
+           index carries its own sequences)"
+    in
     let seqs = Bioseq.Fasta.read_file ~alphabet fasta in
     let db = Bioseq.Database.make seqs in
     let sym_p, int_p, leaf_p = index_files dir in
@@ -807,7 +989,10 @@ let verify_index_cmd =
       (fun () ->
         (* The symbols payload (footer excluded) must be exactly the
            database concatenation. *)
-        let expected = Bioseq.Database.data db in
+        let expected =
+          Bytes.sub (Bioseq.Database.data db) 0
+            (Bioseq.Database.data_length db)
+        in
         let sym_payload =
           match Storage.Footer.read symbols with
           | Some f -> f.Storage.Footer.payload_length
@@ -865,6 +1050,7 @@ let verify_index_cmd =
         | Error msg ->
           Printf.eprintf "FAIL: %s\n" msg;
           exit 1)
+    end
   in
   let dir =
     Arg.(required & opt (some dir) None & info [ "index" ] ~docv:"DIR"
@@ -878,11 +1064,17 @@ let verify_index_cmd =
   in
   Cmd.v
     (Cmd.info "verify-index"
-       ~doc:"Check an on-disk index's integrity (footers, CRCs, structure) \
-             against its FASTA database.")
+       ~doc:"Check an on-disk index's integrity. A static index is checked \
+             against its FASTA database (footers, CRCs, structure); a live \
+             log-structured index prints a per-segment and journal health \
+             table, failing only for non-recoverable states.")
     Term.(
-      const run $ fasta_arg ~doc:"FASTA database." "db" $ alphabet_arg $ dir
-      $ level)
+      const run
+      $ opt_fasta_arg
+          ~doc:"FASTA database (static indexes only; a live index carries \
+                its own sequences)."
+          "db"
+      $ alphabet_arg $ dir $ level)
 
 (* --- stats --- *)
 
@@ -936,6 +1128,8 @@ let () =
       [
         generate_cmd;
         index_cmd;
+        append_cmd;
+        compact_cmd;
         search_cmd;
         batch_cmd;
         compare_cmd;
@@ -954,6 +1148,12 @@ let () =
     exit 2
   | Storage.Shard_manifest.Corrupt message ->
     Printf.eprintf "oasis: corrupt index (shard manifest): %s\n" message;
+    exit 2
+  | Storage.Segment_log.Corrupt message ->
+    Printf.eprintf "oasis: corrupt index (segment log): %s\n" message;
+    exit 2
+  | Storage.Catalog.Corrupt message ->
+    Printf.eprintf "oasis: corrupt index (catalog): %s\n" message;
     exit 2
   | Failure msg | Invalid_argument msg ->
     Printf.eprintf "oasis: %s\n" msg;

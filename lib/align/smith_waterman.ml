@@ -163,7 +163,7 @@ let search_rows ~rows ~dim ~m ~gap ~db ~min_score =
   reset ();
   let term = Bioseq.Alphabet.terminator (Bioseq.Database.alphabet db) in
   let data = Bioseq.Database.data db in
-  let n = Bytes.length data in
+  let n = Bioseq.Database.data_length db in
   let columns = ref 0 in
   let hits = ref [] in
   let seq_index = ref 0 in

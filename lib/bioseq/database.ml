@@ -1,47 +1,118 @@
+(* The concatenation lives in a buffer that may carry growth slack past
+   [used] (amortized-O(extra) appends): every consumer must bound its
+   scans with [data_length], never [Bytes.length (data db)].
+
+   Appending in place is only safe for the *newest* view of a buffer:
+   [tail] is shared by every view of one buffer and records the [used]
+   of the view that owns the slack. [append] on an older view (or a
+   foreign branch of the same history) falls back to copying, so the
+   value semantics are persistent even though the fast path mutates. *)
+
 type t = {
   alphabet : Alphabet.t;
   sequences : Sequence.t array;
   starts : int array; (* global position of each sequence's first symbol *)
   data : bytes; (* concatenation with a terminator after each sequence *)
+  used : int; (* bytes of [data] holding real concatenation *)
   total_symbols : int;
+  tail : int ref; (* shared per buffer: [used] of the newest view *)
 }
+
+let check_alphabet ~who alphabet s =
+  if Alphabet.name (Sequence.alphabet s) <> Alphabet.name alphabet then
+    invalid_arg (who ^ ": sequences use different alphabets")
+
+(* Write [seqs] (each followed by a terminator) into [data] starting at
+   [pos], recording their start offsets into [starts] from [seq_idx]. *)
+let blit_sequences ~alphabet ~data ~starts ~seq_idx ~pos seqs =
+  let term = Char.chr (Alphabet.terminator alphabet) in
+  let pos = ref pos and idx = ref seq_idx in
+  List.iter
+    (fun s ->
+      starts.(!idx) <- !pos;
+      let len = Sequence.length s in
+      Bytes.blit (Sequence.codes s) 0 data !pos len;
+      Bytes.set data (!pos + len) term;
+      pos := !pos + len + 1;
+      incr idx)
+    seqs;
+  !pos
 
 let make sequences =
   match sequences with
   | [] -> invalid_arg "Database.make: empty sequence list"
   | first :: _ ->
     let alphabet = Sequence.alphabet first in
-    List.iter
-      (fun s ->
-        if Alphabet.name (Sequence.alphabet s) <> Alphabet.name alphabet then
-          invalid_arg "Database.make: sequences use different alphabets")
-      sequences;
-    let sequences = Array.of_list sequences in
-    let n = Array.length sequences in
+    List.iter (check_alphabet ~who:"Database.make" alphabet) sequences;
+    let n = List.length sequences in
     let total_symbols =
-      Array.fold_left (fun acc s -> acc + Sequence.length s) 0 sequences
+      List.fold_left (fun acc s -> acc + Sequence.length s) 0 sequences
     in
-    let data = Bytes.create (total_symbols + n) in
+    let used = total_symbols + n in
+    let data = Bytes.create used in
     let starts = Array.make n 0 in
-    let term = Char.chr (Alphabet.terminator alphabet) in
-    let pos = ref 0 in
-    Array.iteri
-      (fun i s ->
-        starts.(i) <- !pos;
-        let len = Sequence.length s in
-        Bytes.blit (Sequence.codes s) 0 data !pos len;
-        Bytes.set data (!pos + len) term;
-        pos := !pos + len + 1)
-      sequences;
-    { alphabet; sequences; starts; data; total_symbols }
+    let final = blit_sequences ~alphabet ~data ~starts ~seq_idx:0 ~pos:0 sequences in
+    assert (final = used);
+    {
+      alphabet;
+      sequences = Array.of_list sequences;
+      starts;
+      data;
+      used;
+      total_symbols;
+      tail = ref used;
+    }
 
 let append db extra =
-  make (Array.to_list db.sequences @ extra)
+  if extra = [] then invalid_arg "Database.append: empty sequence list";
+  List.iter (check_alphabet ~who:"Database.append" db.alphabet) extra;
+  let n = Array.length db.sequences and k = List.length extra in
+  let added_symbols =
+    List.fold_left (fun acc s -> acc + Sequence.length s) 0 extra
+  in
+  let needed = added_symbols + k in
+  let starts = Array.make (n + k) 0 in
+  Array.blit db.starts 0 starts 0 n;
+  let sequences = Array.make (n + k) db.sequences.(0) in
+  Array.blit db.sequences 0 sequences 0 n;
+  List.iteri (fun i s -> sequences.(n + i) <- s) extra;
+  let data, tail =
+    if !(db.tail) = db.used && Bytes.length db.data - db.used >= needed then
+      (* [db] is the newest view of its buffer and the slack fits: write
+         the new sequences in place and advance the shared tail. Older
+         views keep reading their own [used]-bounded prefix, which the
+         in-place write never touches. *)
+      (db.data, db.tail)
+    else begin
+      (* Older view, or out of slack: copy once into a doubled buffer.
+         The single memcpy of the existing prefix keeps appends
+         amortized O(appended length) along any linear history. *)
+      let cap = max (db.used + needed) (2 * Bytes.length db.data) in
+      let data = Bytes.create cap in
+      Bytes.blit db.data 0 data 0 db.used;
+      (data, ref db.used)
+    end
+  in
+  let final =
+    blit_sequences ~alphabet:db.alphabet ~data ~starts ~seq_idx:n ~pos:db.used
+      extra
+  in
+  assert (final = db.used + needed);
+  tail := db.used + needed;
+  {
+    db with
+    sequences;
+    starts;
+    data;
+    used = db.used + needed;
+    total_symbols = db.total_symbols + added_symbols;
+    tail;
+  }
 
 let alphabet db = db.alphabet
 let num_sequences db = Array.length db.sequences
 let total_symbols db = db.total_symbols
-let data_length db = Bytes.length db.data
+let data_length db = db.used
 let code db pos = Char.code (Bytes.get db.data pos)
 let data db = db.data
 let seq db i = db.sequences.(i)

@@ -17,7 +17,16 @@ val append : t -> Sequence.t list -> t
     by [extra]. The concatenation layout is deterministic, so every
     global position of [db] denotes the same symbol in the result — the
     property incremental index updates ({!Suffix_tree}'s
-    [Ukkonen.extend]) rely on. *)
+    [Ukkonen.extend]) rely on.
+
+    Cost is amortized O(length of [extra]) along a linear append
+    history: the concatenation buffer carries doubling slack and is
+    extended in place when [db] is the newest view of it (both results
+    then share one buffer, which is what lets [Ukkonen.extend] keep the
+    old tree's positions valid). Appending to an {e older} view falls
+    back to one copy of the prefix, so the value semantics stay
+    persistent. Raises [Invalid_argument] on an empty list or an
+    alphabet mismatch. *)
 
 val alphabet : t -> Alphabet.t
 
@@ -35,7 +44,10 @@ val code : t -> int -> int
     (possibly the terminator). *)
 
 val data : t -> bytes
-(** The raw concatenation (read-only). *)
+(** The raw concatenation buffer (read-only). Its physical length may
+    exceed {!data_length} — {!append} keeps growth slack past the real
+    concatenation — so bound every scan with [data_length db], never
+    [Bytes.length (data db)]. *)
 
 val seq : t -> int -> Sequence.t
 (** [seq db i] is the [i]-th sequence. *)

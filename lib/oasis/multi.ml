@@ -1,0 +1,236 @@
+let neg_inf = Scoring.Submat.neg_inf
+
+type part =
+  | Mem of {
+      tree : Suffix_tree.Tree.t;
+      db : Bioseq.Database.t;
+      first_seq : int;
+    }
+  | Disk of {
+      tree : Storage.Disk_tree.t;
+      db : Bioseq.Database.t;
+      first_seq : int;
+    }
+
+(* One engine behind a uniform face: the part list mixes disk segments
+   and the in-memory tail, so the per-part engines are packed as closure
+   records instead of a functor instantiation. *)
+type engine = {
+  e_next : unit -> Hit.t option;
+  e_frontier_bound : unit -> int;
+  e_counters : unit -> Counters.t;
+  e_outcome : unit -> Engine.outcome;
+}
+
+type slot = {
+  index : int;
+  piece : Shard.piece;
+  engine : engine;
+  mutable head : Hit.t option; (* next hit, globalized, not yet released *)
+  mutable bound : int; (* admissible bound on everything unseen *)
+  mutable done_ : bool;
+  mutable outcome : Engine.outcome; (* meaningful once done_ *)
+}
+
+type t = { slots : slot array; mutable drained : bool }
+
+let part_db = function Mem { db; _ } | Disk { db; _ } -> db
+let part_first_seq = function
+  | Mem { first_seq; _ } | Disk { first_seq; _ } -> first_seq
+
+let make_engine part ~query config =
+  match part with
+  | Mem { tree; db; _ } ->
+    let e = Engine.Mem.create ~source:tree ~db ~query config in
+    {
+      e_next = (fun () -> Engine.Mem.next e);
+      e_frontier_bound = (fun () -> Engine.Mem.frontier_bound e);
+      e_counters = (fun () -> Engine.Mem.counters e);
+      e_outcome = (fun () -> Engine.Mem.outcome e);
+    }
+  | Disk { tree; db; _ } ->
+    let e = Engine.Disk.create ~source:tree ~db ~query config in
+    {
+      e_next = (fun () -> Engine.Disk.next e);
+      e_frontier_bound = (fun () -> Engine.Disk.frontier_bound e);
+      e_counters = (fun () -> Engine.Disk.counters e);
+      e_outcome = (fun () -> Engine.Disk.outcome e);
+    }
+
+let create ~parts ~query (config : Engine.config) =
+  let n = Array.length parts in
+  if n = 0 then invalid_arg "Multi.create: no parts";
+  let firsts = Array.map part_first_seq parts in
+  Array.iteri
+    (fun i f ->
+      if i > 0 && f <= firsts.(i - 1) then
+        invalid_arg "Multi.create: parts not in sequence order")
+    firsts;
+  let weights =
+    Array.map
+      (fun p -> max 1 (Bioseq.Database.total_symbols (part_db p)))
+      parts
+  in
+  let b = config.Engine.budget in
+  let columns = Parallel.split_limit weights b.Engine.max_columns in
+  let expanded = Parallel.split_limit weights b.Engine.max_expanded in
+  let slots =
+    Array.mapi
+      (fun i part ->
+        let config =
+          {
+            config with
+            Engine.budget =
+              {
+                Engine.max_columns = columns.(i);
+                max_expanded = expanded.(i);
+                time_limit = b.Engine.time_limit;
+              };
+          }
+        in
+        let engine = make_engine part ~query config in
+        {
+          index = i;
+          piece =
+            { Shard.db = part_db part; first_seq = part_first_seq part };
+          engine;
+          head = None;
+          bound = engine.e_frontier_bound ();
+          done_ = false;
+          outcome = Engine.Searching;
+        })
+      parts
+  in
+  { slots; drained = false }
+
+let num_parts t = Array.length t.slots
+
+(* Pull one hit from a slot into its buffer (or discover it finished).
+   Unlike the multicore merge, which waits for worker pushes, the
+   sequential merge advances the specific engine whose bound blocks the
+   release — this is what makes the interleaving deterministic. *)
+let fill slot =
+  if slot.head = None && not slot.done_ then begin
+    match slot.engine.e_next () with
+    | Some h ->
+      slot.head <- Some (Shard.globalize slot.piece h);
+      (* frontier_bound is already <= h.score after the pop; the min is
+         belt and braces for the merge invariant. *)
+      slot.bound <- min (slot.engine.e_frontier_bound ()) h.Hit.score
+    | None ->
+      slot.done_ <- true;
+      slot.bound <- neg_inf;
+      slot.outcome <- slot.engine.e_outcome ()
+  end
+
+let head_score slot =
+  match slot.head with Some h -> h.Hit.score | None -> neg_inf
+
+(* Same release rule as the multicore merge: candidate = max buffered
+   head (lowest part index on ties); safe iff every other part that
+   could still produce something satisfies s > bound_j, or s = bound_j
+   with j on the losing side (> i) of the tie order. The first blocking
+   part is advanced and the rule re-evaluated. *)
+let next t =
+  let rec loop () =
+    let best = ref (-1) in
+    Array.iteri
+      (fun i s ->
+        if s.head <> None then
+          if !best < 0 || head_score s > head_score t.slots.(!best) then
+            best := i)
+      t.slots;
+    match !best with
+    | -1 -> (
+      match
+        Array.find_opt (fun s -> (not s.done_) && s.head = None) t.slots
+      with
+      | Some s ->
+        fill s;
+        loop ()
+      | None ->
+        t.drained <- true;
+        None)
+    | i -> (
+      let s = head_score t.slots.(i) in
+      let blocking = ref None in
+      Array.iteri
+        (fun j sh ->
+          if
+            !blocking = None && j <> i
+            && (not sh.done_)
+            && sh.head = None
+            && not (s > sh.bound || (s = sh.bound && j > i))
+          then blocking := Some sh)
+        t.slots;
+      match !blocking with
+      | Some sh ->
+        fill sh;
+        loop ()
+      | None ->
+        let h = t.slots.(i).head in
+        t.slots.(i).head <- None;
+        h)
+  in
+  loop ()
+
+let run ?limit t =
+  let rec go acc n =
+    if n = 0 then List.rev acc
+    else
+      match next t with
+      | None -> List.rev acc
+      | Some h -> go (h :: acc) (n - 1)
+  in
+  go [] (match limit with None -> -1 | Some l -> l)
+
+let peek_bound t =
+  let b =
+    Array.fold_left
+      (fun acc s ->
+        let sb =
+          if s.head <> None then head_score s
+          else if s.done_ then neg_inf
+          else s.bound
+        in
+        max acc sb)
+      neg_inf t.slots
+  in
+  if b = neg_inf then None else Some b
+
+let outcome t =
+  if
+    (not t.drained)
+    && Array.exists (fun s -> (not s.done_) || s.head <> None) t.slots
+  then Engine.Searching
+  else
+    let bound =
+      Array.fold_left
+        (fun acc s ->
+          match s.outcome with
+          | Engine.Exhausted { remaining_bound } -> max acc remaining_bound
+          | _ -> acc)
+        neg_inf t.slots
+    in
+    if bound > neg_inf then Engine.Exhausted { remaining_bound = bound }
+    else if
+      Array.exists
+        (fun s ->
+          match s.outcome with Engine.Exhausted _ -> true | _ -> false)
+        t.slots
+    then Engine.Exhausted { remaining_bound = neg_inf }
+    else Engine.Complete
+
+let counters t =
+  Counters.sum
+    (Array.to_list (Array.map (fun s -> s.engine.e_counters ()) t.slots))
+
+let parts_of_snapshot (snapshot : Storage.Live_index.snapshot) =
+  Array.of_list
+    (List.map
+       (function
+         | Storage.Live_index.Disk_part { tree; db; first_seq } ->
+           Disk { tree; db; first_seq }
+         | Storage.Live_index.Mem_part { tree; db; first_seq } ->
+           Mem { tree; db; first_seq })
+       snapshot.Storage.Live_index.parts)

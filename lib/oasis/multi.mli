@@ -1,0 +1,73 @@
+(** Merged search over a heterogeneous index — sealed disk segments plus
+    the in-memory tail of a {!Storage.Live_index} — as one online hit
+    stream.
+
+    Each part runs its own engine ({!Engine.Mem} over the tail's suffix
+    tree, {!Engine.Disk} over each sealed segment) and the streams merge
+    under exactly the multicore merge's release rule (see {!Parallel}):
+    the best buffered head — score [s] from part [i] — is released only
+    when every other part [j] that could still produce a hit satisfies
+    [s > bound_j \/ (s = bound_j /\ j > i)]. The merge is sequential
+    and {e demand-driven}: instead of waiting for worker pushes it
+    advances precisely the part whose bound blocks the release, so the
+    merged stream is a deterministic function of the part streams.
+
+    Guarantees, mirroring {!Parallel}:
+
+    - the merged stream is globally non-increasing in score, every hit
+      carries its {e global} sequence index, and each sequence is
+      reported at most once (parts partition the sequences);
+    - with a single part the stream is {e bit-identical} to that
+      engine's own;
+    - across parts, equal-score hits emit in increasing part index —
+      the same deterministic tie shuffle the sharded search has, and
+      the only way the stream may differ from a monolithic index over
+      the identical database (plus the stop-coordinate caveat of
+      {!Parallel} when a tie has several optimal endpoints);
+    - [max_columns]/[max_expanded] budgets are split across parts in
+      proportion to symbol count ({!Parallel.split_limit}); the
+      aggregate {!outcome} is [Exhausted] with the max remaining bound
+      as soon as any part exhausted, and hits already emitted are exact
+      and final. [time_limit] is passed to each part unchanged (the
+      parts time-share one thread, so the wall clock is a cap on the
+      whole merge, checked per part). *)
+
+type part =
+  | Mem of {
+      tree : Suffix_tree.Tree.t;
+      db : Bioseq.Database.t;
+      first_seq : int;
+    }
+  | Disk of {
+      tree : Storage.Disk_tree.t;
+      db : Bioseq.Database.t;
+      first_seq : int;
+    }
+
+type t
+
+val create : parts:part array -> query:Bioseq.Sequence.t -> Engine.config -> t
+(** Parts must be in sequence order (strictly increasing [first_seq]);
+    raises [Invalid_argument] otherwise or when [parts] is empty. Each
+    part's engine is created eagerly; no hit is computed until
+    {!next}. *)
+
+val parts_of_snapshot : Storage.Live_index.snapshot -> part array
+(** The searchable parts of a pinned live-index snapshot, in sequence
+    order (empty for an empty index — {!create} rejects it; callers
+    short-circuit to no hits). *)
+
+val next : t -> Hit.t option
+(** Next merged hit; [None] once every part drained. Non-increasing
+    scores, each global sequence at most once. *)
+
+val run : ?limit:int -> t -> Hit.t list
+
+val peek_bound : t -> int option
+(** Admissible upper bound on every hit {!next} can still return. *)
+
+val outcome : t -> Engine.outcome
+val counters : t -> Counters.t
+(** {!Counters.sum} across parts. *)
+
+val num_parts : t -> int

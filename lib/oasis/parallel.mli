@@ -54,6 +54,14 @@
     A worker that raises poisons the stream: the first exception is
     re-raised from the next {!Make.next} call. *)
 
+val split_limit : int array -> int option -> int option array
+(** Largest-remainder split of an optional limit over weights: quotas
+    sum exactly to the limit, each share proportional to its weight,
+    deterministic (remainder to the largest fractional parts, lowest
+    index first on ties). Shared with {!Multi}, which splits budgets
+    over heterogeneous index parts the same way this module splits them
+    over shards. *)
+
 module Make (S : Source.S) : sig
   type shard_source = {
     source : S.t;  (** suffix tree over [piece.db] *)

@@ -34,7 +34,7 @@ type stats = {
 let search cfg ~sa ~query =
   let db = Suffix_tree.Suffix_array.database sa in
   let data = Bioseq.Database.data db in
-  let n = Bytes.length data in
+  let n = Bioseq.Database.data_length db in
   let m = Bioseq.Sequence.length query in
   let qcodes = Bioseq.Sequence.codes query in
   (* Half-overlapping blocks: stride = block_size / 2; position p lands

@@ -34,10 +34,10 @@ let of_database db =
   let size = Bioseq.Alphabet.size alphabet in
   let counts = Array.make size 0 in
   let data = Bioseq.Database.data db in
-  Bytes.iter
-    (fun c ->
-      let code = Char.code c in
-      if code < size then counts.(code) <- counts.(code) + 1)
-    data;
+  (* Bound by data_length: the buffer may carry append slack. *)
+  for i = 0 to Bioseq.Database.data_length db - 1 do
+    let code = Char.code (Bytes.get data i) in
+    if code < size then counts.(code) <- counts.(code) + 1
+  done;
   let total = float_of_int (Bioseq.Database.total_symbols db) in
   Array.map (fun c -> float_of_int c /. total) counts

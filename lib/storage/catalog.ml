@@ -1,0 +1,155 @@
+(* The versioned root of the log-structured index. Each catalog file is
+   immutable and names the index's complete contents — the sealed
+   segments (in sequence order) and the live journal. Installation is
+   write-temp / rename, so [catalog.<v+1>] appears atomically and a
+   crash at any boundary leaves [catalog.<v>] live.
+
+   Payload (all u32 LE unless noted):
+
+     +0   magic "OASC"
+     +4   format version
+     +8   catalog version
+     +12  [u32 |journal|][journal name bytes]
+     ...  segment count K
+     ...  K entries of [u32 |name|][name][first_seq][num_seqs][symbols]
+
+   followed by the standard 16-byte integrity footer. *)
+
+let magic = 0x4353414F (* "OASC" *)
+let format_version = 1
+let tmp_name = "catalog.tmp"
+let filename version = Printf.sprintf "catalog.%06d" version
+
+let of_filename name =
+  match String.index_opt name '.' with
+  | Some 7 when String.sub name 0 8 = "catalog." -> (
+    let v = String.sub name 8 (String.length name - 8) in
+    match int_of_string_opt v with
+    | Some n when n >= 0 && String.length v = 6 -> Some n
+    | _ -> None)
+  | _ -> None
+
+type segment = { name : string; first_seq : int; num_seqs : int; symbols : int }
+type t = { version : int; journal : string; segments : segment list }
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+let put_u32 buf v =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Catalog: field out of u32 range";
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF))
+
+let put_str buf s =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let get_u32 b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let encode t =
+  let buf = Buffer.create 256 in
+  put_u32 buf magic;
+  put_u32 buf format_version;
+  put_u32 buf t.version;
+  put_str buf t.journal;
+  put_u32 buf (List.length t.segments);
+  List.iter
+    (fun s ->
+      put_str buf s.name;
+      put_u32 buf s.first_seq;
+      put_u32 buf s.num_seqs;
+      put_u32 buf s.symbols)
+    t.segments;
+  Buffer.to_bytes buf
+
+let decode b =
+  let len = Bytes.length b in
+  let pos = ref 0 in
+  let u32 what =
+    if !pos + 4 > len then corrupt "catalog truncated reading %s" what;
+    let v = get_u32 b !pos in
+    pos := !pos + 4;
+    v
+  in
+  let str what =
+    let n = u32 what in
+    if !pos + n > len then corrupt "catalog truncated reading %s" what;
+    let s = Bytes.sub_string b !pos n in
+    pos := !pos + n;
+    s
+  in
+  if u32 "magic" <> magic then corrupt "catalog: bad magic";
+  let v = u32 "format version" in
+  if v <> format_version then corrupt "catalog: unsupported format version %d" v;
+  let version = u32 "catalog version" in
+  let journal = str "journal name" in
+  if journal = "" then corrupt "catalog: empty journal name";
+  let k = u32 "segment count" in
+  let segments =
+    List.init k (fun _ ->
+        let name = str "segment name" in
+        if name = "" then corrupt "catalog: empty segment name";
+        let first_seq = u32 "first_seq" in
+        let num_seqs = u32 "num_seqs" in
+        let symbols = u32 "symbols" in
+        { name; first_seq; num_seqs; symbols })
+  in
+  if !pos <> len then corrupt "catalog: %d trailing payload bytes" (len - !pos);
+  let next = ref 0 in
+  List.iter
+    (fun s ->
+      if s.first_seq <> !next || s.num_seqs < 1 then
+        corrupt "catalog: segment ranges not contiguous from sequence 0";
+      next := s.first_seq + s.num_seqs)
+    segments;
+  { version; journal; segments }
+
+let read_device device =
+  (match Footer.verify device with
+  | Error msg -> corrupt "catalog: %s" msg
+  | Ok _ -> ());
+  let len = Device.length device - Footer.size in
+  let b = Bytes.create len in
+  Device.pread device ~off:0 ~buf:b;
+  decode b
+
+let read fs name =
+  let device = Vfs.open_ro fs name in
+  Fun.protect ~finally:(fun () -> Device.close device) (fun () ->
+      let t = read_device device in
+      (match of_filename name with
+      | Some v when v <> t.version ->
+        corrupt "catalog %s claims version %d" name t.version
+      | _ -> ());
+      t)
+
+let install fs t =
+  let device = Vfs.create fs tmp_name in
+  Fun.protect
+    ~finally:(fun () -> Device.close device)
+    (fun () ->
+      Device.append device (encode t);
+      Footer.append device;
+      Device.sync device);
+  (* The commit point: POSIX rename atomically replaces any previous
+     file of the same version (there is none in normal operation). *)
+  Vfs.rename fs ~src:tmp_name ~dst:(filename t.version)
+
+let versions fs =
+  Vfs.files fs |> List.filter_map of_filename |> List.sort Int.compare
+
+let latest fs =
+  match versions fs with
+  | [] -> None
+  | vs ->
+    (* The newest catalog is authoritative; rename-installation means it
+       is complete, so failing to parse it is real corruption — falling
+       back to an older version would silently time-travel the index. *)
+    Some (read fs (filename (List.fold_left max 0 vs)))

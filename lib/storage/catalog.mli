@@ -1,0 +1,57 @@
+(** Versioned root of the log-structured index (the {!Shard_manifest}
+    idea generalized to an evolving index).
+
+    A catalog file is immutable and names the complete index contents: a
+    list of sealed {!segment}s in sequence order plus the live journal's
+    file name. New versions are {!install}ed by writing [catalog.tmp]
+    and renaming it to [catalog.<version>] — POSIX rename is atomic, so
+    readers and crash recovery always find either the old catalog or the
+    new one, never a torn root. Everything a catalog does not reference
+    is garbage, collected on the next open.
+
+    {!latest} treats the highest-numbered catalog file as authoritative:
+    because installation is atomic, a catalog that fails verification is
+    real corruption and raises {!Corrupt} rather than silently falling
+    back to an older version of the index. *)
+
+type segment = {
+  name : string;  (** base name; components are [name ^ ".seqs"] etc. *)
+  first_seq : int;
+  num_seqs : int;
+  symbols : int;  (** symbols + terminators, the segment data length *)
+}
+
+type t = {
+  version : int;
+  journal : string;  (** live journal file name *)
+  segments : segment list;  (** in sequence order, contiguous from 0 *)
+}
+
+exception Corrupt of string
+
+val filename : int -> string
+(** ["catalog.%06d"] — zero-padded so the lexicographic order of
+    directory listings matches version order. *)
+
+val tmp_name : string
+(** ["catalog.tmp"], the staging name {!install} renames from. *)
+
+val of_filename : string -> int option
+(** Parse a catalog file name back to its version. *)
+
+val install : Vfs.t -> t -> unit
+(** Write-temp / rename. After it returns the new version is the index
+    root; a crash at any earlier boundary leaves the previous root
+    live. *)
+
+val read : Vfs.t -> string -> t
+(** Read and fully verify one catalog file; {!Corrupt} on any damage or
+    on a version/filename mismatch. *)
+
+val latest : Vfs.t -> t option
+(** The highest-versioned catalog, fully verified. [None] when no
+    catalog file exists (no index in this directory). *)
+
+val versions : Vfs.t -> int list
+(** All catalog versions present, ascending (stale ones linger only
+    until the next open's garbage collection). *)

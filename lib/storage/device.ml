@@ -7,6 +7,7 @@ type t = {
   append : bytes -> unit;
   pwrite : off:int -> bytes -> unit;
   pread : off:int -> buf:bytes -> unit;
+  sync : unit -> unit;
   close : unit -> unit;
 }
 
@@ -14,10 +15,11 @@ let length t = t.length ()
 let append t data = t.append data
 let pwrite t ~off data = t.pwrite ~off data
 let pread t ~off ~buf = t.pread ~off ~buf
+let sync t = t.sync ()
 let close t = t.close ()
 
-let make ~length ~append ~pwrite ~pread ~close =
-  { length; append; pwrite; pread; close }
+let make ~length ~append ~pwrite ~pread ~sync ~close =
+  { length; append; pwrite; pread; sync; close }
 
 (* --- In-memory backend --- *)
 
@@ -53,6 +55,7 @@ let in_memory () =
         let avail = max 0 (min want (m.mlen - off)) in
         if avail > 0 then Bytes.blit m.data off buf 0 avail;
         if avail < want then Bytes.fill buf avail (want - avail) '\000');
+    sync = (fun () -> ());
     close = (fun () -> ());
   }
 
@@ -110,6 +113,17 @@ let of_file_state f =
               seek_in f.ic off;
               really_input f.ic buf 0 avail);
         if avail < want then Bytes.fill buf avail (want - avail) '\000');
+    sync =
+      (fun () ->
+        (* A write barrier: nothing appended before this point may be
+           reported durable until the channel has been flushed. (True
+           fsync durability is beyond stdlib channels; the flush still
+           surfaces deferred failures such as ENOSPC at the barrier.) *)
+        match f.oc with
+        | None -> ()
+        | Some oc ->
+          io ~path:f.path Io_error.Flush (fun () -> flush oc);
+          f.dirty <- false);
     close =
       (fun () ->
         (* Flush explicitly before closing so a full disk (ENOSPC) or
@@ -145,3 +159,19 @@ let open_file path =
   let ic = io ~path Io_error.Open (fun () -> open_in_bin path) in
   let flen = io ~path Io_error.Open (fun () -> in_channel_length ic) in
   of_file_state { path; ic; oc = None; dirty = false; flen }
+
+let open_append path =
+  (* Like [file] but keeps any existing contents: the journal reopens
+     for appending after recovery. *)
+  let oc =
+    io ~path Io_error.Open (fun () ->
+        open_out_gen [ Open_wronly; Open_creat; Open_binary ] 0o644 path)
+  in
+  let ic =
+    try io ~path Io_error.Open (fun () -> open_in_bin path)
+    with e ->
+      close_out_noerr oc;
+      raise e
+  in
+  let flen = io ~path Io_error.Open (fun () -> in_channel_length ic) in
+  of_file_state { path; ic; oc = Some oc; dirty = false; flen }

@@ -23,11 +23,17 @@ val open_file : string -> t
 (** Opens an existing file read-only; {!append} raises. Raises
     {!Io_error.E} (op [Open]) on a missing path or permission denial. *)
 
+val open_append : string -> t
+(** Opens [path] read/write {e without truncating}: existing contents
+    are kept and {!append} continues past them (used to reopen the
+    journal after recovery). Creates the file when missing. *)
+
 val make :
   length:(unit -> int) ->
   append:(bytes -> unit) ->
   pwrite:(off:int -> bytes -> unit) ->
   pread:(off:int -> buf:bytes -> unit) ->
+  sync:(unit -> unit) ->
   close:(unit -> unit) ->
   t
 (** Build a device from raw operations — the hook used by combinators
@@ -47,6 +53,12 @@ val pwrite : t -> off:int -> bytes -> unit
 val pread : t -> off:int -> buf:bytes -> unit
 (** Fill all of [buf] from offset [off]; bytes past end-of-device are
     zero. *)
+
+val sync : t -> unit
+(** Write barrier: everything appended or overwritten before the call is
+    flushed to the backend before it returns. A no-op for in-memory
+    devices; for files any deferred write failure (e.g. ENOSPC) raises
+    {!Io_error.E} (op [Flush]) here instead of at {!close}. *)
 
 val close : t -> unit
 (** Flush and release; in-memory devices keep their contents. A dirty

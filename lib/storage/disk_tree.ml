@@ -220,14 +220,17 @@ let write ?(layout = Position_indexed) tree ~symbols ~internal ~leaves =
     || Device.length leaves <> 0
   then invalid_arg "Disk_tree.write: devices must be empty";
   let db = Suffix_tree.Tree.database tree in
-  let data = Bioseq.Database.data db in
+  (* The database buffer may carry append slack; write exactly the
+     concatenation. *)
+  let data_len = Bioseq.Database.data_length db in
+  let data = Bytes.sub (Bioseq.Database.data db) 0 data_len in
   Device.append symbols data;
   write_leaf_header leaves layout;
   (match layout with
   | Position_indexed ->
     (* Reserve the position-indexed array (backfilled via pwrite). *)
     Device.append leaves
-      (Bytes.make (leaf_entry_bytes * Bytes.length data) '\255')
+      (Bytes.make (leaf_entry_bytes * data_len) '\255')
   | Clustered -> ());
   (* Canonical sibling order at the root too: internal children first,
      then leaf children, matching both the interior-node layout (one

@@ -10,12 +10,12 @@ let write ?(layout = Disk_tree.Position_indexed) db ~symbols ~internal ~leaves =
     Device.length symbols <> 0 || Device.length internal <> 0
     || Device.length leaves <> 0
   then invalid_arg "External_build.write: devices must be empty";
-  let data = Bioseq.Database.data db in
-  Device.append symbols data;
+  let data_len = Bioseq.Database.data_length db in
+  Device.append symbols (Bytes.sub (Bioseq.Database.data db) 0 data_len);
   Disk_tree.Private.write_leaf_header leaves layout;
   (match layout with
   | Disk_tree.Position_indexed ->
-    Disk_tree.Private.reserve_position_leaves leaves (Bytes.length data)
+    Disk_tree.Private.reserve_position_leaves leaves data_len
   | Disk_tree.Clustered -> ());
   (* One first-symbol partition per alphabet code plus the terminator;
      each becomes at most one root child. *)

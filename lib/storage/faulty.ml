@@ -125,6 +125,87 @@ let wrap plan inner =
           h.bit_flips <- h.bit_flips + 1;
           Bytes.set buf i (Char.chr (Char.code (Bytes.get buf i) lxor (1 lsl bit)))
         end)
+      ~sync:(fun () ->
+        tick h Io_error.Flush;
+        Device.sync inner)
       ~close:(fun () -> Device.close inner)
   in
   (device, h)
+
+(* --- Simulated power loss --- *)
+
+(* One [crash] value is shared by every device and filesystem handle of
+   the simulated machine: when the budget runs out, the whole machine is
+   dead, not just the device whose op crossed the line. *)
+type crash = {
+  write_budget : int; (* write boundaries allowed before power loss *)
+  rename_budget : int; (* renames allowed before power loss *)
+  mutable dead : bool;
+  mutable write_ops : int;
+  mutable rename_ops : int;
+}
+
+let make_crash ~write_budget ~rename_budget =
+  { write_budget; rename_budget; dead = false; write_ops = 0; rename_ops = 0 }
+
+let crash_after ~writes =
+  if writes < 0 then invalid_arg "Faulty.crash_after: writes must be >= 0";
+  make_crash ~write_budget:writes ~rename_budget:max_int
+
+let crash_during_rename ~renames =
+  if renames < 0 then
+    invalid_arg "Faulty.crash_during_rename: renames must be >= 0";
+  make_crash ~write_budget:max_int ~rename_budget:renames
+
+let no_crash () = make_crash ~write_budget:max_int ~rename_budget:max_int
+let crashed c = c.dead
+let crash_write_count c = c.write_ops
+let crash_rename_count c = c.rename_ops
+
+let power_loss op = Io_error.error ~transient:false op "simulated power loss"
+let crash_check_alive c = if c.dead then power_loss Io_error.Read
+
+(* A write boundary either completes (budget left) or kills the machine
+   before any byte reaches the backend — there is no partial effect, so
+   torn states come from crashing {e between} the multiple appends a
+   higher-level record performs. *)
+let crash_write_boundary c =
+  if c.dead then power_loss Io_error.Write;
+  if c.write_ops >= c.write_budget then begin
+    c.dead <- true;
+    power_loss Io_error.Write
+  end;
+  c.write_ops <- c.write_ops + 1
+
+let crash_rename_boundary c =
+  crash_write_boundary c;
+  if c.rename_ops >= c.rename_budget then begin
+    c.dead <- true;
+    power_loss Io_error.Write
+  end;
+  c.rename_ops <- c.rename_ops + 1
+
+let wrap_crash c inner =
+  Device.make
+    ~length:(fun () ->
+      crash_check_alive c;
+      Device.length inner)
+    ~append:(fun data ->
+      crash_write_boundary c;
+      Device.append inner data)
+    ~pwrite:(fun ~off data ->
+      crash_write_boundary c;
+      Device.pwrite inner ~off data)
+    ~pread:(fun ~off ~buf ->
+      crash_check_alive c;
+      Device.pread inner ~off ~buf)
+    ~sync:(fun () ->
+      (* A barrier is not itself a boundary: the in-memory store
+         persists every completed write, so crash-after-sync and
+         crash-before-sync are the same machine state. *)
+      crash_check_alive c;
+      Device.sync inner)
+    ~close:(fun () ->
+      (* Closing a dead device succeeds: recovery code unwinding from a
+         simulated power loss must be able to release handles. *)
+      if not c.dead then Device.close inner)

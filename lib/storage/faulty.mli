@@ -62,3 +62,54 @@ val wrap : plan -> Device.t -> Device.t * handle
 (** The wrapped device plus a handle for inspecting injected faults. *)
 
 val stats : handle -> stats
+
+(** {1 Simulated power loss}
+
+    A {!crash} models the whole machine dying at a deterministic write
+    boundary. One crash value is shared by every device (and {!Vfs}
+    handle) of the simulated machine; once the budget is exhausted
+    {e every} subsequent operation — reads included — raises a permanent
+    {!Io_error.E} ("simulated power loss"). A boundary either completes
+    or has no effect at all: torn on-disk states arise from crashing
+    between the multiple appends of a higher-level record, which is
+    exactly how real page-sized writes tear.
+
+    The crash matrix (see [test_crash_matrix]) counts the write
+    boundaries of a workload with {!no_crash}, then replays it once per
+    boundary with [crash_after ~writes:n]. *)
+
+type crash
+
+val crash_after : writes:int -> crash
+(** The first [writes] write boundaries (appends, pwrites, and [Vfs]
+    creates/renames/removes) succeed; the next one kills the machine. *)
+
+val crash_during_rename : renames:int -> crash
+(** The first [renames] renames succeed; the next one kills the machine
+    {e without} performing the rename — the catalog-install boundary. *)
+
+val no_crash : unit -> crash
+(** Never fires; used to count a workload's write boundaries. *)
+
+val crashed : crash -> bool
+
+val crash_write_count : crash -> int
+(** Write boundaries crossed so far (the matrix width). *)
+
+val crash_rename_count : crash -> int
+
+val wrap_crash : crash -> Device.t -> Device.t
+(** Device view of the machine: write-class operations tick the write
+    budget; every operation raises once the machine is dead. [close]
+    always succeeds so recovery paths can release handles. *)
+
+val crash_write_boundary : crash -> unit
+(** Tick one write boundary (raises if the budget is exhausted) — used
+    by {!Vfs.with_crash} for metadata writes (create/remove). *)
+
+val crash_rename_boundary : crash -> unit
+(** A rename boundary: a write boundary plus the rename budget. Raises
+    {e before} the rename takes effect when either budget is out. *)
+
+val crash_check_alive : crash -> unit
+(** Raise if the machine is already dead (read-class operations). *)

@@ -1,0 +1,519 @@
+(* The log-structured incremental index: sealed immutable segments (the
+   §3.4 on-disk representation, built by the §3.4.1 external builder)
+   plus a journaled in-memory tail, rooted in a versioned catalog that
+   is installed atomically by rename.
+
+   Invariants the crash matrix leans on:
+
+   - every mutation is append-only or write-temp/rename: no live file is
+     ever overwritten in place;
+   - the catalog rename is the only commit point — a crash at any other
+     boundary leaves the previous catalog describing a complete index,
+     and everything it does not reference is garbage;
+   - appends reach the journal (and its sync barrier) before the
+     in-memory tail, so a recovered index is always a prefix of the
+     acknowledged one. *)
+
+type open_segment = {
+  seg : Catalog.segment;
+  tree : Disk_tree.t;
+  seg_db : Bioseq.Database.t;
+  devices : Device.t list;
+}
+
+type retired = {
+  at_version : int;  (* last catalog version that referenced the files *)
+  files : string list;
+  stale_devices : Device.t list;
+}
+
+type t = {
+  fs : Vfs.t;
+  alphabet : Bioseq.Alphabet.t;
+  verify : Disk_tree.verify;
+  block_size : int;
+  capacity : int;
+  mutable catalog : Catalog.t;
+  mutable segments : open_segment list; (* sequence order *)
+  mutable journal : Device.t;
+  mutable tail_db : Bioseq.Database.t option;
+  mutable tail_tree : Suffix_tree.Tree.t option;
+  mutable tail_shared : bool; (* a live snapshot references tail_tree *)
+  mutable pins : (int * int ref) list; (* catalog version -> snapshots *)
+  mutable retired : retired list;
+  mutable closed : bool;
+}
+
+type part =
+  | Disk_part of {
+      tree : Disk_tree.t;
+      db : Bioseq.Database.t;
+      first_seq : int;
+    }
+  | Mem_part of {
+      tree : Suffix_tree.Tree.t;
+      db : Bioseq.Database.t;
+      first_seq : int;
+    }
+
+type snapshot = { snap_version : int; parts : part list }
+
+let segment_files (seg : Catalog.segment) =
+  [
+    seg.name ^ ".seqs";
+    seg.name ^ ".symbols";
+    seg.name ^ ".internal";
+    seg.name ^ ".leaves";
+  ]
+
+let journal_name version = Printf.sprintf "journal.%06d" version
+let segment_name version = Printf.sprintf "seg%06d" version
+
+let check_open ~who t =
+  if t.closed then invalid_arg (who ^ ": index is closed")
+
+let db_sequences db =
+  List.init (Bioseq.Database.num_sequences db) (Bioseq.Database.seq db)
+
+let seg_seq_count (cat : Catalog.t) =
+  match List.rev cat.segments with
+  | [] -> 0
+  | last :: _ -> last.first_seq + last.num_seqs
+
+let tail_first_seq t = seg_seq_count t.catalog
+
+let num_sequences t =
+  tail_first_seq t
+  + match t.tail_db with
+    | None -> 0
+    | Some db -> Bioseq.Database.num_sequences db
+
+let sequences t =
+  List.concat_map (fun os -> db_sequences os.seg_db) t.segments
+  @ (match t.tail_db with None -> [] | Some db -> db_sequences db)
+
+let catalog_version t = t.catalog.Catalog.version
+let alphabet t = t.alphabet
+let tail_sequences t =
+  match t.tail_db with
+  | None -> 0
+  | Some db -> Bioseq.Database.num_sequences db
+
+(* --- Opening a sealed segment --- *)
+
+let open_segment ~verify ~alphabet ~block_size ~capacity fs
+    (seg : Catalog.segment) =
+  let seqs_device = Vfs.open_ro fs (seg.name ^ ".seqs") in
+  let scan =
+    Fun.protect
+      ~finally:(fun () -> Device.close seqs_device)
+      (fun () -> Segment_log.scan ~sealed:true ~alphabet seqs_device)
+  in
+  if List.length scan.Segment_log.sequences <> seg.num_seqs then
+    raise
+      (Segment_log.Corrupt
+         (Printf.sprintf "segment %s: catalog claims %d sequences, found %d"
+            seg.name seg.num_seqs
+            (List.length scan.Segment_log.sequences)));
+  let seg_db = Bioseq.Database.make scan.Segment_log.sequences in
+  if Bioseq.Database.data_length seg_db <> seg.symbols then
+    raise
+      (Segment_log.Corrupt
+         (Printf.sprintf "segment %s: catalog claims %d symbols, found %d"
+            seg.name seg.symbols
+            (Bioseq.Database.data_length seg_db)));
+  let symbols = Vfs.open_ro fs (seg.name ^ ".symbols") in
+  let internal = Vfs.open_ro fs (seg.name ^ ".internal") in
+  let leaves = Vfs.open_ro fs (seg.name ^ ".leaves") in
+  let devices = [ symbols; internal; leaves ] in
+  match
+    let pool = Buffer_pool.create ~block_size ~capacity in
+    Disk_tree.open_ ~verify ~alphabet ~pool ~symbols ~internal ~leaves ()
+  with
+  | tree -> { seg; tree; seg_db; devices }
+  | exception e ->
+    List.iter Device.close devices;
+    raise e
+
+(* --- Lifecycle --- *)
+
+let make_t ~fs ~alphabet ~verify ~block_size ~capacity ~catalog ~segments
+    ~journal ~tail_db ~tail_tree =
+  {
+    fs;
+    alphabet;
+    verify;
+    block_size;
+    capacity;
+    catalog;
+    segments;
+    journal;
+    tail_db;
+    tail_tree;
+    tail_shared = false;
+    pins = [];
+    retired = [];
+    closed = false;
+  }
+
+let create ?(verify = Disk_tree.Footer) ?(block_size = 2048) ?(capacity = 256)
+    ~alphabet fs =
+  (match Catalog.latest fs with
+  | Some _ -> invalid_arg "Live_index.create: index already exists"
+  | None -> ());
+  let journal = journal_name 0 in
+  let jd = Vfs.create fs journal in
+  Fun.protect
+    ~finally:(fun () -> Device.close jd)
+    (fun () -> Segment_log.create jd);
+  let catalog = { Catalog.version = 0; journal; segments = [] } in
+  Catalog.install fs catalog;
+  make_t ~fs ~alphabet ~verify ~block_size ~capacity ~catalog ~segments:[]
+    ~journal:(Vfs.open_rw fs journal) ~tail_db:None ~tail_tree:None
+
+(* Remove everything the catalog does not reference: stale catalogs and
+   temp files, segments from crashed compactions, orphaned journals. *)
+let gc fs (cat : Catalog.t) =
+  let keep =
+    Catalog.filename cat.version :: cat.journal
+    :: List.concat_map segment_files cat.segments
+  in
+  List.iter
+    (fun f -> if not (List.mem f keep) then Vfs.remove fs f)
+    (Vfs.files fs)
+
+type recovery = {
+  replayed : int;  (** journal records replayed into the tail *)
+  truncated : Segment_log.state;  (** [Sealed] when nothing was cut *)
+}
+
+let open_ ?(verify = Disk_tree.Footer) ?(block_size = 2048) ?(capacity = 256)
+    ~alphabet fs =
+  match Catalog.latest fs with
+  | None ->
+    Io_error.error Io_error.Open "Live_index.open_: no catalog (not an index)"
+  | Some catalog ->
+    gc fs catalog;
+    let segments =
+      List.map
+        (open_segment ~verify ~alphabet ~block_size ~capacity fs)
+        catalog.segments
+    in
+    let scan =
+      if Vfs.exists fs catalog.journal then begin
+        let d = Vfs.open_ro fs catalog.journal in
+        Fun.protect
+          ~finally:(fun () -> Device.close d)
+          (fun () -> Segment_log.scan ~alphabet d)
+      end
+      else
+        (* Defensive: a referenced journal is created before the catalog
+           naming it is installed, so this only happens on manual
+           deletion. Recover to an empty tail. *)
+        { Segment_log.sequences = []; records = 0; valid_bytes = 0; state = Torn }
+    in
+    if scan.Segment_log.state <> Segment_log.Sealed then
+      Segment_log.rewrite fs ~name:catalog.journal scan.Segment_log.sequences;
+    let tail_db, tail_tree =
+      match scan.Segment_log.sequences with
+      | [] -> (None, None)
+      | seqs ->
+        let db = Bioseq.Database.make seqs in
+        (Some db, Some (Suffix_tree.Ukkonen.build db))
+    in
+    let t =
+      make_t ~fs ~alphabet ~verify ~block_size ~capacity ~catalog ~segments
+        ~journal:(Vfs.open_rw fs catalog.journal) ~tail_db ~tail_tree
+    in
+    (t, { replayed = scan.Segment_log.records; truncated = scan.Segment_log.state })
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Device.close t.journal;
+    List.iter (fun os -> List.iter Device.close os.devices) t.segments;
+    List.iter (fun r -> List.iter Device.close r.stale_devices) t.retired
+  end
+
+(* --- Snapshots and pinning --- *)
+
+let min_pinned t =
+  List.fold_left
+    (fun acc (v, n) -> if !n > 0 then Some (match acc with None -> v | Some m -> min m v) else acc)
+    None t.pins
+
+let collect_retired t =
+  let deletable r =
+    match min_pinned t with None -> true | Some m -> r.at_version < m
+  in
+  let gone, kept = List.partition deletable t.retired in
+  t.retired <- kept;
+  List.iter
+    (fun r ->
+      List.iter Device.close r.stale_devices;
+      List.iter
+        (fun f -> if Vfs.exists t.fs f then Vfs.remove t.fs f)
+        r.files)
+    gone
+
+let snapshot t =
+  check_open ~who:"Live_index.snapshot" t;
+  let seg_parts =
+    List.map
+      (fun os ->
+        Disk_part
+          { tree = os.tree; db = os.seg_db; first_seq = os.seg.first_seq })
+      t.segments
+  in
+  let tail_parts =
+    match (t.tail_db, t.tail_tree) with
+    | Some db, Some tree ->
+      (* The snapshot now shares the tail tree: the next append must
+         rebuild instead of extending in place (extend consumes its
+         input tree). *)
+      t.tail_shared <- true;
+      [ Mem_part { tree; db; first_seq = tail_first_seq t } ]
+    | _ -> []
+  in
+  let v = t.catalog.Catalog.version in
+  (match List.assoc_opt v t.pins with
+  | Some n -> incr n
+  | None -> t.pins <- (v, ref 1) :: t.pins);
+  { snap_version = v; parts = seg_parts @ tail_parts }
+
+let release t snapshot =
+  (match List.assoc_opt snapshot.snap_version t.pins with
+  | Some n when !n > 0 -> decr n
+  | _ -> invalid_arg "Live_index.release: snapshot already released");
+  if not t.closed then collect_retired t
+
+let pinned_versions t =
+  List.filter_map (fun (v, n) -> if !n > 0 then Some v else None) t.pins
+  |> List.sort Int.compare
+
+(* --- Appending --- *)
+
+let append t seqs =
+  check_open ~who:"Live_index.append" t;
+  if seqs = [] then invalid_arg "Live_index.append: empty sequence list";
+  List.iter
+    (fun s ->
+      if
+        Bioseq.Alphabet.name (Bioseq.Sequence.alphabet s)
+        <> Bioseq.Alphabet.name t.alphabet
+      then invalid_arg "Live_index.append: sequences use different alphabets")
+    seqs;
+  (* Journal first: the batch is acknowledged only once every record is
+     behind the sync barrier, so a crash mid-batch recovers a strict
+     prefix of what the caller saw succeed. *)
+  List.iter (Segment_log.append t.journal) seqs;
+  Device.sync t.journal;
+  match t.tail_db with
+  | None ->
+    let db = Bioseq.Database.make seqs in
+    t.tail_db <- Some db;
+    t.tail_tree <- Some (Suffix_tree.Ukkonen.build db);
+    t.tail_shared <- false
+  | Some db0 ->
+    let db = Bioseq.Database.append db0 seqs in
+    let tree =
+      match t.tail_tree with
+      | Some tree0 when not t.tail_shared -> Suffix_tree.Ukkonen.extend tree0 db
+      | _ ->
+        (* A snapshot still searches the old tree; leave it untouched
+           and rebuild the (small) tail for the new state. *)
+        Suffix_tree.Ukkonen.build db
+    in
+    t.tail_db <- Some db;
+    t.tail_tree <- Some tree;
+    t.tail_shared <- false
+
+(* --- Compaction --- *)
+
+let compact ?(full = false) t =
+  check_open ~who:"Live_index.compact" t;
+  let folded_segments = if full then t.segments else [] in
+  let source_seqs =
+    List.concat_map (fun os -> db_sequences os.seg_db) folded_segments
+    @ (match t.tail_db with None -> [] | Some db -> db_sequences db)
+  in
+  if source_seqs = [] then ()
+  else begin
+    let v = t.catalog.Catalog.version in
+    let db = Bioseq.Database.make source_seqs in
+    let name = segment_name (v + 1) in
+    (* 1. Build the sealed segment under its (unreferenced) name. *)
+    let seqs_device = Vfs.create t.fs (name ^ ".seqs") in
+    Fun.protect
+      ~finally:(fun () -> Device.close seqs_device)
+      (fun () -> Segment_log.write_sealed seqs_device source_seqs);
+    let symbols = Vfs.create t.fs (name ^ ".symbols") in
+    let internal = Vfs.create t.fs (name ^ ".internal") in
+    let leaves = Vfs.create t.fs (name ^ ".leaves") in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter Device.close [ symbols; internal; leaves ])
+      (fun () ->
+        External_build.write db ~symbols ~internal ~leaves;
+        Device.sync symbols;
+        Device.sync internal;
+        Device.sync leaves);
+    (* 2. Fresh journal for the post-compaction tail, created before the
+       catalog that references it. *)
+    let journal = journal_name (v + 1) in
+    let jd = Vfs.create t.fs journal in
+    Fun.protect
+      ~finally:(fun () -> Device.close jd)
+      (fun () -> Segment_log.create jd);
+    (* 3. Commit. Any crash before this rename leaves catalog v live and
+       every file written above unreferenced (GC'd on reopen). *)
+    let new_seg =
+      {
+        Catalog.name;
+        first_seq =
+          (if full then 0
+           else
+             match t.tail_db with
+             | Some _ -> tail_first_seq t
+             | None -> assert false);
+        num_seqs = List.length source_seqs;
+        symbols = Bioseq.Database.data_length db;
+      }
+    in
+    let segments' =
+      if full then [ new_seg ]
+      else t.catalog.Catalog.segments @ [ new_seg ]
+    in
+    let catalog' =
+      { Catalog.version = v + 1; journal; segments = segments' }
+    in
+    Catalog.install t.fs catalog';
+    (* 4. Post-commit: swap in-memory state, retire the replaced files.
+       They stay on disk (and their devices open) until every snapshot
+       pinned at version <= v is released. *)
+    let stale_files =
+      t.catalog.Catalog.journal
+      :: List.concat_map (fun os -> segment_files os.seg) folded_segments
+    in
+    let stale_devices =
+      t.journal :: List.concat_map (fun os -> os.devices) folded_segments
+    in
+    let new_open =
+      open_segment ~verify:t.verify ~alphabet:t.alphabet
+        ~block_size:t.block_size ~capacity:t.capacity t.fs new_seg
+    in
+    t.retired <-
+      { at_version = v; files = stale_files; stale_devices } :: t.retired;
+    t.catalog <- catalog';
+    t.segments <-
+      (if full then [ new_open ]
+       else
+         List.filter (fun os -> not (List.memq os folded_segments)) t.segments
+         @ [ new_open ]);
+    t.journal <- Vfs.open_rw t.fs journal;
+    t.tail_db <- None;
+    t.tail_tree <- None;
+    t.tail_shared <- false;
+    collect_retired t
+  end
+
+let segments t =
+  check_open ~who:"Live_index.segments" t;
+  List.map (fun os -> os.seg) t.segments
+
+(* --- Health (verify-index) --- *)
+
+type journal_health = {
+  journal_file : string;
+  journal_records : int;
+  journal_state : Segment_log.state;
+  journal_readable : bool;  (** [false] = damaged header, unrecoverable *)
+}
+
+type segment_health = {
+  segment : Catalog.segment;
+  segment_ok : bool;
+  segment_detail : string;  (** ["sealed"] or the failure *)
+}
+
+type health = {
+  health_version : int;
+  health_journal : journal_health;
+  health_segments : segment_health list;
+  health_sequences : int;  (** sealed + journaled *)
+  recoverable : bool;
+}
+
+let inspect ?(verify = Disk_tree.Footer) ?(block_size = 2048) ?(capacity = 16)
+    ~alphabet fs =
+  match Catalog.latest fs with
+  | None -> Error "no catalog found: not a live index directory"
+  | exception Catalog.Corrupt msg -> Error ("catalog: " ^ msg)
+  | exception Io_error.E info -> Error (Io_error.to_string info)
+  | Some cat ->
+    let seg_health seg =
+      match
+        open_segment ~verify ~alphabet ~block_size ~capacity fs seg
+      with
+      | os ->
+        List.iter Device.close os.devices;
+        { segment = seg; segment_ok = true; segment_detail = "sealed" }
+      | exception Segment_log.Corrupt m ->
+        { segment = seg; segment_ok = false; segment_detail = m }
+      | exception Disk_tree.Corrupt { component; message } ->
+        {
+          segment = seg;
+          segment_ok = false;
+          segment_detail = component ^ ": " ^ message;
+        }
+      | exception Io_error.E info ->
+        {
+          segment = seg;
+          segment_ok = false;
+          segment_detail = Io_error.to_string info;
+        }
+    in
+    let health_segments = List.map seg_health cat.segments in
+    let health_journal =
+      if not (Vfs.exists fs cat.journal) then
+        {
+          journal_file = cat.journal;
+          journal_records = 0;
+          journal_state = Segment_log.Torn;
+          journal_readable = true;
+        }
+      else begin
+        let d = Vfs.open_ro fs cat.journal in
+        Fun.protect
+          ~finally:(fun () -> Device.close d)
+          (fun () ->
+            match Segment_log.scan ~alphabet d with
+            | scan ->
+              {
+                journal_file = cat.journal;
+                journal_records = scan.Segment_log.records;
+                journal_state = scan.Segment_log.state;
+                journal_readable = true;
+              }
+            | exception Segment_log.Corrupt _ ->
+              {
+                journal_file = cat.journal;
+                journal_records = 0;
+                journal_state = Segment_log.Corrupted;
+                journal_readable = false;
+              })
+      end
+    in
+    Ok
+      {
+        health_version = cat.version;
+        health_journal;
+        health_segments;
+        health_sequences =
+          seg_seq_count cat + health_journal.journal_records;
+        recoverable =
+          health_journal.journal_readable
+          && List.for_all (fun s -> s.segment_ok) health_segments;
+      }
+
+let exists fs = Catalog.versions fs <> []

@@ -1,0 +1,166 @@
+(** Crash-safe log-structured incremental index.
+
+    The index is a directory of immutable, CRC-sealed {e segments} (each
+    the paper's §3.4 on-disk suffix tree plus a sealed [.seqs] sequence
+    file) and one append-only {e journal} holding the sequences appended
+    since the last compaction, all rooted in a versioned {!Catalog}
+    installed atomically by write-temp/rename.
+
+    {b Durability contract.} {!append} returns only after every record
+    is journaled behind a sync barrier; a crash at {e any} write
+    boundary recovers, on the next {!open_}, to a strict prefix of the
+    acknowledged sequence stream (usually all of it — only a batch whose
+    append raised can be cut short). {!compact} is a single atomic step:
+    until its catalog rename commits, the previous index version is
+    live and every file of the crashed compaction is unreferenced
+    garbage, removed by the next open. The crash matrix
+    ([test_crash_matrix]) drives these guarantees boundary by boundary.
+
+    {b Reads.} {!snapshot} pins the current catalog version and returns
+    its parts — sealed segments as {!Disk_tree} readers, the tail as an
+    in-memory suffix tree — for the merged {segments ∪ tail} search
+    ([Oasis.Multi]). Mutations never disturb a live snapshot: appends
+    rebuild rather than extend a shared tail tree, and compaction defers
+    deleting replaced files until every snapshot of an older version is
+    {!release}d. *)
+
+type t
+
+(** {1 Lifecycle} *)
+
+val create :
+  ?verify:Disk_tree.verify ->
+  ?block_size:int ->
+  ?capacity:int ->
+  alphabet:Bioseq.Alphabet.t ->
+  Vfs.t ->
+  t
+(** Initialize an empty index (catalog version 0, empty journal) in a
+    directory holding none. [verify] (default [Footer]) is the level
+    segments are checked at whenever they are opened; [block_size]
+    (default 2048) and [capacity] (default 256) configure each segment's
+    buffer pool. *)
+
+type recovery = {
+  replayed : int;  (** journal records replayed into the tail *)
+  truncated : Segment_log.state;  (** [Sealed] when nothing was cut *)
+}
+
+val open_ :
+  ?verify:Disk_tree.verify ->
+  ?block_size:int ->
+  ?capacity:int ->
+  alphabet:Bioseq.Alphabet.t ->
+  Vfs.t ->
+  t * recovery
+(** Recovery-on-open: load the newest catalog, garbage-collect every
+    unreferenced file, open and verify the segments, scan the journal —
+    truncating a torn or corrupt tail (normal after a crash, reported in
+    {!recovery}) — and replay the survivors into the in-memory tail.
+    Raises {!Io_error.E} when no catalog exists, {!Catalog.Corrupt} /
+    {!Segment_log.Corrupt} / {!Disk_tree.Corrupt} on non-recoverable
+    damage. *)
+
+val close : t -> unit
+
+val exists : Vfs.t -> bool
+(** A catalog file is present (the directory holds a live index, even a
+    damaged one). *)
+
+(** {1 Mutation} *)
+
+val append : t -> Bioseq.Sequence.t list -> unit
+(** Journal the batch (records, then one sync barrier), then index it in
+    the in-memory tail — extending the tail tree in place, or rebuilding
+    it when a live snapshot shares it. Raises [Invalid_argument] on an
+    empty batch or an alphabet mismatch, before anything is written. *)
+
+val compact : ?full:bool -> t -> unit
+(** Seal the tail into a new immutable segment via the §3.4.1 external
+    builder and switch to a fresh journal, installing catalog version
+    [v+1]; with [full:true] the existing segments are folded in too,
+    leaving a single segment. A no-op when there is nothing to fold. A
+    crash anywhere before the catalog rename leaves version [v] live;
+    replaced files are deleted only once no snapshot pins a version
+    [<= v]. *)
+
+(** {1 Inspection} *)
+
+val num_sequences : t -> int
+val tail_sequences : t -> int
+(** Journaled (not yet compacted) sequences. *)
+
+val catalog_version : t -> int
+val segments : t -> Catalog.segment list
+val sequences : t -> Bioseq.Sequence.t list
+(** All sequences in order (sealed then tail) — test-grade oracle
+    support, O(index). *)
+
+val alphabet : t -> Bioseq.Alphabet.t
+
+(** {1 Snapshots} *)
+
+(** One searchable constituent, in sequence order; [first_seq] maps its
+    local sequence indices to global ones. *)
+type part =
+  | Disk_part of {
+      tree : Disk_tree.t;
+      db : Bioseq.Database.t;
+      first_seq : int;
+    }
+  | Mem_part of {
+      tree : Suffix_tree.Tree.t;
+      db : Bioseq.Database.t;
+      first_seq : int;
+    }
+
+type snapshot = { snap_version : int; parts : part list }
+
+val snapshot : t -> snapshot
+(** Pin the current catalog version and return its parts. The snapshot
+    stays valid — same results, same files — across any number of
+    subsequent {!append}s and {!compact}s, until {!release}d. *)
+
+val release : t -> snapshot -> unit
+(** Unpin; raises [Invalid_argument] on a double release. When the last
+    pin of an old version goes, the files it kept alive are deleted. *)
+
+val pinned_versions : t -> int list
+
+(** {1 Health (verify-index)} *)
+
+type journal_health = {
+  journal_file : string;
+  journal_records : int;
+  journal_state : Segment_log.state;
+  journal_readable : bool;
+      (** [false]: damaged header, unrecoverable (unlike a torn or
+          corrupt {e tail}, which recovery truncates) *)
+}
+
+type segment_health = {
+  segment : Catalog.segment;
+  segment_ok : bool;
+  segment_detail : string;  (** ["sealed"] or the failure description *)
+}
+
+type health = {
+  health_version : int;
+  health_journal : journal_health;
+  health_segments : segment_health list;
+  health_sequences : int;  (** sealed + journaled *)
+  recoverable : bool;
+      (** an {!open_} of this directory would succeed (possibly
+          truncating the journal tail) *)
+}
+
+val inspect :
+  ?verify:Disk_tree.verify ->
+  ?block_size:int ->
+  ?capacity:int ->
+  alphabet:Bioseq.Alphabet.t ->
+  Vfs.t ->
+  (health, string) result
+(** Read-only health report (never mutates the directory): per-segment
+    and journal state against the newest catalog. [Error] when there is
+    no usable catalog at all. *)

@@ -1,0 +1,187 @@
+(* The sequence journal of the log-structured index: an append-only run
+   of length-prefixed, CRC-guarded sequence records behind a small
+   self-describing header.
+
+     +0   magic "OASL"            (u32 LE)
+     +4   format version          (u32 LE)
+     +8   records...
+
+   record = [u32 payload length][u32 CRC-32 of payload][payload]
+   payload = [u32 |id|][id][u32 |description|][description]
+             [u32 |codes|][codes]
+
+   Each record is written as two device appends (prelude, then payload)
+   so a crash between them leaves a {e torn} record — exactly the state
+   recovery must truncate away. The same record stream, sealed with a
+   {!Footer}, is a segment's [.seqs] component. *)
+
+let magic = 0x4C53414F (* "OASL" *)
+let format_version = 1
+let header_bytes = 8
+
+(* Records beyond this are assumed to be garbage lengths read out of a
+   corrupt prelude, not real sequences. *)
+let max_payload = 1 lsl 28
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+let put_u32 buf v =
+  if v < 0 || v > 0xFFFFFFFF then
+    invalid_arg "Segment_log: field out of u32 range";
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF))
+
+let get_u32 b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let create device =
+  if Device.length device <> 0 then
+    invalid_arg "Segment_log.create: device not empty";
+  let buf = Buffer.create header_bytes in
+  put_u32 buf magic;
+  put_u32 buf format_version;
+  Device.append device (Buffer.to_bytes buf);
+  Device.sync device
+
+let encode_payload s =
+  let id = Bioseq.Sequence.id s in
+  let desc = Bioseq.Sequence.description s in
+  let codes = Bioseq.Sequence.codes s in
+  let buf =
+    Buffer.create (12 + String.length id + String.length desc + Bytes.length codes)
+  in
+  put_u32 buf (String.length id);
+  Buffer.add_string buf id;
+  put_u32 buf (String.length desc);
+  Buffer.add_string buf desc;
+  put_u32 buf (Bytes.length codes);
+  Buffer.add_bytes buf codes;
+  Buffer.to_bytes buf
+
+exception Decode of string
+
+let decode_payload ~alphabet b =
+  let fail fmt = Printf.ksprintf (fun m -> raise (Decode m)) fmt in
+  let len = Bytes.length b in
+  let need pos n what =
+    if pos + n > len then fail "record payload truncated reading %s" what
+  in
+  need 0 4 "id length";
+  let id_len = get_u32 b 0 in
+  need 4 id_len "id";
+  let id = Bytes.sub_string b 4 id_len in
+  let pos = 4 + id_len in
+  need pos 4 "description length";
+  let desc_len = get_u32 b pos in
+  need (pos + 4) desc_len "description";
+  let desc = Bytes.sub_string b (pos + 4) desc_len in
+  let pos = pos + 4 + desc_len in
+  need pos 4 "codes length";
+  let codes_len = get_u32 b pos in
+  need (pos + 4) codes_len "codes";
+  if pos + 4 + codes_len <> len then fail "record payload has trailing bytes";
+  let codes = Bytes.sub b (pos + 4) codes_len in
+  match Bioseq.Sequence.of_codes ~alphabet ~id ~description:desc codes with
+  | s -> s
+  | exception Invalid_argument m -> fail "record holds invalid codes: %s" m
+
+(* The prelude and the payload are separate appends on purpose: each is
+   one crash boundary, so the matrix exercises the torn-record state. *)
+let append device s =
+  let payload = encode_payload s in
+  let head = Buffer.create 8 in
+  put_u32 head (Bytes.length payload);
+  put_u32 head (Crc32.bytes payload);
+  Device.append device (Buffer.to_bytes head);
+  Device.append device payload
+
+type state = Sealed | Torn | Corrupted
+
+let state_name = function
+  | Sealed -> "sealed"
+  | Torn -> "torn"
+  | Corrupted -> "corrupt"
+
+type scan = {
+  sequences : Bioseq.Sequence.t list;
+  records : int;
+  valid_bytes : int;
+  state : state;
+}
+
+let scan ?(sealed = false) ~alphabet device =
+  let total = Device.length device in
+  let limit =
+    if not sealed then total
+    else
+      match Footer.verify device with
+      | Ok f -> f.Footer.payload_length
+      | Error msg -> corrupt "sealed log: %s" msg
+  in
+  let finish ~damage sequences records valid_bytes =
+    if sealed && damage <> Sealed then
+      corrupt "sealed log damaged past its footer (%s at byte %d)"
+        (state_name damage) valid_bytes;
+    { sequences = List.rev sequences; records; valid_bytes; state = damage }
+  in
+  if limit < header_bytes then
+    (* Crash during [create]: nothing durable yet. *)
+    finish ~damage:Torn [] 0 0
+  else begin
+    let head = Bytes.create header_bytes in
+    Device.pread device ~off:0 ~buf:head;
+    if get_u32 head 0 <> magic then corrupt "log header: bad magic";
+    let v = get_u32 head 4 in
+    if v <> format_version then corrupt "log header: unsupported version %d" v;
+    let rec loop acc records pos =
+      if pos = limit then finish ~damage:Sealed acc records pos
+      else if limit - pos < 8 then finish ~damage:Torn acc records pos
+      else begin
+        let prelude = Bytes.create 8 in
+        Device.pread device ~off:pos ~buf:prelude;
+        let len = get_u32 prelude 0 and crc = get_u32 prelude 4 in
+        if len > max_payload then finish ~damage:Corrupted acc records pos
+        else if limit - pos - 8 < len then finish ~damage:Torn acc records pos
+        else begin
+          let payload = Bytes.create len in
+          Device.pread device ~off:(pos + 8) ~buf:payload;
+          if Crc32.bytes payload <> crc then
+            finish ~damage:Corrupted acc records pos
+          else
+            match decode_payload ~alphabet payload with
+            | exception Decode _ -> finish ~damage:Corrupted acc records pos
+            | s -> loop (s :: acc) (records + 1) (pos + 8 + len)
+        end
+      end
+    in
+    loop [] 0 header_bytes
+  end
+
+let write_all device sequences =
+  create device;
+  List.iter (append device) sequences;
+  Device.sync device
+
+let write_sealed device sequences =
+  write_all device sequences;
+  Footer.append device;
+  Device.sync device
+
+let rewrite fs ~name sequences =
+  (* Truncation by rewrite: the surviving prefix goes to a temp file
+     that atomically replaces the damaged journal, so a crash mid-way
+     leaves either the damaged journal (recovered again on the next
+     open) or the clean one — never less data than survived. *)
+  let tmp = name ^ ".tmp" in
+  let device = Vfs.create fs tmp in
+  Fun.protect
+    ~finally:(fun () -> Device.close device)
+    (fun () -> write_all device sequences);
+  Vfs.rename fs ~src:tmp ~dst:name

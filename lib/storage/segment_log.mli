@@ -1,0 +1,62 @@
+(** The append-only sequence journal of the log-structured index.
+
+    A log is a small self-describing header followed by length-prefixed,
+    CRC-32-guarded sequence records. Appends go to the live journal
+    (tail of the index); the identical record stream sealed with a
+    {!Footer} is a segment's [.seqs] component.
+
+    Each record is written as two device appends — prelude
+    [length | CRC], then payload — so a crash between them leaves a
+    {e torn} record. {!scan} tolerates exactly that: it returns the
+    valid prefix and reports where (and how) the log stops being valid.
+    A torn or corrupt tail is normal after a crash and is truncated by
+    {!rewrite}; only a damaged {e header} (wrong magic or version) is
+    unrecoverable and raises {!Corrupt}. *)
+
+exception Corrupt of string
+(** The log cannot be interpreted at all: bad header magic, unsupported
+    format version, or a sealed log whose footer or interior is
+    damaged. *)
+
+val create : Device.t -> unit
+(** Write the log header to an empty device and sync. Raises
+    [Invalid_argument] when the device is not empty. *)
+
+val append : Device.t -> Bioseq.Sequence.t -> unit
+(** Append one record (two device appends, no sync — callers sync once
+    per batch as their durability barrier). *)
+
+(** How a scan ended:
+    - [Sealed] — every byte up to the limit parsed as valid records;
+    - [Torn] — the log stops mid-record at its tail (a crash mid-append;
+      normal, truncated by recovery);
+    - [Corrupted] — a complete-looking record fails its CRC or decode (a
+      crashed prelude whose length lied, or bit rot). *)
+type state = Sealed | Torn | Corrupted
+
+val state_name : state -> string
+(** ["sealed"], ["torn"] or ["corrupt"]. *)
+
+type scan = {
+  sequences : Bioseq.Sequence.t list;  (** the valid prefix, in order *)
+  records : int;
+  valid_bytes : int;  (** header plus all complete records *)
+  state : state;
+}
+
+val scan : ?sealed:bool -> alphabet:Bioseq.Alphabet.t -> Device.t -> scan
+(** Read the valid prefix. With [sealed:true] (default [false]) the
+    record region is delimited by a verified {!Footer} and any damage
+    {e inside} it raises {!Corrupt} — sealed segments do not tear. *)
+
+val write_all : Device.t -> Bioseq.Sequence.t list -> unit
+(** Header plus records onto an empty device, one sync at the end. *)
+
+val write_sealed : Device.t -> Bioseq.Sequence.t list -> unit
+(** {!write_all} plus the {!Footer} seal — a segment [.seqs]
+    component. *)
+
+val rewrite : Vfs.t -> name:string -> Bioseq.Sequence.t list -> unit
+(** Atomically replace log [name] with one holding exactly [sequences]
+    (write to [name ^ ".tmp"], rename): how recovery truncates a
+    torn or corrupt tail without a device-level truncate. *)

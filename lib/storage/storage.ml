@@ -13,11 +13,15 @@ module Io_error = Io_error
 module Crc32 = Crc32
 module Device = Device
 module Faulty = Faulty
+module Vfs = Vfs
 module Buffer_pool = Buffer_pool
 module Footer = Footer
 module Disk_tree = Disk_tree
 module External_build = External_build
 module Shard_manifest = Shard_manifest
+module Segment_log = Segment_log
+module Catalog = Catalog
+module Live_index = Live_index
 
 exception Io_error = Io_error.E
 (** Alias of {!Io_error.E}: catch as [Storage.Io_error info]. *)

@@ -1,0 +1,174 @@
+(* A flat-namespace filesystem record, mirroring Device's
+   record-of-operations design: the log-structured index only ever goes
+   through this record, so the real directory backend, the in-memory
+   store (whose contents survive a simulated crash), and the
+   crash-injecting combinator compose freely. *)
+
+type t = {
+  create : string -> Device.t;
+  open_ro : string -> Device.t;
+  open_rw : string -> Device.t;
+  exists : string -> bool;
+  files : unit -> string list;
+  rename : src:string -> dst:string -> unit;
+  remove : string -> unit;
+}
+
+let create t name = t.create name
+let open_ro t name = t.open_ro name
+let open_rw t name = t.open_rw name
+let exists t name = t.exists name
+let files t = List.sort String.compare (t.files ())
+let rename t ~src ~dst = t.rename ~src ~dst
+let remove t name = t.remove name
+
+let make ~create ~open_ro ~open_rw ~exists ~files ~rename ~remove =
+  { create; open_ro; open_rw; exists; files; rename; remove }
+
+let check_name name =
+  if name = "" || String.contains name '/' || String.contains name '\\' then
+    invalid_arg (Printf.sprintf "Vfs: invalid file name %S" name)
+
+(* --- Real directory backend --- *)
+
+let dir path =
+  (try Unix.mkdir path 0o755 with
+  | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  | Unix.Unix_error (e, _, _) ->
+    Io_error.error ~path Io_error.Open (Unix.error_message e));
+  let resolve name =
+    check_name name;
+    Filename.concat path name
+  in
+  let io name op f =
+    try f () with Sys_error msg -> Io_error.error ~path:(resolve name) op msg
+  in
+  {
+    create = (fun name -> Device.file (resolve name));
+    open_ro = (fun name -> Device.open_file (resolve name));
+    open_rw = (fun name -> Device.open_append (resolve name));
+    exists = (fun name -> Sys.file_exists (resolve name));
+    files =
+      (fun () ->
+        match Sys.readdir path with
+        | entries -> Array.to_list entries
+        | exception Sys_error msg -> Io_error.error ~path Io_error.Read msg);
+    rename =
+      (fun ~src ~dst ->
+        (* POSIX rename: atomically replaces [dst] — the catalog-install
+           primitive. *)
+        io src Io_error.Write (fun () -> Sys.rename (resolve src) (resolve dst)));
+    remove = (fun name -> io name Io_error.Write (fun () -> Sys.remove (resolve name)));
+  }
+
+(* --- In-memory backend --- *)
+
+(* The store outlives the devices handed out over it: a crash kills the
+   devices (see [with_crash]) but every completed write is still in the
+   store, so a fresh [of_store] view models rebooting the machine and
+   reopening the directory. *)
+
+type entry = { mutable data : bytes; mutable len : int }
+type store = (string, entry) Hashtbl.t
+
+let store () : store = Hashtbl.create 16
+
+let entry_device path entry ~writable =
+  let ensure extra =
+    let needed = entry.len + extra in
+    if needed > Bytes.length entry.data then begin
+      let ncap = max needed (max 64 (2 * Bytes.length entry.data)) in
+      let ndata = Bytes.create ncap in
+      Bytes.blit entry.data 0 ndata 0 entry.len;
+      entry.data <- ndata
+    end
+  in
+  Device.make
+    ~length:(fun () -> entry.len)
+    ~append:(fun data ->
+      if not writable then invalid_arg "Device.append: device opened read-only";
+      ensure (Bytes.length data);
+      Bytes.blit data 0 entry.data entry.len (Bytes.length data);
+      entry.len <- entry.len + Bytes.length data)
+    ~pwrite:(fun ~off data ->
+      if not writable then invalid_arg "Device.pwrite: device opened read-only";
+      let len = Bytes.length data in
+      if off < 0 || off + len > entry.len then
+        invalid_arg "Device.pwrite: range outside the written region";
+      Bytes.blit data 0 entry.data off len)
+    ~pread:(fun ~off ~buf ->
+      let want = Bytes.length buf in
+      let avail = max 0 (min want (entry.len - off)) in
+      if avail > 0 then Bytes.blit entry.data off buf 0 avail;
+      if avail < want then Bytes.fill buf avail (want - avail) '\000')
+    ~sync:(fun () -> ())
+    ~close:(fun () -> ignore path)
+
+let of_store (s : store) =
+  let find op name =
+    check_name name;
+    match Hashtbl.find_opt s name with
+    | Some e -> e
+    | None -> Io_error.error ~path:name op "no such file"
+  in
+  {
+    create =
+      (fun name ->
+        check_name name;
+        let e = { data = Bytes.create 64; len = 0 } in
+        Hashtbl.replace s name e;
+        entry_device name e ~writable:true);
+    open_ro = (fun name -> entry_device name (find Io_error.Open name) ~writable:false);
+    open_rw = (fun name -> entry_device name (find Io_error.Open name) ~writable:true);
+    exists =
+      (fun name ->
+        check_name name;
+        Hashtbl.mem s name);
+    files = (fun () -> Hashtbl.fold (fun name _ acc -> name :: acc) s []);
+    rename =
+      (fun ~src ~dst ->
+        check_name dst;
+        let e = find Io_error.Write src in
+        Hashtbl.replace s dst e;
+        Hashtbl.remove s src);
+    remove =
+      (fun name ->
+        ignore (find Io_error.Write name);
+        Hashtbl.remove s name);
+  }
+
+(* --- Crash combinator --- *)
+
+let with_crash crash t =
+  {
+    create =
+      (fun name ->
+        (* Creating (or truncating) a file is itself a metadata write
+           boundary: a crash here leaves the file absent. *)
+        Faulty.crash_write_boundary crash;
+        Faulty.wrap_crash crash (t.create name));
+    open_ro =
+      (fun name ->
+        Faulty.crash_check_alive crash;
+        Faulty.wrap_crash crash (t.open_ro name));
+    open_rw =
+      (fun name ->
+        Faulty.crash_check_alive crash;
+        Faulty.wrap_crash crash (t.open_rw name));
+    exists =
+      (fun name ->
+        Faulty.crash_check_alive crash;
+        t.exists name);
+    files =
+      (fun () ->
+        Faulty.crash_check_alive crash;
+        t.files ());
+    rename =
+      (fun ~src ~dst ->
+        Faulty.crash_rename_boundary crash;
+        t.rename ~src ~dst);
+    remove =
+      (fun name ->
+        Faulty.crash_write_boundary crash;
+        t.remove name);
+  }

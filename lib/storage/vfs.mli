@@ -1,0 +1,79 @@
+(** Flat-namespace filesystems for the log-structured index.
+
+    A [Vfs.t] is a record of operations over a single flat directory —
+    create/open devices by name, test existence, list, atomically
+    rename, remove — mirroring {!Device}'s record-of-operations design
+    so backends and combinators compose:
+
+    - {!dir} is a real directory (rename is the POSIX atomic-replace
+      used to install catalogs);
+    - {!store}/{!of_store} is an in-memory directory whose contents
+      survive a simulated crash: the crash kills the {e handles}, not
+      the bytes, so reopening a fresh [of_store] view models a reboot;
+    - {!with_crash} injects a {!Faulty.crash} into every operation, the
+      substrate of the crash-matrix tests.
+
+    Names are flat: they must be non-empty and contain no path
+    separators ([Invalid_argument] otherwise). Failures are the typed
+    {!Io_error.E}, never a bare [Sys_error]. *)
+
+type t
+
+val dir : string -> t
+(** A real directory, created (one level) if missing. *)
+
+(** {1 In-memory backend} *)
+
+type store
+(** The bytes of an in-memory directory, independent of any handles
+    handed out over it. *)
+
+val store : unit -> store
+
+val of_store : store -> t
+(** A fresh view of [store]. Multiple views over one store share the
+    same files — open a new view after a simulated crash to model the
+    post-reboot filesystem. *)
+
+(** {1 Combinators} *)
+
+val with_crash : Faulty.crash -> t -> t
+(** Every operation first consults [crash]: create/remove are write
+    boundaries, rename is a rename boundary (no effect when it fires),
+    opens and reads only require the machine to be alive. Devices handed
+    out are wrapped with {!Faulty.wrap_crash} against the same crash. *)
+
+val make :
+  create:(string -> Device.t) ->
+  open_ro:(string -> Device.t) ->
+  open_rw:(string -> Device.t) ->
+  exists:(string -> bool) ->
+  files:(unit -> string list) ->
+  rename:(src:string -> dst:string -> unit) ->
+  remove:(string -> unit) ->
+  t
+(** Build a filesystem from raw operations (combinator hook). *)
+
+(** {1 Operations} *)
+
+val create : t -> string -> Device.t
+(** Create or truncate [name]; read/write device. *)
+
+val open_ro : t -> string -> Device.t
+(** Open an existing file read-only; raises {!Io_error.E} (op [Open])
+    when missing. *)
+
+val open_rw : t -> string -> Device.t
+(** Open an existing file for appending without truncation; creates it
+    under {!dir} backends, raises on the in-memory backend when
+    missing. *)
+
+val exists : t -> string -> bool
+val files : t -> string list
+(** Sorted list of file names. *)
+
+val rename : t -> src:string -> dst:string -> unit
+(** Atomically replace [dst] with [src] (the catalog-install
+    primitive). *)
+
+val remove : t -> string -> unit

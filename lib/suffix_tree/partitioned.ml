@@ -5,7 +5,7 @@
 let partitions ~prefix_len db =
   if prefix_len < 1 then invalid_arg "Partitioned.partitions: prefix_len < 1";
   let data = Bioseq.Database.data db in
-  let total = Bytes.length data in
+  let total = Bioseq.Database.data_length db in
   let term = Bioseq.Alphabet.terminator (Bioseq.Database.alphabet db) in
   let radix = term + 1 in
   let num_buckets =

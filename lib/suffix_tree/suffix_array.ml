@@ -11,7 +11,7 @@ type t = {
    matters for pattern lookup. *)
 let build db =
   let data = Bioseq.Database.data db in
-  let n = Bytes.length data in
+  let n = Bioseq.Database.data_length db in
   let sa = Array.init n Fun.id in
   let rank = Array.init n (fun i -> Char.code (Bytes.get data i)) in
   let tmp = Array.make n 0 in
@@ -48,7 +48,7 @@ let rank_of t pos = t.ranks.(pos)
    positive. *)
 let compare_prefix t pos pattern =
   let data = Bioseq.Database.data t.db in
-  let n = Bytes.length data and plen = Bytes.length pattern in
+  let n = Bioseq.Database.data_length t.db and plen = Bytes.length pattern in
   let rec go i =
     if i = plen then 0
     else if pos + i >= n then -1

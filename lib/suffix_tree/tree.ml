@@ -130,11 +130,19 @@ let create db = { db; root = Node.make_root () }
 let with_database t db =
   let old_data = Bioseq.Database.data t.db in
   let new_data = Bioseq.Database.data db in
-  let old_len = Bytes.length old_data in
-  if
-    Bytes.length new_data < old_len
-    || not (Bytes.equal old_data (Bytes.sub new_data 0 old_len))
-  then invalid_arg "Tree.with_database: new database does not extend the old";
+  let old_len = Bioseq.Database.data_length t.db in
+  let extends =
+    Bioseq.Database.data_length db >= old_len
+    && (old_data == new_data (* in-place append: same buffer, same prefix *)
+       ||
+       let rec eq i =
+         i >= old_len
+         || Bytes.get old_data i = Bytes.get new_data i && eq (i + 1)
+       in
+       eq 0)
+  in
+  if not extends then
+    invalid_arg "Tree.with_database: new database does not extend the old";
   { db; root = t.root }
 
 (* Length of the suffix starting at [pos]: up to and including the

@@ -169,6 +169,32 @@ def main() -> None:
         )
         print(f"bench gate: scaling on {cores} core(s): {summary}")
 
+    # Incremental (log-structured) index: the merged {segments ∪ tail}
+    # search must agree with the monolithic engine — a hard failure at
+    # any tolerance. Throughput numbers are informational: the append
+    # path is dominated by tail-tree maintenance, which the kernel gate
+    # already covers.
+    fresh_inc = fresh.get("incremental")
+    if fresh_inc is not None:
+        if fresh_inc.get("hit_streams_match") is not True:
+            fail(
+                "fresh incremental run did not certify merged-vs-monolithic "
+                "hit-stream equality"
+            )
+        append = fresh_inc.get("append", {})
+        reopen = fresh_inc.get("reopen", {})
+        search = fresh_inc.get("search", {})
+        print(
+            f"bench gate: incremental: append "
+            f"{append.get('symbols_per_sec', 0):,.0f} symbols/sec "
+            f"({append.get('segments', '?')} segments + "
+            f"{append.get('tail_sequences', '?')} tail), reopen "
+            f"{reopen.get('wall_s', 0):.3f}s "
+            f"({reopen.get('records_replayed', '?')} records replayed), "
+            f"merged/mono search {search.get('merged_vs_mono', 0):.2f}x "
+            f"(informational)"
+        )
+
     print("bench gate: PASS")
 
 

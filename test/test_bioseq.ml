@@ -187,6 +187,82 @@ let qcheck_seq_of_pos =
       done;
       !ok)
 
+let qcheck_append_rebuild =
+  (* Batches of sequences appended one batch at a time must produce the
+     same database as a single [make] over the concatenation — and the
+     fast in-place path must not disturb older views (we keep every
+     intermediate database and re-check it at the end). *)
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 5)
+        (list_size (int_range 1 4)
+           (string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range 1 12))))
+  in
+  let print batches =
+    String.concat ";" (List.map (String.concat ",") batches)
+  in
+  QCheck.Test.make ~count:200 ~name:"append equals rebuild"
+    (QCheck.make gen ~print)
+    (fun batches ->
+      let mk_seqs base payloads =
+        List.mapi
+          (fun i p ->
+            Bioseq.Sequence.make ~alphabet:dna ~id:(Printf.sprintf "s%d" (base + i)) p)
+          payloads
+      in
+      let same a b =
+        Bioseq.Database.num_sequences a = Bioseq.Database.num_sequences b
+        && Bioseq.Database.data_length a = Bioseq.Database.data_length b
+        && Bytes.equal
+             (Bytes.sub (Bioseq.Database.data a) 0 (Bioseq.Database.data_length a))
+             (Bytes.sub (Bioseq.Database.data b) 0 (Bioseq.Database.data_length b))
+        &&
+        let ok = ref true in
+        for i = 0 to Bioseq.Database.num_sequences a - 1 do
+          if
+            Bioseq.Database.seq_start a i <> Bioseq.Database.seq_start b i
+            || not
+                 (Bioseq.Sequence.equal (Bioseq.Database.seq a i)
+                    (Bioseq.Database.seq b i))
+          then ok := false
+        done;
+        !ok
+      in
+      match batches with
+      | [] -> true
+      | first :: rest ->
+        let count = ref 0 in
+        let next payloads =
+          let seqs = mk_seqs !count payloads in
+          count := !count + List.length payloads;
+          seqs
+        in
+        let db0 = Bioseq.Database.make (next first) in
+        let snapshots, final =
+          List.fold_left
+            (fun (snaps, db) payloads ->
+              let db' = Bioseq.Database.append db (next payloads) in
+              (db :: snaps, db'))
+            ([ db0 ], db0) rest
+        in
+        (* Every snapshot must equal a fresh rebuild of its own prefix:
+           later in-place appends may not have corrupted it. *)
+        let prefix_ok =
+          List.for_all
+            (fun snap ->
+              let n = Bioseq.Database.num_sequences snap in
+              let seqs = List.init n (Bioseq.Database.seq snap) in
+              same snap (Bioseq.Database.make seqs))
+            snapshots
+        in
+        let rebuilt =
+          Bioseq.Database.make
+            (List.init
+               (Bioseq.Database.num_sequences final)
+               (Bioseq.Database.seq final))
+        in
+        prefix_ok && same final rebuilt)
+
 let qcheck_fasta_roundtrip =
   let gen =
     QCheck.Gen.(
@@ -236,5 +312,5 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ qcheck_seq_of_pos; qcheck_fasta_roundtrip ] );
+          [ qcheck_seq_of_pos; qcheck_append_rebuild; qcheck_fasta_roundtrip ] );
     ]

@@ -1,0 +1,203 @@
+(* The crash matrix: run an append/compact workload against an
+   in-memory filesystem, killing the simulated machine at EVERY write
+   boundary in turn (and at every rename in turn), and after each crash
+   reopen the directory and assert the crash-safety contract:
+
+   - recovery succeeds (a torn journal tail is truncated, never fatal);
+   - the recovered sequence stream is a prefix of the intended one and
+     contains at least every batch whose append was acknowledged;
+   - the merged {segments ∪ tail} search over the recovered index
+     equals the in-memory oracle on exactly that prefix;
+   - no stale catalogs or temp files survive the reopen;
+   - the recovered index remains fully usable (append + search). *)
+
+let alpha = Bioseq.Alphabet.dna
+let matrix = Scoring.Matrices.dna_unit
+let gap = Scoring.Gap.linear 1
+let min_score = 2
+let q = Bioseq.Sequence.make ~alphabet:alpha ~id:"q" "TACG"
+let cfg = Oasis.Engine.config ~matrix ~gap ~min_score ()
+
+let batches =
+  [
+    [ "AGTACGCCTAG"; "TACG" ];
+    [ "CCCCTACGCCCC"; "GATTACA" ];
+    [ "ACGTACGTAC" ];
+    [ "TTACGTTACG"; "GGGG"; "TACGTACG" ];
+  ]
+
+let intended =
+  List.concat batches
+  |> List.mapi (fun i s ->
+         Bioseq.Sequence.make ~alphabet:alpha ~id:(Printf.sprintf "s%d" i) s)
+
+let seqs_slice ~from n =
+  List.filteri (fun i _ -> i >= from && i < from + n) intended
+
+(* The workload under test: interleaved appends, tail-sealing
+   compactions and one full compaction. [acked] counts sequences whose
+   append call returned. *)
+let workload fs acked =
+  let t = Storage.Live_index.create ~alphabet:alpha fs in
+  let app n =
+    Storage.Live_index.append t (seqs_slice ~from:!acked n);
+    acked := !acked + n
+  in
+  app 2;
+  Storage.Live_index.compact t;
+  app 2;
+  app 1;
+  Storage.Live_index.compact t;
+  Storage.Live_index.compact ~full:true t;
+  app 3;
+  Storage.Live_index.compact t;
+  Storage.Live_index.close t
+
+let hit_pairs hits =
+  List.sort compare
+    (List.map (fun h -> (h.Oasis.Hit.seq_index, h.Oasis.Hit.score)) hits)
+
+let rec non_increasing = function
+  | a :: (b :: _ as rest) ->
+    a.Oasis.Hit.score >= b.Oasis.Hit.score && non_increasing rest
+  | _ -> true
+
+let oracle_hits seqs =
+  match seqs with
+  | [] -> []
+  | _ ->
+    let db = Bioseq.Database.make seqs in
+    let tree = Suffix_tree.Ukkonen.build db in
+    Oasis.Engine.Mem.run
+      (Oasis.Engine.Mem.create ~source:tree ~db ~query:q cfg)
+
+let search_index t =
+  let snap = Storage.Live_index.snapshot t in
+  Fun.protect
+    ~finally:(fun () -> Storage.Live_index.release t snap)
+    (fun () ->
+      match Oasis.Multi.parts_of_snapshot snap with
+      | [||] -> []
+      | parts -> Oasis.Multi.run (Oasis.Multi.create ~parts ~query:q cfg))
+
+(* Count the workload's boundaries with a crash that never fires. *)
+let boundaries () =
+  let crash = Storage.Faulty.no_crash () in
+  let fs =
+    Storage.Vfs.with_crash crash (Storage.Vfs.of_store (Storage.Vfs.store ()))
+  in
+  let acked = ref 0 in
+  workload fs acked;
+  Alcotest.(check int) "workload appends everything" (List.length intended)
+    !acked;
+  (Storage.Faulty.crash_write_count crash,
+   Storage.Faulty.crash_rename_count crash)
+
+let check_prefix ~ctx ~acked recovered =
+  let n = List.length recovered in
+  if n > List.length intended then
+    Alcotest.failf "%s: recovered %d sequences, only %d were ever appended"
+      ctx n (List.length intended);
+  if n < acked then
+    Alcotest.failf
+      "%s: recovered %d sequences but %d were acknowledged before the crash"
+      ctx n acked;
+  List.iteri
+    (fun i s ->
+      if not (Bioseq.Sequence.equal s (List.nth intended i)) then
+        Alcotest.failf "%s: recovered sequence %d differs from the appended one"
+          ctx i)
+    recovered
+
+let check_no_stale_files ~ctx fs version =
+  List.iter
+    (fun f ->
+      if Filename.check_suffix f ".tmp" then
+        Alcotest.failf "%s: stale temp file %s survived recovery" ctx f;
+      match Storage.Catalog.of_filename f with
+      | Some v when v <> version ->
+        Alcotest.failf "%s: stale catalog %s survived recovery" ctx f
+      | _ -> ())
+    (Storage.Vfs.files fs)
+
+let check_recovered ~ctx ~acked store =
+  let fs = Storage.Vfs.of_store store in
+  if not (Storage.Live_index.exists fs) then begin
+    (* Crashed before the very first catalog install: there is no index,
+       which is only acceptable if nothing was ever acknowledged. *)
+    if acked > 0 then
+      Alcotest.failf "%s: %d acknowledged sequences but no catalog" ctx acked
+  end
+  else begin
+    let t, _recovery = Storage.Live_index.open_ ~alphabet:alpha fs in
+    let recovered = Storage.Live_index.sequences t in
+    check_prefix ~ctx ~acked recovered;
+    check_no_stale_files ~ctx fs (Storage.Live_index.catalog_version t);
+    (* Search over {segments ∪ tail} equals the oracle on the prefix. *)
+    let got = search_index t in
+    if not (non_increasing got) then
+      Alcotest.failf "%s: merged stream not non-increasing" ctx;
+    let want = hit_pairs (oracle_hits recovered) in
+    if hit_pairs got <> want then
+      Alcotest.failf "%s: search over recovered index diverges from oracle"
+        ctx;
+    (* The recovered index must remain fully usable. *)
+    let extra =
+      [ Bioseq.Sequence.make ~alphabet:alpha ~id:"post-crash" "GTACGT" ]
+    in
+    Storage.Live_index.append t extra;
+    let got' = hit_pairs (search_index t) in
+    let want' = hit_pairs (oracle_hits (recovered @ extra)) in
+    if got' <> want' then
+      Alcotest.failf "%s: index unusable after recovery (append+search)" ctx;
+    Storage.Live_index.close t
+  end
+
+let test_write_boundary_matrix () =
+  let writes, _ = boundaries () in
+  Alcotest.(check bool)
+    (Printf.sprintf "matrix is wide enough (%d boundaries)" writes)
+    true (writes > 50);
+  for n = 0 to writes - 1 do
+    let ctx = Printf.sprintf "crash at write %d/%d" n writes in
+    let store = Storage.Vfs.store () in
+    let crash = Storage.Faulty.crash_after ~writes:n in
+    let fs = Storage.Vfs.with_crash crash (Storage.Vfs.of_store store) in
+    let acked = ref 0 in
+    (match workload fs acked with
+    | () -> Alcotest.failf "%s: workload survived its crash budget" ctx
+    | exception Storage.Io_error _ -> ());
+    if not (Storage.Faulty.crashed crash) then
+      Alcotest.failf "%s: Io_error without a crash" ctx;
+    check_recovered ~ctx ~acked:!acked store
+  done
+
+let test_rename_boundary_matrix () =
+  let _, renames = boundaries () in
+  Alcotest.(check bool)
+    (Printf.sprintf "workload has renames (%d)" renames)
+    true
+    (renames >= 4);
+  for r = 0 to renames - 1 do
+    let ctx = Printf.sprintf "crash at rename %d/%d" r renames in
+    let store = Storage.Vfs.store () in
+    let crash = Storage.Faulty.crash_during_rename ~renames:r in
+    let fs = Storage.Vfs.with_crash crash (Storage.Vfs.of_store store) in
+    let acked = ref 0 in
+    (match workload fs acked with
+    | () -> Alcotest.failf "%s: workload survived its crash budget" ctx
+    | exception Storage.Io_error _ -> ());
+    check_recovered ~ctx ~acked:!acked store
+  done
+
+let () =
+  Alcotest.run "crash_matrix"
+    [
+      ( "matrix",
+        [
+          Alcotest.test_case "every write boundary" `Quick
+            test_write_boundary_matrix;
+          Alcotest.test_case "every rename boundary" `Quick
+            test_rename_boundary_matrix;
+        ] );
+    ]

@@ -165,6 +165,85 @@ let qcheck_mem_disk_streams_identical =
           stream_of (Oasis.Engine.Disk.run engine) = mem_stream)
         [ Storage.Disk_tree.Position_indexed; Storage.Disk_tree.Clustered ])
 
+(* --- Simulated power loss (crash combinators) --- *)
+
+let is_power_loss = function
+  | Storage.Io_error info ->
+    (not info.Storage.Io_error.transient)
+    && info.Storage.Io_error.detail = "simulated power loss"
+  | _ -> false
+
+let test_crash_after_writes () =
+  let store = Storage.Vfs.store () in
+  let crash = Storage.Faulty.crash_after ~writes:3 in
+  let fs = Storage.Vfs.with_crash crash (Storage.Vfs.of_store store) in
+  (* Boundary 1: create. Boundaries 2 and 3: two appends. *)
+  let d = Storage.Vfs.create fs "a.dat" in
+  Storage.Device.append d (Bytes.of_string "one");
+  Storage.Device.append d (Bytes.of_string "two");
+  Alcotest.(check bool) "alive before the budget" false
+    (Storage.Faulty.crashed crash);
+  (match Storage.Device.append d (Bytes.of_string "three") with
+  | exception e when is_power_loss e -> ()
+  | () -> Alcotest.fail "append past the budget succeeded");
+  Alcotest.(check bool) "machine dead" true (Storage.Faulty.crashed crash);
+  (* Everything raises now, reads included. *)
+  (match Storage.Device.pread d ~off:0 ~buf:(Bytes.create 1) with
+  | exception e when is_power_loss e -> ()
+  | () -> Alcotest.fail "read on a dead machine succeeded");
+  (match Storage.Vfs.files fs with
+  | exception e when is_power_loss e -> ()
+  | _ -> Alcotest.fail "listing on a dead machine succeeded");
+  (* Completed writes survive the crash: a fresh view of the store
+     models the post-reboot filesystem. *)
+  let fs' = Storage.Vfs.of_store store in
+  let d' = Storage.Vfs.open_ro fs' "a.dat" in
+  let buf = Bytes.create (Storage.Device.length d') in
+  Storage.Device.pread d' ~off:0 ~buf;
+  Alcotest.(check string) "pre-crash writes survived" "onetwo"
+    (Bytes.to_string buf)
+
+let test_crash_during_rename () =
+  let store = Storage.Vfs.store () in
+  let plain = Storage.Vfs.of_store store in
+  (* Seed two files without any crash armed. *)
+  let d = Storage.Vfs.create plain "cat.0" in
+  Storage.Device.append d (Bytes.of_string "v0");
+  let d = Storage.Vfs.create plain "cat.tmp" in
+  Storage.Device.append d (Bytes.of_string "v1");
+  let crash = Storage.Faulty.crash_during_rename ~renames:0 in
+  let fs = Storage.Vfs.with_crash crash plain in
+  (match Storage.Vfs.rename fs ~src:"cat.tmp" ~dst:"cat.0" with
+  | exception e when is_power_loss e -> ()
+  | () -> Alcotest.fail "rename past the budget succeeded");
+  (* The rename must NOT have taken effect: the old catalog is live. *)
+  let fs' = Storage.Vfs.of_store store in
+  Alcotest.(check bool) "tmp still present" true
+    (Storage.Vfs.exists fs' "cat.tmp");
+  let d' = Storage.Vfs.open_ro fs' "cat.0" in
+  let buf = Bytes.create (Storage.Device.length d') in
+  Storage.Device.pread d' ~off:0 ~buf;
+  Alcotest.(check string) "destination untouched" "v0" (Bytes.to_string buf)
+
+let test_crash_counts_boundaries () =
+  (* no_crash counts the workload's boundaries — the matrix width. *)
+  let crash = Storage.Faulty.no_crash () in
+  let fs =
+    Storage.Vfs.with_crash crash (Storage.Vfs.of_store (Storage.Vfs.store ()))
+  in
+  let d = Storage.Vfs.create fs "x" in
+  Storage.Device.append d (Bytes.of_string "a");
+  Storage.Device.sync d;
+  (* sync is a barrier, not a boundary *)
+  Storage.Device.append d (Bytes.of_string "b");
+  Storage.Vfs.rename fs ~src:"x" ~dst:"y";
+  Storage.Vfs.remove fs "y";
+  Alcotest.(check int) "write boundaries" 5
+    (Storage.Faulty.crash_write_count crash);
+  Alcotest.(check int) "rename boundaries" 1
+    (Storage.Faulty.crash_rename_count crash);
+  Alcotest.(check bool) "still alive" false (Storage.Faulty.crashed crash)
+
 (* Budget exhaustion under sharding: the per-shard budget split must
    exhaust the aggregate search the way a single engine exhausts —
    ordered stream, only oracle hits reported, every suppressed hit
@@ -256,6 +335,15 @@ let () =
             test_search_through_faults;
           Alcotest.test_case "permanent failure surfaces cleanly" `Quick
             test_dead_device_surfaces;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "crash_after kills at the boundary" `Quick
+            test_crash_after_writes;
+          Alcotest.test_case "crash_during_rename leaves dst untouched" `Quick
+            test_crash_during_rename;
+          Alcotest.test_case "boundary counting" `Quick
+            test_crash_counts_boundaries;
         ] );
       ( "budget",
         [

@@ -1,0 +1,363 @@
+(* The log-structured incremental index: append/search/compact
+   roundtrips, journal recovery, snapshot pinning across compactions,
+   and the {segments ∪ tail} merged search against both the in-memory
+   oracle engine and Smith-Waterman. *)
+
+let alpha = Bioseq.Alphabet.dna
+let matrix = Scoring.Matrices.dna_unit
+let gap = Scoring.Gap.linear 1
+
+let seqs_of_strings ?(base = 0) strings =
+  List.mapi
+    (fun i s ->
+      Bioseq.Sequence.make ~alphabet:alpha ~id:(Printf.sprintf "s%d" (base + i)) s)
+    strings
+
+let query s = Bioseq.Sequence.make ~alphabet:alpha ~id:"q" s
+
+let cfg min_score = Oasis.Engine.config ~matrix ~gap ~min_score ()
+
+let hit_pairs hits =
+  List.sort compare
+    (List.map (fun h -> (h.Oasis.Hit.seq_index, h.Oasis.Hit.score)) hits)
+
+let rec non_increasing = function
+  | a :: (b :: _ as rest) ->
+    a.Oasis.Hit.score >= b.Oasis.Hit.score && non_increasing rest
+  | _ -> true
+
+(* The oracle: a single in-memory engine over a monolithic database of
+   the same sequences. *)
+let oracle_hits seqs q min_score =
+  match seqs with
+  | [] -> []
+  | _ ->
+    let db = Bioseq.Database.make seqs in
+    let tree = Suffix_tree.Ukkonen.build db in
+    Oasis.Engine.Mem.run
+      (Oasis.Engine.Mem.create ~source:tree ~db ~query:q (cfg min_score))
+
+let search_index t q min_score =
+  let snap = Storage.Live_index.snapshot t in
+  Fun.protect
+    ~finally:(fun () -> Storage.Live_index.release t snap)
+    (fun () ->
+      match Oasis.Multi.parts_of_snapshot snap with
+      | [||] -> []
+      | parts -> Oasis.Multi.run (Oasis.Multi.create ~parts ~query:q (cfg min_score)))
+
+let check_equals_oracle ~name t q min_score =
+  let got = search_index t q min_score in
+  Alcotest.(check bool) (name ^ ": ordered") true (non_increasing got);
+  Alcotest.(check (list (pair int int)))
+    (name ^ ": equals oracle")
+    (hit_pairs (oracle_hits (Storage.Live_index.sequences t) q min_score))
+    (hit_pairs got)
+
+let batch1 = [ "AGTACGCCTAG"; "TACG" ]
+let batch2 = [ "CCCCTACGCCCC"; "GATTACA"; "ACGTACGTAC" ]
+let batch3 = [ "TTACGTTACG"; "GGGG" ]
+let q_tacg = query "TACG"
+
+let test_append_compact_roundtrip () =
+  let store = Storage.Vfs.store () in
+  let fs = Storage.Vfs.of_store store in
+  let t = Storage.Live_index.create ~alphabet:alpha fs in
+  Alcotest.(check int) "empty" 0 (Storage.Live_index.num_sequences t);
+  Alcotest.(check (list (pair int int))) "empty search" []
+    (hit_pairs (search_index t q_tacg 2));
+  Storage.Live_index.append t (seqs_of_strings batch1);
+  check_equals_oracle ~name:"tail only" t q_tacg 2;
+  Storage.Live_index.compact t;
+  Alcotest.(check int) "v1 after compact" 1
+    (Storage.Live_index.catalog_version t);
+  Alcotest.(check int) "tail drained" 0 (Storage.Live_index.tail_sequences t);
+  check_equals_oracle ~name:"one segment" t q_tacg 2;
+  Storage.Live_index.append t (seqs_of_strings ~base:2 batch2);
+  check_equals_oracle ~name:"segment + tail" t q_tacg 2;
+  Storage.Live_index.compact t;
+  Storage.Live_index.append t (seqs_of_strings ~base:5 batch3);
+  check_equals_oracle ~name:"two segments + tail" t q_tacg 2;
+  Alcotest.(check int) "segments" 2
+    (List.length (Storage.Live_index.segments t));
+  Storage.Live_index.compact ~full:true t;
+  Alcotest.(check int) "full compaction folds to one" 1
+    (List.length (Storage.Live_index.segments t));
+  check_equals_oracle ~name:"after full compaction" t q_tacg 2;
+  Alcotest.(check int) "all sequences present" 7
+    (Storage.Live_index.num_sequences t);
+  Storage.Live_index.close t
+
+let test_reopen_preserves_index () =
+  let store = Storage.Vfs.store () in
+  let fs = Storage.Vfs.of_store store in
+  let t = Storage.Live_index.create ~alphabet:alpha fs in
+  Storage.Live_index.append t (seqs_of_strings batch1);
+  Storage.Live_index.compact t;
+  Storage.Live_index.append t (seqs_of_strings ~base:2 batch2);
+  let expect = hit_pairs (search_index t q_tacg 2) in
+  Storage.Live_index.close t;
+  let t, recovery = Storage.Live_index.open_ ~alphabet:alpha fs in
+  Alcotest.(check int) "journal replayed" 3 recovery.Storage.Live_index.replayed;
+  Alcotest.(check bool) "journal clean" true
+    (recovery.Storage.Live_index.truncated = Storage.Segment_log.Sealed);
+  Alcotest.(check int) "sequences back" 5 (Storage.Live_index.num_sequences t);
+  Alcotest.(check (list (pair int int)))
+    "search identical after reopen" expect
+    (hit_pairs (search_index t q_tacg 2));
+  check_equals_oracle ~name:"reopened" t q_tacg 2;
+  Storage.Live_index.close t
+
+let test_torn_journal_recovery () =
+  let store = Storage.Vfs.store () in
+  let fs = Storage.Vfs.of_store store in
+  let t = Storage.Live_index.create ~alphabet:alpha fs in
+  Storage.Live_index.append t (seqs_of_strings batch1);
+  Storage.Live_index.append t (seqs_of_strings ~base:2 [ "GATTACA" ]) ;
+  Storage.Live_index.close t;
+  (* Tear the journal: copy all but the last byte over it, as a crash
+     mid-append would leave it. *)
+  let journal = "journal.000000" in
+  let d = Storage.Vfs.open_ro fs journal in
+  let len = Storage.Device.length d in
+  let all = Bytes.create len in
+  Storage.Device.pread d ~off:0 ~buf:all;
+  Storage.Device.close d;
+  let torn = Storage.Vfs.create fs journal in
+  Storage.Device.append torn (Bytes.sub all 0 (len - 1));
+  Storage.Device.close torn;
+  let t, recovery = Storage.Live_index.open_ ~alphabet:alpha fs in
+  Alcotest.(check bool) "truncation reported" true
+    (recovery.Storage.Live_index.truncated = Storage.Segment_log.Torn);
+  Alcotest.(check int) "last record cut, first two replayed" 2
+    recovery.Storage.Live_index.replayed;
+  check_equals_oracle ~name:"recovered prefix searches" t q_tacg 2;
+  Storage.Live_index.close t;
+  (* The truncation was persisted: reopening again is clean. *)
+  let t, recovery = Storage.Live_index.open_ ~alphabet:alpha fs in
+  Alcotest.(check bool) "second open clean" true
+    (recovery.Storage.Live_index.truncated = Storage.Segment_log.Sealed);
+  Storage.Live_index.close t
+
+let test_snapshot_pins_version () =
+  (* Satellite: a reader holding catalog version v keeps searching v's
+     files while compaction installs v+1; v's files are deleted only
+     once the reader releases. *)
+  let store = Storage.Vfs.store () in
+  let fs = Storage.Vfs.of_store store in
+  let t = Storage.Live_index.create ~alphabet:alpha fs in
+  Storage.Live_index.append t (seqs_of_strings batch1);
+  Storage.Live_index.compact t;
+  Storage.Live_index.append t (seqs_of_strings ~base:2 batch2);
+  let old_journal = "journal.000001" in
+  let old_seg_file = "seg000001.symbols" in
+  Alcotest.(check bool) "old journal live" true (Storage.Vfs.exists fs old_journal);
+  let snap = Storage.Live_index.snapshot t in
+  let before =
+    match Oasis.Multi.parts_of_snapshot snap with
+    | [||] -> []
+    | parts ->
+      Oasis.Multi.run (Oasis.Multi.create ~parts ~query:q_tacg (cfg 2))
+  in
+  (* Install v+1 while the reader is live: fold everything into one new
+     segment, replacing both the old segment and the old journal. *)
+  Storage.Live_index.compact ~full:true t;
+  Alcotest.(check (list int)) "old version pinned" [ 1 ]
+    (Storage.Live_index.pinned_versions t);
+  Alcotest.(check bool) "pinned journal not GC'd" true
+    (Storage.Vfs.exists fs old_journal);
+  Alcotest.(check bool) "pinned segment not GC'd" true
+    (Storage.Vfs.exists fs old_seg_file);
+  (* The reader still searches its snapshot, and appends to the new
+     version do not disturb it. *)
+  Storage.Live_index.append t (seqs_of_strings ~base:5 batch3);
+  let after =
+    match Oasis.Multi.parts_of_snapshot snap with
+    | [||] -> []
+    | parts ->
+      Oasis.Multi.run (Oasis.Multi.create ~parts ~query:q_tacg (cfg 2))
+  in
+  Alcotest.(check (list (pair int int)))
+    "pinned reader unaffected by compaction + append" (hit_pairs before)
+    (hit_pairs after);
+  Storage.Live_index.release t snap;
+  Alcotest.(check (list int)) "no pins left" []
+    (Storage.Live_index.pinned_versions t);
+  Alcotest.(check bool) "released journal deleted" false
+    (Storage.Vfs.exists fs old_journal);
+  Alcotest.(check bool) "released segment deleted" false
+    (Storage.Vfs.exists fs old_seg_file);
+  (* The new version sees everything, including the post-snapshot
+     batch. *)
+  check_equals_oracle ~name:"current version" t q_tacg 2;
+  Alcotest.check_raises "double release"
+    (Invalid_argument "Live_index.release: snapshot already released")
+    (fun () -> Storage.Live_index.release t snap);
+  Storage.Live_index.close t
+
+let test_gc_on_open () =
+  let store = Storage.Vfs.store () in
+  let fs = Storage.Vfs.of_store store in
+  let t = Storage.Live_index.create ~alphabet:alpha fs in
+  Storage.Live_index.append t (seqs_of_strings batch1);
+  Storage.Live_index.compact t;
+  Storage.Live_index.close t;
+  (* Plant garbage a crashed compaction could leave behind. *)
+  List.iter
+    (fun name -> Storage.Device.close (Storage.Vfs.create fs name))
+    [ "catalog.tmp"; "seg000099.symbols"; "journal.000099"; "catalog.000000" ];
+  let t, _ = Storage.Live_index.open_ ~alphabet:alpha fs in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " collected") false
+        (Storage.Vfs.exists fs name))
+    [ "catalog.tmp"; "seg000099.symbols"; "journal.000099"; "catalog.000000" ];
+  check_equals_oracle ~name:"after gc" t q_tacg 2;
+  Storage.Live_index.close t
+
+let test_inspect_health () =
+  let store = Storage.Vfs.store () in
+  let fs = Storage.Vfs.of_store store in
+  (match Storage.Live_index.inspect ~alphabet:alpha fs with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "inspect of an empty directory succeeded");
+  let t = Storage.Live_index.create ~alphabet:alpha fs in
+  Storage.Live_index.append t (seqs_of_strings batch1);
+  Storage.Live_index.compact t;
+  Storage.Live_index.append t (seqs_of_strings ~base:2 batch2);
+  Storage.Live_index.close t;
+  (match Storage.Live_index.inspect ~alphabet:alpha fs with
+  | Error msg -> Alcotest.failf "healthy index unreadable: %s" msg
+  | Ok h ->
+    Alcotest.(check bool) "recoverable" true h.Storage.Live_index.recoverable;
+    Alcotest.(check int) "sequences" 5 h.Storage.Live_index.health_sequences;
+    Alcotest.(check int) "journal records" 3
+      h.Storage.Live_index.health_journal.Storage.Live_index.journal_records;
+    Alcotest.(check bool) "segment sealed" true
+      (List.for_all
+         (fun s -> s.Storage.Live_index.segment_ok)
+         h.Storage.Live_index.health_segments));
+  (* Bit-flip a segment component: inspect must flag it and call the
+     index non-recoverable. *)
+  let file = "seg000001.internal" in
+  let d = Storage.Vfs.open_rw fs file in
+  let buf = Bytes.create 1 in
+  Storage.Device.pread d ~off:40 ~buf;
+  Bytes.set buf 0 (Char.chr (Char.code (Bytes.get buf 0) lxor 0xFF));
+  Storage.Device.pwrite d ~off:40 buf;
+  Storage.Device.close d;
+  match Storage.Live_index.inspect ~alphabet:alpha fs with
+  | Error msg -> Alcotest.failf "inspect refused damaged index: %s" msg
+  | Ok h ->
+    Alcotest.(check bool) "damage detected" false
+      h.Storage.Live_index.recoverable;
+    Alcotest.(check bool) "journal still fine" true
+      h.Storage.Live_index.health_journal.Storage.Live_index.journal_readable
+
+(* Multi with a single part must be bit-identical to the plain engine
+   (same stream, not just the same set). *)
+let qcheck_multi_single_part_identical =
+  let gen =
+    QCheck.Gen.(
+      let dna n = string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) n in
+      triple
+        (list_size (int_range 1 5) (dna (int_range 1 25)))
+        (dna (int_range 1 8))
+        (int_range 1 6))
+  in
+  let print (ss, q, ms) =
+    Printf.sprintf "db=%s q=%s min_score=%d" (String.concat "/" ss) q ms
+  in
+  let stream_of hits =
+    List.map
+      (fun h -> Oasis.Hit.(h.seq_index, h.score, h.query_stop, h.target_stop))
+      hits
+  in
+  QCheck.Test.make ~count:150 ~name:"Multi over one part = plain engine"
+    (QCheck.make gen ~print)
+    (fun (strings, qs, min_score) ->
+      QCheck.assume (qs <> "");
+      let seqs = seqs_of_strings strings in
+      let db = Bioseq.Database.make seqs in
+      let tree = Suffix_tree.Ukkonen.build db in
+      let q = query qs in
+      let plain =
+        Oasis.Engine.Mem.run
+          (Oasis.Engine.Mem.create ~source:tree ~db ~query:q (cfg min_score))
+      in
+      let merged =
+        Oasis.Multi.run
+          (Oasis.Multi.create
+             ~parts:[| Oasis.Multi.Mem { tree; db; first_seq = 0 } |]
+             ~query:q (cfg min_score))
+      in
+      stream_of merged = stream_of plain)
+
+(* Randomized end-to-end: arbitrary append/compact interleavings must
+   equal the monolithic oracle (as score multisets, stream ordered). *)
+let qcheck_live_index_equals_oracle =
+  let gen =
+    QCheck.Gen.(
+      let dna n = string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) n in
+      triple
+        (list_size (int_range 1 4)
+           (pair (list_size (int_range 1 3) (dna (int_range 1 20))) bool))
+        (dna (int_range 1 6))
+        (int_range 1 5))
+  in
+  let print (batches, q, ms) =
+    Printf.sprintf "%s q=%s ms=%d"
+      (String.concat ";"
+         (List.map
+            (fun (b, c) ->
+              String.concat "," b ^ if c then "+compact" else "")
+            batches))
+      q ms
+  in
+  QCheck.Test.make ~count:60 ~name:"live index equals monolithic oracle"
+    (QCheck.make gen ~print)
+    (fun (batches, qs, min_score) ->
+      QCheck.assume (qs <> "");
+      let fs = Storage.Vfs.of_store (Storage.Vfs.store ()) in
+      let t = Storage.Live_index.create ~alphabet:alpha fs in
+      let count = ref 0 in
+      List.iter
+        (fun (strings, compact_after) ->
+          Storage.Live_index.append t (seqs_of_strings ~base:!count strings);
+          count := !count + List.length strings;
+          if compact_after then Storage.Live_index.compact t)
+        batches;
+      let q = query qs in
+      let got = search_index t q min_score in
+      let oracle =
+        oracle_hits (Storage.Live_index.sequences t) q min_score
+      in
+      let ok = non_increasing got && hit_pairs got = hit_pairs oracle in
+      Storage.Live_index.close t;
+      ok)
+
+let () =
+  Alcotest.run "live_index"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "append/compact/search roundtrip" `Quick
+            test_append_compact_roundtrip;
+          Alcotest.test_case "reopen preserves the index" `Quick
+            test_reopen_preserves_index;
+          Alcotest.test_case "torn journal recovers a prefix" `Quick
+            test_torn_journal_recovery;
+          Alcotest.test_case "gc on open" `Quick test_gc_on_open;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "reader pins its catalog version" `Quick
+            test_snapshot_pins_version;
+        ] );
+      ("health", [ Alcotest.test_case "inspect" `Quick test_inspect_health ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_multi_single_part_identical;
+          QCheck_alcotest.to_alcotest qcheck_live_index_equals_oracle;
+        ] );
+    ]
