@@ -1809,6 +1809,285 @@ let disk_exp setup =
        (per_sec pi_warm /. max 1e-9 (per_sec mem)))
 
 (* ------------------------------------------------------------------ *)
+(* Batch: the fused k-query kernel vs k independent engines, in memory *)
+(* and against a warm disk tree. The correctness gate is per-query     *)
+(* bit-identity with the single engine; the metric is aggregate        *)
+(* virtual columns served per second — every query's single-engine     *)
+(* column count, delivered by however few physical DP sweeps and node  *)
+(* decodes the fused traversal needs.                                  *)
+(* ------------------------------------------------------------------ *)
+
+type batch_side = {
+  b_wall : float;
+  b_virtual : int;  (** sum over queries of single-engine column counts *)
+  b_physical : int;  (** DP column sweeps actually executed *)
+  b_expanded : int;  (** physical node expansions *)
+  b_minor_words : float;
+}
+
+let batch_exp setup =
+  print_endline
+    "== Batch: fused k-query kernel vs independent engines (mem + warm disk)";
+  (* A 20-query mutation scan: one sampled probe, twenty point-mutated
+     variants — the multi-query-service batch shape the fused kernel
+     targets (screen a motif's variants against the database in one
+     pass). Related queries keep their lanes together down the shared
+     parts of the tree, which is where fusion pays: bit-identity pins
+     the fused kernel to the same DP lane-cells as k single engines, so
+     its win is the per-(node, column) work it shares — node decode,
+     child enumeration, page probes, arc symbol fetches. A batch of
+     unrelated queries diverges after the first column or two and
+     shares almost nothing; the `batch` CLI handles that fine, but it
+     is not the workload this experiment sizes. *)
+  let base = make_query setup ~len:16 ~id:"bq_base" in
+  let queries =
+    List.init 20 (fun i ->
+        let v = Workload.Motif.mutate setup.rng ~rate:0.02 base in
+        Bioseq.Sequence.of_codes
+          ~alphabet:(Bioseq.Sequence.alphabet base)
+          ~id:(Printf.sprintf "bq%d" i) (Bioseq.Sequence.codes v))
+  in
+  let qarr = Array.of_list queries in
+  let nq = Array.length qarr in
+  let min_score =
+    min_score_for setup ~query:(List.hd queries) ~evalue:20000.
+  in
+  let cfg =
+    Oasis.Engine.config ~matrix:setup.matrix ~gap:setup.gap ~min_score ()
+  in
+  let reps = if quick then 1 else 5 in
+  Printf.printf "  %d queries x %d reps, min_score %d%s\n%!" nq reps min_score
+    (if quick then " (--quick)" else "");
+  (* Single-engine reference streams: the per-query identity gate. *)
+  let ref_streams =
+    Array.map
+      (fun query ->
+        let e =
+          Oasis.Engine.Mem.create ~source:setup.tree ~db:setup.db ~query cfg
+        in
+        let hits = Oasis.Engine.Mem.run e in
+        (hits, (Oasis.Engine.Mem.counters e).Oasis.Engine.columns))
+      qarr
+  in
+  let block_size = 2048 in
+  let open_disk () =
+    let symbols = Storage.Device.in_memory ()
+    and internal = Storage.Device.in_memory ()
+    and leaves = Storage.Device.in_memory () in
+    Storage.Disk_tree.write ~layout:Storage.Disk_tree.Position_indexed
+      setup.tree ~symbols ~internal ~leaves;
+    let total_bytes =
+      Storage.Device.length symbols + Storage.Device.length internal
+      + Storage.Device.length leaves
+    in
+    let pool =
+      Storage.Buffer_pool.create ~block_size
+        ~capacity:((total_bytes / block_size) + 8)
+    in
+    Storage.Disk_tree.open_
+      ~alphabet:(Bioseq.Database.alphabet setup.db)
+      ~pool ~symbols ~internal ~leaves ()
+  in
+  let dt = open_disk () in
+  (* Correctness gate first, unmeasured: both fused backends must
+     reproduce every query's single-engine stream — and serve exactly
+     its single-engine column count — before anything is timed. *)
+  let gate refs name run_fused =
+    let hits, cols = run_fused () in
+    Array.iteri
+      (fun q (ref_hits, ref_cols) ->
+        if not (same_stream hits.(q) ref_hits) then
+          failwith
+            (Printf.sprintf "batch bench: %s stream diverged on %s" name
+               (Bioseq.Sequence.id qarr.(q)));
+        if cols.(q) <> ref_cols then
+          failwith
+            (Printf.sprintf "batch bench: %s virtual columns diverged on %s"
+               name
+               (Bioseq.Sequence.id qarr.(q))))
+      refs
+  in
+  let fused_mem () =
+    let k =
+      Oasis.Batch_kernel.Mem.create ~source:setup.tree ~db:setup.db
+        ~queries:qarr cfg
+    in
+    Oasis.Batch_kernel.Mem.run k;
+    ( Array.init nq (Oasis.Batch_kernel.Mem.hits k),
+      Array.init nq (fun q ->
+          (Oasis.Batch_kernel.Mem.counters k q).Oasis.Engine.columns),
+      Oasis.Batch_kernel.Mem.physical_columns k,
+      Oasis.Batch_kernel.Mem.physical_expansions k,
+      Oasis.Batch_kernel.Mem.retired k )
+  in
+  let fused_disk () =
+    let k =
+      Oasis.Batch_kernel.Disk.create ~source:dt ~db:setup.db ~queries:qarr cfg
+    in
+    Oasis.Batch_kernel.Disk.run k;
+    ( Array.init nq (Oasis.Batch_kernel.Disk.hits k),
+      Array.init nq (fun q ->
+          (Oasis.Batch_kernel.Disk.counters k q).Oasis.Engine.columns),
+      Oasis.Batch_kernel.Disk.physical_columns k,
+      Oasis.Batch_kernel.Disk.physical_expansions k,
+      Oasis.Batch_kernel.Disk.retired k )
+  in
+  gate ref_streams "fused mem" (fun () ->
+      let h, c, _, _, _ = fused_mem () in
+      (h, c));
+  (* The disk single engine can pay a column more or less than the mem
+     one on a leaf-arc boundary (same hit stream); each fused backend is
+     gated against {e its own} backend's single engine, which is the
+     bit-identity contract. *)
+  let disk_ref_streams =
+    Array.map
+      (fun query ->
+        let e = Oasis.Engine.Disk.create ~source:dt ~db:setup.db ~query cfg in
+        let hits = Oasis.Engine.Disk.run e in
+        (hits, (Oasis.Engine.Disk.counters e).Oasis.Engine.columns))
+      qarr
+  in
+  Array.iteri
+    (fun q (mem_hits, _) ->
+      let disk_hits, _ = disk_ref_streams.(q) in
+      if not (same_stream disk_hits mem_hits) then
+        failwith
+          (Printf.sprintf "batch bench: disk engine stream differs from mem on %s"
+             (Bioseq.Sequence.id qarr.(q))))
+    ref_streams;
+  gate disk_ref_streams "fused disk" (fun () ->
+      let h, c, _, _, _ = fused_disk () in
+      (h, c));
+  Printf.printf
+    "  fused streams identical to single-engine on all %d queries (mem and \
+     disk)\n%!"
+    nq;
+  let measure run =
+    (* One unmeasured pass warms the pool and branch state. Each rep is
+       deterministic (identical counters); report the best rep's wall so
+       scheduler noise doesn't swamp a ~0.1s measurement. *)
+    ignore (run ());
+    let words0 = Gc.minor_words () in
+    let wall = ref infinity in
+    let virt = ref 0 and phys = ref 0 and exp = ref 0 in
+    for _rep = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      let v, p, e = run () in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !wall then wall := dt;
+      virt := v;
+      phys := p;
+      exp := e
+    done;
+    {
+      b_wall = !wall;
+      b_virtual = !virt;
+      b_physical = !phys;
+      b_expanded = !exp;
+      b_minor_words = (Gc.minor_words () -. words0) /. float_of_int reps;
+    }
+  in
+  let independent create run counters =
+    let virt = ref 0 and exp = ref 0 in
+    Array.iter
+      (fun query ->
+        let e = create query in
+        ignore (run e);
+        let c : Oasis.Engine.counters = counters e in
+        virt := !virt + c.Oasis.Engine.columns;
+        exp := !exp + c.Oasis.Engine.nodes_expanded)
+      qarr;
+    (!virt, !virt, !exp)
+  in
+  let mem_ind =
+    measure (fun () ->
+        independent
+          (fun query ->
+            Oasis.Engine.Mem.create ~source:setup.tree ~db:setup.db ~query cfg)
+          Oasis.Engine.Mem.run Oasis.Engine.Mem.counters)
+  in
+  let retired = ref 0 in
+  let mem_fused =
+    measure (fun () ->
+        let _, cols, phys, exp, ret = fused_mem () in
+        retired := ret;
+        (Array.fold_left ( + ) 0 cols, phys, exp))
+  in
+  let disk_ind =
+    measure (fun () ->
+        independent
+          (fun query ->
+            Oasis.Engine.Disk.create ~source:dt ~db:setup.db ~query cfg)
+          Oasis.Engine.Disk.run Oasis.Engine.Disk.counters)
+  in
+  let disk_fused =
+    measure (fun () ->
+        let _, cols, phys, exp, ret = fused_disk () in
+        retired := ret;
+        (Array.fold_left ( + ) 0 cols, phys, exp))
+  in
+  let per_sec s = float_of_int s.b_virtual /. max 1e-9 s.b_wall in
+  let row name s =
+    Printf.printf
+      "  %-18s %9.3fs  %12.0f virt cols/s  %10d phys cols  %8d expansions\n"
+      name s.b_wall (per_sec s) s.b_physical s.b_expanded
+  in
+  row "mem independent" mem_ind;
+  row "mem fused" mem_fused;
+  row "disk independent" disk_ind;
+  row "disk fused" disk_fused;
+  let mem_speedup = per_sec mem_fused /. max 1e-9 (per_sec mem_ind) in
+  let disk_speedup = per_sec disk_fused /. max 1e-9 (per_sec disk_ind) in
+  Printf.printf
+    "  fused speedup: %.2fx (mem), %.2fx (warm disk)   physical sweeps: \
+     %.2fx fewer   lane retirements: %d\n"
+    mem_speedup disk_speedup
+    (float_of_int mem_fused.b_virtual /. float_of_int (max 1 mem_fused.b_physical))
+    !retired;
+  let side name s =
+    Printf.sprintf
+      "    \"%s\": {\n\
+      \      \"wall_s\": %.6f,\n\
+      \      \"virtual_columns\": %d,\n\
+      \      \"virtual_columns_per_sec\": %.1f,\n\
+      \      \"physical_columns\": %d,\n\
+      \      \"nodes_expanded\": %d,\n\
+      \      \"minor_words\": %.0f\n\
+      \    }"
+      name s.b_wall s.b_virtual (per_sec s) s.b_physical s.b_expanded
+      s.b_minor_words
+  in
+  update_bench_section "batch"
+    (Printf.sprintf
+       "{\n\
+       \    \"quick\": %b,\n\
+       \    \"db_symbols\": %d,\n\
+       \    \"queries\": %d,\n\
+       \    \"batch_size\": %d,\n\
+       \    \"reps\": %d,\n\
+       \    \"seed\": %d,\n\
+       \    \"min_score\": %d,\n\
+       \    \"hit_streams_identical\": true,\n\
+        %s,\n\
+        %s,\n\
+        %s,\n\
+        %s,\n\
+       \    \"mem_fused_speedup\": %.3f,\n\
+       \    \"disk_warm_fused_speedup\": %.3f,\n\
+       \    \"physical_sweep_reduction\": %.3f,\n\
+       \    \"lane_retirements\": %d\n\
+       \  }"
+       quick db_symbols nq nq reps seed min_score
+       (side "mem_independent" mem_ind)
+       (side "mem_fused" mem_fused)
+       (side "disk_warm_independent" disk_ind)
+       (side "disk_warm_fused" disk_fused)
+       mem_speedup disk_speedup
+       (float_of_int mem_fused.b_virtual
+       /. float_of_int (max 1 mem_fused.b_physical))
+       !retired)
+
+(* ------------------------------------------------------------------ *)
 (* Scaling: sharded multicore search over database partitions.          *)
 (* ------------------------------------------------------------------ *)
 
@@ -2156,6 +2435,7 @@ let experiments =
     ("kernel", kernel);
     ("obs", obs_exp);
     ("disk", disk_exp);
+    ("batch", batch_exp);
     ("scaling", scaling);
     ("incremental", incremental);
   ]

@@ -326,9 +326,16 @@ let pieces_of_manifest db entries =
     entries
 
 let search_cmd =
-  let run fasta alphabet index_dir query_text matrix gap_penalty gap_open
-      min_score evalue top with_alignments evalue_order format buffer_blocks
-      max_columns max_nodes time_limit shards stats trace_file =
+  let run fasta alphabet index_dir query_text queries_path batch_size matrix
+      gap_penalty gap_open min_score evalue top with_alignments evalue_order
+      format buffer_blocks max_columns max_nodes time_limit shards stats
+      trace_file =
+    (match (query_text, queries_path) with
+    | None, None -> failwith "give --query or --queries"
+    | Some _, Some _ -> failwith "give only one of --query and --queries"
+    | _ -> ());
+    if batch_size < 1 || batch_size > 512 then
+      failwith "--batch-size must be in [1, 512]";
     (* A live (log-structured) index carries its own sequences, so
        --db is optional there; everywhere else it is the database. *)
     let live =
@@ -348,17 +355,23 @@ let search_cmd =
            own sequences)"
     in
     let db = Bioseq.Database.make seqs in
-    let query = Bioseq.Sequence.make ~alphabet ~id:"query" query_text in
     let gap = gap_of gap_penalty gap_open in
     let min_score =
       match (min_score, evalue) with
       | Some s, None -> s
       | None, Some e ->
+        let qlen =
+          match query_text with
+          | Some qt -> String.length qt
+          | None ->
+            failwith
+              "--evalue needs a single --query (its score cutoff depends on \
+               the query length; batch mode takes --min-score)"
+        in
         let freqs = Scoring.Background.of_database db in
         let params = Scoring.Karlin.estimate ~matrix ~freqs () in
         let s =
-          Scoring.Karlin.score_for_evalue params
-            ~m:(Bioseq.Sequence.length query)
+          Scoring.Karlin.score_for_evalue params ~m:qlen
             ~n:(Bioseq.Database.total_symbols db)
             ~evalue:e
         in
@@ -381,7 +394,7 @@ let search_cmd =
           remaining_bound
       | Oasis.Engine.Searching | Oasis.Engine.Complete -> ()
     in
-    let report i hit evalue =
+    let report ~query i hit evalue =
       match format with
       | `Tabular | `Pairwise ->
         let r =
@@ -409,14 +422,14 @@ let search_cmd =
           let a = Align.Smith_waterman.align ~matrix ~gap ~query ~target in
           Format.printf "@[<v 6>      %a@]@." (Align.Alignment.pp ~query ~target) a
     in
-    let stream next =
+    let stream ~query next =
       let rec go i =
         if i > top then ()
         else
           match next () with
           | None -> ()
           | Some (hit, evalue) ->
-            report i hit evalue;
+            report ~query i hit evalue;
             go (i + 1)
       in
       go 1
@@ -503,8 +516,8 @@ let search_cmd =
     in
     (* With --evalue-order, wrap the engine in the length-adjusted
        E-value stream (§4.3). *)
-    let with_order (type e) (module D : Oasis.Engine.DRIVER with type t = e)
-        (engine : e) =
+    let with_order (type e) ~query
+        (module D : Oasis.Engine.DRIVER with type t = e) (engine : e) =
       if not evalue_order then fun () ->
         Option.map (fun h -> (h, None)) (D.next engine)
       else begin
@@ -518,10 +531,11 @@ let search_cmd =
         fun () -> Option.map (fun (h, e) -> (h, Some e)) (Stream.next stream)
       end
     in
-    (match (live, index_dir) with
-    | Some t, _ ->
-      (* Live log-structured index: search the pinned {segments ∪ tail}
-         snapshot through the order-preserving merge. *)
+    let run_single query =
+      match (live, index_dir) with
+      | Some t, _ ->
+        (* Live log-structured index: search the pinned {segments ∪ tail}
+           snapshot through the order-preserving merge. *)
       Fun.protect
         ~finally:(fun () -> Storage.Live_index.close t)
         (fun () ->
@@ -534,7 +548,7 @@ let search_cmd =
               | parts ->
                 let m = Oasis.Multi.create ~parts ~query config in
                 wall0 := Unix.gettimeofday ();
-                stream (with_order (module Oasis.Multi) m);
+                stream ~query (with_order ~query (module Oasis.Multi) m);
                 report_outcome (Oasis.Multi.outcome m);
                 Printf.printf "# live index, %s\n" (live_summary t);
                 finish ~sharded:true (Oasis.Multi.counters m)))
@@ -546,7 +560,7 @@ let search_cmd =
           ~query config
       in
       wall0 := Unix.gettimeofday ();
-      stream (with_order (module Oasis.Parallel.Mem) t);
+      stream ~query (with_order ~query (module Oasis.Parallel.Mem) t);
       report_outcome (Oasis.Parallel.Mem.outcome t);
       finish ~sharded:true (Oasis.Parallel.Mem.counters t)
     | None, None ->
@@ -555,7 +569,7 @@ let search_cmd =
       let engine = Oasis.Engine.Mem.create ~source:tree ~db ~query config in
       Oasis.Engine.Mem.set_instrument engine inst;
       wall0 := Unix.gettimeofday ();
-      stream (with_order (module Oasis.Engine.Mem) engine);
+      stream ~query (with_order ~query (module Oasis.Engine.Mem) engine);
       report_outcome (Oasis.Engine.Mem.outcome engine);
       finish (Oasis.Engine.Mem.counters engine)
     | None, Some dir when Storage.Shard_manifest.exists ~dir ->
@@ -596,7 +610,7 @@ let search_cmd =
               ~query config
           in
           wall0 := Unix.gettimeofday ();
-          stream (with_order (module Oasis.Parallel.Disk) t);
+          stream ~query (with_order ~query (module Oasis.Parallel.Disk) t);
           report_outcome (Oasis.Parallel.Disk.outcome t);
           Printf.printf "# %d shards, %d buffer blocks each\n" k
             per_shard_blocks;
@@ -614,7 +628,7 @@ let search_cmd =
         Storage.Buffer_pool.set_obs pool
           (Some (Storage.Buffer_pool.obs ~registry ?trace:sink ()));
       wall0 := Unix.gettimeofday ();
-      stream (with_order (module Oasis.Engine.Disk) engine);
+      stream ~query (with_order ~query (module Oasis.Engine.Disk) engine);
       report_outcome (Oasis.Engine.Disk.outcome engine);
       finish (Oasis.Engine.Disk.counters engine);
       let c = Oasis.Engine.Disk.counters engine in
@@ -635,7 +649,230 @@ let search_cmd =
           ("internal", Storage.Disk_tree.Internal_nodes);
           ("leaves", Storage.Disk_tree.Leaves);
         ];
-      List.iter Storage.Device.close [ symbols; internal; leaves ])
+      List.iter Storage.Device.close [ symbols; internal; leaves ]
+    in
+    (* Multi-query batch mode: one fused kernel per (chunk, tree), so a
+       tree node is expanded — its page pinned and decoded — once for
+       every query of a chunk instead of once per query. Sharded and
+       multi-part sources run one fused search per part and merge each
+       query's complete streams in the sharded coordinator's release
+       order, so output order matches the single-query paths. *)
+    let run_batch queries =
+      if evalue_order then
+        failwith "--evalue-order is not supported with --queries";
+      let queries = Array.of_list queries in
+      let nq = Array.length queries in
+      let all_hits = Array.make nq [] in
+      let all_outcomes = Array.make nq Oasis.Engine.Complete in
+      let phys = ref Oasis.Counters.zero in
+      let virt_cols = ref 0 in
+      (* One fused kernel over [chunk]; heterogeneous tree sources hide
+         behind this first-class module. *)
+      let fused (type s)
+          (module K : Oasis.Batch_kernel.S with type source = s)
+          ~(source : s) ~db:part_db ~globalize chunk =
+        let k = K.create ~source ~db:part_db ~queries:chunk config in
+        K.set_instrument k inst;
+        K.run k;
+        let n = Array.length chunk in
+        let h = Array.init n (fun q -> List.map globalize (K.hits k q)) in
+        let o = Array.init n (fun q -> K.outcome k q) in
+        phys := Oasis.Counters.merge !phys (K.shared_counters k);
+        for q = 0 to n - 1 do
+          virt_cols := !virt_cols + (K.counters k q).Oasis.Engine.columns
+        done;
+        (h, o)
+      in
+      let no_globalize h = h in
+      let shift first_seq h =
+        { h with Oasis.Hit.seq_index = h.Oasis.Hit.seq_index + first_seq }
+      in
+      (* Drive every chunk through every part and merge per query. *)
+      let run_parts part_runners =
+        let nparts = List.length part_runners in
+        let base = ref 0 in
+        while !base < nq do
+          let len = min batch_size (nq - !base) in
+          let chunk = Array.sub queries !base len in
+          let per_part = List.map (fun r -> r chunk) part_runners in
+          for q = 0 to len - 1 do
+            let streams =
+              Array.of_list (List.map (fun (h, _) -> h.(q)) per_part)
+            in
+            let outs =
+              Array.of_list (List.map (fun (_, o) -> o.(q)) per_part)
+            in
+            all_hits.(!base + q) <-
+              (if nparts = 1 then streams.(0)
+               else Oasis.Batch.merge_streams streams);
+            all_outcomes.(!base + q) <- Oasis.Batch.merge_outcomes outs
+          done;
+          base := !base + len
+        done
+      in
+      let print_results ~sharded =
+        Array.iteri
+          (fun qi query ->
+            let hits = all_hits.(qi) in
+            Printf.printf "# query %s: %d hit(s)%s\n"
+              (Bioseq.Sequence.id query) (List.length hits)
+              (match all_outcomes.(qi) with
+              | Oasis.Engine.Exhausted { remaining_bound } ->
+                Printf.sprintf "; budget exhausted, unreported <= %d"
+                  remaining_bound
+              | _ -> "");
+            List.iteri
+              (fun i hit -> if i < top then report ~query (i + 1) hit None)
+              hits)
+          queries;
+        let p = !phys in
+        Printf.printf
+          "# fused batch: %d queries in chunks of %d; %d virtual columns \
+           served by %d physical DP sweeps (%.2fx)\n"
+          nq batch_size !virt_cols p.Oasis.Engine.columns
+          (if p.Oasis.Engine.columns > 0 then
+             float_of_int !virt_cols /. float_of_int p.Oasis.Engine.columns
+           else 1.);
+        finish ~sharded p
+      in
+      match (live, index_dir) with
+      | Some t, _ ->
+        Fun.protect
+          ~finally:(fun () -> Storage.Live_index.close t)
+          (fun () ->
+            let snap = Storage.Live_index.snapshot t in
+            Fun.protect
+              ~finally:(fun () -> Storage.Live_index.release t snap)
+              (fun () ->
+                match Oasis.Multi.parts_of_snapshot snap with
+                | [||] -> Printf.printf "# empty index, no hits\n"
+                | parts ->
+                  let runners =
+                    Array.to_list parts
+                    |> List.map (function
+                      | Oasis.Multi.Mem { tree; db = pdb; first_seq } ->
+                        fun chunk ->
+                          fused
+                            (module Oasis.Batch_kernel.Mem)
+                            ~source:tree ~db:pdb ~globalize:(shift first_seq)
+                            chunk
+                      | Oasis.Multi.Disk { tree; db = pdb; first_seq } ->
+                        fun chunk ->
+                          fused
+                            (module Oasis.Batch_kernel.Disk)
+                            ~source:tree ~db:pdb ~globalize:(shift first_seq)
+                            chunk)
+                  in
+                  wall0 := Unix.gettimeofday ();
+                  run_parts runners;
+                  Printf.printf "# live index, %s\n" (live_summary t);
+                  print_results ~sharded:true))
+      | None, None when shards > 1 ->
+        let pieces = Oasis.Shard.plan ~shards db in
+        let trees = Oasis.Shard.build_trees pieces in
+        let runners =
+          Array.to_list
+            (Array.mapi
+               (fun i (piece : Oasis.Shard.piece) ->
+                 let tree = trees.(i) in
+                 fun chunk ->
+                   fused
+                     (module Oasis.Batch_kernel.Mem)
+                     ~source:tree ~db:piece.db
+                     ~globalize:(Oasis.Shard.globalize piece) chunk)
+               pieces)
+        in
+        wall0 := Unix.gettimeofday ();
+        run_parts runners;
+        Printf.printf "# %d shards (fused per shard)\n" (Array.length pieces);
+        print_results ~sharded:true
+      | None, None ->
+        let tree = Suffix_tree.Ukkonen.build db in
+        wall0 := Unix.gettimeofday ();
+        run_parts
+          [
+            (fun chunk ->
+              fused
+                (module Oasis.Batch_kernel.Mem)
+                ~source:tree ~db ~globalize:no_globalize chunk);
+          ];
+        print_results ~sharded:false
+      | None, Some dir when Storage.Shard_manifest.exists ~dir ->
+        let entries = Storage.Shard_manifest.load ~dir in
+        let pieces = pieces_of_manifest db entries in
+        let nshards = Array.length pieces in
+        let per_shard_blocks = max 16 (buffer_blocks / nshards) in
+        let devices = ref [] in
+        Fun.protect
+          ~finally:(fun () -> List.iter Storage.Device.close !devices)
+          (fun () ->
+            let runners =
+              Array.to_list
+                (Array.mapi
+                   (fun i (piece : Oasis.Shard.piece) ->
+                     let sym_p, int_p, leaf_p =
+                       index_files (Storage.Shard_manifest.shard_dir dir i)
+                     in
+                     let symbols = Storage.Device.open_file sym_p
+                     and internal = Storage.Device.open_file int_p
+                     and leaves = Storage.Device.open_file leaf_p in
+                     devices := symbols :: internal :: leaves :: !devices;
+                     let pool =
+                       Storage.Buffer_pool.create ~block_size:2048
+                         ~capacity:per_shard_blocks
+                     in
+                     let source =
+                       Storage.Disk_tree.open_ ~alphabet ~pool ~symbols
+                         ~internal ~leaves ()
+                     in
+                     fun chunk ->
+                       fused
+                         (module Oasis.Batch_kernel.Disk)
+                         ~source ~db:piece.db
+                         ~globalize:(Oasis.Shard.globalize piece) chunk)
+                   pieces)
+            in
+            wall0 := Unix.gettimeofday ();
+            run_parts runners;
+            Printf.printf "# %d shards, %d buffer blocks each\n" nshards
+              per_shard_blocks;
+            print_results ~sharded:true)
+      | None, Some dir ->
+        let sym_p, int_p, leaf_p = index_files dir in
+        let symbols = Storage.Device.open_file sym_p
+        and internal = Storage.Device.open_file int_p
+        and leaves = Storage.Device.open_file leaf_p in
+        let pool =
+          Storage.Buffer_pool.create ~block_size:2048 ~capacity:buffer_blocks
+        in
+        let dt =
+          Storage.Disk_tree.open_ ~alphabet ~pool ~symbols ~internal ~leaves ()
+        in
+        if observing then
+          Storage.Buffer_pool.set_obs pool
+            (Some (Storage.Buffer_pool.obs ~registry ?trace:sink ()));
+        wall0 := Unix.gettimeofday ();
+        run_parts
+          [
+            (fun chunk ->
+              fused
+                (module Oasis.Batch_kernel.Disk)
+                ~source:dt ~db ~globalize:no_globalize chunk);
+          ];
+        print_results ~sharded:false;
+        let p = !phys in
+        Printf.printf "# engine pool I/O: %d hits / %d misses\n"
+          p.Oasis.Engine.io_hits p.Oasis.Engine.io_misses;
+        List.iter Storage.Device.close [ symbols; internal; leaves ]
+    in
+    match queries_path with
+    | None ->
+      run_single
+        (Bioseq.Sequence.make ~alphabet ~id:"query" (Option.get query_text))
+    | Some qp ->
+      let queries = Bioseq.Fasta.read_file ~alphabet qp in
+      if queries = [] then failwith "no queries in the query FASTA";
+      run_batch queries
   in
   let index_dir =
     Arg.(value & opt (some dir) None & info [ "index" ] ~docv:"DIR"
@@ -645,8 +882,21 @@ let search_cmd =
                  unnecessary). Searches in memory when omitted.")
   in
   let query =
-    Arg.(required & opt (some string) None & info [ "q"; "query" ] ~docv:"SEQ"
-           ~doc:"Query sequence text.")
+    Arg.(value & opt (some string) None & info [ "q"; "query" ] ~docv:"SEQ"
+           ~doc:"Query sequence text (single-query mode; see --queries for \
+                 batches).")
+  in
+  let queries_arg =
+    Arg.(value & opt (some file) None & info [ "queries" ] ~docv:"FASTA"
+           ~doc:"Multi-query FASTA: search every record through one fused \
+                 batch kernel — each tree node is expanded once per chunk \
+                 of queries instead of once per query. Per-query output is \
+                 identical to running $(b,--query) on each record alone. \
+                 Mutually exclusive with --query.")
+  in
+  let batch_size_arg =
+    Arg.(value & opt int 16 & info [ "batch-size" ] ~docv:"K"
+           ~doc:"Queries fused per kernel chunk with --queries (1-512).")
   in
   let matrix =
     Arg.(value & opt matrix_conv Scoring.Matrices.pam30 & info [ "matrix" ]
@@ -738,15 +988,16 @@ let search_cmd =
                 carries its own sequences)."
           "db"
       $ alphabet_arg
-      $ index_dir $ query $ matrix $ gap $ gap_open $ min_score $ evalue $ top
-      $ with_alignments $ evalue_order $ format $ buffer_blocks $ max_columns
-      $ max_nodes $ time_limit $ shards $ stats $ trace)
+      $ index_dir $ query $ queries_arg $ batch_size_arg $ matrix $ gap
+      $ gap_open $ min_score $ evalue $ top $ with_alignments $ evalue_order
+      $ format $ buffer_blocks $ max_columns $ max_nodes $ time_limit $ shards
+      $ stats $ trace)
 
 (* --- batch --- *)
 
 let batch_cmd =
-  let run fasta alphabet queries_path matrix gap_penalty min_score domains
-      format =
+  let run fasta alphabet queries_path batch_size matrix gap_penalty min_score
+      domains format =
     let seqs = Bioseq.Fasta.read_file ~alphabet fasta in
     let db = Bioseq.Database.make seqs in
     let queries = Bioseq.Fasta.read_file ~alphabet queries_path in
@@ -759,7 +1010,7 @@ let batch_cmd =
     let gap = Scoring.Gap.linear gap_penalty in
     let cfg = Oasis.Engine.config ~matrix ~gap ~min_score () in
     let t0 = Unix.gettimeofday () in
-    let results = Oasis.Batch.run ~domains ~tree ~db ~queries cfg in
+    let results = Oasis.Batch.run ~domains ~batch_size ~tree ~db ~queries cfg in
     let elapsed = Unix.gettimeofday () -. t0 in
     List.iter
       (fun r ->
@@ -783,6 +1034,11 @@ let batch_cmd =
   let queries_path =
     Arg.(required & opt (some file) None & info [ "queries" ] ~docv:"FASTA"
            ~doc:"FASTA file of query sequences.")
+  in
+  let batch_size =
+    Arg.(value & opt int 16 & info [ "batch-size" ] ~docv:"K"
+           ~doc:"Queries fused per kernel chunk (1-512; 1 runs each query \
+                 through its own engine).")
   in
   let matrix =
     Arg.(value & opt matrix_conv Scoring.Matrices.pam30 & info [ "matrix" ]
@@ -810,7 +1066,8 @@ let batch_cmd =
              domains.")
     Term.(
       const run $ fasta_arg ~doc:"FASTA database." "db" $ alphabet_arg
-      $ queries_path $ matrix $ gap $ min_score $ domains $ format)
+      $ queries_path $ batch_size $ matrix $ gap $ min_score $ domains
+      $ format)
 
 (* --- compare --- *)
 

@@ -2,32 +2,126 @@ type result = {
   query_index : int;
   hits : Hit.t list;
   counters : Engine.counters;
+  outcome : Engine.outcome;
 }
 
+let totals results =
+  List.fold_left
+    (fun acc r -> Counters.merge acc r.counters)
+    Counters.zero results
+
+(* k = 1 rides the committed single-query kernel — the fused kernel's
+   replay layer would only add bookkeeping, and keeping the one-query
+   path byte-for-byte the benchmarked engine keeps the kernel baseline
+   meaningful. *)
 let search_one ~tree ~db cfg query_index query =
   let engine = Engine.Mem.create ~source:tree ~db ~query cfg in
   let hits = Engine.Mem.run engine in
-  { query_index; hits; counters = Engine.Mem.counters engine }
+  {
+    query_index;
+    hits;
+    counters = Engine.Mem.counters engine;
+    outcome = Engine.Mem.outcome engine;
+  }
 
-let run_on_pool pool ~tree ~db ~queries cfg =
+(* One fused chunk: a single tree traversal serving the whole chunk
+   (see [Batch_kernel]); per-query streams are bit-identical to the
+   single-engine runs. *)
+let search_chunk ~tree ~db cfg base queries =
+  match Array.length queries with
+  | 1 -> [ search_one ~tree ~db cfg base queries.(0) ]
+  | _ ->
+    let k = Batch_kernel.Mem.create ~source:tree ~db ~queries cfg in
+    Batch_kernel.Mem.run k;
+    List.init (Array.length queries) (fun q ->
+        {
+          query_index = base + q;
+          hits = Batch_kernel.Mem.hits k q;
+          counters = Batch_kernel.Mem.counters k q;
+          outcome = Batch_kernel.Mem.outcome k q;
+        })
+
+let chunks ~batch_size queries =
+  if batch_size < 1 then invalid_arg "Batch.run: batch_size < 1";
+  if batch_size > 512 then invalid_arg "Batch.run: batch_size > 512";
   let queries = Array.of_list queries in
-  let results = Array.make (Array.length queries) None in
-  Array.iteri
-    (fun i query ->
-      Domain_pool.submit pool (fun () ->
-          results.(i) <- Some (search_one ~tree ~db cfg i query)))
-    queries;
-  Domain_pool.wait pool;
-  Array.to_list results
-  |> List.map (function Some r -> r | None -> assert false)
+  let n = Array.length queries in
+  let rec go base acc =
+    if base >= n then List.rev acc
+    else
+      let len = min batch_size (n - base) in
+      go (base + len) ((base, Array.sub queries base len) :: acc)
+  in
+  go 0 []
 
-let run ?(domains = 1) ?pool ~tree ~db ~queries cfg =
+let run_on_pool pool ~batch_size ~tree ~db ~queries cfg =
+  let chunks = Array.of_list (chunks ~batch_size queries) in
+  let results = Array.make (Array.length chunks) [] in
+  Array.iteri
+    (fun i (base, chunk) ->
+      Domain_pool.submit pool (fun () ->
+          results.(i) <- search_chunk ~tree ~db cfg base chunk))
+    chunks;
+  Domain_pool.wait pool;
+  (* Chunks cover the query list in order, so concatenation restores
+     per-query order directly — no option round-trip. *)
+  List.concat (Array.to_list results)
+
+let run ?(domains = 1) ?pool ?(batch_size = 16) ~tree ~db ~queries cfg =
   match pool with
-  | Some pool -> run_on_pool pool ~tree ~db ~queries cfg
+  | Some pool -> run_on_pool pool ~batch_size ~tree ~db ~queries cfg
   | None ->
     if domains < 1 then invalid_arg "Batch.run: domains < 1";
     if domains = 1 then
-      List.mapi (fun i q -> search_one ~tree ~db cfg i q) queries
+      List.concat_map
+        (fun (base, chunk) -> search_chunk ~tree ~db cfg base chunk)
+        (chunks ~batch_size queries)
     else
       Domain_pool.with_pool ~domains (fun pool ->
-          run_on_pool pool ~tree ~db ~queries cfg)
+          run_on_pool pool ~batch_size ~tree ~db ~queries cfg)
+
+(* Merge per-part complete streams for one query into the stream the
+   unsharded engine would produce. Each input is sorted by
+   non-increasing score already (every part ran a full engine or fused
+   kernel), so this is a k-way merge; equal scores release the
+   lowest-indexed part first, which is exactly the sharded
+   coordinator's release rule ([Parallel], DESIGN.md §2e) specialised
+   to complete streams. *)
+let merge_streams streams =
+  let heads = Array.map (fun s -> s) streams in
+  let out = ref [] in
+  let rec step () =
+    let best = ref (-1) in
+    let best_score = ref min_int in
+    Array.iteri
+      (fun i s ->
+        match s with
+        | [] -> ()
+        | h :: _ -> if h.Hit.score > !best_score then begin
+            best := i;
+            best_score := h.Hit.score
+          end)
+      heads;
+    if !best >= 0 then begin
+      (match heads.(!best) with
+      | h :: rest ->
+        out := h :: !out;
+        heads.(!best) <- rest
+      | [] -> assert false);
+      step ()
+    end
+  in
+  step ();
+  List.rev !out
+
+let merge_outcomes outcomes =
+  Array.fold_left
+    (fun acc o ->
+      match (acc, o) with
+      | Engine.Exhausted { remaining_bound = a }, Engine.Exhausted { remaining_bound = b }
+        ->
+        Engine.Exhausted { remaining_bound = max a b }
+      | (Engine.Exhausted _ as e), _ | _, (Engine.Exhausted _ as e) -> e
+      | Engine.Searching, _ | _, Engine.Searching -> Engine.Searching
+      | Engine.Complete, Engine.Complete -> Engine.Complete)
+    Engine.Complete outcomes

@@ -1,31 +1,73 @@
-(** Multi-query batch search, optionally parallel across OCaml 5
-    domains.
+(** Multi-query batch search: fused chunks, optionally parallel across
+    OCaml 5 domains.
 
-    Once built, the suffix tree is immutable, so any number of engines
-    can traverse it concurrently; a query workload (the paper evaluates
-    100 ProClass motifs, §4.1) parallelizes trivially. Only the
-    in-memory source is offered here — the disk engine shares one
+    Queries are grouped into chunks of [batch_size]; each chunk runs as
+    one {!Batch_kernel} search — a single best-first tree traversal
+    serving the whole chunk, with the k DP columns laid out
+    structure-of-arrays in one column-arena slot. Per-query hit streams
+    are bit-identical to single-engine runs (the kernel's replay layer
+    guarantees it; property tests gate it), so fusion is purely a
+    performance choice. Chunks of one query ride the committed
+    single-query engine directly, keeping the benchmarked kernel
+    baseline untouched.
+
+    Once built, the suffix tree is immutable, so any number of chunk
+    searches can traverse it concurrently; a query workload (the paper
+    evaluates 100 ProClass motifs, §4.1) parallelizes trivially. Only
+    the in-memory source is offered here — the disk engine shares one
     buffer pool, which is deliberately not thread-safe (a single clock
-    hand, like the paper's). *)
+    hand, like the paper's). The CLI's disk batch path runs one fused
+    {!Batch_kernel.Disk} search single-threaded instead, which is where
+    fusion pays most: each page is pinned and decoded once for the
+    whole batch. *)
 
 type result = {
   query_index : int;
   hits : Hit.t list;
   counters : Engine.counters;
+      (** for a fused chunk: the query's {e virtual} counters — the
+          work its single-engine run would have done (pool/io/alloc
+          fields zero, those are shared physics); for a chunk of one:
+          the engine's full counters *)
+  outcome : Engine.outcome;
 }
 
 val run :
   ?domains:int ->
   ?pool:Domain_pool.t ->
+  ?batch_size:int ->
   tree:Suffix_tree.Tree.t ->
   db:Bioseq.Database.t ->
   queries:Bioseq.Sequence.t list ->
   Engine.config ->
   result list
 (** Search every query, returning results in query order. One task per
-    query on a {!Domain_pool} — queries of very different costs still
-    balance, unlike a static split. [pool] reuses a caller's pool
-    (e.g. shared with a {!Parallel} search); otherwise [domains]
-    (default 1) sizes a private one, with [domains = 1] running
-    inline. Results are identical regardless of [domains]/[pool]
-    (checked by tests). *)
+    {e chunk} on a {!Domain_pool}; [batch_size] (default 16, max 512)
+    sets the fusion width — [1] recovers the independent-engines
+    behaviour exactly. [pool] reuses a caller's pool (e.g. shared with
+    a {!Parallel} search); otherwise [domains] (default 1) sizes a
+    private one, with [domains = 1] running inline. Results are
+    identical regardless of [domains]/[pool]/[batch_size] (checked by
+    tests). *)
+
+val totals : result list -> Counters.t
+(** Aggregate batch counters with {!Counters.merge} — work counters
+    sum, pool gauges take the max instead of double-counting. *)
+
+(** {2 Merging per-shard batch results}
+
+    Helpers for composing fused chunks with sharded or multi-part
+    sources: run one fused search per shard/part, globalize each hit
+    stream, then merge per query. *)
+
+val merge_streams : Hit.t list array -> Hit.t list
+(** Merge complete per-part streams (each already sorted by
+    non-increasing score) into one stream, releasing equal scores from
+    the lowest-indexed part first — the sharded coordinator's release
+    order ({!Parallel}) specialised to complete streams, so a batch
+    over shards reports hits in the same order as the online sharded
+    search. *)
+
+val merge_outcomes : Engine.outcome array -> Engine.outcome
+(** Aggregate per-part outcomes: any [Exhausted] wins (with the max
+    remaining bound), then [Searching], else [Complete]. *)

@@ -1,0 +1,1202 @@
+(* Fused multi-query batch kernel: one best-first suffix-tree traversal
+   serving k queries at once.
+
+   The engine's DP columns, bounds and acceptance decisions are all
+   path-local — [Engine.expand] reloads the running best from the
+   parent node, never from a global register — so every (node, query)
+   fact (DP column, admissible bound, exact score) is a pure function
+   of the tree and the query, independent of traversal order. The
+   fused kernel exploits that split:
+
+   - A {e physical} traversal expands each tree node once for the whole
+     batch. DP columns for the k queries live lane-major in one
+     [Col_pool] slot (lane q's cells contiguous at
+     [off + q*(mm+1) + i]); the arc's symbols are fetched from the
+     source once, memoized in [sym_buf], and each lane then walks the
+     whole arc with its running state (best, bound, cutoff) in
+     registers. Per-query cutoffs retire a query's lane from the walk
+     the moment its own bound falls under its prune threshold; the walk
+     stops when no lane is live. Each expansion records a per-(child,
+     lane) fact table: pruned, viable with bound, or accepted with the
+     exact score.
+
+   - Per query, a {e virtual} engine replays the single-engine search
+     over the recorded facts: its own priority queue (same priorities,
+     same accepted-before-viable tie, same FIFO seqno discipline), its
+     own budget counters, its own emission pass. Because the facts are
+     traversal-order independent, the replay's pop/emit sequence — and
+     therefore the hit stream, including budget truncation — is
+     bit-identical to running [Engine.Make(S)] on that query alone.
+
+   - The scheduler is demand-driven: virtual engines drain until each
+     blocks on a tree node not yet physically expanded; the blocked
+     node with the highest bound (the max live bound across the batch)
+     is expanded next. Nodes no engine ever needs — e.g. beyond every
+     query's budget — are never touched. *)
+
+let neg_inf = Scoring.Submat.neg_inf
+
+module type S = sig
+  type t
+  type source
+
+  val create :
+    source:source ->
+    db:Bioseq.Database.t ->
+    queries:Bioseq.Sequence.t array ->
+    Engine.config ->
+    t
+
+  val next : t -> (int * Hit.t) option
+  val run : t -> unit
+  val hits : t -> int -> Hit.t list
+  val outcome : t -> int -> Engine.outcome
+  val peek_bound : t -> int -> int option
+  val counters : t -> int -> Counters.t
+  val shared_counters : t -> Counters.t
+  val num_queries : t -> int
+  val retired : t -> int
+  val physical_expansions : t -> int
+  val physical_columns : t -> int
+  val set_instrument : t -> Instrument.t option -> unit
+end
+
+module Make (S : Source.S) = struct
+  type source = S.t
+
+  (* A physical tree node known to the traversal: created when its
+     parent was expanded and at least one lane stayed viable, destroyed
+     (facts dropped) once every referencing lane consumed it.
+
+     Expansion facts are stored allocation-lean: a child pruned for
+     every lane leaves only two ints per parent lane (the aggregate
+     count and column cost the single engine would have paid there),
+     viable facts ride inside the child's own register block, and only
+     the rare accepted facts get a flat side table. *)
+  type pnode = {
+    tree_node : S.node;
+    depth : int;  (** path length in symbols *)
+    mutable slot : int;  (** column-pool slot; [-1] once expanded *)
+    lanes : int array;  (** query ids live here, ascending *)
+    preg : int array;
+        (** per-lane registers, stride 5 parallel to [lanes]:
+            [5j] path-best score, [5j+1] its query row, [5j+2] its path
+            offset, [5j+3] the admissible bound (this lane's viable
+            fact priority), [5j+4] the arc columns the lane paid *)
+    mutable refs : int;  (** lanes that still hold a viable fact for us *)
+    mutable fkids : pnode array;
+        (** physical children (viable for >= 1 lane), in child order *)
+    mutable fpruned : int array;
+        (** per parent lane [j], set by expansion: [2j] children pruned
+            for that lane, [2j+1] the DP columns those arcs cost it *)
+    mutable facc : int array;
+        (** accepted facts, stride 4 in child order: score, query stop,
+            path offset, arc columns *)
+    mutable facc_nodes : S.node array;  (** tree node per accepted fact *)
+    mutable foff : int array;
+        (** CSR row offsets: lane [j]'s replay facts are
+            [fdata.(foff.(j) .. foff.(j+1) - 1)] *)
+    mutable fdata : int array;
+        (** packed replay facts, child order within each lane's segment:
+            [>= 0] viable — [(child index in fkids) * 1024 + (lane index
+            in that child)]; [< 0] accepted — [-(g + 1)] indexing
+            [facc]/[facc_nodes] *)
+    mutable expanded : bool;
+  }
+
+  (* Virtual-queue entries are packed int handles into the fact arenas
+     on [t] (the replay analogue of [Engine.snode], flattened so the
+     int-specialized heap can sift them without write barriers):
+     [(slot lsl 11) lor (lane lsl 1) lor 1] for a viable fact — slot
+     into [va_pn], lane our index within that pnode (k <= 512 so ten
+     bits suffice) — and [slot lsl 1] for an accepted one, slot into
+     [aa_nd]/[aa_qs]/[aa_off] with the score carried as the heap
+     priority. *)
+  type veng = {
+    q_index : int;
+    vq : Pqueue.Int.t;
+    reported_seq : bool array;
+    mutable reported_count : int;
+    pending : Hit.t Queue.t;
+    mutable v_columns : int;
+    mutable v_expanded : int;
+    mutable v_enqueued : int;
+    mutable v_pruned : int;
+    mutable v_max_queue : int;
+    mutable exhausted : int option;
+    mutable done_ : bool;
+    mutable rev_hits : Hit.t list;
+    mutable blocked_on : (int * pnode) option;
+        (** memoized drain result: the node this engine waits on and
+            its bound. Valid until that node is expanded — nothing else
+            can change a blocked engine's queue. *)
+  }
+
+  type t = {
+    source : S.t;
+    db : Bioseq.Database.t;
+    k : int;
+    mm : int;  (** max query length; every lane's block is sized for it *)
+    mq : int array;  (** per-query lengths: each lane sweeps only its rows *)
+    dim : int;
+    fhs : int array array;  (** per-query heuristic vectors, [fhs.(q).(i)] *)
+    fcs : int array array;
+        (** per-query symbol-major profiles in the single engine's own
+            layout: [fcs.(q).((c * mq.(q)) + (i-1))] scores symbol [c]
+            at query [q]'s position [i] *)
+    gap_open : int;
+    gap_extend : int;
+    min_score : int;
+    k_lo : int;  (** cell floor: 0 with prune_nonpositive, else neg_inf *)
+    opt_pd : bool;
+    affine : bool;
+    term : int;
+    cfg : Engine.config;
+    lim_columns : int;  (** budget, [max_int] when unbounded *)
+    lim_expanded : int;
+    pool : Col_pool.t;
+    engines : veng array;
+    (* Arc-walk scratch, indexed by query id. *)
+    s_best : int array;
+    s_best_q : int array;
+    s_best_off : int array;
+    s_ub : int array;
+    s_cut : int array;
+    s_cols : int array;
+    s_state : int array;  (** 0 live, 1 pruned, 2 exact, 3 inactive *)
+    mutable nlive : int;  (** lanes still viable after an arc walk *)
+    (* Arc-label memo: symbols fetched from the source on first demand
+       and replayed for the remaining lanes, so k lanes walking the
+       same arc pay one fetch per column. [-1] encodes the
+       terminator. *)
+    mutable sym_buf : int array;
+    mutable sb_n : int;  (** symbols memoized for the current arc *)
+    mutable sb_idx : int;  (** next source position for the current arc *)
+    (* Expansion scratch: packed replay facts in append (= child) order,
+       rebucketed per lane by a stable counting sort at the end of each
+       [pexpand]. *)
+    mutable fb_lane : int array;  (** parent lane index per fact *)
+    mutable fb_code : int array;  (** packed fact, as in [fdata] *)
+    mutable fb_n : int;
+    s_cursor : int array;  (** counting-sort cursors, one per lane *)
+    (* Fact arenas: the replay facts referenced by the virtual queues'
+       packed int handles. Slots are free-listed on pop; a released
+       [va_pn] slot may keep its last pnode reachable until reuse,
+       which only delays collection of an already-consumed record. *)
+    mutable va_pn : pnode array;  (** viable facts: the child pnode *)
+    mutable va_free : int array;
+    mutable va_nfree : int;
+    mutable va_top : int;
+    mutable aa_nd : S.node array;  (** accepted facts: emission node *)
+    mutable aa_qs : int array;  (** ... query-stop *)
+    mutable aa_off : int array;  (** ... path offset of the best cell *)
+    mutable aa_free : int array;
+    mutable aa_nfree : int;
+    mutable aa_top : int;
+    out : (int * Hit.t) Queue.t;
+    mutable ebuf : int array;  (** emission scratch, grown on demand *)
+    mutable p_expansions : int;
+    mutable p_columns : int;  (** columns walked once for the batch *)
+    mutable retired : int;
+    mutable obs : Instrument.t option;
+    base_io_hits : int;
+    base_io_misses : int;
+    base_minor_words : float;
+    deadline : float;
+  }
+
+  (* Checked-mode validation, once per lane DP column: the unsafe
+     accesses below stay inside the lane's source and destination
+     blocks (the D half included for affine) and inside its profile and
+     heuristic vectors. *)
+  let check_lane t (w : int array) rbase wbase c q =
+    let m = t.mq.(q) in
+    let ext = if t.affine then (t.mm + 1) * t.k else 0 in
+    if
+      c < 0 || c >= t.dim || q < 0 || q >= t.k || m > t.mm
+      || rbase < 0
+      || rbase + ext + m >= Array.length w
+      || wbase < 0
+      || wbase + ext + m >= Array.length w
+      || (c * m) + m > Array.length t.fcs.(q)
+      || m >= Array.length t.fhs.(q)
+    then invalid_arg "Oasis.Batch_kernel: kernel index range violation"
+
+  (* Next symbol of the current arc label, memoized across lanes: the
+     first lane that reaches column [i] fetches it from the source; the
+     others replay the buffer. Only called with [i <= sb_n], and only
+     while some lane is still live, so the fetch count equals the
+     column sweeps a fused traversal would run — each arc symbol is
+     decoded once per batch, never once per query. *)
+  let arc_sym t i =
+    if i < t.sb_n then Array.unsafe_get t.sym_buf i
+    else begin
+      let c = S.symbol t.source t.sb_idx in
+      t.sb_idx <- t.sb_idx + 1;
+      let c = if c = t.term then -1 else c in
+      if t.sb_n = Array.length t.sym_buf then begin
+        let bigger = Array.make (2 * t.sb_n) 0 in
+        Array.blit t.sym_buf 0 bigger 0 t.sb_n;
+        t.sym_buf <- bigger
+      end;
+      t.sym_buf.(t.sb_n) <- c;
+      t.sb_n <- t.sb_n + 1;
+      c
+    end
+
+  (* Walk the current arc (up to [maxc] memoized columns) for one lane:
+     per column this is the engine's linear cell cascade verbatim, with
+     the lane's registers (path best, collapsed cutoff, bound) in
+     scalars for the whole arc. The first column reads the lane's block
+     in the parent slot [srcb] and writes the child slot [dstb]; later
+     columns run in place. Stops early when the lane's bound sinks to
+     its path best (exact), falls under [min_score] (retired), or the
+     label hits the terminator (exact, before that column). Finals are
+     written back to the scratch registers, parallel to what
+     [Engine.lin_arc] leaves in its search node. *)
+  let lin_lane t (w : int array) q srcb dstb maxc depth0 =
+    let m = Array.unsafe_get t.mq q in
+    let fcq = Array.unsafe_get t.fcs q in
+    let fhq = Array.unsafe_get t.fhs q in
+    let ge = t.gap_extend in
+    let lo = t.k_lo in
+    let best = ref (Array.unsafe_get t.s_best q) in
+    let best_q = ref (Array.unsafe_get t.s_best_q q) in
+    let best_off = ref (Array.unsafe_get t.s_best_off q) in
+    let cut = ref (Array.unsafe_get t.s_cut q) in
+    let ub = ref min_int in
+    let cols = ref 0 in
+    let state = ref 0 in
+    let rbase = ref srcb in
+    while !state = 0 && !cols < maxc do
+      let c = arc_sym t !cols in
+      if c < 0 then state := 2 (* terminator: the bound is exact *)
+      else begin
+        if Kernel_util.checked then check_lane t w !rbase dstb c q;
+        let fcb = (c * m) - 1 in
+        (* Row 0: the empty query prefix; only gap-extension reachable
+           (mirrors [Engine.lin_column]). *)
+        let w0 = Array.unsafe_get w !rbase in
+        let w0' =
+          if w0 = neg_inf then neg_inf
+          else
+            let v = w0 + ge in
+            if v <= lo && lo = 0 then neg_inf else v
+        in
+        Array.unsafe_set w dstb w0';
+        let diag = ref w0 in
+        let left = ref w0' in
+        let cub =
+          ref (if w0' = neg_inf then neg_inf else w0' + Array.unsafe_get fhq 0)
+        in
+        let rb = !rbase in
+        for i = 1 to m do
+          let wi = Array.unsafe_get w (rb + i) in
+          let repl =
+            if !diag = neg_inf then neg_inf
+            else !diag + Array.unsafe_get fcq (fcb + i)
+          in
+          let del = if wi = neg_inf then neg_inf else wi + ge in
+          let ins = if !left = neg_inf then neg_inf else !left + ge in
+          let hv = Array.unsafe_get fhq i in
+          let dm = if del >= ins then del else ins in
+          let v = if repl >= dm then repl else dm in
+          diag := wi;
+          let sc = v + hv in
+          if v <= lo || sc <= !cut then begin
+            Array.unsafe_set w (dstb + i) neg_inf;
+            left := neg_inf
+          end
+          else begin
+            Array.unsafe_set w (dstb + i) v;
+            left := v;
+            if sc > !cub then cub := sc;
+            if v > !best then begin
+              best := v;
+              best_q := i;
+              best_off := depth0 + !cols + 1;
+              if t.opt_pd && v > !cut then cut := v
+            end
+          end
+        done;
+        ub := !cub;
+        incr cols;
+        rbase := dstb;
+        (* Per-column arc termination (mirrors the checks after each
+           [Engine.lin_column]): bound sunk to the path best — exact;
+           under min_score — retired. *)
+        if !cub <= !best then state := 2
+        else if !cub < t.min_score then state := 1
+      end
+    done;
+    Array.unsafe_set t.s_best q !best;
+    Array.unsafe_set t.s_best_q q !best_q;
+    Array.unsafe_set t.s_best_off q !best_off;
+    Array.unsafe_set t.s_cut q !cut;
+    Array.unsafe_set t.s_ub q !ub;
+    Array.unsafe_set t.s_cols q !cols;
+    Array.unsafe_set t.s_state q !state
+
+  (* The affine-model (Gotoh) lane walk: the lane's B cells live at
+     [srcb/dstb + i], its D cells one D-half further on; the insert-run
+     score threads down each column in a scalar. Same arc-register
+     discipline and termination as [lin_lane]. *)
+  let aff_lane t (w : int array) q srcb dstb maxc depth0 =
+    let m = Array.unsafe_get t.mq q in
+    let fcq = Array.unsafe_get t.fcs q in
+    let fhq = Array.unsafe_get t.fhs q in
+    let ge = t.gap_extend in
+    let go = t.gap_open in
+    let lo = t.k_lo in
+    let dhalf = (t.mm + 1) * t.k in
+    let best = ref (Array.unsafe_get t.s_best q) in
+    let best_q = ref (Array.unsafe_get t.s_best_q q) in
+    let best_off = ref (Array.unsafe_get t.s_best_off q) in
+    let cut = ref (Array.unsafe_get t.s_cut q) in
+    let ub = ref min_int in
+    let cols = ref 0 in
+    let state = ref 0 in
+    let rbase = ref srcb in
+    while !state = 0 && !cols < maxc do
+      let c = arc_sym t !cols in
+      if c < 0 then state := 2
+      else begin
+        if Kernel_util.checked then check_lane t w !rbase dstb c q;
+        let fcb = (c * m) - 1 in
+        let rb = !rbase in
+        let rd = rb + dhalf in
+        let wd = dstb + dhalf in
+        (* Row 0: reachable only through a delete run; the full cascade
+           applies (mirrors [Engine.aff_column]). *)
+        let wh0 = Array.unsafe_get w rb in
+        let wd0 = Array.unsafe_get w rd in
+        let d1 = if wh0 = neg_inf then neg_inf else wh0 + go in
+        let d2 = if wd0 = neg_inf then neg_inf else wd0 + ge in
+        let d0 = if d1 >= d2 then d1 else d2 in
+        let hv0 = Array.unsafe_get fhq 0 in
+        let d0 = if d0 <= lo || d0 + hv0 <= !cut then neg_inf else d0 in
+        Array.unsafe_set w wd d0;
+        Array.unsafe_set w dstb d0;
+        let diag = ref wh0 in
+        let sins = ref neg_inf in
+        let left = ref d0 in
+        let cub = ref (if d0 = neg_inf then neg_inf else d0 + hv0) in
+        for i = 1 to m do
+          let whi = Array.unsafe_get w (rb + i) in
+          let wdi = Array.unsafe_get w (rd + i) in
+          let d1 = if whi = neg_inf then neg_inf else whi + go in
+          let d2 = if wdi = neg_inf then neg_inf else wdi + ge in
+          let d = if d1 >= d2 then d1 else d2 in
+          let i1 = if !left = neg_inf then neg_inf else !left + go in
+          let i2 = if !sins = neg_inf then neg_inf else !sins + ge in
+          let ins = if i1 >= i2 then i1 else i2 in
+          let repl =
+            if !diag = neg_inf then neg_inf
+            else !diag + Array.unsafe_get fcq (fcb + i)
+          in
+          let hv = Array.unsafe_get fhq i in
+          let d = if d <= lo || d + hv <= !cut then neg_inf else d in
+          let dm = if d >= ins then d else ins in
+          let h = if repl >= dm then repl else dm in
+          Array.unsafe_set w (wd + i) d;
+          diag := whi;
+          sins := ins;
+          let sc = h + hv in
+          if h <= lo || sc <= !cut then begin
+            Array.unsafe_set w (dstb + i) neg_inf;
+            left := neg_inf
+          end
+          else begin
+            Array.unsafe_set w (dstb + i) h;
+            left := h;
+            if sc > !cub then cub := sc;
+            if h > !best then begin
+              best := h;
+              best_q := i;
+              best_off := depth0 + !cols + 1;
+              if t.opt_pd && h > !cut then cut := h
+            end
+          end
+        done;
+        ub := !cub;
+        incr cols;
+        rbase := dstb;
+        if !cub <= !best then state := 2
+        else if !cub < t.min_score then state := 1
+      end
+    done;
+    Array.unsafe_set t.s_best q !best;
+    Array.unsafe_set t.s_best_q q !best_q;
+    Array.unsafe_set t.s_best_off q !best_off;
+    Array.unsafe_set t.s_cut q !cut;
+    Array.unsafe_set t.s_ub q !ub;
+    Array.unsafe_set t.s_cols q !cols;
+    Array.unsafe_set t.s_state q !state
+
+  (* Fallback bound for a lane whose arc contributed no DP column (a
+     defensive mirror of [Engine.rescan]). *)
+  let rescan_lane t (w : int array) off q =
+    let base = off + (q * (t.mm + 1)) in
+    let fhq = t.fhs.(q) in
+    let rec go i ub =
+      if i > t.mq.(q) then ub
+      else
+        let v = w.(base + i) in
+        let ub =
+          if v > neg_inf && v + fhq.(i) > ub then v + fhq.(i) else ub
+        in
+        go (i + 1) ub
+    in
+    go 0 neg_inf
+
+  (* Append one packed replay fact for parent lane [lane] to the
+     expansion scratch buffer (amortized growth, reused across
+     expansions). *)
+  let fb_push t lane code =
+    let n = t.fb_n in
+    if n = Array.length t.fb_lane then begin
+      let ncap = max 64 (2 * n) in
+      let nlane = Array.make ncap 0 in
+      let ncode = Array.make ncap 0 in
+      Array.blit t.fb_lane 0 nlane 0 n;
+      Array.blit t.fb_code 0 ncode 0 n;
+      t.fb_lane <- nlane;
+      t.fb_code <- ncode
+    end;
+    t.fb_lane.(n) <- lane;
+    t.fb_code.(n) <- code;
+    t.fb_n <- n + 1
+
+  (* Expand one child arc of [pn]: walk it lane by lane over the
+     memoized label (each lane's first column reads the parent slot in
+     place — nothing is ever blitted), then record the per-lane facts —
+     aggregate counters in [fpruned] for pruned lanes, a child pnode
+     (registers in its [preg]) when some lane stays viable, an [accs]
+     entry per accepted lane; viable and accepted facts also append a
+     packed entry to the scratch buffer for the CSR rebucket. A child
+     whose arc opens with the terminator (a leaf, the common case) or
+     prunes every lane touches no slot at all. *)
+  let walk_child t pn fpruned kids nkids accs naccs child =
+    let start = S.label_start t.source child in
+    let stop = S.label_end t.source child in
+    let lanes = pn.lanes in
+    let nl = Array.length lanes in
+    let span = t.mm + 1 in
+    let ms1 = t.min_score - 1 in
+    let maxc = stop - start in
+    t.sb_n <- 0;
+    t.sb_idx <- start;
+    (* The child slot: needed iff some lane will run a column, i.e. the
+       label is non-empty and does not open with the terminator. *)
+    let slot0 =
+      if maxc > 0 && arc_sym t 0 >= 0 then Col_pool.acquire t.pool else -1
+    in
+    let w = Col_pool.data t.pool in
+    let psrc = Col_pool.base t.pool pn.slot in
+    let dst0 = if slot0 >= 0 then Col_pool.base t.pool slot0 else psrc in
+    t.nlive <- 0;
+    for j = 0 to nl - 1 do
+      let q = lanes.(j) in
+      if t.engines.(q).done_ then t.s_state.(q) <- 3
+      else begin
+        let r = 5 * j in
+        let b = pn.preg.(r) in
+        t.s_best.(q) <- b;
+        t.s_best_q.(q) <- pn.preg.(r + 1);
+        t.s_best_off.(q) <- pn.preg.(r + 2);
+        t.s_cut.(q) <- (if t.opt_pd && b >= ms1 then b else ms1);
+        let srcb = psrc + (q * span) in
+        let dstb = dst0 + (q * span) in
+        if t.affine then aff_lane t w q srcb dstb maxc pn.depth
+        else lin_lane t w q srcb dstb maxc pn.depth;
+        match t.s_state.(q) with
+        | 0 -> t.nlive <- t.nlive + 1
+        | 1 ->
+          t.retired <- t.retired + 1;
+          (match t.obs with
+          | None -> ()
+          | Some o -> Obs.Metric.incr o.Instrument.batch_retired)
+        | _ -> ()
+      end
+    done;
+    (* Physical column sweeps for this arc: symbols are fetched on
+       first demand, so the memo length (terminator excluded) is
+       exactly the number of sweeps a column-at-a-time fused walk would
+       have run. *)
+    t.p_columns <-
+      t.p_columns + t.sb_n
+      - (if t.sb_n > 0 && t.sym_buf.(t.sb_n - 1) < 0 then 1 else 0);
+    let nviable = t.nlive in
+    if nviable = 0 then begin
+      if slot0 >= 0 then Col_pool.release t.pool slot0;
+      for j = 0 to nl - 1 do
+        let q = lanes.(j) in
+        match t.s_state.(q) with
+        | 3 -> ()  (* inactive: the lane never walked this arc *)
+        | 2 when t.s_best.(q) >= t.min_score ->
+          accs :=
+            (child, t.s_best.(q), t.s_best_q.(q), t.s_best_off.(q),
+             t.s_cols.(q))
+            :: !accs;
+          fb_push t j (-(!naccs + 1));
+          incr naccs
+        | _ ->
+          (* Pruned outright, or exact below min_score: the single
+             engine pays the columns and discards the child. *)
+          fpruned.(2 * j) <- fpruned.(2 * j) + 1;
+          fpruned.((2 * j) + 1) <- fpruned.((2 * j) + 1) + t.s_cols.(q)
+      done
+    end
+    else begin
+      (* An empty arc label never ran a column: materialize the child
+         slot as a copy of the viable lanes' parent blocks. *)
+      let slot =
+        if slot0 >= 0 then slot0
+        else begin
+          let s = Col_pool.acquire t.pool in
+          let w = Col_pool.data t.pool in
+          let src = Col_pool.base t.pool pn.slot in
+          let dst = Col_pool.base t.pool s in
+          let dhalf = span * t.k in
+          for j = 0 to nl - 1 do
+            let q = lanes.(j) in
+            if t.s_state.(q) = 0 then begin
+              let lbase = q * span in
+              Array.blit w (src + lbase) w (dst + lbase) span;
+              if t.affine then
+                Array.blit w (src + dhalf + lbase) w (dst + dhalf + lbase) span
+            end
+          done;
+          s
+        end
+      in
+      let w = Col_pool.data t.pool in
+      let off = Col_pool.base t.pool slot in
+      let clanes = Array.make nviable 0 in
+      let creg = Array.make (5 * nviable) 0 in
+      let ci = ref 0 in
+      (* One classification pass: viable lanes fill the child's register
+         block, the rest leave their pruned/accepted fact. *)
+      for j = 0 to nl - 1 do
+        let q = lanes.(j) in
+        match t.s_state.(q) with
+        | 3 -> ()  (* inactive: the lane never walked this arc *)
+        | 0 ->
+          clanes.(!ci) <- q;
+          let r = 5 * !ci in
+          creg.(r) <- t.s_best.(q);
+          creg.(r + 1) <- t.s_best_q.(q);
+          creg.(r + 2) <- t.s_best_off.(q);
+          creg.(r + 3) <-
+            (if t.s_cols.(q) > 0 then t.s_ub.(q) else rescan_lane t w off q);
+          creg.(r + 4) <- t.s_cols.(q);
+          fb_push t j ((!nkids lsl 10) lor !ci);
+          incr ci
+        | 2 when t.s_best.(q) >= t.min_score ->
+          accs :=
+            (child, t.s_best.(q), t.s_best_q.(q), t.s_best_off.(q),
+             t.s_cols.(q))
+            :: !accs;
+          fb_push t j (-(!naccs + 1));
+          incr naccs
+        | _ ->
+          fpruned.(2 * j) <- fpruned.(2 * j) + 1;
+          fpruned.((2 * j) + 1) <- fpruned.((2 * j) + 1) + t.s_cols.(q)
+      done;
+      kids :=
+        {
+          tree_node = child;
+          depth = pn.depth + (stop - start);
+          slot;
+          lanes = clanes;
+          preg = creg;
+          refs = nviable;
+          fkids = [||];
+          fpruned = [||];
+          facc = [||];
+          facc_nodes = [||];
+          foff = [||];
+          fdata = [||];
+          expanded = false;
+        }
+        :: !kids;
+      incr nkids
+    end
+
+  (* Physically expand [pn] once for the whole batch. *)
+  let pexpand t pn =
+    t.p_expansions <- t.p_expansions + 1;
+    (match t.obs with
+    | None -> ()
+    | Some o ->
+      let n = ref 0 in
+      Array.iter
+        (fun q -> if not t.engines.(q).done_ then incr n)
+        pn.lanes;
+      Obs.Metric.observe o.Instrument.batch_active !n);
+    let nl = Array.length pn.lanes in
+    let fpruned = Array.make (2 * nl) 0 in
+    let kids = ref [] in
+    let nkids = ref 0 in
+    let accs = ref [] in
+    let naccs = ref 0 in
+    t.fb_n <- 0;
+    S.iter_children t.source pn.tree_node (fun child ->
+        walk_child t pn fpruned kids nkids accs naccs child);
+    pn.fkids <- Array.of_list (List.rev !kids);
+    pn.fpruned <- fpruned;
+    (match !accs with
+    | [] -> ()
+    | accs_rev ->
+      let accs_fwd = List.rev accs_rev in
+      let na = !naccs in
+      let facc = Array.make (4 * na) 0 in
+      let facc_nodes = Array.make na pn.tree_node in
+      List.iteri
+        (fun g (node, score, q_stop, off_, cols) ->
+          let r = 4 * g in
+          facc.(r) <- score;
+          facc.(r + 1) <- q_stop;
+          facc.(r + 2) <- off_;
+          facc.(r + 3) <- cols;
+          facc_nodes.(g) <- node)
+        accs_fwd;
+      pn.facc <- facc;
+      pn.facc_nodes <- facc_nodes);
+    (* Rebucket the scratch facts into per-lane CSR segments: counts,
+       prefix sums, then a stable scatter — stability keeps each lane's
+       segment in child order, which the replay's queue discipline
+       depends on. *)
+    let nf = t.fb_n in
+    let foff = Array.make (nl + 1) 0 in
+    for i = 0 to nf - 1 do
+      let j = t.fb_lane.(i) in
+      foff.(j + 1) <- foff.(j + 1) + 1
+    done;
+    for j = 1 to nl do
+      foff.(j) <- foff.(j) + foff.(j - 1)
+    done;
+    let fdata = Array.make nf 0 in
+    for j = 0 to nl - 1 do
+      t.s_cursor.(j) <- foff.(j)
+    done;
+    for i = 0 to nf - 1 do
+      let j = t.fb_lane.(i) in
+      fdata.(t.s_cursor.(j)) <- t.fb_code.(i);
+      t.s_cursor.(j) <- t.s_cursor.(j) + 1
+    done;
+    pn.foff <- foff;
+    pn.fdata <- fdata;
+    Col_pool.release t.pool pn.slot;
+    pn.slot <- -1;
+    pn.expanded <- true
+
+  (* {2 Virtual engines: the per-query replay} *)
+
+  let va_alloc t pn =
+    if t.va_nfree > 0 then begin
+      t.va_nfree <- t.va_nfree - 1;
+      let s = Array.unsafe_get t.va_free t.va_nfree in
+      Array.unsafe_set t.va_pn s pn;
+      s
+    end
+    else begin
+      let cap = Array.length t.va_pn in
+      if t.va_top = cap then begin
+        (* [pn] doubles as the filler, as in [Pqueue.grow]. *)
+        let bigger = Array.make (max 64 (2 * cap)) pn in
+        Array.blit t.va_pn 0 bigger 0 cap;
+        t.va_pn <- bigger
+      end;
+      let s = t.va_top in
+      t.va_top <- s + 1;
+      Array.unsafe_set t.va_pn s pn;
+      s
+    end
+
+  let va_release t s =
+    if t.va_nfree = Array.length t.va_free then begin
+      let bigger = Array.make (max 64 (2 * t.va_nfree)) 0 in
+      Array.blit t.va_free 0 bigger 0 t.va_nfree;
+      t.va_free <- bigger
+    end;
+    Array.unsafe_set t.va_free t.va_nfree s;
+    t.va_nfree <- t.va_nfree + 1
+
+  let aa_alloc t node q_stop off =
+    let s =
+      if t.aa_nfree > 0 then begin
+        t.aa_nfree <- t.aa_nfree - 1;
+        Array.unsafe_get t.aa_free t.aa_nfree
+      end
+      else begin
+        let cap = Array.length t.aa_nd in
+        if t.aa_top = cap then begin
+          let ncap = max 64 (2 * cap) in
+          let nnd = Array.make ncap node in
+          let nqs = Array.make ncap 0 in
+          let noff = Array.make ncap 0 in
+          Array.blit t.aa_nd 0 nnd 0 cap;
+          Array.blit t.aa_qs 0 nqs 0 cap;
+          Array.blit t.aa_off 0 noff 0 cap;
+          t.aa_nd <- nnd;
+          t.aa_qs <- nqs;
+          t.aa_off <- noff
+        end;
+        let s = t.aa_top in
+        t.aa_top <- s + 1;
+        s
+      end
+    in
+    Array.unsafe_set t.aa_nd s node;
+    Array.unsafe_set t.aa_qs s q_stop;
+    Array.unsafe_set t.aa_off s off;
+    s
+
+  let aa_release t s =
+    if t.aa_nfree = Array.length t.aa_free then begin
+      let bigger = Array.make (max 64 (2 * t.aa_nfree)) 0 in
+      Array.blit t.aa_free 0 bigger 0 t.aa_nfree;
+      t.aa_free <- bigger
+    end;
+    Array.unsafe_set t.aa_free t.aa_nfree s;
+    t.aa_nfree <- t.aa_nfree + 1
+
+  let budget_spent t (e : veng) =
+    e.v_columns >= t.lim_columns
+    || e.v_expanded >= t.lim_expanded
+    || (t.deadline < infinity && Unix.gettimeofday () >= t.deadline)
+
+  (* Mirror of [Engine.emit]: report every not-yet-reported sequence
+     below the accepted node, in ascending position order. *)
+  let vemit t e node score q_stop off_ =
+    let n = ref 0 in
+    S.iter_positions t.source node (fun p ->
+        if !n = Array.length t.ebuf then begin
+          let bigger = Array.make (2 * !n) 0 in
+          Array.blit t.ebuf 0 bigger 0 !n;
+          t.ebuf <- bigger
+        end;
+        t.ebuf.(!n) <- p;
+        incr n);
+    Kernel_util.sort_range t.ebuf 0 (!n - 1);
+    for i = 0 to !n - 1 do
+      let p = t.ebuf.(i) in
+      let seq_index = Bioseq.Database.seq_of_pos t.db p in
+      if not e.reported_seq.(seq_index) then begin
+        e.reported_seq.(seq_index) <- true;
+        e.reported_count <- e.reported_count + 1;
+        Queue.add
+          {
+            Hit.seq_index;
+            score;
+            query_stop = q_stop;
+            target_stop = p + off_ - Bioseq.Database.seq_start t.db seq_index;
+          }
+          e.pending
+      end
+    done
+
+  (* Mirror of the enqueue half of [Engine.expand], replayed from this
+     lane's CSR fact segment. The segment is in child order; viable and
+     accepted entries may interleave, but the pop sequence still equals
+     the single engine's: entries of different kinds never share a
+     (priority, tie) class, and within a class the FIFO seqno sees the
+     same relative order as the single engine's pushes. *)
+  let vexpand t e pn lane =
+    e.v_expanded <- e.v_expanded + 1;
+    e.v_pruned <- e.v_pruned + pn.fpruned.(2 * lane);
+    e.v_columns <- e.v_columns + pn.fpruned.((2 * lane) + 1);
+    let fkids = pn.fkids and facc = pn.facc and fdata = pn.fdata in
+    for idx = pn.foff.(lane) to pn.foff.(lane + 1) - 1 do
+      let en = fdata.(idx) in
+      if en >= 0 then begin
+        let child = fkids.(en lsr 10) in
+        let li = en land 1023 in
+        let r = 5 * li in
+        e.v_columns <- e.v_columns + child.preg.(r + 4);
+        e.v_enqueued <- e.v_enqueued + 1;
+        let s = va_alloc t child in
+        Pqueue.Int.push_tie e.vq ~priority:child.preg.(r + 3) ~tie:1
+          ((s lsl 11) lor (li lsl 1) lor 1)
+      end
+      else begin
+        let g = -en - 1 in
+        let r = 4 * g in
+        e.v_columns <- e.v_columns + facc.(r + 3);
+        e.v_enqueued <- e.v_enqueued + 1;
+        let s = aa_alloc t pn.facc_nodes.(g) facc.(r + 1) facc.(r + 2) in
+        Pqueue.Int.push_tie e.vq ~priority:facc.(r) ~tie:0 (s lsl 1)
+      end
+    done;
+    pn.refs <- pn.refs - 1;
+    if pn.refs = 0 then begin
+      pn.fkids <- [||];
+      pn.fpruned <- [||];
+      pn.facc <- [||];
+      pn.facc_nodes <- [||];
+      pn.foff <- [||];
+      pn.fdata <- [||]
+    end;
+    let qlen = Pqueue.Int.length e.vq in
+    if qlen > e.v_max_queue then e.v_max_queue <- qlen
+
+  (* One [Engine.next]-equivalent step: a hit, a block on an unexpanded
+     physical node, or done. Mirrors [Engine.next_loop] clause for
+     clause. *)
+  let rec vstep t e =
+    if not (Queue.is_empty e.pending) then `Hit (Queue.pop e.pending)
+    else if e.reported_count >= Array.length e.reported_seq then `Done
+    else if e.exhausted <> None then `Done
+    else if Pqueue.Int.length e.vq = 0 then `Done
+    else if budget_spent t e then begin
+      e.exhausted <- Some (Pqueue.Int.top_priority_exn e.vq);
+      `Done
+    end
+    else begin
+      let h = Pqueue.Int.top e.vq in
+      if h land 1 = 1 then begin
+        let s = h lsr 11 in
+        let pn = Array.unsafe_get t.va_pn s in
+        if not pn.expanded then `Blocked pn
+        else begin
+          Pqueue.Int.drop e.vq;
+          va_release t s;
+          vexpand t e pn ((h lsr 1) land 1023);
+          vstep t e
+        end
+      end
+      else begin
+        let s = h lsr 1 in
+        let score = Pqueue.Int.top_priority_exn e.vq in
+        let node = Array.unsafe_get t.aa_nd s in
+        let q_stop = Array.unsafe_get t.aa_qs s in
+        let off = Array.unsafe_get t.aa_off s in
+        Pqueue.Int.drop e.vq;
+        aa_release t s;
+        vemit t e node score q_stop off;
+        vstep t e
+      end
+    end
+
+  (* Drain one engine: emit every hit it can already prove next, stop
+     at a block or completion. Returns the blocking node's bound and
+     node, if any. *)
+  let rec drain t e =
+    if e.done_ then None
+    else
+      match vstep t e with
+      | `Hit h ->
+        e.rev_hits <- h :: e.rev_hits;
+        Queue.add (e.q_index, h) t.out;
+        drain t e
+      | `Blocked pn -> Some (Pqueue.Int.top_priority_exn e.vq, pn)
+      | `Done ->
+        e.done_ <- true;
+        None
+
+  (* The fused scheduler: drain every engine not already memoized as
+     blocked, then expand the blocked node with the highest bound (ties
+     to the lowest query index via the scan order), until hits appear
+     or everything is done. Only the engines whose node was just
+     expanded re-drain — a blocked engine's queue cannot change
+     otherwise. *)
+  let rec pump t =
+    if Queue.is_empty t.out then begin
+      let best_prio = ref min_int in
+      let best_pn = ref None in
+      Array.iter
+        (fun e ->
+          if not e.done_ then begin
+            (match e.blocked_on with
+            | Some _ -> ()
+            | None -> e.blocked_on <- drain t e);
+            match e.blocked_on with
+            | None -> ()
+            | Some (prio, pn) ->
+              if prio > !best_prio then begin
+                best_prio := prio;
+                best_pn := Some pn
+              end
+          end)
+        t.engines;
+      if Queue.is_empty t.out then
+        match !best_pn with
+        | None -> ()
+        | Some pn ->
+          pexpand t pn;
+          Array.iter
+            (fun e ->
+              match e.blocked_on with
+              | Some (_, pn') when pn' == pn -> e.blocked_on <- None
+              | _ -> ())
+            t.engines;
+          pump t
+    end
+
+  let next t =
+    if Queue.is_empty t.out then pump t;
+    Queue.take_opt t.out
+
+  let run t =
+    let rec go () = match next t with None -> () | Some _ -> go () in
+    go ()
+
+  (* {2 Construction} *)
+
+  let create ~source ~db ~queries (cfg : Engine.config) =
+    let k = Array.length queries in
+    if k = 0 then invalid_arg "Oasis.Batch_kernel.create: no queries";
+    if k > 512 then
+      invalid_arg "Oasis.Batch_kernel.create: batch too large (max 512)";
+    if cfg.Engine.min_score < 1 then
+      invalid_arg "Oasis.Batch_kernel.create: min_score must be >= 1";
+    Array.iter
+      (fun query ->
+        if Bioseq.Sequence.length query = 0 then
+          invalid_arg "Oasis.Batch_kernel.create: empty query";
+        if
+          Bioseq.Alphabet.name (Scoring.Submat.alphabet cfg.Engine.matrix)
+          <> Bioseq.Alphabet.name (Bioseq.Sequence.alphabet query)
+        then invalid_arg "Oasis.Batch_kernel.create: alphabet mismatch")
+      queries;
+    if
+      Bioseq.Alphabet.name (Scoring.Submat.alphabet cfg.Engine.matrix)
+      <> Bioseq.Alphabet.name (Bioseq.Database.alphabet db)
+    then invalid_arg "Oasis.Batch_kernel.create: alphabet mismatch";
+    let profiles =
+      Array.map (fun q -> Scoring.Pssm.of_query ~matrix:cfg.Engine.matrix q)
+        queries
+    in
+    let hvecs =
+      Array.map
+        (fun p ->
+          Heuristic.vector_of_profile
+            ~style:cfg.Engine.options.Engine.heuristic ~gap:cfg.Engine.gap p)
+        profiles
+    in
+    let ms = Array.map Scoring.Pssm.length profiles in
+    let mm = Array.fold_left max 1 ms in
+    let dim = Scoring.Pssm.dim profiles.(0) in
+    let affine = not (Scoring.Gap.is_linear cfg.Engine.gap) in
+    let pool =
+      Col_pool.create ~width:((mm + 1) * k * if affine then 2 else 1)
+    in
+    Col_pool.reserve pool 32;
+    let num_seqs = Bioseq.Database.num_sequences db in
+    let engines =
+      Array.init k (fun q_index ->
+          {
+            q_index;
+            vq = Pqueue.Int.create ();
+            reported_seq = Array.make num_seqs false;
+            reported_count = 0;
+            pending = Queue.create ();
+            v_columns = 0;
+            v_expanded = 0;
+            v_enqueued = 0;
+            v_pruned = 0;
+            v_max_queue = 0;
+            exhausted = None;
+            done_ = false;
+            rev_hits = [];
+            blocked_on = None;
+          })
+    in
+    let t =
+      {
+        source;
+        db;
+        k;
+        mm;
+        mq = ms;
+        dim;
+        fhs = hvecs;
+        fcs = Array.map Scoring.Pssm.cols_flat profiles;
+        gap_open = Scoring.Gap.open_score cfg.Engine.gap;
+        gap_extend = Scoring.Gap.extend_score cfg.Engine.gap;
+        min_score = cfg.Engine.min_score;
+        k_lo =
+          (if cfg.Engine.options.Engine.prune_nonpositive then 0 else neg_inf);
+        opt_pd = cfg.Engine.options.Engine.prune_dominated;
+        affine;
+        term = S.terminator source;
+        cfg;
+        lim_columns =
+          (match cfg.Engine.budget.Engine.max_columns with
+          | Some l -> l
+          | None -> max_int);
+        lim_expanded =
+          (match cfg.Engine.budget.Engine.max_expanded with
+          | Some l -> l
+          | None -> max_int);
+        pool;
+        engines;
+        s_best = Array.make k 0;
+        s_best_q = Array.make k 0;
+        s_best_off = Array.make k 0;
+        s_ub = Array.make k 0;
+        s_cut = Array.make k 0;
+        s_cols = Array.make k 0;
+        s_state = Array.make k 0;
+        nlive = 0;
+        sym_buf = Array.make 64 0;
+        sb_n = 0;
+        sb_idx = 0;
+        fb_lane = Array.make 64 0;
+        fb_code = Array.make 64 0;
+        fb_n = 0;
+        s_cursor = Array.make k 0;
+        va_pn = [||];
+        va_free = [||];
+        va_nfree = 0;
+        va_top = 0;
+        aa_nd = [||];
+        aa_qs = [||];
+        aa_off = [||];
+        aa_free = [||];
+        aa_nfree = 0;
+        aa_top = 0;
+        out = Queue.create ();
+        ebuf = Array.make 64 0;
+        p_expansions = 0;
+        p_columns = 0;
+        retired = 0;
+        obs = None;
+        base_io_hits = (let h, _ = S.io_stats source in h);
+        base_io_misses = (let _, m = S.io_stats source in m);
+        base_minor_words = Gc.minor_words ();
+        deadline =
+          (match cfg.Engine.budget.Engine.time_limit with
+          | None -> infinity
+          | Some s -> Unix.gettimeofday () +. s);
+      }
+    in
+    (* Root seeding, mirroring [Engine.create_internal] per query: a
+       query participates iff some H(i) reaches min_score; its root
+       priority is the max such H(i). *)
+    let root_lanes = ref [] in
+    let root_prio = Array.make k neg_inf in
+    for q = k - 1 downto 0 do
+      let hv = hvecs.(q) in
+      let best = ref neg_inf in
+      for i = 0 to ms.(q) do
+        if hv.(i) >= cfg.Engine.min_score && hv.(i) > !best then best := hv.(i)
+      done;
+      root_prio.(q) <- !best;
+      if !best > neg_inf then root_lanes := q :: !root_lanes
+    done;
+    (match !root_lanes with
+    | [] -> ()
+    | lanes_list ->
+      let lanes = Array.of_list lanes_list in
+      let nl = Array.length lanes in
+      let slot = Col_pool.acquire pool in
+      Col_pool.fill pool slot neg_inf;
+      let w = Col_pool.data pool in
+      let off = Col_pool.base pool slot in
+      Array.iter
+        (fun q ->
+          let hv = hvecs.(q) in
+          let base = off + (q * (mm + 1)) in
+          for i = 0 to ms.(q) do
+            if hv.(i) >= cfg.Engine.min_score then w.(base + i) <- 0
+          done)
+        lanes;
+      let root =
+        {
+          tree_node = S.root source;
+          depth = 0;
+          slot;
+          lanes;
+          preg = Array.make (5 * nl) 0;
+          refs = nl;
+          fkids = [||];
+          fpruned = [||];
+          facc = [||];
+          facc_nodes = [||];
+          foff = [||];
+          fdata = [||];
+          expanded = false;
+        }
+      in
+      Array.iteri
+        (fun j q ->
+          let e = engines.(q) in
+          let s = va_alloc t root in
+          Pqueue.Int.push_tie e.vq ~priority:root_prio.(q) ~tie:1
+            ((s lsl 11) lor (j lsl 1) lor 1);
+          e.v_enqueued <- 1;
+          e.v_max_queue <- 1)
+        lanes);
+    t
+
+  let set_instrument t obs = t.obs <- obs
+  let num_queries t = t.k
+
+  let check_q t q =
+    if q < 0 || q >= t.k then
+      invalid_arg "Oasis.Batch_kernel: query index out of range"
+
+  let hits t q =
+    check_q t q;
+    List.rev t.engines.(q).rev_hits
+
+  let outcome t q =
+    check_q t q;
+    let e = t.engines.(q) in
+    match e.exhausted with
+    | Some remaining_bound -> Engine.Exhausted { remaining_bound }
+    | None ->
+      if
+        Queue.is_empty e.pending
+        && (Pqueue.Int.length e.vq = 0
+           || e.reported_count >= Array.length e.reported_seq)
+      then Engine.Complete
+      else Engine.Searching
+
+  let peek_bound t q =
+    check_q t q;
+    let e = t.engines.(q) in
+    let from_queue = Pqueue.Int.peek_priority e.vq in
+    match Queue.peek_opt e.pending with
+    | None -> from_queue
+    | Some hit -> (
+      match from_queue with
+      | None -> Some hit.Hit.score
+      | Some p -> Some (max p hit.Hit.score))
+
+  let counters t q =
+    check_q t q;
+    let e = t.engines.(q) in
+    {
+      Counters.zero with
+      Counters.columns = e.v_columns;
+      nodes_expanded = e.v_expanded;
+      nodes_enqueued = e.v_enqueued;
+      nodes_pruned = e.v_pruned;
+      max_queue = e.v_max_queue;
+    }
+
+  let shared_counters t =
+    {
+      Counters.zero with
+      Counters.columns = t.p_columns;
+      nodes_expanded = t.p_expansions;
+      nodes_pruned = t.retired;
+      pool_reused = Col_pool.reused t.pool;
+      pool_live = Col_pool.live t.pool;
+      pool_peak_live = Col_pool.peak_live t.pool;
+      pool_peak_bytes = Col_pool.capacity_bytes t.pool;
+      minor_words = Gc.minor_words () -. t.base_minor_words;
+      io_hits = (let h, _ = S.io_stats t.source in h - t.base_io_hits);
+      io_misses = (let _, m = S.io_stats t.source in m - t.base_io_misses);
+    }
+
+  let retired t = t.retired
+  let physical_expansions t = t.p_expansions
+  let physical_columns t = t.p_columns
+end
+
+module Mem = Make (Source.Mem)
+module Disk = Make (Source.Disk)

@@ -1,0 +1,110 @@
+(** Fused multi-query batch kernel: one best-first suffix-tree
+    traversal serving k queries simultaneously.
+
+    Running k queries as k independent {!Engine} instances repeats all
+    the traversal work k times: every tree node is decoded, its page
+    pinned, its children enumerated, and its arc labels fetched once
+    {e per query}. The fused kernel expands each node once {e per
+    batch}: an arc's symbols are read from the source once and
+    memoized, DP columns for all k queries live lane-major in one
+    {!Col_pool} slot (each query's cells contiguous, so a lane walks
+    the whole arc with its running best/bound/cutoff in registers),
+    one admissible bound is maintained per (node, query), and a query
+    whose own bound falls below its prune threshold retires from the
+    arc walk without stopping the others.
+
+    Because the engine's bounds and acceptance decisions are
+    {e path-local} — they depend only on a node's root path, never on
+    traversal order — every per-(node, query) fact the fused traversal
+    records is exactly what the single engine would have computed. A
+    lightweight {e virtual engine} per query replays the single-engine
+    queue discipline (same priorities, same accepted-before-viable tie
+    break, same FIFO order, its own budget counters) over those facts.
+    The hit stream delivered for each query is therefore
+    {e bit-identical} to running [Engine.Make(S)] on that query alone —
+    including order among equal scores and the truncation point under a
+    [max_columns]/[max_expanded] budget. The property tests gate this
+    equivalence; the physical traversal does the DP and the I/O only
+    once.
+
+    Physical expansion is demand-driven: the unexpanded node with the
+    highest bound among all blocked virtual engines (the max live bound
+    across the batch) is expanded next, so subtrees no query can use —
+    e.g. beyond every query's budget — are never decoded. *)
+
+(** Output signature of {!Make}, named so drivers (CLI, bench) can
+    abstract over the tree source with a first-class module. *)
+module type S = sig
+  type t
+  type source
+
+  val create :
+    source:source ->
+    db:Bioseq.Database.t ->
+    queries:Bioseq.Sequence.t array ->
+    Engine.config ->
+    t
+  (** One fused search over [queries] (at most 512 — the shared slot
+      holds [k] lane blocks and must stay cache-sane). The config
+      applies to every query. Raises [Invalid_argument] on an empty
+      batch, an empty query, [min_score < 1], or an alphabet
+      mismatch. *)
+
+  val next : t -> (int * Hit.t) option
+  (** The next available result from any query, as [(query_index,
+      hit)]. Per query the hit subsequence is online — strictly
+      non-increasing scores, each database sequence at most once — and
+      bit-identical to that query's single-engine stream. Across
+      queries the interleaving follows the fused schedule and carries
+      no ordering guarantee. *)
+
+  val run : t -> unit
+  (** Drain the search; afterwards {!hits} holds every query's full
+      stream. *)
+
+  val hits : t -> int -> Hit.t list
+  (** All hits delivered so far for one query, in delivery order. *)
+
+  val outcome : t -> int -> Engine.outcome
+  (** Per-query outcome with single-engine semantics: [Exhausted]
+      carries that query's own frontier bound at its truncation
+      point. *)
+
+  val peek_bound : t -> int -> int option
+  (** Per-query bound on every hit still to come (mirrors
+      [Engine.peek_bound]). *)
+
+  val counters : t -> int -> Counters.t
+  (** Per-query {e virtual} counters — the work this query's
+      single-engine run would have done ([columns], [nodes_expanded],
+      [nodes_enqueued], [nodes_pruned], [max_queue]); pool/io/alloc
+      fields are zero, they are physical and shared. The fused saving
+      is visible as [(sum of virtual columns) / (shared physical
+      columns)]. *)
+
+  val shared_counters : t -> Counters.t
+  (** The physical traversal's counters: [columns] = DP column sweeps
+      actually run (each serving every live lane), [nodes_expanded] =
+      tree nodes expanded once for the batch, [nodes_pruned] = lane
+      retirements, plus the pool, allocation, and buffer-pool I/O
+      deltas. *)
+
+  val num_queries : t -> int
+
+  val retired : t -> int
+  (** Lane retirements: a query leaving an arc walk because its own
+      bound fell under its prune threshold. *)
+
+  val physical_expansions : t -> int
+  val physical_columns : t -> int
+
+  val set_instrument : t -> Instrument.t option -> unit
+  (** Attach observability: fills [batch.active_queries] (live lanes at
+      each physical expansion) and [batch.retired]. [None] costs one
+      pointer compare per hook site. *)
+end
+
+module Make (Src : Source.S) : S with type source = Src.t
+
+module Mem : S with type source = Source.Mem.t
+module Disk : S with type source = Source.Disk.t

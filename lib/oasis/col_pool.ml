@@ -37,6 +37,14 @@ let grow t =
   t.data <- ndata;
   t.cap <- ncap
 
+let reserve t slots =
+  if slots > t.cap then begin
+    let ndata = Array.make (slots * t.width) 0 in
+    Array.blit t.data 0 ndata 0 (t.cap * t.width);
+    t.data <- ndata;
+    t.cap <- slots
+  end
+
 let acquire t =
   t.acquired <- t.acquired + 1;
   t.live <- t.live + 1;

@@ -26,6 +26,13 @@ val create : width:int -> t
 
 val width : t -> int
 
+val reserve : t -> int -> unit
+(** [reserve t slots] grows the backing store to hold at least [slots]
+    slots up front. Purely an allocation hint: the fused batch kernel's
+    slots are [k] columns wide, so letting the store double its way up
+    would copy the entire arena several times during the first
+    expansions. No-op when the pool is already that large. *)
+
 val acquire : t -> int
 (** Hand out a slot id, recycling a released slot when one is free and
     growing the backing store (amortized doubling) otherwise. Slot

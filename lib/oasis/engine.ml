@@ -75,58 +75,9 @@ type counters = Counters.t = {
 
 let neg_inf = Scoring.Submat.neg_inf
 
-(* In-place ascending sort of [a.(lo .. hi)] — quicksort with an
-   insertion-sort base case. The emit path sorts a reused scratch
-   prefix, which [Array.sort] cannot do without slicing. *)
-let rec sort_range (a : int array) lo hi =
-  if hi - lo < 12 then
-    for i = lo + 1 to hi do
-      let v = a.(i) in
-      let j = ref (i - 1) in
-      while !j >= lo && a.(!j) > v do
-        a.(!j + 1) <- a.(!j);
-        decr j
-      done;
-      a.(!j + 1) <- v
-    done
-  else begin
-    let swap i j =
-      let tmp = a.(i) in
-      a.(i) <- a.(j);
-      a.(j) <- tmp
-    in
-    let mid = (lo + hi) / 2 in
-    if a.(mid) < a.(lo) then swap mid lo;
-    if a.(hi) < a.(lo) then swap hi lo;
-    if a.(hi) < a.(mid) then swap hi mid;
-    let pivot = a.(mid) in
-    let i = ref lo and j = ref hi in
-    while !i <= !j do
-      while a.(!i) < pivot do
-        incr i
-      done;
-      while a.(!j) > pivot do
-        decr j
-      done;
-      if !i <= !j then begin
-        swap !i !j;
-        incr i;
-        decr j
-      end
-    done;
-    sort_range a lo !j;
-    sort_range a !i hi
-  end
-
-(* Debug escape hatch: set OASIS_CHECKED_KERNEL=1 to validate the
-   kernel's index ranges once per DP column. The inner loops use unsafe
-   array accesses whose indices all lie inside the validated ranges, so
-   a per-access check would only re-prove the same bounds at ~5x the
-   memory-access count. *)
-let checked_kernel =
-  match Sys.getenv_opt "OASIS_CHECKED_KERNEL" with
-  | Some ("1" | "true" | "yes") -> true
-  | _ -> false
+(* Shared with the fused batch kernel — see [Kernel_util]. *)
+let sort_range = Kernel_util.sort_range
+let checked_kernel = Kernel_util.checked
 
 module Make (S : Source.S) = struct
   type snode = {

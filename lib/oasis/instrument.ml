@@ -10,6 +10,8 @@ type t = {
   expansion_depth : Obs.Metric.histogram;
   arc_columns : Obs.Metric.histogram;
   queue : Obs.Metric.gauge;
+  batch_active : Obs.Metric.histogram;
+  batch_retired : Obs.Metric.counter;
   trace : Obs.Trace.t option;
   registry : Obs.Registry.t;
 }
@@ -23,6 +25,8 @@ let create ?registry ?trace () =
     expansion_depth = Obs.Registry.histogram registry "engine.expansion_depth";
     arc_columns = Obs.Registry.histogram registry "engine.arc_columns";
     queue = Obs.Registry.gauge registry "engine.queue";
+    batch_active = Obs.Registry.histogram registry "batch.active_queries";
+    batch_retired = Obs.Registry.counter registry "batch.retired";
     trace;
     registry;
   }

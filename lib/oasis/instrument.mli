@@ -44,6 +44,12 @@ type t = {
       (** DP columns computed per child arc (0 = pruned before the
           first column or terminator-first arc) *)
   queue : Obs.Metric.gauge;  (** priority-queue length at each high-water *)
+  batch_active : Obs.Metric.histogram;
+      (** fused batch kernel: queries still active at each physical
+          node expansion — how dense the k-lane DP slot actually is *)
+  batch_retired : Obs.Metric.counter;
+      (** fused batch kernel: lane retirements — a query leaving an arc
+          walk because its own bound fell under its prune threshold *)
   trace : Obs.Trace.t option;
   registry : Obs.Registry.t;
 }

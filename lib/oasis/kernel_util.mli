@@ -1,0 +1,10 @@
+(** Helpers shared by the single-query engine kernel ({!Engine}) and
+    the fused multi-query batch kernel ({!Batch_kernel}). *)
+
+val checked : bool
+(** True when [OASIS_CHECKED_KERNEL=1]: kernels validate their index
+    ranges once per DP column before entering the unsafe inner loops. *)
+
+val sort_range : int array -> int -> int -> unit
+(** In-place ascending sort of [a.(lo .. hi)] — lets the emit paths
+    sort a reused scratch prefix without slicing. *)

@@ -81,10 +81,12 @@ let push_tie t ~priority ~tie value =
 
 let push t ~priority ?(tie = 1) value = push_tie t ~priority ~tie value
 
-let pop t =
-  if t.size = 0 then None
+(* Remove the root without building a result; caller must have checked
+   non-emptiness (and typically read the root via [top]/[top_priority_exn]
+   first). *)
+let drop t =
+  if t.size = 0 then invalid_arg "Pqueue.drop: empty"
   else begin
-    let top_prio = t.prios.(0) and top_value = t.values.(0) in
     t.size <- t.size - 1;
     let n = t.size in
     if n > 0 then begin
@@ -130,8 +132,155 @@ let pop t =
         end
       in
       down 0
-    end;
+    end
+  end
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top_prio = t.prios.(0) and top_value = t.values.(0) in
+    drop t;
     Some (top_prio, top_value)
   end
 
 let peek_priority t = if t.size = 0 then None else Some t.prios.(0)
+
+let top_priority_exn t =
+  if t.size = 0 then invalid_arg "Pqueue.top_priority_exn: empty"
+  else t.prios.(0)
+
+let top t =
+  if t.size = 0 then invalid_arg "Pqueue.top: empty" else t.values.(0)
+let peek t = if t.size = 0 then None else Some (t.prios.(0), t.values.(0))
+
+(* Int-payload specialization. Same heap discipline as the generic
+   queue, but values are immediate ints, so every sift move is a raw
+   store: the generic queue's polymorphic [values] array pays the
+   [caml_modify] write barrier on each of the ~log n element moves per
+   push/pop, which dominates once a caller (the fused batch replay)
+   drives hundreds of thousands of operations per search. *)
+module Int = struct
+  type t = {
+    mutable prios : int array;
+    mutable metas : int array;
+    mutable values : int array;
+    mutable size : int;
+    mutable next_seqno : int;
+  }
+
+  let create () =
+    { prios = [||]; metas = [||]; values = [||]; size = 0; next_seqno = 0 }
+
+  let is_empty t = t.size = 0
+  let length t = t.size
+
+  let grow t =
+    let cap = Array.length t.prios in
+    if t.size = cap then begin
+      let ncap = max 16 (2 * cap) in
+      let nprios = Array.make ncap 0 in
+      let nmetas = Array.make ncap 0 in
+      let nvalues = Array.make ncap 0 in
+      Array.blit t.prios 0 nprios 0 t.size;
+      Array.blit t.metas 0 nmetas 0 t.size;
+      Array.blit t.values 0 nvalues 0 t.size;
+      t.prios <- nprios;
+      t.metas <- nmetas;
+      t.values <- nvalues
+    end
+
+  let push_tie t ~priority ~tie value =
+    if tie < 0 || tie >= max_tie then
+      invalid_arg "Pqueue.Int.push: tie must be in [0, 256)";
+    let meta = (tie lsl seqno_bits) lor t.next_seqno in
+    t.next_seqno <- t.next_seqno + 1;
+    grow t;
+    let prios = t.prios and metas = t.metas and values = t.values in
+    let rec up i =
+      if i = 0 then begin
+        Array.unsafe_set prios 0 priority;
+        Array.unsafe_set metas 0 meta;
+        Array.unsafe_set values 0 value
+      end
+      else
+        let parent = (i - 1) / 2 in
+        if
+          before priority meta
+            (Array.unsafe_get prios parent)
+            (Array.unsafe_get metas parent)
+        then begin
+          Array.unsafe_set prios i (Array.unsafe_get prios parent);
+          Array.unsafe_set metas i (Array.unsafe_get metas parent);
+          Array.unsafe_set values i (Array.unsafe_get values parent);
+          up parent
+        end
+        else begin
+          Array.unsafe_set prios i priority;
+          Array.unsafe_set metas i meta;
+          Array.unsafe_set values i value
+        end
+    in
+    up t.size;
+    t.size <- t.size + 1
+
+  let drop t =
+    if t.size = 0 then invalid_arg "Pqueue.Int.drop: empty"
+    else begin
+      t.size <- t.size - 1;
+      let n = t.size in
+      if n > 0 then begin
+        let prios = t.prios and metas = t.metas and values = t.values in
+        let lp = Array.unsafe_get prios n
+        and lm = Array.unsafe_get metas n
+        and lv = Array.unsafe_get values n in
+        let rec down i =
+          let left = (2 * i) + 1 in
+          if left >= n then begin
+            Array.unsafe_set prios i lp;
+            Array.unsafe_set metas i lm;
+            Array.unsafe_set values i lv
+          end
+          else begin
+            let right = left + 1 in
+            let best =
+              if
+                right < n
+                && before
+                     (Array.unsafe_get prios right)
+                     (Array.unsafe_get metas right)
+                     (Array.unsafe_get prios left)
+                     (Array.unsafe_get metas left)
+              then right
+              else left
+            in
+            if
+              before
+                (Array.unsafe_get prios best)
+                (Array.unsafe_get metas best)
+                lp lm
+            then begin
+              Array.unsafe_set prios i (Array.unsafe_get prios best);
+              Array.unsafe_set metas i (Array.unsafe_get metas best);
+              Array.unsafe_set values i (Array.unsafe_get values best);
+              down best
+            end
+            else begin
+              Array.unsafe_set prios i lp;
+              Array.unsafe_set metas i lm;
+              Array.unsafe_set values i lv
+            end
+          end
+        in
+        down 0
+      end
+    end
+
+  let peek_priority t = if t.size = 0 then None else Some t.prios.(0)
+
+  let top_priority_exn t =
+    if t.size = 0 then invalid_arg "Pqueue.Int.top_priority_exn: empty"
+    else t.prios.(0)
+
+  let top t =
+    if t.size = 0 then invalid_arg "Pqueue.Int.top: empty" else t.values.(0)
+end

@@ -30,3 +30,55 @@ val pop : 'a t -> (int * 'a) option
 (** Highest priority first; returns [(priority, value)]. *)
 
 val peek_priority : 'a t -> int option
+
+val top : 'a t -> 'a
+(** The root's value without an option or tuple box — the fused batch
+    kernel's replay loop peeks and pops hundreds of thousands of times
+    per search, so the boxed {!peek}/{!pop} pair would put real pressure
+    on the minor heap. Raises [Invalid_argument] when empty. *)
+
+val top_priority_exn : 'a t -> int
+(** The root's priority, unboxed. Raises [Invalid_argument] when
+    empty. *)
+
+val drop : 'a t -> unit
+(** Remove the root ({!pop} without the result). Raises
+    [Invalid_argument] when empty. *)
+
+val peek : 'a t -> (int * 'a) option
+(** The element {!pop} would return, without removing it. The fused
+    batch kernel peeks each query's virtual queue to decide whether its
+    head is consumable or blocks on a not-yet-expanded tree node — a
+    pop would commit to an order the caller may not be able to honor
+    yet. *)
+
+(** Same queue discipline specialized to immediate [int] values. The
+    generic heap's polymorphic value array pays a [caml_modify] write
+    barrier on every element move during sifting (~log n moves per
+    push/pop); with ints those moves are raw stores. The fused batch
+    kernel keeps its replay facts in flat side arenas and pushes packed
+    int handles here — hundreds of thousands of queue operations per
+    search with zero allocation and zero barrier traffic. *)
+module Int : sig
+  type t
+
+  val create : unit -> t
+  val is_empty : t -> bool
+  val length : t -> int
+
+  val push_tie : t -> priority:int -> tie:int -> int -> unit
+  (** Same ordering contract as the polymorphic {!push_tie}: decreasing
+      [priority], then increasing [tie] (must lie in [\[0, 256)]), then
+      insertion order. *)
+
+  val top : t -> int
+  (** The root's value. Raises [Invalid_argument] when empty. *)
+
+  val top_priority_exn : t -> int
+  (** The root's priority. Raises [Invalid_argument] when empty. *)
+
+  val peek_priority : t -> int option
+
+  val drop : t -> unit
+  (** Remove the root. Raises [Invalid_argument] when empty. *)
+end

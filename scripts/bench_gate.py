@@ -30,6 +30,11 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
+def batch_is_full(batch: dict) -> bool:
+    """A full-size (non --quick) batch section: ratio assertions apply."""
+    return batch.get("quick") is False
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True)
@@ -194,6 +199,78 @@ def main() -> None:
             f"merged/mono search {search.get('merged_vs_mono', 0):.2f}x "
             f"(informational)"
         )
+
+    # Fused batch kernel: per-query bit-identity against single-engine
+    # streams is a hard failure at any tolerance, and the fused
+    # throughput (virtual columns served per second of fused wall time)
+    # gates like the kernel. The >=1.5x aggregate-speedup acceptance
+    # bar is asserted on full-size runs — the committed baseline always,
+    # the fresh file when it is also a full run; a quick fresh run (one
+    # rep on a small database, as in CI) reports its ratio
+    # informationally since the baseline wall times there are too short
+    # to ratio reliably.
+    base_batch = baseline.get("batch")
+    fresh_batch = fresh.get("batch")
+    if fresh_batch is not None:
+        if fresh_batch.get("hit_streams_identical") is not True:
+            fail(
+                "fresh batch run did not certify fused-vs-single hit-stream "
+                "identity"
+            )
+        for section, label in (
+            ("mem_fused", "fused mem"),
+            ("disk_warm_fused", "fused warm disk"),
+        ):
+            if base_batch is None or section not in base_batch:
+                continue
+            base_cps = base_batch[section]["virtual_columns_per_sec"]
+            fresh_cps = fresh_batch[section]["virtual_columns_per_sec"]
+            floor = base_cps * (1.0 - tolerance)
+            verdict = "ok" if fresh_cps >= floor else "REGRESSION"
+            print(
+                f"bench gate: {label} virtual columns/sec: fresh "
+                f"{fresh_cps:,.0f} vs baseline {base_cps:,.0f} (floor "
+                f"{floor:,.0f} at {tolerance:.0%} tolerance) -> {verdict}"
+            )
+            if fresh_cps < floor:
+                fail(
+                    f"{label} throughput regressed more than {tolerance:.0%} "
+                    f"({fresh_cps:,.0f} < {floor:,.0f})"
+                )
+        for name, batch, full in (
+            ("baseline", base_batch, base_batch is not None
+             and batch_is_full(base_batch)),
+            ("fresh", fresh_batch, batch_is_full(fresh_batch)),
+        ):
+            if batch is None:
+                continue
+            speedup = batch.get("disk_warm_fused_speedup")
+            if speedup is None:
+                continue
+            if full:
+                verdict = "ok" if speedup >= 1.5 else "BELOW TARGET"
+                print(
+                    f"bench gate: {name} warm-disk fused speedup: "
+                    f"{speedup:.2f}x (target >= 1.5x) -> {verdict}"
+                )
+                if speedup < 1.5:
+                    fail(
+                        f"{name} warm-disk fused batch speedup {speedup:.2f}x "
+                        f"is below the 1.5x acceptance target"
+                    )
+            else:
+                print(
+                    f"bench gate: {name} warm-disk fused speedup: "
+                    f"{speedup:.2f}x (quick run, informational)"
+                )
+        mem_speedup = fresh_batch.get("mem_fused_speedup")
+        if mem_speedup is not None:
+            print(
+                f"bench gate: fresh mem fused speedup: {mem_speedup:.2f}x, "
+                f"physical sweep reduction "
+                f"{fresh_batch.get('physical_sweep_reduction', 0):.2f}x "
+                f"(informational)"
+            )
 
     print("bench gate: PASS")
 

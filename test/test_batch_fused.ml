@@ -1,0 +1,414 @@
+(* The fused batch kernel's contract: every query's hit stream —
+   values, order among equal scores, and budget truncation point — is
+   bit-identical to running the single-query engine on that query
+   alone. These tests compare full [Hit.t] streams structurally (not
+   score multisets) across gap models, alphabets, sources, pruning
+   options, and budgets. *)
+
+let alpha = Bioseq.Alphabet.dna
+let unit_matrix = Scoring.Matrices.dna_unit
+let gap1 = Scoring.Gap.linear 1
+
+let db_of_strings strings =
+  Bioseq.Database.make
+    (List.mapi
+       (fun i s ->
+         Bioseq.Sequence.make ~alphabet:alpha ~id:(Printf.sprintf "s%d" i) s)
+       strings)
+
+let queries_of_strings texts =
+  Array.of_list
+    (List.mapi
+       (fun i s ->
+         Bioseq.Sequence.make ~alphabet:alpha ~id:(Printf.sprintf "q%d" i) s)
+       texts)
+
+(* Reference: each query through its own single-query engine. *)
+let single_streams ~tree ~db ~queries cfg =
+  Array.map
+    (fun query ->
+      let e = Oasis.Engine.Mem.create ~source:tree ~db ~query cfg in
+      let hits = Oasis.Engine.Mem.run e in
+      (hits, Oasis.Engine.Mem.outcome e, Oasis.Engine.Mem.counters e))
+    queries
+
+let show_hits hits =
+  String.concat ";"
+    (List.map
+       (fun h ->
+         Printf.sprintf "%d:%d@%d,%d" h.Oasis.Hit.seq_index h.Oasis.Hit.score
+           h.Oasis.Hit.query_stop h.Oasis.Hit.target_stop)
+       hits)
+
+let show_outcome = function
+  | Oasis.Engine.Searching -> "searching"
+  | Oasis.Engine.Complete -> "complete"
+  | Oasis.Engine.Exhausted { remaining_bound } ->
+    Printf.sprintf "exhausted(%d)" remaining_bound
+
+(* Core comparison: fused streams and outcomes vs single-engine, on
+   both tree sources. Each fused backend is held to {e its own}
+   backend's single engine — that is the bit-identity contract, and the
+   backends themselves are not column-for-column identical: a disk leaf
+   arc's label can differ in length from its in-memory counterpart, so
+   under a [max_columns] budget the two single engines can truncate at
+   different points. Returns true or fails the qcheck test with a
+   report. *)
+let check_fused_equal ~db ~queries cfg =
+  let tree = Suffix_tree.Ukkonen.build db in
+  let expected = single_streams ~tree ~db ~queries cfg in
+  let check expected tag fused_hits fused_outcome q =
+    let exp_hits, exp_outcome, _ = expected.(q) in
+    if fused_hits <> exp_hits then
+      QCheck.Test.fail_reportf "%s query %d: fused=[%s] single=[%s]" tag q
+        (show_hits fused_hits) (show_hits exp_hits);
+    if fused_outcome <> exp_outcome then
+      QCheck.Test.fail_reportf "%s query %d: outcome fused=%s single=%s" tag q
+        (show_outcome fused_outcome)
+        (show_outcome exp_outcome)
+  in
+  let mem = Oasis.Batch_kernel.Mem.create ~source:tree ~db ~queries cfg in
+  Oasis.Batch_kernel.Mem.run mem;
+  Array.iteri
+    (fun q _ ->
+      check expected "mem"
+        (Oasis.Batch_kernel.Mem.hits mem q)
+        (Oasis.Batch_kernel.Mem.outcome mem q)
+        q)
+    queries;
+  let dt, _pool = Storage.Disk_tree.of_tree ~block_size:16 ~capacity:3 tree in
+  let disk_expected =
+    Array.map
+      (fun query ->
+        let e = Oasis.Engine.Disk.create ~source:dt ~db ~query cfg in
+        let hits = Oasis.Engine.Disk.run e in
+        (hits, Oasis.Engine.Disk.outcome e, Oasis.Engine.Disk.counters e))
+      queries
+  in
+  let disk = Oasis.Batch_kernel.Disk.create ~source:dt ~db ~queries cfg in
+  Oasis.Batch_kernel.Disk.run disk;
+  Array.iteri
+    (fun q _ ->
+      check disk_expected "disk"
+        (Oasis.Batch_kernel.Disk.hits disk q)
+        (Oasis.Batch_kernel.Disk.outcome disk q)
+        q)
+    queries;
+  true
+
+let batch_case_gen =
+  QCheck.Gen.(
+    let dna n m =
+      string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range n m)
+    in
+    let* strings = list_size (int_range 1 6) (dna 1 25) in
+    let* qs = list_size (int_range 1 6) (dna 1 10) in
+    let* min_score = int_range 1 6 in
+    return (strings, qs, min_score))
+
+let print_batch_case (strings, qs, min_score) =
+  Printf.sprintf "db=%s queries=%s min=%d"
+    (String.concat "/" strings)
+    (String.concat "/" qs) min_score
+
+let qcheck_fused_linear =
+  QCheck.Test.make ~count:250
+    ~name:"fused streams = single-engine streams (linear, mem+disk)"
+    (QCheck.make batch_case_gen ~print:print_batch_case)
+    (fun (strings, qs, min_score) ->
+      check_fused_equal ~db:(db_of_strings strings)
+        ~queries:(queries_of_strings qs)
+        (Oasis.Engine.config ~matrix:unit_matrix ~gap:gap1 ~min_score ()))
+
+let qcheck_fused_affine =
+  QCheck.Test.make ~count:150
+    ~name:"fused streams = single-engine streams (affine)"
+    (QCheck.make batch_case_gen ~print:print_batch_case)
+    (fun (strings, qs, min_score) ->
+      let match3 =
+        Scoring.Submat.of_function ~alphabet:alpha ~name:"m3" (fun a b ->
+            if a = b then 3 else -3)
+      in
+      let gap = Scoring.Gap.affine ~open_cost:4 ~extend_cost:1 in
+      check_fused_equal ~db:(db_of_strings strings)
+        ~queries:(queries_of_strings qs)
+        (Oasis.Engine.config ~matrix:match3 ~gap ~min_score ()))
+
+let qcheck_fused_options =
+  (* Every pruning-option combination, not just the default: the fused
+     cascade collapses the engine's rule arms into one cutoff, and that
+     collapse must hold with each rule disabled too. *)
+  let all_option_combos =
+    [
+      Oasis.Engine.default_options;
+      { Oasis.Engine.default_options with prune_nonpositive = false };
+      { Oasis.Engine.default_options with prune_dominated = false };
+      {
+        Oasis.Engine.prune_nonpositive = false;
+        prune_dominated = false;
+        heuristic = Oasis.Heuristic.Safe;
+      };
+    ]
+  in
+  QCheck.Test.make ~count:80
+    ~name:"fused streams = single-engine streams (each pruning combo)"
+    (QCheck.make batch_case_gen ~print:print_batch_case)
+    (fun (strings, qs, min_score) ->
+      List.for_all
+        (fun options ->
+          check_fused_equal ~db:(db_of_strings strings)
+            ~queries:(queries_of_strings qs)
+            (Oasis.Engine.config ~options ~matrix:unit_matrix ~gap:gap1
+               ~min_score ()))
+        all_option_combos)
+
+let qcheck_fused_pam30 =
+  let gen =
+    QCheck.Gen.(
+      let residues = "ARNDCQEGHILKMFPSTWYVBZX" in
+      let residue =
+        map (String.get residues) (int_range 0 (String.length residues - 1))
+      in
+      let protein n m = string_size ~gen:residue (int_range n m) in
+      let* strings = list_size (int_range 1 4) (protein 1 30) in
+      let* qs = list_size (int_range 1 4) (protein 1 8) in
+      let* min_score = int_range 1 25 in
+      return (strings, qs, min_score))
+  in
+  QCheck.Test.make ~count:120
+    ~name:"fused streams = single-engine streams (PAM30)"
+    (QCheck.make gen ~print:print_batch_case)
+    (fun (strings, qs, min_score) ->
+      let palpha = Bioseq.Alphabet.protein in
+      let db =
+        Bioseq.Database.make
+          (List.mapi
+             (fun i s ->
+               Bioseq.Sequence.make ~alphabet:palpha
+                 ~id:(Printf.sprintf "p%d" i) s)
+             strings)
+      in
+      let queries =
+        Array.of_list
+          (List.mapi
+             (fun i s ->
+               Bioseq.Sequence.make ~alphabet:palpha
+                 ~id:(Printf.sprintf "q%d" i) s)
+             qs)
+      in
+      check_fused_equal ~db ~queries
+        (Oasis.Engine.config ~matrix:Scoring.Matrices.pam30
+           ~gap:(Scoring.Gap.linear 10) ~min_score ()))
+
+let qcheck_fused_budgeted =
+  (* Under a deterministic budget, truncation must land at the same hit
+     and the per-query [Exhausted] must carry the same remaining bound
+     as the single engine's — the virtual replay counts columns and
+     expansions exactly as its single-engine twin would. *)
+  let gen =
+    QCheck.Gen.(
+      let* (strings, qs, min_score) = batch_case_gen in
+      let* max_columns = int_range 1 60 in
+      let* max_expanded = int_range 1 20 in
+      let* which = int_range 0 2 in
+      return (strings, qs, min_score, max_columns, max_expanded, which))
+  in
+  QCheck.Test.make ~count:200
+    ~name:"fused budget truncation = single-engine truncation"
+    (QCheck.make gen
+       ~print:(fun (strings, qs, min_score, mc, me, which) ->
+         Printf.sprintf "%s cols=%d exp=%d which=%d"
+           (print_batch_case (strings, qs, min_score))
+           mc me which))
+    (fun (strings, qs, min_score, mc, me, which) ->
+      let budget =
+        match which with
+        | 0 -> Oasis.Engine.budget ~max_columns:mc ()
+        | 1 -> Oasis.Engine.budget ~max_expanded:me ()
+        | _ -> Oasis.Engine.budget ~max_columns:mc ~max_expanded:me ()
+      in
+      check_fused_equal ~db:(db_of_strings strings)
+        ~queries:(queries_of_strings qs)
+        (Oasis.Engine.config ~budget ~matrix:unit_matrix ~gap:gap1 ~min_score
+           ()))
+
+let qcheck_k1_equals_engine =
+  (* A batch of one must reduce to the committed kernel's exact
+     behaviour, counters included. *)
+  QCheck.Test.make ~count:100 ~name:"fused k=1 = committed engine"
+    (QCheck.make batch_case_gen ~print:print_batch_case)
+    (fun (strings, qs, min_score) ->
+      let db = db_of_strings strings in
+      let queries = queries_of_strings [ List.hd qs ] in
+      let cfg = Oasis.Engine.config ~matrix:unit_matrix ~gap:gap1 ~min_score () in
+      let tree = Suffix_tree.Ukkonen.build db in
+      let e = Oasis.Engine.Mem.create ~source:tree ~db ~query:queries.(0) cfg in
+      let eh = Oasis.Engine.Mem.run e in
+      let ec = Oasis.Engine.Mem.counters e in
+      let k = Oasis.Batch_kernel.Mem.create ~source:tree ~db ~queries cfg in
+      Oasis.Batch_kernel.Mem.run k;
+      let kc = Oasis.Batch_kernel.Mem.counters k 0 in
+      Oasis.Batch_kernel.Mem.hits k 0 = eh
+      && Oasis.Batch_kernel.Mem.outcome k 0 = Oasis.Engine.Mem.outcome e
+      && kc.Oasis.Engine.columns = ec.Oasis.Engine.columns
+      && kc.Oasis.Engine.nodes_expanded = ec.Oasis.Engine.nodes_expanded
+      && kc.Oasis.Engine.nodes_enqueued = ec.Oasis.Engine.nodes_enqueued
+      && kc.Oasis.Engine.nodes_pruned = ec.Oasis.Engine.nodes_pruned
+      && kc.Oasis.Engine.max_queue = ec.Oasis.Engine.max_queue)
+
+let qcheck_batch_run_equivalence =
+  (* [Batch.run] must return the same results whatever the fusion width
+     and domain count. *)
+  QCheck.Test.make ~count:60
+    ~name:"Batch.run invariant under batch_size and domains"
+    (QCheck.make batch_case_gen ~print:print_batch_case)
+    (fun (strings, qs, min_score) ->
+      let db = db_of_strings strings in
+      let tree = Suffix_tree.Ukkonen.build db in
+      let queries = Array.to_list (queries_of_strings qs) in
+      let cfg = Oasis.Engine.config ~matrix:unit_matrix ~gap:gap1 ~min_score () in
+      let key results =
+        List.map
+          (fun r ->
+            (r.Oasis.Batch.query_index, r.Oasis.Batch.hits, r.Oasis.Batch.outcome))
+          results
+      in
+      let reference =
+        key (Oasis.Batch.run ~batch_size:1 ~tree ~db ~queries cfg)
+      in
+      List.for_all
+        (fun (batch_size, domains) ->
+          key (Oasis.Batch.run ~batch_size ~domains ~tree ~db ~queries cfg)
+          = reference)
+        [ (2, 1); (3, 2); (16, 1); (16, 3) ])
+
+(* --- Directed tests --- *)
+
+let fused_physical_savings () =
+  (* The point of fusion: on a batch of equal queries the physical
+     traversal does the work once, so shared columns stay well below
+     the summed virtual columns. *)
+  let db =
+    db_of_strings [ "AGTACGCCTAGGATTACA"; "TACGTACGTACG"; "CCGTACCAGT" ]
+  in
+  let queries = queries_of_strings [ "TACG"; "TACG"; "TACG"; "TACG" ] in
+  let cfg = Oasis.Engine.config ~matrix:unit_matrix ~gap:gap1 ~min_score:2 () in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let k = Oasis.Batch_kernel.Mem.create ~source:tree ~db ~queries cfg in
+  Oasis.Batch_kernel.Mem.run k;
+  let virt = ref 0 in
+  for q = 0 to 3 do
+    virt := !virt + (Oasis.Batch_kernel.Mem.counters k q).Oasis.Engine.columns
+  done;
+  let phys = Oasis.Batch_kernel.Mem.physical_columns k in
+  Alcotest.(check bool) "did work" true (phys > 0);
+  Alcotest.(check int) "identical queries fuse perfectly" (4 * phys) !virt
+
+let fused_instrumentation () =
+  let db = db_of_strings [ "AGTACGCCTAG"; "TACGTT"; "GGGG" ] in
+  let queries = queries_of_strings [ "TACG"; "GGTT"; "AG" ] in
+  let cfg = Oasis.Engine.config ~matrix:unit_matrix ~gap:gap1 ~min_score:2 () in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let k = Oasis.Batch_kernel.Mem.create ~source:tree ~db ~queries cfg in
+  let inst = Oasis.Instrument.create () in
+  Oasis.Batch_kernel.Mem.set_instrument k (Some inst);
+  Oasis.Batch_kernel.Mem.run k;
+  let h = inst.Oasis.Instrument.batch_active in
+  Alcotest.(check int) "one histogram sample per physical expansion"
+    (Oasis.Batch_kernel.Mem.physical_expansions k)
+    (Obs.Metric.hist_count h);
+  Alcotest.(check bool) "active lanes bounded by k" true
+    (Obs.Metric.hist_max h <= 3);
+  Alcotest.(check int) "retired counter mirrors accessor"
+    (Oasis.Batch_kernel.Mem.retired k)
+    (Obs.Metric.count inst.Oasis.Instrument.batch_retired)
+
+let batch_totals_merge () =
+  (* [Batch.totals] must use [Counters.merge] semantics: work counters
+     sum, gauges max. *)
+  let db = db_of_strings [ "AGTACGCCTAG"; "TACGTT" ] in
+  let queries =
+    Array.to_list (queries_of_strings [ "TACG"; "GGTT"; "AGTA" ])
+  in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let cfg = Oasis.Engine.config ~matrix:unit_matrix ~gap:gap1 ~min_score:2 () in
+  let results = Oasis.Batch.run ~batch_size:1 ~tree ~db ~queries cfg in
+  let totals = Oasis.Batch.totals results in
+  let sum f = List.fold_left (fun a r -> a + f r.Oasis.Batch.counters) 0 results in
+  let mx f =
+    List.fold_left (fun a r -> max a (f r.Oasis.Batch.counters)) 0 results
+  in
+  Alcotest.(check int) "columns sum" (sum (fun c -> c.Oasis.Engine.columns))
+    totals.Oasis.Engine.columns;
+  Alcotest.(check int) "max_queue maxed" (mx (fun c -> c.Oasis.Engine.max_queue))
+    totals.Oasis.Engine.max_queue;
+  Alcotest.(check int) "pool peak maxed"
+    (mx (fun c -> c.Oasis.Engine.pool_peak_bytes))
+    totals.Oasis.Engine.pool_peak_bytes
+
+let merge_streams_order () =
+  let hit seq score = { Oasis.Hit.seq_index = seq; score; query_stop = 0; target_stop = 0 } in
+  let merged =
+    Oasis.Batch.merge_streams
+      [| [ hit 0 9; hit 1 5 ]; [ hit 2 9; hit 3 7; hit 4 5 ] |]
+  in
+  Alcotest.(check (list (pair int int)))
+    "score-desc, ties to lowest part"
+    [ (0, 9); (2, 9); (3, 7); (1, 5); (4, 5) ]
+    (List.map (fun h -> (h.Oasis.Hit.seq_index, h.Oasis.Hit.score)) merged)
+
+let merge_outcomes_aggregate () =
+  let open Oasis.Engine in
+  Alcotest.(check bool) "complete"
+    (Oasis.Batch.merge_outcomes [| Complete; Complete |] = Complete)
+    true;
+  Alcotest.(check bool) "exhausted wins with max bound"
+    (Oasis.Batch.merge_outcomes
+       [| Complete; Exhausted { remaining_bound = 4 }; Exhausted { remaining_bound = 9 } |]
+    = Exhausted { remaining_bound = 9 })
+    true;
+  Alcotest.(check bool) "searching beats complete"
+    (Oasis.Batch.merge_outcomes [| Searching; Complete |] = Searching)
+    true
+
+let fused_create_validation () =
+  let db = db_of_strings [ "ACGT" ] in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let cfg = Oasis.Engine.config ~matrix:unit_matrix ~gap:gap1 ~min_score:1 () in
+  Alcotest.check_raises "empty batch"
+    (Invalid_argument "Oasis.Batch_kernel.create: no queries") (fun () ->
+      ignore (Oasis.Batch_kernel.Mem.create ~source:tree ~db ~queries:[||] cfg));
+  Alcotest.check_raises "empty query"
+    (Invalid_argument "Oasis.Batch_kernel.create: empty query") (fun () ->
+      ignore
+        (Oasis.Batch_kernel.Mem.create ~source:tree ~db
+           ~queries:(queries_of_strings [ "" ])
+           cfg))
+
+let () =
+  Alcotest.run "batch_fused"
+    [
+      ( "identity",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_fused_linear;
+            qcheck_fused_affine;
+            qcheck_fused_options;
+            qcheck_fused_pam30;
+            qcheck_fused_budgeted;
+            qcheck_k1_equals_engine;
+            qcheck_batch_run_equivalence;
+          ] );
+      ( "fused",
+        [
+          Alcotest.test_case "physical savings" `Quick fused_physical_savings;
+          Alcotest.test_case "instrumentation" `Quick fused_instrumentation;
+          Alcotest.test_case "create validation" `Quick fused_create_validation;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "totals merge" `Quick batch_totals_merge;
+          Alcotest.test_case "merge streams" `Quick merge_streams_order;
+          Alcotest.test_case "merge outcomes" `Quick merge_outcomes_aggregate;
+        ] );
+    ]
