@@ -2409,6 +2409,165 @@ let incremental setup =
        (merged_wall /. max 1e-9 mono_wall))
 
 (* ------------------------------------------------------------------ *)
+(* Serve: the daemon's request path — an in-process server on a real   *)
+(* Unix-domain socket, measuring per-request latency (framing + socket *)
+(* + session reuse on top of the engine) and checking the streamed     *)
+(* hits stay bit-identical to a direct engine run.                     *)
+(* ------------------------------------------------------------------ *)
+
+let serve_exp setup =
+  print_endline
+    "== Serve: daemon request latency over a Unix-domain socket (E=100 \
+     protein workload)";
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "oasis-bench-%d.sock" (Unix.getpid ())) in
+  let workers = 4 in
+  let cfg =
+    Serve.Server.config ~workers ~queue_depth:64
+      ~alphabet:Bioseq.Alphabet.protein ~socket_path:path ()
+  in
+  let server =
+    Serve.Server.create cfg ~make_worker:(fun _ ->
+        Serve.Backend.mem ~tree:setup.tree ~db:setup.db ())
+  in
+  let daemon = Domain.spawn (fun () -> Serve.Server.run server) in
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec wait_up () =
+    match Serve.Client.request ~path Serve.Protocol.Ping with
+    | Ok Serve.Protocol.Pong -> ()
+    | _ | (exception Unix.Unix_error _) ->
+      if Unix.gettimeofday () > deadline then
+        failwith "serve bench: daemon did not come up"
+      else begin
+        Unix.sleepf 0.02;
+        wait_up ()
+      end
+  in
+  wait_up ();
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop server;
+      Domain.join daemon)
+  @@ fun () ->
+  let queries = List.concat_map snd (workload setup) in
+  let jobs =
+    List.map (fun q -> (q, min_score_for setup ~query:q ~evalue:100.)) queries
+  in
+  let wire_of (query, min_score) =
+    {
+      Serve.Protocol.query = Bioseq.Sequence.to_string query;
+      matrix = Scoring.Submat.name setup.matrix;
+      gap = Serve.Protocol.Linear { penalty = 10 };
+      min_score;
+      max_hits = None;
+      max_columns = None;
+      max_expanded = None;
+      time_limit = None;
+    }
+  in
+  let daemon_stream job =
+    let hits = ref [] in
+    match
+      Serve.Client.search ~path
+        ~on_hit:(fun _ (h : Serve.Protocol.hit) ->
+          hits := (h.seq_index, h.score, h.query_stop, h.target_stop) :: !hits)
+        (wire_of job)
+    with
+    | Serve.Client.Finished _ -> List.rev !hits
+    | _ -> failwith "serve bench: search did not finish"
+  in
+  (* Correctness gate first, unmeasured: every daemon stream must be
+     bit-identical to a direct engine run of the same request. *)
+  List.iter
+    (fun ((query, min_score) as job) ->
+      let cfg =
+        Oasis.Engine.config ~matrix:setup.matrix ~gap:setup.gap ~min_score ()
+      in
+      let engine =
+        Oasis.Engine.Mem.create ~source:setup.tree ~db:setup.db ~query cfg
+      in
+      let direct =
+        List.map
+          (fun (h : Oasis.Hit.t) ->
+            (h.seq_index, h.score, h.query_stop, h.target_stop))
+          (Oasis.Engine.Mem.run engine)
+      in
+      if daemon_stream job <> direct then
+        failwith
+          (Printf.sprintf "serve bench: daemon stream diverged on %s"
+             (Bioseq.Sequence.id query)))
+    jobs;
+  Printf.printf "  hit streams identical on all %d requests\n%!"
+    (List.length jobs);
+  (* Sequential latency: one request at a time, client-measured. *)
+  let reps = if quick then 1 else 3 in
+  let lat_us = ref [] in
+  let _, seq_wall =
+    time (fun () ->
+        for _ = 1 to reps do
+          List.iter
+            (fun job ->
+              let t0 = Unix.gettimeofday () in
+              ignore (daemon_stream job);
+              lat_us :=
+                ((Unix.gettimeofday () -. t0) *. 1e6) :: !lat_us)
+            jobs
+        done)
+  in
+  let lat = Array.of_list !lat_us in
+  Array.sort compare lat;
+  let q p = lat.(min (Array.length lat - 1) (int_of_float (p *. float_of_int (Array.length lat)))) in
+  let n_seq = Array.length lat in
+  let seq_rps = float_of_int n_seq /. max 1e-9 seq_wall in
+  Printf.printf
+    "  sequential: %d requests, p50 %.0f us, p99 %.0f us, %.0f req/s\n%!"
+    n_seq (q 0.5) (q 0.99) seq_rps;
+  (* Concurrent: one client domain per worker, same jobs each. *)
+  let clients = workers in
+  let _, conc_wall =
+    time (fun () ->
+        let ds =
+          List.init clients (fun _ ->
+              Domain.spawn (fun () ->
+                  List.iter (fun job -> ignore (daemon_stream job)) jobs))
+        in
+        List.iter Domain.join ds)
+  in
+  let n_conc = clients * List.length jobs in
+  let conc_rps = float_of_int n_conc /. max 1e-9 conc_wall in
+  Printf.printf "  concurrent (%d clients): %d requests, %.0f req/s (x%.2f)\n%!"
+    clients n_conc conc_rps
+    (conc_rps /. max 1e-9 seq_rps);
+  (* The server's own SLO view, for cross-checking the client numbers. *)
+  let server_p50, server_p99 =
+    match Serve.Client.request ~path Serve.Protocol.Stats with
+    | Ok (Serve.Protocol.Stats_reply items) ->
+      ( (try List.assoc "serve.latency_us_p50" items with Not_found -> -1),
+        try List.assoc "serve.latency_us_p99" items with Not_found -> -1 )
+    | _ -> (-1, -1)
+  in
+  update_bench_section "serve"
+    (Printf.sprintf
+       "{\n\
+       \    \"quick\": %b,\n\
+       \    \"db_symbols\": %d,\n\
+       \    \"workers\": %d,\n\
+       \    \"hit_streams_identical\": true,\n\
+       \    \"sequential\": { \"requests\": %d, \"latency_us_p50\": %.0f, \
+        \"latency_us_p99\": %.0f, \"requests_per_sec\": %.1f },\n\
+       \    \"concurrent\": { \"clients\": %d, \"requests\": %d, \
+        \"requests_per_sec\": %.1f, \"speedup_vs_sequential\": %.3f },\n\
+       \    \"server_slo\": { \"latency_us_p50\": %d, \"latency_us_p99\": %d }\n\
+       \  }"
+       quick
+       (Bioseq.Database.total_symbols setup.db)
+       workers n_seq (q 0.5) (q 0.99) seq_rps clients n_conc conc_rps
+       (conc_rps /. max 1e-9 seq_rps)
+       server_p50 server_p99)
+
+(* ------------------------------------------------------------------ *)
 (* Driver.                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -2438,6 +2597,7 @@ let experiments =
     ("batch", batch_exp);
     ("scaling", scaling);
     ("incremental", incremental);
+    ("serve", serve_exp);
   ]
 
 let () =

@@ -1378,6 +1378,260 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Database, index and statistical parameters summary.")
     Term.(const run $ fasta_arg ~doc:"FASTA database." "db" $ alphabet_arg)
 
+(* --- serve / client: the always-on daemon --- *)
+
+let socket_arg =
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket path of the daemon.")
+
+let serve_cmd =
+  let run fasta alphabet index_dir socket workers queue_depth buffer_blocks
+      allow_sleep =
+    if workers < 1 then failwith "--workers must be >= 1";
+    if queue_depth < 0 then failwith "--queue-depth must be >= 0";
+    let load_db fasta =
+      Bioseq.Database.make (Bioseq.Fasta.read_file ~alphabet fasta)
+    in
+    (* Same index dispatch as `oasis search`, but each backend is built
+       once per worker and stays open across requests. *)
+    let make_worker =
+      match index_dir with
+      | Some dir when Storage.Live_index.exists (Storage.Vfs.dir dir) ->
+        fun _ -> Serve.Backend.live ~dir ~alphabet ()
+      | Some dir ->
+        let fasta =
+          match fasta with
+          | Some f -> f
+          | None -> failwith "--db is required with a static --index"
+        in
+        let db = load_db fasta in
+        if Storage.Shard_manifest.exists ~dir then fun _ ->
+          Serve.Backend.sharded ~dir ~alphabet ~db ~buffer_blocks ()
+        else fun _ -> Serve.Backend.disk ~dir ~alphabet ~db ~buffer_blocks ()
+      | None ->
+        let fasta =
+          match fasta with
+          | Some f -> f
+          | None -> failwith "give --db or --index"
+        in
+        let db = load_db fasta in
+        (* One immutable tree image serves every worker; each worker
+           only owns an engine session (the reentrancy unit). *)
+        let tree = Suffix_tree.Ukkonen.build db in
+        fun _ -> Serve.Backend.mem ~tree ~db ()
+    in
+    let cfg =
+      Serve.Server.config ~workers ~queue_depth ~allow_sleep ~alphabet
+        ~socket_path:socket ()
+    in
+    let server = Serve.Server.create cfg ~make_worker in
+    Printf.printf "listening on %s (%d workers, queue depth %d)\n%!" socket
+      workers queue_depth;
+    Serve.Server.run server;
+    Printf.printf "daemon stopped\n%!"
+  in
+  let workers =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker domains serving queries concurrently.")
+  in
+  let queue_depth =
+    Arg.(value & opt int 16 & info [ "queue-depth" ] ~docv:"N"
+           ~doc:"Connections admitted beyond the running workers before \
+                 the daemon answers with a typed overload reject.")
+  in
+  let buffer_blocks =
+    Arg.(value & opt int 4096 & info [ "buffer-blocks" ] ~docv:"N"
+           ~doc:"Per-worker buffer pool capacity in 2K blocks (disk \
+                 indexes only; split across shards of a sharded index).")
+  in
+  let allow_sleep =
+    Arg.(value & flag & info [ "allow-sleep" ]
+           ~doc:"Honor the protocol's sleep verb, which holds a worker \
+                 idle for a requested duration. Load-testing only.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the always-on search daemon on a Unix-domain socket: the \
+             index stays open across requests, queries run concurrently on \
+             a worker-domain pool, and hits stream to clients online (in \
+             non-increasing score order), so a client can hang up at any \
+             score threshold and the daemon aborts the remaining work.")
+    Term.(
+      const run
+      $ opt_fasta_arg
+          ~doc:"FASTA database (builds an in-memory index shared by all \
+                workers; with a static --index it names the database the \
+                index was built on)."
+          "db"
+      $ alphabet_arg
+      $ Arg.(value & opt (some string) None & info [ "index" ] ~docv:"DIR"
+               ~doc:"Serve an on-disk index directory (static, sharded, or \
+                     live log-structured).")
+      $ socket_arg $ workers $ queue_depth $ buffer_blocks $ allow_sleep)
+
+let reject_to_string = function
+  | Serve.Protocol.Overloaded { in_flight; capacity } ->
+    Printf.sprintf "overloaded (%d in flight / capacity %d)" in_flight
+      capacity
+  | Serve.Protocol.Bad_request msg -> "bad request: " ^ msg
+  | Serve.Protocol.Shutting_down -> "shutting down"
+  | Serve.Protocol.Server_error msg -> "server error: " ^ msg
+
+(* A reject is not a usage error: exit 3 so scripts (and the CI overload
+   test) can tell a typed refusal from a failure. *)
+let client_reject r =
+  Printf.eprintf "oasis client: rejected: %s\n" (reject_to_string r);
+  exit 3
+
+let client_transport e =
+  failwith ("daemon connection: " ^ Serve.Protocol.error_to_string e)
+
+let client_search_cmd =
+  let run socket query_text matrix gap_penalty gap_open min_score top
+      max_columns max_nodes time_limit disconnect_after =
+    let gap =
+      match gap_open with
+      | None -> Serve.Protocol.Linear { penalty = gap_penalty }
+      | Some open_cost ->
+        Serve.Protocol.Affine { open_cost; extend_cost = gap_penalty }
+    in
+    let req =
+      {
+        Serve.Protocol.query = query_text;
+        matrix = Scoring.Submat.name matrix;
+        gap;
+        min_score;
+        max_hits = Some top;
+        max_columns;
+        max_expanded = max_nodes;
+        time_limit;
+      }
+    in
+    (* Hit lines print exactly as `oasis search --format plain` does, so
+       the daemon e2e can diff the two streams byte for byte. *)
+    let on_hit i (h : Serve.Protocol.hit) =
+      Printf.printf "%4d. %-24s score %-5d (ends: query %d, target %d)\n" i
+        h.seq_id h.score h.query_stop h.target_stop
+    in
+    match Serve.Client.search ?stop_after:disconnect_after ~path:socket
+            ~on_hit req
+    with
+    | Serve.Client.Finished { outcome; _ } -> (
+      match outcome with
+      | Serve.Protocol.Exhausted { remaining_bound } ->
+        Printf.printf "# budget exhausted: unreported hits score <= %d\n"
+          remaining_bound
+      | Serve.Protocol.Complete -> ())
+    | Serve.Client.Cut n -> Printf.printf "# disconnected after %d hits\n" n
+    | Serve.Client.Rejected r -> client_reject r
+    | Serve.Client.Transport e -> client_transport e
+  in
+  let query =
+    Arg.(required & opt (some string) None & info [ "query" ] ~docv:"SEQ"
+           ~doc:"Query sequence (residues).")
+  in
+  let matrix =
+    Arg.(value & opt matrix_conv Scoring.Matrices.pam30 & info [ "matrix" ]
+           ~docv:"NAME" ~doc:"Substitution matrix.")
+  in
+  let gap =
+    Arg.(value & opt int 10 & info [ "gap" ] ~docv:"G"
+           ~doc:"Gap penalty per symbol (the extension cost when \
+                 --gap-open is given).")
+  in
+  let gap_open =
+    Arg.(value & opt (some int) None & info [ "gap-open" ] ~docv:"GO"
+           ~doc:"Affine gap opening cost; switches to the affine model.")
+  in
+  let min_score =
+    Arg.(value & opt int 1 & info [ "min-score" ] ~docv:"S"
+           ~doc:"Minimum alignment score to report.")
+  in
+  let top =
+    Arg.(value & opt int 25 & info [ "top" ] ~docv:"K"
+           ~doc:"Stop after K results (they stream in best-first).")
+  in
+  let max_columns =
+    Arg.(value & opt (some int) None & info [ "max-columns" ] ~docv:"N"
+           ~doc:"Per-request budget: stop after N DP columns.")
+  in
+  let max_nodes =
+    Arg.(value & opt (some int) None & info [ "max-nodes" ] ~docv:"N"
+           ~doc:"Per-request budget: stop after N node expansions.")
+  in
+  let time_limit =
+    Arg.(value & opt (some float) None & info [ "time-limit" ]
+           ~docv:"SECONDS" ~doc:"Per-request wall-clock budget.")
+  in
+  let disconnect_after =
+    Arg.(value & opt (some int) None & info [ "disconnect-after" ] ~docv:"N"
+           ~doc:"Hang up right after the N-th hit — the online protocol's \
+                 early exit; the daemon aborts the remaining work.")
+  in
+  Cmd.v
+    (Cmd.info "search" ~doc:"Stream a search from the daemon.")
+    Term.(
+      const run $ socket_arg $ query $ matrix $ gap $ gap_open $ min_score
+      $ top $ max_columns $ max_nodes $ time_limit $ disconnect_after)
+
+let client_simple_cmd name doc req render =
+  Cmd.v
+    (Cmd.info name ~doc)
+    Term.(
+      const (fun socket ->
+          match Serve.Client.request ~path:socket req with
+          | Ok resp -> render resp
+          | Error e -> client_transport e)
+      $ socket_arg)
+
+let client_render_pong = function
+  | Serve.Protocol.Pong -> print_endline "pong"
+  | Serve.Protocol.Reject r -> client_reject r
+  | _ -> failwith "unexpected daemon response"
+
+let client_cmd =
+  let stats =
+    client_simple_cmd "stats"
+      "Print the daemon's SLO counters and latency quantiles." Serve.Protocol.Stats
+      (function
+        | Serve.Protocol.Stats_reply items ->
+          List.iter (fun (k, v) -> Printf.printf "%-28s %d\n" k v) items
+        | Serve.Protocol.Reject r -> client_reject r
+        | _ -> failwith "unexpected daemon response")
+  in
+  let ping = client_simple_cmd "ping" "Check the daemon is alive."
+      Serve.Protocol.Ping client_render_pong
+  in
+  let shutdown =
+    client_simple_cmd "shutdown"
+      "Ask the daemon to stop (in-flight requests drain first)."
+      Serve.Protocol.Shutdown (function
+      | Serve.Protocol.Pong -> print_endline "shutdown requested"
+      | Serve.Protocol.Reject r -> client_reject r
+      | _ -> failwith "unexpected daemon response")
+  in
+  let sleep =
+    let run socket ms =
+      match Serve.Client.request ~path:socket (Serve.Protocol.Sleep ms) with
+      | Ok Serve.Protocol.Pong -> ()
+      | Ok (Serve.Protocol.Reject r) -> client_reject r
+      | Ok _ -> failwith "unexpected daemon response"
+      | Error e -> client_transport e
+    in
+    let ms =
+      Arg.(value & opt int 1000 & info [ "ms" ] ~docv:"MS"
+             ~doc:"How long to hold the worker.")
+    in
+    Cmd.v
+      (Cmd.info "sleep"
+         ~doc:"Hold a daemon worker idle (needs a daemon started with \
+               --allow-sleep). Load-testing only.")
+      Term.(const run $ socket_arg $ ms)
+  in
+  Cmd.group
+    (Cmd.info "client" ~doc:"Talk to a running search daemon.")
+    [ client_search_cmd; stats; ping; shutdown; sleep ]
+
 let () =
   let doc = "accurate online local-alignment search (OASIS, VLDB 2003)" in
   let cmd =
@@ -1392,6 +1646,8 @@ let () =
         compare_cmd;
         verify_index_cmd;
         stats_cmd;
+        serve_cmd;
+        client_cmd;
       ]
   in
   (* Expected failures print one clean line, not a backtrace. *)

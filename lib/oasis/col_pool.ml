@@ -1,5 +1,5 @@
 type t = {
-  width : int;
+  mutable width : int;
   mutable data : int array; (* cap * width cells *)
   mutable cap : int; (* slots allocated in [data] *)
   mutable next_fresh : int; (* slots in [0, next_fresh) have been handed out *)
@@ -36,6 +36,19 @@ let grow t =
   Array.blit t.data 0 ndata 0 (t.cap * t.width);
   t.data <- ndata;
   t.cap <- ncap
+
+let reset t ~width =
+  if width <= 0 then invalid_arg "Col_pool.reset: width must be positive";
+  t.width <- width;
+  (* Re-slot the existing backing store at the new width; no live slot
+     survives a reset, so re-slicing the same cells is safe. *)
+  t.cap <- Array.length t.data / width;
+  t.next_fresh <- 0;
+  t.free_top <- 0;
+  t.live <- 0;
+  t.peak_live <- 0;
+  t.reused <- 0;
+  t.acquired <- 0
 
 let reserve t slots =
   if slots > t.cap then begin

@@ -26,6 +26,16 @@ val create : width:int -> t
 
 val width : t -> int
 
+val reset : t -> width:int -> unit
+(** [reset t ~width] empties the pool and re-slots its backing store at
+    a (possibly different) slot width, keeping the allocated cells — the
+    point of an engine {e session}: a long-lived serving process reuses
+    one arena across queries of different lengths without re-growing it
+    from zero. Every outstanding slot id is invalidated and all
+    statistics restart at zero ({!capacity_bytes} alone carries over,
+    since the backing store is retained). Raises [Invalid_argument] if
+    [width <= 0]. *)
+
 val reserve : t -> int -> unit
 (** [reserve t slots] grows the backing store to hold at least [slots]
     slots up front. Purely an allocation hint: the fused batch kernel's

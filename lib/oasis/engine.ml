@@ -92,6 +92,33 @@ module Make (S : Source.S) = struct
     accepted : bool;
   }
 
+  (* A session owns the per-search mutable scratch — column arena,
+     priority queue, emit sort buffer — and nothing tied to one query.
+     Engines borrow a session at [create]; a fresh one is made when the
+     caller passes none, so single-shot searches are unchanged. A
+     long-lived server keeps one session per worker and reuses it across
+     requests: the arena and heap keep their high-water capacity, so a
+     steady-state request allocates (almost) nothing, while K sessions
+     share one immutable tree image. *)
+  type session = {
+    ses_pool : Col_pool.t;
+    ses_pq : snode Pqueue.t;
+    mutable ses_emit_buf : int array;
+        (** scratch positions buffer for {!emit}; grown on demand,
+            reused across hits and across searches *)
+  }
+
+  module Session = struct
+    type t = session
+
+    let create () =
+      {
+        ses_pool = Col_pool.create ~width:1;
+        ses_pq = Pqueue.create ();
+        ses_emit_buf = Array.make 64 0;
+      }
+  end
+
   type t = {
     source : S.t;
     db : Bioseq.Database.t;
@@ -110,10 +137,12 @@ module Make (S : Source.S) = struct
     opt_pd : bool;  (** = cfg.options.prune_dominated *)
     affine : bool;
     term : int;
+    ses : session;  (** owns the scratch below (and the emit buffer) *)
     pool : Col_pool.t;
-        (** slot width [m + 1] (linear) or [2 * (m + 1)] (affine, [B]
-            then Gotoh's [D] vector in one slot) *)
-    pq : snode Pqueue.t;
+        (** = [ses.ses_pool]; slot width [m + 1] (linear) or
+            [2 * (m + 1)] (affine, [B] then Gotoh's [D] vector in one
+            slot) *)
+    pq : snode Pqueue.t;  (** = [ses.ses_pq] *)
     reported_seq : bool array;
     mutable reported_count : int;
     pending : Hit.t Queue.t;
@@ -134,9 +163,6 @@ module Make (S : Source.S) = struct
     mutable obs : Instrument.t option;
         (** observability hooks; [None] (the default) costs one pointer
             compare per hook site on the hot path *)
-    mutable emit_buf : int array;
-        (** scratch positions buffer for {!emit}; grown on demand,
-            reused across hits *)
     base_minor_words : float;  (** [Gc.minor_words] at creation *)
     base_io_hits : int;
     base_io_misses : int;
@@ -530,8 +556,10 @@ module Make (S : Source.S) = struct
       else t.c_pruned <- t.c_pruned + 1
 
   (* Shared constructor: [cols]/[hvec] come either from a matrix and a
-     query or from a position-specific profile. *)
-  let create_internal ~source ~db ~profile (cfg : config) =
+     query or from a position-specific profile. A borrowed [session] is
+     reset for this search, which invalidates any previous engine that
+     was using it. *)
+  let create_internal ?session ~source ~db ~profile (cfg : config) =
     if cfg.min_score < 1 then
       invalid_arg "Oasis.Engine.create: min_score must be >= 1";
     if
@@ -544,6 +572,20 @@ module Make (S : Source.S) = struct
         profile
     in
     let affine = not (Scoring.Gap.is_linear cfg.gap) in
+    let width = (m + 1) * if affine then 2 else 1 in
+    let ses =
+      match session with
+      | Some s ->
+        Col_pool.reset s.ses_pool ~width;
+        Pqueue.clear s.ses_pq;
+        s
+      | None ->
+        {
+          ses_pool = Col_pool.create ~width;
+          ses_pq = Pqueue.create ();
+          ses_emit_buf = Array.make 64 0;
+        }
+    in
     let t =
       {
         source;
@@ -559,8 +601,9 @@ module Make (S : Source.S) = struct
         opt_pd = cfg.options.prune_dominated;
         affine;
         term = S.terminator source;
-        pool = Col_pool.create ~width:((m + 1) * if affine then 2 else 1);
-        pq = Pqueue.create ();
+        ses;
+        pool = ses.ses_pool;
+        pq = ses.ses_pq;
         reported_seq = Array.make (Bioseq.Database.num_sequences db) false;
         reported_count = 0;
         pending = Queue.create ();
@@ -576,7 +619,6 @@ module Make (S : Source.S) = struct
         sc_depth = 0;
         tracer = None;
         obs = None;
-        emit_buf = Array.make 64 0;
         base_minor_words = Gc.minor_words ();
         base_io_hits = (let h, _ = S.io_stats source in h);
         base_io_misses = (let _, m = S.io_stats source in m);
@@ -618,23 +660,23 @@ module Make (S : Source.S) = struct
     end;
     t
 
-  let create ~source ~db ~query cfg =
+  let create ?session ~source ~db ~query cfg =
     if Bioseq.Sequence.length query = 0 then
       invalid_arg "Oasis.Engine.create: empty query";
     if
       Bioseq.Alphabet.name (Scoring.Submat.alphabet cfg.matrix)
       <> Bioseq.Alphabet.name (Bioseq.Sequence.alphabet query)
     then invalid_arg "Oasis.Engine.create: alphabet mismatch";
-    create_internal ~source ~db
+    create_internal ?session ~source ~db
       ~profile:(Scoring.Pssm.of_query ~matrix:cfg.matrix query)
       cfg
 
-  let create_profile ~source ~db ~profile ?(options = default_options)
-      ?(budget = unlimited) ~gap ~min_score () =
+  let create_profile ?session ~source ~db ~profile
+      ?(options = default_options) ?(budget = unlimited) ~gap ~min_score () =
     (* The config's matrix slot is irrelevant for profile searches (the
        profile carries all scores); store the unit matrix of the
        profile's alphabet so the record stays self-consistent. *)
-    create_internal ~source ~db ~profile
+    create_internal ?session ~source ~db ~profile
       {
         matrix = Scoring.Submat.unit_edit (Scoring.Pssm.alphabet profile);
         gap;
@@ -656,16 +698,16 @@ module Make (S : Source.S) = struct
   let emit t node =
     let n = ref 0 in
     S.iter_positions t.source node.tree_node (fun p ->
-        if !n = Array.length t.emit_buf then begin
+        if !n = Array.length t.ses.ses_emit_buf then begin
           let bigger = Array.make (2 * !n) 0 in
-          Array.blit t.emit_buf 0 bigger 0 !n;
-          t.emit_buf <- bigger
+          Array.blit t.ses.ses_emit_buf 0 bigger 0 !n;
+          t.ses.ses_emit_buf <- bigger
         end;
-        t.emit_buf.(!n) <- p;
+        t.ses.ses_emit_buf.(!n) <- p;
         incr n);
-    sort_range t.emit_buf 0 (!n - 1);
+    sort_range t.ses.ses_emit_buf 0 (!n - 1);
     for i = 0 to !n - 1 do
-      let p = t.emit_buf.(i) in
+      let p = t.ses.ses_emit_buf.(i) in
       let seq_index = Bioseq.Database.seq_of_pos t.db p in
       if not t.reported_seq.(seq_index) then begin
         t.reported_seq.(seq_index) <- true;

@@ -143,12 +143,43 @@ type counters = Counters.t = {
 module Make (S : Source.S) : sig
   type t
 
-  val create : source:S.t -> db:Bioseq.Database.t -> query:Bioseq.Sequence.t -> config -> t
+  (** A session owns the reusable per-search scratch — the {!Col_pool}
+      column arena, the {!Pqueue} frontier heap, and the emit sort
+      buffer — separated from everything tied to one query. This is the
+      serving layer's reentrancy unit: K sessions over one shared,
+      immutable tree image run K independent searches, and a long-lived
+      server keeps one session per worker so a steady-state request
+      reuses the previous request's high-water capacity instead of
+      growing fresh arenas.
+
+      A session serves one engine at a time: passing it to [create]
+      resets the scratch, which {e invalidates} any earlier engine
+      built on the same session (calling [next] on it afterwards is a
+      contract violation — don't). Sessions are single-owner and not
+      thread-safe, exactly like the scratch they carry. *)
+  module Session : sig
+    type t
+
+    val create : unit -> t
+  end
+
+  val create :
+    ?session:Session.t ->
+    source:S.t ->
+    db:Bioseq.Database.t ->
+    query:Bioseq.Sequence.t ->
+    config ->
+    t
   (** Raises [Invalid_argument] on an empty query, [min_score < 1], or
       an alphabet mismatch. [db] must be the database the tree was built
-      on. *)
+      on. [session] lends the engine its scratch (default: a private
+      fresh one); the resulting hit stream is bit-identical either way —
+      only allocation behaviour differs (a reused session starts at its
+      previous capacity, so the [pool_peak_bytes] counter can exceed a
+      fresh run's). *)
 
   val create_profile :
+    ?session:Session.t ->
     source:S.t ->
     db:Bioseq.Database.t ->
     profile:Scoring.Pssm.t ->

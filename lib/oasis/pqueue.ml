@@ -22,6 +22,10 @@ let create () =
 let is_empty t = t.size = 0
 let length t = t.size
 
+let clear t =
+  t.size <- 0;
+  t.next_seqno <- 0
+
 (* (p1, m1) sorts strictly before (p2, m2): higher priority first, then
    smaller meta (lower tie, then earlier seqno — FIFO). *)
 let[@inline] before p1 m1 p2 m2 = p1 > p2 || (p1 = p2 && m1 < m2)

@@ -16,6 +16,13 @@ val create : unit -> 'a t
 val is_empty : 'a t -> bool
 val length : 'a t -> int
 
+val clear : 'a t -> unit
+(** Empty the queue and restart the FIFO insertion counter, keeping the
+    allocated capacity — an engine session reuses one heap across
+    queries. Popped-but-retained slots may still reference previously
+    pushed values until overwritten; the engine's session reuse always
+    re-pushes before reading, so nothing observes them. *)
+
 val push : 'a t -> priority:int -> ?tie:int -> 'a -> unit
 (** [tie] defaults to [1] and must lie in [\[0, 256)] (it is packed
     above the insertion counter in one machine word); raises

@@ -1,0 +1,61 @@
+type t = { fd : Unix.file_descr; reader : Protocol.reader }
+
+let connect path =
+  (* An overloaded server rejects-and-closes at accept time, possibly
+     before our request write lands; the write must surface as a typed
+     result (the Reject frame is still readable), not kill the
+     process. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> { fd; reader = Protocol.reader_of_fd fd }
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let send t req = Protocol.write_frame t.fd (Protocol.encode_request req)
+
+(* Send, but let the server's early close win: whatever it already
+   queued for us (a reject) is the answer. *)
+let send_for_reply t req =
+  try send t req
+  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+let recv t = Protocol.read_response t.reader
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let request ~path req =
+  let t = connect path in
+  Fun.protect
+    ~finally:(fun () -> close t)
+    (fun () ->
+      send_for_reply t req;
+      recv t)
+
+type search_end =
+  | Finished of { outcome : Protocol.outcome; hits : int; wall_us : int }
+  | Rejected of Protocol.reject
+  | Cut of int
+  | Transport of Protocol.error
+
+let search ?stop_after ~path ~on_hit req =
+  let t = connect path in
+  Fun.protect
+    ~finally:(fun () -> close t)
+    (fun () ->
+      send_for_reply t (Protocol.Search req);
+      let rec go i =
+        match recv t with
+        | Ok (Protocol.Hit h) ->
+          let i = i + 1 in
+          on_hit i h;
+          (match stop_after with
+          | Some n when i >= n -> Cut i
+          | _ -> go i)
+        | Ok (Protocol.Done { outcome; hits; wall_us }) ->
+          Finished { outcome; hits; wall_us }
+        | Ok (Protocol.Reject r) -> Rejected r
+        | Ok (Protocol.Stats_reply _ | Protocol.Pong) ->
+          Transport (Protocol.Malformed "unexpected response to a search")
+        | Error e -> Transport e
+      in
+      go 0)

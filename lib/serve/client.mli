@@ -1,0 +1,40 @@
+(** Client side of the daemon protocol (used by [oasis client], the
+    tests, and the bench).
+
+    Connections are one-shot — connect, send one request, read the
+    response stream — matching the server's contract. *)
+
+type t
+
+val connect : string -> t
+(** Connect to the daemon's socket path. Raises [Unix.Unix_error]
+    (e.g. [ENOENT]/[ECONNREFUSED] when no daemon is listening). *)
+
+val send : t -> Protocol.request -> unit
+val recv : t -> (Protocol.response, Protocol.error) result
+val close : t -> unit
+
+val request : path:string -> Protocol.request -> (Protocol.response, Protocol.error) result
+(** One-shot non-search exchange: connect, send, read a single
+    response, close. *)
+
+(** How a search ended, from the client's side. *)
+type search_end =
+  | Finished of { outcome : Protocol.outcome; hits : int; wall_us : int }
+      (** the server's [Done] frame *)
+  | Rejected of Protocol.reject
+  | Cut of int  (** we hung up on purpose after [stop_after] hits *)
+  | Transport of Protocol.error
+      (** the stream broke before a [Done] — e.g. the daemon died *)
+
+val search :
+  ?stop_after:int ->
+  path:string ->
+  on_hit:(int -> Protocol.hit -> unit) ->
+  Protocol.search ->
+  search_end
+(** Stream a search: [on_hit i hit] fires per result ([i] counts from
+    1, in arrival = non-increasing-score order). With [stop_after n]
+    the client closes the connection right after the [n]-th hit — the
+    online protocol's early-exit move; the server aborts the rest of
+    the work. *)

@@ -1,0 +1,421 @@
+(* Frame: [magic 0xA5][tag][len u32 BE][crc32 u32 BE][payload].
+   Payload scalars: ints as 8-byte BE two's complement, strings
+   length-prefixed (u32), options behind a one-byte presence tag,
+   floats as IEEE bits. Everything is fixed-width or length-prefixed,
+   so decode never scans — it either consumes exactly the declared
+   bytes or fails typed. *)
+
+type gap =
+  | Linear of { penalty : int }
+  | Affine of { open_cost : int; extend_cost : int }
+
+type search = {
+  query : string;
+  matrix : string;
+  gap : gap;
+  min_score : int;
+  max_hits : int option;
+  max_columns : int option;
+  max_expanded : int option;
+  time_limit : float option;
+}
+
+type request = Search of search | Stats | Ping | Sleep of int | Shutdown
+
+type reject =
+  | Overloaded of { in_flight : int; capacity : int }
+  | Bad_request of string
+  | Shutting_down
+  | Server_error of string
+
+type outcome = Complete | Exhausted of { remaining_bound : int }
+
+type hit = {
+  seq_index : int;
+  score : int;
+  query_stop : int;
+  target_stop : int;
+  seq_id : string;
+}
+
+type response =
+  | Hit of hit
+  | Done of { outcome : outcome; hits : int; wall_us : int }
+  | Reject of reject
+  | Stats_reply of (string * int) list
+  | Pong
+
+type error =
+  | Closed
+  | Truncated
+  | Bad_magic of int
+  | Unknown_tag of int
+  | Oversized of int
+  | Crc_mismatch
+  | Malformed of string
+
+let error_to_string = function
+  | Closed -> "connection closed"
+  | Truncated -> "truncated frame"
+  | Bad_magic b -> Printf.sprintf "bad frame magic 0x%02x" b
+  | Unknown_tag t -> Printf.sprintf "unknown frame tag 0x%02x" t
+  | Oversized n -> Printf.sprintf "oversized frame (%d-byte payload)" n
+  | Crc_mismatch -> "frame checksum mismatch"
+  | Malformed msg -> Printf.sprintf "malformed payload: %s" msg
+
+let magic = 0xA5
+let header_len = 10
+let max_payload = 16 * 1024 * 1024
+
+(* Request tags sit below 0x80, response tags above — a frame's
+   direction is visible in the tag, so a confused peer fails with
+   [Unknown_tag] instead of misparsing. *)
+let tag_search = 0x01
+let tag_stats = 0x02
+let tag_ping = 0x03
+let tag_sleep = 0x04
+let tag_shutdown = 0x05
+let tag_hit = 0x81
+let tag_done = 0x82
+let tag_reject = 0x83
+let tag_stats_reply = 0x84
+let tag_pong = 0x85
+
+(* --- payload encoding --- *)
+
+let put_int b v = Buffer.add_int64_be b (Int64.of_int v)
+
+let put_u32 b v =
+  if v < 0 || v > 0xFFFF_FFFF then invalid_arg "Protocol: u32 out of range";
+  Buffer.add_int32_be b (Int32.of_int v)
+
+let put_str b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_opt put b = function
+  | None -> Buffer.add_uint8 b 0
+  | Some v ->
+    Buffer.add_uint8 b 1;
+    put b v
+
+let put_float b f = Buffer.add_int64_be b (Int64.bits_of_float f)
+
+let encode_payload fill =
+  let b = Buffer.create 64 in
+  fill b;
+  Buffer.contents b
+
+let request_payload = function
+  | Search s ->
+    ( tag_search,
+      encode_payload (fun b ->
+          put_str b s.query;
+          put_str b s.matrix;
+          (match s.gap with
+          | Linear { penalty } ->
+            Buffer.add_uint8 b 0;
+            put_int b penalty
+          | Affine { open_cost; extend_cost } ->
+            Buffer.add_uint8 b 1;
+            put_int b open_cost;
+            put_int b extend_cost);
+          put_int b s.min_score;
+          put_opt put_int b s.max_hits;
+          put_opt put_int b s.max_columns;
+          put_opt put_int b s.max_expanded;
+          put_opt put_float b s.time_limit) )
+  | Stats -> (tag_stats, "")
+  | Ping -> (tag_ping, "")
+  | Sleep ms -> (tag_sleep, encode_payload (fun b -> put_int b ms))
+  | Shutdown -> (tag_shutdown, "")
+
+let response_payload = function
+  | Hit h ->
+    ( tag_hit,
+      encode_payload (fun b ->
+          put_int b h.seq_index;
+          put_int b h.score;
+          put_int b h.query_stop;
+          put_int b h.target_stop;
+          put_str b h.seq_id) )
+  | Done { outcome; hits; wall_us } ->
+    ( tag_done,
+      encode_payload (fun b ->
+          (match outcome with
+          | Complete -> Buffer.add_uint8 b 0
+          | Exhausted { remaining_bound } ->
+            Buffer.add_uint8 b 1;
+            put_int b remaining_bound);
+          put_int b hits;
+          put_int b wall_us) )
+  | Reject r ->
+    ( tag_reject,
+      encode_payload (fun b ->
+          match r with
+          | Overloaded { in_flight; capacity } ->
+            Buffer.add_uint8 b 0;
+            put_int b in_flight;
+            put_int b capacity
+          | Bad_request msg ->
+            Buffer.add_uint8 b 1;
+            put_str b msg
+          | Shutting_down -> Buffer.add_uint8 b 2
+          | Server_error msg ->
+            Buffer.add_uint8 b 3;
+            put_str b msg) )
+  | Stats_reply items ->
+    ( tag_stats_reply,
+      encode_payload (fun b ->
+          put_int b (List.length items);
+          List.iter
+            (fun (name, v) ->
+              put_str b name;
+              put_int b v)
+            items) )
+  | Pong -> (tag_pong, "")
+
+let frame (tag, payload) =
+  if String.length payload >= max_payload then
+    invalid_arg "Protocol: payload too large";
+  let b = Buffer.create (header_len + String.length payload) in
+  Buffer.add_uint8 b magic;
+  Buffer.add_uint8 b tag;
+  put_u32 b (String.length payload);
+  put_u32 b (Storage.Crc32.string payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let encode_request r = frame (request_payload r)
+let encode_response r = frame (response_payload r)
+
+(* --- payload decoding --- *)
+
+exception Bad of string
+
+type cursor = { s : string; mutable pos : int }
+
+let need c n =
+  if c.pos + n > String.length c.s then raise (Bad "ran off the end")
+
+let get_u8 c =
+  need c 1;
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_int c =
+  need c 8;
+  let v = Int64.to_int (String.get_int64_be c.s c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let get_u32 c =
+  need c 4;
+  let v = Int32.to_int (String.get_int32_be c.s c.pos) land 0xFFFF_FFFF in
+  c.pos <- c.pos + 4;
+  v
+
+let get_str c =
+  let n = get_u32 c in
+  need c n;
+  let v = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  v
+
+let get_opt get c =
+  match get_u8 c with
+  | 0 -> None
+  | 1 -> Some (get c)
+  | t -> raise (Bad (Printf.sprintf "bad option tag %d" t))
+
+let get_float c =
+  need c 8;
+  let v = Int64.float_of_bits (String.get_int64_be c.s c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let decode payload parse =
+  let c = { s = payload; pos = 0 } in
+  match parse c with
+  | v ->
+    if c.pos <> String.length payload then
+      Error (Malformed "trailing bytes")
+    else Ok v
+  | exception Bad msg -> Error (Malformed msg)
+
+let decode_request tag payload =
+  if tag = tag_search then
+    decode payload (fun c ->
+        let query = get_str c in
+        let matrix = get_str c in
+        let gap =
+          match get_u8 c with
+          | 0 -> Linear { penalty = get_int c }
+          | 1 ->
+            let open_cost = get_int c in
+            let extend_cost = get_int c in
+            Affine { open_cost; extend_cost }
+          | t -> raise (Bad (Printf.sprintf "bad gap tag %d" t))
+        in
+        let min_score = get_int c in
+        let max_hits = get_opt get_int c in
+        let max_columns = get_opt get_int c in
+        let max_expanded = get_opt get_int c in
+        let time_limit = get_opt get_float c in
+        Search
+          {
+            query;
+            matrix;
+            gap;
+            min_score;
+            max_hits;
+            max_columns;
+            max_expanded;
+            time_limit;
+          })
+  else if tag = tag_stats then decode payload (fun _ -> Stats)
+  else if tag = tag_ping then decode payload (fun _ -> Ping)
+  else if tag = tag_sleep then decode payload (fun c -> Sleep (get_int c))
+  else if tag = tag_shutdown then decode payload (fun _ -> Shutdown)
+  else Error (Unknown_tag tag)
+
+let decode_response tag payload =
+  if tag = tag_hit then
+    decode payload (fun c ->
+        let seq_index = get_int c in
+        let score = get_int c in
+        let query_stop = get_int c in
+        let target_stop = get_int c in
+        let seq_id = get_str c in
+        Hit { seq_index; score; query_stop; target_stop; seq_id })
+  else if tag = tag_done then
+    decode payload (fun c ->
+        let outcome =
+          match get_u8 c with
+          | 0 -> Complete
+          | 1 -> Exhausted { remaining_bound = get_int c }
+          | t -> raise (Bad (Printf.sprintf "bad outcome tag %d" t))
+        in
+        let hits = get_int c in
+        let wall_us = get_int c in
+        Done { outcome; hits; wall_us })
+  else if tag = tag_reject then
+    decode payload (fun c ->
+        let r =
+          match get_u8 c with
+          | 0 ->
+            let in_flight = get_int c in
+            let capacity = get_int c in
+            Overloaded { in_flight; capacity }
+          | 1 -> Bad_request (get_str c)
+          | 2 -> Shutting_down
+          | 3 -> Server_error (get_str c)
+          | t -> raise (Bad (Printf.sprintf "bad reject tag %d" t))
+        in
+        Reject r)
+  else if tag = tag_stats_reply then
+    decode payload (fun c ->
+        let n = get_int c in
+        if n < 0 || n > 100_000 then
+          raise (Bad (Printf.sprintf "bad stats count %d" n));
+        let items =
+          List.init n (fun _ ->
+              let name = get_str c in
+              let v = get_int c in
+              (name, v))
+        in
+        Stats_reply items)
+  else if tag = tag_pong then decode payload (fun _ -> Pong)
+  else Error (Unknown_tag tag)
+
+(* --- framed reading --- *)
+
+type reader = bytes -> int -> int -> int
+
+let rec read_fd fd buf off len =
+  match Unix.read fd buf off len with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_fd fd buf off len
+  | exception
+      Unix.Unix_error
+        ((Unix.ECONNRESET | Unix.EPIPE | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+    ->
+    (* A vanished (or silent past its receive timeout) peer is an
+       end-of-stream, not a crash: the frame layer reports Truncated or
+       Closed and the caller drops the connection. *)
+    0
+
+let reader_of_fd fd : reader = fun buf off len -> read_fd fd buf off len
+
+let reader_of_string s : reader =
+  let pos = ref 0 in
+  fun buf off len ->
+    let n = min len (String.length s - !pos) in
+    Bytes.blit_string s !pos buf off n;
+    pos := !pos + n;
+    n
+
+(* Fill [buf] entirely; [n] bytes were already consumed before this
+   call (distinguishes a clean Closed from a mid-frame Truncated). *)
+let read_exactly (read : reader) buf already =
+  let len = Bytes.length buf in
+  let rec go off =
+    if off >= len then Ok ()
+    else
+      match read buf off (len - off) with
+      | 0 -> if already + off = 0 then Error Closed else Error Truncated
+      | n -> go (off + n)
+  in
+  go 0
+
+let read_frame read =
+  let header = Bytes.create header_len in
+  match read_exactly read header 0 with
+  | Error _ as e -> e
+  | Ok () ->
+    let m = Char.code (Bytes.get header 0) in
+    if m <> magic then Error (Bad_magic m)
+    else begin
+      let tag = Char.code (Bytes.get header 1) in
+      let len =
+        Int32.to_int (Bytes.get_int32_be header 2) land 0xFFFF_FFFF
+      in
+      let crc =
+        Int32.to_int (Bytes.get_int32_be header 6) land 0xFFFF_FFFF
+      in
+      if len >= max_payload then Error (Oversized len)
+      else begin
+        let payload = Bytes.create len in
+        match read_exactly read payload header_len with
+        | Error Closed | Error Truncated -> Error Truncated
+        | Error _ as e -> e
+        | Ok () ->
+          if Storage.Crc32.bytes payload <> crc then Error Crc_mismatch
+          else Ok (tag, Bytes.unsafe_to_string payload)
+      end
+    end
+
+let read_request read =
+  match read_frame read with
+  | Error _ as e -> e
+  | Ok (tag, payload) -> decode_request tag payload
+
+let read_response read =
+  match read_frame read with
+  | Error _ as e -> e
+  | Ok (tag, payload) -> decode_response tag payload
+
+let write_frame fd s =
+  let buf = Bytes.unsafe_of_string s in
+  let len = Bytes.length buf in
+  let rec go off =
+    if off < len then begin
+      let n =
+        try Unix.write fd buf off (len - off)
+        with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      in
+      go (off + n)
+    end
+  in
+  go 0

@@ -1,0 +1,129 @@
+(** Wire protocol for the search daemon.
+
+    One connection carries one request and its response stream. Every
+    message travels in a framed envelope:
+
+    {v
+      byte 0      magic 0xA5
+      byte 1      tag (request 0x01-0x05, response 0x81-0x85)
+      bytes 2-5   payload length, u32 big-endian (< {!max_payload})
+      bytes 6-9   CRC-32 of the payload, big-endian
+      bytes 10-   payload
+    v}
+
+    The length prefix lets a reader consume exactly one frame from a
+    byte stream without lookahead; the checksum turns a corrupted frame
+    into a typed {!error} instead of a misparse. Integers in payloads
+    are 8-byte big-endian two's complement, strings are length-prefixed,
+    options carry a one-byte presence tag, floats travel as their IEEE
+    bit pattern — so encoding round-trips exactly (property-tested).
+
+    The streaming shape of a search response is what makes the daemon
+    {e online} in the paper's sense: each {!response.Hit} frame is final
+    the moment it is sent (scores are non-increasing), so a client may
+    hang up mid-stream once results drop below its threshold, and the
+    server aborts the remaining work. *)
+
+type gap =
+  | Linear of { penalty : int }
+  | Affine of { open_cost : int; extend_cost : int }
+
+type search = {
+  query : string;  (** residues, parsed server-side under its alphabet *)
+  matrix : string;  (** substitution-matrix name, e.g. ["pam30"] *)
+  gap : gap;
+  min_score : int;
+  max_hits : int option;  (** server stops the stream after this many *)
+  max_columns : int option;  (** per-request {!Oasis.Engine.budget} *)
+  max_expanded : int option;
+  time_limit : float option;
+}
+
+type request =
+  | Search of search
+  | Stats  (** server SLO metrics as [(name, value)] pairs *)
+  | Ping
+  | Sleep of int
+      (** hold a worker for this many milliseconds — a deterministic
+          load generator for overload tests; rejected unless the server
+          was started with [allow_sleep] *)
+  | Shutdown
+
+(** Typed refusal — the admission-control contract: an overloaded
+    server answers immediately with [Overloaded] rather than hanging
+    the client. *)
+type reject =
+  | Overloaded of { in_flight : int; capacity : int }
+  | Bad_request of string
+  | Shutting_down
+  | Server_error of string
+
+type outcome = Complete | Exhausted of { remaining_bound : int }
+(** {!Oasis.Engine.outcome} on the wire ([Searching] cannot escape: the
+    server only reports after the stream ends). *)
+
+type hit = {
+  seq_index : int;
+  score : int;
+  query_stop : int;
+  target_stop : int;
+  seq_id : string;  (** resolved server-side; clients need no FASTA *)
+}
+
+type response =
+  | Hit of hit  (** one per result, streamed in non-increasing score *)
+  | Done of { outcome : outcome; hits : int; wall_us : int }
+      (** terminates every successful search stream *)
+  | Reject of reject
+  | Stats_reply of (string * int) list
+  | Pong
+
+(** How reading a frame can fail. [Closed] is a clean end-of-stream
+    before any byte of a frame; everything else is a malformed or
+    damaged frame. *)
+type error =
+  | Closed
+  | Truncated  (** end-of-stream inside a frame *)
+  | Bad_magic of int
+  | Unknown_tag of int
+  | Oversized of int  (** declared payload length, >= {!max_payload} *)
+  | Crc_mismatch
+  | Malformed of string  (** payload did not parse as its tag's body *)
+
+val error_to_string : error -> string
+
+val max_payload : int
+(** 16 MiB — far above any real frame; a guard against reading a
+    garbage length prefix as an allocation size. *)
+
+val encode_request : request -> string
+(** The full frame (header + payload), ready to write. *)
+
+val encode_response : response -> string
+
+type reader = bytes -> int -> int -> int
+(** [reader buf off len] reads at most [len] bytes into [buf] at
+    [off], returning the count, 0 at end-of-stream. Decoding is
+    parameterized over this so tests can feed frames from strings or
+    fault-injected devices instead of sockets. *)
+
+val reader_of_fd : Unix.file_descr -> reader
+(** Retries [EINTR]; maps [ECONNRESET]/[EPIPE] and a receive-timeout
+    ([EAGAIN]) to end-of-stream, so a vanished client surfaces as
+    [Truncated]/[Closed] rather than an exception. *)
+
+val reader_of_string : string -> reader
+(** Reads the string once, then end-of-stream — truncation tests slice
+    the string first. *)
+
+val read_request : reader -> (request, error) result
+(** Consume exactly one frame and decode it as a request. Responses'
+    tags (or any other) yield [Unknown_tag]; trailing payload bytes
+    yield [Malformed]. *)
+
+val read_response : reader -> (response, error) result
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write the whole encoded frame (retrying short writes and [EINTR]).
+    Raises [Unix.Unix_error] — [EPIPE] here is how the server learns a
+    streaming client hung up. *)

@@ -16,6 +16,11 @@ tolerance. The scaling speedup assertion itself lives in the bench
 binary, where it can see the core count; this script only re-checks the
 recorded numbers for consistency.
 
+A truncated or half-written input (a bench run killed mid-section, a
+partial artifact download) must never produce a Python traceback: every
+section access goes through guarded lookups that emit a one-line
+skip/error message instead.
+
 Usage: bench_gate.py --baseline BENCH_baseline.json --fresh BENCH_oasis.json
 """
 
@@ -30,9 +35,69 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
+def load_json(path: str, label: str) -> dict:
+    """Parse [path] or die with a one-line message (no traceback)."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except FileNotFoundError:
+        fail(f"{label} file {path} does not exist")
+    except json.JSONDecodeError as e:
+        fail(
+            f"{label} file {path} is not valid JSON (line {e.lineno}: "
+            f"{e.msg}) — truncated write?"
+        )
+    except OSError as e:
+        fail(f"cannot read {label} file {path}: {e.strerror}")
+    if not isinstance(data, dict):
+        fail(f"{label} file {path} is not a JSON object")
+    return data
+
+
+def lookup(section: dict, *keys):
+    """Walk nested dict keys; None when any level is missing/mistyped."""
+    cur = section
+    for k in keys:
+        if not isinstance(cur, dict) or k not in cur:
+            return None
+        cur = cur[k]
+    return cur
+
+
+def number(section: dict, *keys):
+    """A numeric leaf under [keys], or None (bool is not a number)."""
+    v = lookup(section, *keys)
+    if isinstance(v, bool) or not isinstance(v, (int, float)):
+        return None
+    return v
+
+
+def skip(section_name: str, dotted: str) -> None:
+    print(
+        f"bench gate: skip {section_name}: missing/non-numeric "
+        f"{dotted} (truncated section?)"
+    )
+
+
 def batch_is_full(batch: dict) -> bool:
     """A full-size (non --quick) batch section: ratio assertions apply."""
     return batch.get("quick") is False
+
+
+def gate_throughput(label, base_cps, fresh_cps, tolerance) -> None:
+    """Shared floor check; both operands already validated numeric."""
+    floor = base_cps * (1.0 - tolerance)
+    verdict = "ok" if fresh_cps >= floor else "REGRESSION"
+    print(
+        f"bench gate: {label}: fresh {fresh_cps:,.0f} vs baseline "
+        f"{base_cps:,.0f} (floor {floor:,.0f} at {tolerance:.0%} "
+        f"tolerance) -> {verdict}"
+    )
+    if fresh_cps < floor:
+        fail(
+            f"{label} regressed more than {tolerance:.0%} "
+            f"({fresh_cps:,.0f} < {floor:,.0f})"
+        )
 
 
 def main() -> None:
@@ -41,46 +106,41 @@ def main() -> None:
     parser.add_argument("--fresh", required=True)
     args = parser.parse_args()
 
-    tolerance = float(os.environ.get("BENCH_GATE_TOLERANCE", "0.25"))
+    try:
+        tolerance = float(os.environ.get("BENCH_GATE_TOLERANCE", "0.25"))
+    except ValueError:
+        fail("BENCH_GATE_TOLERANCE is not a number")
     if not (0.0 <= tolerance < 1.0):
         fail(f"BENCH_GATE_TOLERANCE must be in [0, 1), got {tolerance}")
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-    with open(args.fresh) as f:
-        fresh = json.load(f)
+    baseline = load_json(args.baseline, "baseline")
+    fresh = load_json(args.fresh, "fresh")
 
     # The committed file predating the sectioned format kept the kernel
     # numbers at the top level with a "bench" marker.
     base_kernel = baseline.get("kernel", baseline if "bench" in baseline else None)
-    if base_kernel is None:
+    if not isinstance(base_kernel, dict):
         fail(f"{args.baseline} has no kernel section")
     fresh_kernel = fresh.get("kernel")
-    if fresh_kernel is None:
+    if not isinstance(fresh_kernel, dict):
         fail(f"{args.fresh} has no kernel section — did the quick kernel bench run?")
 
     if fresh_kernel.get("hit_streams_identical") is not True:
         fail("fresh kernel run did not certify hit-stream identity")
 
-    base_cps = base_kernel["engine"]["columns_per_sec"]
-    fresh_cps = fresh_kernel["engine"]["columns_per_sec"]
-    floor = base_cps * (1.0 - tolerance)
-    verdict = "ok" if fresh_cps >= floor else "REGRESSION"
-    print(
-        f"bench gate: kernel engine columns/sec: fresh {fresh_cps:,.0f} vs "
-        f"baseline {base_cps:,.0f} (floor {floor:,.0f} at {tolerance:.0%} "
-        f"tolerance) -> {verdict}"
-    )
-    if fresh_cps < floor:
-        fail(
-            f"kernel columns/sec regressed more than {tolerance:.0%} "
-            f"({fresh_cps:,.0f} < {floor:,.0f})"
-        )
+    base_cps = number(base_kernel, "engine", "columns_per_sec")
+    fresh_cps = number(fresh_kernel, "engine", "columns_per_sec")
+    if fresh_cps is None:
+        fail("fresh kernel section has no engine.columns_per_sec — truncated run?")
+    if base_cps is None:
+        skip("kernel", "baseline engine.columns_per_sec")
+    else:
+        gate_throughput("kernel engine columns/sec", base_cps, fresh_cps, tolerance)
 
     # Informational: the engine-vs-reference speedup is machine-relative
     # and should be far more stable than absolute throughput.
-    base_speedup = base_kernel.get("speedup_columns_per_sec")
-    fresh_speedup = fresh_kernel.get("speedup_columns_per_sec")
+    base_speedup = number(base_kernel, "speedup_columns_per_sec")
+    fresh_speedup = number(fresh_kernel, "speedup_columns_per_sec")
     if base_speedup and fresh_speedup:
         print(
             f"bench gate: engine/reference speedup: fresh {fresh_speedup:.2f}x "
@@ -93,30 +153,27 @@ def main() -> None:
     # (they track the runner's memcpy speed more than the search).
     base_disk = baseline.get("disk")
     fresh_disk = fresh.get("disk")
-    if fresh_disk is not None:
+    if isinstance(fresh_disk, dict):
         if fresh_disk.get("hit_streams_identical") is not True:
             fail("fresh disk run did not certify Mem/Disk hit-stream identity")
-        if base_disk is not None:
-            base_cps = base_disk["position_indexed_warm"]["columns_per_sec"]
-            fresh_cps = fresh_disk["position_indexed_warm"]["columns_per_sec"]
-            floor = base_cps * (1.0 - tolerance)
-            verdict = "ok" if fresh_cps >= floor else "REGRESSION"
-            print(
-                f"bench gate: warm disk columns/sec (position-indexed): fresh "
-                f"{fresh_cps:,.0f} vs baseline {base_cps:,.0f} (floor "
-                f"{floor:,.0f} at {tolerance:.0%} tolerance) -> {verdict}"
-            )
-            if fresh_cps < floor:
-                fail(
-                    f"warm disk columns/sec regressed more than {tolerance:.0%} "
-                    f"({fresh_cps:,.0f} < {floor:,.0f})"
+        if isinstance(base_disk, dict):
+            base_cps = number(base_disk, "position_indexed_warm", "columns_per_sec")
+            fresh_cps = number(fresh_disk, "position_indexed_warm", "columns_per_sec")
+            if base_cps is None or fresh_cps is None:
+                skip("disk", "position_indexed_warm.columns_per_sec")
+            else:
+                gate_throughput(
+                    "warm disk columns/sec (position-indexed)",
+                    base_cps,
+                    fresh_cps,
+                    tolerance,
                 )
-            ratio = fresh_disk.get("disk_vs_mem_warm")
-            if ratio is not None:
-                print(
-                    f"bench gate: warm disk / mem throughput ratio: "
-                    f"{ratio:.2f}x (informational)"
-                )
+                ratio = number(fresh_disk, "disk_vs_mem_warm")
+                if ratio is not None:
+                    print(
+                        f"bench gate: warm disk / mem throughput ratio: "
+                        f"{ratio:.2f}x (informational)"
+                    )
 
     # Observability: the hooks-off run IS the shipped hot path (every
     # hook site is a single pointer compare on a None option), so it
@@ -125,54 +182,66 @@ def main() -> None:
     # hooks-on overhead and phase split are informational: they depend
     # on clock resolution and workload shape, not on correctness.
     fresh_obs = fresh.get("obs")
-    if fresh_obs is not None:
-        base_cps = base_kernel["engine"]["columns_per_sec"]
-        off_cps = fresh_obs["hooks_off"]["columns_per_sec"]
-        floor = base_cps * (1.0 - tolerance)
-        verdict = "ok" if off_cps >= floor else "REGRESSION"
-        print(
-            f"bench gate: hooks-off columns/sec: fresh {off_cps:,.0f} vs "
-            f"baseline kernel {base_cps:,.0f} (floor {floor:,.0f} at "
-            f"{tolerance:.0%} tolerance) -> {verdict}"
-        )
-        if off_cps < floor:
-            fail(
-                f"disabled-instrumentation columns/sec regressed more than "
-                f"{tolerance:.0%} ({off_cps:,.0f} < {floor:,.0f})"
+    if isinstance(fresh_obs, dict):
+        base_cps = number(base_kernel, "engine", "columns_per_sec")
+        off_cps = number(fresh_obs, "hooks_off", "columns_per_sec")
+        if base_cps is None or off_cps is None:
+            skip("obs", "hooks_off.columns_per_sec")
+        else:
+            gate_throughput(
+                "hooks-off columns/sec (vs baseline kernel)",
+                base_cps,
+                off_cps,
+                tolerance,
             )
-        overhead = fresh_obs.get("overhead_pct")
+        overhead = number(fresh_obs, "overhead_pct")
         if overhead is not None:
             print(
                 f"bench gate: hooks-on instrumentation overhead: "
                 f"{overhead:.1f}% (informational)"
             )
-        phases = fresh_obs.get("phases", {})
-        if phases:
-            split = ", ".join(
-                f"{name} {v['fraction']:.0%}"
-                for name, v in sorted(
-                    phases.items(), key=lambda kv: -kv[1]["fraction"]
+        phases = fresh_obs.get("phases")
+        if isinstance(phases, dict):
+            fractions = {
+                name: number(v, "fraction")
+                for name, v in phases.items()
+                if isinstance(v, dict)
+            }
+            fractions = {k: v for k, v in fractions.items() if v is not None}
+            if fractions:
+                split = ", ".join(
+                    f"{name} {frac:.0%}"
+                    for name, frac in sorted(
+                        fractions.items(), key=lambda kv: -kv[1]
+                    )
                 )
-            )
-            print(f"bench gate: phase split: {split}")
+                print(f"bench gate: phase split: {split}")
 
     fresh_scaling = fresh.get("scaling")
-    if fresh_scaling is not None:
+    if isinstance(fresh_scaling, dict):
         if fresh_scaling.get("hit_streams_match") is not True:
             fail("fresh scaling run did not certify hit-stream equality")
-        cores = fresh_scaling.get("cores", 1)
-        s2 = fresh_scaling.get("shards_2", {}).get("speedup")
+        cores = number(fresh_scaling, "cores") or 1
+        s2 = number(fresh_scaling, "shards_2", "speedup")
         if cores >= 2 and s2 is not None and not s2 > 1.0:
             fail(
                 f"scaling: 2-shard speedup {s2:.2f}x is not > 1.0 on a "
-                f"{cores}-core runner"
+                f"{cores:.0f}-core runner"
             )
-        summary = ", ".join(
-            f"{k[len('shards_'):]} shards: {v['speedup']:.2f}x"
+        shard_speedups = {
+            k[len("shards_") :]: number(v, "speedup")
             for k, v in sorted(fresh_scaling.items())
-            if k.startswith("shards_")
+            if k.startswith("shards_") and isinstance(v, dict)
+        }
+        summary = ", ".join(
+            f"{n} shards: {s:.2f}x"
+            for n, s in shard_speedups.items()
+            if s is not None
         )
-        print(f"bench gate: scaling on {cores} core(s): {summary}")
+        if summary:
+            print(f"bench gate: scaling on {cores:.0f} core(s): {summary}")
+        else:
+            skip("scaling", "shards_*.speedup")
 
     # Incremental (log-structured) index: the merged {segments ∪ tail}
     # search must agree with the monolithic engine — a hard failure at
@@ -180,23 +249,22 @@ def main() -> None:
     # path is dominated by tail-tree maintenance, which the kernel gate
     # already covers.
     fresh_inc = fresh.get("incremental")
-    if fresh_inc is not None:
+    if isinstance(fresh_inc, dict):
         if fresh_inc.get("hit_streams_match") is not True:
             fail(
                 "fresh incremental run did not certify merged-vs-monolithic "
                 "hit-stream equality"
             )
-        append = fresh_inc.get("append", {})
-        reopen = fresh_inc.get("reopen", {})
-        search = fresh_inc.get("search", {})
         print(
             f"bench gate: incremental: append "
-            f"{append.get('symbols_per_sec', 0):,.0f} symbols/sec "
-            f"({append.get('segments', '?')} segments + "
-            f"{append.get('tail_sequences', '?')} tail), reopen "
-            f"{reopen.get('wall_s', 0):.3f}s "
-            f"({reopen.get('records_replayed', '?')} records replayed), "
-            f"merged/mono search {search.get('merged_vs_mono', 0):.2f}x "
+            f"{number(fresh_inc, 'append', 'symbols_per_sec') or 0:,.0f} "
+            f"symbols/sec "
+            f"({lookup(fresh_inc, 'append', 'segments') or '?'} segments + "
+            f"{lookup(fresh_inc, 'append', 'tail_sequences') or '?'} tail), "
+            f"reopen {number(fresh_inc, 'reopen', 'wall_s') or 0:.3f}s "
+            f"({lookup(fresh_inc, 'reopen', 'records_replayed') or '?'} "
+            f"records replayed), merged/mono search "
+            f"{number(fresh_inc, 'search', 'merged_vs_mono') or 0:.2f}x "
             f"(informational)"
         )
 
@@ -210,8 +278,10 @@ def main() -> None:
     # informationally since the baseline wall times there are too short
     # to ratio reliably.
     base_batch = baseline.get("batch")
+    if not isinstance(base_batch, dict):
+        base_batch = None
     fresh_batch = fresh.get("batch")
-    if fresh_batch is not None:
+    if isinstance(fresh_batch, dict):
         if fresh_batch.get("hit_streams_identical") is not True:
             fail(
                 "fresh batch run did not certify fused-vs-single hit-stream "
@@ -223,20 +293,14 @@ def main() -> None:
         ):
             if base_batch is None or section not in base_batch:
                 continue
-            base_cps = base_batch[section]["virtual_columns_per_sec"]
-            fresh_cps = fresh_batch[section]["virtual_columns_per_sec"]
-            floor = base_cps * (1.0 - tolerance)
-            verdict = "ok" if fresh_cps >= floor else "REGRESSION"
-            print(
-                f"bench gate: {label} virtual columns/sec: fresh "
-                f"{fresh_cps:,.0f} vs baseline {base_cps:,.0f} (floor "
-                f"{floor:,.0f} at {tolerance:.0%} tolerance) -> {verdict}"
+            base_cps = number(base_batch, section, "virtual_columns_per_sec")
+            fresh_cps = number(fresh_batch, section, "virtual_columns_per_sec")
+            if base_cps is None or fresh_cps is None:
+                skip("batch", f"{section}.virtual_columns_per_sec")
+                continue
+            gate_throughput(
+                f"{label} virtual columns/sec", base_cps, fresh_cps, tolerance
             )
-            if fresh_cps < floor:
-                fail(
-                    f"{label} throughput regressed more than {tolerance:.0%} "
-                    f"({fresh_cps:,.0f} < {floor:,.0f})"
-                )
         for name, batch, full in (
             ("baseline", base_batch, base_batch is not None
              and batch_is_full(base_batch)),
@@ -244,7 +308,7 @@ def main() -> None:
         ):
             if batch is None:
                 continue
-            speedup = batch.get("disk_warm_fused_speedup")
+            speedup = number(batch, "disk_warm_fused_speedup")
             if speedup is None:
                 continue
             if full:
@@ -263,13 +327,36 @@ def main() -> None:
                     f"bench gate: {name} warm-disk fused speedup: "
                     f"{speedup:.2f}x (quick run, informational)"
                 )
-        mem_speedup = fresh_batch.get("mem_fused_speedup")
+        mem_speedup = number(fresh_batch, "mem_fused_speedup")
         if mem_speedup is not None:
             print(
                 f"bench gate: fresh mem fused speedup: {mem_speedup:.2f}x, "
                 f"physical sweep reduction "
-                f"{fresh_batch.get('physical_sweep_reduction', 0):.2f}x "
+                f"{number(fresh_batch, 'physical_sweep_reduction') or 0:.2f}x "
                 f"(informational)"
+            )
+
+    # Serving layer: the daemon must stream bit-identical hits to the
+    # direct engine (hard failure); latency/throughput numbers are
+    # informational — they measure socket + framing overhead on top of
+    # the engine, which the kernel gate already covers.
+    fresh_serve = fresh.get("serve")
+    if isinstance(fresh_serve, dict):
+        if fresh_serve.get("hit_streams_identical") is not True:
+            fail(
+                "fresh serve run did not certify daemon-vs-engine hit-stream "
+                "identity"
+            )
+        p50 = number(fresh_serve, "sequential", "latency_us_p50")
+        p99 = number(fresh_serve, "sequential", "latency_us_p99")
+        rps = number(fresh_serve, "concurrent", "requests_per_sec")
+        if p50 is None or p99 is None:
+            skip("serve", "sequential.latency_us_p50/p99")
+        else:
+            print(
+                f"bench gate: serve: request latency p50 {p50:,.0f} us / "
+                f"p99 {p99:,.0f} us, concurrent "
+                f"{rps or 0:,.1f} req/s (informational)"
             )
 
     print("bench gate: PASS")
