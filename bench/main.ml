@@ -41,6 +41,19 @@ let env_float name default =
   match Sys.getenv_opt name with Some v -> float_of_string v | None -> default
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
+
+(* --suffix=_tag appends to every JSON section name this run writes:
+   the flambda CI leg records its kernel numbers as "kernel_flambda_O3"
+   without clobbering the default-toolchain baseline. *)
+let section_suffix =
+  Array.fold_left
+    (fun acc a ->
+      let p = "--suffix=" in
+      if String.length a > String.length p
+         && String.sub a 0 (String.length p) = p
+      then String.sub a (String.length p) (String.length a - String.length p)
+      else acc)
+    "" Sys.argv
 let db_symbols = env_int "OASIS_BENCH_DB" (if quick then 60_000 else 300_000)
 let queries_per_length = env_int "OASIS_BENCH_QPL" (if quick then 2 else 5)
 let seed = env_int "OASIS_BENCH_SEED" 2003
@@ -64,6 +77,9 @@ let imean xs = mean (List.map float_of_int xs)
 type setup = {
   db : Bioseq.Database.t;
   tree : Suffix_tree.Tree.t;
+  packed : Suffix_tree.Packed.t Lazy.t;
+      (** flat image of [tree]; the engine side of the throughput
+          experiments searches this representation *)
   matrix : Scoring.Submat.t;
   gap : Scoring.Gap.t;
   params : Scoring.Karlin.params;
@@ -111,7 +127,16 @@ let make_setup () =
   let params =
     Scoring.Karlin.estimate ~matrix ~freqs:Scoring.Background.robinson_robinson ()
   in
-  { db; tree; matrix; gap = Scoring.Gap.linear 10; params; rng; ancestors }
+  {
+    db;
+    tree;
+    packed = lazy (Suffix_tree.Packed.of_tree tree);
+    matrix;
+    gap = Scoring.Gap.linear 10;
+    params;
+    rng;
+    ancestors;
+  }
 
 let query_lengths = [ 6; 8; 10; 12; 16; 20; 26; 34; 44; 56 ]
 
@@ -158,6 +183,18 @@ let min_score_for setup ~query ~evalue =
     ~m:(Bioseq.Sequence.length query)
     ~n:(Bioseq.Database.total_symbols setup.db)
     ~evalue:(scaled_evalue setup evalue)
+
+(* The scored job list shared by the kernel / obs / disk / edit / serve
+   experiments: every workload query paired with its scaled-E score
+   threshold. [max_len] drops the longest length buckets for
+   experiments whose baseline side cannot afford them. *)
+let scored_jobs ?max_len ?(evalue = 20000.) setup =
+  List.concat_map
+    (fun (len, qs) ->
+      match max_len with
+      | Some l when len > l -> []
+      | _ -> List.map (fun q -> (q, min_score_for setup ~query:q ~evalue)) qs)
+    (workload setup)
 
 let run_oasis setup ~query ~evalue =
   let min_score = min_score_for setup ~query ~evalue in
@@ -1039,6 +1076,91 @@ let quasar_exp setup =
     [ 8; 12; 16; 26 ];
   print_newline ()
 
+let bench_json_path = "BENCH_oasis.json"
+
+(* BENCH_oasis.json holds one top-level object per experiment:
+   {"kernel": {..}, "scaling": {..}}. Each experiment rewrites only its
+   own section so a kernel rerun does not clobber scaling numbers and
+   vice versa. There is no JSON library in the tree; since none of our
+   values are strings containing braces, brace matching is a complete
+   parser for the file we ourselves write. *)
+
+let read_whole path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Some s
+  end
+
+let contains_substring text sub =
+  let n = String.length text and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let parse_bench_sections text =
+  let n = String.length text in
+  let sections = ref [] in
+  let i = ref 0 in
+  while !i < n && text.[!i] <> '{' do incr i done;
+  incr i;
+  (try
+     while !i < n do
+       while !i < n && text.[!i] <> '"' && text.[!i] <> '}' do incr i done;
+       if !i >= n || text.[!i] = '}' then raise Exit;
+       let k0 = !i + 1 in
+       i := k0;
+       while !i < n && text.[!i] <> '"' do incr i done;
+       let key = String.sub text k0 (!i - k0) in
+       incr i;
+       while !i < n && text.[!i] <> '{' do incr i done;
+       if !i >= n then raise Exit;
+       let b0 = !i in
+       let depth = ref 0 and fin = ref (-1) in
+       let j = ref b0 in
+       while !fin < 0 && !j < n do
+         (match text.[!j] with
+         | '{' -> incr depth
+         | '}' ->
+           decr depth;
+           if !depth = 0 then fin := !j
+         | _ -> ());
+         incr j
+       done;
+       if !fin < 0 then raise Exit;
+       sections := (key, String.sub text b0 (!fin - b0 + 1)) :: !sections;
+       i := !fin + 1
+     done
+   with Exit -> ());
+  List.rev !sections
+
+let update_bench_section name body =
+  let name = name ^ section_suffix in
+  let sections =
+    match read_whole bench_json_path with
+    | None -> []
+    (* The pre-section flat format carried a "bench" marker key; start
+       fresh rather than misparse it. *)
+    | Some text when contains_substring text "\"bench\":" -> []
+    | Some text -> parse_bench_sections text
+  in
+  let sections =
+    if List.mem_assoc name sections then
+      List.map (fun (k, v) -> (k, if k = name then body else v)) sections
+    else sections @ [ (name, body) ]
+  in
+  let oc = open_out bench_json_path in
+  output_string oc "{\n";
+  let last = List.length sections - 1 in
+  List.iteri
+    (fun idx (k, v) ->
+      Printf.fprintf oc "  \"%s\": %s%s\n" k v (if idx < last then "," else ""))
+    sections;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "  wrote %s section %S\n\n" bench_json_path name
+
 (* ------------------------------------------------------------------ *)
 (* Edit-distance search (§5): how loosely does it track score search?   *)
 (* ------------------------------------------------------------------ *)
@@ -1098,6 +1220,74 @@ let edit_exp setup =
             /. float_of_int (max 1 !edit_total)))
         [ 1; 2; 3 ])
     [ 12; 16 ];
+  (* Kernel race: the bit-parallel Myers kernel vs the scalar DP row
+     oracle it is specified against, on the shared workload queries.
+     Hits and stats are asserted identical before anything is timed —
+     a stream mismatch is a correctness bug, not a slow run. *)
+  let queries = List.map fst (scored_jobs setup) in
+  let k = 2 in
+  let reps = if quick then 1 else 3 in
+  List.iter
+    (fun query ->
+      let bp =
+        Oasis.Edit_search.Mem.search ~source:setup.tree ~db:setup.db ~query
+          ~max_diffs:k
+      and dp =
+        Oasis.Edit_search.Mem.search_dp ~source:setup.tree ~db:setup.db ~query
+          ~max_diffs:k
+      in
+      if bp <> dp then
+        failwith
+          (Printf.sprintf
+             "edit bench: bit-parallel kernel diverged from the DP oracle on \
+              %s"
+             (Bioseq.Sequence.id query)))
+    queries;
+  Printf.printf "  kernel race: hit streams identical on all %d queries (k=%d)\n%!"
+    (List.length queries) k;
+  let measure search =
+    let rows = ref 0 in
+    let _, wall =
+      time (fun () ->
+          for _rep = 1 to reps do
+            List.iter
+              (fun query ->
+                let _, stats =
+                  search ~source:setup.tree ~db:setup.db ~query ~max_diffs:k
+                in
+                rows := !rows + stats.Oasis.Edit_search.rows_computed)
+              queries
+          done)
+    in
+    (wall, !rows)
+  in
+  let dp_wall, dp_rows = measure Oasis.Edit_search.Mem.search_dp in
+  let bp_wall, bp_rows = measure Oasis.Edit_search.Mem.search in
+  let per_sec n w = float_of_int n /. max 1e-9 w in
+  let speedup = per_sec bp_rows bp_wall /. per_sec dp_rows dp_wall in
+  Printf.printf "  %-12s %10.3fs  %12.0f rows/s\n" "dp-oracle" dp_wall
+    (per_sec dp_rows dp_wall);
+  Printf.printf "  %-12s %10.3fs  %12.0f rows/s\n" "bit-parallel" bp_wall
+    (per_sec bp_rows bp_wall);
+  Printf.printf "  speedup: %.2fx rows/sec\n" speedup;
+  update_bench_section "edit"
+    (Printf.sprintf
+       "{\n\
+       \    \"quick\": %b,\n\
+       \    \"db_symbols\": %d,\n\
+       \    \"queries\": %d,\n\
+       \    \"reps\": %d,\n\
+       \    \"max_diffs\": %d,\n\
+       \    \"hit_streams_identical\": true,\n\
+       \    \"dp\": { \"wall_s\": %.6f, \"rows\": %d, \"rows_per_sec\": %.1f },\n\
+       \    \"bitparallel\": { \"wall_s\": %.6f, \"rows\": %d, \"rows_per_sec\": %.1f },\n\
+       \    \"speedup_rows_per_sec\": %.3f\n\
+       \  }"
+       quick db_symbols (List.length queries) reps k dp_wall dp_rows
+       (per_sec dp_rows dp_wall)
+       bp_wall bp_rows
+       (per_sec bp_rows bp_wall)
+       speedup);
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -1224,89 +1414,6 @@ let micro _setup =
 (* machine-readable BENCH_oasis.json for CI trend tracking.             *)
 (* ------------------------------------------------------------------ *)
 
-let bench_json_path = "BENCH_oasis.json"
-
-(* BENCH_oasis.json holds one top-level object per experiment:
-   {"kernel": {..}, "scaling": {..}}. Each experiment rewrites only its
-   own section so a kernel rerun does not clobber scaling numbers and
-   vice versa. There is no JSON library in the tree; since none of our
-   values are strings containing braces, brace matching is a complete
-   parser for the file we ourselves write. *)
-
-let read_whole path =
-  if not (Sys.file_exists path) then None
-  else begin
-    let ic = open_in_bin path in
-    let s = really_input_string ic (in_channel_length ic) in
-    close_in ic;
-    Some s
-  end
-
-let contains_substring text sub =
-  let n = String.length text and m = String.length sub in
-  let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
-  m = 0 || go 0
-
-let parse_bench_sections text =
-  let n = String.length text in
-  let sections = ref [] in
-  let i = ref 0 in
-  while !i < n && text.[!i] <> '{' do incr i done;
-  incr i;
-  (try
-     while !i < n do
-       while !i < n && text.[!i] <> '"' && text.[!i] <> '}' do incr i done;
-       if !i >= n || text.[!i] = '}' then raise Exit;
-       let k0 = !i + 1 in
-       i := k0;
-       while !i < n && text.[!i] <> '"' do incr i done;
-       let key = String.sub text k0 (!i - k0) in
-       incr i;
-       while !i < n && text.[!i] <> '{' do incr i done;
-       if !i >= n then raise Exit;
-       let b0 = !i in
-       let depth = ref 0 and fin = ref (-1) in
-       let j = ref b0 in
-       while !fin < 0 && !j < n do
-         (match text.[!j] with
-         | '{' -> incr depth
-         | '}' ->
-           decr depth;
-           if !depth = 0 then fin := !j
-         | _ -> ());
-         incr j
-       done;
-       if !fin < 0 then raise Exit;
-       sections := (key, String.sub text b0 (!fin - b0 + 1)) :: !sections;
-       i := !fin + 1
-     done
-   with Exit -> ());
-  List.rev !sections
-
-let update_bench_section name body =
-  let sections =
-    match read_whole bench_json_path with
-    | None -> []
-    (* The pre-section flat format carried a "bench" marker key; start
-       fresh rather than misparse it. *)
-    | Some text when contains_substring text "\"bench\":" -> []
-    | Some text -> parse_bench_sections text
-  in
-  let sections =
-    if List.mem_assoc name sections then
-      List.map (fun (k, v) -> (k, if k = name then body else v)) sections
-    else sections @ [ (name, body) ]
-  in
-  let oc = open_out bench_json_path in
-  output_string oc "{\n";
-  let last = List.length sections - 1 in
-  List.iteri
-    (fun idx (k, v) ->
-      Printf.fprintf oc "  \"%s\": %s%s\n" k v (if idx < last then "," else ""))
-    sections;
-  output_string oc "}\n";
-  close_out oc;
-  Printf.printf "  wrote %s section %S\n\n" bench_json_path name
 
 let same_hit (a : Oasis.Hit.t) (b : Oasis.Hit.t) =
   a.Oasis.Hit.seq_index = b.Oasis.Hit.seq_index
@@ -1330,12 +1437,7 @@ let kernel setup =
   print_endline
     "== Kernel: pooled engine vs reference implementation (protein workload, \
      E=20000)";
-  let queries = List.concat_map snd (workload setup) in
-  let jobs =
-    List.map
-      (fun q -> (q, min_score_for setup ~query:q ~evalue:20000.))
-      queries
-  in
+  let jobs = scored_jobs setup in
   let reps = if quick then 1 else 3 in
   Printf.printf "  %d queries x %d reps%s\n%!" (List.length jobs) reps
     (if quick then " (--quick)" else "");
@@ -1347,8 +1449,12 @@ let kernel setup =
       let cfg =
         Oasis.Engine.config ~matrix:setup.matrix ~gap:setup.gap ~min_score ()
       in
-      let e = Oasis.Engine.Mem.create ~source:setup.tree ~db:setup.db ~query cfg in
-      let eh = Oasis.Engine.Mem.run e in
+      let e =
+        Oasis.Engine.Packed.create
+          ~source:(Lazy.force setup.packed)
+          ~db:setup.db ~query cfg
+      in
+      let eh = Oasis.Engine.Packed.run e in
       let r =
         Oasis.Reference.Mem.create ~source:setup.tree ~db:setup.db ~query cfg
       in
@@ -1359,7 +1465,7 @@ let kernel setup =
              "kernel bench: hit stream diverged from reference on %s"
              (Bioseq.Sequence.id query));
       if
-        (Oasis.Engine.Mem.counters e).Oasis.Engine.columns
+        (Oasis.Engine.Packed.counters e).Oasis.Engine.columns
         <> Oasis.Reference.Mem.columns r
       then
         failwith
@@ -1367,9 +1473,12 @@ let kernel setup =
              (Bioseq.Sequence.id query)))
     jobs;
   Printf.printf "  hit streams identical on all %d queries\n%!" (List.length jobs);
+  let b_reused = ref 0 and b_recomputed = ref 0 in
   let measure_engine () =
     let columns = ref 0 and expanded = ref 0 in
     let peak_pool = ref 0 and reused = ref 0 in
+    b_reused := 0;
+    b_recomputed := 0;
     let words0 = Gc.minor_words () in
     let t0 = Unix.gettimeofday () in
     for _rep = 1 to reps do
@@ -1379,14 +1488,19 @@ let kernel setup =
             Oasis.Engine.config ~matrix:setup.matrix ~gap:setup.gap ~min_score ()
           in
           let e =
-            Oasis.Engine.Mem.create ~source:setup.tree ~db:setup.db ~query cfg
+            Oasis.Engine.Packed.create
+              ~source:(Lazy.force setup.packed)
+              ~db:setup.db ~query cfg
           in
-          ignore (Oasis.Engine.Mem.run e);
-          let c = Oasis.Engine.Mem.counters e in
+          ignore (Oasis.Engine.Packed.run e);
+          let c = Oasis.Engine.Packed.counters e in
           columns := !columns + c.Oasis.Engine.columns;
           expanded := !expanded + c.Oasis.Engine.nodes_expanded;
           peak_pool := max !peak_pool c.Oasis.Engine.pool_peak_bytes;
-          reused := !reused + c.Oasis.Engine.pool_reused)
+          reused := !reused + c.Oasis.Engine.pool_reused;
+          let br, bc = Oasis.Engine.Packed.bound_stats e in
+          b_reused := !b_reused + br;
+          b_recomputed := !b_recomputed + bc)
         jobs
     done;
     {
@@ -1452,6 +1566,13 @@ let kernel setup =
     "  speedup: %.2fx columns/sec   allocation: %.1fx fewer minor words/col   \
      peak pool: %d bytes\n"
     speedup words_ratio engine.k_peak_pool_bytes;
+  Printf.printf
+    "  pre-DP bound: %d arcs reused (%.1f%%), %d recomputed\n"
+    !b_reused
+    (100.
+    *. float_of_int !b_reused
+    /. float_of_int (max 1 (!b_reused + !b_recomputed)))
+    !b_recomputed;
   let side name s =
     Printf.sprintf
       "    \"%s\": {\n\
@@ -1482,13 +1603,15 @@ let kernel setup =
        \    \"hit_streams_identical\": true,\n\
         %s,\n\
         %s,\n\
+       \    \"bound_reused\": %d,\n\
+       \    \"bound_recomputed\": %d,\n\
        \    \"speedup_columns_per_sec\": %.3f,\n\
        \    \"minor_words_reduction\": %.2f\n\
        \  }"
        quick db_symbols (List.length jobs) reps seed
        (side "reference" reference)
        (side "engine" engine)
-       speedup words_ratio)
+       !b_reused !b_recomputed speedup words_ratio)
 
 (* ------------------------------------------------------------------ *)
 (* Obs: instrumentation cost on the kernel workload. Hooks off is the  *)
@@ -1500,14 +1623,9 @@ let kernel setup =
 
 let obs_exp setup =
   print_endline
-    "== Obs: instrumentation overhead (kernel workload; hooks off vs an \
-     attached Instrument, no trace sink)";
-  let queries = List.concat_map snd (workload setup) in
-  let jobs =
-    List.map
-      (fun q -> (q, min_score_for setup ~query:q ~evalue:20000.))
-      queries
-  in
+    "== Obs: instrumentation overhead (kernel workload over the packed \
+     source; hooks off vs an attached Instrument, no trace sink)";
+  let jobs = scored_jobs setup in
   let reps = if quick then 1 else 3 in
   Printf.printf "  %d queries x %d reps%s\n%!" (List.length jobs) reps
     (if quick then " (--quick)" else "");
@@ -1522,12 +1640,14 @@ let obs_exp setup =
               ()
           in
           let e =
-            Oasis.Engine.Mem.create ~source:setup.tree ~db:setup.db ~query cfg
+            Oasis.Engine.Packed.create
+              ~source:(Lazy.force setup.packed)
+              ~db:setup.db ~query cfg
           in
-          Oasis.Engine.Mem.set_instrument e inst;
-          ignore (Oasis.Engine.Mem.run e);
+          Oasis.Engine.Packed.set_instrument e inst;
+          ignore (Oasis.Engine.Packed.run e);
           columns :=
-            !columns + (Oasis.Engine.Mem.counters e).Oasis.Engine.columns)
+            !columns + (Oasis.Engine.Packed.counters e).Oasis.Engine.columns)
         jobs
     done;
     (Unix.gettimeofday () -. t0, !columns)
@@ -1604,14 +1724,7 @@ let disk_exp setup =
      experiment exists to track — dominate the wall clock instead of
      being noise under the kernel's compute. The kernel experiment
      covers the compute-bound end. *)
-  let queries =
-    List.concat_map
-      (fun (len, qs) -> if len <= 12 then qs else [])
-      (workload setup)
-  in
-  let jobs =
-    List.map (fun q -> (q, min_score_for setup ~query:q ~evalue:20000.)) queries
-  in
+  let jobs = scored_jobs ~max_len:12 setup in
   let reps = if quick then 1 else 3 in
   Printf.printf "  %d queries x %d reps%s\n%!" (List.length jobs) reps
     (if quick then " (--quick)" else "");
@@ -2451,10 +2564,7 @@ let serve_exp setup =
       Serve.Server.stop server;
       Domain.join daemon)
   @@ fun () ->
-  let queries = List.concat_map snd (workload setup) in
-  let jobs =
-    List.map (fun q -> (q, min_score_for setup ~query:q ~evalue:100.)) queries
-  in
+  let jobs = scored_jobs ~evalue:100. setup in
   let wire_of (query, min_score) =
     {
       Serve.Protocol.query = Bioseq.Sequence.to_string query;
@@ -2603,7 +2713,11 @@ let experiments =
 let () =
   let requested =
     match
-      List.filter (fun a -> a <> "--quick") (List.tl (Array.to_list Sys.argv))
+      List.filter
+        (fun a ->
+          a <> "--quick"
+          && not (String.length a >= 9 && String.sub a 0 9 = "--suffix="))
+        (List.tl (Array.to_list Sys.argv))
     with
     | [] -> if quick then [ "kernel" ] else List.map fst experiments
     | names -> names

@@ -165,13 +165,18 @@ module Make (S : Source.S) = struct
     s_cols : int array;
     s_state : int array;  (** 0 live, 1 pruned, 2 exact, 3 inactive *)
     mutable nlive : int;  (** lanes still viable after an arc walk *)
-    (* Arc-label memo: symbols fetched from the source on first demand
-       and replayed for the remaining lanes, so k lanes walking the
-       same arc pay one fetch per column. [-1] encodes the
-       terminator. *)
+    (* Arc-label memo: symbols fetched from the source in chunks (one
+       [S.blit_symbols] dispatch per [sym_chunk] run) and replayed for
+       every lane, so k lanes walking the same arc pay one decoded
+       fetch per column. [-1] encodes the terminator. [sb_n] counts the
+       symbols some lane actually {e demanded} — the physical-column
+       accounting reads it, so prefetching ahead of demand must not
+       touch it. *)
     mutable sym_buf : int array;
-    mutable sb_n : int;  (** symbols memoized for the current arc *)
+    mutable sb_n : int;  (** symbols demanded for the current arc *)
+    mutable sb_fetched : int;  (** symbols buffered for the current arc *)
     mutable sb_idx : int;  (** next source position for the current arc *)
+    mutable sb_stop : int;  (** arc label end (exclusive) *)
     (* Expansion scratch: packed replay facts in append (= child) order,
        rebucketed per lane by a stable counting sort at the end of each
        [pexpand]. *)
@@ -222,27 +227,36 @@ module Make (S : Source.S) = struct
       || m >= Array.length t.fhs.(q)
     then invalid_arg "Oasis.Batch_kernel: kernel index range violation"
 
+  let sym_chunk = 32
+
   (* Next symbol of the current arc label, memoized across lanes: the
-     first lane that reaches column [i] fetches it from the source; the
-     others replay the buffer. Only called with [i <= sb_n], and only
-     while some lane is still live, so the fetch count equals the
-     column sweeps a fused traversal would run — each arc symbol is
-     decoded once per batch, never once per query. *)
+     first lane that reaches column [i] triggers a chunked refill (one
+     [S.blit_symbols] dispatch per [sym_chunk] label run); every other
+     lane replays the buffer. Only called with [i <= sb_n] and
+     [i < sb_stop - label start], and only while some lane is still
+     live. [sb_n] tracks demand, not the refill: the physical-column
+     accounting stays exactly the column sweeps a fused traversal
+     would run, however far the chunk prefetched. *)
   let arc_sym t i =
-    if i < t.sb_n then Array.unsafe_get t.sym_buf i
-    else begin
-      let c = S.symbol t.source t.sb_idx in
-      t.sb_idx <- t.sb_idx + 1;
-      let c = if c = t.term then -1 else c in
-      if t.sb_n = Array.length t.sym_buf then begin
-        let bigger = Array.make (2 * t.sb_n) 0 in
-        Array.blit t.sym_buf 0 bigger 0 t.sb_n;
+    if i >= t.sb_fetched then begin
+      let len = min sym_chunk (t.sb_stop - t.sb_idx) in
+      if t.sb_fetched + len > Array.length t.sym_buf then begin
+        let bigger =
+          Array.make (max (2 * Array.length t.sym_buf) (t.sb_fetched + len)) 0
+        in
+        Array.blit t.sym_buf 0 bigger 0 t.sb_fetched;
         t.sym_buf <- bigger
       end;
-      t.sym_buf.(t.sb_n) <- c;
-      t.sb_n <- t.sb_n + 1;
-      c
-    end
+      S.blit_symbols t.source ~pos:t.sb_idx ~len t.sym_buf t.sb_fetched;
+      for k = t.sb_fetched to t.sb_fetched + len - 1 do
+        if Array.unsafe_get t.sym_buf k = t.term then
+          Array.unsafe_set t.sym_buf k (-1)
+      done;
+      t.sb_idx <- t.sb_idx + len;
+      t.sb_fetched <- t.sb_fetched + len
+    end;
+    if i >= t.sb_n then t.sb_n <- i + 1;
+    Array.unsafe_get t.sym_buf i
 
   (* Walk the current arc (up to [maxc] memoized columns) for one lane:
      per column this is the engine's linear cell cascade verbatim, with
@@ -485,7 +499,9 @@ module Make (S : Source.S) = struct
     let ms1 = t.min_score - 1 in
     let maxc = stop - start in
     t.sb_n <- 0;
+    t.sb_fetched <- 0;
     t.sb_idx <- start;
+    t.sb_stop <- stop;
     (* The child slot: needed iff some lane will run a column, i.e. the
        label is non-empty and does not open with the terminator. *)
     let slot0 =
@@ -1042,7 +1058,9 @@ module Make (S : Source.S) = struct
         nlive = 0;
         sym_buf = Array.make 64 0;
         sb_n = 0;
+        sb_fetched = 0;
         sb_idx = 0;
+        sb_stop = 0;
         fb_lane = Array.make 64 0;
         fb_code = Array.make 64 0;
         fb_n = 0;

@@ -58,6 +58,22 @@ let reserve t slots =
     t.cap <- slots
   end
 
+(* Guarantee the next [n] acquisitions reuse or slice the current
+   backing store without growing it. The blocked engine calls this once
+   per sibling block so it can hoist [data t] (and the parent's offset)
+   out of the per-child loop: [grow] replaces the array, which would
+   invalidate the hoisted pointer mid-block. *)
+let ensure_free t n =
+  let avail = t.free_top + (t.cap - t.next_fresh) in
+  if avail < n then begin
+    let need = t.next_fresh + (n - t.free_top) in
+    let ncap = max need (max 8 (2 * t.cap)) in
+    let ndata = Array.make (ncap * t.width) 0 in
+    Array.blit t.data 0 ndata 0 (t.cap * t.width);
+    t.data <- ndata;
+    t.cap <- ncap
+  end
+
 let acquire t =
   t.acquired <- t.acquired + 1;
   t.live <- t.live + 1;

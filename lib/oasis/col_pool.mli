@@ -43,6 +43,14 @@ val reserve : t -> int -> unit
     would copy the entire arena several times during the first
     expansions. No-op when the pool is already that large. *)
 
+val ensure_free : t -> int -> unit
+(** [ensure_free t n] grows the backing store just enough that the next
+    [n] {!acquire}s are served without reallocating it — so a caller
+    may hoist {!data} across a run of acquisitions (the blocked engine
+    reserves one sibling block's worth of slots up front). Amortized
+    doubling; no-op when [n] released or fresh slots are already
+    available. *)
+
 val acquire : t -> int
 (** Hand out a slot id, recycling a released slot when one is free and
     growing the backing store (amortized doubling) otherwise. Slot

@@ -1,11 +1,66 @@
 type hit = { seq_index : int; edits : int; target_stop : int }
 type stats = { nodes_visited : int; rows_computed : int }
 
+(* Bit-parallel word geometry. OCaml's native int carries 63 usable
+   bits; packing 62 query positions per word leaves the top bit free as
+   carry space, so the Myers/Hyyro? carry-save addition
+   [(Eq land Pv) + Pv] can never overflow into undefined territory —
+   the wrap at 2^63 is well defined and its low 62 bits are exact. *)
+let wbits = 62
+
+(* Lazy 65536-entry table over one (Pv byte, Mv byte) pair: packed
+   [(byte_delta_sum + 8) lsl 4 lor (- byte_min_prefix)]. Scanning a
+   column's delta words byte by byte through this table recovers the
+   exact column minimum — the DP prune needs it, and the bit vectors
+   only carry cell-to-cell deltas. *)
+let delta_tbl =
+  lazy
+    (let t = Array.make 65536 0 in
+     for pb = 0 to 255 do
+       for mb = 0 to 255 do
+         let sum = ref 0 and mn = ref 0 in
+         for b = 0 to 7 do
+           if pb land (1 lsl b) <> 0 then incr sum
+           else if mb land (1 lsl b) <> 0 then decr sum;
+           if !sum < !mn then mn := !sum
+         done;
+         t.((pb lsl 8) lor mb) <- ((!sum + 8) lsl 4) lor (- !mn)
+       done
+     done;
+     t)
+
 module Make (S : Source.S) = struct
-  let search ~source ~db ~query ~max_diffs =
+  (* Shared tail: turn the per-sequence best tables into the sorted hit
+     list both kernels return. *)
+  let assemble best best_stop nodes_visited rows_computed =
+    let hits = ref [] in
+    Array.iteri
+      (fun seq_index edits ->
+        if edits < max_int then
+          hits :=
+            { seq_index; edits; target_stop = best_stop.(seq_index) } :: !hits)
+      best;
+    let hits =
+      List.sort
+        (fun a b ->
+          if a.edits <> b.edits then Int.compare a.edits b.edits
+          else Int.compare a.seq_index b.seq_index)
+        !hits
+    in
+    (hits, { nodes_visited; rows_computed })
+
+  let check_args ~query ~max_diffs =
     if max_diffs < 0 then invalid_arg "Edit_search.search: max_diffs < 0";
+    if Bioseq.Sequence.length query = 0 then
+      invalid_arg "Edit_search.search: empty query"
+
+  (* The scalar DP row kernel: one O(m) row per path symbol. Kept as
+     the executable specification — [search] must match its hits and
+     stats bit for bit (property-tested, and asserted outright under
+     [OASIS_CHECKED_KERNEL=1]). *)
+  let search_dp ~source ~db ~query ~max_diffs =
+    check_args ~query ~max_diffs;
     let m = Bioseq.Sequence.length query in
-    if m = 0 then invalid_arg "Edit_search.search: empty query";
     let q = Bioseq.Sequence.codes query in
     let term = S.terminator source in
     let max_depth = m + max_diffs in
@@ -71,26 +126,142 @@ module Make (S : Source.S) = struct
     let row0 = Array.init (m + 1) Fun.id in
     (* Row 0 must itself be within budget for an empty path; matches of
        the whole query with depth 0 are only possible when m <= k. *)
-    if row0.(m) <= max_diffs then
-      report (S.root source) 0 row0.(m);
+    if row0.(m) <= max_diffs then report (S.root source) 0 row0.(m);
     List.iter
       (fun child -> visit child row0 0)
       (S.children source (S.root source));
-    let hits = ref [] in
-    Array.iteri
-      (fun seq_index edits ->
-        if edits < max_int then
-          hits :=
-            { seq_index; edits; target_stop = best_stop.(seq_index) } :: !hits)
-      best;
-    let hits =
-      List.sort
-        (fun a b ->
-          if a.edits <> b.edits then Int.compare a.edits b.edits
-          else Int.compare a.seq_index b.seq_index)
-        !hits
+    assemble best best_stop !nodes_visited !rows_computed
+
+  (* Myers/Hyyro? bit-parallel kernel: the DP row lives as per-word
+     (Pv, Mv) delta vectors, one row update costs O(m / 62) word
+     operations, and the exact row minimum (the prune test needs it)
+     comes from a byte-table scan of the deltas. Control flow mirrors
+     [search_dp] exactly — same visits, same per-symbol row count, same
+     report-before-prune order — so hits and stats are bit-identical. *)
+  let search_bp ~source ~db ~query ~max_diffs =
+    check_args ~query ~max_diffs;
+    let m = Bioseq.Sequence.length query in
+    let q = Bioseq.Sequence.codes query in
+    let term = S.terminator source in
+    let max_depth = m + max_diffs in
+    let best = Array.make (Bioseq.Database.num_sequences db) max_int in
+    let best_stop = Array.make (Bioseq.Database.num_sequences db) 0 in
+    let nodes_visited = ref 0 in
+    let rows_computed = ref 0 in
+    let report node depth edits =
+      let positions = ref [] in
+      S.iter_positions source node (fun p -> positions := p :: !positions);
+      List.iter
+        (fun p ->
+          let seq_index = Bioseq.Database.seq_of_pos db p in
+          if edits < best.(seq_index) then begin
+            best.(seq_index) <- edits;
+            best_stop.(seq_index) <-
+              p + depth - Bioseq.Database.seq_start db seq_index
+          end)
+        (List.sort Int.compare !positions)
     in
-    (hits, { nodes_visited = !nodes_visited; rows_computed = !rows_computed })
+    let w = (m + wbits - 1) / wbits in
+    let width k = if k = w - 1 then m - ((w - 1) * wbits) else wbits in
+    let mask = Array.init w (fun k -> (1 lsl width k) - 1) in
+    let hbit = Array.init w (fun k -> width k - 1) in
+    (* Peq.(c * w + k): match vector of symbol [c] against query word
+       [k]. Terminators never reach the lookup (the arc walk stops on
+       them first), so [Alphabet.size] rows suffice. *)
+    let dim = Bioseq.Alphabet.size (Bioseq.Database.alphabet db) in
+    let peq = Array.make (dim * w) 0 in
+    for j = 0 to m - 1 do
+      let c = Char.code (Bytes.unsafe_get q j) in
+      let cell = (c * w) + (j / wbits) in
+      peq.(cell) <- peq.(cell) lor (1 lsl (j mod wbits))
+    done;
+    let tbl = Lazy.force delta_tbl in
+    (* Exact minimum of the row encoded by (pv, mv), whose row-0 cell
+       is [base]: fold the per-byte (delta sum, min prefix) table. *)
+    let row_min pv mv base =
+      let run = ref 0 and mn = ref 0 in
+      for k = 0 to w - 1 do
+        let pvk = pv.(k) and mvk = mv.(k) in
+        for byte = 0 to 7 do
+          let pb = (pvk lsr (8 * byte)) land 0xff
+          and mb = (mvk lsr (8 * byte)) land 0xff in
+          let e = Array.unsafe_get tbl ((pb lsl 8) lor mb) in
+          let bmn = !run - (e land 0xf) in
+          if bmn < !mn then mn := bmn;
+          run := !run + (e lsr 4) - 8
+        done
+      done;
+      base + !mn
+    in
+    let rec visit node pv mv score depth =
+      incr nodes_visited;
+      let start = S.label_start source node in
+      let stop = S.label_stop source node in
+      let rec arc idx pv mv score depth =
+        let arc_done = match stop with Some s -> idx >= s | None -> false in
+        if arc_done then Some (pv, mv, score, depth)
+        else
+          let c = S.symbol source idx in
+          if c = term then None
+          else if depth >= max_depth then None
+          else begin
+            incr rows_computed;
+            let npv = Array.make w 0 and nmv = Array.make w 0 in
+            (* The horizontal delta entering word 0 is always +1: the
+               row-0 boundary cell is the path depth. Word k > 0 takes
+               word k-1's outgoing delta. *)
+            let hin = ref 1 in
+            for k = 0 to w - 1 do
+              let eq0 = Array.unsafe_get peq ((c * w) + k) in
+              let pvk = Array.unsafe_get pv k
+              and mvk = Array.unsafe_get mv k in
+              let hin_neg = if !hin < 0 then 1 else 0 in
+              let eq = eq0 lor hin_neg in
+              let xv = eq0 lor mvk in
+              let xh = (((eq land pvk) + pvk) lxor pvk) lor eq in
+              let ph = mvk lor lnot (xh lor pvk) in
+              let mh = pvk land xh in
+              let hb = Array.unsafe_get hbit k in
+              let hout = ((ph lsr hb) land 1) - ((mh lsr hb) land 1) in
+              let ph = (ph lsl 1) lor (if !hin > 0 then 1 else 0) in
+              let mh = (mh lsl 1) lor hin_neg in
+              let msk = Array.unsafe_get mask k in
+              Array.unsafe_set npv k ((mh lor lnot (xv lor ph)) land msk);
+              Array.unsafe_set nmv k (ph land xv land msk);
+              hin := hout
+            done;
+            let score = score + !hin in
+            if score <= max_diffs then report node (depth + 1) score;
+            if row_min npv nmv (depth + 1) > max_diffs then None
+            else arc (idx + 1) npv nmv score (depth + 1)
+          end
+      in
+      match arc start pv mv score depth with
+      | None -> ()
+      | Some (pv, mv, score, depth) ->
+        List.iter
+          (fun child -> visit child pv mv score depth)
+          (S.children source node)
+    in
+    (* Row 0: every vertical delta is +1 (cell j holds j), score m. *)
+    let pv0 = Array.init w (fun k -> mask.(k)) in
+    let mv0 = Array.make w 0 in
+    if m <= max_diffs then report (S.root source) 0 m;
+    List.iter
+      (fun child -> visit child pv0 mv0 m 0)
+      (S.children source (S.root source));
+    assemble best best_stop !nodes_visited !rows_computed
+
+  let search ~source ~db ~query ~max_diffs =
+    if Kernel_util.checked then begin
+      let bp = search_bp ~source ~db ~query ~max_diffs in
+      let dp = search_dp ~source ~db ~query ~max_diffs in
+      if bp <> dp then
+        failwith
+          "Oasis.Edit_search: bit-parallel kernel diverged from the DP oracle";
+      bp
+    end
+    else search_bp ~source ~db ~query ~max_diffs
 end
 
 module Mem = Make (Source.Mem)

@@ -34,7 +34,25 @@ module Make (S : Source.S) : sig
   (** All sequences containing a substring within [max_diffs] unit-cost
       edits (substitution / insertion / deletion) of the whole query,
       with each sequence's best distance, sorted by increasing [edits]
-      then sequence index. [max_diffs >= 0]. *)
+      then sequence index. [max_diffs >= 0].
+
+      Runs the Myers-style bit-parallel row kernel: the edit-distance
+      row lives as word-packed delta vectors (62 query positions per
+      native int, the spare bit absorbing the addition carry), one row
+      update costs O(m/62) word operations, and the exact row minimum
+      driving the prune comes from a byte-table scan. Hits {e and}
+      stats are bit-identical to {!search_dp} (property-tested; under
+      [OASIS_CHECKED_KERNEL=1] every call runs both kernels and fails
+      loudly on divergence). *)
+
+  val search_dp :
+    source:S.t ->
+    db:Bioseq.Database.t ->
+    query:Bioseq.Sequence.t ->
+    max_diffs:int ->
+    hit list * stats
+  (** The scalar O(m)-per-row DP kernel — the executable specification
+      {!search} is verified against. *)
 end
 
 module Mem : module type of Make (Source.Mem)

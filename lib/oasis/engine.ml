@@ -93,16 +93,16 @@ module Make (S : Source.S) = struct
   }
 
   (* A session owns the per-search mutable scratch — column arena,
-     priority queue, emit sort buffer — and nothing tied to one query.
+     bucket frontier, emit sort buffer — and nothing tied to one query.
      Engines borrow a session at [create]; a fresh one is made when the
      caller passes none, so single-shot searches are unchanged. A
      long-lived server keeps one session per worker and reuses it across
-     requests: the arena and heap keep their high-water capacity, so a
+     requests: the arena and frontier keep their high-water capacity, so a
      steady-state request allocates (almost) nothing, while K sessions
      share one immutable tree image. *)
   type session = {
     ses_pool : Col_pool.t;
-    ses_pq : snode Pqueue.t;
+    ses_fr : S.node Frontier.t;
     mutable ses_emit_buf : int array;
         (** scratch positions buffer for {!emit}; grown on demand,
             reused across hits and across searches *)
@@ -114,7 +114,7 @@ module Make (S : Source.S) = struct
     let create () =
       {
         ses_pool = Col_pool.create ~width:1;
-        ses_pq = Pqueue.create ();
+        ses_fr = Frontier.create ();
         ses_emit_buf = Array.make 64 0;
       }
   end
@@ -137,12 +137,21 @@ module Make (S : Source.S) = struct
     opt_pd : bool;  (** = cfg.options.prune_dominated *)
     affine : bool;
     term : int;
+    smax : int array;
+        (** [smax.(c)]: best score symbol [c] achieves at any query
+            position — the replacement term of the pre-DP sibling
+            bound (see {!Kernel_util.smax_of_cols}) *)
+    skip_ok : bool;
+        (** the pre-DP sibling bound is admissible: [hvec] is pointwise
+            non-negative and its one-step drop covers insert chains
+            ([Kernel_util.min_hdrop hvec >= gap_extend]); checked at
+            creation, not assumed (DESIGN.md §2j) *)
     ses : session;  (** owns the scratch below (and the emit buffer) *)
     pool : Col_pool.t;
         (** = [ses.ses_pool]; slot width [m + 1] (linear) or
             [2 * (m + 1)] (affine, [B] then Gotoh's [D] vector in one
             slot) *)
-    pq : snode Pqueue.t;  (** = [ses.ses_pq] *)
+    fr : S.node Frontier.t;  (** = [ses.ses_fr] *)
     reported_seq : bool array;
     mutable reported_count : int;
     pending : Hit.t Queue.t;
@@ -151,6 +160,10 @@ module Make (S : Source.S) = struct
     mutable c_enqueued : int;
     mutable c_pruned : int;
     mutable c_max_queue : int;
+    mutable c_bound_reused : int;
+        (** sibling arcs settled by the shared pre-DP bound alone *)
+    mutable c_bound_recomputed : int;
+        (** sibling arcs that ran the full DP arc walk *)
     (* Scratch registers for the closure-free kernel: loaded from the
        parent node before an arc walk, stored into the child snode (or
        discarded) after. Only one arc is ever in flight. *)
@@ -159,6 +172,33 @@ module Make (S : Source.S) = struct
     mutable sc_best_off : int;
     mutable sc_ub : int;  (** arc result: the viable node's priority *)
     mutable sc_depth : int;  (** arc result: the viable node's depth *)
+    mutable sc_col_depth : int;
+        (** depth of the column being filled — constant per column, so
+            the row loops read it from here instead of carrying an
+            argument past the register budget *)
+    mutable sc_cut : int;
+        (** the default-path cascade cutoff [max sc_best (min_score-1)];
+            updated with [sc_best], read once per cell *)
+    (* Blocked-expansion scratch: one [iter_children] pass gathers a
+       parent's children (node, label range, first symbol) into these
+       parallel arrays, then the DP streams over them in chunks of
+       [Kernel_util.block_arcs]. Grown together, never shrunk. *)
+    mutable ch_nodes : S.node array;
+    mutable ch_start : int array;
+    mutable ch_stop : int array;
+    mutable ch_sym : int array;  (** first label symbol; [-1] if empty *)
+    (* Live-cell scratch for the refined pre-DP bound: one aggregate
+       pass per parent records, for each live diagonal feed, the cols
+       offset [i - 1] and the feed's score-plus-heuristic
+       [parent(i-1) + hvec(i)], so each sibling's exact replacement-term
+       bound is an O(live) scan instead of O(m). *)
+    live_i : int array;
+    live_g : int array;
+    (* Chunked arc-label fetch: [sym_buf.(k)] holds the symbol at
+       database position [sym_base + k] for [k < sym_n]. *)
+    sym_buf : int array;
+    mutable sym_base : int;
+    mutable sym_n : int;
     mutable tracer : (trace_event -> unit) option;
     mutable obs : Instrument.t option;
         (** observability hooks; [None] (the default) costs one pointer
@@ -177,12 +217,17 @@ module Make (S : Source.S) = struct
   }
 
   (* Checked-mode validation, once per DP column: every unsafe access
-     in the loops below stays inside these ranges ([w.(lo .. hi + m)],
-     [cols.(c*m .. c*m + m - 1)], [hvec.(0 .. m)]). *)
-  let check_column t (w : int array) lo hi c =
+     in the loops below stays inside these ranges. The kernels are
+     split-source: the first column of an arc reads the parent's slot
+     ([src]) and writes the child's ([dst]); later columns run in place
+     ([src = dst]). [span] is the largest in-slot offset touched — [m]
+     for the linear model, [2m + 1] for affine (Gotoh's D vector lives
+     at [+ (m + 1)] inside the same slot). *)
+  let check_column t (w : int array) src dst span c =
     if
-      lo < 0
-      || hi + t.m >= Array.length w
+      src < 0 || dst < 0
+      || src + span >= Array.length w
+      || dst + span >= Array.length w
       || c < 0
       || (c + 1) * t.m > Array.length t.cols
       || Array.length t.hvec <> t.m + 1
@@ -205,26 +250,32 @@ module Make (S : Source.S) = struct
     in
     go 0 neg_inf
 
-  (* One linear-model DP column, in place at [w.(off .. off + m)], fused
-     with the upper-bound computation. [diag] carries the previous
-     column's value one row up; [crow = c * m - 1] indexes the symbol's
-     stride-1 score row. Returns the column's admissible bound; the
-     running best lives in the scratch registers. Arguments are plain
-     ints so the loop allocates nothing (no closures, no refs), the §3.2
-     pruning cascade is written out inline — without flambda an
-     out-of-line cascade costs a call per cell — and every [max] is an
-     explicit int comparison (the polymorphic [Stdlib.max] keeps its
-     generic [>=], a C call, when the compiler is not flambda). *)
-  let rec lin_rows t (w : int array) off crow i diag ub depth =
+  (* One linear-model DP column, reading the previous column at
+     [w.(src .. src + m)] and writing the new one at
+     [w.(dst .. dst + m)], fused with the upper-bound computation. The
+     first column of an arc passes the parent's slot as [src] — no
+     parent-to-child blit — and later columns run in place
+     ([src = dst], where reading [w.(src + i)] before writing
+     [w.(dst + i)] reproduces the old in-place update exactly). [diag]
+     carries the previous column's value one row up; [crow = c * m - 1]
+     indexes the symbol's stride-1 score row. Returns the column's
+     admissible bound; the running best lives in the scratch registers.
+     Arguments are plain ints so the loop allocates nothing (no
+     closures, no refs), the §3.2 pruning cascade is written out inline
+     — without flambda an out-of-line cascade costs a call per cell —
+     and every [max] is an explicit int comparison (the polymorphic
+     [Stdlib.max] keeps its generic [>=], a C call, when the compiler is
+     not flambda). *)
+  let rec lin_rows t (w : int array) src dst crow i diag ub depth =
     if i > t.m then ub
     else begin
-      let wi = Array.unsafe_get w (off + i) in
+      let wi = Array.unsafe_get w (src + i) in
       let repl =
         if diag = neg_inf then neg_inf
         else diag + Array.unsafe_get t.cols (crow + i)
       in
       let del = if wi = neg_inf then neg_inf else wi + t.gap_extend in
-      let prev = Array.unsafe_get w (off + i - 1) in
+      let prev = Array.unsafe_get w (dst + i - 1) in
       let ins = if prev = neg_inf then neg_inf else prev + t.gap_extend in
       let hv = Array.unsafe_get t.hvec i in
       let dm = if del >= ins then del else ins in
@@ -236,7 +287,7 @@ module Make (S : Source.S) = struct
         else if v + hv < t.min_score then neg_inf
         else v
       in
-      Array.unsafe_set w (off + i) v;
+      Array.unsafe_set w (dst + i) v;
       let ub =
         if v > neg_inf then begin
           if v > t.sc_best then begin
@@ -248,88 +299,103 @@ module Make (S : Source.S) = struct
         end
         else ub
       in
-      lin_rows t w off crow (i + 1) wi ub depth
+      lin_rows t w src dst crow (i + 1) wi ub depth
     end
 
   (* [lin_rows] specialized for the default pruning configuration (both
-     rules on — the only one the CLI and bench exercise). The three
-     cascade thresholds collapse into one cutoff
-     [cut = max sc_best (min_score - 1)], maintained incrementally as
-     the best improves, so a cell lives iff [v > 0 && v + hvec(i) > cut]
-     — two compares instead of four (rule 1 subsumes the [neg_inf]
-     guard). [left] carries the just-written cell so the loop reads [w]
-     once per row. Cell-for-cell equivalent to [lin_rows] with both
-     flags set: [v + hv <= max best (min_score - 1)] iff
-     [v + hv <= best || v + hv < min_score]. *)
-  let rec lin_rows_def t (w : int array) off crow i diag left ub cut depth =
+     rules on — the only one the CLI and bench exercise), re-specialized
+     for the blocked layout (ISSUE 9). Three levers over the generic
+     cascade:
+
+     - The three thresholds collapse into one cutoff
+       [sc_cut = max sc_best (min_score - 1)], so a cell lives iff
+       [v > 0 && v + hvec(i) > sc_cut]. Cell-for-cell equivalent to
+       [lin_rows] with both flags set:
+       [v + hv <= max best (min_score - 1)] iff
+       [v + hv <= best || v + hv < min_score].
+     - No [neg_inf] input guards: stored cells are either real scores
+       or {e exactly} [neg_inf] (~[min_int/4]), so a dead input drifts
+       by at most a few hundred below [neg_inf + 0] and the [v <= 0]
+       test still kills it, re-normalizing the stored cell to exact
+       [neg_inf] — three compare+branches per cell gone, no overflow
+       possible (drift never compounds across cells).
+     - [sc_cut] and the column's depth live in [t] instead of being
+       threaded as arguments: with [src]/[dst] split the argument list
+       would spill past the native calling convention's register
+       budget, turning every row step into stack traffic.
+
+     [left] carries the just-written cell so the loop reads [w] once
+     per row. *)
+  let rec lin_rows_def t (w : int array) src dst crow i diag left ub =
     if i > t.m then ub
     else begin
-      let wi = Array.unsafe_get w (off + i) in
+      let wi = Array.unsafe_get w (src + i) in
       let ge = t.gap_extend in
-      let repl =
-        if diag = neg_inf then neg_inf
-        else diag + Array.unsafe_get t.cols (crow + i)
-      in
-      let del = if wi = neg_inf then neg_inf else wi + ge in
-      let ins = if left = neg_inf then neg_inf else left + ge in
+      let repl = diag + Array.unsafe_get t.cols (crow + i) in
+      let del = wi + ge in
+      let ins = left + ge in
       let dm = if del >= ins then del else ins in
       let v = if repl >= dm then repl else dm in
       let s = v + Array.unsafe_get t.hvec i in
-      if v <= 0 || s <= cut then begin
-        Array.unsafe_set w (off + i) neg_inf;
-        lin_rows_def t w off crow (i + 1) wi neg_inf ub cut depth
+      if v <= 0 || s <= t.sc_cut then begin
+        Array.unsafe_set w (dst + i) neg_inf;
+        lin_rows_def t w src dst crow (i + 1) wi neg_inf ub
       end
       else begin
-        Array.unsafe_set w (off + i) v;
+        Array.unsafe_set w (dst + i) v;
         let ub = if s > ub then s else ub in
         if v > t.sc_best then begin
           t.sc_best <- v;
           t.sc_best_q <- i;
-          t.sc_best_off <- depth;
-          let cut = if v > cut then v else cut in
-          lin_rows_def t w off crow (i + 1) wi v ub cut depth
-        end
-        else lin_rows_def t w off crow (i + 1) wi v ub cut depth
+          t.sc_best_off <- t.sc_col_depth;
+          if v > t.sc_cut then t.sc_cut <- v
+        end;
+        lin_rows_def t w src dst crow (i + 1) wi v ub
       end
     end
 
-  let lin_column t w off c depth =
-    if checked_kernel then check_column t w off off c;
+  let lin_column t w src dst c depth =
+    if checked_kernel then check_column t w src dst t.m c;
     (* Row 0: the empty query prefix. Off the root it can only be
        reached by deleting target symbols, which other tree paths cover;
        it is pruned by rule 1 (or kept, negative, when the rule is off —
        harmless either way). *)
-    let w0 = Array.unsafe_get w off in
+    let w0 = Array.unsafe_get w src in
     let w0' =
       if w0 = neg_inf then neg_inf
       else
         let v = w0 + t.gap_extend in
         if t.opt_pn && v <= 0 then neg_inf else v
     in
-    Array.unsafe_set w off w0';
+    Array.unsafe_set w dst w0';
     let ub = if w0' = neg_inf then neg_inf else w0' + Array.unsafe_get t.hvec 0 in
     let crow = (c * t.m) - 1 in
-    if t.opt_pn && t.opt_pd then
+    if t.opt_pn && t.opt_pd then begin
       let ms1 = t.min_score - 1 in
-      let cut = if t.sc_best >= ms1 then t.sc_best else ms1 in
-      lin_rows_def t w off crow 1 w0 w0' ub cut depth
-    else lin_rows t w off crow 1 w0 ub depth
+      t.sc_cut <- (if t.sc_best >= ms1 then t.sc_best else ms1);
+      t.sc_col_depth <- depth;
+      lin_rows_def t w src dst crow 1 w0 w0' ub
+    end
+    else lin_rows t w src dst crow 1 w0 ub depth
 
-  (* One affine-model (Gotoh) column: [off] addresses the B vector,
-     [offd] the D vector (delete-run scores), both in the same arena
-     slot. [ins] threads the insert-run score down the column. *)
-  let rec aff_rows t (w : int array) off offd crow i diag ins ub depth =
+  (* One affine-model (Gotoh) column, split-source like [lin_rows]:
+     [src]/[srcd] address the previous column's B and D vectors,
+     [dst]/[dstd] the new ones (first arc column: parent slot to child
+     slot; later columns: in place). [ins] threads the insert-run score
+     down the column. *)
+  let rec aff_rows t (w : int array) src srcd dst dstd crow i diag ins ub depth
+      =
     if i > t.m then ub
     else begin
-      let whi = Array.unsafe_get w (off + i) in
-      let wdi = Array.unsafe_get w (offd + i) in
+      let whi = Array.unsafe_get w (src + i) in
+      let wdi = Array.unsafe_get w (srcd + i) in
       (* Delete run: previous column's B/D at row i (not yet
          overwritten). *)
       let d1 = if whi = neg_inf then neg_inf else whi + t.gap_open in
       let d2 = if wdi = neg_inf then neg_inf else wdi + t.gap_extend in
       let d = if d1 >= d2 then d1 else d2 in
       (* Insert run: current column, one row up. *)
-      let prev = Array.unsafe_get w (off + i - 1) in
+      let prev = Array.unsafe_get w (dst + i - 1) in
       let i1 = if prev = neg_inf then neg_inf else prev + t.gap_open in
       let i2 = if ins = neg_inf then neg_inf else ins + t.gap_extend in
       let ins = if i1 >= i2 then i1 else i2 in
@@ -354,8 +420,8 @@ module Make (S : Source.S) = struct
         else if h + hv < t.min_score then neg_inf
         else h
       in
-      Array.unsafe_set w (offd + i) d;
-      Array.unsafe_set w (off + i) h;
+      Array.unsafe_set w (dstd + i) d;
+      Array.unsafe_set w (dst + i) h;
       let ub =
         if h > neg_inf then begin
           if h > t.sc_best then begin
@@ -367,60 +433,60 @@ module Make (S : Source.S) = struct
         end
         else ub
       in
-      aff_rows t w off offd crow (i + 1) whi ins ub depth
+      aff_rows t w src srcd dst dstd crow (i + 1) whi ins ub depth
     end
 
-  (* [aff_rows] specialized like [lin_rows_def]: one [cut] threshold,
-     [left] carries the just-written B cell. Both Gotoh cascades (the
-     delete-run score and the cell score) use the collapsed test. The
-     last two arguments spill to the stack (OCaml passes ten ints in
-     registers on amd64) — still far cheaper than the generic cascades. *)
-  let rec aff_rows_def t (w : int array) off offd crow i diag ins left ub cut
-      depth =
+  (* [aff_rows] specialized like [lin_rows_def]: one collapsed [sc_cut]
+     threshold (read from [t], keeping the argument list inside the
+     native register budget), no [neg_inf] input guards, [left] carries
+     the just-written B cell. Both Gotoh cascades (the delete-run score
+     and the cell score) use the collapsed test. *)
+  let rec aff_rows_def t (w : int array) src srcd dst dstd crow i diag ins left
+      ub =
     if i > t.m then ub
     else begin
-      let whi = Array.unsafe_get w (off + i) in
-      let wdi = Array.unsafe_get w (offd + i) in
+      let whi = Array.unsafe_get w (src + i) in
+      let wdi = Array.unsafe_get w (srcd + i) in
       let ge = t.gap_extend in
       let go = t.gap_open in
-      let d1 = if whi = neg_inf then neg_inf else whi + go in
-      let d2 = if wdi = neg_inf then neg_inf else wdi + ge in
+      (* No [neg_inf] input guards, as in [lin_rows_def]: the B and D
+         stores below re-normalize dead cells to exact [neg_inf], and
+         the threaded [ins] drifts by at most [m] gap scores — far from
+         overflow, still far below zero. *)
+      let d1 = whi + go in
+      let d2 = wdi + ge in
       let d = if d1 >= d2 then d1 else d2 in
-      let i1 = if left = neg_inf then neg_inf else left + go in
-      let i2 = if ins = neg_inf then neg_inf else ins + ge in
+      let i1 = left + go in
+      let i2 = ins + ge in
       let ins = if i1 >= i2 then i1 else i2 in
-      let repl =
-        if diag = neg_inf then neg_inf
-        else diag + Array.unsafe_get t.cols (crow + i)
-      in
+      let repl = diag + Array.unsafe_get t.cols (crow + i) in
       let hv = Array.unsafe_get t.hvec i in
-      let d = if d <= 0 || d + hv <= cut then neg_inf else d in
+      let d = if d <= 0 || d + hv <= t.sc_cut then neg_inf else d in
       let dm = if d >= ins then d else ins in
       let h = if repl >= dm then repl else dm in
-      Array.unsafe_set w (offd + i) d;
+      Array.unsafe_set w (dstd + i) d;
       let s = h + hv in
-      if h <= 0 || s <= cut then begin
-        Array.unsafe_set w (off + i) neg_inf;
-        aff_rows_def t w off offd crow (i + 1) whi ins neg_inf ub cut depth
+      if h <= 0 || s <= t.sc_cut then begin
+        Array.unsafe_set w (dst + i) neg_inf;
+        aff_rows_def t w src srcd dst dstd crow (i + 1) whi ins neg_inf ub
       end
       else begin
-        Array.unsafe_set w (off + i) h;
+        Array.unsafe_set w (dst + i) h;
         let ub = if s > ub then s else ub in
         if h > t.sc_best then begin
           t.sc_best <- h;
           t.sc_best_q <- i;
-          t.sc_best_off <- depth;
-          let cut = if h > cut then h else cut in
-          aff_rows_def t w off offd crow (i + 1) whi ins h ub cut depth
-        end
-        else aff_rows_def t w off offd crow (i + 1) whi ins h ub cut depth
+          t.sc_best_off <- t.sc_col_depth;
+          if h > t.sc_cut then t.sc_cut <- h
+        end;
+        aff_rows_def t w src srcd dst dstd crow (i + 1) whi ins h ub
       end
     end
 
-  let aff_column t w off offd c depth =
-    if checked_kernel then check_column t w off offd c;
-    let wh0 = Array.unsafe_get w off in
-    let wd0 = Array.unsafe_get w offd in
+  let aff_column t w src srcd dst dstd c depth =
+    if checked_kernel then check_column t w src dst ((2 * t.m) + 1) c;
+    let wh0 = Array.unsafe_get w src in
+    let wd0 = Array.unsafe_get w srcd in
     (* Row 0: reachable only through a delete run. *)
     let d1 = if wh0 = neg_inf then neg_inf else wh0 + t.gap_open in
     let d2 = if wd0 = neg_inf then neg_inf else wd0 + t.gap_extend in
@@ -433,58 +499,84 @@ module Make (S : Source.S) = struct
       else if d0 + hv0 < t.min_score then neg_inf
       else d0
     in
-    Array.unsafe_set w offd d0;
-    Array.unsafe_set w off d0;
+    Array.unsafe_set w dstd d0;
+    Array.unsafe_set w dst d0;
     let ub = if d0 = neg_inf then neg_inf else d0 + hv0 in
     let crow = (c * t.m) - 1 in
-    if t.opt_pn && t.opt_pd then
+    if t.opt_pn && t.opt_pd then begin
       let ms1 = t.min_score - 1 in
-      let cut = if t.sc_best >= ms1 then t.sc_best else ms1 in
-      aff_rows_def t w off offd crow 1 wh0 neg_inf d0 ub cut depth
-    else aff_rows t w off offd crow 1 wh0 neg_inf ub depth
+      t.sc_cut <- (if t.sc_best >= ms1 then t.sc_best else ms1);
+      t.sc_col_depth <- depth;
+      aff_rows_def t w src srcd dst dstd crow 1 wh0 neg_inf d0 ub
+    end
+    else aff_rows t w src srcd dst dstd crow 1 wh0 neg_inf ub depth
+
+  (* Arc labels are fetched in chunks of up to this many symbols through
+     [S.blit_symbols]: a disk source decodes a label page once per run
+     instead of once per symbol, and the memory source amortizes its
+     per-call bound checks. *)
+  let sym_chunk = 32
+
+  (* The symbol at database position [idx], served from [sym_buf] when
+     the chunk covers it and refilled (clipped to the arc's [stop])
+     otherwise. The gather pass seeds the first symbol of each arc. *)
+  let arc_symbol t idx stop =
+    let k = idx - t.sym_base in
+    if k >= 0 && k < t.sym_n then Array.unsafe_get t.sym_buf k
+    else begin
+      let len = min sym_chunk (stop - idx) in
+      S.blit_symbols t.source ~pos:idx ~len t.sym_buf 0;
+      t.sym_base <- idx;
+      t.sym_n <- len;
+      Array.unsafe_get t.sym_buf 0
+    end
 
   (* Walk one child arc's symbols (Algorithm 3), columns fused with
-     bounds. Returns a status code, with details in the scratch
+     bounds. The first column reads the parent's slot ([src]) and writes
+     the child's ([dst]); the recursion then continues in place at
+     [dst]. Returns a status code, with details in the scratch
      registers:
      - [0]: unviable, discard;
      - [1]: viable — enqueue with priority [t.sc_ub], depth [t.sc_depth];
      - [2]: bound is exact (terminator hit, or no extension can beat
        [t.sc_best]) — enqueue as accepted iff [sc_best >= min_score].
-     [last_ub] is [min_int] until the first column of this arc runs. *)
-  let rec lin_arc t w off idx stop depth last_ub =
+     [last_ub] is [min_int] until the first column of this arc runs (so
+     the zero-column [rescan] reads [src] — still the parent's
+     untouched column). *)
+  let rec lin_arc t w src dst idx stop depth last_ub =
     if idx >= stop then begin
-      t.sc_ub <- (if last_ub <> min_int then last_ub else rescan t w off);
+      t.sc_ub <- (if last_ub <> min_int then last_ub else rescan t w src);
       t.sc_depth <- depth;
       1
     end
     else
-      let c = S.symbol t.source idx in
+      let c = arc_symbol t idx stop in
       if c = t.term then 2
       else begin
         t.c_columns <- t.c_columns + 1;
         let depth = depth + 1 in
-        let ub = lin_column t w off c depth in
+        let ub = lin_column t w src dst c depth in
         if ub <= t.sc_best then 2
         else if ub < t.min_score then 0
-        else lin_arc t w off (idx + 1) stop depth ub
+        else lin_arc t w dst dst (idx + 1) stop depth ub
       end
 
-  let rec aff_arc t w off offd idx stop depth last_ub =
+  let rec aff_arc t w src srcd dst dstd idx stop depth last_ub =
     if idx >= stop then begin
-      t.sc_ub <- (if last_ub <> min_int then last_ub else rescan t w off);
+      t.sc_ub <- (if last_ub <> min_int then last_ub else rescan t w src);
       t.sc_depth <- depth;
       1
     end
     else
-      let c = S.symbol t.source idx in
+      let c = arc_symbol t idx stop in
       if c = t.term then 2
       else begin
         t.c_columns <- t.c_columns + 1;
         let depth = depth + 1 in
-        let ub = aff_column t w off offd c depth in
+        let ub = aff_column t w src srcd dst dstd c depth in
         if ub <= t.sc_best then 2
         else if ub < t.min_score then 0
-        else aff_arc t w off offd (idx + 1) stop depth ub
+        else aff_arc t w dst dstd dst dstd (idx + 1) stop depth ub
       end
 
   (* Every obs hook is one [match] on [t.obs] when instrumentation is
@@ -495,26 +587,91 @@ module Make (S : Source.S) = struct
     | None -> ()
     | Some o -> Obs.Timer.switch o.Instrument.timer p
 
-  (* Expand one child arc: acquire a slot, copy the parent's column(s)
-     into it, run the fused kernel, then enqueue or recycle. The parent's
-     own slot is released by [next] after all children are expanded. *)
-  let expand t parent child =
-    let start = S.label_start t.source child in
-    let stop = S.label_end t.source child in
+  (* Grow the gather scratch — all four parallel arrays together. Only
+     called with at least one gathered child, so [ch_nodes.(0)] is a
+     valid filler for the fresh node array. *)
+  let grow_gather t =
+    let n = Array.length t.ch_start in
+    let n' = 2 * n in
+    let nodes = Array.make n' t.ch_nodes.(0) in
+    Array.blit t.ch_nodes 0 nodes 0 n;
+    t.ch_nodes <- nodes;
+    let grow a =
+      let b = Array.make n' 0 in
+      Array.blit a 0 b 0 n;
+      b
+    in
+    t.ch_start <- grow t.ch_start;
+    t.ch_stop <- grow t.ch_stop;
+    t.ch_sym <- grow t.ch_sym
+
+  (* Finish an arc whose bound is exact (terminator hit, pre-DP bound
+     dominated, or kernel status 2): enqueue as accepted iff the best
+     score in the scratch registers clears the threshold. *)
+  let finish_exact t child =
+    if t.sc_best >= t.min_score then begin
+      t.c_enqueued <- t.c_enqueued + 1;
+      Frontier.push t.fr ~priority:t.sc_best ~tie:0 ~node:child ~slot:(-1)
+        ~depth:0 ~max_score:t.sc_best ~max_q:t.sc_best_q
+        ~max_off:t.sc_best_off ~accepted:true
+    end
+    else t.c_pruned <- t.c_pruned + 1
+
+  (* Checked mode: replay a skipped first column into a transient slot
+     and verify the cheap bound really dominated it. The column cannot
+     move the scratch registers (any surviving cell would contradict the
+     bound), so the caller's state is untouched; [ensure_free] reserved
+     room for this extra acquire, so the hoisted backing store stays
+     valid. *)
+  let check_skip t parent c cheap =
     let slot = Col_pool.acquire t.pool in
-    Col_pool.blit t.pool ~src:parent.slot ~dst:slot;
-    (* Read the backing store only after [acquire] — growth replaces it. *)
     let w = Col_pool.data t.pool in
-    let off = Col_pool.base t.pool slot in
+    let src = Col_pool.base t.pool parent.slot in
+    let dst = Col_pool.base t.pool slot in
     t.sc_best <- parent.max_score;
     t.sc_best_q <- parent.max_q;
     t.sc_best_off <- parent.max_off;
+    let depth = parent.depth + 1 in
+    let ub =
+      if t.affine then
+        aff_column t w src (src + t.m + 1) dst (dst + t.m + 1) c depth
+      else lin_column t w src dst c depth
+    in
+    Col_pool.release t.pool slot;
+    if ub > cheap then
+      invalid_arg "Oasis.Engine: pre-DP sibling bound not admissible"
+
+  (* Full DP for one gathered child arc: acquire a slot and run the
+     kernel with the first column reading straight from the parent's
+     slot — the split-source kernels replace the old parent-to-child
+     blit. [w]/[poff] are hoisted by the caller ([ensure_free]
+     guarantees the acquire below cannot reallocate the store). *)
+  let run_arc t parent child w poff k =
+    let start = t.ch_start.(k) and stop = t.ch_stop.(k) in
+    let slot = Col_pool.acquire t.pool in
+    let coff = Col_pool.base t.pool slot in
+    t.sc_best <- parent.max_score;
+    t.sc_best_q <- parent.max_q;
+    t.sc_best_off <- parent.max_off;
+    (* Seed the chunked label fetch with the symbol the gather pass
+       already read. *)
+    t.sym_base <- start;
+    t.sym_n <-
+      (if t.ch_sym.(k) >= 0 then begin
+         t.sym_buf.(0) <- t.ch_sym.(k);
+         1
+       end
+       else 0);
     let cols_before = t.c_columns in
     obs_phase t Instrument.phase_dp;
     let status =
       if t.affine then
-        aff_arc t w off (off + t.m + 1) start stop parent.depth min_int
-      else lin_arc t w off start stop parent.depth min_int
+        aff_arc t w poff
+          (poff + t.m + 1)
+          coff
+          (coff + t.m + 1)
+          start stop parent.depth min_int
+      else lin_arc t w poff coff start stop parent.depth min_int
     in
     (match t.obs with
     | None -> ()
@@ -526,34 +683,199 @@ module Make (S : Source.S) = struct
       Col_pool.release t.pool slot;
       t.c_pruned <- t.c_pruned + 1
     | 1 ->
+      (* A zero-column viable arc (empty label) never wrote the child
+         slot: inherit the parent's column(s) by copy. *)
+      if t.c_columns = cols_before then
+        Col_pool.blit t.pool ~src:parent.slot ~dst:slot;
       t.c_enqueued <- t.c_enqueued + 1;
-      Pqueue.push_tie t.pq ~priority:t.sc_ub ~tie:1
-        {
-          tree_node = child;
-          slot;
-          depth = t.sc_depth;
-          max_score = t.sc_best;
-          max_q = t.sc_best_q;
-          max_off = t.sc_best_off;
-          accepted = false;
-        }
+      Frontier.push t.fr ~priority:t.sc_ub ~tie:1 ~node:child ~slot
+        ~depth:t.sc_depth ~max_score:t.sc_best ~max_q:t.sc_best_q
+        ~max_off:t.sc_best_off ~accepted:false
     | _ ->
       (* Bound exact: the node needs no column any more. *)
       Col_pool.release t.pool slot;
-      if t.sc_best >= t.min_score then begin
-        t.c_enqueued <- t.c_enqueued + 1;
-        Pqueue.push_tie t.pq ~priority:t.sc_best ~tie:0
-          {
-            tree_node = child;
-            slot = -1;
-            depth = 0;
-            max_score = t.sc_best;
-            max_q = t.sc_best_q;
-            max_off = t.sc_best_off;
-            accepted = true;
-          }
-      end
-      else t.c_pruned <- t.c_pruned + 1
+      finish_exact t child
+
+  (* Expand every child of [parent] with the blocked layout:
+
+     1. {e Gather}: one [iter_children] pass stores each child's node,
+        label range and first symbol in the scratch arrays, so the tree
+        is touched once per sibling run instead of once per child.
+     2. {e Aggregate}: one O(m) scan of the parent's column(s) computes
+        the ALAE-style bound ingredients every sibling shares — the
+        best diagonal feed [rmax = max (parent(i-1) + hvec(i))], the
+        best cell [pub = max (parent(i) + hvec(i))] (and [pdub] over
+        the delete vector when affine) — and records each live diagonal
+        feed in [live_i]/[live_g] for the per-sibling refinement.
+     3. {e Blocked walk}: children stream back-to-back in chunks of
+        [Kernel_util.block_arcs] while the parent column and the PSSM
+        rows are cache-hot. Each arc's first symbol [c] gets a
+        two-level admissible bound: the O(1) coarse form
+        [max (rmax + smax.(c)) del_ub], then — only when the coarse
+        form cannot settle the arc but the shared delete term can — the
+        exact replacement term [max over live feeds
+        (parent(i-1) + hvec(i) + cols(c, i))], an O(live) scan. An arc
+        whose bound is [<= parent.max_score] (bound
+        dominated) or [< min_score] (unreachable) is settled before
+        its first DP cell — but still counts one {e logical} column,
+        because the reference engine provably runs exactly one column
+        before reaching the same verdict (DESIGN.md §2j proves the
+        bound dominates that column's fused upper bound), keeping
+        counters, histograms and hit streams bit-identical. *)
+  let expand_children t parent =
+    let n = ref 0 in
+    S.gather t.source parent.tree_node (fun child ~start ~stop ~sym ->
+        let i = !n in
+        if i = Array.length t.ch_start then grow_gather t;
+        t.ch_nodes.(i) <- child;
+        t.ch_start.(i) <- start;
+        t.ch_stop.(i) <- stop;
+        t.ch_sym.(i) <- sym;
+        n := i + 1);
+    let n = !n in
+    if n > 0 then begin
+      (* The whole sibling run's slots fit without reallocation, so the
+         backing store pointer is hoisted across the run (checked mode
+         may transiently acquire one more slot per skip). *)
+      Col_pool.ensure_free t.pool (if checked_kernel then 2 * n else n);
+      let w = Col_pool.data t.pool in
+      let poff = Col_pool.base t.pool parent.slot in
+      let m = t.m in
+      let hvec = t.hvec in
+      let rmax = ref neg_inf and pub = ref neg_inf and pdub = ref neg_inf in
+      let nlive = ref 0 in
+      if t.skip_ok then begin
+        let live_i = t.live_i and live_g = t.live_g in
+        let v0 = w.(poff) in
+        if v0 > neg_inf then pub := v0 + hvec.(0);
+        for i = 1 to m do
+          let hv = hvec.(i) in
+          let prev = w.(poff + i - 1) in
+          if prev > neg_inf then begin
+            let g = prev + hv in
+            let nl = !nlive in
+            live_i.(nl) <- i - 1;
+            live_g.(nl) <- g;
+            nlive := nl + 1;
+            if g > !rmax then rmax := g
+          end;
+          let vi = w.(poff + i) in
+          if vi > neg_inf && vi + hv > !pub then pub := vi + hv
+        done;
+        if t.affine then
+          for i = 0 to m do
+            let di = w.(poff + m + 1 + i) in
+            if di > neg_inf && di + hvec.(i) > !pdub then
+              pdub := di + hvec.(i)
+          done
+      end;
+      (* Best first-column cell reachable through a delete: covers row 0
+         and every delete-run feed, for any first symbol. *)
+      let del_ub =
+        if t.affine then begin
+          let a = if !pub > neg_inf then !pub + t.gap_open else neg_inf in
+          let b = if !pdub > neg_inf then !pdub + t.gap_extend else neg_inf in
+          if a >= b then a else b
+        end
+        else if !pub > neg_inf then !pub + t.gap_extend
+        else neg_inf
+      in
+      let rmax = !rmax in
+      let nlive = !nlive in
+      (* Settle threshold the refined bound must clear: an arc whose
+         bound is at most this is dominated or unreachable either way. *)
+      let thr =
+        if parent.max_score >= t.min_score - 1 then parent.max_score
+        else t.min_score - 1
+      in
+      let i = ref 0 in
+      while !i < n do
+        let chunk = min Kernel_util.block_arcs (n - !i) in
+        (match t.obs with
+        | None -> ()
+        | Some o -> Obs.Metric.observe o.Instrument.block_arcs chunk);
+        let chunk_stop = !i + chunk in
+        while !i < chunk_stop do
+          let k = !i in
+          let child = t.ch_nodes.(k) in
+          let c = t.ch_sym.(k) in
+          if c = t.term then begin
+            (* Terminator-first arc: the bound is exact before any
+               column runs. *)
+            t.sc_best <- parent.max_score;
+            t.sc_best_q <- parent.max_q;
+            t.sc_best_off <- parent.max_off;
+            (match t.obs with
+            | None -> ()
+            | Some o -> Obs.Metric.observe o.Instrument.arc_columns 0);
+            finish_exact t child
+          end
+          else begin
+            let cheap =
+              if t.skip_ok && c >= 0 then begin
+                (* O(1) filter: the coarse replacement term uses the best
+                   PSSM entry for [c] anywhere in the query. *)
+                let r = if rmax > neg_inf then rmax + t.smax.(c) else neg_inf in
+                let q = if r >= del_ub then r else del_ub in
+                if q <= thr || del_ub > thr then q
+                else begin
+                  (* Refine: the exact replacement-term bound pairs each
+                     live diagonal feed with its own PSSM entry — an
+                     O(live) scan, and [live] is small after pruning. *)
+                  let row = c * m in
+                  let cols = t.cols in
+                  let live_i = t.live_i and live_g = t.live_g in
+                  let rc = ref neg_inf in
+                  for j = 0 to nlive - 1 do
+                    let s =
+                      Array.unsafe_get live_g j
+                      + Array.unsafe_get cols (row + Array.unsafe_get live_i j)
+                    in
+                    if s > !rc then rc := s
+                  done;
+                  if !rc >= del_ub then !rc else del_ub
+                end
+              end
+              else max_int
+            in
+            if cheap <= parent.max_score || cheap < t.min_score then begin
+              if checked_kernel then check_skip t parent c cheap;
+              (* One logical column: the reference engine runs exactly
+                 one before reaching this verdict. *)
+              t.c_columns <- t.c_columns + 1;
+              t.c_bound_reused <- t.c_bound_reused + 1;
+              (match t.obs with
+              | None -> ()
+              | Some o ->
+                Obs.Metric.incr o.Instrument.bound_reused;
+                Obs.Metric.observe o.Instrument.arc_columns 1);
+              if cheap <= parent.max_score then begin
+                (* Dominated: the reference column cannot improve the
+                   running best, so its verdict is status 2 with the
+                   parent's registers intact. *)
+                t.sc_best <- parent.max_score;
+                t.sc_best_q <- parent.max_q;
+                t.sc_best_off <- parent.max_off;
+                finish_exact t child
+              end
+              else
+                (* cheap < min_score (and parent.max_score < cheap <
+                   min_score): the reference column ends below both
+                   thresholds and its node is discarded either way. *)
+                t.c_pruned <- t.c_pruned + 1
+            end
+            else begin
+              t.c_bound_recomputed <- t.c_bound_recomputed + 1;
+              (match t.obs with
+              | None -> ()
+              | Some o -> Obs.Metric.incr o.Instrument.bound_recomputed);
+              run_arc t parent child w poff k
+            end
+          end;
+          incr i
+        done
+      done
+    end
 
   (* Shared constructor: [cols]/[hvec] come either from a matrix and a
      query or from a position-specific profile. A borrowed [session] is
@@ -573,16 +895,30 @@ module Make (S : Source.S) = struct
     in
     let affine = not (Scoring.Gap.is_linear cfg.gap) in
     let width = (m + 1) * if affine then 2 else 1 in
+    let cols = Scoring.Pssm.cols_flat profile in
+    let smax =
+      Kernel_util.smax_of_cols ~cols ~m ~dim:(Scoring.Pssm.dim profile)
+    in
+    (* The pre-DP sibling bound is only admissible when the heuristic
+       vector is pointwise non-negative (so a cell's bound dominates the
+       running best's) and drops by at least the gap-extension score per
+       step (so parent-column aggregates cover insert chains with no
+       slack). Both constructors in [Heuristic] satisfy this; check
+       rather than assume. *)
+    let skip_ok =
+      Array.for_all (fun h -> h >= 0) hvec
+      && Kernel_util.min_hdrop hvec >= Scoring.Gap.extend_score cfg.gap
+    in
     let ses =
       match session with
       | Some s ->
         Col_pool.reset s.ses_pool ~width;
-        Pqueue.clear s.ses_pq;
+        Frontier.clear s.ses_fr;
         s
       | None ->
         {
           ses_pool = Col_pool.create ~width;
-          ses_pq = Pqueue.create ();
+          ses_fr = Frontier.create ();
           ses_emit_buf = Array.make 64 0;
         }
     in
@@ -593,7 +929,7 @@ module Make (S : Source.S) = struct
         m;
         hvec;
         cfg;
-        cols = Scoring.Pssm.cols_flat profile;
+        cols;
         gap_open = Scoring.Gap.open_score cfg.gap;
         gap_extend = Scoring.Gap.extend_score cfg.gap;
         min_score = cfg.min_score;
@@ -601,9 +937,11 @@ module Make (S : Source.S) = struct
         opt_pd = cfg.options.prune_dominated;
         affine;
         term = S.terminator source;
+        smax;
+        skip_ok;
         ses;
         pool = ses.ses_pool;
-        pq = ses.ses_pq;
+        fr = ses.ses_fr;
         reported_seq = Array.make (Bioseq.Database.num_sequences db) false;
         reported_count = 0;
         pending = Queue.create ();
@@ -612,11 +950,24 @@ module Make (S : Source.S) = struct
         c_enqueued = 0;
         c_pruned = 0;
         c_max_queue = 0;
+        c_bound_reused = 0;
+        c_bound_recomputed = 0;
         sc_best = 0;
         sc_best_q = 0;
         sc_best_off = 0;
         sc_ub = neg_inf;
         sc_depth = 0;
+        sc_col_depth = 0;
+        sc_cut = 0;
+        ch_nodes = Array.make 32 (S.root source);
+        ch_start = Array.make 32 0;
+        ch_stop = Array.make 32 0;
+        ch_sym = Array.make 32 0;
+        live_i = Array.make m 0;
+        live_g = Array.make m 0;
+        sym_buf = Array.make sym_chunk 0;
+        sym_base = 0;
+        sym_n = 0;
         tracer = None;
         obs = None;
         base_minor_words = Gc.minor_words ();
@@ -645,16 +996,8 @@ module Make (S : Source.S) = struct
       for i = 0 to m do
         if hvec.(i) >= cfg.min_score then w.(off + i) <- 0
       done;
-      Pqueue.push t.pq ~priority:!priority ~tie:1
-        {
-          tree_node = S.root source;
-          slot;
-          depth = 0;
-          max_score = 0;
-          max_q = 0;
-          max_off = 0;
-          accepted = false;
-        };
+      Frontier.push t.fr ~priority:!priority ~tie:1 ~node:(S.root source)
+        ~slot ~depth:0 ~max_score:0 ~max_q:0 ~max_off:0 ~accepted:false;
       t.c_enqueued <- 1;
       t.c_max_queue <- 1
     end;
@@ -752,20 +1095,34 @@ module Make (S : Source.S) = struct
       else if t.exhausted <> None then None
       else begin
         obs_phase t Instrument.phase_bound;
-        if budget_spent t && Pqueue.length t.pq > 0 then begin
+        if budget_spent t && Frontier.length t.fr > 0 then begin
           (* Stop with the frontier intact: the head priority is an
              admissible bound on every hit the truncated search would
              still have reported. *)
-          (match Pqueue.peek_priority t.pq with
+          (match Frontier.peek_priority t.fr with
           | Some bound -> t.exhausted <- Some bound
           | None -> assert false);
           None
         end
         else begin
           obs_phase t Instrument.phase_queue;
-          match Pqueue.pop t.pq with
+          match Frontier.pop t.fr with
           | None -> None
-          | Some (priority, node) ->
+          | Some tree_node ->
+            let priority = Frontier.popped_priority t.fr in
+            (* The popped entry's one record materialization: pushes
+               stored bare fields in the frontier's flat arenas. *)
+            let node =
+              {
+                tree_node;
+                slot = Frontier.popped_slot t.fr;
+                depth = Frontier.popped_depth t.fr;
+                max_score = Frontier.popped_max_score t.fr;
+                max_q = Frontier.popped_max_q t.fr;
+                max_off = Frontier.popped_max_off t.fr;
+                accepted = Frontier.popped_accepted t.fr;
+              }
+            in
             trace t
               (Popped
                  {
@@ -773,7 +1130,7 @@ module Make (S : Source.S) = struct
                    accepted = node.accepted;
                    depth = node.depth;
                    max_score = node.max_score;
-                   queue_length = Pqueue.length t.pq;
+                   queue_length = Frontier.length t.fr;
                  });
             if node.accepted then begin
               obs_phase t Instrument.phase_emit;
@@ -796,17 +1153,16 @@ module Make (S : Source.S) = struct
                       [
                         ("depth", Obs.Trace.Int node.depth);
                         ("priority", Obs.Trace.Int priority);
-                        ("queue", Obs.Trace.Int (Pqueue.length t.pq));
+                        ("queue", Obs.Trace.Int (Frontier.length t.fr));
                       ]));
               obs_phase t Instrument.phase_expand;
               t.c_expanded <- t.c_expanded + 1;
-              S.iter_children t.source node.tree_node (fun child ->
-                  expand t node child);
+              expand_children t node;
               (* Every child has copied what it needs: recycle the
                  parent's column. *)
               Col_pool.release t.pool node.slot;
               obs_phase t Instrument.phase_queue;
-              let qlen = Pqueue.length t.pq in
+              let qlen = Frontier.length t.fr in
               if qlen > t.c_max_queue then begin
                 t.c_max_queue <- qlen;
                 match t.obs with
@@ -848,7 +1204,7 @@ module Make (S : Source.S) = struct
     go [] 0
 
   let peek_bound t =
-    let from_queue = Pqueue.peek_priority t.pq in
+    let from_queue = Frontier.peek_priority t.fr in
     match Queue.peek_opt t.pending with
     | None -> from_queue
     | Some hit -> (
@@ -875,8 +1231,9 @@ module Make (S : Source.S) = struct
       io_misses = (let _, m = S.io_stats t.source in m - t.base_io_misses);
     }
 
-  let queue_length t = Pqueue.length t.pq
+  let queue_length t = Frontier.length t.fr
   let reported t = t.reported_count
+  let bound_stats t = (t.c_bound_reused, t.c_bound_recomputed)
 
   let outcome t =
     match t.exhausted with
@@ -884,7 +1241,7 @@ module Make (S : Source.S) = struct
     | None ->
       if
         Queue.is_empty t.pending
-        && (Pqueue.length t.pq = 0
+        && (Frontier.length t.fr = 0
            || t.reported_count >= Array.length t.reported_seq)
       then Complete
       else Searching
@@ -898,4 +1255,5 @@ module type DRIVER = sig
 end
 
 module Mem = Make (Source.Mem)
+module Packed = Make (Source.Packed)
 module Disk = Make (Source.Disk)

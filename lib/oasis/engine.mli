@@ -231,6 +231,15 @@ module Make (S : Source.S) : sig
   val queue_length : t -> int
   val reported : t -> int
 
+  val bound_stats : t -> int * int
+  (** [(reused, recomputed)]: sibling arcs settled by the shared pre-DP
+      parent-aggregate bound alone versus arcs that ran the full DP arc
+      walk. Their sum counts every non-terminator child arc expanded so
+      far; the reused share is what the blocked layout saved. Purely
+      informational — the reused arcs still contribute their one logical
+      column to {!counters}' [columns], which stays bit-identical to the
+      reference engine's. *)
+
   val outcome : t -> outcome
   (** See {!outcome}. Once [Exhausted], further {!next} calls return
       [None] without resuming; the value is stable. *)
@@ -247,6 +256,12 @@ end
 
 module Mem : module type of Make (Source.Mem)
 (** Engine over the in-memory {!Suffix_tree.Tree}. *)
+
+module Packed : module type of Make (Source.Packed)
+(** Engine over the flat {!Suffix_tree.Packed} image: bit-identical
+    hit streams and counters to {!Mem} over the packing's origin tree,
+    with the expansion phase's tree walk turned into sequential array
+    scans (the throughput benchmarks use this instantiation). *)
 
 module Disk : module type of Make (Source.Disk)
 (** Engine over the paged {!Storage.Disk_tree}; every tree and symbol

@@ -1,0 +1,61 @@
+(** Bucket frontier for the engine's A* loop.
+
+    Same queue discipline as {!Pqueue} — decreasing [priority], then
+    increasing [tie] (must be 0 or 1), then insertion order (FIFO) — but
+    implemented as an array of per-(priority, tie) FIFO buckets indexed
+    by the priority itself, which must be a non-negative int (scores in
+    the engine are bounded by the root bound). Every operation is O(1)
+    plus an amortized scan of empty buckets; because A* pops
+    non-increasing bounds and arc bounds are admissible along a path,
+    that scan totals roughly one pass over the score range per search.
+
+    The payload is the engine's search-node shape — tree node plus six
+    scalar fields — stored in flat arenas so a push allocates nothing;
+    the fields of the last popped entry are read back through the
+    [popped_*] registers (see DESIGN.md §2j). *)
+
+type 'node t
+
+val create : unit -> 'node t
+val is_empty : 'node t -> bool
+val length : 'node t -> int
+
+val clear : 'node t -> unit
+(** Empty the frontier, keeping bucket-table and arena capacity — an
+    engine session reuses one frontier across queries. Retained arena
+    slots may still reference previously pushed nodes until overwritten;
+    the engine's session reuse always re-pushes before reading, so
+    nothing observes them (same caveat as {!Pqueue.clear}). *)
+
+val push :
+  'node t ->
+  priority:int ->
+  tie:int ->
+  node:'node ->
+  slot:int ->
+  depth:int ->
+  max_score:int ->
+  max_q:int ->
+  max_off:int ->
+  accepted:bool ->
+  unit
+(** Enqueue one search node without allocating. [priority] must be
+    non-negative and [tie] must be 0 or 1; raises [Invalid_argument]
+    otherwise. *)
+
+val pop : 'node t -> 'node option
+(** Highest priority first, ties as documented above. The scalar fields
+    of the popped entry are left in the [popped_*] registers below,
+    valid until the next {!pop}. *)
+
+val popped_priority : 'node t -> int
+val popped_slot : 'node t -> int
+val popped_depth : 'node t -> int
+val popped_max_score : 'node t -> int
+val popped_max_q : 'node t -> int
+val popped_max_off : 'node t -> int
+val popped_accepted : 'node t -> bool
+
+val peek_priority : 'node t -> int option
+val top_priority_exn : 'node t -> int
+(** Raises [Invalid_argument] when empty. *)

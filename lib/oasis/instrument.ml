@@ -10,6 +10,9 @@ type t = {
   expansion_depth : Obs.Metric.histogram;
   arc_columns : Obs.Metric.histogram;
   queue : Obs.Metric.gauge;
+  block_arcs : Obs.Metric.histogram;
+  bound_reused : Obs.Metric.counter;
+  bound_recomputed : Obs.Metric.counter;
   batch_active : Obs.Metric.histogram;
   batch_retired : Obs.Metric.counter;
   trace : Obs.Trace.t option;
@@ -25,6 +28,9 @@ let create ?registry ?trace () =
     expansion_depth = Obs.Registry.histogram registry "engine.expansion_depth";
     arc_columns = Obs.Registry.histogram registry "engine.arc_columns";
     queue = Obs.Registry.gauge registry "engine.queue";
+    block_arcs = Obs.Registry.histogram registry "block.arcs_per_block";
+    bound_reused = Obs.Registry.counter registry "bound.reused";
+    bound_recomputed = Obs.Registry.counter registry "bound.recomputed";
     batch_active = Obs.Registry.histogram registry "batch.active_queries";
     batch_retired = Obs.Registry.counter registry "batch.retired";
     trace;

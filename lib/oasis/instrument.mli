@@ -44,6 +44,15 @@ type t = {
       (** DP columns computed per child arc (0 = pruned before the
           first column or terminator-first arc) *)
   queue : Obs.Metric.gauge;  (** priority-queue length at each high-water *)
+  block_arcs : Obs.Metric.histogram;
+      (** sibling arcs per DP block: how full each gathered run of
+          siblings was when its columns streamed back-to-back *)
+  bound_reused : Obs.Metric.counter;
+      (** sibling arcs settled by the parent-aggregate (ALAE-style)
+          bound alone — no DP cell was computed *)
+  bound_recomputed : Obs.Metric.counter;
+      (** sibling arcs that ran the full DP arc walk because the cheap
+          bound could not decide them *)
   batch_active : Obs.Metric.histogram;
       (** fused batch kernel: queries still active at each physical
           node expansion — how dense the k-lane DP slot actually is *)

@@ -11,6 +11,46 @@ let checked =
   | Some ("1" | "true" | "yes") -> true
   | _ -> false
 
+(* Sibling arcs are expanded in blocks of up to this many: the block's
+   children are gathered from the tree in one pass, then their DP runs
+   back-to-back against the parent column while the PSSM rows and the
+   parent's cells are hot in cache. 16 covers a full protein fan-out
+   (20 residues + terminator splits into at most two blocks) without
+   outgrowing the scratch arrays' cache footprint. *)
+let block_arcs = 16
+
+(* Per-symbol maximum of a symbol-major profile: [smax.(c)] is the best
+   score symbol [c] achieves against any query position. One O(dim * m)
+   pass at engine creation buys the ALAE-style pre-DP bound an O(1)
+   replacement term per sibling arc. *)
+let smax_of_cols ~cols ~m ~dim =
+  let smax = Array.make dim Scoring.Submat.neg_inf in
+  for c = 0 to dim - 1 do
+    let row = c * m in
+    let best = ref Scoring.Submat.neg_inf in
+    for i = 0 to m - 1 do
+      let s = cols.(row + i) in
+      if s > !best then best := s
+    done;
+    smax.(c) <- !best
+  done;
+  smax
+
+(* Minimum one-step drop of the admissible vector:
+   [min over i in 1..m of hvec.(i-1) - hvec.(i)] (0 for an empty
+   query). Both heuristic constructors guarantee this is >= the gap
+   extension score, which is what makes the parent-aggregate bound
+   cover insert chains with no slack term — the engine checks the
+   inequality at creation rather than assuming it. *)
+let min_hdrop hvec =
+  let m = Array.length hvec - 1 in
+  let d = ref max_int in
+  for i = 1 to m do
+    let s = hvec.(i - 1) - hvec.(i) in
+    if s < !d then d := s
+  done;
+  if !d = max_int then 0 else !d
+
 (* In-place ascending sort of [a.(lo .. hi)] — quicksort with an
    insertion-sort base case. The emit paths sort a reused scratch
    prefix, which [Array.sort] cannot do without slicing. *)

@@ -5,6 +5,24 @@ val checked : bool
 (** True when [OASIS_CHECKED_KERNEL=1]: kernels validate their index
     ranges once per DP column before entering the unsafe inner loops. *)
 
+val block_arcs : int
+(** Sibling arcs per DP block: children are gathered from the tree in
+    one pass and their columns run back-to-back in chunks of this many,
+    so the PSSM rows and the parent column stay cache-hot across the
+    whole sibling run. *)
+
+val smax_of_cols : cols:int array -> m:int -> dim:int -> int array
+(** [smax_of_cols ~cols ~m ~dim] over a symbol-major [dim * m] profile:
+    element [c] is [max over i of cols.((c * m) + i)] — the best score
+    symbol [c] achieves against any query position. Feeds the
+    replacement term of the pre-DP sibling bound. *)
+
+val min_hdrop : int array -> int
+(** Minimum one-step drop [hvec.(i-1) - hvec.(i)] of an admissible
+    vector (0 for an empty query). The pre-DP bound is only enabled
+    when this is >= the gap extension score — the property that lets
+    parent-column aggregates cover insert chains exactly. *)
+
 val sort_range : int array -> int -> int -> unit
 (** In-place ascending sort of [a.(lo .. hi)] — lets the emit paths
     sort a reused scratch prefix without slicing. *)

@@ -9,7 +9,12 @@ module type S = sig
   val label_start : t -> node -> int
   val label_stop : t -> node -> int option
   val label_end : t -> node -> int
+
+  val gather :
+    t -> node -> (node -> start:int -> stop:int -> sym:int -> unit) -> unit
+
   val symbol : t -> int -> int
+  val blit_symbols : t -> pos:int -> len:int -> int array -> int -> unit
   val terminator : t -> int
   val iter_positions : t -> node -> (int -> unit) -> unit
   val io_stats : t -> int * int
@@ -42,8 +47,27 @@ module Mem = struct
   let label_stop _ node = Some (Suffix_tree.Tree.label_stop node)
   let label_end _ node = Suffix_tree.Tree.label_stop node
 
+  let gather = Suffix_tree.Tree.gather_children
+
   let symbol t pos =
     Bioseq.Database.code (Suffix_tree.Tree.database t) pos
+
+  (* One range check for the whole run, then raw byte reads: arc labels
+     are tree invariants, so the check never fires outside a corrupted
+     index — but it keeps the unsafe loop honest. *)
+  let blit_symbols t ~pos ~len dst off =
+    let db = Suffix_tree.Tree.database t in
+    let data = Bioseq.Database.data db in
+    if
+      pos < 0 || len < 0
+      || pos + len > Bioseq.Database.data_length db
+      || off < 0
+      || off + len > Array.length dst
+    then invalid_arg "Source.Mem.blit_symbols: range out of bounds";
+    for k = 0 to len - 1 do
+      Array.unsafe_set dst (off + k)
+        (Char.code (Bytes.unsafe_get data (pos + k)))
+    done
 
   let terminator t =
     Bioseq.Alphabet.terminator
@@ -60,6 +84,49 @@ module Mem = struct
   let io_stats _ = (0, 0)
 end
 
+module Packed = struct
+  type t = Suffix_tree.Packed.t
+  type node = Suffix_tree.Packed.node
+
+  let root = Suffix_tree.Packed.root
+  let iter_children = Suffix_tree.Packed.iter_children
+
+  let children t node =
+    let acc = ref [] in
+    iter_children t node (fun c -> acc := c :: !acc);
+    List.rev !acc
+
+  let is_leaf _ node = Suffix_tree.Packed.is_leaf node
+  let label_start = Suffix_tree.Packed.label_start
+  let label_stop t node = Some (Suffix_tree.Packed.label_stop t node)
+  let label_end = Suffix_tree.Packed.label_stop
+  let gather = Suffix_tree.Packed.gather_children
+
+  let symbol t pos =
+    Bioseq.Database.code (Suffix_tree.Packed.database t) pos
+
+  let blit_symbols t ~pos ~len dst off =
+    let db = Suffix_tree.Packed.database t in
+    let data = Bioseq.Database.data db in
+    if
+      pos < 0 || len < 0
+      || pos + len > Bioseq.Database.data_length db
+      || off < 0
+      || off + len > Array.length dst
+    then invalid_arg "Source.Packed.blit_symbols: range out of bounds";
+    for k = 0 to len - 1 do
+      Array.unsafe_set dst (off + k)
+        (Char.code (Bytes.unsafe_get data (pos + k)))
+    done
+
+  let terminator t =
+    Bioseq.Alphabet.terminator
+      (Bioseq.Database.alphabet (Suffix_tree.Packed.database t))
+
+  let iter_positions = Suffix_tree.Packed.iter_positions
+  let io_stats _ = (0, 0)
+end
+
 module Disk = struct
   type t = Storage.Disk_tree.t
   type node = Storage.Disk_tree.node
@@ -72,6 +139,22 @@ module Disk = struct
   let label_stop = Storage.Disk_tree.label_stop
   let label_end = Storage.Disk_tree.label_end
   let symbol = Storage.Disk_tree.symbol
+
+  let gather t node f =
+    Storage.Disk_tree.iter_children t node (fun c ->
+        let start = Storage.Disk_tree.label_start t c in
+        let stop = Storage.Disk_tree.label_end t c in
+        let sym = if start < stop then Storage.Disk_tree.symbol t start else -1 in
+        f c ~start ~stop ~sym)
+
+  (* One [Disk_tree.symbol] per position: each read lands in the same
+     pinned symbols page for all but the first symbol of a page-crossing
+     run, so the per-call cost is the handle's last-page memo probe. *)
+  let blit_symbols t ~pos ~len dst off =
+    for k = 0 to len - 1 do
+      dst.(off + k) <- Storage.Disk_tree.symbol t (pos + k)
+    done
+
   let terminator = Storage.Disk_tree.terminator
   let iter_positions = Storage.Disk_tree.iter_positions
   let io_stats = Storage.Disk_tree.io_stats

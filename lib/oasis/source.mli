@@ -44,8 +44,25 @@ module type S = sig
       The engine's per-child hot path uses this to stay
       allocation-free. *)
 
+  val gather :
+    t -> node -> (node -> start:int -> stop:int -> sym:int -> unit) -> unit
+  (** One fused pass over [node]'s children in {!iter_children} order:
+      each child arrives with its label range ([start]/[stop], as
+      {!label_start}/{!label_end} would report) and its first symbol
+      code [sym] ({!symbol} at [start]; [-1] for an empty label). The
+      engines' expansion path uses this to pay one callback per child
+      instead of four accessor dispatches. *)
+
   val symbol : t -> int -> int
   (** Symbol code at a global position (terminator included). *)
+
+  val blit_symbols : t -> pos:int -> len:int -> int array -> int -> unit
+  (** [blit_symbols t ~pos ~len dst off] copies the [len] symbol codes
+      at global positions [pos .. pos + len - 1] (terminators included)
+      into [dst.(off .. off + len - 1)]. Semantically [len] calls to
+      {!symbol}; one call per label run lets the engine's blocked arc
+      walk fetch a chunk of a sibling's label through a single functor
+      dispatch instead of one per DP column. *)
 
   val terminator : t -> int
 
@@ -61,4 +78,14 @@ module type S = sig
 end
 
 module Mem : S with type t = Suffix_tree.Tree.t
+
+module Packed :
+  S with type t = Suffix_tree.Packed.t and type node = Suffix_tree.Packed.node
+(** The flat array-packed image ({!Suffix_tree.Packed.of_tree}): same
+    children, same canonical order, same hit streams as {!Mem} over the
+    packed tree's origin — but gathering a sibling block is a
+    sequential scan of contiguous arrays instead of a pointer chase,
+    and node handles are unboxed ints. The throughput benchmarks run
+    the engine over this source. *)
+
 module Disk : S with type t = Storage.Disk_tree.t

@@ -37,7 +37,10 @@ let make_internal ~start ~stop =
     positions = [];
   }
 
-let is_leaf n = n.first_child = None && n.start >= 0
+(* Pattern match, not [= None]: the polymorphic equality would be an
+   out-of-line [caml_equal] call on the hottest tree predicate. *)
+let is_leaf n =
+  (match n.first_child with None -> true | Some _ -> false) && n.start >= 0
 let is_root n = n.start < 0
 let label_length n = n.stop - n.start
 

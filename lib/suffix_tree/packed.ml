@@ -1,0 +1,199 @@
+type t = {
+  db : Bioseq.Database.t;
+  (* Internal node [i]: label [node_start.(i), node_stop.(i)), children
+     in the child arrays at [ch_off.(i) .. ch_off.(i+1) - 1], subtree
+     leaves [leaf_lo.(i) .. leaf_hi.(i) - 1]. *)
+  node_start : int array;
+  node_stop : int array;
+  ch_off : int array;
+  leaf_lo : int array;
+  leaf_hi : int array;
+  (* Child slot [k]: handle, label range and first symbol code of one
+     child, runs stored in canonical order (internal first, then
+     leaves, each in sibling order). *)
+  c_handle : int array;
+  c_start : int array;
+  c_stop : int array;
+  c_sym : int array;
+  (* Leaf [l]: label [leaf_start.(l), leaf_stop.(l)), suffix positions
+     at [pos.(pos_off.(l) .. pos_off.(l+1) - 1)]. Leaves are numbered
+     in DFS order, so a subtree's positions are one contiguous run. *)
+  leaf_start : int array;
+  leaf_stop : int array;
+  pos_off : int array;
+  pos : int array;
+}
+
+type node = int
+
+let database t = t.db
+let root _ = 0
+let is_leaf (n : node) = n < 0
+let internal_nodes t = Array.length t.node_start
+let leaves t = Array.length t.leaf_start
+
+let label_start t n = if n >= 0 then t.node_start.(n) else t.leaf_start.(lnot n)
+let label_stop t n = if n >= 0 then t.node_stop.(n) else t.leaf_stop.(lnot n)
+let num_children t n = if n < 0 then 0 else t.ch_off.(n + 1) - t.ch_off.(n)
+
+let iter_children t n f =
+  if n >= 0 then
+    for k = t.ch_off.(n) to t.ch_off.(n + 1) - 1 do
+      f t.c_handle.(k)
+    done
+
+let gather_children t n f =
+  if n >= 0 then begin
+    let handle = t.c_handle
+    and start = t.c_start
+    and stop = t.c_stop
+    and sym = t.c_sym in
+    for k = t.ch_off.(n) to t.ch_off.(n + 1) - 1 do
+      f
+        (Array.unsafe_get handle k)
+        ~start:(Array.unsafe_get start k)
+        ~stop:(Array.unsafe_get stop k)
+        ~sym:(Array.unsafe_get sym k)
+    done
+  end
+
+let iter_positions t n f =
+  let lo, hi =
+    if n < 0 then
+      let l = lnot n in
+      (l, l + 1)
+    else (t.leaf_lo.(n), t.leaf_hi.(n))
+  in
+  for p = t.pos_off.(lo) to t.pos_off.(hi) - 1 do
+    f t.pos.(p)
+  done
+
+let of_tree tree =
+  let db = Tree.database tree in
+  let data = Bioseq.Database.data db in
+  (* Pass 1: count internals, leaves, child slots and positions. An
+     explicit stack keeps degenerate (path-shaped) trees from
+     overflowing native recursion. *)
+  let ni = ref 0 and nl = ref 0 and np = ref 0 in
+  let stack = ref [ Tree.root tree ] in
+  let continue = ref true in
+  while !continue do
+    match !stack with
+    | [] -> continue := false
+    | n :: rest ->
+      stack := rest;
+      if Node.is_leaf n then begin
+        incr nl;
+        np := !np + List.length n.Node.positions
+      end
+      else begin
+        incr ni;
+        Node.iter_children n (fun c -> stack := c :: !stack)
+      end
+  done;
+  let ni = !ni and nl = !nl and np = !np in
+  let slots = ni - 1 + nl in
+  let p =
+    {
+      db;
+      node_start = Array.make ni 0;
+      node_stop = Array.make ni 0;
+      ch_off = Array.make (ni + 1) 0;
+      leaf_lo = Array.make ni 0;
+      leaf_hi = Array.make ni 0;
+      c_handle = Array.make (max slots 1) 0;
+      c_start = Array.make (max slots 1) 0;
+      c_stop = Array.make (max slots 1) 0;
+      c_sym = Array.make (max slots 1) 0;
+      leaf_start = Array.make (max nl 1) 0;
+      leaf_stop = Array.make (max nl 1) 0;
+      pos_off = Array.make (nl + 1) 0;
+      pos = Array.make (max np 1) 0;
+    }
+  in
+  (* Pass 2: preorder DFS in canonical child order (internal children
+     first, then leaves). Internal ids and leaf numbers are assigned at
+     visit time, so every subtree occupies one contiguous range of
+     both. Each stack item carries the child slot its handle backpatches
+     ([-1] for the root). *)
+  let next_internal = ref 0
+  and next_leaf = ref 0
+  and next_slot = ref 0
+  and next_pos = ref 0 in
+  let stack = ref [ (Tree.root tree, -1) ] in
+  let pack_leaf (n : Node.t) slot =
+    let l = !next_leaf in
+    incr next_leaf;
+    p.leaf_start.(l) <- n.Node.start;
+    p.leaf_stop.(l) <- n.Node.stop;
+    p.pos_off.(l) <- !next_pos;
+    List.iter
+      (fun q ->
+        p.pos.(!next_pos) <- q;
+        incr next_pos)
+      n.Node.positions;
+    if slot >= 0 then p.c_handle.(slot) <- lnot l
+  in
+  let continue = ref true in
+  while !continue do
+    match !stack with
+    | [] -> continue := false
+    | (n, slot) :: rest ->
+      stack := rest;
+      if Node.is_leaf n then pack_leaf n slot
+      else begin
+        let i = !next_internal in
+        incr next_internal;
+        if slot >= 0 then p.c_handle.(slot) <- i;
+        p.node_start.(i) <- n.Node.start;
+        p.node_stop.(i) <- n.Node.stop;
+        p.leaf_lo.(i) <- !next_leaf;
+        (* Reserve this node's child run and queue the children. The
+           run is filled back to front while pushing, so the canonical
+           order pops (and packs) first. *)
+        let internals = ref [] and leafs = ref [] in
+        Node.iter_children n (fun c ->
+            if Node.is_leaf c then leafs := c :: !leafs
+            else internals := c :: !internals);
+        let count = List.length !internals + List.length !leafs in
+        let first_slot = !next_slot in
+        next_slot := first_slot + count;
+        p.ch_off.(i) <- first_slot;
+        let fill = ref (first_slot + count - 1) in
+        let queue (c : Node.t) =
+          let slot = !fill in
+          decr fill;
+          p.c_start.(slot) <- c.Node.start;
+          p.c_stop.(slot) <- c.Node.stop;
+          p.c_sym.(slot) <-
+            (if c.Node.start < c.Node.stop then
+               Char.code (Bytes.unsafe_get data c.Node.start)
+             else -1);
+          stack := (c, slot) :: !stack
+        in
+        (* [internals]/[leafs] are already reversed sibling runs, so
+           queueing leaves first then internals pushes the exact
+           reverse of canonical order. *)
+        List.iter queue !leafs;
+        List.iter queue !internals
+      end
+  done;
+  p.ch_off.(ni) <- !next_slot;
+  p.pos_off.(nl) <- !next_pos;
+  (* [leaf_hi]: with preorder internal ids and DFS leaf numbering, node
+     [i]'s subtree leaves end where the subtree of the next preorder
+     node outside it begins. A linear reverse sweep recovers it without
+     sentinels: every internal node's subtree is a contiguous id range,
+     so [leaf_hi] of [i] is the max of its children's — computed here
+     from the child runs, right to left (children have larger ids than
+     their parent in preorder). *)
+  for i = ni - 1 downto 0 do
+    let hi = ref p.leaf_lo.(i) in
+    for k = p.ch_off.(i) to p.ch_off.(i + 1) - 1 do
+      let h = p.c_handle.(k) in
+      let child_hi = if h < 0 then lnot h + 1 else p.leaf_hi.(h) in
+      if child_hi > !hi then hi := child_hi
+    done;
+    p.leaf_hi.(i) <- !hi
+  done;
+  p

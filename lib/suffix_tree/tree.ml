@@ -13,6 +13,36 @@ let positions (n : node) = n.Node.positions
 
 let data t = Bioseq.Database.data t.db
 
+let gather_children t node f =
+  let data = Bioseq.Database.data t.db in
+  (* Two passes over the sibling links: internal children first, then
+     leaves — the canonical order the disk image stores and the search
+     engines iterate. Labels of real children are non-empty and inside
+     the database by construction, so the symbol read skips the bounds
+     check; the [start < stop] guard keeps a degenerate label honest. *)
+  let emit (c : Node.t) =
+    let start = c.Node.start in
+    let stop = c.Node.stop in
+    let sym =
+      if start < stop then Char.code (Bytes.unsafe_get data start) else -1
+    in
+    f c ~start ~stop ~sym
+  in
+  let rec internals = function
+    | None -> ()
+    | Some (c : Node.t) ->
+      (match c.Node.first_child with Some _ -> emit c | None -> ());
+      internals c.Node.next_sibling
+  in
+  let rec leaves = function
+    | None -> ()
+    | Some (c : Node.t) ->
+      (match c.Node.first_child with None -> emit c | Some _ -> ());
+      leaves c.Node.next_sibling
+  in
+  internals node.Node.first_child;
+  leaves node.Node.first_child
+
 (* The node type stores no parent link, so root-to-node paths are
    recovered by a physical-equality search from the root (debug-grade
    helpers; the search engines track paths themselves). *)

@@ -20,6 +20,16 @@ val is_leaf : node -> bool
 val children : node -> node list
 val iter_children : node -> (node -> unit) -> unit
 
+val gather_children :
+  t -> node -> (node -> start:int -> stop:int -> sym:int -> unit) -> unit
+(** Children in the canonical search order — internal children first,
+    then leaves, each run in sibling order (the partition {!Export}
+    lays out on disk) — with each child's label range and first symbol
+    code delivered in one fused pass over the sibling links. [sym] is
+    [-1] for an empty label. The search engines' expansion path uses
+    this: one callback per child replaces a handful of per-child
+    accessor calls. *)
+
 val label : node -> int * int
 (** Global range [ [start, stop) ) of the incoming edge label. *)
 

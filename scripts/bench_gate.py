@@ -6,6 +6,22 @@ and scaling benches) against the committed baseline and fails when the
 kernel's engine columns/sec regressed by more than the tolerance
 (default 25%, override with BENCH_GATE_TOLERANCE, e.g. 0.4).
 
+Two acceptance bars are absolute, not tolerance-relative, and apply to
+full-size (non --quick) sections only: kernel engine columns/sec must
+be >= 1.5x the committed pre-round-2 kernel baseline (the arc-blocked
+expansion rebuild's target), and the fused batch kernel's physical
+sweep reduction must be >= 3x (the sharing it exists to deliver; its
+speedup over independent engines is informational because that ratio's
+denominator — the single-query kernel — keeps getting faster). Quick
+CI runs report both informationally — their wall times are too short
+to hold a ratio on a shared runner.
+
+A fresh file carrying a "kernel_flambda_O3" section (the flambda -O3 CI
+leg runs the quick kernel bench with --suffix=_flambda_O3) is gated
+against the baseline's section of the same name when that baseline
+section carries numbers; until one is committed from a flambda switch,
+the flambda numbers are informational.
+
 The baseline is a full-size run from the development machine while the
 fresh numbers come from a CI runner's quick mode, so the tolerance is
 deliberately loose: the gate exists to catch the engine getting
@@ -100,6 +116,44 @@ def gate_throughput(label, base_cps, fresh_cps, tolerance) -> None:
         )
 
 
+# Committed full-size engine columns/sec immediately before the kernel
+# round 2 rebuild (arc-blocked expansion, packed tree source, shared
+# pre-DP bounds). Round 2's acceptance bar: a full-size run must clear
+# 1.5x this figure.
+PRE_ROUND2_CPS = 1_640_629.2
+
+
+def kernel_is_full(kernel: dict) -> bool:
+    """A full-size (non --quick) kernel section: the 1.5x bar applies."""
+    return kernel.get("quick") is False
+
+
+def gate_round2_bar(name: str, kernel: dict) -> None:
+    """The absolute round-2 acceptance bar on one full-size section."""
+    cps = number(kernel, "engine", "columns_per_sec")
+    if cps is None:
+        skip("kernel", f"{name} engine.columns_per_sec")
+        return
+    target = 1.5 * PRE_ROUND2_CPS
+    if kernel_is_full(kernel):
+        verdict = "ok" if cps >= target else "BELOW TARGET"
+        print(
+            f"bench gate: {name} kernel round-2 bar: {cps:,.0f} cols/s vs "
+            f"target {target:,.0f} (1.5x pre-round-2 {PRE_ROUND2_CPS:,.0f}) "
+            f"-> {verdict}"
+        )
+        if cps < target:
+            fail(
+                f"{name} full-size kernel columns/sec {cps:,.0f} is below "
+                f"the 1.5x round-2 acceptance target {target:,.0f}"
+            )
+    else:
+        print(
+            f"bench gate: {name} kernel round-2 bar: {cps:,.0f} cols/s "
+            f"(quick run, informational; full-size target {target:,.0f})"
+        )
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True)
@@ -122,30 +176,85 @@ def main() -> None:
     if not isinstance(base_kernel, dict):
         fail(f"{args.baseline} has no kernel section")
     fresh_kernel = fresh.get("kernel")
-    if not isinstance(fresh_kernel, dict):
+    flambda_only = not isinstance(fresh_kernel, dict) and isinstance(
+        fresh.get("kernel_flambda_O3"), dict
+    )
+    if not isinstance(fresh_kernel, dict) and not flambda_only:
         fail(f"{args.fresh} has no kernel section — did the quick kernel bench run?")
 
-    if fresh_kernel.get("hit_streams_identical") is not True:
-        fail("fresh kernel run did not certify hit-stream identity")
+    if not flambda_only:
+        if fresh_kernel.get("hit_streams_identical") is not True:
+            fail("fresh kernel run did not certify hit-stream identity")
 
-    base_cps = number(base_kernel, "engine", "columns_per_sec")
-    fresh_cps = number(fresh_kernel, "engine", "columns_per_sec")
-    if fresh_cps is None:
-        fail("fresh kernel section has no engine.columns_per_sec — truncated run?")
-    if base_cps is None:
-        skip("kernel", "baseline engine.columns_per_sec")
-    else:
-        gate_throughput("kernel engine columns/sec", base_cps, fresh_cps, tolerance)
+    if not flambda_only:
+        base_cps = number(base_kernel, "engine", "columns_per_sec")
+        fresh_cps = number(fresh_kernel, "engine", "columns_per_sec")
+        if fresh_cps is None:
+            fail(
+                "fresh kernel section has no engine.columns_per_sec — "
+                "truncated run?"
+            )
+        if base_cps is None:
+            skip("kernel", "baseline engine.columns_per_sec")
+        else:
+            gate_throughput(
+                "kernel engine columns/sec", base_cps, fresh_cps, tolerance
+            )
 
-    # Informational: the engine-vs-reference speedup is machine-relative
-    # and should be far more stable than absolute throughput.
-    base_speedup = number(base_kernel, "speedup_columns_per_sec")
-    fresh_speedup = number(fresh_kernel, "speedup_columns_per_sec")
-    if base_speedup and fresh_speedup:
-        print(
-            f"bench gate: engine/reference speedup: fresh {fresh_speedup:.2f}x "
-            f"vs baseline {base_speedup:.2f}x (informational)"
+        # The round-2 acceptance bar: always asserted on the committed
+        # full-size baseline, and on the fresh numbers when they are
+        # also a full run.
+        gate_round2_bar("baseline", base_kernel)
+        gate_round2_bar("fresh", fresh_kernel)
+
+        # Informational: the engine-vs-reference speedup is
+        # machine-relative and should be far more stable than absolute
+        # throughput.
+        base_speedup = number(base_kernel, "speedup_columns_per_sec")
+        fresh_speedup = number(fresh_kernel, "speedup_columns_per_sec")
+        if base_speedup and fresh_speedup:
+            print(
+                f"bench gate: engine/reference speedup: fresh "
+                f"{fresh_speedup:.2f}x vs baseline {base_speedup:.2f}x "
+                f"(informational)"
+            )
+        reused = number(fresh_kernel, "bound_reused")
+        recomputed = number(fresh_kernel, "bound_recomputed")
+        if reused is not None and recomputed is not None:
+            total = reused + recomputed
+            print(
+                f"bench gate: pre-DP sibling bound: {reused:,.0f} of "
+                f"{total:,.0f} arcs settled without a DP walk "
+                f"({reused / max(1, total):.1%}, informational)"
+            )
+
+    # Flambda -O3 leg: its numbers live in their own section (written
+    # with --suffix=_flambda_O3) so they never mix with the default
+    # toolchain's. Identity is a hard failure; throughput gates only
+    # against a committed flambda baseline section, which does not
+    # exist until one is recorded from a flambda switch.
+    fresh_flambda = fresh.get("kernel_flambda_O3")
+    if isinstance(fresh_flambda, dict):
+        if fresh_flambda.get("hit_streams_identical") is not True:
+            fail("fresh flambda kernel run did not certify hit-stream identity")
+        flam_fresh_cps = number(fresh_flambda, "engine", "columns_per_sec")
+        flam_base_cps = number(
+            baseline.get("kernel_flambda_O3") or {}, "engine", "columns_per_sec"
         )
+        if flam_fresh_cps is None:
+            skip("kernel_flambda_O3", "engine.columns_per_sec")
+        elif flam_base_cps is None:
+            print(
+                f"bench gate: flambda -O3 kernel: {flam_fresh_cps:,.0f} "
+                f"cols/s (no committed flambda baseline yet, informational)"
+            )
+        else:
+            gate_throughput(
+                "flambda -O3 kernel engine columns/sec",
+                flam_base_cps,
+                flam_fresh_cps,
+                tolerance,
+            )
 
     # Disk path: same rules as the kernel — stream identity between the
     # Mem and Disk engines is a hard failure, warm-pool disk throughput
@@ -301,6 +410,13 @@ def main() -> None:
             gate_throughput(
                 f"{label} virtual columns/sec", base_cps, fresh_cps, tolerance
             )
+        # The fused kernel's absolute acceptance bar is the physical
+        # sweep reduction — the sharing it exists to deliver. Its
+        # speedup over k independent engines is reported but not gated:
+        # that ratio's denominator is the single-query kernel, which
+        # round 2 made ~2x faster, so a fixed relative bar would punish
+        # the batch kernel for the plain engine improving. Absolute
+        # fused throughput is covered by the tolerance gates above.
         for name, batch, full in (
             ("baseline", base_batch, base_batch is not None
              and batch_is_full(base_batch)),
@@ -308,24 +424,30 @@ def main() -> None:
         ):
             if batch is None:
                 continue
+            sweeps = number(batch, "physical_sweep_reduction")
             speedup = number(batch, "disk_warm_fused_speedup")
-            if speedup is None:
-                continue
-            if full:
-                verdict = "ok" if speedup >= 1.5 else "BELOW TARGET"
+            if speedup is not None:
                 print(
                     f"bench gate: {name} warm-disk fused speedup: "
-                    f"{speedup:.2f}x (target >= 1.5x) -> {verdict}"
+                    f"{speedup:.2f}x (informational)"
                 )
-                if speedup < 1.5:
+            if sweeps is None:
+                continue
+            if full:
+                verdict = "ok" if sweeps >= 3.0 else "BELOW TARGET"
+                print(
+                    f"bench gate: {name} fused physical sweep reduction: "
+                    f"{sweeps:.2f}x (target >= 3x) -> {verdict}"
+                )
+                if sweeps < 3.0:
                     fail(
-                        f"{name} warm-disk fused batch speedup {speedup:.2f}x "
-                        f"is below the 1.5x acceptance target"
+                        f"{name} fused batch physical sweep reduction "
+                        f"{sweeps:.2f}x is below the 3x acceptance target"
                     )
             else:
                 print(
-                    f"bench gate: {name} warm-disk fused speedup: "
-                    f"{speedup:.2f}x (quick run, informational)"
+                    f"bench gate: {name} fused physical sweep reduction: "
+                    f"{sweeps:.2f}x (quick run, informational)"
                 )
         mem_speedup = number(fresh_batch, "mem_fused_speedup")
         if mem_speedup is not None:
@@ -357,6 +479,36 @@ def main() -> None:
                 f"bench gate: serve: request latency p50 {p50:,.0f} us / "
                 f"p99 {p99:,.0f} us, concurrent "
                 f"{rps or 0:,.1f} req/s (informational)"
+            )
+
+    # Edit-distance kernel: the bit-parallel Myers kernel must report
+    # streams identical to its scalar DP oracle (hard failure), and its
+    # rows/sec gates against the committed baseline at the shared
+    # tolerance. The bit-parallel/DP speedup is informational — it
+    # tracks query length and word width, not regressions.
+    base_edit = baseline.get("edit")
+    fresh_edit = fresh.get("edit")
+    if isinstance(fresh_edit, dict):
+        if fresh_edit.get("hit_streams_identical") is not True:
+            fail(
+                "fresh edit run did not certify bit-parallel-vs-DP "
+                "hit-stream identity"
+            )
+        base_rps = number(base_edit or {}, "bitparallel", "rows_per_sec")
+        fresh_rps = number(fresh_edit, "bitparallel", "rows_per_sec")
+        if fresh_rps is None:
+            skip("edit", "bitparallel.rows_per_sec")
+        elif base_rps is None:
+            skip("edit", "baseline bitparallel.rows_per_sec")
+        else:
+            gate_throughput(
+                "edit bit-parallel rows/sec", base_rps, fresh_rps, tolerance
+            )
+        speedup = number(fresh_edit, "speedup_rows_per_sec")
+        if speedup is not None:
+            print(
+                f"bench gate: edit bit-parallel vs DP oracle: "
+                f"{speedup:.2f}x rows/sec (informational)"
             )
 
     print("bench gate: PASS")

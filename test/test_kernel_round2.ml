@@ -1,0 +1,456 @@
+(* Kernel round 2 identity suite.
+
+   The blocked expansion path (sibling gather, shared pre-DP bound
+   reuse, packed tree source) and the bit-parallel edit kernel are pure
+   speedups: every observable — hit streams, outcomes, column and
+   expansion counters — must stay bit-identical to the executable
+   specifications ([Oasis.Reference] for the engine,
+   [Edit_search.search_dp] for the edit path). These properties drain
+   the optimized and specification implementations on random workloads
+   and compare full records in stream order, across gap models,
+   matrices, budgets, and all three tree sources (mem, packed, disk),
+   plus the fused batch kernel. Run them twice: plain and under
+   [OASIS_CHECKED_KERNEL=1] (CI does). *)
+
+module Reference_disk = Oasis.Reference.Make (Oasis.Source.Disk)
+
+let alpha = Bioseq.Alphabet.dna
+let unit_matrix = Scoring.Matrices.dna_unit
+
+let db_of_strings ?(alphabet = alpha) strings =
+  Bioseq.Database.make
+    (List.mapi
+       (fun i s ->
+         Bioseq.Sequence.make ~alphabet ~id:(Printf.sprintf "s%d" i) s)
+       strings)
+
+let query ?(alphabet = alpha) text =
+  Bioseq.Sequence.make ~alphabet ~id:"q" text
+
+let show_hits hits =
+  String.concat ";"
+    (List.map
+       (fun h ->
+         Printf.sprintf "%d:%d@%d,%d" h.Oasis.Hit.seq_index h.Oasis.Hit.score
+           h.Oasis.Hit.query_stop h.Oasis.Hit.target_stop)
+       hits)
+
+let show_outcome = function
+  | Oasis.Engine.Searching -> "searching"
+  | Oasis.Engine.Complete -> "complete"
+  | Oasis.Engine.Exhausted { remaining_bound } ->
+    Printf.sprintf "exhausted(%d)" remaining_bound
+
+(* One workload through every engine backend, each held to the
+   reference specification over the {e same} source (disk arc labels
+   can split differently from in-memory ones, so the disk engine gets a
+   disk-source reference). Mem and Packed additionally must agree with
+   each other on the full counter record — the packing is the same
+   algorithm over a different memory layout. *)
+let check_engine_backends ~db ~q cfg =
+  let tree = Suffix_tree.Ukkonen.build db in
+  let fail tag exp_h exp_o got_h got_o =
+    if got_h <> exp_h then
+      QCheck.Test.fail_reportf "%s hits: got [%s] expected [%s]" tag
+        (show_hits got_h) (show_hits exp_h)
+    else
+      QCheck.Test.fail_reportf "%s outcome: got %s expected %s" tag
+        (show_outcome got_o) (show_outcome exp_o)
+  in
+  let reference = Oasis.Reference.Mem.create ~source:tree ~db ~query:q cfg in
+  let ref_hits = Oasis.Reference.Mem.run reference in
+  let ref_outcome = Oasis.Reference.Mem.outcome reference in
+  let ref_columns = Oasis.Reference.Mem.columns reference in
+  let ref_expanded = Oasis.Reference.Mem.nodes_expanded reference in
+  (* Mem. *)
+  let em = Oasis.Engine.Mem.create ~source:tree ~db ~query:q cfg in
+  let mh = Oasis.Engine.Mem.run em in
+  let mo = Oasis.Engine.Mem.outcome em in
+  if mh <> ref_hits || mo <> ref_outcome then
+    fail "mem" ref_hits ref_outcome mh mo;
+  let mc = Oasis.Engine.Mem.counters em in
+  if mc.Oasis.Engine.columns <> ref_columns then
+    QCheck.Test.fail_reportf "mem columns: got %d expected %d"
+      mc.Oasis.Engine.columns ref_columns;
+  if mc.Oasis.Engine.nodes_expanded <> ref_expanded then
+    QCheck.Test.fail_reportf "mem nodes_expanded: got %d expected %d"
+      mc.Oasis.Engine.nodes_expanded ref_expanded;
+  (* Packed: same hits, same outcome, same work counters as Mem. *)
+  let packed = Suffix_tree.Packed.of_tree tree in
+  let ep = Oasis.Engine.Packed.create ~source:packed ~db ~query:q cfg in
+  let ph = Oasis.Engine.Packed.run ep in
+  let po = Oasis.Engine.Packed.outcome ep in
+  if ph <> ref_hits || po <> ref_outcome then
+    fail "packed" ref_hits ref_outcome ph po;
+  let pc = Oasis.Engine.Packed.counters ep in
+  if
+    pc.Oasis.Engine.columns <> mc.Oasis.Engine.columns
+    || pc.Oasis.Engine.nodes_expanded <> mc.Oasis.Engine.nodes_expanded
+    || pc.Oasis.Engine.nodes_enqueued <> mc.Oasis.Engine.nodes_enqueued
+    || pc.Oasis.Engine.nodes_pruned <> mc.Oasis.Engine.nodes_pruned
+    || pc.Oasis.Engine.max_queue <> mc.Oasis.Engine.max_queue
+  then
+    QCheck.Test.fail_reportf
+      "packed counters diverge from mem: cols %d/%d exp %d/%d enq %d/%d \
+       pruned %d/%d maxq %d/%d"
+      pc.Oasis.Engine.columns mc.Oasis.Engine.columns
+      pc.Oasis.Engine.nodes_expanded mc.Oasis.Engine.nodes_expanded
+      pc.Oasis.Engine.nodes_enqueued mc.Oasis.Engine.nodes_enqueued
+      pc.Oasis.Engine.nodes_pruned mc.Oasis.Engine.nodes_pruned
+      pc.Oasis.Engine.max_queue mc.Oasis.Engine.max_queue;
+  (* The pre-DP bound split is informational but must account for every
+     expanded non-terminator arc consistently on both layouts. *)
+  let mr, mrc = Oasis.Engine.Mem.bound_stats em in
+  let pr, prc = Oasis.Engine.Packed.bound_stats ep in
+  if mr + mrc <> pr + prc then
+    QCheck.Test.fail_reportf "bound_stats totals: mem %d+%d packed %d+%d" mr
+      mrc pr prc;
+  (* Disk, against a disk-source reference. *)
+  let dt, _pool = Storage.Disk_tree.of_tree ~block_size:16 ~capacity:4 tree in
+  let dref = Reference_disk.create ~source:dt ~db ~query:q cfg in
+  let dref_hits = Reference_disk.run dref in
+  let dref_outcome = Reference_disk.outcome dref in
+  let ed = Oasis.Engine.Disk.create ~source:dt ~db ~query:q cfg in
+  let dh = Oasis.Engine.Disk.run ed in
+  let dout = Oasis.Engine.Disk.outcome ed in
+  if dh <> dref_hits || dout <> dref_outcome then
+    fail "disk" dref_hits dref_outcome dh dout;
+  let dc = Oasis.Engine.Disk.counters ed in
+  if dc.Oasis.Engine.columns <> Reference_disk.columns dref then
+    QCheck.Test.fail_reportf "disk columns: got %d expected %d"
+      dc.Oasis.Engine.columns
+      (Reference_disk.columns dref);
+  (* Fused batch (k = 1 lane) keeps the same per-backend stream. *)
+  let batch =
+    Oasis.Batch_kernel.Mem.create ~source:tree ~db ~queries:[| q |] cfg
+  in
+  Oasis.Batch_kernel.Mem.run batch;
+  let bh = Oasis.Batch_kernel.Mem.hits batch 0 in
+  let bo = Oasis.Batch_kernel.Mem.outcome batch 0 in
+  if bh <> ref_hits || bo <> ref_outcome then
+    fail "batch" ref_hits ref_outcome bh bo;
+  true
+
+let engine_case_gen =
+  QCheck.Gen.(
+    let dna n m =
+      string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range n m)
+    in
+    let* strings = list_size (int_range 1 5) (dna 1 28) in
+    let* qtext = dna 1 10 in
+    let* min_score = int_range 1 8 in
+    let* max_columns = opt (int_range 1 60) in
+    let* max_expanded = opt (int_range 1 20) in
+    return (strings, qtext, min_score, max_columns, max_expanded))
+
+let print_engine_case (strings, qtext, min_score, max_columns, max_expanded) =
+  let lim tag = function None -> "" | Some v -> Printf.sprintf " %s=%d" tag v in
+  Printf.sprintf "db=%s q=%s min=%d%s%s"
+    (String.concat "/" strings)
+    qtext min_score
+    (lim "cols" max_columns)
+    (lim "exp" max_expanded)
+
+let budget_of max_columns max_expanded =
+  Oasis.Engine.budget ?max_columns ?max_expanded ()
+
+let qcheck_backends_linear =
+  QCheck.Test.make ~count:200
+    ~name:"mem/packed/disk/batch streams = reference (linear, budgets)"
+    (QCheck.make engine_case_gen ~print:print_engine_case)
+    (fun (strings, qtext, min_score, max_columns, max_expanded) ->
+      check_engine_backends ~db:(db_of_strings strings) ~q:(query qtext)
+        (Oasis.Engine.config
+           ~budget:(budget_of max_columns max_expanded)
+           ~matrix:unit_matrix ~gap:(Scoring.Gap.linear 1) ~min_score ()))
+
+let qcheck_backends_affine =
+  QCheck.Test.make ~count:150
+    ~name:"mem/packed/disk/batch streams = reference (affine, budgets)"
+    (QCheck.make engine_case_gen ~print:print_engine_case)
+    (fun (strings, qtext, min_score, max_columns, max_expanded) ->
+      check_engine_backends ~db:(db_of_strings strings) ~q:(query qtext)
+        (Oasis.Engine.config
+           ~budget:(budget_of max_columns max_expanded)
+           ~matrix:unit_matrix
+           ~gap:(Scoring.Gap.affine ~open_cost:2 ~extend_cost:1)
+           ~min_score ()))
+
+let qcheck_backends_pam30 =
+  let gen =
+    QCheck.Gen.(
+      let residues = "ARNDCQEGHILKMFPSTWYVBZX" in
+      let residue =
+        map (String.get residues) (int_range 0 (String.length residues - 1))
+      in
+      let protein n m = string_size ~gen:residue (int_range n m) in
+      let* strings = list_size (int_range 1 4) (protein 1 24) in
+      let* qtext = protein 1 8 in
+      let* min_score = int_range 1 25 in
+      let* max_columns = opt (int_range 1 60) in
+      return (strings, qtext, min_score, max_columns, None))
+  in
+  QCheck.Test.make ~count:150
+    ~name:"mem/packed/disk/batch streams = reference (PAM30, budgets)"
+    (QCheck.make gen ~print:print_engine_case)
+    (fun (strings, qtext, min_score, max_columns, max_expanded) ->
+      let alphabet = Bioseq.Alphabet.protein in
+      check_engine_backends
+        ~db:(db_of_strings ~alphabet strings)
+        ~q:(query ~alphabet qtext)
+        (Oasis.Engine.config
+           ~budget:(budget_of max_columns max_expanded)
+           ~matrix:Scoring.Matrices.pam30 ~gap:(Scoring.Gap.linear 10)
+           ~min_score ()))
+
+(* The packed image must mirror the tree structurally: same children in
+   the same canonical order, same label ranges, same first symbols,
+   same leaf positions under every node. Walk both in lockstep through
+   the gather interface the engines actually use. *)
+let qcheck_packed_mirrors_tree =
+  let gen =
+    QCheck.Gen.(
+      let dna n m =
+        string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range n m)
+      in
+      list_size (int_range 1 6) (dna 1 30))
+  in
+  QCheck.Test.make ~count:200 ~name:"packed image mirrors tree structure"
+    (QCheck.make gen ~print:(String.concat "/"))
+    (fun strings ->
+      let db = db_of_strings strings in
+      let tree = Suffix_tree.Ukkonen.build db in
+      let packed = Suffix_tree.Packed.of_tree tree in
+      let gather_t node =
+        let acc = ref [] in
+        Oasis.Source.Mem.gather tree node (fun c ~start ~stop ~sym ->
+            acc := (c, start, stop, sym) :: !acc);
+        List.rev !acc
+      and gather_p node =
+        let acc = ref [] in
+        Suffix_tree.Packed.gather_children packed node
+          (fun c ~start ~stop ~sym -> acc := (c, start, stop, sym) :: !acc);
+        List.rev !acc
+      and positions iter node =
+        let acc = ref [] in
+        iter node (fun p -> acc := p :: !acc);
+        List.sort Int.compare !acc
+      in
+      let rec walk tn pn =
+        if
+          positions (Oasis.Source.Mem.iter_positions tree) tn
+          <> positions (Suffix_tree.Packed.iter_positions packed) pn
+        then QCheck.Test.fail_report "leaf position sets diverge";
+        let tc = gather_t tn and pc = gather_p pn in
+        if List.length tc <> List.length pc then
+          QCheck.Test.fail_reportf "child count %d <> %d" (List.length tc)
+            (List.length pc);
+        List.iter2
+          (fun (tchild, ts, tstop, tsym) (pchild, ps, pstop, psym) ->
+            if ts <> ps || tstop <> pstop || tsym <> psym then
+              QCheck.Test.fail_reportf "child arc (%d,%d,%d) <> (%d,%d,%d)" ts
+                tstop tsym ps pstop psym;
+            if
+              Oasis.Source.Mem.is_leaf tree tchild
+              <> Suffix_tree.Packed.is_leaf pchild
+            then QCheck.Test.fail_report "leafness diverges";
+            if not (Suffix_tree.Packed.is_leaf pchild) then walk tchild pchild)
+          tc pc
+      in
+      walk
+        (Oasis.Source.Mem.root tree)
+        (Suffix_tree.Packed.root packed);
+      true)
+
+(* --- Bit-parallel edit kernel vs the scalar DP oracle. --- *)
+
+let edit_equal ~db ~q ~max_diffs =
+  let tree = Suffix_tree.Ukkonen.build db in
+  let bp_hits, bp_stats =
+    Oasis.Edit_search.Mem.search ~source:tree ~db ~query:q ~max_diffs
+  and dp_hits, dp_stats =
+    Oasis.Edit_search.Mem.search_dp ~source:tree ~db ~query:q ~max_diffs
+  in
+  let show hits =
+    String.concat ";"
+      (List.map
+         (fun h ->
+           Printf.sprintf "%d:%d@%d" h.Oasis.Edit_search.seq_index
+             h.Oasis.Edit_search.edits h.Oasis.Edit_search.target_stop)
+         hits)
+  in
+  if bp_hits <> dp_hits then
+    QCheck.Test.fail_reportf "hits: bp=[%s] dp=[%s]" (show bp_hits)
+      (show dp_hits);
+  if bp_stats <> dp_stats then
+    QCheck.Test.fail_reportf "stats: bp=(%d,%d) dp=(%d,%d)"
+      bp_stats.Oasis.Edit_search.nodes_visited
+      bp_stats.Oasis.Edit_search.rows_computed
+      dp_stats.Oasis.Edit_search.nodes_visited
+      dp_stats.Oasis.Edit_search.rows_computed;
+  true
+
+let qcheck_edit_bp_equals_dp =
+  (* Query lengths cross the 62-bit word boundary, so multi-word carry
+     propagation is exercised, not just the single-word fast path. *)
+  let gen =
+    QCheck.Gen.(
+      let dna n m =
+        string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_range n m)
+      in
+      let* strings = list_size (int_range 1 5) (dna 1 40) in
+      let* qtext = dna 1 80 in
+      let* k = int_range 0 4 in
+      return (strings, qtext, k))
+  in
+  QCheck.Test.make ~count:400 ~name:"bit-parallel edit search = DP oracle"
+    (QCheck.make gen ~print:(fun (strings, qtext, k) ->
+         Printf.sprintf "db=%s q=%s k=%d" (String.concat "/" strings) qtext k))
+    (fun (strings, qtext, k) ->
+      edit_equal ~db:(db_of_strings strings) ~q:(query qtext) ~max_diffs:k)
+
+let test_edit_word_boundaries () =
+  (* m = 61, 62, 63, 124, 125: one bit below, at, and above each packed
+     word's capacity. The database embeds the query with one
+     substitution so reports fire at every length. *)
+  let base = String.init 128 (fun i -> "ACGT".[i mod 4]) in
+  List.iter
+    (fun m ->
+      let qtext = String.sub base 0 m in
+      let mutated = Bytes.of_string qtext in
+      Bytes.set mutated (m / 2) (if qtext.[m / 2] = 'A' then 'C' else 'A');
+      let db =
+        db_of_strings [ "GG" ^ Bytes.to_string mutated ^ "TT"; "ACAC" ]
+      in
+      List.iter
+        (fun k ->
+          Alcotest.(check bool)
+            (Printf.sprintf "m=%d k=%d" m k)
+            true
+            (edit_equal ~db ~q:(query qtext) ~max_diffs:k))
+        [ 0; 1; 2 ])
+    [ 61; 62; 63; 124; 125 ]
+
+let test_edit_k_at_least_m () =
+  (* k >= m: the empty-path root report fires and everything matches. *)
+  let db = db_of_strings [ "ACGT"; "TTTT" ] in
+  Alcotest.(check bool)
+    "k = m" true
+    (edit_equal ~db ~q:(query "ACG") ~max_diffs:3);
+  Alcotest.(check bool)
+    "k > m" true
+    (edit_equal ~db ~q:(query "AC") ~max_diffs:4)
+
+let test_edit_validation () =
+  let db = db_of_strings [ "ACGT" ] in
+  let tree = Suffix_tree.Ukkonen.build db in
+  let empty = query "" in
+  List.iter
+    (fun (tag, search) ->
+      Alcotest.check_raises
+        (tag ^ " rejects empty query")
+        (Invalid_argument "Edit_search.search: empty query")
+        (fun () -> ignore (search ~source:tree ~db ~query:empty ~max_diffs:1));
+      Alcotest.check_raises
+        (tag ^ " rejects negative k")
+        (Invalid_argument "Edit_search.search: max_diffs < 0")
+        (fun () ->
+          ignore (search ~source:tree ~db ~query:(query "AC") ~max_diffs:(-1))))
+    [
+      ("bit-parallel", Oasis.Edit_search.Mem.search);
+      ("dp", Oasis.Edit_search.Mem.search_dp);
+    ]
+
+(* ---- bucket frontier = binary heap ------------------------------- *)
+
+(* The engine's bucket frontier must reproduce Pqueue's pop order
+   exactly: priority descending, then tie ascending, then FIFO. Drive
+   both with the same random op sequence — including non-monotone
+   pushes, which the engine never issues but the frontier still orders
+   correctly — and compare full pop streams plus the popped-field
+   registers. *)
+let qcheck_frontier_matches_heap =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 200)
+        (frequency
+           [
+             (3, map2 (fun p tie -> `Push (p, tie)) (int_range 0 50) (int_bound 1));
+             (2, return `Pop);
+           ]))
+  in
+  let print ops =
+    String.concat ";"
+      (List.map
+         (function
+           | `Push (p, tie) -> Printf.sprintf "push(%d,%d)" p tie
+           | `Pop -> "pop")
+         ops)
+  in
+  QCheck.Test.make ~count:300 ~name:"bucket frontier = binary heap"
+    (QCheck.make gen ~print)
+    (fun ops ->
+      let fr = Oasis.Frontier.create () in
+      let pq = Oasis.Pqueue.create () in
+      let id = ref 0 in
+      let pops_equal () =
+        let h = Oasis.Pqueue.pop pq in
+        let f = Oasis.Frontier.pop fr in
+        match (h, f) with
+        | None, None -> true
+        | Some (hp, (hnode, hslot, hdepth, hms, hmq, hmo, hacc)), Some fnode
+          ->
+          hp = Oasis.Frontier.popped_priority fr
+          && hnode = fnode
+          && hslot = Oasis.Frontier.popped_slot fr
+          && hdepth = Oasis.Frontier.popped_depth fr
+          && hms = Oasis.Frontier.popped_max_score fr
+          && hmq = Oasis.Frontier.popped_max_q fr
+          && hmo = Oasis.Frontier.popped_max_off fr
+          && hacc = Oasis.Frontier.popped_accepted fr
+        | _ -> false
+      in
+      List.for_all
+        (function
+          | `Push (p, tie) ->
+            incr id;
+            let n = !id in
+            Oasis.Frontier.push fr ~priority:p ~tie ~node:n ~slot:(n + 1)
+              ~depth:(n + 2) ~max_score:(n + 3) ~max_q:(n + 4)
+              ~max_off:(n + 5) ~accepted:(tie = 0);
+            Oasis.Pqueue.push_tie pq ~priority:p ~tie
+              (n, n + 1, n + 2, n + 3, n + 4, n + 5, tie = 0);
+            Oasis.Frontier.length fr = Oasis.Pqueue.length pq
+            && Oasis.Frontier.peek_priority fr = Oasis.Pqueue.peek_priority pq
+          | `Pop -> pops_equal ())
+        ops
+      &&
+      (* drain both to the end *)
+      let rec drain () =
+        if Oasis.Frontier.is_empty fr then Oasis.Pqueue.is_empty pq
+        else pops_equal () && drain ()
+      in
+      drain ())
+
+let () =
+  Alcotest.run "kernel_round2"
+    [
+      ( "engine identity",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_backends_linear;
+            qcheck_backends_affine;
+            qcheck_backends_pam30;
+            qcheck_packed_mirrors_tree;
+            qcheck_frontier_matches_heap;
+          ] );
+      ( "edit identity",
+        List.map QCheck_alcotest.to_alcotest [ qcheck_edit_bp_equals_dp ]
+        @ [
+            Alcotest.test_case "word boundaries" `Quick
+              test_edit_word_boundaries;
+            Alcotest.test_case "k >= m" `Quick test_edit_k_at_least_m;
+            Alcotest.test_case "argument validation" `Quick
+              test_edit_validation;
+          ] );
+    ]
