@@ -5,7 +5,7 @@
      dune exec bench/main.exe -- fig3    # one experiment
                                   (table2 space fig3 fig4 fig5 fig6 fig7 fig8
                                    fig9 ablation longq affine dna quasar layout
-                                   edit parallel micro kernel scaling)
+                                   edit parallel micro kernel filter scaling)
      dune exec bench/main.exe -- --quick kernel
                                          # CI mode: small database, few
                                          # queries; with no experiment names
@@ -1701,6 +1701,143 @@ let obs_exp setup =
        off_cps on_wall on_columns on_cps overhead_pct phases_json)
 
 (* ------------------------------------------------------------------ *)
+(* Filter: the q-gram tier + BLAST cutoff seeding (DESIGN.md §2k) vs   *)
+(* the plain engine on the kernel workload, as a top-K consumer. The   *)
+(* gate is bit-identity of the first K hits per query; the headline    *)
+(* metric is the fraction of DP columns the combined tier removes.     *)
+(* ------------------------------------------------------------------ *)
+
+let filter_exp setup =
+  let top_k = 10 in
+  Printf.printf
+    "== Filter: q-gram tier + BLAST-seeded cutoff vs plain engine (protein \
+     workload, top-%d consumer)\n"
+    top_k;
+  let jobs = scored_jobs setup in
+  Printf.printf "  %d queries%s\n%!" (List.length jobs)
+    (if quick then " (--quick)" else "");
+  let profile, profile_wall =
+    time (fun () -> Quasar.Profile.build ~db:setup.db ~tree:setup.tree ())
+  in
+  Printf.printf "  profile: %d nodes, %d bytes, built in %.3fs\n%!"
+    (Quasar.Profile.num_nodes profile)
+    (Quasar.Profile.bytes profile)
+    profile_wall;
+  let bcfg =
+    Blast.Search.default_protein ~matrix:setup.matrix ~gap:setup.gap
+      ~params:setup.params ()
+  in
+  let rec take n = function
+    | x :: tl when n > 0 -> x :: take (n - 1) tl
+    | _ -> []
+  in
+  let base_columns = ref 0
+  and tier_columns = ref 0
+  and seed_wall = ref 0.
+  and seeds_raised = ref 0
+  and ft_tested = ref 0
+  and ft_coarse = ref 0
+  and ft_refined = ref 0
+  and base_wall = ref 0.
+  and tier_wall = ref 0. in
+  List.iter
+    (fun (query, min_score) ->
+      let cfg =
+        Oasis.Engine.config ~matrix:setup.matrix ~gap:setup.gap ~min_score ()
+      in
+      let (base_hits, base_cols), bw =
+        time (fun () ->
+            let e =
+              Oasis.Engine.Packed.create
+                ~source:(Lazy.force setup.packed)
+                ~db:setup.db ~query cfg
+            in
+            let h = Oasis.Engine.Packed.run e in
+            (h, (Oasis.Engine.Packed.counters e).Oasis.Engine.columns))
+      in
+      base_wall := !base_wall +. bw;
+      base_columns := !base_columns + base_cols;
+      let seeded, sw =
+        time (fun () ->
+            Blast.Seed.min_score bcfg ~query ~db:setup.db ~k:top_k
+              ~floor:min_score)
+      in
+      seed_wall := !seed_wall +. sw;
+      if seeded > min_score then incr seeds_raised;
+      let scfg =
+        Oasis.Engine.config ~matrix:setup.matrix ~gap:setup.gap
+          ~min_score:seeded ()
+      in
+      let (tier_hits, tier_cols, stats), tw =
+        time (fun () ->
+            let e =
+              Oasis.Engine.Packed.create ~filter:profile
+                ~source:(Lazy.force setup.packed)
+                ~db:setup.db ~query scfg
+            in
+            let h = Oasis.Engine.Packed.run e in
+            ( h,
+              (Oasis.Engine.Packed.counters e).Oasis.Engine.columns,
+              Oasis.Engine.Packed.filter_stats e ))
+      in
+      tier_wall := !tier_wall +. tw;
+      tier_columns := !tier_columns + tier_cols;
+      let t, c, r = stats in
+      ft_tested := !ft_tested + t;
+      ft_coarse := !ft_coarse + c;
+      ft_refined := !ft_refined + r;
+      (* The gate: a top-K consumer must not observe the tier at all. *)
+      if not (same_stream (take top_k base_hits) (take top_k tier_hits)) then
+        failwith
+          (Printf.sprintf
+             "filter bench: top-%d stream diverged on %s (seed %d -> %d)"
+             top_k (Bioseq.Sequence.id query) min_score seeded))
+    jobs;
+  Printf.printf "  top-%d hit streams identical on all %d queries\n" top_k
+    (List.length jobs);
+  let saved_pct =
+    100.
+    *. float_of_int (!base_columns - !tier_columns)
+    /. float_of_int (max 1 !base_columns)
+  in
+  Printf.printf
+    "  columns: plain %d -> tier %d  (%.1f%% settled pre-DP)\n\
+    \  seeds raised on %d/%d queries (BLAST pass %.3fs total)\n\
+    \  q-gram settles: %d tested, %d coarse, %d refined\n\
+    \  wall: plain %.3fs -> seeded+filtered %.3fs (+%.3fs seeding)\n%!"
+    !base_columns !tier_columns saved_pct !seeds_raised (List.length jobs)
+    !seed_wall !ft_tested !ft_coarse !ft_refined !base_wall !tier_wall
+    !seed_wall;
+  update_bench_section "filter"
+    (Printf.sprintf
+       "{\n\
+       \    \"quick\": %b,\n\
+       \    \"db_symbols\": %d,\n\
+       \    \"queries\": %d,\n\
+       \    \"seed\": %d,\n\
+       \    \"top_k\": %d,\n\
+       \    \"hit_streams_identical\": true,\n\
+       \    \"profile_nodes\": %d,\n\
+       \    \"profile_bytes\": %d,\n\
+       \    \"profile_build_s\": %.6f,\n\
+       \    \"baseline_columns\": %d,\n\
+       \    \"tier_columns\": %d,\n\
+       \    \"columns_saved_pct\": %.2f,\n\
+       \    \"seeds_raised\": %d,\n\
+       \    \"seed_wall_s\": %.6f,\n\
+       \    \"filter_tested\": %d,\n\
+       \    \"filter_settled_coarse\": %d,\n\
+       \    \"filter_settled_refined\": %d,\n\
+       \    \"baseline_wall_s\": %.6f,\n\
+       \    \"tier_wall_s\": %.6f\n\
+       \  }"
+       quick db_symbols (List.length jobs) seed top_k
+       (Quasar.Profile.num_nodes profile)
+       (Quasar.Profile.bytes profile)
+       profile_wall !base_columns !tier_columns saved_pct !seeds_raised
+       !seed_wall !ft_tested !ft_coarse !ft_refined !base_wall !tier_wall)
+
+(* ------------------------------------------------------------------ *)
 (* Disk: the same workload against the Mem and Disk sources, cold and   *)
 (* warm pool, both leaf layouts — the mem/disk gap the storage fast     *)
 (* path exists to close.                                                *)
@@ -2575,6 +2712,7 @@ let serve_exp setup =
       max_columns = None;
       max_expanded = None;
       time_limit = None;
+      seed_cutoff = false;
     }
   in
   let daemon_stream job =
@@ -2703,6 +2841,7 @@ let experiments =
     ("micro", micro);
     ("kernel", kernel);
     ("obs", obs_exp);
+    ("filter", filter_exp);
     ("disk", disk_exp);
     ("batch", batch_exp);
     ("scaling", scaling);

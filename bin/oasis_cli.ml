@@ -91,27 +91,37 @@ let index_files dir =
     Filename.concat dir "internal.dat",
     Filename.concat dir "leaves.dat" )
 
-let write_one_index ~layout ~external_build ~dir db =
+let profile_filename = "qgram.prf"
+
+let write_one_index ~layout ~external_build ~profile ~dir db =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let sym_p, int_p, leaf_p = index_files dir in
   let symbols = Storage.Device.file sym_p
   and internal = Storage.Device.file int_p
   and leaves = Storage.Device.file leaf_p in
+  let prof = ref None in
   if external_build then
     Storage.External_build.write ~layout db ~symbols ~internal ~leaves
   else begin
     let tree = Suffix_tree.Ukkonen.build db in
-    Storage.Disk_tree.write ~layout tree ~symbols ~internal ~leaves
+    Storage.Disk_tree.write ~layout tree ~symbols ~internal ~leaves;
+    if profile then begin
+      let p = Quasar.Profile.build ~db ~tree () in
+      Storage.Blob.save
+        (Filename.concat dir profile_filename)
+        (Quasar.Profile.to_bytes p);
+      prof := Some p
+    end
   end;
   let total =
     Storage.Device.length symbols + Storage.Device.length internal
     + Storage.Device.length leaves
   in
   List.iter Storage.Device.close [ symbols; internal; leaves ];
-  total
+  (total, !prof)
 
 let index_cmd =
-  let run fasta alphabet dir clustered external_build shards =
+  let run fasta alphabet dir clustered external_build shards profile =
     let seqs = Bioseq.Fasta.read_file ~alphabet fasta in
     let db = Bioseq.Database.make seqs in
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -130,36 +140,60 @@ let index_cmd =
       Printf.printf "building suffix tree over %d sequences (%d symbols)...\n%!"
         (Bioseq.Database.num_sequences db)
         (Bioseq.Database.total_symbols db);
+    if profile && external_build then
+      failwith
+        "--profile needs the in-memory tree; it is incompatible with \
+         --external";
     let total =
-      if shards <= 1 then write_one_index ~layout ~external_build ~dir db
+      if shards <= 1 then begin
+        let bytes, prof = write_one_index ~layout ~external_build ~profile ~dir db in
+        (match prof with
+        | Some p ->
+          Printf.printf "q-gram profile: %d entries, %d bytes (q=%d)\n"
+            (Quasar.Profile.num_nodes p) (Quasar.Profile.bytes p)
+            (Quasar.Profile.q p)
+        | None -> ());
+        bytes
+      end
       else begin
         let pieces = Oasis.Shard.plan ~shards db in
-        let totals =
+        let results =
           Array.mapi
             (fun i (piece : Oasis.Shard.piece) ->
               let sdir = Storage.Shard_manifest.shard_dir dir i in
-              let bytes =
-                write_one_index ~layout ~external_build ~dir:sdir piece.db
+              let bytes, prof =
+                write_one_index ~layout ~external_build ~profile ~dir:sdir
+                  piece.db
               in
-              Printf.printf "  shard%d: %d sequences (%d symbols), %d bytes\n%!"
+              Printf.printf "  shard%d: %d sequences (%d symbols), %d bytes%s\n%!"
                 i
                 (Bioseq.Database.num_sequences piece.db)
                 (Bioseq.Database.total_symbols piece.db)
-                bytes;
-              bytes)
+                bytes
+                (match prof with
+                | Some p ->
+                  Printf.sprintf " + %d-byte q-gram profile"
+                    (Quasar.Profile.bytes p)
+                | None -> "");
+              (bytes, prof))
             pieces
         in
         Storage.Shard_manifest.save ~dir
-          (Array.map
-             (fun (piece : Oasis.Shard.piece) ->
+          (Array.mapi
+             (fun i (piece : Oasis.Shard.piece) ->
                {
                  Storage.Shard_manifest.first_seq = piece.first_seq;
                  num_seqs = Bioseq.Database.num_sequences piece.db;
                  symbols = Bioseq.Database.total_symbols piece.db;
+                 grams =
+                   (match snd results.(i) with
+                   | Some p -> Quasar.Profile.root_grams p
+                   | None -> Bytes.empty);
                })
              pieces);
-        Printf.printf "manifest: %d shards\n" (Array.length pieces);
-        Array.fold_left ( + ) 0 totals
+        Printf.printf "manifest: %d shards%s\n" (Array.length pieces)
+          (if profile then " (root gram bitsets embedded)" else "");
+        Array.fold_left (fun acc (b, _) -> acc + b) 0 results
       end
     in
     Printf.printf "index written to %s: %d bytes (%.2f bytes/symbol)\n" dir total
@@ -187,13 +221,22 @@ let index_cmd =
                  shard under shard0/..shardK-1/ plus a manifest; \
                  $(b,oasis search --index) then runs the shards in parallel.")
   in
+  let profile =
+    Arg.(value & flag & info [ "profile" ]
+           ~doc:"Also build the exactness-preserving q-gram profile \
+                 (DESIGN.md section 2k) and store it as qgram.prf next to \
+                 each index (embedding per-shard root gram bitsets in the \
+                 manifest); $(b,oasis search --profile) then arms the \
+                 filter tier without rebuilding it. Incompatible with \
+                 --external (the profile walk needs the in-memory tree).")
+  in
   Cmd.v
     (Cmd.info "index"
        ~doc:"Build the paper's three-component on-disk suffix tree for a FASTA \
              database.")
     Term.(
       const run $ fasta_arg ~doc:"Input FASTA database." "db" $ alphabet_arg
-      $ dir $ clustered $ external_build $ shards)
+      $ dir $ clustered $ external_build $ shards $ profile)
 
 (* --- append / compact: the live log-structured index --- *)
 
@@ -329,7 +372,7 @@ let search_cmd =
   let run fasta alphabet index_dir query_text queries_path batch_size matrix
       gap_penalty gap_open min_score evalue top with_alignments evalue_order
       format buffer_blocks max_columns max_nodes time_limit shards stats
-      trace_file =
+      trace_file seed_cutoff use_profile =
     (match (query_text, queries_path) with
     | None, None -> failwith "give --query or --queries"
     | Some _, Some _ -> failwith "give only one of --query and --queries"
@@ -386,6 +429,67 @@ let search_cmd =
       Oasis.Engine.budget ?max_columns ?max_expanded:max_nodes ?time_limit ()
     in
     let config = Oasis.Engine.config ~matrix ~gap ~min_score ~budget () in
+    (* Cutoff seeding (--seed-cutoff, DESIGN.md §2k): one heuristic
+       BLAST pass per query; each BLAST hit score is achieved by a real
+       alignment, so the k-th best of them lower-bounds the true k-th
+       best hit score and raising min_score to it is monotone-safe for
+       a top-K (by score) consumer. Not sound under --evalue-order,
+       where the top K by E-value can include lower-scoring hits. *)
+    if seed_cutoff && evalue_order then
+      failwith
+        "--seed-cutoff tightens the score cutoff below the K-th best score, \
+         which can drop hits the E-value order would have ranked inside the \
+         top K; drop one of --seed-cutoff / --evalue-order";
+    let blast_cfg =
+      if not seed_cutoff then None
+      else
+        let freqs = Scoring.Background.of_database db in
+        match Scoring.Karlin.estimate ~matrix ~freqs () with
+        | params ->
+          Some
+            (if Bioseq.Alphabet.size alphabet <= 4 then
+               Blast.Search.default_dna ~matrix ~gap ~params ()
+             else Blast.Search.default_protein ~matrix ~gap ~params ())
+        | exception Scoring.Karlin.Unsupported_matrix _ ->
+          Printf.printf
+            "# seed cutoff skipped: no Karlin parameters for this matrix\n";
+          None
+    in
+    let seeded_config query =
+      match blast_cfg with
+      | None -> config
+      | Some bcfg ->
+        let s = Blast.Seed.min_score bcfg ~query ~db ~k:top ~floor:min_score in
+        if s > min_score then begin
+          Printf.printf
+            "# seed cutoff: BLAST pass raises minScore %d -> %d (top %d)\n%!"
+            min_score s top;
+          Oasis.Engine.config ~matrix ~gap ~min_score:s ~budget ()
+        end
+        else config
+    in
+    (* The q-gram filter tier (--profile): built from the in-memory
+       tree, or loaded from the qgram.prf sidecar an indexing run with
+       --profile left next to each on-disk index. *)
+    let mem_profile ~db tree =
+      if use_profile then Some (Quasar.Profile.build ~db ~tree ()) else None
+    in
+    let disk_profile dir =
+      if not use_profile then None
+      else
+        let path = Filename.concat dir profile_filename in
+        if not (Storage.Blob.exists path) then begin
+          Printf.printf
+            "# no q-gram profile at %s (index with --profile to store one); \
+             filter tier disarmed\n"
+            path;
+          None
+        end
+        else
+          match Storage.Blob.load path with
+          | Ok payload -> Some (Quasar.Profile.of_bytes payload)
+          | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)
+    in
     (* When a budget stops the search early it does so cleanly: printed
        hits are exact, and the frontier bound says what could remain. *)
     let report_outcome = function
@@ -532,6 +636,7 @@ let search_cmd =
       end
     in
     let run_single query =
+      let config = seeded_config query in
       match (live, index_dir) with
       | Some t, _ ->
         (* Live log-structured index: search the pinned {segments ∪ tail}
@@ -546,7 +651,18 @@ let search_cmd =
               match Oasis.Multi.parts_of_snapshot snap with
               | [||] -> Printf.printf "# empty index, no hits\n"
               | parts ->
-                let m = Oasis.Multi.create ~parts ~query config in
+                let profiles =
+                  if not use_profile then None
+                  else
+                    Some
+                      (Array.map
+                         (function
+                           | Oasis.Multi.Mem { tree; db = pdb; _ } ->
+                             mem_profile ~db:pdb tree
+                           | Oasis.Multi.Disk _ -> None)
+                         parts)
+                in
+                let m = Oasis.Multi.create ?profiles ~parts ~query config in
                 wall0 := Unix.gettimeofday ();
                 stream ~query (with_order ~query (module Oasis.Multi) m);
                 report_outcome (Oasis.Multi.outcome m);
@@ -554,10 +670,30 @@ let search_cmd =
                 finish ~sharded:true (Oasis.Multi.counters m)))
     | None, None when shards > 1 ->
       (* Sharded in-memory search: one tree + engine per shard on a
-         domain pool, merged preserving the decreasing-score order. *)
+         domain pool, merged preserving the decreasing-score order.
+         With --profile the plan/build is done here so each shard gets
+         its own profile (and the merge gets per-shard gram caps). *)
       let t =
-        Oasis.Parallel.Mem.create_sharded ?obs:(merge_obs ()) ~shards ~db
-          ~query config
+        if not use_profile then
+          Oasis.Parallel.Mem.create_sharded ?obs:(merge_obs ()) ~shards ~db
+            ~query config
+        else begin
+          let pieces = Oasis.Shard.plan ~shards db in
+          let trees = Oasis.Shard.build_trees pieces in
+          let sources =
+            Array.mapi
+              (fun i piece -> { Oasis.Parallel.Mem.source = trees.(i); piece })
+              pieces
+          in
+          let profiles =
+            Array.mapi
+              (fun i (piece : Oasis.Shard.piece) ->
+                mem_profile ~db:piece.db trees.(i))
+              pieces
+          in
+          Oasis.Parallel.Mem.create ?obs:(merge_obs ()) ~profiles
+            ~shards:sources ~query config
+        end
       in
       wall0 := Unix.gettimeofday ();
       stream ~query (with_order ~query (module Oasis.Parallel.Mem) t);
@@ -566,7 +702,8 @@ let search_cmd =
     | None, None ->
       (* In-memory index. *)
       let tree = Suffix_tree.Ukkonen.build db in
-      let engine = Oasis.Engine.Mem.create ~source:tree ~db ~query config in
+      let filter = mem_profile ~db tree in
+      let engine = Oasis.Engine.Mem.create ?filter ~source:tree ~db ~query config in
       Oasis.Engine.Mem.set_instrument engine inst;
       wall0 := Unix.gettimeofday ();
       stream ~query (with_order ~query (module Oasis.Engine.Mem) engine);
@@ -605,9 +742,16 @@ let search_cmd =
                 { Oasis.Parallel.Disk.source; piece })
               pieces
           in
+          let profiles =
+            if not use_profile then None
+            else
+              Some
+                (Array.init k (fun i ->
+                     disk_profile (Storage.Shard_manifest.shard_dir dir i)))
+          in
           let t =
-            Oasis.Parallel.Disk.create ?obs:(merge_obs ()) ~shards:sources
-              ~query config
+            Oasis.Parallel.Disk.create ?obs:(merge_obs ()) ?profiles
+              ~shards:sources ~query config
           in
           wall0 := Unix.gettimeofday ();
           stream ~query (with_order ~query (module Oasis.Parallel.Disk) t);
@@ -622,7 +766,8 @@ let search_cmd =
       and leaves = Storage.Device.open_file leaf_p in
       let pool = Storage.Buffer_pool.create ~block_size:2048 ~capacity:buffer_blocks in
       let dt = Storage.Disk_tree.open_ ~alphabet ~pool ~symbols ~internal ~leaves () in
-      let engine = Oasis.Engine.Disk.create ~source:dt ~db ~query config in
+      let filter = disk_profile dir in
+      let engine = Oasis.Engine.Disk.create ?filter ~source:dt ~db ~query config in
       Oasis.Engine.Disk.set_instrument engine inst;
       if observing then
         Storage.Buffer_pool.set_obs pool
@@ -662,6 +807,31 @@ let search_cmd =
         failwith "--evalue-order is not supported with --queries";
       let queries = Array.of_list queries in
       let nq = Array.length queries in
+      (* One shared config for every fused kernel: the seed must be
+         safe for all queries at once, so take the min of the
+         per-query BLAST k-th-best scores (each is ≤ its own query's
+         true k-th best, hence so is the min). *)
+      let config =
+        match blast_cfg with
+        | None -> config
+        | Some bcfg ->
+          let s =
+            Array.fold_left
+              (fun acc query ->
+                min acc
+                  (Blast.Seed.min_score bcfg ~query ~db ~k:top
+                     ~floor:min_score))
+              max_int queries
+          in
+          if s > min_score then begin
+            Printf.printf
+              "# seed cutoff: BLAST pass raises minScore %d -> %d (min over \
+               %d queries, top %d)\n%!"
+              min_score s nq top;
+            Oasis.Engine.config ~matrix ~gap ~min_score:s ~budget ()
+          end
+          else config
+      in
       let all_hits = Array.make nq [] in
       let all_outcomes = Array.make nq Oasis.Engine.Complete in
       let phys = ref Oasis.Counters.zero in
@@ -670,8 +840,8 @@ let search_cmd =
          behind this first-class module. *)
       let fused (type s)
           (module K : Oasis.Batch_kernel.S with type source = s)
-          ~(source : s) ~db:part_db ~globalize chunk =
-        let k = K.create ~source ~db:part_db ~queries:chunk config in
+          ?filter ~(source : s) ~db:part_db ~globalize chunk =
+        let k = K.create ?filter ~source ~db:part_db ~queries:chunk config in
         K.set_instrument k inst;
         K.run k;
         let n = Array.length chunk in
@@ -751,11 +921,12 @@ let search_cmd =
                     Array.to_list parts
                     |> List.map (function
                       | Oasis.Multi.Mem { tree; db = pdb; first_seq } ->
+                        let filter = mem_profile ~db:pdb tree in
                         fun chunk ->
                           fused
                             (module Oasis.Batch_kernel.Mem)
-                            ~source:tree ~db:pdb ~globalize:(shift first_seq)
-                            chunk
+                            ?filter ~source:tree ~db:pdb
+                            ~globalize:(shift first_seq) chunk
                       | Oasis.Multi.Disk { tree; db = pdb; first_seq } ->
                         fun chunk ->
                           fused
@@ -775,10 +946,11 @@ let search_cmd =
             (Array.mapi
                (fun i (piece : Oasis.Shard.piece) ->
                  let tree = trees.(i) in
+                 let filter = mem_profile ~db:piece.db tree in
                  fun chunk ->
                    fused
                      (module Oasis.Batch_kernel.Mem)
-                     ~source:tree ~db:piece.db
+                     ?filter ~source:tree ~db:piece.db
                      ~globalize:(Oasis.Shard.globalize piece) chunk)
                pieces)
         in
@@ -788,13 +960,14 @@ let search_cmd =
         print_results ~sharded:true
       | None, None ->
         let tree = Suffix_tree.Ukkonen.build db in
+        let filter = mem_profile ~db tree in
         wall0 := Unix.gettimeofday ();
         run_parts
           [
             (fun chunk ->
               fused
                 (module Oasis.Batch_kernel.Mem)
-                ~source:tree ~db ~globalize:no_globalize chunk);
+                ?filter ~source:tree ~db ~globalize:no_globalize chunk);
           ];
         print_results ~sharded:false
       | None, Some dir when Storage.Shard_manifest.exists ~dir ->
@@ -825,10 +998,13 @@ let search_cmd =
                        Storage.Disk_tree.open_ ~alphabet ~pool ~symbols
                          ~internal ~leaves ()
                      in
+                     let filter =
+                       disk_profile (Storage.Shard_manifest.shard_dir dir i)
+                     in
                      fun chunk ->
                        fused
                          (module Oasis.Batch_kernel.Disk)
-                         ~source ~db:piece.db
+                         ?filter ~source ~db:piece.db
                          ~globalize:(Oasis.Shard.globalize piece) chunk)
                    pieces)
             in
@@ -851,13 +1027,14 @@ let search_cmd =
         if observing then
           Storage.Buffer_pool.set_obs pool
             (Some (Storage.Buffer_pool.obs ~registry ?trace:sink ()));
+        let filter = disk_profile dir in
         wall0 := Unix.gettimeofday ();
         run_parts
           [
             (fun chunk ->
               fused
                 (module Oasis.Batch_kernel.Disk)
-                ~source:dt ~db ~globalize:no_globalize chunk);
+                ?filter ~source:dt ~db ~globalize:no_globalize chunk);
           ];
         print_results ~sharded:false;
         let p = !phys in
@@ -978,6 +1155,27 @@ let search_cmd =
                  or Perfetto), JSONL otherwise. Validate with \
                  scripts/trace_check.py.")
   in
+  let seed_cutoff_arg =
+    Arg.(value & flag & info [ "seed-cutoff" ]
+           ~doc:"Seed the exact search's prune cutoff with a fast BLAST \
+                 first pass: the K-th best heuristic hit score (K from \
+                 --top) lower-bounds the true K-th best, so the exact \
+                 engine can prune against it from its first expansion \
+                 without changing the reported top K. Skipped with a note \
+                 when Karlin statistics are unavailable for the matrix; \
+                 incompatible with --evalue-order.")
+  in
+  let profile_arg =
+    Arg.(value & flag & info [ "profile" ]
+           ~doc:"Arm the exactness-preserving q-gram filter tier \
+                 (DESIGN.md section 2k): subtrees the q-gram lemma proves \
+                 cannot reach the score cutoff are settled without running \
+                 their DP columns; hit streams and work counters are \
+                 bit-identical either way. In-memory searches build the \
+                 profile on the fly; --index searches load the qgram.prf \
+                 sidecar stored by $(b,oasis index --profile) (disarmed \
+                 with a note when absent).")
+  in
   Cmd.v
     (Cmd.info "search"
        ~doc:"Accurate online local-alignment search (the OASIS algorithm).")
@@ -991,7 +1189,7 @@ let search_cmd =
       $ index_dir $ query $ queries_arg $ batch_size_arg $ matrix $ gap
       $ gap_open $ min_score $ evalue $ top $ with_alignments $ evalue_order
       $ format $ buffer_blocks $ max_columns $ max_nodes $ time_limit $ shards
-      $ stats $ trace)
+      $ stats $ trace $ seed_cutoff_arg $ profile_arg)
 
 (* --- batch --- *)
 
@@ -1488,7 +1686,7 @@ let client_transport e =
 
 let client_search_cmd =
   let run socket query_text matrix gap_penalty gap_open min_score top
-      max_columns max_nodes time_limit disconnect_after =
+      max_columns max_nodes time_limit disconnect_after seed_cutoff =
     let gap =
       match gap_open with
       | None -> Serve.Protocol.Linear { penalty = gap_penalty }
@@ -1505,6 +1703,7 @@ let client_search_cmd =
         max_columns;
         max_expanded = max_nodes;
         time_limit;
+        seed_cutoff;
       }
     in
     (* Hit lines print exactly as `oasis search --format plain` does, so
@@ -1563,6 +1762,12 @@ let client_search_cmd =
     Arg.(value & opt (some float) None & info [ "time-limit" ]
            ~docv:"SECONDS" ~doc:"Per-request wall-clock budget.")
   in
+  let seed_cutoff =
+    Arg.(value & flag & info [ "seed-cutoff" ]
+           ~doc:"Ask the daemon to seed its prune cutoff with a fast BLAST \
+                 first pass (exact for the --top-capped stream; see \
+                 $(b,oasis search --seed-cutoff)).")
+  in
   let disconnect_after =
     Arg.(value & opt (some int) None & info [ "disconnect-after" ] ~docv:"N"
            ~doc:"Hang up right after the N-th hit — the online protocol's \
@@ -1572,7 +1777,8 @@ let client_search_cmd =
     (Cmd.info "search" ~doc:"Stream a search from the daemon.")
     Term.(
       const run $ socket_arg $ query $ matrix $ gap $ gap_open $ min_score
-      $ top $ max_columns $ max_nodes $ time_limit $ disconnect_after)
+      $ top $ max_columns $ max_nodes $ time_limit $ disconnect_after
+      $ seed_cutoff)
 
 let client_simple_cmd name doc req render =
   Cmd.v

@@ -1,0 +1,19 @@
+(* Cutoff seeding: the k-th best score of a heuristic first pass lower
+   bounds the true k-th best hit score (each BLAST score is achieved by
+   a real alignment), so it is a monotone-safe initial prune cutoff for
+   an exact top-k search. *)
+
+let kth_score ~k hits =
+  if k < 1 then None
+  else
+    let rec go n = function
+      | [] -> None
+      | (h : Search.hit) :: rest -> if n = k then Some h.score else go (n + 1) rest
+    in
+    go 1 hits
+
+let min_score cfg ~query ~db ~k ~floor =
+  let hits, _stats = Search.search cfg ~query ~db in
+  match kth_score ~k hits with
+  | Some s when s > floor -> s
+  | _ -> floor

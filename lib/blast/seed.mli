@@ -1,0 +1,30 @@
+(** Cutoff seeding for the exact engine (DESIGN.md §2k).
+
+    A fast heuristic first pass can initialize the exact search's prune
+    cutoff: every BLAST hit score is the score of a {e real} alignment
+    in that sequence, so it lower-bounds the sequence's true optimum,
+    and the k-th best of those lower bounds lower-bounds the true k-th
+    best hit score. Raising [min_score] to that value is therefore
+    {e monotone-safe} for a top-[k] consumer — the exact stream's first
+    [k] hits are bit-identical (raising [min_score] only removes hits
+    strictly below it, and the engine's emission order among surviving
+    hits is unchanged), while the engine prunes against the tighter
+    threshold from its very first expansion. *)
+
+val kth_score : k:int -> Search.hit list -> int option
+(** Score of the [k]-th best hit (1-based) of a BLAST result list
+    (already sorted by decreasing score); [None] when fewer than [k]
+    hits were found or [k < 1]. *)
+
+val min_score :
+  Search.config ->
+  query:Bioseq.Sequence.t ->
+  db:Bioseq.Database.t ->
+  k:int ->
+  floor:int ->
+  int
+(** [min_score cfg ~query ~db ~k ~floor] runs one {!Search.search} pass
+    and returns [max floor s] where [s] is the k-th best hit score —
+    the seeded prune cutoff for an exact top-[k] search that would
+    otherwise start at [floor]. Returns [floor] when BLAST finds fewer
+    than [k] hits (seeding never loosens the cutoff). *)

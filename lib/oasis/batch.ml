@@ -14,8 +14,8 @@ let totals results =
    replay layer would only add bookkeeping, and keeping the one-query
    path byte-for-byte the benchmarked engine keeps the kernel baseline
    meaningful. *)
-let search_one ~tree ~db cfg query_index query =
-  let engine = Engine.Mem.create ~source:tree ~db ~query cfg in
+let search_one ?filter ~tree ~db cfg query_index query =
+  let engine = Engine.Mem.create ?filter ~source:tree ~db ~query cfg in
   let hits = Engine.Mem.run engine in
   {
     query_index;
@@ -27,11 +27,11 @@ let search_one ~tree ~db cfg query_index query =
 (* One fused chunk: a single tree traversal serving the whole chunk
    (see [Batch_kernel]); per-query streams are bit-identical to the
    single-engine runs. *)
-let search_chunk ~tree ~db cfg base queries =
+let search_chunk ?filter ~tree ~db cfg base queries =
   match Array.length queries with
-  | 1 -> [ search_one ~tree ~db cfg base queries.(0) ]
+  | 1 -> [ search_one ?filter ~tree ~db cfg base queries.(0) ]
   | _ ->
-    let k = Batch_kernel.Mem.create ~source:tree ~db ~queries cfg in
+    let k = Batch_kernel.Mem.create ?filter ~source:tree ~db ~queries cfg in
     Batch_kernel.Mem.run k;
     List.init (Array.length queries) (fun q ->
         {
@@ -54,31 +54,32 @@ let chunks ~batch_size queries =
   in
   go 0 []
 
-let run_on_pool pool ~batch_size ~tree ~db ~queries cfg =
+let run_on_pool pool ?filter ~batch_size ~tree ~db ~queries cfg =
   let chunks = Array.of_list (chunks ~batch_size queries) in
   let results = Array.make (Array.length chunks) [] in
   Array.iteri
     (fun i (base, chunk) ->
       Domain_pool.submit pool (fun () ->
-          results.(i) <- search_chunk ~tree ~db cfg base chunk))
+          results.(i) <- search_chunk ?filter ~tree ~db cfg base chunk))
     chunks;
   Domain_pool.wait pool;
   (* Chunks cover the query list in order, so concatenation restores
      per-query order directly — no option round-trip. *)
   List.concat (Array.to_list results)
 
-let run ?(domains = 1) ?pool ?(batch_size = 16) ~tree ~db ~queries cfg =
+let run ?(domains = 1) ?pool ?(batch_size = 16) ?filter ~tree ~db ~queries cfg
+    =
   match pool with
-  | Some pool -> run_on_pool pool ~batch_size ~tree ~db ~queries cfg
+  | Some pool -> run_on_pool pool ?filter ~batch_size ~tree ~db ~queries cfg
   | None ->
     if domains < 1 then invalid_arg "Batch.run: domains < 1";
     if domains = 1 then
       List.concat_map
-        (fun (base, chunk) -> search_chunk ~tree ~db cfg base chunk)
+        (fun (base, chunk) -> search_chunk ?filter ~tree ~db cfg base chunk)
         (chunks ~batch_size queries)
     else
       Domain_pool.with_pool ~domains (fun pool ->
-          run_on_pool pool ~batch_size ~tree ~db ~queries cfg)
+          run_on_pool pool ?filter ~batch_size ~tree ~db ~queries cfg)
 
 (* Merge per-part complete streams for one query into the stream the
    unsharded engine would produce. Each input is sorted by

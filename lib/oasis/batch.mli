@@ -36,6 +36,7 @@ val run :
   ?domains:int ->
   ?pool:Domain_pool.t ->
   ?batch_size:int ->
+  ?filter:Quasar.Profile.t ->
   tree:Suffix_tree.Tree.t ->
   db:Bioseq.Database.t ->
   queries:Bioseq.Sequence.t list ->
@@ -48,7 +49,9 @@ val run :
     a {!Parallel} search); otherwise [domains] (default 1) sizes a
     private one, with [domains = 1] running inline. Results are
     identical regardless of [domains]/[pool]/[batch_size] (checked by
-    tests). *)
+    tests). [filter] arms every chunk's q-gram settle tier (see
+    {!Batch_kernel.S.create}); streams and counters are unchanged by
+    it. *)
 
 val totals : result list -> Counters.t
 (** Aggregate batch counters with {!Counters.merge} — work counters

@@ -41,6 +41,7 @@ module type S = sig
   type source
 
   val create :
+    ?filter:Quasar.Profile.t ->
     source:source ->
     db:Bioseq.Database.t ->
     queries:Bioseq.Sequence.t array ->
@@ -56,6 +57,7 @@ module type S = sig
   val shared_counters : t -> Counters.t
   val num_queries : t -> int
   val retired : t -> int
+  val filter_stats : t -> int -> int * int * int
   val physical_expansions : t -> int
   val physical_columns : t -> int
   val set_instrument : t -> Instrument.t option -> unit
@@ -184,6 +186,17 @@ module Make (S : Source.S) = struct
     mutable fb_code : int array;  (** packed fact, as in [fdata] *)
     mutable fb_n : int;
     s_cursor : int array;  (** counting-sort cursors, one per lane *)
+    (* Per-lane q-gram tier (DESIGN.md §2k): [flt.(q)] is lane [q]'s
+       lemma state, [None] when the lemma cannot serve that query;
+       [flt_walk] is any enabled lane's state, used for the
+       query-independent profile-topology walk resolving the parent's
+       profile node once per expansion (scratch path in [flt_path]). *)
+    flt : Qgram.t option array;
+    flt_walk : Qgram.t option;
+    mutable flt_path : int array;
+    ft_tested : int array;  (** per-lane settle tests run *)
+    ft_coarse : int array;  (** ... settled by the coarse bound *)
+    ft_refined : int array;  (** ... settled by the per-cell refinement *)
     (* Fact arenas: the replay facts referenced by the virtual queues'
        packed int handles. Slots are free-listed on pop; a released
        [va_pn] slot may keep its last pnode reachable until reuse,
@@ -481,6 +494,159 @@ module Make (S : Source.S) = struct
     t.fb_code.(n) <- code;
     t.fb_n <- n + 1
 
+  (* The per-lane q-gram subtree settle (the fused mirror of the tier
+     in [Engine.expand]): the lemma bound over the whole child subtree
+     at profile node [Qgram.child f fpn c], coarse whole-query form
+     first, then the per-cell refinement pairing each live cell of the
+     lane's parent block with the query budget left from its row. Only
+     called for lanes whose path best is below [min_score], so a
+     settled subtree is provably silent for that lane and skipping it
+     leaves the lane's stream untouched. *)
+  let qgram_settle t pn fpn q (w : int array) srcb =
+    match t.flt.(q) with
+    | None -> false
+    | Some f ->
+      pn.depth <= Qgram.cutoff f
+      &&
+      let cn = Qgram.child f fpn t.sym_buf.(0) in
+      cn >= 0
+      && Qgram.usable f cn
+      && begin
+           t.ft_tested.(q) <- t.ft_tested.(q) + 1;
+           let m = t.mq.(q) in
+           let dh = (t.mm + 1) * t.k in
+           let g = Qgram.gcount f cn in
+           let vmax = ref neg_inf in
+           for i = 0 to m do
+             let v = w.(srcb + i) in
+             let v =
+               if t.affine && w.(srcb + dh + i) > v then w.(srcb + dh + i)
+               else v
+             in
+             if v > !vmax then vmax := v
+           done;
+           if !vmax + Qgram.ebound f ~g ~l:m < t.min_score then begin
+             t.ft_coarse.(q) <- t.ft_coarse.(q) + 1;
+             true
+           end
+           else begin
+             let ok = ref true in
+             let j = ref 0 in
+             while !ok && !j <= m do
+               let v = w.(srcb + !j) in
+               let v =
+                 if t.affine && w.(srcb + dh + !j) > v then w.(srcb + dh + !j)
+                 else v
+               in
+               if
+                 v > neg_inf
+                 && v + Qgram.ebound f ~g ~l:(m - !j) >= t.min_score
+               then ok := false;
+               incr j
+             done;
+             if !ok then t.ft_refined.(q) <- t.ft_refined.(q) + 1;
+             !ok
+           end
+         end
+
+  (* Checked mode: replay a lemma-settled (child, lane) pair with a
+     plain DP pass over the whole child subtree — fresh arrays, none of
+     the optional prunes, only the always-admissible viability cut —
+     and verify no cell reaches [min_score]. The lane-vector analogue
+     of [Engine.check_qgram_settle]. *)
+  let check_lane_settle t q srcb child start stop =
+    let m = t.mq.(q) in
+    let ms = t.min_score in
+    let ge = t.gap_extend and go = t.gap_open in
+    let fhq = t.fhs.(q) and fcq = t.fcs.(q) in
+    let best = ref neg_inf in
+    let bump v = if v > !best then best := v in
+    let step b d c =
+      let b' = Array.make (m + 1) neg_inf in
+      let d' = if t.affine then Array.make (m + 1) neg_inf else [||] in
+      let alive = ref false in
+      let crow = (c * m) - 1 in
+      if t.affine then begin
+        let d1 = if b.(0) = neg_inf then neg_inf else b.(0) + go in
+        let d2 = if d.(0) = neg_inf then neg_inf else d.(0) + ge in
+        let d0 = if d1 >= d2 then d1 else d2 in
+        let d0 = if d0 = neg_inf || d0 + fhq.(0) < ms then neg_inf else d0 in
+        d'.(0) <- d0;
+        b'.(0) <- d0;
+        if d0 > neg_inf then begin
+          alive := true;
+          bump d0
+        end;
+        for i = 1 to m do
+          let d1 = if b.(i) = neg_inf then neg_inf else b.(i) + go in
+          let d2 = if d.(i) = neg_inf then neg_inf else d.(i) + ge in
+          let dd = if d1 >= d2 then d1 else d2 in
+          let dd = if dd = neg_inf || dd + fhq.(i) < ms then neg_inf else dd in
+          let i1 = if b'.(i - 1) = neg_inf then neg_inf else b'.(i - 1) + go in
+          let repl =
+            if b.(i - 1) = neg_inf then neg_inf else b.(i - 1) + fcq.(crow + i)
+          in
+          let h = if repl >= dd then repl else dd in
+          let h = if i1 > h then i1 else h in
+          let h = if h = neg_inf || h + fhq.(i) < ms then neg_inf else h in
+          d'.(i) <- dd;
+          b'.(i) <- h;
+          if h > neg_inf || dd > neg_inf then alive := true;
+          if h > neg_inf then bump h
+        done
+      end
+      else begin
+        let v0 = if b.(0) = neg_inf then neg_inf else b.(0) + ge in
+        let v0 = if v0 = neg_inf || v0 + fhq.(0) < ms then neg_inf else v0 in
+        b'.(0) <- v0;
+        if v0 > neg_inf then begin
+          alive := true;
+          bump v0
+        end;
+        for i = 1 to m do
+          let repl =
+            if b.(i - 1) = neg_inf then neg_inf else b.(i - 1) + fcq.(crow + i)
+          in
+          let del = if b.(i) = neg_inf then neg_inf else b.(i) + ge in
+          let ins =
+            if b'.(i - 1) = neg_inf then neg_inf else b'.(i - 1) + ge
+          in
+          let dm = if del >= ins then del else ins in
+          let v = if repl >= dm then repl else dm in
+          let v = if v = neg_inf || v + fhq.(i) < ms then neg_inf else v in
+          b'.(i) <- v;
+          if v > neg_inf then begin
+            alive := true;
+            bump v
+          end
+        done
+      end;
+      (b', d', !alive)
+    in
+    let rec down node b d pos stop =
+      if pos >= stop then begin
+        if not (S.is_leaf t.source node) then
+          S.gather t.source node (fun ch ~start ~stop ~sym:_ ->
+              down ch b d start stop)
+      end
+      else
+        let c = S.symbol t.source pos in
+        if c <> t.term && c >= 0 then begin
+          let b', d', alive = step b d c in
+          if alive then down node b' d' (pos + 1) stop
+        end
+    in
+    let w = Col_pool.data t.pool in
+    let dh = (t.mm + 1) * t.k in
+    let b0 = Array.init (m + 1) (fun i -> w.(srcb + i)) in
+    let d0 =
+      if t.affine then Array.init (m + 1) (fun i -> w.(srcb + dh + i))
+      else [||]
+    in
+    down child b0 d0 start stop;
+    if !best >= ms then
+      invalid_arg "Oasis.Batch_kernel: q-gram subtree settle not admissible"
+
   (* Expand one child arc of [pn]: walk it lane by lane over the
      memoized label (each lane's first column reads the parent slot in
      place — nothing is ever blitted), then record the per-lane facts —
@@ -490,7 +656,7 @@ module Make (S : Source.S) = struct
      packed entry to the scratch buffer for the CSR rebucket. A child
      whose arc opens with the terminator (a leaf, the common case) or
      prunes every lane touches no slot at all. *)
-  let walk_child t pn fpruned kids nkids accs naccs child =
+  let walk_child t pn fpn fpruned kids nkids accs naccs child =
     let start = S.label_start t.source child in
     let stop = S.label_end t.source child in
     let lanes = pn.lanes in
@@ -507,6 +673,23 @@ module Make (S : Source.S) = struct
     let slot0 =
       if maxc > 0 && arc_sym t 0 >= 0 then Col_pool.acquire t.pool else -1
     in
+    (* Resolve the parent's profile node once per expansion, anchored
+       at the first child with a non-empty label (its label start
+       points just past the parent path) — the topology walk is
+       query-independent, so any enabled lane's state serves. *)
+    (if !fpn = -2 && maxc > 0 then
+       match t.flt_walk with
+       | None -> fpn := -1
+       | Some f ->
+         if pn.depth = 0 then fpn := Qgram.walk f t.flt_path 0
+         else if start >= pn.depth then begin
+           if Array.length t.flt_path < pn.depth then
+             t.flt_path <- Array.make (2 * pn.depth) 0;
+           S.blit_symbols t.source ~pos:(start - pn.depth) ~len:pn.depth
+             t.flt_path 0;
+           fpn := Qgram.walk f t.flt_path pn.depth
+         end
+         else fpn := -1);
     let w = Col_pool.data t.pool in
     let psrc = Col_pool.base t.pool pn.slot in
     let dst0 = if slot0 >= 0 then Col_pool.base t.pool slot0 else psrc in
@@ -523,7 +706,19 @@ module Make (S : Source.S) = struct
         t.s_cut.(q) <- (if t.opt_pd && b >= ms1 then b else ms1);
         let srcb = psrc + (q * span) in
         let dstb = dst0 + (q * span) in
-        if t.affine then aff_lane t w q srcb dstb maxc pn.depth
+        if
+          !fpn >= 0 && slot0 >= 0 && b < t.min_score
+          && qgram_settle t pn !fpn q w srcb
+        then begin
+          (* Settled pre-DP: the lane pays the one logical column the
+             single engine's tier pays and leaves the subtree as a
+             pruned fact. *)
+          if Kernel_util.checked then
+            check_lane_settle t q srcb child start stop;
+          t.s_state.(q) <- 1;
+          t.s_cols.(q) <- 1
+        end
+        else if t.affine then aff_lane t w q srcb dstb maxc pn.depth
         else lin_lane t w q srcb dstb maxc pn.depth;
         match t.s_state.(q) with
         | 0 -> t.nlive <- t.nlive + 1
@@ -657,8 +852,11 @@ module Make (S : Source.S) = struct
     let accs = ref [] in
     let naccs = ref 0 in
     t.fb_n <- 0;
+    (* Parent profile node for the q-gram tier: [-2] unresolved (the
+       first non-empty child arc resolves it), [-1] absent/ineligible. *)
+    let fpn = ref (match t.flt_walk with None -> -1 | Some _ -> -2) in
     S.iter_children t.source pn.tree_node (fun child ->
-        walk_child t pn fpruned kids nkids accs naccs child);
+        walk_child t pn fpn fpruned kids nkids accs naccs child);
     pn.fkids <- Array.of_list (List.rev !kids);
     pn.fpruned <- fpruned;
     (match !accs with
@@ -960,7 +1158,7 @@ module Make (S : Source.S) = struct
 
   (* {2 Construction} *)
 
-  let create ~source ~db ~queries (cfg : Engine.config) =
+  let create ?filter ~source ~db ~queries (cfg : Engine.config) =
     let k = Array.length queries in
     if k = 0 then invalid_arg "Oasis.Batch_kernel.create: no queries";
     if k > 512 then
@@ -999,6 +1197,26 @@ module Make (S : Source.S) = struct
       Col_pool.create ~width:((mm + 1) * k * if affine then 2 else 1)
     in
     Col_pool.reserve pool 32;
+    (* Per-lane q-gram tier state: queries the lemma cannot serve run
+       unfiltered (their entry stays [None]). *)
+    let flt =
+      match filter with
+      | None -> Array.make k None
+      | Some profile ->
+        Array.map
+          (fun query ->
+            let f =
+              Qgram.make ~profile ~query ~matrix:cfg.Engine.matrix
+                ~gap:cfg.Engine.gap
+            in
+            if Qgram.enabled f then Some f else None)
+          queries
+    in
+    let flt_walk =
+      Array.fold_left
+        (fun acc f -> match acc with Some _ -> acc | None -> f)
+        None flt
+    in
     let num_seqs = Bioseq.Database.num_sequences db in
     let engines =
       Array.init k (fun q_index ->
@@ -1065,6 +1283,12 @@ module Make (S : Source.S) = struct
         fb_code = Array.make 64 0;
         fb_n = 0;
         s_cursor = Array.make k 0;
+        flt;
+        flt_walk;
+        flt_path = Array.make 16 0;
+        ft_tested = Array.make k 0;
+        ft_coarse = Array.make k 0;
+        ft_refined = Array.make k 0;
         va_pn = [||];
         va_free = [||];
         va_nfree = 0;
@@ -1212,6 +1436,10 @@ module Make (S : Source.S) = struct
     }
 
   let retired t = t.retired
+
+  let filter_stats t q =
+    check_q t q;
+    (t.ft_tested.(q), t.ft_coarse.(q), t.ft_refined.(q))
   let physical_expansions t = t.p_expansions
   let physical_columns t = t.p_columns
 end

@@ -39,6 +39,7 @@ module type S = sig
   type source
 
   val create :
+    ?filter:Quasar.Profile.t ->
     source:source ->
     db:Bioseq.Database.t ->
     queries:Bioseq.Sequence.t array ->
@@ -48,7 +49,17 @@ module type S = sig
       holds [k] lane blocks and must stay cache-sane). The config
       applies to every query. Raises [Invalid_argument] on an empty
       batch, an empty query, [min_score < 1], or an alphabet
-      mismatch. *)
+      mismatch.
+
+      [filter] arms a per-lane q-gram settle tier (see
+      {!Engine.Make.create}): before a lane walks a child arc, the
+      lemma bound over the child's whole subtree may prove the lane
+      cannot reach [min_score] there, in which case the lane pays the
+      one logical column the single engine's tier pays and skips the
+      subtree. The settled subtrees are provably silent, so per-query
+      streams {e and} per-query {!counters} stay bit-identical to the
+      filtered single engine's. Queries the lemma cannot serve (see
+      [Oasis.Qgram.make]) silently run unfiltered. *)
 
   val next : t -> (int * Hit.t) option
   (** The next available result from any query, as [(query_index,
@@ -94,6 +105,16 @@ module type S = sig
   val retired : t -> int
   (** Lane retirements: a query leaving an arc walk because its own
       bound fell under its prune threshold. *)
+
+  val filter_stats : t -> int -> int * int * int
+  (** Per-query q-gram tier counters [(tested, settled_coarse,
+      settled_refined)], all zero without [filter]. Unlike the single
+      engine — which only consults the tier on arcs its shared pre-DP
+      bound failed to settle — the fused kernel tests every eligible
+      (child, lane) pair before the lane walk, so [tested] (and the
+      settled counts, on arcs both tiers cover) can exceed the single
+      engine's {!Engine.Make.filter_stats}. {!counters} equality is
+      unaffected: either tier charges the same one logical column. *)
 
   val physical_expansions : t -> int
   val physical_columns : t -> int

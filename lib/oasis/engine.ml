@@ -164,6 +164,17 @@ module Make (S : Source.S) = struct
         (** sibling arcs settled by the shared pre-DP bound alone *)
     mutable c_bound_recomputed : int;
         (** sibling arcs that ran the full DP arc walk *)
+    flt : Qgram.t option;
+        (** q-gram filter tier (DESIGN.md §2k); [None] = off *)
+    mutable flt_path : int array;
+        (** scratch for a parent's root-path symbols (filter walk) *)
+    mutable ft_tested : int;
+        (** arcs the q-gram settle test examined (ALAE survivors with a
+            usable profile entry) *)
+    mutable ft_settled_coarse : int;
+        (** arcs settled by [vmax + E(G, m)] alone *)
+    mutable ft_settled_refined : int;
+        (** arcs settled by the per-cell [v_i + E(G, m - i)] scan *)
     (* Scratch registers for the closure-free kernel: loaded from the
        parent node before an arc walk, stored into the child snode (or
        discarded) after. Only one arc is ever in flight. *)
@@ -641,6 +652,110 @@ module Make (S : Source.S) = struct
     if ub > cheap then
       invalid_arg "Oasis.Engine: pre-DP sibling bound not admissible"
 
+  (* Checked mode: exhaustively replay a q-gram-settled subtree with an
+     independent plain DP walk — none of the optional pruning rules, no
+     running-best domination — and verify no cell reaches [min_score].
+     The always-on viability rule ([cell + hvec < min_score] is dead) is
+     kept: it cannot hide a violation (hvec is admissible) and it is
+     what bounds the walk's depth, since a cell that stops consuming
+     query positions loses at least the gap-extension penalty per
+     column. Fresh arrays per path branch; checked mode owns the cost,
+     and the column pool's hoisted backing store is never touched. *)
+  let check_qgram_settle t parent k =
+    let m = t.m in
+    let ms = t.min_score in
+    let ge = t.gap_extend and go = t.gap_open in
+    let hvec = t.hvec and cols = t.cols in
+    let best = ref neg_inf in
+    let bump v = if v > !best then best := v in
+    (* One column: (b, d) -> (b', d') for symbol [c]; returns [false]
+       when every new cell is dead. Linear model keeps [d] empty. *)
+    let step b d c =
+      let b' = Array.make (m + 1) neg_inf in
+      let d' = if t.affine then Array.make (m + 1) neg_inf else [||] in
+      let alive = ref false in
+      let crow = (c * m) - 1 in
+      if t.affine then begin
+        let d1 = if b.(0) = neg_inf then neg_inf else b.(0) + go in
+        let d2 = if d.(0) = neg_inf then neg_inf else d.(0) + ge in
+        let d0 = if d1 >= d2 then d1 else d2 in
+        let d0 = if d0 = neg_inf || d0 + hvec.(0) < ms then neg_inf else d0 in
+        d'.(0) <- d0;
+        b'.(0) <- d0;
+        if d0 > neg_inf then begin
+          alive := true;
+          bump d0
+        end;
+        for i = 1 to m do
+          let d1 = if b.(i) = neg_inf then neg_inf else b.(i) + go in
+          let d2 = if d.(i) = neg_inf then neg_inf else d.(i) + ge in
+          let dd = if d1 >= d2 then d1 else d2 in
+          let dd = if dd = neg_inf || dd + hvec.(i) < ms then neg_inf else dd in
+          let i1 = if b'.(i - 1) = neg_inf then neg_inf else b'.(i - 1) + go in
+          let repl =
+            if b.(i - 1) = neg_inf then neg_inf else b.(i - 1) + cols.(crow + i)
+          in
+          let h = if repl >= dd then repl else dd in
+          let h = if i1 > h then i1 else h in
+          let h = if h = neg_inf || h + hvec.(i) < ms then neg_inf else h in
+          d'.(i) <- dd;
+          b'.(i) <- h;
+          if h > neg_inf || dd > neg_inf then alive := true;
+          if h > neg_inf then bump h
+        done
+      end
+      else begin
+        let v0 = if b.(0) = neg_inf then neg_inf else b.(0) + ge in
+        let v0 = if v0 = neg_inf || v0 + hvec.(0) < ms then neg_inf else v0 in
+        b'.(0) <- v0;
+        if v0 > neg_inf then begin
+          alive := true;
+          bump v0
+        end;
+        for i = 1 to m do
+          let repl =
+            if b.(i - 1) = neg_inf then neg_inf else b.(i - 1) + cols.(crow + i)
+          in
+          let del = if b.(i) = neg_inf then neg_inf else b.(i) + ge in
+          let ins =
+            if b'.(i - 1) = neg_inf then neg_inf else b'.(i - 1) + ge
+          in
+          let dm = if del >= ins then del else ins in
+          let v = if repl >= dm then repl else dm in
+          let v = if v = neg_inf || v + hvec.(i) < ms then neg_inf else v in
+          b'.(i) <- v;
+          if v > neg_inf then begin
+            alive := true;
+            bump v
+          end
+        done
+      end;
+      (b', d', !alive)
+    in
+    let rec down node b d pos stop =
+      if pos >= stop then begin
+        if not (S.is_leaf t.source node) then
+          S.gather t.source node (fun child ~start ~stop ~sym:_ ->
+              down child b d start stop)
+      end
+      else
+        let c = S.symbol t.source pos in
+        if c <> t.term && c >= 0 then begin
+          let b', d', alive = step b d c in
+          if alive then down node b' d' (pos + 1) stop
+        end
+    in
+    let w = Col_pool.data t.pool in
+    let poff = Col_pool.base t.pool parent.slot in
+    let b0 = Array.init (m + 1) (fun i -> w.(poff + i)) in
+    let d0 =
+      if t.affine then Array.init (m + 1) (fun i -> w.(poff + m + 1 + i))
+      else [||]
+    in
+    down t.ch_nodes.(k) b0 d0 t.ch_start.(k) t.ch_stop.(k);
+    if !best >= ms then
+      invalid_arg "Oasis.Engine: q-gram subtree settle not admissible"
+
   (* Full DP for one gathered child arc: acquire a slot and run the
      kernel with the first column reading straight from the parent's
      slot — the split-source kernels replace the old parent-to-child
@@ -788,6 +903,56 @@ module Make (S : Source.S) = struct
         if parent.max_score >= t.min_score - 1 then parent.max_score
         else t.min_score - 1
       in
+      (* q-gram filter tier (DESIGN.md §2k): resolve the parent's
+         profile entry and its column max once per sibling run. Only a
+         parent that has not yet banked an accepted alignment on its
+         path ([max_score < min_score] — so a settled subtree is
+         provably silent in the unfiltered run too) and whose children
+         start within the profile's depth cutoff can settle subtrees. *)
+      let fpn = ref (-1) in
+      let fvmax = ref neg_inf in
+      (match t.flt with
+      | Some f
+        when Qgram.enabled f
+             && parent.max_score < t.min_score
+             && parent.depth <= Qgram.cutoff f -> begin
+        (* The parent's path spells the [depth] database symbols just
+           before any non-empty child label. *)
+        let anchor = ref (-1) in
+        (try
+           for j = 0 to n - 1 do
+             if t.ch_stop.(j) > t.ch_start.(j) then begin
+               anchor := t.ch_start.(j);
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if parent.depth = 0 || !anchor >= parent.depth then begin
+          if Array.length t.flt_path < parent.depth then
+            t.flt_path <- Array.make (2 * parent.depth) 0;
+          if parent.depth > 0 then
+            S.blit_symbols t.source
+              ~pos:(!anchor - parent.depth)
+              ~len:parent.depth t.flt_path 0;
+          let pn = Qgram.walk f t.flt_path parent.depth in
+          if pn >= 0 then begin
+            fpn := pn;
+            let vmax = ref neg_inf in
+            for i = 0 to m do
+              let v = w.(poff + i) in
+              if v > !vmax then vmax := v
+            done;
+            if t.affine then
+              for i = 0 to m do
+                let v = w.(poff + m + 1 + i) in
+                if v > !vmax then vmax := v
+              done;
+            fvmax := !vmax
+          end
+        end
+      end
+      | _ -> ());
+      let fpn = !fpn and fvmax = !fvmax in
       let i = ref 0 in
       while !i < n do
         let chunk = min Kernel_util.block_arcs (n - !i) in
@@ -865,11 +1030,65 @@ module Make (S : Source.S) = struct
                 t.c_pruned <- t.c_pruned + 1
             end
             else begin
-              t.c_bound_recomputed <- t.c_bound_recomputed + 1;
-              (match t.obs with
-              | None -> ()
-              | Some o -> Obs.Metric.incr o.Instrument.bound_recomputed);
-              run_arc t parent child w poff k
+              (* q-gram settle (§2k): the ALAE bound could not settle
+                 this arc, but the lemma bound over the child's whole
+                 subtree might — coarse form first, then the per-cell
+                 refinement pairing each live parent cell with the
+                 query budget actually left from its position. *)
+              let qsettle =
+                match t.flt with
+                | Some f when fpn >= 0 && c >= 0 ->
+                  let cn = Qgram.child f fpn c in
+                  if cn < 0 || not (Qgram.usable f cn) then false
+                  else begin
+                    t.ft_tested <- t.ft_tested + 1;
+                    let g = Qgram.gcount f cn in
+                    if fvmax + Qgram.ebound f ~g ~l:m < t.min_score then begin
+                      t.ft_settled_coarse <- t.ft_settled_coarse + 1;
+                      true
+                    end
+                    else begin
+                      let ok = ref true in
+                      let j = ref 0 in
+                      while !ok && !j <= m do
+                        let v = w.(poff + !j) in
+                        let v =
+                          if t.affine && w.(poff + m + 1 + !j) > v then
+                            w.(poff + m + 1 + !j)
+                          else v
+                        in
+                        if
+                          v > neg_inf
+                          && v + Qgram.ebound f ~g ~l:(m - !j) >= t.min_score
+                        then ok := false;
+                        incr j
+                      done;
+                      if !ok then
+                        t.ft_settled_refined <- t.ft_settled_refined + 1;
+                      !ok
+                    end
+                  end
+                | _ -> false
+              in
+              if qsettle then begin
+                if checked_kernel then check_qgram_settle t parent k;
+                (* One logical column, like an ALAE settle — but not a
+                   [c_bound_reused] arc: the savings this tier adds are
+                   exactly the subtree columns the unfiltered engine
+                   would still run. *)
+                t.c_columns <- t.c_columns + 1;
+                t.c_pruned <- t.c_pruned + 1;
+                match t.obs with
+                | None -> ()
+                | Some o -> Obs.Metric.observe o.Instrument.arc_columns 1
+              end
+              else begin
+                t.c_bound_recomputed <- t.c_bound_recomputed + 1;
+                (match t.obs with
+                | None -> ()
+                | Some o -> Obs.Metric.incr o.Instrument.bound_recomputed);
+                run_arc t parent child w poff k
+              end
             end
           end;
           incr i
@@ -881,7 +1100,7 @@ module Make (S : Source.S) = struct
      query or from a position-specific profile. A borrowed [session] is
      reset for this search, which invalidates any previous engine that
      was using it. *)
-  let create_internal ?session ~source ~db ~profile (cfg : config) =
+  let create_internal ?session ?filter ~source ~db ~profile (cfg : config) =
     if cfg.min_score < 1 then
       invalid_arg "Oasis.Engine.create: min_score must be >= 1";
     if
@@ -952,6 +1171,11 @@ module Make (S : Source.S) = struct
         c_max_queue = 0;
         c_bound_reused = 0;
         c_bound_recomputed = 0;
+        flt = filter;
+        flt_path = Array.make 16 0;
+        ft_tested = 0;
+        ft_settled_coarse = 0;
+        ft_settled_refined = 0;
         sc_best = 0;
         sc_best_q = 0;
         sc_best_off = 0;
@@ -1003,14 +1227,23 @@ module Make (S : Source.S) = struct
     end;
     t
 
-  let create ?session ~source ~db ~query cfg =
+  let create ?session ?filter ~source ~db ~query cfg =
     if Bioseq.Sequence.length query = 0 then
       invalid_arg "Oasis.Engine.create: empty query";
     if
       Bioseq.Alphabet.name (Scoring.Submat.alphabet cfg.matrix)
       <> Bioseq.Alphabet.name (Bioseq.Sequence.alphabet query)
     then invalid_arg "Oasis.Engine.create: alphabet mismatch";
-    create_internal ?session ~source ~db
+    let filter =
+      match filter with
+      | Some profile ->
+        let f =
+          Qgram.make ~profile ~query ~matrix:cfg.matrix ~gap:cfg.gap
+        in
+        if Qgram.enabled f then Some f else None
+      | None -> None
+    in
+    create_internal ?session ?filter ~source ~db
       ~profile:(Scoring.Pssm.of_query ~matrix:cfg.matrix query)
       cfg
 
@@ -1234,6 +1467,9 @@ module Make (S : Source.S) = struct
   let queue_length t = Frontier.length t.fr
   let reported t = t.reported_count
   let bound_stats t = (t.c_bound_reused, t.c_bound_recomputed)
+
+  let filter_stats t =
+    (t.ft_tested, t.ft_settled_coarse, t.ft_settled_refined)
 
   let outcome t =
     match t.exhausted with

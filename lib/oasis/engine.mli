@@ -165,6 +165,7 @@ module Make (S : Source.S) : sig
 
   val create :
     ?session:Session.t ->
+    ?filter:Quasar.Profile.t ->
     source:S.t ->
     db:Bioseq.Database.t ->
     query:Bioseq.Sequence.t ->
@@ -176,7 +177,16 @@ module Make (S : Source.S) : sig
       fresh one); the resulting hit stream is bit-identical either way —
       only allocation behaviour differs (a reused session starts at its
       previous capacity, so the [pool_peak_bytes] counter can exceed a
-      fresh run's). *)
+      fresh run's).
+
+      [filter] arms the exactness-preserving q-gram tier
+      (DESIGN.md §2k): subtrees the generalized q-gram lemma proves
+      cannot reach [min_score] are settled before their first DP
+      column. The profile must describe the same database image; the
+      hit stream is bit-identical with or without it — only the work
+      counters (and {!filter_stats}) change. A configuration the lemma
+      cannot serve (query shorter than the profile's q, non-negative
+      gap-extension score) silently disarms the tier. *)
 
   val create_profile :
     ?session:Session.t ->
@@ -234,11 +244,23 @@ module Make (S : Source.S) : sig
   val bound_stats : t -> int * int
   (** [(reused, recomputed)]: sibling arcs settled by the shared pre-DP
       parent-aggregate bound alone versus arcs that ran the full DP arc
-      walk. Their sum counts every non-terminator child arc expanded so
-      far; the reused share is what the blocked layout saved. Purely
-      informational — the reused arcs still contribute their one logical
-      column to {!counters}' [columns], which stays bit-identical to the
+      walk. With the q-gram tier off, their sum counts every
+      non-terminator child arc expanded so far; with it on, arcs the
+      tier settles (see {!filter_stats}) belong to neither side, so the
+      sum undercounts by exactly that many. Purely informational — the
+      reused arcs still contribute their one logical column to
+      {!counters}' [columns], which stays bit-identical to the
       reference engine's. *)
+
+  val filter_stats : t -> int * int * int
+  (** [(tested, settled_coarse, settled_refined)] for the q-gram tier:
+      arcs the settle test examined (ALAE survivors with a usable
+      profile entry), arcs settled by the whole-column coarse bound,
+      and arcs settled by the per-cell refinement. All zero when no
+      [filter] was supplied. Unlike an ALAE settle, a q-gram settle
+      removes work the unfiltered engine would really do (the whole
+      subtree), so [columns] with the tier on is [<=] the unfiltered
+      count — while the hit stream stays bit-identical. *)
 
   val outcome : t -> outcome
   (** See {!outcome}. Once [Exhausted], further {!next} calls return

@@ -38,10 +38,10 @@ let part_db = function Mem { db; _ } | Disk { db; _ } -> db
 let part_first_seq = function
   | Mem { first_seq; _ } | Disk { first_seq; _ } -> first_seq
 
-let make_engine part ~query config =
+let make_engine part ?filter ~query config =
   match part with
   | Mem { tree; db; _ } ->
-    let e = Engine.Mem.create ~source:tree ~db ~query config in
+    let e = Engine.Mem.create ?filter ~source:tree ~db ~query config in
     {
       e_next = (fun () -> Engine.Mem.next e);
       e_frontier_bound = (fun () -> Engine.Mem.frontier_bound e);
@@ -49,7 +49,7 @@ let make_engine part ~query config =
       e_outcome = (fun () -> Engine.Mem.outcome e);
     }
   | Disk { tree; db; _ } ->
-    let e = Engine.Disk.create ~source:tree ~db ~query config in
+    let e = Engine.Disk.create ?filter ~source:tree ~db ~query config in
     {
       e_next = (fun () -> Engine.Disk.next e);
       e_frontier_bound = (fun () -> Engine.Disk.frontier_bound e);
@@ -57,9 +57,34 @@ let make_engine part ~query config =
       e_outcome = (fun () -> Engine.Disk.outcome e);
     }
 
-let create ~parts ~query (config : Engine.config) =
+let create ?profiles ~parts ~query (config : Engine.config) =
   let n = Array.length parts in
   if n = 0 then invalid_arg "Multi.create: no parts";
+  (match profiles with
+  | Some p when Array.length p <> n ->
+    invalid_arg "Multi.create: profiles/parts length mismatch"
+  | _ -> ());
+  (* Per-part q-gram state: engine filter plus the admissible
+     whole-part score cap tightening the slot's initial merge bound. *)
+  let filters = Array.make n None in
+  let caps = Array.make n max_int in
+  (match profiles with
+  | None -> ()
+  | Some p ->
+    Array.iteri
+      (fun i prof ->
+        match prof with
+        | None -> ()
+        | Some profile ->
+          let f =
+            Qgram.make ~profile ~query ~matrix:config.Engine.matrix
+              ~gap:config.Engine.gap
+          in
+          if Qgram.enabled f then begin
+            filters.(i) <- Some profile;
+            caps.(i) <- Qgram.shard_cap f
+          end)
+      p);
   let firsts = Array.map part_first_seq parts in
   Array.iteri
     (fun i f ->
@@ -88,14 +113,14 @@ let create ~parts ~query (config : Engine.config) =
               };
           }
         in
-        let engine = make_engine part ~query config in
+        let engine = make_engine part ?filter:filters.(i) ~query config in
         {
           index = i;
           piece =
             { Shard.db = part_db part; first_seq = part_first_seq part };
           engine;
           head = None;
-          bound = engine.e_frontier_bound ();
+          bound = min (engine.e_frontier_bound ()) caps.(i);
           done_ = false;
           outcome = Engine.Searching;
         })

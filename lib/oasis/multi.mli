@@ -46,11 +46,21 @@ type part =
 
 type t
 
-val create : parts:part array -> query:Bioseq.Sequence.t -> Engine.config -> t
+val create :
+  ?profiles:Quasar.Profile.t option array ->
+  parts:part array ->
+  query:Bioseq.Sequence.t ->
+  Engine.config ->
+  t
 (** Parts must be in sequence order (strictly increasing [first_seq]);
-    raises [Invalid_argument] otherwise or when [parts] is empty. Each
-    part's engine is created eagerly; no hit is computed until
-    {!next}. *)
+    raises [Invalid_argument] otherwise, when [parts] is empty, or when
+    [profiles] has a different length than [parts]. Each part's engine
+    is created eagerly; no hit is computed until {!next}.
+
+    [profiles] (one per part, [None] entries allowed) arms each part
+    engine's q-gram tier and tightens the part's initial merge bound to
+    the admissible whole-part cap {!Oasis.Qgram.shard_cap} — both pure
+    bound tightenings, so the merged stream stays bit-identical. *)
 
 val parts_of_snapshot : Storage.Live_index.snapshot -> part array
 (** The searchable parts of a pinned live-index snapshot, in sequence

@@ -72,12 +72,18 @@ module Make (S : Source.S) = struct
     | _ -> ()
 
   (* Runs on a pool worker. The engine lives entirely in this domain,
-     so its per-domain [minor_words] counter stays meaningful. *)
-  let shard_task t shard source query config () =
+     so its per-domain [minor_words] counter stays meaningful. [cap] is
+     the shard's admissible q-gram score cap ([max_int] without a
+     profile): published bounds never exceed it, so a low-overlap shard
+     stops holding back the other shards' releases as soon as it is
+     created — before its engine pops a single node. *)
+  let shard_task t shard source ?filter ~cap query config () =
     match
-      let e = E.create ~source ~db:shard.piece.Shard.db ~query config in
+      let e =
+        E.create ?filter ~source ~db:shard.piece.Shard.db ~query config
+      in
       locked t (fun () ->
-          shard.bound <- E.frontier_bound e;
+          shard.bound <- min (E.frontier_bound e) cap;
           shard.counters <- E.counters e;
           obs_bound t shard;
           Condition.broadcast t.progress);
@@ -87,7 +93,7 @@ module Make (S : Source.S) = struct
           let g = Shard.globalize shard.piece h in
           (* frontier_bound already <= h.score after the pop; the min is
              belt and braces for the merge invariant. *)
-          let b = min (E.frontier_bound e) h.Hit.score in
+          let b = min (min (E.frontier_bound e) h.Hit.score) cap in
           locked t (fun () ->
               Queue.add g shard.hits;
               if t.obs <> None then
@@ -116,9 +122,35 @@ module Make (S : Source.S) = struct
           shard.done_ <- true;
           Condition.broadcast t.progress)
 
-  let create ?pool ?obs ~shards ~query (config : Engine.config) =
+  let create ?pool ?obs ?profiles ~shards ~query (config : Engine.config) =
     let n = Array.length shards in
     if n = 0 then invalid_arg "Parallel.create: no shards";
+    (match profiles with
+    | Some p when Array.length p <> n ->
+      invalid_arg "Parallel.create: profiles/shards length mismatch"
+    | _ -> ());
+    (* Per-shard q-gram state: the filter handed to the shard's engine,
+       and the admissible whole-shard score cap (the root profile entry
+       covers the shard's complete gram content at any horizon). *)
+    let filters = Array.make n None in
+    let caps = Array.make n max_int in
+    (match profiles with
+    | None -> ()
+    | Some p ->
+      Array.iteri
+        (fun i prof ->
+          match prof with
+          | None -> ()
+          | Some profile ->
+            let f =
+              Qgram.make ~profile ~query ~matrix:config.Engine.matrix
+                ~gap:config.Engine.gap
+            in
+            if Qgram.enabled f then begin
+              filters.(i) <- Some profile;
+              caps.(i) <- Qgram.shard_cap f
+            end)
+        p);
     let weights =
       Array.map
         (fun (s : shard_source) ->
@@ -145,7 +177,7 @@ module Make (S : Source.S) = struct
                 piece = s.piece;
                 hits = Queue.create ();
                 push_times = Queue.create ();
-                bound = max_int;
+                bound = caps.(index);
                 done_ = false;
                 outcome = Engine.Searching;
                 counters = Counters.zero;
@@ -182,7 +214,8 @@ module Make (S : Source.S) = struct
                   };
               }
             in
-            shard_task t t.shards.(i) s.source query config ()))
+            shard_task t t.shards.(i) s.source ?filter:filters.(i)
+              ~cap:caps.(i) query config ()))
       shards;
     if owned then t.owned_pool <- Some pool;
     t

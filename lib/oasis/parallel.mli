@@ -73,6 +73,7 @@ module Make (S : Source.S) : sig
   val create :
     ?pool:Domain_pool.t ->
     ?obs:Instrument.merge ->
+    ?profiles:Quasar.Profile.t option array ->
     shards:shard_source array ->
     query:Bioseq.Sequence.t ->
     Engine.config ->
@@ -84,7 +85,17 @@ module Make (S : Source.S) : sig
       fewer workers than shards the search still completes (later
       shards queue), but nothing can be emitted until every shard has
       started and published its first bound. Raises [Invalid_argument]
-      on an empty shard array.
+      on an empty shard array, or on [profiles] of a different length
+      than [shards].
+
+      [profiles] (one per shard, [None] entries allowed) arms each
+      shard engine's q-gram tier (see {!Engine.Make.create}) and caps
+      the shard's published merge bound by the admissible whole-shard
+      score bound [Oasis.Qgram.shard_cap] from the moment of creation —
+      a shard with little gram overlap with the query stops holding
+      back other shards' releases before its engine pops a single node.
+      Both uses are admissible-bound tightenings: the merged stream is
+      bit-identical with or without them.
 
       With [obs], the merge records per-shard release latency (push to
       order-preserving release) and merge-buffer occupancy histograms,
@@ -106,7 +117,8 @@ module Make (S : Source.S) : sig
   (** Upper bound on the score of every hit {!next} can still return
       (max over shard buffers and published bounds); [None] once
       nothing remains. Before a shard's task has started this is
-      [Some max_int] — admissible, just loose. *)
+      [Some max_int] — admissible, just loose — or the shard's q-gram
+      cap when [profiles] was given. *)
 
   val outcome : t -> Engine.outcome
   (** [Searching] until every shard finished {e and} the merged stream

@@ -1,0 +1,111 @@
+(* Query-side q-gram filter state — see the .mli for the admissibility
+   contract and DESIGN.md §2k for the full derivation. *)
+
+type t = {
+  pf : Quasar.Profile.t;
+  qgid : int array;  (** gram id per query window, -1 for unusable windows *)
+  memo : int array;  (** per profile entry: G, -1 = not yet counted *)
+  a : int;  (** best substitution entry over the query's rows *)
+  cmin : int;  (** min score lost per defect column, vs the [a] ceiling *)
+  q : int;
+  m : int;
+  ext_ok_all : bool;  (** query's max extension reach fits the horizon *)
+  enabled : bool;
+}
+
+let enabled t = t.enabled
+let cutoff t = Quasar.Profile.cutoff t.pf
+
+let make ~profile ~query ~matrix ~gap =
+  let pf = profile in
+  let q = Quasar.Profile.q pf in
+  let asize = Quasar.Profile.alphabet_size pf in
+  let m = Bioseq.Sequence.length query in
+  let nq = m - q + 1 in
+  let qcodes = Array.init m (Bioseq.Sequence.get query) in
+  (* a: the ceiling any column can score. dmis: the best mismatch entry
+     — what a defect column can still score, so a defect loses at least
+     a - dmis vs the ceiling (and at least the gap-extend penalty when
+     it is a gap column instead). *)
+  let a = ref min_int and dmis = ref min_int in
+  Array.iter
+    (fun qc ->
+      if qc >= 0 && qc < asize then
+        for c = 0 to asize - 1 do
+          let s = Scoring.Submat.score matrix qc c in
+          if s > !a then a := s;
+          if c <> qc && s > !dmis then dmis := s
+        done)
+    qcodes;
+  let a = max 0 !a in
+  let gep = -Scoring.Gap.extend_score gap in
+  let cmin =
+    if !dmis = min_int then gep (* no mismatch possible: defects are gaps *)
+    else max 0 (min (a - !dmis) gep)
+  in
+  let qgid =
+    Array.init (max nq 0) (fun i -> Quasar.Profile.gram_of_codes pf qcodes i)
+  in
+  let memo = Array.make (Quasar.Profile.num_nodes pf) (-1) in
+  (* Reach: an alignment scoring > 0 consumes at most m query-matched
+     columns (each <= a) and a * m / gep further database-gap columns;
+     its last gram window needs q - 1 more symbols. *)
+  let ext_cap = if a = 0 then q else m + (a * m / gep) + q in
+  let ext_ok_all = ext_cap <= Quasar.Profile.horizon pf in
+  let enabled = nq >= 1 && gep >= 1 in
+  { pf; qgid; memo; a; cmin; q; m; ext_ok_all; enabled }
+
+let walk t path depth =
+  let pf = t.pf in
+  let rec go cur d =
+    if d = depth then cur
+    else if d > depth then -1
+    else
+      let nxt = Quasar.Profile.child pf cur path.(d) in
+      if nxt < 0 then -1 else go nxt (Quasar.Profile.dend pf nxt)
+  in
+  go (Quasar.Profile.root pf) 0
+
+let child t id sym = Quasar.Profile.child t.pf id sym
+
+let usable t id = t.ext_ok_all || Quasar.Profile.ext t.pf id <= Quasar.Profile.horizon t.pf
+
+let gcount t id =
+  let g = t.memo.(id) in
+  if g >= 0 then g
+  else begin
+    let g = ref 0 in
+    Array.iter
+      (fun gid -> if gid >= 0 && Quasar.Profile.has_gram t.pf id gid then incr g)
+      t.qgid;
+    t.memo.(id) <- !g;
+    !g
+  end
+
+(* E(g, l): sup over segment lengths e' <= l and defect counts d of
+   a * e' - cmin * d subject to the q-gram lemma feasibility
+   e' - q + 1 - q * d <= g (at most g query windows can be exact).
+   For e' <= g + q - 1 the constraint is slack: value a * e'. Beyond,
+   each extra q-block of columns buys a * q but forces one more defect
+   (-cmin); the sup over partial blocks is the running max of the
+   endpoint value (fend, with ceiling division charging the partial
+   block's defect) and the last full-block boundary (fblock, the peak
+   when a partial block cannot pay for its defect). *)
+let ebound t ~g ~l =
+  if l <= 0 || t.a = 0 then 0
+  else begin
+    let a = t.a and cmin = t.cmin and q = t.q in
+    let gq1 = g + q - 1 in
+    let k = l - gq1 in
+    if k <= 0 then a * l
+    else begin
+      let fend = (a * k) - (cmin * ((k + q - 1) / q)) in
+      let fblock = if a * q >= cmin then k / q * ((a * q) - cmin) else 0 in
+      let e = (a * gq1) + max 0 (max fend fblock) in
+      max 0 (min e (a * l))
+    end
+  end
+
+let shard_cap t =
+  if not t.enabled then max_int
+  else ebound t ~g:(gcount t (Quasar.Profile.root t.pf)) ~l:t.m

@@ -1,0 +1,73 @@
+(** Query-side state for the exactness-preserving q-gram filter tier
+    (DESIGN.md §2k).
+
+    Wraps a {!Quasar.Profile} with everything one query's searches
+    need: the query's window gram ids, a per-profile-node memo of [G]
+    (how many query windows have their gram present in the node's
+    region), and the admissible extension bound [ebound ~g ~l] — an
+    upper bound, derived from the generalized q-gram lemma, on the
+    score any alignment can add while consuming at most [l] further
+    query positions against a region whose gram overlap with the query
+    is at most [g] windows.
+
+    Admissibility sketch (full argument in DESIGN.md §2k): an extension
+    with [e] exact-match columns and [d] defect columns (mismatch or
+    gap) has at least [e' - q + 1 - q*d] exact q-windows over its
+    aligned query segment of length [e' <= l], each of which
+    contributes a gram present in the region — so at most [g] exist.
+    Every column scores at most [a] (the query's best substitution
+    entry), every defect costs at least
+    [cmin = max 0 (min (a - worst_mismatch) gap_extend_penalty)]
+    against that ceiling; maximizing the resulting LP over all feasible
+    [(e, d)] and all segment lengths [<= l] gives [ebound], evaluated
+    in closed form with ceiling division (the continuous optimum
+    dominates the integer one, preserving admissibility).
+
+    The bound is only sound when the profile's gram sets cover every
+    symbol an alignment can reach, which holds per node when the
+    region is complete ([ext <= horizon]) or globally when the query's
+    maximum extension reach [m + a*m/gap_extend_penalty + q] fits the
+    horizon — {!usable} checks exactly this. *)
+
+type t
+
+val make :
+  profile:Quasar.Profile.t ->
+  query:Bioseq.Sequence.t ->
+  matrix:Scoring.Submat.t ->
+  gap:Scoring.Gap.t ->
+  t
+(** Never raises: a configuration the lemma cannot serve (query shorter
+    than [q], non-negative gap-extension score) yields a state with
+    [enabled = false], which every consumer must treat as "no filter". *)
+
+val enabled : t -> bool
+val cutoff : t -> int
+(** The profile's depth cutoff: parents deeper than this have no
+    profiled children. *)
+
+val walk : t -> int array -> int -> int
+(** [walk t path depth]: the profile entry whose path is
+    [path.(0 .. depth - 1)], or [-1]. [depth = 0] returns the root. *)
+
+val child : t -> int -> int -> int
+(** Profile child by first arc symbol; [-1] when absent (no settle). *)
+
+val usable : t -> int -> bool
+(** Is [ebound] sound for this entry (complete region, or the query's
+    extension reach fits the horizon)? *)
+
+val gcount : t -> int -> int
+(** Memoized [G] for an entry: query windows whose gram the entry's
+    region contains. *)
+
+val ebound : t -> g:int -> l:int -> int
+(** See above. Non-negative; non-decreasing in [l] and in [g]. *)
+
+val shard_cap : t -> int
+(** [ebound ~g:(gcount root) ~l:m]: an admissible upper bound on the
+    score of {e any} hit in the profiled database — the root region is
+    every suffix, and every database gram is some suffix's first
+    window, so the root set is complete regardless of the horizon. The
+    sharded merge uses this to down-prioritize low-overlap shards.
+    [max_int] when the filter is disabled. *)

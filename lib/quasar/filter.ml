@@ -10,11 +10,22 @@ type config = {
 let config ?(q = 3) ?block_size ?(diffs = 2) ~matrix ~gap ~min_score
     ~query_length () =
   if query_length < 1 then invalid_arg "Quasar.config: empty query";
+  if diffs < 0 then invalid_arg "Quasar.config: diffs < 0";
   let q = max 1 (min q query_length) in
   let block_size =
-    match block_size with Some b -> b | None -> max 64 (2 * query_length)
+    match block_size with
+    | Some b ->
+      if b < 1 then invalid_arg "Quasar.config: block_size < 1";
+      b
+    | None -> max 64 (2 * query_length)
   in
-  let threshold = max 1 (query_length - q + 1 - (q * diffs)) in
+  (* The query carries m - q + 1 grams, so a higher threshold is
+     vacuously unsatisfiable (every block filtered, silently lossy for
+     the filter's own q-gram-lemma guarantee); clamp before the lemma
+     floor so threshold is always in [1, m - q + 1]. *)
+  let threshold =
+    min (query_length - q + 1) (max 1 (query_length - q + 1 - (q * diffs)))
+  in
   { q; block_size; threshold; min_score; matrix; gap }
 
 type hit = {

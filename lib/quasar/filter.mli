@@ -35,7 +35,11 @@ val config :
   config
 (** Defaults: [q = 3] (capped at the query length), [block_size] twice
     the query length (at least 64), and the lemma threshold for
-    [diffs = 2] differences: [max 1 (m - q + 1 - q * diffs)]. *)
+    [diffs = 2] differences: [max 1 (m - q + 1 - q * diffs)], clamped
+    to the [m - q + 1] grams the query actually carries (a higher
+    threshold would be vacuously unsatisfiable). Raises
+    [Invalid_argument] on an empty query, [diffs < 0], or
+    [block_size < 1]. *)
 
 type hit = {
   seq_index : int;

@@ -1,0 +1,290 @@
+(* Per-subtree q-gram profiles — see the .mli for the contract. The
+   build is one post-order pass: each node's gram set is its own arc
+   windows (threaded across arc boundaries by carrying the rolling
+   gram prefix into children) unioned with its children's sets. Sets
+   are gram-identity based, so a child's set shifts into its parent's
+   region for free; every approximation (ancestor-tail windows, grams
+   past one node's horizon but inside a descendant's) errs toward
+   supersets, which an admissible consumer tolerates. *)
+
+type t = {
+  q : int;
+  asize : int;
+  gbits : int;  (** asize^q *)
+  gstride : int;  (** bytes per node's bitset *)
+  cutoff : int;
+  horizon : int;
+  dstart : int array;
+  dend : int array;
+  ext : int array;
+  grams : Bytes.t;  (** num_nodes consecutive bitsets *)
+  ch_off : int array;  (** CSR offsets, length num_nodes + 1 *)
+  ch_sym : int array;
+  ch_id : int array;
+}
+
+let q t = t.q
+let cutoff t = t.cutoff
+let horizon t = t.horizon
+let alphabet_size t = t.asize
+let num_nodes t = Array.length t.dstart
+let root _ = 0
+let dstart t id = t.dstart.(id)
+let dend t id = t.dend.(id)
+let ext t id = t.ext.(id)
+
+let child t id sym =
+  let stop = t.ch_off.(id + 1) in
+  let rec go k =
+    if k >= stop then -1
+    else if t.ch_sym.(k) = sym then t.ch_id.(k)
+    else go (k + 1)
+  in
+  go t.ch_off.(id)
+
+let has_gram t id gram =
+  let bit = (id * t.gstride * 8) + gram in
+  Char.code (Bytes.unsafe_get t.grams (bit lsr 3)) land (1 lsl (bit land 7))
+  <> 0
+
+let gram_of_codes t codes off =
+  let rec go j acc =
+    if j >= t.q then acc
+    else
+      let c = codes.(off + j) in
+      if c < 0 || c >= t.asize then -1 else go (j + 1) ((acc * t.asize) + c)
+  in
+  go 0 0
+
+let root_grams t = Bytes.sub t.grams 0 t.gstride
+
+(* --- build --- *)
+
+let rec pow_int b e = if e = 0 then 1 else b * pow_int b (e - 1)
+
+(* Growable int vector — the build does not know the node count ahead
+   of time. *)
+type vec = { mutable a : int array; mutable n : int }
+
+let vec () = { a = Array.make 256 0; n = 0 }
+
+let vpush v x =
+  if v.n = Array.length v.a then begin
+    let b = Array.make (2 * v.n) 0 in
+    Array.blit v.a 0 b 0 v.n;
+    v.a <- b
+  end;
+  v.a.(v.n) <- x;
+  v.n <- v.n + 1
+
+let varr v = Array.sub v.a 0 v.n
+
+let set_bit set gram =
+  let b = gram lsr 3 in
+  Bytes.unsafe_set set b
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get set b) lor (1 lsl (gram land 7))))
+
+let union ~into src =
+  for b = 0 to Bytes.length into - 1 do
+    Bytes.unsafe_set into b
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get into b)
+         lor Char.code (Bytes.unsafe_get src b)))
+  done
+
+let build ~db ~tree ?(q = 2) ?(cutoff = 12) ?(horizon = 96) () =
+  let alpha = Bioseq.Database.alphabet db in
+  let asize = Bioseq.Alphabet.size alpha in
+  if q < 1 then invalid_arg "Quasar.Profile.build: q < 1";
+  if horizon < q then invalid_arg "Quasar.Profile.build: horizon < q";
+  if cutoff < 0 then invalid_arg "Quasar.Profile.build: cutoff < 0";
+  let gbits = pow_int asize q in
+  if gbits > 65536 then
+    invalid_arg "Quasar.Profile.build: gram space size^q exceeds 2^16";
+  let gstride = (gbits + 7) / 8 in
+  let powq1 = pow_int asize (q - 1) in
+  (* Scan allowance: any profile node's horizon window ends before
+     absolute depth cutoff + horizon, and its last window needs q - 1
+     more symbols. *)
+  let dmax = cutoff + horizon + q in
+  let v_dstart = vec () and v_dend = vec () and v_ext = vec () in
+  let gsets = ref (Array.make 256 Bytes.empty) in
+  let nid = ref 0 in
+  let edges = ref [] in
+  let alloc d_start d_end =
+    let id = !nid in
+    if id = Array.length !gsets then begin
+      let b = Array.make (2 * id) Bytes.empty in
+      Array.blit !gsets 0 b 0 id;
+      gsets := b
+    end;
+    vpush v_dstart d_start;
+    vpush v_dend d_end;
+    vpush v_ext 0;
+    nid := id + 1;
+    id
+  in
+  (* Visit one node: [d_start] is its arc's string depth, [(p, run)]
+     the rolling gram state entering the arc — [p] codes the last
+     [min(run, q - 1)] path symbols in base [asize]. Returns the
+     node's gram set, the capped absolute termination depth, and the
+     node's profile id (or -1). *)
+  let rec visit node ~d_start ~p ~run =
+    let s0, s1 = Suffix_tree.Tree.label node in
+    let arclen = s1 - s0 in
+    let d_end = d_start + arclen in
+    let id = if d_start <= cutoff then alloc d_start (min d_end dmax) else -1 in
+    let set = Bytes.make gstride '\000' in
+    let scan_cap = min arclen (dmax - d_start) in
+    let rec scan j p run =
+      if j >= scan_cap then (j, p, run, false)
+      else
+        let c = Bioseq.Database.code db (s0 + j) in
+        if c < 0 || c >= asize then (j, p, run, true)
+        else begin
+          if run >= q - 1 then set_bit set ((p * asize) + c);
+          scan (j + 1) (((p * asize) + c) mod powq1) (run + 1)
+        end
+    in
+    let scanned, p', run', terminated = scan 0 p run in
+    let extabs =
+      if terminated then d_start + scanned
+      else if scanned < arclen then dmax + 1 (* ran past the allowance *)
+      else if Suffix_tree.Tree.is_leaf node then d_end
+      else begin
+        (* Recurse; children thread the rolling gram state so windows
+           crossing this arc's end land in their sets (and union up). *)
+        let worst = ref d_end in
+        Suffix_tree.Tree.iter_children node (fun k ->
+            let kset, kext, kid = visit k ~d_start:d_end ~p:p' ~run:run' in
+            union ~into:set kset;
+            if kext > !worst then worst := kext;
+            if id >= 0 && kid >= 0 then begin
+              let ks, _ = Suffix_tree.Tree.label k in
+              let kc = Bioseq.Database.code db ks in
+              if kc >= 0 && kc < asize then edges := (id, kc, kid) :: !edges
+            end);
+        !worst
+      end
+    in
+    let extabs = min extabs (dmax + 1) in
+    if id >= 0 then begin
+      !gsets.(id) <- set;
+      v_ext.a.(id) <- min (extabs - d_start) (horizon + 1)
+    end;
+    (set, extabs, id)
+  in
+  let root_id = alloc 0 0 in
+  let root_set = Bytes.make gstride '\000' in
+  let worst = ref 0 in
+  Suffix_tree.Tree.iter_children (Suffix_tree.Tree.root tree) (fun k ->
+      let kset, kext, kid = visit k ~d_start:0 ~p:0 ~run:0 in
+      union ~into:root_set kset;
+      if kext > !worst then worst := kext;
+      if kid >= 0 then begin
+        let ks, _ = Suffix_tree.Tree.label k in
+        let kc = Bioseq.Database.code db ks in
+        if kc >= 0 && kc < asize then edges := (root_id, kc, kid) :: !edges
+      end);
+  !gsets.(root_id) <- root_set;
+  v_ext.a.(root_id) <- min !worst (horizon + 1);
+  let nn = !nid in
+  let dstart = varr v_dstart and dend = varr v_dend and ext = varr v_ext in
+  (* CSR over the collected edges. *)
+  let counts = Array.make (nn + 1) 0 in
+  List.iter (fun (pid, _, _) -> counts.(pid) <- counts.(pid) + 1) !edges;
+  let ch_off = Array.make (nn + 1) 0 in
+  for i = 1 to nn do
+    ch_off.(i) <- ch_off.(i - 1) + counts.(i - 1)
+  done;
+  let ne = ch_off.(nn) in
+  let ch_sym = Array.make (max ne 1) 0 and ch_id = Array.make (max ne 1) 0 in
+  let cursor = Array.copy ch_off in
+  List.iter
+    (fun (pid, sym, kid) ->
+      let k = cursor.(pid) in
+      ch_sym.(k) <- sym;
+      ch_id.(k) <- kid;
+      cursor.(pid) <- k + 1)
+    !edges;
+  let ch_sym = Array.sub ch_sym 0 ne and ch_id = Array.sub ch_id 0 ne in
+  let grams = Bytes.create (nn * gstride) in
+  for i = 0 to nn - 1 do
+    Bytes.blit !gsets.(i) 0 grams (i * gstride) gstride
+  done;
+  { q; asize; gbits; gstride; cutoff; horizon; dstart; dend; ext; grams;
+    ch_off; ch_sym; ch_id }
+
+(* --- serialization (all little-endian u32, then the raw gram blob) --- *)
+
+let magic = 0x50475351 (* "QSGP" *)
+
+let put_u32 buf v =
+  if v < 0 || v > 0xFFFFFFFF then
+    invalid_arg "Quasar.Profile: field out of u32 range";
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF))
+
+let get_u32 b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let to_bytes t =
+  let nn = num_nodes t in
+  let ne = Array.length t.ch_sym in
+  let buf = Buffer.create (32 + (16 * nn) + (8 * ne) + Bytes.length t.grams) in
+  put_u32 buf magic;
+  put_u32 buf t.q;
+  put_u32 buf t.asize;
+  put_u32 buf t.cutoff;
+  put_u32 buf t.horizon;
+  put_u32 buf nn;
+  put_u32 buf ne;
+  Array.iter (put_u32 buf) t.dstart;
+  Array.iter (put_u32 buf) t.dend;
+  Array.iter (put_u32 buf) t.ext;
+  Array.iter (put_u32 buf) t.ch_off;
+  Array.iter (put_u32 buf) t.ch_sym;
+  Array.iter (put_u32 buf) t.ch_id;
+  Buffer.add_bytes buf t.grams;
+  Buffer.to_bytes buf
+
+let of_bytes b =
+  let bad msg = invalid_arg ("Quasar.Profile.of_bytes: " ^ msg) in
+  let len = Bytes.length b in
+  if len < 28 then bad "truncated header";
+  if get_u32 b 0 <> magic then bad "bad magic";
+  let q = get_u32 b 4 and asize = get_u32 b 8 in
+  let cutoff = get_u32 b 12 and horizon = get_u32 b 16 in
+  let nn = get_u32 b 20 and ne = get_u32 b 24 in
+  if q < 1 || asize < 1 || nn < 1 then bad "implausible header";
+  let gbits = pow_int asize q in
+  if gbits > 65536 then bad "gram space too large";
+  let gstride = (gbits + 7) / 8 in
+  let expect = 28 + (4 * ((3 * nn) + nn + 1 + (2 * ne))) + (nn * gstride) in
+  if len <> expect then bad "size mismatch";
+  let off = ref 28 in
+  let ints n =
+    let a = Array.init n (fun i -> get_u32 b (!off + (4 * i))) in
+    off := !off + (4 * n);
+    a
+  in
+  let dstart = ints nn in
+  let dend = ints nn in
+  let ext = ints nn in
+  let ch_off = ints (nn + 1) in
+  let ch_sym = ints ne in
+  let ch_id = ints ne in
+  let grams = Bytes.sub b !off (nn * gstride) in
+  if ch_off.(0) <> 0 || ch_off.(nn) <> ne then bad "bad child offsets";
+  Array.iter (fun id -> if id < 0 || id >= nn then bad "bad child id") ch_id;
+  { q; asize; gbits; gstride; cutoff; horizon; dstart; dend; ext; grams;
+    ch_off; ch_sym; ch_id }
+
+let bytes t =
+  28 + (4 * ((4 * num_nodes t) + 1 + (2 * Array.length t.ch_sym)))
+  + Bytes.length t.grams

@@ -1,0 +1,83 @@
+(** Per-subtree q-gram profiles for the exactness-preserving filter
+    tier (DESIGN.md §2k).
+
+    A profile mirrors the shallow part of a suffix tree: one entry per
+    tree node whose arc {e starts} at string depth [<= cutoff]. Each
+    entry records, for the {e region} of strings readable along paths
+    below that node's arc start, the exact set of q-grams occurring
+    among the first [horizon] symbols of any such string — plus how far
+    the region extends ([ext]) so a consumer knows whether the set
+    covers every reachable symbol ([ext <= horizon], the region is
+    {e complete}) or only the horizon window.
+
+    The set is a {e superset} of the region's true q-gram content
+    (ancestor tails and horizon-overshoot grams may leak in), never a
+    subset — the only direction an admissible filter can tolerate: a
+    gram reported present that is actually absent merely weakens the
+    bound; the reverse would break exactness.
+
+    Profiles are source-agnostic (keyed by path strings, not node ids),
+    so one profile built from the in-memory tree serves the packed and
+    on-disk engines over the same database image. *)
+
+type t
+
+val build :
+  db:Bioseq.Database.t ->
+  tree:Suffix_tree.Tree.t ->
+  ?q:int ->
+  ?cutoff:int ->
+  ?horizon:int ->
+  unit ->
+  t
+(** Defaults: [q = 2], [cutoff = 12], [horizon = 96]. Raises
+    [Invalid_argument] when [q < 1], the gram space [size^q] exceeds
+    [2^16] bits, [horizon < q], or [cutoff < 0]. [tree] must be the
+    suffix tree of [db]. *)
+
+val q : t -> int
+val cutoff : t -> int
+val horizon : t -> int
+val alphabet_size : t -> int
+val num_nodes : t -> int
+val bytes : t -> int
+(** Serialized size (the in-memory footprint is within a small constant
+    of it). *)
+
+val root : t -> int
+(** The entry for the tree root (depth 0); entry ids are dense in
+    [0 .. num_nodes - 1]. *)
+
+val dstart : t -> int -> int
+val dend : t -> int -> int
+(** Arc start / end string depth of an entry. *)
+
+val ext : t -> int -> int
+(** Max symbols readable below the entry's arc start before every path
+    terminates, capped at [horizon + 1]; [ext <= horizon] means the
+    gram set covers the whole region (complete). *)
+
+val child : t -> int -> int -> int
+(** [child t id sym]: the entry for the tree child whose arc starts
+    with symbol [sym], or [-1]. Only meaningful when
+    [dend t id <= cutoff t] (deeper children carry no entry). *)
+
+val has_gram : t -> int -> int -> bool
+(** [has_gram t id gram]: is the coded gram ([sum code_i * size^i],
+    most recent symbol last) present in entry [id]'s set? *)
+
+val gram_of_codes : t -> int array -> int -> int
+(** [gram_of_codes t codes off]: the gram id of
+    [codes.(off .. off + q - 1)], or [-1] when any code falls outside
+    the alphabet (e.g. a terminator). *)
+
+val to_bytes : t -> Bytes.t
+val of_bytes : Bytes.t -> t
+(** Exact round-trip; [of_bytes] raises [Invalid_argument] on a
+    malformed or truncated image. *)
+
+val root_grams : t -> Bytes.t
+(** The root entry's raw bitset ([(size^q + 7) / 8] bytes) — the whole
+    database's gram content, the piece {!Storage.Shard_manifest} embeds
+    per shard so the sharded merge can down-prioritize low-overlap
+    shards without opening each shard's full profile. *)

@@ -10,7 +10,11 @@ type stream = {
 }
 
 type worker = {
-  search : query:Bioseq.Sequence.t -> config:Oasis.Engine.config -> stream;
+  search :
+    query:Bioseq.Sequence.t ->
+    config:Oasis.Engine.config ->
+    seed:int option ->
+    stream;
   close : unit -> unit;
 }
 
@@ -35,6 +39,12 @@ let parse ~alphabet (s : Protocol.search) =
     (match s.max_hits with
     | Some n when n < 0 -> failwith "max_hits must be >= 0"
     | _ -> ());
+    (* Seeding raises the cutoff to the heuristic k-th best score,
+       which is only monotone-safe for a stream capped at k hits. *)
+    if s.seed_cutoff && s.max_hits = None then
+      failwith "seed_cutoff requires max_hits (it is only exact for a capped \
+                stream)";
+    let seed = if s.seed_cutoff then s.max_hits else None in
     let budget =
       Oasis.Engine.budget ?max_columns:s.max_columns
         ?max_expanded:s.max_expanded ?time_limit:s.time_limit ()
@@ -44,7 +54,7 @@ let parse ~alphabet (s : Protocol.search) =
     let config =
       Oasis.Engine.config ~matrix ~gap ~min_score:s.min_score ~budget ()
     in
-    (query, config, s.max_hits)
+    (query, config, s.max_hits, seed)
   with
   | v -> Ok v
   | exception Failure msg -> Error msg
@@ -52,11 +62,52 @@ let parse ~alphabet (s : Protocol.search) =
 
 let db_seq_id db i = Bioseq.Sequence.id (Bioseq.Database.seq db i)
 
+(* Cutoff seeding (see [Blast.Seed]): one heuristic pass over the
+   worker's database(s); the k-th best heuristic score lower-bounds the
+   true k-th best, so raising [min_score] to it leaves the capped
+   stream bit-identical. [dbs] lets the live backend seed across its
+   snapshot parts — only scores matter, so no index globalization is
+   needed. *)
+let seeded_config ~dbs ~query ~seed (config : Oasis.Engine.config) =
+  match seed with
+  | None -> config
+  | Some k when k < 1 -> config
+  | Some k ->
+    let freqs =
+      match dbs with
+      | db :: _ -> Scoring.Background.of_database db
+      | [] -> invalid_arg "Backend.seeded_config: no databases"
+    in
+    (match Scoring.Karlin.estimate ~matrix:config.matrix ~freqs () with
+    | exception Scoring.Karlin.Unsupported_matrix _ -> config
+    | params ->
+      let bcfg =
+        if Bioseq.Alphabet.size (Bioseq.Sequence.alphabet query) <= 4 then
+          Blast.Search.default_dna ~matrix:config.matrix ~gap:config.gap
+            ~params ()
+        else
+          Blast.Search.default_protein ~matrix:config.matrix ~gap:config.gap
+            ~params ()
+      in
+      let scores =
+        List.concat_map
+          (fun db ->
+            List.map
+              (fun (h : Blast.Search.hit) -> h.score)
+              (fst (Blast.Search.search bcfg ~query ~db)))
+          dbs
+      in
+      let sorted = List.sort (fun a b -> compare (b : int) a) scores in
+      match List.nth_opt sorted (k - 1) with
+      | Some s when s > config.min_score -> { config with min_score = s }
+      | _ -> config)
+
 (* --- in-memory: one shared tree image, one session per worker --- *)
 
 let mem ~tree ~db () =
   let session = Oasis.Engine.Mem.Session.create () in
-  let search ~query ~config =
+  let search ~query ~config ~seed =
+    let config = seeded_config ~dbs:[ db ] ~query ~seed config in
     let engine =
       Oasis.Engine.Mem.create ~session ~source:tree ~db ~query config
     in
@@ -92,7 +143,8 @@ let open_disk_tree ~alphabet ~dir ~buffer_blocks =
 let disk ~dir ~alphabet ~db ~buffer_blocks () =
   let tree, close = open_disk_tree ~alphabet ~dir ~buffer_blocks in
   let session = Oasis.Engine.Disk.Session.create () in
-  let search ~query ~config =
+  let search ~query ~config ~seed =
+    let config = seeded_config ~dbs:[ db ] ~query ~seed config in
     let engine =
       Oasis.Engine.Disk.create ~session ~source:tree ~db ~query config
     in
@@ -140,7 +192,8 @@ let sharded ~dir ~alphabet ~db ~buffer_blocks () =
           { tree; db = Bioseq.Database.make seqs; first_seq = e.first_seq })
       entries
   in
-  let search ~query ~config =
+  let search ~query ~config ~seed =
+    let config = seeded_config ~dbs:[ db ] ~query ~seed config in
     multi_stream ~parts ~seq_id:(db_seq_id db) ~query ~config ~finish:ignore
   in
   { search; close = (fun () -> List.iter (fun f -> f ()) !closers) }
@@ -165,7 +218,7 @@ let parts_seq_id parts i =
 
 let live ~dir ~alphabet () =
   let t, _recovery = Storage.Live_index.open_ ~alphabet (Storage.Vfs.dir dir) in
-  let search ~query ~config =
+  let search ~query ~config ~seed =
     let snap = Storage.Live_index.snapshot t in
     let release () = Storage.Live_index.release t snap in
     match Oasis.Multi.parts_of_snapshot snap with
@@ -179,6 +232,15 @@ let live ~dir ~alphabet () =
       }
     | parts ->
       (match
+         let dbs =
+           Array.to_list
+             (Array.map
+                (function
+                  | Oasis.Multi.Mem p -> p.db
+                  | Oasis.Multi.Disk p -> p.db)
+                parts)
+         in
+         let config = seeded_config ~dbs ~query ~seed config in
          multi_stream ~parts ~seq_id:(parts_seq_id parts) ~query ~config
            ~finish:release
        with

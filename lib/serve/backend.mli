@@ -27,18 +27,30 @@ type stream = {
 }
 
 type worker = {
-  search : query:Bioseq.Sequence.t -> config:Oasis.Engine.config -> stream;
+  search :
+    query:Bioseq.Sequence.t ->
+    config:Oasis.Engine.config ->
+    seed:int option ->
+    stream;
+      (** [seed = Some k] runs one heuristic BLAST pass first and
+          raises the engine's cutoff to its k-th best score (see
+          {!Blast.Seed}) — exact for a stream capped at [k] hits *)
   close : unit -> unit;
 }
 
 val parse :
   alphabet:Bioseq.Alphabet.t ->
   Protocol.search ->
-  (Bioseq.Sequence.t * Oasis.Engine.config * int option, string) result
-(** Validate a wire request into an engine configuration (the [int
-    option] is the hit cap). Every failure — unknown matrix, bad
-    residue, non-positive [min_score], negative budget — comes back as
-    a message for a [Bad_request] reject, never an exception. *)
+  ( Bioseq.Sequence.t * Oasis.Engine.config * int option * int option,
+    string )
+  result
+(** Validate a wire request into an engine configuration (the first
+    [int option] is the hit cap, the second the seeding [k] — [Some]
+    exactly when the request set [seed_cutoff], in which case a hit cap
+    is required). Every failure — unknown matrix, bad residue,
+    non-positive [min_score], negative budget, uncapped [seed_cutoff]
+    — comes back as a message for a [Bad_request] reject, never an
+    exception. *)
 
 val mem : tree:Suffix_tree.Tree.t -> db:Bioseq.Database.t -> unit -> worker
 

@@ -18,6 +18,7 @@ type search = {
   max_columns : int option;
   max_expanded : int option;
   time_limit : float option;
+  seed_cutoff : bool;
 }
 
 type request = Search of search | Stats | Ping | Sleep of int | Shutdown
@@ -124,7 +125,10 @@ let request_payload = function
           put_opt put_int b s.max_hits;
           put_opt put_int b s.max_columns;
           put_opt put_int b s.max_expanded;
-          put_opt put_float b s.time_limit) )
+          put_opt put_float b s.time_limit;
+          (* Trailing extension byte; absent in older frames, which
+             decode as [seed_cutoff = false]. *)
+          Buffer.add_uint8 b (if s.seed_cutoff then 1 else 0)) )
   | Stats -> (tag_stats, "")
   | Ping -> (tag_ping, "")
   | Sleep ms -> (tag_sleep, encode_payload (fun b -> put_int b ms))
@@ -263,6 +267,15 @@ let decode_request tag payload =
         let max_columns = get_opt get_int c in
         let max_expanded = get_opt get_int c in
         let time_limit = get_opt get_float c in
+        let seed_cutoff =
+          (* Frames from writers predating the field end here. *)
+          if c.pos >= String.length c.s then false
+          else
+            match get_u8 c with
+            | 0 -> false
+            | 1 -> true
+            | t -> raise (Bad (Printf.sprintf "bad seed_cutoff tag %d" t))
+        in
         Search
           {
             query;
@@ -273,6 +286,7 @@ let decode_request tag payload =
             max_columns;
             max_expanded;
             time_limit;
+            seed_cutoff;
           })
   else if tag = tag_stats then decode payload (fun _ -> Stats)
   else if tag = tag_ping then decode payload (fun _ -> Ping)

@@ -37,6 +37,12 @@ type search = {
   max_columns : int option;  (** per-request {!Oasis.Engine.budget} *)
   max_expanded : int option;
   time_limit : float option;
+  seed_cutoff : bool;
+      (** seed the prune cutoff with a heuristic BLAST first pass
+          (monotone-safe for the [max_hits]-capped stream, which it
+          therefore requires — see {!Blast.Seed}); encoded as a
+          trailing byte so frames from older writers decode as
+          [false] *)
 }
 
 type request =

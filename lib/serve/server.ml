@@ -116,9 +116,9 @@ let serve_search t (worker : Backend.worker) fd (s : Protocol.search) =
   | Error msg ->
     tick t t.bad_request;
     send_final fd (Protocol.Reject (Protocol.Bad_request msg))
-  | Ok (query, config, max_hits) ->
+  | Ok (query, config, max_hits, seed) ->
     let t0 = Unix.gettimeofday () in
-    let stream = worker.search ~query ~config in
+    let stream = worker.search ~query ~config ~seed in
     Fun.protect ~finally:stream.finish @@ fun () ->
     let cap = match max_hits with Some n -> n | None -> max_int in
     let disconnected = ref false in

@@ -1,0 +1,22 @@
+let save path payload =
+  let device = Device.file path in
+  Fun.protect
+    ~finally:(fun () -> Device.close device)
+    (fun () ->
+      Device.append device payload;
+      Footer.append device)
+
+let load path =
+  let device = Device.open_file path in
+  Fun.protect
+    ~finally:(fun () -> Device.close device)
+    (fun () ->
+      match Footer.verify device with
+      | Error msg -> Error msg
+      | Ok _ ->
+        let len = Device.length device - Footer.size in
+        let payload = Bytes.create len in
+        Device.pread device ~off:0 ~buf:payload;
+        Ok payload)
+
+let exists = Sys.file_exists

@@ -1,0 +1,19 @@
+(** Footer-sealed opaque blob files.
+
+    A one-payload file format for small sidecar artifacts that ride
+    along an index directory — e.g. the serialized q-gram profile
+    ([qgram.prf], DESIGN.md §2k). The payload is opaque bytes; the file
+    carries the standard {!Footer} (version + length + CRC-32) so
+    truncation and bit rot surface at load time instead of as garbage
+    handed to the deserializer. *)
+
+val save : string -> Bytes.t -> unit
+(** [save path payload] writes [payload] sealed with a footer,
+    replacing any existing file at [path]. *)
+
+val load : string -> (Bytes.t, string) result
+(** Verify the footer and return the payload; [Error] describes the
+    damage (missing footer, CRC mismatch, truncation). Raises
+    {!Io_error.E} when the file cannot be opened at all. *)
+
+val exists : string -> bool

@@ -1,16 +1,25 @@
-(* Payload layout (all little-endian u32):
+(* Payload layout, version 2 (all little-endian u32):
 
-     +0   magic "OASH"
+     +0   magic "OAS2"
      +4   shard count K
-     +8   K entries of (first_seq, num_seqs, symbols)
+     +8   K entries of (first_seq, num_seqs, symbols, gram_bytes)
+     then the K gram bitsets, concatenated in entry order
 
-   followed by the standard 16-byte integrity footer. *)
+   followed by the standard 16-byte integrity footer. Version-1
+   manifests (magic "OASH", fixed 12-byte entries, no gram bitsets)
+   are still read — their entries surface with empty [grams]. *)
 
-let magic = 0x4853414F (* "OASH" *)
+let magic_v1 = 0x4853414F (* "OASH" *)
+let magic = 0x3253414F (* "OAS2" *)
 let filename = "manifest.dat"
 let shard_dir dir i = Filename.concat dir (Printf.sprintf "shard%d" i)
 
-type entry = { first_seq : int; num_seqs : int; symbols : int }
+type entry = {
+  first_seq : int;
+  num_seqs : int;
+  symbols : int;
+  grams : Bytes.t;
+}
 
 exception Corrupt of string
 
@@ -40,17 +49,65 @@ let write device entries =
         invalid_arg "Shard_manifest.write: entries not contiguous from 0";
       next := e.first_seq + e.num_seqs)
     entries;
-  let buf = Buffer.create (8 + (12 * k)) in
+  let buf = Buffer.create (8 + (16 * k)) in
   put_u32 buf magic;
   put_u32 buf k;
   Array.iter
     (fun e ->
       put_u32 buf e.first_seq;
       put_u32 buf e.num_seqs;
-      put_u32 buf e.symbols)
+      put_u32 buf e.symbols;
+      put_u32 buf (Bytes.length e.grams))
     entries;
+  Array.iter (fun e -> Buffer.add_bytes buf e.grams) entries;
   Device.append device (Buffer.to_bytes buf);
   Footer.append device
+
+let check_contiguous entries =
+  let next = ref 0 in
+  Array.iter
+    (fun e ->
+      if e.first_seq <> !next || e.num_seqs < 1 then
+        corrupt "manifest: shard ranges not contiguous from sequence 0";
+      next := e.first_seq + e.num_seqs)
+    entries
+
+let read_v1 b len =
+  let k = get_u32 b 4 in
+  if k < 1 || len <> 8 + (12 * k) then
+    corrupt "manifest: claims %d shards but holds %d payload bytes" k len;
+  Array.init k (fun i ->
+      let off = 8 + (12 * i) in
+      {
+        first_seq = get_u32 b off;
+        num_seqs = get_u32 b (off + 4);
+        symbols = get_u32 b (off + 8);
+        grams = Bytes.empty;
+      })
+
+let read_v2 b len =
+  let k = get_u32 b 4 in
+  if k < 1 || len < 8 + (16 * k) then
+    corrupt "manifest: claims %d shards but holds %d payload bytes" k len;
+  let gram_off = ref (8 + (16 * k)) in
+  let entries =
+    Array.init k (fun i ->
+        let off = 8 + (16 * i) in
+        let gram_len = get_u32 b (off + 12) in
+        if !gram_off + gram_len > len then
+          corrupt "manifest: shard %d gram bitset overruns the payload" i;
+        let grams = Bytes.sub b !gram_off gram_len in
+        gram_off := !gram_off + gram_len;
+        {
+          first_seq = get_u32 b off;
+          num_seqs = get_u32 b (off + 4);
+          symbols = get_u32 b (off + 8);
+          grams;
+        })
+  in
+  if !gram_off <> len then
+    corrupt "manifest: %d trailing payload bytes" (len - !gram_off);
+  entries
 
 let read device =
   (match Footer.verify device with
@@ -60,26 +117,13 @@ let read device =
   if len < 8 then corrupt "manifest: payload too short (%d bytes)" len;
   let b = Bytes.create len in
   Device.pread device ~off:0 ~buf:b;
-  if get_u32 b 0 <> magic then corrupt "manifest: bad magic";
-  let k = get_u32 b 4 in
-  if k < 1 || len <> 8 + (12 * k) then
-    corrupt "manifest: claims %d shards but holds %d payload bytes" k len;
+  let m = get_u32 b 0 in
   let entries =
-    Array.init k (fun i ->
-        let off = 8 + (12 * i) in
-        {
-          first_seq = get_u32 b off;
-          num_seqs = get_u32 b (off + 4);
-          symbols = get_u32 b (off + 8);
-        })
+    if m = magic then read_v2 b len
+    else if m = magic_v1 then read_v1 b len
+    else corrupt "manifest: bad magic"
   in
-  let next = ref 0 in
-  Array.iter
-    (fun e ->
-      if e.first_seq <> !next || e.num_seqs < 1 then
-        corrupt "manifest: shard ranges not contiguous from sequence 0";
-      next := e.first_seq + e.num_seqs)
-    entries;
+  check_contiguous entries;
   entries
 
 let save ~dir entries =

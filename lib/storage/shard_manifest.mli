@@ -10,6 +10,13 @@
     the shard sub-databases back out of the loaded database and to
     sanity-check that the database on hand is the one that was indexed.
 
+    Each entry may also embed the shard's root q-gram bitset
+    ({!Quasar.Profile.root_grams}) — the whole shard's gram content —
+    so a sharded search can seed per-shard merge caps (DESIGN.md §2k)
+    without opening every shard's full profile sidecar. The bitset is
+    opaque here; empty means "not recorded" (e.g. a version-1 manifest,
+    which is still readable).
+
     The payload carries its own magic and is sealed with a {!Footer}
     (version + length + CRC-32), so truncation and bit rot surface as
     {!Corrupt} at open time, like any other index component. *)
@@ -18,6 +25,9 @@ type entry = {
   first_seq : int;  (** global index of the shard's first sequence *)
   num_seqs : int;
   symbols : int;  (** total symbols in the shard's sequences *)
+  grams : Bytes.t;
+      (** root q-gram bitset of the shard's profile, or empty when the
+          index was built without one *)
 }
 
 exception Corrupt of string

@@ -16,6 +16,7 @@ module Faulty = Faulty
 module Vfs = Vfs
 module Buffer_pool = Buffer_pool
 module Footer = Footer
+module Blob = Blob
 module Disk_tree = Disk_tree
 module External_build = External_build
 module Shard_manifest = Shard_manifest

@@ -326,6 +326,70 @@ def main() -> None:
                 )
                 print(f"bench gate: phase split: {split}")
 
+    # Q-gram filter tier + BLAST cutoff seeding: top-K stream identity
+    # against the plain engine is a hard failure at any tolerance — the
+    # tier's whole contract is invisibility. The headline metric,
+    # columns_saved_pct, is a ratio (scale-free), so it gates against
+    # the committed baseline at the shared tolerance and carries an
+    # absolute >= 20% acceptance bar on full-size runs.
+    base_filter = baseline.get("filter")
+    if not isinstance(base_filter, dict):
+        base_filter = None
+    fresh_filter = fresh.get("filter")
+    if isinstance(fresh_filter, dict):
+        if fresh_filter.get("hit_streams_identical") is not True:
+            fail(
+                "fresh filter run did not certify top-K hit-stream identity "
+                "under seeding + q-gram settling"
+            )
+        saved = number(fresh_filter, "columns_saved_pct")
+        if saved is None:
+            skip("filter", "columns_saved_pct")
+        else:
+            full = fresh_filter.get("quick") is False
+            if full:
+                verdict = "ok" if saved >= 20.0 else "BELOW TARGET"
+                print(
+                    f"bench gate: filter tier columns saved: {saved:.1f}% "
+                    f"(target >= 20%) -> {verdict}"
+                )
+                if saved < 20.0:
+                    fail(
+                        f"filter tier saved only {saved:.1f}% of DP columns, "
+                        f"below the 20% acceptance target"
+                    )
+            else:
+                print(
+                    f"bench gate: filter tier columns saved: {saved:.1f}% "
+                    f"(quick run, informational; full-size target >= 20%)"
+                )
+            base_saved = number(base_filter or {}, "columns_saved_pct")
+            if base_saved is not None:
+                floor = base_saved * (1.0 - tolerance)
+                if saved < floor:
+                    fail(
+                        f"filter tier columns saved {saved:.1f}% regressed "
+                        f"more than {tolerance:.0%} vs baseline "
+                        f"{base_saved:.1f}% (floor {floor:.1f}%)"
+                    )
+                print(
+                    f"bench gate: filter tier vs baseline: {saved:.1f}% vs "
+                    f"{base_saved:.1f}% (floor {floor:.1f}%) -> ok"
+                )
+        settles = [
+            number(fresh_filter, "filter_settled_coarse") or 0,
+            number(fresh_filter, "filter_settled_refined") or 0,
+        ]
+        tested = number(fresh_filter, "filter_tested")
+        raised = number(fresh_filter, "seeds_raised")
+        if tested is not None:
+            print(
+                f"bench gate: filter tier: {tested:,.0f} subtrees tested, "
+                f"{settles[0]:,.0f} coarse + {settles[1]:,.0f} refined "
+                f"settles, seeds raised on {raised or 0:,.0f} queries "
+                f"(informational)"
+            )
+
     fresh_scaling = fresh.get("scaling")
     if isinstance(fresh_scaling, dict):
         if fresh_scaling.get("hit_streams_match") is not True:

@@ -110,6 +110,18 @@ let nonincreasing hits =
   in
   go hits
 
+(* Runs the case with the q-gram tier armed and returns the engine's
+   (tested, settled_coarse, settled_refined) counters, checking the
+   filtered stream against [reference] on the way. *)
+let run_filtered c ~db ~q ~cfg ~tree ~reference =
+  let filter = Quasar.Profile.build ~db ~tree () in
+  let eng = Oasis.Engine.Mem.create ~filter ~source:tree ~db ~query:q cfg in
+  let hits = Oasis.Engine.Mem.run eng in
+  Alcotest.(check (list hit_testable))
+    (c.file ^ ": q-gram-filtered mem engine = reference, bit-identical")
+    reference hits;
+  Oasis.Engine.Mem.filter_stats eng
+
 let check_case c =
   let db = db_of_case c in
   let q = query_of_case c in
@@ -125,6 +137,7 @@ let check_case c =
   Alcotest.(check (list hit_testable))
     (c.file ^ ": mem engine = reference, bit-identical")
     reference mem;
+  let (_ : int * int * int) = run_filtered c ~db ~q ~cfg ~tree ~reference in
   List.iter
     (fun layout ->
       let dt, _pool =
@@ -194,6 +207,36 @@ let test_corpus_covers_edges () =
     (some (fun c -> c.alphabet == Bioseq.Alphabet.dna)
     && some (fun c -> c.alphabet == Bioseq.Alphabet.protein))
 
+let test_filter_branches_covered () =
+  (* The exactness guarantee of the q-gram tier is only as good as the
+     branches the corpus drives through it: across all cases the tier
+     must have tested subtrees, settled some on the coarse count-only
+     bound, settled some only after the refined per-position pass, and
+     left some tested-but-unsettled (the no-skip path). A corpus edit
+     that silences any of these turns the filter tests into no-ops. *)
+  let tested, coarse, refined =
+    List.fold_left
+      (fun (t, cg, r) c ->
+        let db = db_of_case c in
+        let q = query_of_case c in
+        let cfg = cfg_of_case c in
+        let tree = Suffix_tree.Ukkonen.build db in
+        let reference =
+          Oasis.Reference.Mem.run
+            (Oasis.Reference.Mem.create ~source:tree ~db ~query:q cfg)
+        in
+        let t', cg', r' = run_filtered c ~db ~q ~cfg ~tree ~reference in
+        (t + t', cg + cg', r + r'))
+      (0, 0, 0) (Lazy.force cases)
+  in
+  Alcotest.(check bool) "some subtrees tested" true (tested > 0);
+  Alcotest.(check bool) "some subtrees settled by the coarse bound" true
+    (coarse > 0);
+  Alcotest.(check bool) "some subtrees settled only by the refined bound" true
+    (refined > 0);
+  Alcotest.(check bool) "some tested subtrees survive (no-skip branch)" true
+    (tested > coarse + refined)
+
 let () =
   let case_tests =
     List.map
@@ -208,6 +251,8 @@ let () =
         [
           Alcotest.test_case "corpus stays adversarial" `Quick
             test_corpus_covers_edges;
+          Alcotest.test_case "q-gram tier branches all exercised" `Quick
+            test_filter_branches_covered;
         ] );
     ]
   in

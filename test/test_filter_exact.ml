@@ -1,0 +1,487 @@
+(* Filter-adversarial exactness battery for the q-gram tier (ISSUE 10).
+
+   The q-gram filter is a pure work-saver: armed with any profile of
+   the searched database image, every observable result — hit stream,
+   outcome, reported order — must stay bit-identical to the unfiltered
+   engine, across tree sources, gap models, matrices and budgets; only
+   the work counters may shrink. These properties drain filter-on and
+   filter-off engines on random workloads (including queries shorter
+   than q, where the tier must disarm itself) and compare full records
+   in stream order. Run under [OASIS_CHECKED_KERNEL=1], every settle
+   additionally replays its whole subtree with an independent plain DP
+   (CI does). *)
+
+let show_hits hits =
+  String.concat ";"
+    (List.map
+       (fun h ->
+         Printf.sprintf "%d:%d@%d,%d" h.Oasis.Hit.seq_index h.Oasis.Hit.score
+           h.Oasis.Hit.query_stop h.Oasis.Hit.target_stop)
+       hits)
+
+let show_outcome = function
+  | Oasis.Engine.Searching -> "searching"
+  | Oasis.Engine.Complete -> "complete"
+  | Oasis.Engine.Exhausted { remaining_bound } ->
+    Printf.sprintf "exhausted(%d)" remaining_bound
+
+let db_of_strings ~alphabet strings =
+  Bioseq.Database.make
+    (List.mapi
+       (fun i s ->
+         Bioseq.Sequence.make ~alphabet ~id:(Printf.sprintf "s%d" i) s)
+       strings)
+
+let rec is_prefix xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
+  | _ :: _, [] -> false
+
+(* One workload, filter-on vs filter-off, across Mem / Packed / Disk.
+   Filter-on Packed must also match filter-on Mem on the full counter
+   and filter-stats records (the profile is source-agnostic), and an
+   unbudgeted filter-on run must cost at most the unfiltered column
+   count. [cfg] is unbudgeted; when [max_columns] is given, a budgeted
+   pair is additionally drained and held to the prefix laws — the
+   filter only shrinks the work a budget meters, so the budgeted
+   unfiltered stream is a prefix of the budgeted filtered one, which is
+   a prefix of the full stream (outcomes may legitimately differ: the
+   filtered run can complete inside a budget that exhausts the
+   unfiltered one). *)
+let check_filter_identity ~db ~q ~prof cfg ~max_columns =
+  let tree = Suffix_tree.Ukkonen.build db in
+  let profile = prof ~tree in
+  let fail tag exp_h exp_o got_h got_o =
+    if got_h <> exp_h then
+      QCheck.Test.fail_reportf "%s hits: got [%s] expected [%s]" tag
+        (show_hits got_h) (show_hits exp_h)
+    else
+      QCheck.Test.fail_reportf "%s outcome: got %s expected %s" tag
+        (show_outcome got_o) (show_outcome exp_o)
+  in
+  (* Mem: off is the specification. *)
+  let eoff = Oasis.Engine.Mem.create ~source:tree ~db ~query:q cfg in
+  let hits_off = Oasis.Engine.Mem.run eoff in
+  let out_off = Oasis.Engine.Mem.outcome eoff in
+  let cols_off = (Oasis.Engine.Mem.counters eoff).Oasis.Engine.columns in
+  let eon =
+    Oasis.Engine.Mem.create ~filter:profile ~source:tree ~db ~query:q cfg
+  in
+  let hits_on = Oasis.Engine.Mem.run eon in
+  let out_on = Oasis.Engine.Mem.outcome eon in
+  if hits_on <> hits_off || out_on <> out_off then
+    fail "mem on-vs-off" hits_off out_off hits_on out_on;
+  let mc = Oasis.Engine.Mem.counters eon in
+  if mc.Oasis.Engine.columns > cols_off then
+    QCheck.Test.fail_reportf "filter-on columns %d > filter-off %d"
+      mc.Oasis.Engine.columns cols_off;
+  let mstats = Oasis.Engine.Mem.filter_stats eon in
+  (* Packed, filter-on: same stream, same counters, same settles. *)
+  let packed = Suffix_tree.Packed.of_tree tree in
+  let ep =
+    Oasis.Engine.Packed.create ~filter:profile ~source:packed ~db ~query:q cfg
+  in
+  let ph = Oasis.Engine.Packed.run ep in
+  let po = Oasis.Engine.Packed.outcome ep in
+  if ph <> hits_off || po <> out_off then fail "packed on" hits_off out_off ph po;
+  let pc = Oasis.Engine.Packed.counters ep in
+  if
+    pc.Oasis.Engine.columns <> mc.Oasis.Engine.columns
+    || pc.Oasis.Engine.nodes_expanded <> mc.Oasis.Engine.nodes_expanded
+    || pc.Oasis.Engine.nodes_pruned <> mc.Oasis.Engine.nodes_pruned
+  then
+    QCheck.Test.fail_reportf
+      "packed filter-on counters diverge from mem: cols %d/%d exp %d/%d \
+       pruned %d/%d"
+      pc.Oasis.Engine.columns mc.Oasis.Engine.columns
+      pc.Oasis.Engine.nodes_expanded mc.Oasis.Engine.nodes_expanded
+      pc.Oasis.Engine.nodes_pruned mc.Oasis.Engine.nodes_pruned;
+  if Oasis.Engine.Packed.filter_stats ep <> mstats then
+    QCheck.Test.fail_reportf "packed filter_stats diverge from mem";
+  (* Disk, filter-on vs filter-off over the same paged tree — the
+     profile was built from the in-memory tree, so this also pins
+     source-agnosticism. *)
+  let dt, _pool = Storage.Disk_tree.of_tree ~block_size:16 ~capacity:4 tree in
+  let doff = Oasis.Engine.Disk.create ~source:dt ~db ~query:q cfg in
+  let dh_off = Oasis.Engine.Disk.run doff in
+  let do_off = Oasis.Engine.Disk.outcome doff in
+  let don =
+    Oasis.Engine.Disk.create ~filter:profile ~source:dt ~db ~query:q cfg
+  in
+  let dh_on = Oasis.Engine.Disk.run don in
+  let do_on = Oasis.Engine.Disk.outcome don in
+  if dh_on <> dh_off || do_on <> do_off then
+    fail "disk on-vs-off" dh_off do_off dh_on do_on;
+  (* Fused batch, filter-on, two lanes of the same query: every lane's
+     stream, outcome, and virtual counters must equal the filtered
+     single engine's (the tier settles per lane with the engine's own
+     one-logical-column charge). *)
+  let bk =
+    Oasis.Batch_kernel.Mem.create ~filter:profile ~source:tree ~db
+      ~queries:[| q; q |] cfg
+  in
+  Oasis.Batch_kernel.Mem.run bk;
+  for lane = 0 to 1 do
+    let bh = Oasis.Batch_kernel.Mem.hits bk lane in
+    let bo = Oasis.Batch_kernel.Mem.outcome bk lane in
+    if bh <> hits_off || bo <> out_off then
+      fail (Printf.sprintf "batch lane %d on" lane) hits_off out_off bh bo;
+    let bc = Oasis.Batch_kernel.Mem.counters bk lane in
+    if
+      bc.Oasis.Engine.columns <> mc.Oasis.Engine.columns
+      || bc.Oasis.Engine.nodes_pruned <> mc.Oasis.Engine.nodes_pruned
+      || bc.Oasis.Engine.nodes_enqueued <> mc.Oasis.Engine.nodes_enqueued
+    then
+      QCheck.Test.fail_reportf
+        "batch lane %d filter-on counters diverge from filtered engine: cols \
+         %d/%d pruned %d/%d enq %d/%d"
+        lane bc.Oasis.Engine.columns mc.Oasis.Engine.columns
+        bc.Oasis.Engine.nodes_pruned mc.Oasis.Engine.nodes_pruned
+        bc.Oasis.Engine.nodes_enqueued mc.Oasis.Engine.nodes_enqueued
+  done;
+  (* Multi-part merged stream (the sharded release rule, sequential):
+     profiles arm each part's tier and cap its initial merge bound —
+     the merged stream must stay bit-identical to the profile-less
+     run. *)
+  (if Bioseq.Database.num_sequences db >= 2 then begin
+     let pieces = Oasis.Shard.plan ~shards:2 db in
+     let ptrees = Oasis.Shard.build_trees pieces in
+     let parts =
+       Array.map2
+         (fun tree (piece : Oasis.Shard.piece) ->
+           Oasis.Multi.Mem
+             { tree; db = piece.Oasis.Shard.db; first_seq = piece.first_seq })
+         ptrees pieces
+     in
+     let profiles =
+       Array.map2
+         (fun tree (piece : Oasis.Shard.piece) ->
+           Some
+             (Quasar.Profile.build ~db:piece.Oasis.Shard.db ~tree
+                ~q:(Quasar.Profile.q profile)
+                ~cutoff:(Quasar.Profile.cutoff profile)
+                ~horizon:(Quasar.Profile.horizon profile)
+                ()))
+         ptrees pieces
+     in
+     let m_off = Oasis.Multi.create ~parts ~query:q cfg in
+     let mh_off = Oasis.Multi.run m_off in
+     let mo_off = Oasis.Multi.outcome m_off in
+     let m_on = Oasis.Multi.create ~profiles ~parts ~query:q cfg in
+     let mh_on = Oasis.Multi.run m_on in
+     let mo_on = Oasis.Multi.outcome m_on in
+     if mh_on <> mh_off || mo_on <> mo_off then
+       fail "multi on-vs-off" mh_off mo_off mh_on mo_on
+   end);
+  (* Budget prefix laws. *)
+  (match max_columns with
+  | None -> ()
+  | Some cols ->
+    let bcfg =
+      Oasis.Engine.config ~matrix:cfg.Oasis.Engine.matrix
+        ~gap:cfg.Oasis.Engine.gap ~min_score:cfg.Oasis.Engine.min_score
+        ~budget:(Oasis.Engine.budget ~max_columns:cols ())
+        ()
+    in
+    let boff = Oasis.Engine.Mem.create ~source:tree ~db ~query:q bcfg in
+    let bh_off = Oasis.Engine.Mem.run boff in
+    let bon =
+      Oasis.Engine.Mem.create ~filter:profile ~source:tree ~db ~query:q bcfg
+    in
+    let bh_on = Oasis.Engine.Mem.run bon in
+    if not (is_prefix bh_off bh_on) then
+      QCheck.Test.fail_reportf
+        "budgeted unfiltered [%s] not a prefix of budgeted filtered [%s]"
+        (show_hits bh_off) (show_hits bh_on);
+    if not (is_prefix bh_on hits_off) then
+      QCheck.Test.fail_reportf
+        "budgeted filtered [%s] not a prefix of the full stream [%s]"
+        (show_hits bh_on) (show_hits hits_off));
+  true
+
+let case_gen residues =
+  QCheck.Gen.(
+    let sym = map (String.get residues) (int_range 0 (String.length residues - 1)) in
+    let text n m = string_size ~gen:sym (int_range n m) in
+    let* strings = list_size (int_range 1 5) (text 1 28) in
+    let* qtext = text 1 10 in
+    let* min_score = int_range 1 12 in
+    let* pq = int_range 2 3 in
+    let* cutoff = int_range 0 8 in
+    let* horizon = int_range 8 64 in
+    let* max_columns = opt (int_range 1 60) in
+    return (strings, qtext, min_score, pq, cutoff, horizon, max_columns))
+
+let print_case (strings, qtext, min_score, pq, cutoff, horizon, max_columns) =
+  Printf.sprintf "db=%s q=%s min=%d pq=%d cut=%d hor=%d%s"
+    (String.concat "/" strings)
+    qtext min_score pq cutoff horizon
+    (match max_columns with None -> "" | Some v -> Printf.sprintf " cols=%d" v)
+
+let run_case ~alphabet ~matrix ~gap
+    (strings, qtext, min_score, pq, cutoff, horizon, max_columns) =
+  let db = db_of_strings ~alphabet strings in
+  let q = Bioseq.Sequence.make ~alphabet ~id:"q" qtext in
+  check_filter_identity ~db ~q
+    ~prof:(fun ~tree ->
+      Quasar.Profile.build ~db ~tree ~q:pq ~cutoff ~horizon ())
+    (Oasis.Engine.config ~matrix ~gap ~min_score ())
+    ~max_columns
+
+let qcheck_identity_linear =
+  QCheck.Test.make ~count:200
+    ~name:"filter on = off across mem/packed/disk (DNA, linear, budgets)"
+    (QCheck.make (case_gen "ACGT") ~print:print_case)
+    (run_case ~alphabet:Bioseq.Alphabet.dna ~matrix:Scoring.Matrices.dna_unit
+       ~gap:(Scoring.Gap.linear 1))
+
+let qcheck_identity_affine =
+  QCheck.Test.make ~count:150
+    ~name:"filter on = off across mem/packed/disk (DNA, affine, budgets)"
+    (QCheck.make (case_gen "ACGT") ~print:print_case)
+    (run_case ~alphabet:Bioseq.Alphabet.dna ~matrix:Scoring.Matrices.dna_unit
+       ~gap:(Scoring.Gap.affine ~open_cost:2 ~extend_cost:1))
+
+let qcheck_identity_pam30 =
+  QCheck.Test.make ~count:150
+    ~name:"filter on = off across mem/packed/disk (PAM30, budgets)"
+    (QCheck.make (case_gen "ARNDCQEGHILKMFPSTWYV") ~print:print_case)
+    (run_case ~alphabet:Bioseq.Alphabet.protein
+       ~matrix:Scoring.Matrices.pam30
+       ~gap:(Scoring.Gap.linear 10))
+
+(* Multicore sharded merge (real domains, K = 2): per-shard profiles
+   arm the engines and cap published bounds — admissible tightenings
+   only, so the merged stream must be bit-identical with and without
+   them. A small count: each case spins up worker domains twice. *)
+let qcheck_parallel_sharded =
+  QCheck.Test.make ~count:30
+    ~name:"sharded K=2 multicore merge: profiles preserve the stream"
+    (QCheck.make (case_gen "ACGT") ~print:print_case)
+    (fun (strings, qtext, min_score, pq, cutoff, horizon, _) ->
+      let alphabet = Bioseq.Alphabet.dna in
+      let db = db_of_strings ~alphabet strings in
+      let q = Bioseq.Sequence.make ~alphabet ~id:"q" qtext in
+      let cfg =
+        Oasis.Engine.config ~matrix:Scoring.Matrices.dna_unit
+          ~gap:(Scoring.Gap.linear 1) ~min_score ()
+      in
+      let pieces = Oasis.Shard.plan ~shards:2 db in
+      let trees = Oasis.Shard.build_trees pieces in
+      let shards =
+        Array.map2
+          (fun source piece -> { Oasis.Parallel.Mem.source; piece })
+          trees pieces
+      in
+      let profiles =
+        Array.map2
+          (fun tree (piece : Oasis.Shard.piece) ->
+            Some
+              (Quasar.Profile.build ~db:piece.Oasis.Shard.db ~tree ~q:pq
+                 ~cutoff ~horizon ()))
+          trees pieces
+      in
+      let p_off = Oasis.Parallel.Mem.create ~shards ~query:q cfg in
+      let h_off = Oasis.Parallel.Mem.run p_off in
+      let p_on = Oasis.Parallel.Mem.create ~profiles ~shards ~query:q cfg in
+      let h_on = Oasis.Parallel.Mem.run p_on in
+      if h_on <> h_off then
+        QCheck.Test.fail_reportf "sharded on [%s] <> off [%s]"
+          (show_hits h_on) (show_hits h_off);
+      true)
+
+(* Root completeness: every q-gram the database contains (not crossing
+   a terminator) is in the root entry's set — the property that makes
+   {!Oasis.Qgram.shard_cap} admissible at any horizon. *)
+let qcheck_root_complete =
+  let gen =
+    QCheck.Gen.(
+      let sym = oneofl [ 'A'; 'C'; 'G'; 'T' ] in
+      let* strings =
+        list_size (int_range 1 6) (string_size ~gen:sym (int_range 1 40))
+      in
+      let* pq = int_range 2 3 in
+      let* horizon = int_range 4 16 in
+      return (strings, pq, horizon))
+  in
+  QCheck.Test.make ~count:200 ~name:"profile root set contains every db gram"
+    (QCheck.make gen ~print:(fun (s, pq, hor) ->
+         Printf.sprintf "db=%s pq=%d hor=%d" (String.concat "/" s) pq hor))
+    (fun (strings, pq, horizon) ->
+      let db = db_of_strings ~alphabet:Bioseq.Alphabet.dna strings in
+      let tree = Suffix_tree.Ukkonen.build db in
+      let p = Quasar.Profile.build ~db ~tree ~q:pq ~cutoff:2 ~horizon () in
+      let root = Quasar.Profile.root p in
+      List.iteri
+        (fun si s ->
+          let n = String.length s in
+          let codes =
+            Array.init n (fun i ->
+                Bioseq.Alphabet.of_char_exn Bioseq.Alphabet.dna s.[i])
+          in
+          for off = 0 to n - pq do
+            let gram = Quasar.Profile.gram_of_codes p codes off in
+            if gram >= 0 && not (Quasar.Profile.has_gram p root gram) then
+              QCheck.Test.fail_reportf "seq %d offset %d: gram missing" si off
+          done)
+        strings;
+      true)
+
+(* Serialization: exact round-trip, byte for byte. *)
+let qcheck_profile_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let sym = oneofl [ 'A'; 'C'; 'G'; 'T' ] in
+      let* strings =
+        list_size (int_range 1 5) (string_size ~gen:sym (int_range 1 30))
+      in
+      let* pq = int_range 1 3 in
+      let* cutoff = int_range 0 10 in
+      let* horizon = int_range 4 32 in
+      return (strings, pq, cutoff, horizon))
+  in
+  QCheck.Test.make ~count:200 ~name:"profile to_bytes/of_bytes round-trips"
+    (QCheck.make gen ~print:(fun (s, pq, c, h) ->
+         Printf.sprintf "db=%s pq=%d cut=%d hor=%d" (String.concat "/" s) pq c
+           h))
+    (fun (strings, pq, cutoff, horizon) ->
+      let db = db_of_strings ~alphabet:Bioseq.Alphabet.dna strings in
+      let tree = Suffix_tree.Ukkonen.build db in
+      let p =
+        Quasar.Profile.build ~db ~tree ~q:(max pq (min pq 3)) ~cutoff ~horizon
+          ()
+      in
+      let b = Quasar.Profile.to_bytes p in
+      let p' = Quasar.Profile.of_bytes b in
+      if Quasar.Profile.to_bytes p' <> b then
+        QCheck.Test.fail_reportf "re-serialization differs";
+      if
+        Quasar.Profile.num_nodes p' <> Quasar.Profile.num_nodes p
+        || Quasar.Profile.q p' <> Quasar.Profile.q p
+        || Quasar.Profile.cutoff p' <> Quasar.Profile.cutoff p
+        || Quasar.Profile.horizon p' <> Quasar.Profile.horizon p
+      then QCheck.Test.fail_reportf "round-trip header differs";
+      true)
+
+let rec take n = function
+  | x :: tl when n > 0 -> x :: take (n - 1) tl
+  | _ -> []
+
+(* Cutoff seeding (DESIGN.md §2k), the monotone step in its purest
+   form: for EVERY prefix length k of the unseeded stream, re-running
+   with min_score raised to the k-th hit's score must reproduce that
+   prefix bit-identically. No heuristic is involved — the strongest
+   seed any first pass could produce is the true k-th best score
+   itself — so a failure here indicts the engine's claim that raising
+   the cutoff only removes hits strictly below it. *)
+let qcheck_seed_monotone =
+  let gen =
+    QCheck.Gen.(
+      let sym = oneofl [ 'A'; 'C'; 'G'; 'T' ] in
+      let text n m = string_size ~gen:sym (int_range n m) in
+      let* strings = list_size (int_range 1 5) (text 1 24) in
+      let* qtext = text 1 10 in
+      let* min_score = int_range 1 8 in
+      return (strings, qtext, min_score))
+  in
+  QCheck.Test.make ~count:150
+    ~name:"seeding: min_score raised to the k-th score keeps the first k hits"
+    (QCheck.make gen ~print:(fun (s, q, ms) ->
+         Printf.sprintf "db=%s q=%s min=%d" (String.concat "/" s) q ms))
+    (fun (strings, qtext, min_score) ->
+      let alphabet = Bioseq.Alphabet.dna in
+      let db = db_of_strings ~alphabet strings in
+      let q = Bioseq.Sequence.make ~alphabet ~id:"q" qtext in
+      let cfg =
+        Oasis.Engine.config ~matrix:Scoring.Matrices.dna_unit
+          ~gap:(Scoring.Gap.linear 1) ~min_score ()
+      in
+      let tree = Suffix_tree.Ukkonen.build db in
+      let run cfg =
+        Oasis.Engine.Mem.run
+          (Oasis.Engine.Mem.create ~source:tree ~db ~query:q cfg)
+      in
+      let hits = run cfg in
+      List.iteri
+        (fun i h ->
+          let k = i + 1 in
+          let seeded =
+            { cfg with Oasis.Engine.min_score = max min_score h.Oasis.Hit.score }
+          in
+          let hits' = run seeded in
+          if take k hits' <> take k hits then
+            QCheck.Test.fail_reportf
+              "k=%d cutoff=%d: seeded prefix [%s] <> unseeded prefix [%s]" k
+              seeded.Oasis.Engine.min_score
+              (show_hits (take k hits'))
+              (show_hits (take k hits)))
+        hits;
+      true)
+
+(* The real first pass: a BLAST run's k-th best hit score seeds the
+   cutoff (Blast.Seed.min_score), and the seeded engine's first k hits
+   must equal the unseeded engine's — BLAST scores are scores of real
+   alignments, hence lower bounds, hence the seed can never climb past
+   the true k-th best. Word size 4 keeps the heuristic productive on
+   short random DNA so the seed actually raises the cutoff. *)
+let qcheck_seed_blast =
+  let gen =
+    QCheck.Gen.(
+      let sym = oneofl [ 'A'; 'C'; 'G'; 'T' ] in
+      let text n m = string_size ~gen:sym (int_range n m) in
+      let* strings = list_size (int_range 1 6) (text 4 40) in
+      let* qtext = text 4 12 in
+      let* min_score = int_range 1 6 in
+      let* k = int_range 1 5 in
+      return (strings, qtext, min_score, k))
+  in
+  QCheck.Test.make ~count:150
+    ~name:"seeding: BLAST-seeded top-k stream = unseeded top-k stream"
+    (QCheck.make gen ~print:(fun (s, q, ms, k) ->
+         Printf.sprintf "db=%s q=%s min=%d k=%d" (String.concat "/" s) q ms k))
+    (fun (strings, qtext, min_score, k) ->
+      let alphabet = Bioseq.Alphabet.dna in
+      let db = db_of_strings ~alphabet strings in
+      let q = Bioseq.Sequence.make ~alphabet ~id:"q" qtext in
+      let matrix = Scoring.Matrices.dna_unit in
+      let gap = Scoring.Gap.linear 1 in
+      let cfg = Oasis.Engine.config ~matrix ~gap ~min_score () in
+      let tree = Suffix_tree.Ukkonen.build db in
+      let run cfg =
+        Oasis.Engine.Mem.run
+          (Oasis.Engine.Mem.create ~source:tree ~db ~query:q cfg)
+      in
+      match
+        Scoring.Karlin.estimate ~matrix
+          ~freqs:(Scoring.Background.of_database db)
+          ()
+      with
+      | exception Scoring.Karlin.Unsupported_matrix _ -> true
+      | params ->
+        let bcfg = Blast.Search.default_dna ~word_size:4 ~matrix ~gap ~params () in
+        let s = Blast.Seed.min_score bcfg ~query:q ~db ~k ~floor:min_score in
+        if s < min_score then
+          QCheck.Test.fail_reportf "seed %d loosened the floor %d" s min_score;
+        let seeded = { cfg with Oasis.Engine.min_score = s } in
+        let plain = take k (run cfg) and fast = take k (run seeded) in
+        if fast <> plain then
+          QCheck.Test.fail_reportf
+            "seed %d (floor %d, k=%d): seeded [%s] <> unseeded [%s]" s
+            min_score k (show_hits fast) (show_hits plain);
+        true)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      qcheck_identity_linear;
+      qcheck_identity_affine;
+      qcheck_identity_pam30;
+      qcheck_parallel_sharded;
+      qcheck_root_complete;
+      qcheck_profile_roundtrip;
+      qcheck_seed_monotone;
+      qcheck_seed_blast;
+    ]
+
+let () = Alcotest.run "filter_exact" [ ("filter_exact", suite) ]

@@ -310,15 +310,32 @@ let test_empty_shards_rejected () =
 let entries_testable =
   Alcotest.testable
     (fun ppf (e : Storage.Shard_manifest.entry) ->
-      Format.fprintf ppf "{first=%d; n=%d; sym=%d}" e.first_seq e.num_seqs
-        e.symbols)
+      Format.fprintf ppf "{first=%d; n=%d; sym=%d; grams=%d}" e.first_seq
+        e.num_seqs e.symbols (Bytes.length e.grams))
     ( = )
 
+(* Mixed gram payloads: present with different lengths, and absent —
+   the variable-size tail must round-trip all three. *)
 let sample_entries =
   [|
-    { Storage.Shard_manifest.first_seq = 0; num_seqs = 3; symbols = 120 };
-    { Storage.Shard_manifest.first_seq = 3; num_seqs = 1; symbols = 7 };
-    { Storage.Shard_manifest.first_seq = 4; num_seqs = 5; symbols = 64 };
+    {
+      Storage.Shard_manifest.first_seq = 0;
+      num_seqs = 3;
+      symbols = 120;
+      grams = Bytes.of_string "\x01\x00\xfe\x40";
+    };
+    {
+      Storage.Shard_manifest.first_seq = 3;
+      num_seqs = 1;
+      symbols = 7;
+      grams = Bytes.empty;
+    };
+    {
+      Storage.Shard_manifest.first_seq = 4;
+      num_seqs = 5;
+      symbols = 64;
+      grams = Bytes.of_string "\x80";
+    };
   |]
 
 let test_manifest_roundtrip () =
@@ -365,16 +382,38 @@ let test_manifest_rejects_bad_entries () =
     | () -> Alcotest.failf "%s accepted" name
     | exception Invalid_argument _ -> ()
   in
+  let entry first_seq num_seqs symbols =
+    { Storage.Shard_manifest.first_seq; num_seqs; symbols; grams = Bytes.empty }
+  in
   reject "empty entry array" [||];
-  reject "gap in sequence coverage"
-    [|
-      { Storage.Shard_manifest.first_seq = 0; num_seqs = 2; symbols = 10 };
-      { Storage.Shard_manifest.first_seq = 3; num_seqs = 1; symbols = 5 };
-    |];
-  reject "not starting at sequence 0"
-    [| { Storage.Shard_manifest.first_seq = 1; num_seqs = 2; symbols = 10 } |];
-  reject "empty shard"
-    [| { Storage.Shard_manifest.first_seq = 0; num_seqs = 0; symbols = 0 } |]
+  reject "gap in sequence coverage" [| entry 0 2 10; entry 3 1 5 |];
+  reject "not starting at sequence 0" [| entry 1 2 10 |];
+  reject "empty shard" [| entry 0 0 0 |]
+
+(* A version-1 manifest (magic "OASH", fixed 12-byte entries, no gram
+   bitsets) must still read, surfacing empty [grams]. *)
+let test_manifest_v1_compat () =
+  let buf = Buffer.create 64 in
+  let u32 v =
+    Buffer.add_char buf (Char.chr (v land 0xFF));
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+    Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+    Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF))
+  in
+  u32 0x4853414F;
+  u32 2;
+  List.iter u32 [ 0; 3; 120; 3; 1; 7 ];
+  let d = Storage.Device.in_memory () in
+  Storage.Device.append d (Buffer.to_bytes buf);
+  Storage.Footer.append d;
+  let expect =
+    Array.map
+      (fun e -> { e with Storage.Shard_manifest.grams = Bytes.empty })
+      (Array.sub sample_entries 0 2)
+  in
+  Alcotest.(check (array entries_testable))
+    "v1 manifest reads with empty grams" expect
+    (Storage.Shard_manifest.read d)
 
 let test_manifest_save_load () =
   let dir = Filename.temp_file "oasis_manifest" ".d" in
@@ -460,6 +499,8 @@ let () =
             test_manifest_corruption;
           Alcotest.test_case "bad entry arrays rejected" `Quick
             test_manifest_rejects_bad_entries;
+          Alcotest.test_case "version-1 manifests still read" `Quick
+            test_manifest_v1_compat;
           Alcotest.test_case "save / load / exists" `Quick
             test_manifest_save_load;
           Alcotest.test_case "shard_dir layout" `Quick test_shard_dir_layout;

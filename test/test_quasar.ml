@@ -63,6 +63,41 @@ let test_stats_shape () =
   Alcotest.(check bool) "candidates bounded by total" true
     (stats.Quasar.Filter.candidate_blocks <= stats.Quasar.Filter.total_blocks)
 
+let test_threshold_clamp () =
+  (* The query carries m - q + 1 grams: whatever the diffs knob says,
+     the configured threshold must land in [1, m - q + 1] — above it
+     the filter is vacuously unsatisfiable, below 1 it is meaningless.
+     These pin the clamp at its edges: q capped at a short query, q
+     exactly the query length (one gram), diffs large enough to drive
+     the lemma value negative, and diffs = 0 sitting exactly on the
+     ceiling. *)
+  let cfg ?q ?diffs m =
+    Quasar.Filter.config ?q ?diffs ~matrix ~gap:gap1 ~min_score:1
+      ~query_length:m ()
+  in
+  let check name c m =
+    let grams = m - c.Quasar.Filter.q + 1 in
+    Alcotest.(check bool)
+      (name ^ ": threshold within [1, m - q + 1]")
+      true
+      (c.Quasar.Filter.threshold >= 1 && c.Quasar.Filter.threshold <= grams)
+  in
+  check "q capped at a 2-symbol query" (cfg 2) 2;
+  let one_gram = cfg ~q:4 4 in
+  check "q = m leaves one gram" one_gram 4;
+  Alcotest.(check int) "q = m: threshold is that one gram" 1
+    one_gram.Quasar.Filter.threshold;
+  check "huge diffs floor at 1" (cfg ~q:3 ~diffs:1000 12) 12;
+  Alcotest.(check int) "huge diffs: threshold 1" 1
+    (cfg ~q:3 ~diffs:1000 12).Quasar.Filter.threshold;
+  let exact = cfg ~q:3 ~diffs:0 12 in
+  check "diffs = 0 sits on the ceiling" exact 12;
+  Alcotest.(check int) "diffs = 0: threshold = m - q + 1" 10
+    exact.Quasar.Filter.threshold;
+  (* diffs = 2 on a short query: the lemma value m - q + 1 - 2q is
+     negative, so only the clamp keeps the filter satisfiable. *)
+  check "default diffs on a short query" (cfg ~q:3 5) 5
+
 let qcheck_never_beats_sw =
   let gen =
     QCheck.Gen.(
@@ -119,6 +154,7 @@ let () =
             test_finds_mutated_occurrence;
           Alcotest.test_case "respects min_score" `Quick test_respects_min_score;
           Alcotest.test_case "stats shape" `Quick test_stats_shape;
+          Alcotest.test_case "threshold clamp" `Quick test_threshold_clamp;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

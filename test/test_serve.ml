@@ -38,6 +38,7 @@ let gen_search =
     let* max_columns = opt_int in
     let* max_expanded = opt_int in
     let* time_limit = opt (map (fun i -> float_of_int i /. 7.) (int_bound 1000)) in
+    let* seed_cutoff = bool in
     return
       {
         Serve.Protocol.query;
@@ -48,6 +49,7 @@ let gen_search =
         max_columns;
         max_expanded;
         time_limit;
+        seed_cutoff;
       })
 
 let gen_request =
@@ -147,7 +149,33 @@ let sample_search =
     max_columns = None;
     max_expanded = Some 4096;
     time_limit = Some 1.5;
+    seed_cutoff = true;
   }
+
+(* A Search frame from a writer predating the seed_cutoff trailing
+   byte must still decode (as [seed_cutoff = false]): strip the last
+   payload byte and re-seal the header. *)
+let test_wire_search_v1_compat () =
+  let frame =
+    Serve.Protocol.encode_request (Serve.Protocol.Search sample_search)
+  in
+  let n = String.length frame in
+  let payload = String.sub frame 10 (n - 10 - 1) in
+  let b = Buffer.create n in
+  Buffer.add_string b (String.sub frame 0 2);
+  Buffer.add_int32_be b (Int32.of_int (String.length payload));
+  Buffer.add_int32_be b (Int32.of_int (Storage.Crc32.string payload));
+  Buffer.add_string b payload;
+  match
+    Serve.Protocol.read_request
+      (Serve.Protocol.reader_of_string (Buffer.contents b))
+  with
+  | Ok (Serve.Protocol.Search s) ->
+    Alcotest.(check bool) "seed_cutoff defaults to false" false s.seed_cutoff;
+    Alcotest.(check bool) "other fields survive" true
+      (s = { sample_search with seed_cutoff = false })
+  | Ok _ -> Alcotest.fail "decoded as a different request"
+  | Error e -> Alcotest.failf "v1 frame rejected: %s" (Serve.Protocol.error_to_string e)
 
 let test_truncation_every_boundary () =
   let frame = Serve.Protocol.encode_request (Serve.Protocol.Search sample_search) in
@@ -402,7 +430,8 @@ let daemon_db_strings =
 
 let daemon_query = "ACGTACGTTAGC"
 
-let wire_search ?max_hits ?max_columns ?(min_score = 6) () =
+let wire_search ?max_hits ?max_columns ?(seed_cutoff = false)
+    ?(min_score = 6) () =
   {
     Serve.Protocol.query = daemon_query;
     matrix = Scoring.Submat.name unit_matrix;
@@ -412,6 +441,7 @@ let wire_search ?max_hits ?max_columns ?(min_score = 6) () =
     max_columns;
     max_expanded = None;
     time_limit = None;
+    seed_cutoff;
   }
 
 (* Reference stream straight from the engine, in wire shape. *)
@@ -521,6 +551,27 @@ let test_daemon_streams_and_budget () =
       match cresult with
       | Serve.Client.Finished _ -> ()
       | _ -> Alcotest.fail "expected a finish under max_hits")
+
+(* --seed-cutoff over the wire: a capped seeded stream must equal the
+   capped unseeded one (seeding is monotone-safe), and an uncapped
+   seeded request is a typed Bad_request, not a wrong stream. *)
+let test_daemon_seed_cutoff () =
+  with_daemon ~name:"seed" ~workers:1 ~queue_depth:2
+    (fun ~path ~db:_ ~tree:_ ->
+      let plain, _ = collect_search ~path (wire_search ~max_hits:3 ()) in
+      let seeded, result =
+        collect_search ~path (wire_search ~max_hits:3 ~seed_cutoff:true ())
+      in
+      (match result with
+      | Serve.Client.Finished _ -> ()
+      | _ -> Alcotest.fail "seeded search did not finish");
+      Alcotest.check wire_hits "seeded stream = unseeded stream"
+        (pack_wire plain) (pack_wire seeded);
+      match
+        collect_search ~path (wire_search ~seed_cutoff:true ())
+      with
+      | _, Serve.Client.Rejected (Serve.Protocol.Bad_request _) -> ()
+      | _ -> Alcotest.fail "uncapped seed_cutoff must be a Bad_request")
 
 let test_daemon_concurrent_clients () =
   with_daemon ~name:"conc" ~workers:2 ~queue_depth:8 (fun ~path ~db ~tree ->
@@ -663,6 +714,8 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_response_roundtrip;
           Alcotest.test_case "truncation at every byte boundary" `Quick
             test_truncation_every_boundary;
+          Alcotest.test_case "pre-seed_cutoff Search frames decode" `Quick
+            test_wire_search_v1_compat;
           Alcotest.test_case "bit-flipped frames fail typed" `Quick
             test_bit_flipped_frames;
           Alcotest.test_case "torn-append frames read as truncated" `Quick
@@ -682,6 +735,8 @@ let () =
         [
           Alcotest.test_case "streams, budgets, hit caps" `Quick
             test_daemon_streams_and_budget;
+          Alcotest.test_case "seed-cutoff: same stream, typed reject" `Quick
+            test_daemon_seed_cutoff;
           Alcotest.test_case "4 concurrent clients, identical streams" `Quick
             test_daemon_concurrent_clients;
           Alcotest.test_case "mid-stream disconnect + SLO stats" `Quick
